@@ -1,0 +1,72 @@
+// Command tinycc compiles TinyC source files into ELF32 (i386)
+// executables using the compiler substrate of the reproduction:
+//
+//	tinycc -o prog.bin -O2 -seed 7 -strip prog.c
+//
+// The -seed flag selects the compilation context: register-allocation
+// order, stack layout, branch layout and scheduling decisions; the same
+// source with different seeds models the same code compiled into
+// different executables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bin"
+	"repro/internal/tinyc"
+)
+
+func main() {
+	out := flag.String("o", "a.out", "output file")
+	optFlag := flag.String("O", "2", "optimization level: 0, 1, 2 or s")
+	seed := flag.Int64("seed", 1, "compilation context seed")
+	strip := flag.Bool("strip", false, "strip local symbols")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "tinycc: no input files")
+		os.Exit(2)
+	}
+	var opt tinyc.OptLevel
+	switch *optFlag {
+	case "0":
+		opt = tinyc.O0
+	case "1":
+		opt = tinyc.O1
+	case "2":
+		opt = tinyc.O2
+	case "s":
+		opt = tinyc.Os
+	default:
+		fmt.Fprintf(os.Stderr, "tinycc: bad -O %q\n", *optFlag)
+		os.Exit(2)
+	}
+	var srcs []string
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tinycc:", err)
+			os.Exit(1)
+		}
+		srcs = append(srcs, string(b))
+	}
+	img, err := tinyc.Build(strings.Join(srcs, "\n"), tinyc.Config{Opt: opt, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tinycc:", err)
+		os.Exit(1)
+	}
+	if *strip {
+		if img, err = bin.Strip(img); err != nil {
+			fmt.Fprintln(os.Stderr, "tinycc:", err)
+			os.Exit(1)
+		}
+	}
+	if err := os.WriteFile(*out, img, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tinycc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d bytes (-O%s, seed %d, stripped=%v)\n",
+		*out, len(img), *optFlag, *seed, *strip)
+}

@@ -1,0 +1,17 @@
+// Command tracy is the command-line front end of the tracelet search
+// engine. See internal/cli for the command set.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracy:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+package tracy_test
+
+import (
+	"fmt"
+	"log"
+
+	tracy "repro"
+)
+
+// The original and a patched version of the same function (the paper's
+// motivating doCommand example, abbreviated).
+const exampleSrc = `
+int handler(int cmd, char *msg) {
+	int counter = 1;
+	int total = 0;
+	int i = 0;
+	if (cmd == 1) {
+		printf("(%d) HELLO", counter);
+	} else if (cmd == 2) {
+		printf(msg);
+	}
+	for (i = 0; i < cmd; i = i + 1) {
+		total = total + process(msg, i);
+		if (total > 4096) { total = total / 2; }
+	}
+	while (counter < total) { counter = counter * 2; }
+	fprintf(cmd, "Cmd %d DONE", counter);
+	return counter;
+}
+`
+
+const examplePatched = `
+int handler(int cmd, char *msg) {
+	int counter = 1;
+	int total = 0;
+	int i = 0;
+	int bytes = 0;
+	if (cmd == 1) {
+		printf("(%d) HELLO", counter);
+		bytes = bytes + 4;
+	} else if (cmd == 2) {
+		printf(msg);
+		bytes = bytes + strlen(msg);
+	}
+	for (i = 0; i < cmd; i = i + 1) {
+		total = total + process(msg, i);
+		if (total > 4096) { total = total / 2; }
+	}
+	while (counter < total) { counter = counter * 2; }
+	fprintf(cmd, "Cmd %d DONE", counter);
+	return counter;
+}
+`
+
+func mustLift(src string, seed int64) *tracy.Function {
+	img, err := tracy.CompileTinyCStripped(src, tracy.OptO2, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fns, err := tracy.LoadExecutable(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fns[0]
+}
+
+// Compare two lifted binary functions directly.
+func ExampleCompare() {
+	orig := mustLift(exampleSrc, 11)
+	patched := mustLift(examplePatched, 23)
+	res := tracy.Compare(orig, patched, tracy.DefaultOptions())
+	fmt.Println("match:", res.IsMatch)
+	// Output:
+	// match: true
+}
+
+// Index executables and search for a function.
+func ExampleDatabase_Search() {
+	db := tracy.NewDatabase()
+	img, err := tracy.CompileTinyCStripped(examplePatched, tracy.OptO2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.IndexExecutable("release-2", img); err != nil {
+		log.Fatal(err)
+	}
+	query := mustLift(exampleSrc, 99)
+	hits := db.Search(query, tracy.DefaultOptions())
+	fmt.Println("hits:", len(hits), "top match:", hits[0].Result.IsMatch)
+	// Output:
+	// hits: 1 top match: true
+}

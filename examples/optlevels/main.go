@@ -1,0 +1,108 @@
+// Optlevels reproduces the paper's Section 8 observation about
+// optimization levels: a function compiled at -O1 can be used to find the
+// same source built at -O1 and -O2, but -O0 and -Os builds are "very
+// different and are not found". The paper's suggested workaround is also
+// shown: when the source is available, compile the query at every level
+// and search them one by one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tracy "repro"
+)
+
+// process has small helpers that O1/O2 inline but O0/Os call — the main
+// structural divergence between the levels.
+const src = `
+int process(int a, int b, char *s) {
+	int total = 0;
+	int i = 0;
+	int limit = clampv(b, 64);
+	for (i = 0; i < limit; i = i + 1) {
+		total = total + weight(i, a);
+		if (total > 4096) {
+			total = total / 2;
+			logv("overflow", total);
+		}
+	}
+	if (checkv(total, a) == 1) {
+		printf("result: %d", total);
+	} else {
+		total = clampv(total, 255);
+		printf("error %d at %s", total, s);
+	}
+	while (total % 3 != 0) { total = total + weight(total, 1); }
+	return total;
+}
+int clampv(int x, int hi) {
+	if (x > hi) { x = hi; }
+	if (x < 0) { x = 0; }
+	return x;
+}
+int weight(int i, int a) {
+	int w = i * 3 + a % 7;
+	return w;
+}
+int checkv(int t, int a) {
+	int ok = 0;
+	if (t > a && t < 100000) { ok = 1; }
+	return ok;
+}
+`
+
+func largest(img []byte) *tracy.Function {
+	fns, err := tracy.LoadExecutable(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := fns[0]
+	for _, fn := range fns[1:] {
+		if fn.NumInsts() > best.NumInsts() {
+			best = fn
+		}
+	}
+	return best
+}
+
+func build(opt tracy.OptLevel, seed int64) *tracy.Function {
+	img, err := tracy.CompileTinyCStripped(src, opt, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return largest(img)
+}
+
+func main() {
+	levels := []struct {
+		name string
+		opt  tracy.OptLevel
+	}{
+		{"O0", tracy.OptO0}, {"O1", tracy.OptO1},
+		{"O2", tracy.OptO2}, {"Os", tracy.OptOs},
+	}
+	opts := tracy.DefaultOptions()
+
+	fmt.Println("query compiled at O1; targets are the same source at each level:")
+	query := build(tracy.OptO1, 501)
+	for _, lv := range levels {
+		tgt := build(lv.opt, 601)
+		res := tracy.Compare(query, tgt, opts)
+		verdict := "not found"
+		if res.IsMatch {
+			verdict = "FOUND"
+		}
+		fmt.Printf("  %-3s similarity %5.1f%%  %s\n",
+			lv.name, res.SimilarityScore*100, verdict)
+	}
+
+	fmt.Println("\nworkaround (paper §8): compile the query at every level and search each:")
+	for _, lv := range levels {
+		q := build(lv.opt, 501)
+		tgt := build(lv.opt, 601)
+		res := tracy.Compare(q, tgt, opts)
+		fmt.Printf("  %s query vs %s build: %5.1f%%  match=%v\n",
+			lv.name, lv.name, res.SimilarityScore*100, res.IsMatch)
+	}
+}

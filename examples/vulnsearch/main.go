@@ -1,0 +1,153 @@
+// Vulnsearch reproduces the paper's headline use case (Section 6.1,
+// "Detecting vulnerable functions", modeled on CVE-2010-0624 in GNU
+// tar/cpio): a function with an exploitable bug is compiled into several
+// "packages" — different applications, different versions, different
+// compilation contexts — all stripped. Searching with the locally-built
+// vulnerable function as the query pinpoints every embedding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tracy "repro"
+)
+
+// rtapeRead is the vulnerable function: the length field from the wire is
+// trusted before the bounds check (the same bug shape as rtapelib.c's
+// heap overflow).
+const rtapeRead = `
+int rtape_read(int fd, char *buf, int len) {
+	int count = 0;
+	int status = 0;
+	int i = 0;
+	status = command(fd, "R");
+	if (status < 0) { return 0 - 1; }
+	for (i = 0; i < status; i = i + 1) {
+		count = count + readbyte(fd, buf + i);
+		if (count % 512 == 0) {
+			update_checksum(buf, count);
+		}
+	}
+	if (count > len) {
+		report("overflow", count);
+	}
+	return count;
+}
+`
+
+// patchedRtapeRead is the fixed version (the bounds check moved before
+// the copy loop) — a later release.
+const patchedRtapeRead = `
+int rtape_read(int fd, char *buf, int len) {
+	int count = 0;
+	int status = 0;
+	int i = 0;
+	status = command(fd, "R");
+	if (status < 0) { return 0 - 1; }
+	if (status > len) {
+		report("overflow", status);
+		return 0 - 2;
+	}
+	for (i = 0; i < status; i = i + 1) {
+		count = count + readbyte(fd, buf + i);
+		if (count % 512 == 0) {
+			update_checksum(buf, count);
+		}
+	}
+	return count;
+}
+`
+
+// Application code that surrounds the library function in each package.
+var hostFuncs = []string{
+	`int tar_main(int argc, char *argv, char *env) {
+		int mode = option(argv, "x");
+		int n = 0;
+		if (mode == 1) { n = extract(argv, env); }
+		else if (mode == 2) { n = create(argv, env); }
+		while (n > 0) { n = n - step(argv); }
+		return n;
+	}`,
+	`int cpio_copy(int in, int out, char *pattern) {
+		int total = 0;
+		int block = 0;
+		for (block = nextblock(in); block != 0; block = nextblock(in)) {
+			if (matches(pattern, block) == 1) {
+				total = total + emit(out, block);
+			}
+		}
+		printf("%d/%d bytes", total, block);
+		return total;
+	}`,
+	`int checksum(int a, int b, char *s) {
+		int acc = 0;
+		int i = 0;
+		for (i = 0; i < a; i = i + 1) { acc = acc * 31 + i % 7; }
+		while (b > 0) { acc = acc + b; b = b - 1; }
+		return acc;
+	}`,
+}
+
+type pkg struct {
+	name string
+	src  string
+	seed int64
+}
+
+func main() {
+	packages := []pkg{
+		{"tar-1.22", rtapeRead + hostFuncs[0] + hostFuncs[2], 101},
+		{"tar-1.21", rtapeRead + hostFuncs[0], 102},
+		{"cpio-2.10", rtapeRead + hostFuncs[1], 103},
+		{"tar-1.23-fixed", patchedRtapeRead + hostFuncs[0] + hostFuncs[2], 104},
+		{"coreutils-cp", hostFuncs[1] + hostFuncs[2], 105},
+	}
+
+	db := tracy.NewDatabase()
+	for _, p := range packages {
+		img, err := tracy.CompileTinyC(p.src, tracy.OptO2, p.seed)
+		if err != nil {
+			log.Fatalf("%s: %v", p.name, err)
+		}
+		truth, err := tracy.TruthOf(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stripped, err := tracy.StripExecutable(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.IndexExecutableWithTruth(p.name, stripped, truth); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d stripped functions from %d packages\n\n",
+		db.NumFunctions(), len(packages))
+
+	// Compile the vulnerable function locally (our own context) and use
+	// it as the query — exactly the paper's workflow.
+	qimg, err := tracy.CompileTinyCStripped(rtapeRead, tracy.OptO2, 999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qfns, err := tracy.LoadExecutable(qimg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := qfns[0]
+
+	fmt.Println("searching for the vulnerable rtape_read...")
+	hits := db.Search(query, tracy.DefaultOptions())
+	for _, h := range hits {
+		verdict := "  "
+		if h.Result.IsMatch {
+			verdict = "!!"
+		}
+		fmt.Printf("%s %5.1f%%  %-16s %-14s (truth: %s)\n",
+			verdict, h.Result.SimilarityScore*100, h.Exe, h.Name, h.Truth)
+	}
+	fmt.Println("\n!! = flagged as containing the vulnerable function")
+	fmt.Println("note the patched tar-1.23 scores well below the vulnerable embeddings,")
+	fmt.Println("and unrelated functions lower still.")
+}

@@ -1,0 +1,173 @@
+// Package align implements tracelet alignment and scoring (paper
+// Section 4.3, Algorithm 3): a longest-common-subsequence variation over
+// whole assembly instructions, using the instruction similarity measure
+//
+//	Sim(c, c') = 2 + #{i : args(c)[i] = args(c')[i]}  if SameKind(c, c')
+//	           = -1                                    otherwise
+//
+// Skipping an instruction (insertion or deletion) costs nothing, so the
+// score is the sum of Sim over the chosen aligned pairs; a negative-Sim
+// pair is never chosen. The package also provides the ratio and
+// containment normalizations of the tracelet similarity score.
+package align
+
+import "repro/internal/asm"
+
+// Sim is the instruction similarity measure of paper Section 4.3.
+func Sim(c, cp asm.Inst) int {
+	if !asm.SameKind(c, cp) {
+		return -1
+	}
+	a, b := c.Args(), cp.Args()
+	score := 2
+	for i := range a {
+		if i < len(b) && a[i] == b[i] {
+			score++
+		}
+	}
+	return score
+}
+
+// IdentityScore is the similarity score of a sequence with itself: the sum
+// of Sim(c, c) = 2 + len(args(c)) over its instructions.
+func IdentityScore(insts []asm.Inst) int {
+	s := 0
+	for _, in := range insts {
+		s += 2 + len(in.Args())
+	}
+	return s
+}
+
+// Pair is one aligned instruction pair: indices into the reference and
+// target sequences.
+type Pair struct {
+	Ref, Tgt int
+}
+
+// Alignment is the full output of the edit-distance computation: the
+// score, the aligned pairs, and the unmatched (deleted from reference /
+// inserted into target) instruction indices.
+type Alignment struct {
+	Score    int
+	Pairs    []Pair
+	Deleted  []int // reference instructions with no counterpart
+	Inserted []int // target instructions with no counterpart
+}
+
+// Score computes only the similarity score between a reference and target
+// instruction sequence (CalcScore of paper Algorithm 3).
+func Score(ref, tgt []asm.Inst) int {
+	n, m := len(ref), len(tgt)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	// Single rolling row: A[j] = best score aligning ref[i:] with tgt[j:].
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			best := prev[j] // delete ref[i]
+			if v := cur[j+1]; v > best {
+				best = v // insert tgt[j]
+			}
+			if v := Sim(ref[i], tgt[j]) + prev[j+1]; v > best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+		cur[m] = 0
+	}
+	return prev[0]
+}
+
+// Align computes the full alignment between a reference and a target
+// instruction sequence, with traceback (AlignTracelets of paper
+// Algorithm 1; the paper notes CalcScore and AlignTracelets perform the
+// same computation).
+func Align(ref, tgt []asm.Inst) Alignment {
+	n, m := len(ref), len(tgt)
+	a := make([][]int, n+1)
+	for i := range a {
+		a[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			best := a[i+1][j]
+			if v := a[i][j+1]; v > best {
+				best = v
+			}
+			if v := Sim(ref[i], tgt[j]) + a[i+1][j+1]; v > best {
+				best = v
+			}
+			a[i][j] = best
+		}
+	}
+	out := Alignment{Score: a[0][0]}
+	i, j := 0, 0
+	for i < n && j < m {
+		s := Sim(ref[i], tgt[j])
+		switch {
+		case s >= 0 && a[i][j] == s+a[i+1][j+1]:
+			out.Pairs = append(out.Pairs, Pair{Ref: i, Tgt: j})
+			i++
+			j++
+		case a[i][j] == a[i+1][j]:
+			out.Deleted = append(out.Deleted, i)
+			i++
+		default:
+			out.Inserted = append(out.Inserted, j)
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		out.Deleted = append(out.Deleted, i)
+	}
+	for ; j < m; j++ {
+		out.Inserted = append(out.Inserted, j)
+	}
+	return out
+}
+
+// Method selects a normalization for tracelet similarity scores (paper
+// Section 4.3).
+type Method int
+
+const (
+	// Ratio considers the proportional size of unmatched instructions in
+	// both tracelets: 2S / (RIdent + TIdent).
+	Ratio Method = iota
+	// Containment requires one tracelet to be contained in the other:
+	// S / min(RIdent, TIdent).
+	Containment
+)
+
+// String names the method.
+func (m Method) String() string {
+	if m == Containment {
+		return "containment"
+	}
+	return "ratio"
+}
+
+// Norm normalizes a similarity score using the identity scores of the
+// reference and target, returning a value in [0, 1] for non-degenerate
+// inputs.
+func Norm(s, rIdent, tIdent int, m Method) float64 {
+	switch m {
+	case Containment:
+		min := rIdent
+		if tIdent < min {
+			min = tIdent
+		}
+		if min <= 0 {
+			return 0
+		}
+		return float64(s) / float64(min)
+	default:
+		if rIdent+tIdent <= 0 {
+			return 0
+		}
+		return float64(2*s) / float64(rIdent+tIdent)
+	}
+}

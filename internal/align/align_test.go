@@ -1,0 +1,301 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+)
+
+func insts(t *testing.T, lines ...string) []asm.Inst {
+	t.Helper()
+	out := make([]asm.Inst, len(lines))
+	for i, l := range lines {
+		in, err := asm.Parse(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = in
+	}
+	return out
+}
+
+// TestSimPaperValues checks the exact values quoted in Section 4.3: "the
+// score of comparing push ebp; with itself is 3, whereas the score of add
+// ebp,eax with add esp,ebx is only 2".
+func TestSimPaperValues(t *testing.T) {
+	push := asm.MustParse("push ebp")
+	if got := Sim(push, push); got != 3 {
+		t.Errorf("Sim(push ebp, push ebp) = %d, want 3", got)
+	}
+	a := asm.MustParse("add ebp, eax")
+	b := asm.MustParse("add esp, ebx")
+	if got := Sim(a, b); got != 2 {
+		t.Errorf("Sim(add ebp,eax; add esp,ebx) = %d, want 2", got)
+	}
+	// Different kinds are -1.
+	c := asm.MustParse("mov ebp, eax")
+	if got := Sim(a, c); got != -1 {
+		t.Errorf("Sim across mnemonics = %d, want -1", got)
+	}
+	d := asm.MustParse("add ebp, 1")
+	if got := Sim(a, d); got != -1 {
+		t.Errorf("Sim reg-vs-imm operand = %d, want -1", got)
+	}
+}
+
+func TestSimPartialArgMatch(t *testing.T) {
+	a := asm.MustParse("mov [esp+18h+var_14], ecx")
+	b := asm.MustParse("mov [esp+28h+var_24], ebx")
+	// Kinds match; only the esp argument is positionally equal: 2+1.
+	if got := Sim(a, b); got != 3 {
+		t.Errorf("Sim = %d, want 3", got)
+	}
+	if got := Sim(a, a); got != 2+4 {
+		t.Errorf("Sim identity = %d, want 6", got)
+	}
+}
+
+// TestAlignPaperFig5 reproduces the alignment of basic blocks 3 and 3'
+// (paper Fig. 5): the added instruction mov esi,4 must be reported as
+// inserted and everything else aligned.
+func TestAlignPaperFig5(t *testing.T) {
+	ref := insts(t,
+		"mov [esp+18h+var_18], offset aDHELLO",
+		"mov ecx, 1",
+		"mov [esp+18h+var_14], ecx",
+		"call _printf",
+	)
+	tgt := insts(t,
+		"mov [esp+28h+var_28], offset aDHELLO",
+		"mov ebx, 1",
+		"mov esi, 4",
+		"mov [esp+28h+var_24], ebx",
+		"call _printf",
+	)
+	a := Align(ref, tgt)
+	if len(a.Pairs) != 4 {
+		t.Fatalf("aligned %d pairs, want 4: %+v", len(a.Pairs), a)
+	}
+	wantPairs := []Pair{{0, 0}, {1, 1}, {2, 3}, {3, 4}}
+	for i, p := range a.Pairs {
+		if p != wantPairs[i] {
+			t.Errorf("pair %d = %v, want %v", i, p, wantPairs[i])
+		}
+	}
+	if len(a.Inserted) != 1 || a.Inserted[0] != 2 {
+		t.Errorf("inserted = %v, want [2]", a.Inserted)
+	}
+	if len(a.Deleted) != 0 {
+		t.Errorf("deleted = %v, want []", a.Deleted)
+	}
+}
+
+func TestScoreEqualsAlignScore(t *testing.T) {
+	ref := insts(t, "push ebp", "mov ebp, esp", "sub esp, 18h", "mov eax, 1", "retn")
+	tgt := insts(t, "push ebp", "mov ebp, esp", "sub esp, 28h", "xor esi, esi", "mov eax, 1", "retn")
+	if Score(ref, tgt) != Align(ref, tgt).Score {
+		t.Error("Score and Align disagree")
+	}
+}
+
+func TestIdentityScore(t *testing.T) {
+	seq := insts(t, "push ebp", "mov ebp, esp", "mov eax, [ebp+arg_0]")
+	// push ebp: 2+1; mov: 2+2; mov mem: 2+3.
+	if got := IdentityScore(seq); got != 3+4+5 {
+		t.Errorf("IdentityScore = %d, want 12", got)
+	}
+	if got := Score(seq, seq); got != IdentityScore(seq) {
+		t.Errorf("Score(x,x) = %d, want IdentityScore %d", got, IdentityScore(seq))
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm(10, 10, 10, Ratio); got != 1.0 {
+		t.Errorf("Ratio identity = %v", got)
+	}
+	if got := Norm(10, 10, 30, Containment); got != 1.0 {
+		t.Errorf("Containment subsumption = %v", got)
+	}
+	if got := Norm(10, 10, 30, Ratio); got != 0.5 {
+		t.Errorf("Ratio = %v, want 0.5", got)
+	}
+	if got := Norm(0, 0, 0, Ratio); got != 0 {
+		t.Errorf("degenerate ratio = %v", got)
+	}
+	if got := Norm(0, 0, 0, Containment); got != 0 {
+		t.Errorf("degenerate containment = %v", got)
+	}
+	if Ratio.String() != "ratio" || Containment.String() != "containment" {
+		t.Error("Method.String broken")
+	}
+}
+
+// instPool provides realistic material for property tests.
+var instPool = []string{
+	"push ebp", "mov ebp, esp", "sub esp, 18h", "mov eax, [ebp+arg_0]",
+	"mov [ebp+var_4], esi", "xor esi, esi", "cmp esi, 1", "mov ebx, eax",
+	"call _printf", "mov ecx, 1", "add eax, ebx", "inc eax", "pop ebp",
+	"retn", "lea eax, [ebx+ecx*4]", "test eax, eax", "mov esp, ebp",
+	"imul eax, ebx, 4", "push offset aHello", "mov [esp+var_s14], ecx",
+}
+
+func randSeq(rng *rand.Rand, n int) []asm.Inst {
+	out := make([]asm.Inst, n)
+	for i := range out {
+		out[i] = asm.MustParse(instPool[rng.Intn(len(instPool))])
+	}
+	return out
+}
+
+// TestQuickAlignProperties checks core invariants of the alignment on
+// random sequences: symmetry of the score, the identity bound, score
+// consistency with the traceback, and monotonic pair indices.
+func TestQuickAlignProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ref := randSeq(rng, 1+rng.Intn(12))
+		tgt := randSeq(rng, 1+rng.Intn(12))
+		s := Score(ref, tgt)
+		if s != Score(tgt, ref) {
+			t.Logf("score not symmetric")
+			return false
+		}
+		ri, ti := IdentityScore(ref), IdentityScore(tgt)
+		if s > ri || s > ti {
+			t.Logf("score exceeds identity bound")
+			return false
+		}
+		if s < 0 {
+			t.Logf("negative score")
+			return false
+		}
+		a := Align(ref, tgt)
+		if a.Score != s {
+			t.Logf("Align.Score %d != Score %d", a.Score, s)
+			return false
+		}
+		sum := 0
+		lastR, lastT := -1, -1
+		for _, p := range a.Pairs {
+			if p.Ref <= lastR || p.Tgt <= lastT {
+				t.Logf("pairs not strictly increasing")
+				return false
+			}
+			lastR, lastT = p.Ref, p.Tgt
+			sum += Sim(ref[p.Ref], tgt[p.Tgt])
+		}
+		if sum != a.Score {
+			t.Logf("sum of pair Sims %d != score %d", sum, a.Score)
+			return false
+		}
+		if len(a.Pairs)+len(a.Deleted) != len(ref) || len(a.Pairs)+len(a.Inserted) != len(tgt) {
+			t.Logf("partition broken")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreBlocksBoundary(t *testing.T) {
+	// Blockwise alignment must not match instructions across block
+	// boundaries: here the cross-block match would score higher globally.
+	refA := insts(t, "call _printf")
+	refB := insts(t, "mov eax, 1")
+	tgtA := insts(t, "mov eax, 1")
+	tgtB := insts(t, "call _printf")
+	global := Score(append(append([]asm.Inst{}, refA...), refB...),
+		append(append([]asm.Inst{}, tgtA...), tgtB...))
+	blockwise := ScoreBlocks([][]asm.Inst{refA, refB}, [][]asm.Inst{tgtA, tgtB})
+	if blockwise >= global {
+		t.Errorf("blockwise %d should be < global %d here", blockwise, global)
+	}
+	if blockwise != 0 {
+		t.Errorf("blockwise = %d, want 0", blockwise)
+	}
+}
+
+func TestScoreBlocksMatchesSum(t *testing.T) {
+	a := insts(t, "push ebp", "mov ebp, esp")
+	b := insts(t, "mov eax, 1", "retn")
+	c := insts(t, "push ebp", "mov ebp, esp", "xor esi, esi")
+	d := insts(t, "mov eax, 1", "retn")
+	got := ScoreBlocks([][]asm.Inst{a, b}, [][]asm.Inst{c, d})
+	want := Score(a, c) + Score(b, d)
+	if got != want {
+		t.Errorf("ScoreBlocks = %d, want %d", got, want)
+	}
+}
+
+func TestAlignBlocksOffsets(t *testing.T) {
+	a := insts(t, "push ebp", "mov ebp, esp")
+	b := insts(t, "mov eax, 1", "retn")
+	c := insts(t, "push ebp")
+	d := insts(t, "xor esi, esi", "mov eax, 1", "retn")
+	al := AlignBlocks([][]asm.Inst{a, b}, [][]asm.Inst{c, d})
+	// push ebp matches; mov ebp,esp deleted; xor inserted (index 1 in
+	// concatenated target); mov eax,1 and retn match.
+	if len(al.Pairs) != 3 {
+		t.Fatalf("pairs = %v", al.Pairs)
+	}
+	if al.Pairs[1] != (Pair{Ref: 2, Tgt: 2}) || al.Pairs[2] != (Pair{Ref: 3, Tgt: 3}) {
+		t.Errorf("offset pairs wrong: %v", al.Pairs)
+	}
+	if len(al.Deleted) != 1 || al.Deleted[0] != 1 {
+		t.Errorf("deleted = %v", al.Deleted)
+	}
+	if len(al.Inserted) != 1 || al.Inserted[0] != 1 {
+		t.Errorf("inserted = %v", al.Inserted)
+	}
+}
+
+func TestMismatchedBlockCountsFallBack(t *testing.T) {
+	a := insts(t, "push ebp")
+	b := insts(t, "retn")
+	got := ScoreBlocks([][]asm.Inst{a, b}, [][]asm.Inst{append(a, b...)})
+	want := Score(append(append([]asm.Inst{}, a...), b...), append(append([]asm.Inst{}, a...), b...))
+	if got != want {
+		t.Errorf("fallback ScoreBlocks = %d, want %d", got, want)
+	}
+}
+
+// TestTextualDiffStrawMan reproduces the paper's Section 4.3 argument:
+// a character-level diff finds substantial "similarity" between
+// instructions that share no semantics (their example: rorx edx,esi vs
+// inc rdi share r,d,i,e...), while the instruction-level Sim correctly
+// rejects the pair.
+func TestTextualDiffStrawMan(t *testing.T) {
+	a := insts(t, "rorx edx, esi")
+	b := insts(t, "inc rdi")
+	if got := TextSimilarity(a, b); got < 0.3 {
+		t.Errorf("textual diff should be fooled: %v", got)
+	}
+	if got := Sim(a[0], b[0]); got != -1 {
+		t.Errorf("instruction-level Sim must reject: %d", got)
+	}
+	// And for genuinely similar instructions the instruction-level metric
+	// is decisive while text similarity is noisy.
+	c := insts(t, "mov [ebp+var_4], esi")
+	d := insts(t, "mov [ebp+var_8], edi")
+	if got := Sim(c[0], d[0]); got < 3 {
+		t.Errorf("related instructions should score >= 3, got %d", got)
+	}
+}
+
+func TestTextLCSBasics(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"abc", "", 0}, {"abc", "abc", 3},
+		{"abcde", "ace", 3}, {"abc", "xyz", 0}, {"ab", "ba", 1},
+	} {
+		if got := TextLCS(tc.a, tc.b); got != tc.want {
+			t.Errorf("TextLCS(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

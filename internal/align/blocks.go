@@ -1,0 +1,54 @@
+package align
+
+import "repro/internal/asm"
+
+// ScoreBlocks computes the tracelet similarity score blockwise: the
+// instruction alignment is performed with respect to basic-block
+// boundaries, so instructions from reference block i can only match
+// instructions from target block i (the granularity optimization of paper
+// Section 5.2). The tracelets must have the same number of blocks;
+// otherwise the concatenated sequences are aligned as a whole.
+func ScoreBlocks(ref, tgt [][]asm.Inst) int {
+	if len(ref) != len(tgt) {
+		return Score(concat(ref), concat(tgt))
+	}
+	s := 0
+	for i := range ref {
+		s += Score(ref[i], tgt[i])
+	}
+	return s
+}
+
+// AlignBlocks computes a full blockwise alignment. Pair indices refer to
+// the concatenated instruction sequences of each tracelet.
+func AlignBlocks(ref, tgt [][]asm.Inst) Alignment {
+	if len(ref) != len(tgt) {
+		return Align(concat(ref), concat(tgt))
+	}
+	var out Alignment
+	refOff, tgtOff := 0, 0
+	for i := range ref {
+		a := Align(ref[i], tgt[i])
+		out.Score += a.Score
+		for _, p := range a.Pairs {
+			out.Pairs = append(out.Pairs, Pair{Ref: p.Ref + refOff, Tgt: p.Tgt + tgtOff})
+		}
+		for _, d := range a.Deleted {
+			out.Deleted = append(out.Deleted, d+refOff)
+		}
+		for _, ins := range a.Inserted {
+			out.Inserted = append(out.Inserted, ins+tgtOff)
+		}
+		refOff += len(ref[i])
+		tgtOff += len(tgt[i])
+	}
+	return out
+}
+
+func concat(blocks [][]asm.Inst) []asm.Inst {
+	var out []asm.Inst
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}

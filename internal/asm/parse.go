@@ -1,0 +1,291 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single instruction in Intel syntax, e.g.
+//
+//	mov [esp+18h+var_14], ebx
+//	call _fopen
+//	jz short loc_401358
+//	mov ebx, offset unk_404000
+//
+// Immediates may be decimal, 0x-prefixed hex, or IDA-style trailing-h hex
+// (18h, 0A0h). Symbols are classified by their conventional IDA prefixes
+// (var_/arg_ stack locals, loc_ labels, sub_/leading-underscore functions,
+// everything else data), with call/jump operands overridden to function and
+// label classes respectively.
+func Parse(line string) (Inst, error) {
+	line = stripComment(line)
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Inst{}, fmt.Errorf("asm: empty instruction")
+	}
+	mnemonic := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[strings.Index(line, fields[0])+len(fields[0]):])
+	in := Inst{Mnemonic: mnemonic}
+	if rest == "" {
+		return in, nil
+	}
+	for _, part := range splitOperands(rest) {
+		op, err := parseOperand(part)
+		if err != nil {
+			return Inst{}, fmt.Errorf("asm: %q: %w", line, err)
+		}
+		in.Ops = append(in.Ops, op)
+	}
+	if len(in.Ops) > 3 {
+		return Inst{}, fmt.Errorf("asm: %q: more than 3 operands", line)
+	}
+	// Contextual symbol classification.
+	if in.IsCall() || in.IsJump() {
+		for i := range in.Ops {
+			o := &in.Ops[i]
+			if !o.IsMem() && o.Arg.IsSym() {
+				if in.IsCall() {
+					o.Arg.Cls = SymFunc
+				} else {
+					o.Arg.Cls = SymLabel
+				}
+			}
+		}
+	}
+	return in, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed listings.
+func MustParse(line string) Inst {
+	in, err := Parse(line)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// ParseListing parses a multi-line listing. Lines may be blank, comments
+// (starting with ';' or '#'), label definitions ("loc_40:") or
+// instructions. It returns the instructions and a map from label name to
+// the index of the instruction the label precedes (len(insts) for a
+// trailing label).
+func ParseListing(src string) ([]Inst, map[string]int, error) {
+	var insts []Inst
+	labels := make(map[string]int)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t,[") {
+			labels[strings.TrimSuffix(line, ":")] = len(insts)
+			continue
+		}
+		in, err := Parse(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		insts = append(insts, in)
+	}
+	return insts, labels, nil
+}
+
+func stripComment(line string) string {
+	for _, c := range []string{";", "#"} {
+		if i := strings.Index(line, c); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return line
+}
+
+// splitOperands splits on commas outside brackets.
+func splitOperands(s string) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts
+}
+
+func parseOperand(s string) (Operand, error) {
+	s = strings.TrimSpace(s)
+	// Size/distance qualifiers carry no information for matching.
+	for _, q := range []string{"short ", "near ", "far ", "dword ptr ", "word ptr ", "byte ptr ", "dword ", "qword ptr "} {
+		if strings.HasPrefix(strings.ToLower(s), q) {
+			s = strings.TrimSpace(s[len(q):])
+		}
+	}
+	if strings.HasPrefix(strings.ToLower(s), "offset ") {
+		name := strings.TrimSpace(s[len("offset "):])
+		return Operand{Arg: classifySym(name), Offset: true}, nil
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return Operand{}, fmt.Errorf("unterminated memory operand %q", s)
+		}
+		terms, err := parseMemExpr(s[1 : len(s)-1])
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Mem: terms}, nil
+	}
+	arg, err := parseArg(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Arg: arg}, nil
+}
+
+func parseMemExpr(s string) ([]MemTerm, error) {
+	var terms []MemTerm
+	op := OpAdd
+	start := 0
+	flush := func(end int, next MemOp) error {
+		tok := strings.TrimSpace(s[start:end])
+		if tok == "" {
+			return fmt.Errorf("empty term in memory operand %q", s)
+		}
+		arg, err := parseArg(tok)
+		if err != nil {
+			return err
+		}
+		terms = append(terms, MemTerm{Op: op, Arg: arg})
+		op = next
+		return nil
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '+', '-', '*':
+			// A leading '-' on the very first term is a negative immediate.
+			if i == start && s[i] == '-' {
+				continue
+			}
+			if err := flush(i, MemOp(s[i])); err != nil {
+				return nil, err
+			}
+			start = i + 1
+		}
+	}
+	if err := flush(len(s), OpAdd); err != nil {
+		return nil, err
+	}
+	terms[0].Op = OpAdd
+	return terms, nil
+}
+
+func parseArg(s string) (Arg, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Arg{}, fmt.Errorf("empty argument")
+	}
+	if r := LookupReg(s); r != RegNone {
+		return RegArg(r), nil
+	}
+	if v, ok := parseImm(s); ok {
+		return ImmArg(v), nil
+	}
+	if !isSymbolToken(s) {
+		return Arg{}, fmt.Errorf("cannot parse argument %q", s)
+	}
+	return classifySym(s), nil
+}
+
+func parseImm(s string) (int64, bool) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	case (strings.HasSuffix(s, "h") || strings.HasSuffix(s, "H")) && isHexDigits(s[:len(s)-1]):
+		v, err = strconv.ParseUint(s[:len(s)-1], 16, 64)
+	default:
+		if !isDecDigits(s) {
+			return 0, false
+		}
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, false
+	}
+	out := int64(v)
+	if neg {
+		out = -out
+	}
+	return out, true
+}
+
+func isHexDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isDecDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isSymbolToken(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.', c == '@', c == '$':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// classifySym maps a symbol name to a classed argument using IDA naming
+// conventions.
+func classifySym(name string) Arg {
+	switch {
+	case strings.HasPrefix(name, "var_"), strings.HasPrefix(name, "arg_"):
+		return SymArg(SymLocal, name)
+	case strings.HasPrefix(name, "loc_"), strings.HasPrefix(name, "locret_"):
+		return SymArg(SymLabel, name)
+	case strings.HasPrefix(name, "sub_"), strings.HasPrefix(name, "_"):
+		return SymArg(SymFunc, name)
+	default:
+		return SymArg(SymData, name)
+	}
+}

@@ -1,0 +1,272 @@
+package asm
+
+// This file implements the instruction semantics of paper Section 3:
+// read(inst), write(inst), args(inst) and SameKind(inst, inst).
+
+// opAccess describes how an instruction accesses one of its operands.
+type opAccess uint8
+
+const (
+	accNone opAccess = 0
+	accR    opAccess = 1 << iota // operand value is read
+	accW                         // operand value is written
+	accRW            = accR | accW
+	accAddr opAccess = 1 << 3 // address-of only (lea): offset regs read, value untouched
+)
+
+// mnemonicInfo is the per-mnemonic semantic table entry.
+type mnemonicInfo struct {
+	access   []opAccess // access per operand position
+	impR     []Reg      // implicitly read registers
+	impW     []Reg      // implicitly written registers
+	jump     bool       // control-flow transfer (jmp or jcc)
+	cond     bool       // conditional control-flow transfer
+	call     bool
+	ret      bool
+	variadic bool // operand count may be shorter than len(access) (imul)
+}
+
+var mnemonics = map[string]mnemonicInfo{
+	// Nullary.
+	"ret":   {ret: true, impR: []Reg{ESP}, impW: []Reg{ESP}},
+	"retn":  {ret: true, impR: []Reg{ESP}, impW: []Reg{ESP}},
+	"leave": {impR: []Reg{EBP}, impW: []Reg{ESP, EBP}},
+	"nop":   {},
+	"cdq":   {impR: []Reg{EAX}, impW: []Reg{EDX}},
+	"cwde":  {impR: []Reg{EAX}, impW: []Reg{EAX}},
+	"cbw":   {impR: []Reg{EAX}, impW: []Reg{EAX}},
+	"aad":   {impR: []Reg{EAX}, impW: []Reg{EAX}},
+	"aam":   {impR: []Reg{EAX}, impW: []Reg{EAX}},
+	"aas":   {impR: []Reg{EAX}, impW: []Reg{EAX}},
+
+	// Unary.
+	"push":  {access: []opAccess{accR}, impR: []Reg{ESP}, impW: []Reg{ESP}},
+	"pop":   {access: []opAccess{accW}, impR: []Reg{ESP}, impW: []Reg{ESP}},
+	"inc":   {access: []opAccess{accRW}},
+	"dec":   {access: []opAccess{accRW}},
+	"neg":   {access: []opAccess{accRW}},
+	"not":   {access: []opAccess{accRW}},
+	"idiv":  {access: []opAccess{accR}, impR: []Reg{EAX, EDX}, impW: []Reg{EAX, EDX}},
+	"div":   {access: []opAccess{accR}, impR: []Reg{EAX, EDX}, impW: []Reg{EAX, EDX}},
+	"mul":   {access: []opAccess{accR}, impR: []Reg{EAX}, impW: []Reg{EAX, EDX}},
+	"call":  {access: []opAccess{accR}, call: true, impR: []Reg{ESP}, impW: []Reg{ESP, EAX, ECX, EDX}},
+	"jmp":   {access: []opAccess{accR}, jump: true},
+	"sete":  {access: []opAccess{accW}},
+	"setne": {access: []opAccess{accW}},
+	"setl":  {access: []opAccess{accW}},
+	"setg":  {access: []opAccess{accW}},
+
+	// Binary.
+	"mov":   {access: []opAccess{accW, accR}},
+	"movzx": {access: []opAccess{accW, accR}},
+	"movsx": {access: []opAccess{accW, accR}},
+	"lea":   {access: []opAccess{accW, accAddr}},
+	"add":   {access: []opAccess{accRW, accR}},
+	"sub":   {access: []opAccess{accRW, accR}},
+	"adc":   {access: []opAccess{accRW, accR}},
+	"sbb":   {access: []opAccess{accRW, accR}},
+	"and":   {access: []opAccess{accRW, accR}},
+	"or":    {access: []opAccess{accRW, accR}},
+	"xor":   {access: []opAccess{accRW, accR}},
+	"cmp":   {access: []opAccess{accR, accR}},
+	"test":  {access: []opAccess{accR, accR}},
+	"xchg":  {access: []opAccess{accRW, accRW}},
+	"shl":   {access: []opAccess{accRW, accR}},
+	"shr":   {access: []opAccess{accRW, accR}},
+	"sar":   {access: []opAccess{accRW, accR}},
+	"rol":   {access: []opAccess{accRW, accR}},
+	"ror":   {access: []opAccess{accRW, accR}},
+	"rorx":  {access: []opAccess{accW, accR, accR}, variadic: true},
+
+	// imul has one-, two- and three-operand forms.
+	"imul": {access: []opAccess{accRW, accR, accR}, variadic: true},
+}
+
+// conditional jumps share one entry shape.
+var ccMnemonics = []string{
+	"jz", "jnz", "je", "jne", "jl", "jle", "jg", "jge",
+	"jb", "jbe", "ja", "jae", "js", "jns", "jo", "jno", "jp", "jnp",
+}
+
+// ccSuffixes are the condition-code spellings used for setcc/cmovcc.
+var ccSuffixes = []string{
+	"o", "no", "b", "ae", "z", "nz", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+func init() {
+	for _, m := range ccMnemonics {
+		mnemonics[m] = mnemonicInfo{access: []opAccess{accR}, jump: true, cond: true}
+	}
+	for _, cc := range ccSuffixes {
+		mnemonics["set"+cc] = mnemonicInfo{access: []opAccess{accW}}
+		// cmov keeps the old destination when the condition fails, so the
+		// destination is read as well as written.
+		mnemonics["cmov"+cc] = mnemonicInfo{access: []opAccess{accRW, accR}}
+	}
+}
+
+func lookup(m string) (mnemonicInfo, bool) {
+	info, ok := mnemonics[m]
+	return info, ok
+}
+
+// KnownMnemonic reports whether the mnemonic has a semantic table entry.
+func KnownMnemonic(m string) bool {
+	_, ok := mnemonics[m]
+	return ok
+}
+
+// access returns the access mode of operand i, defaulting to read for
+// unknown mnemonics (a safe over-approximation for reads, and conservative
+// for writes).
+func (in Inst) access(i int) opAccess {
+	info, ok := lookup(in.Mnemonic)
+	if !ok || i >= len(info.access) {
+		if ok && info.variadic {
+			// imul with fewer operands: single-operand form is a pure
+			// read with implicit eax/edx; two-operand form is RW,R —
+			// both are prefixes of the table entry, handled below.
+			return accNone
+		}
+		return accR
+	}
+	if info.variadic {
+		switch in.Mnemonic {
+		case "imul":
+			switch len(in.Ops) {
+			case 1:
+				return accR
+			case 2:
+				return [2]opAccess{accRW, accR}[i]
+			case 3:
+				return [3]opAccess{accW, accR, accR}[i]
+			}
+		}
+	}
+	return info.access[i]
+}
+
+// IsJump reports whether the instruction is a jump (conditional or not).
+func (in Inst) IsJump() bool {
+	info, ok := lookup(in.Mnemonic)
+	return ok && info.jump
+}
+
+// IsCondJump reports whether the instruction is a conditional jump.
+func (in Inst) IsCondJump() bool {
+	info, ok := lookup(in.Mnemonic)
+	return ok && info.cond
+}
+
+// IsCall reports whether the instruction is a call.
+func (in Inst) IsCall() bool {
+	info, ok := lookup(in.Mnemonic)
+	return ok && info.call
+}
+
+// IsRet reports whether the instruction is a return.
+func (in Inst) IsRet() bool {
+	info, ok := lookup(in.Mnemonic)
+	return ok && info.ret
+}
+
+// IsControlFlow reports whether the instruction transfers control (jump,
+// call or return). Tracelet extraction strips jumps; basic-block
+// construction ends blocks at jumps and returns.
+func (in Inst) IsControlFlow() bool {
+	info, ok := lookup(in.Mnemonic)
+	return ok && (info.jump || info.call || info.ret)
+}
+
+// Terminates reports whether the instruction ends a basic block (jump or
+// return, but not call: calls return to the next instruction).
+func (in Inst) Terminates() bool {
+	info, ok := lookup(in.Mnemonic)
+	return ok && (info.jump || info.ret)
+}
+
+func addReg(set map[Reg]bool, a Arg) {
+	if a.IsReg() {
+		set[a.Reg] = true
+	}
+}
+
+// Read returns the set of registers read by the instruction (paper
+// Section 3): registers appearing as read operands, and registers used as
+// components of any memory-address computation.
+func (in Inst) Read() map[Reg]bool {
+	out := make(map[Reg]bool)
+	for i, op := range in.Ops {
+		if op.IsMem() {
+			// Address components are always read, whatever the access.
+			for _, t := range op.Mem {
+				addReg(out, t.Arg)
+			}
+			continue
+		}
+		if in.access(i)&accR != 0 {
+			addReg(out, op.Arg)
+		}
+	}
+	if info, ok := lookup(in.Mnemonic); ok {
+		for _, r := range info.impR {
+			out[r] = true
+		}
+	}
+	if in.Mnemonic == "imul" && len(in.Ops) == 1 {
+		out[EAX] = true // single-operand form multiplies into edx:eax
+	}
+	return out
+}
+
+// Write returns the set of registers written by the instruction. A memory
+// destination writes no register.
+func (in Inst) Write() map[Reg]bool {
+	out := make(map[Reg]bool)
+	for i, op := range in.Ops {
+		if op.IsMem() {
+			continue
+		}
+		if in.access(i)&accW != 0 {
+			addReg(out, op.Arg)
+		}
+	}
+	if info, ok := lookup(in.Mnemonic); ok {
+		for _, r := range info.impW {
+			out[r] = true
+		}
+	}
+	if in.Mnemonic == "imul" && len(in.Ops) == 1 {
+		out[EAX], out[EDX] = true, true
+	}
+	return out
+}
+
+// Args returns the arguments appearing in the instruction, in syntactic
+// order (paper Section 3: args(inst)). Arguments inside memory operands are
+// included; duplicates are preserved so that positional alignment works.
+func (in Inst) Args() []Arg {
+	var out []Arg
+	for _, op := range in.Ops {
+		out = append(out, op.Args()...)
+	}
+	return out
+}
+
+// SameKind reports whether two instructions have the same structure (paper
+// Section 3): the same mnemonic, the same number of arguments, and all
+// arguments pairwise of the same type. Memory-operand structure (number of
+// terms and operators) must also agree, so that mov eax,[ebp+4] and
+// mov eax,[ebp+ecx] differ in kind, per the paper's inst3/inst4 example.
+func SameKind(a, b Inst) bool {
+	if a.Mnemonic != b.Mnemonic || len(a.Ops) != len(b.Ops) {
+		return false
+	}
+	for i := range a.Ops {
+		if !a.Ops[i].SameShape(b.Ops[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+// Package bin implements a minimal ELF32 (i386) executable container: a
+// writer/linker that packages assembled functions, import stubs and data
+// into a well-formed ELF image, a reader that parses such images, a
+// symbol-stripping transform, and function discovery for both stripped and
+// unstripped binaries.
+//
+// This is the "executable" substrate of the reproduction: the paper
+// operates on stripped Linux executables whose imported functions remain
+// visible through the dynamic symbol table while local function names are
+// gone. The same holds here: Strip removes .symtab/.strtab but keeps
+// .dynsym/.dynstr, so imported call targets stay nameable (paper Sec 4.1)
+// while local functions must be matched by content.
+package bin
+
+import "encoding/binary"
+
+// ELF constants (subset).
+const (
+	elfMagic0   = 0x7F
+	elfClass32  = 1
+	elfData2LSB = 1
+	evCurrent   = 1
+	etExec      = 2
+	emI386      = 3
+
+	shtNull     = 0
+	shtProgbits = 1
+	shtSymtab   = 2
+	shtStrtab   = 3
+	shtNobits   = 8
+	shtDynsym   = 11
+
+	shfWrite     = 1
+	shfAlloc     = 2
+	shfExecinstr = 4
+
+	sttObject = 1
+	sttFunc   = 2
+	stbLocal  = 0
+	stbGlobal = 1
+
+	ehSize = 52 // ELF32 header size
+	shSize = 40 // ELF32 section header size
+	stSize = 16 // ELF32 symbol size
+
+	// Base is the virtual address at which images are linked, matching
+	// the classic i386 ELF load address.
+	Base uint32 = 0x08048000
+)
+
+var le = binary.LittleEndian
+
+// Section is one parsed or to-be-written section.
+type Section struct {
+	Name  string
+	Type  uint32
+	Flags uint32
+	Addr  uint32
+	Data  []byte
+	Link  uint32 // for symtab/dynsym: index of the string table section
+	Align uint32
+}
+
+// Contains reports whether addr falls inside the section's address range.
+func (s *Section) Contains(addr uint32) bool {
+	return addr >= s.Addr && addr < s.Addr+uint32(len(s.Data))
+}
+
+// Writable reports whether the section is mapped writable (.data, .got).
+func (s *Section) Writable() bool { return s.Flags&shfWrite != 0 }
+
+// Symbol is one symbol-table entry.
+type Symbol struct {
+	Name    string
+	Value   uint32
+	Size    uint32
+	Type    int // sttFunc or sttObject
+	Section string
+}
+
+// IsFunc reports whether the symbol names a function.
+func (s Symbol) IsFunc() bool { return s.Type == sttFunc }
+
+func symInfo(bind, typ int) byte { return byte(bind<<4 | typ&0xf) }
+
+// strtab accumulates a string table.
+type strtab struct {
+	buf []byte
+	off map[string]uint32
+}
+
+func newStrtab() *strtab {
+	return &strtab{buf: []byte{0}, off: map[string]uint32{"": 0}}
+}
+
+func (st *strtab) add(s string) uint32 {
+	if o, ok := st.off[s]; ok {
+		return o
+	}
+	o := uint32(len(st.buf))
+	st.buf = append(st.buf, s...)
+	st.buf = append(st.buf, 0)
+	st.off[s] = o
+	return o
+}
+
+// lookup resolves a string-table offset to the NUL-terminated string there.
+func strAt(tab []byte, off uint32) string {
+	if off >= uint32(len(tab)) {
+		return ""
+	}
+	end := off
+	for end < uint32(len(tab)) && tab[end] != 0 {
+		end++
+	}
+	return string(tab[off:end])
+}

@@ -1,0 +1,317 @@
+package bin
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/x86"
+)
+
+// File is a parsed ELF image.
+type File struct {
+	Entry    uint32
+	Sections []Section
+	Symbols  []Symbol // from .symtab; empty in stripped binaries
+	Imports  []Symbol // from .dynsym; survives stripping
+}
+
+// Read parses an ELF32 image produced by Link (or Strip).
+func Read(img []byte) (*File, error) {
+	if len(img) < ehSize || img[0] != elfMagic0 || img[1] != 'E' || img[2] != 'L' || img[3] != 'F' {
+		return nil, fmt.Errorf("bin: not an ELF image")
+	}
+	if img[4] != elfClass32 || img[5] != elfData2LSB {
+		return nil, fmt.Errorf("bin: not a little-endian ELF32 image")
+	}
+	f := &File{Entry: le.Uint32(img[24:])}
+	shoff := le.Uint32(img[32:])
+	shnum := int(le.Uint16(img[48:]))
+	shstrndx := int(le.Uint16(img[50:]))
+	if shoff == 0 || shnum == 0 {
+		return nil, fmt.Errorf("bin: missing section headers")
+	}
+	type rawSH struct {
+		nameOff, typ, flags, addr, off, size, link, align uint32
+	}
+	raw := make([]rawSH, shnum)
+	for i := 0; i < shnum; i++ {
+		base := shoff + uint32(i)*shSize
+		if int(base)+shSize > len(img) {
+			return nil, fmt.Errorf("bin: section header %d out of range", i)
+		}
+		sh := img[base:]
+		raw[i] = rawSH{
+			nameOff: le.Uint32(sh[0:]), typ: le.Uint32(sh[4:]),
+			flags: le.Uint32(sh[8:]), addr: le.Uint32(sh[12:]),
+			off: le.Uint32(sh[16:]), size: le.Uint32(sh[20:]),
+			link: le.Uint32(sh[24:]), align: le.Uint32(sh[32:]),
+		}
+	}
+	if shstrndx >= shnum {
+		return nil, fmt.Errorf("bin: bad shstrndx")
+	}
+	shstr := sectionData(img, raw[shstrndx].off, raw[shstrndx].size)
+	for i := 0; i < shnum; i++ {
+		r := raw[i]
+		data := sectionData(img, r.off, r.size)
+		if r.typ == shtNull {
+			data = nil
+		}
+		f.Sections = append(f.Sections, Section{
+			Name: strAt(shstr, r.nameOff), Type: r.typ, Flags: r.flags,
+			Addr: r.addr, Data: data, Link: r.link, Align: r.align,
+		})
+	}
+	var err error
+	if f.Symbols, err = f.parseSyms(".symtab"); err != nil {
+		return nil, err
+	}
+	if f.Imports, err = f.parseSyms(".dynsym"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func sectionData(img []byte, off, size uint32) []byte {
+	if int(off) > len(img) || int(off+size) > len(img) {
+		return nil
+	}
+	return img[off : off+size]
+}
+
+func (f *File) parseSyms(table string) ([]Symbol, error) {
+	sec := f.Section(table)
+	if sec == nil {
+		return nil, nil
+	}
+	if int(sec.Link) >= len(f.Sections) {
+		return nil, fmt.Errorf("bin: %s has bad string table link", table)
+	}
+	strs := f.Sections[sec.Link].Data
+	var out []Symbol
+	for off := stSize; off+stSize <= len(sec.Data); off += stSize {
+		e := sec.Data[off:]
+		secIdx := int(le.Uint16(e[14:]))
+		secName := ""
+		if secIdx < len(f.Sections) {
+			secName = f.Sections[secIdx].Name
+		}
+		out = append(out, Symbol{
+			Name:    strAt(strs, le.Uint32(e[0:])),
+			Value:   le.Uint32(e[4:]),
+			Size:    le.Uint32(e[8:]),
+			Type:    int(e[12] & 0xf),
+			Section: secName,
+		})
+	}
+	return out, nil
+}
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for i := range f.Sections {
+		if f.Sections[i].Name == name {
+			return &f.Sections[i]
+		}
+	}
+	return nil
+}
+
+// Stripped reports whether the image lacks a local symbol table.
+func (f *File) Stripped() bool { return f.Section(".symtab") == nil }
+
+// ImportAt returns the name of the imported function whose PLT stub starts
+// at addr.
+func (f *File) ImportAt(addr uint32) (string, bool) {
+	for _, s := range f.Imports {
+		if s.Value == addr {
+			return s.Name, true
+		}
+	}
+	return "", false
+}
+
+// DataAt returns the bytes of the data section containing addr, from addr
+// to the end of the section, together with true. It is used to derive
+// content tokens for global-memory references (paper Sec 4.1).
+func (f *File) DataAt(addr uint32) ([]byte, bool) {
+	for _, name := range []string{".rodata", ".data"} {
+		if s := f.Section(name); s != nil && s.Contains(addr) {
+			return s.Data[addr-s.Addr:], true
+		}
+	}
+	return nil, false
+}
+
+// InText reports whether addr falls inside .text.
+func (f *File) InText(addr uint32) bool {
+	s := f.Section(".text")
+	return s != nil && s.Contains(addr)
+}
+
+// InPLT reports whether addr falls inside .plt.
+func (f *File) InPLT(addr uint32) bool {
+	s := f.Section(".plt")
+	return s != nil && s.Contains(addr)
+}
+
+// FuncImage is one function recovered from an image: its (possibly
+// synthetic) name, start address and code bytes.
+type FuncImage struct {
+	Name string
+	Addr uint32
+	Code []byte
+}
+
+// Functions recovers the functions of the image. With a symbol table the
+// table is authoritative. In stripped images functions are discovered the
+// way real-world disassemblers do: the entry point, every direct-call
+// target inside .text, and every "push ebp; mov ebp, esp" prologue become
+// function starts, and each function extends to the next start. Recovered
+// functions in stripped images get IDA-style sub_XXXXXX names.
+func (f *File) Functions() ([]FuncImage, error) {
+	text := f.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("bin: no .text section")
+	}
+	if !f.Stripped() {
+		var out []FuncImage
+		for _, s := range f.Symbols {
+			if !s.IsFunc() || s.Section != ".text" {
+				continue
+			}
+			start := s.Value - text.Addr
+			end := start + s.Size
+			if int(end) > len(text.Data) || start > end {
+				return nil, fmt.Errorf("bin: symbol %s out of range", s.Name)
+			}
+			out = append(out, FuncImage{Name: s.Name, Addr: s.Value, Code: text.Data[start:end]})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+		return out, nil
+	}
+	starts := f.discoverFuncStarts(text)
+	var out []FuncImage
+	for i, addr := range starts {
+		end := text.Addr + uint32(len(text.Data))
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		code := text.Data[addr-text.Addr : end-text.Addr]
+		// Trim inter-function alignment padding (zero bytes).
+		for len(code) > 0 && code[len(code)-1] == 0 {
+			code = code[:len(code)-1]
+		}
+		if len(code) == 0 {
+			continue
+		}
+		out = append(out, FuncImage{
+			Name: fmt.Sprintf("sub_%X", addr),
+			Addr: addr,
+			Code: code,
+		})
+	}
+	return out, nil
+}
+
+// discoverFuncStarts scans stripped text for function entry points.
+func (f *File) discoverFuncStarts(text *Section) []uint32 {
+	starts := map[uint32]bool{f.Entry: true}
+	if !text.Contains(f.Entry) {
+		delete(starts, f.Entry)
+		starts[text.Addr] = true
+	}
+	// Pass 1: prologue scan. The pattern 55 89 E5 (push ebp; mov ebp,esp)
+	// marks a conventional function entry.
+	prologue := []byte{0x55, 0x89, 0xE5}
+	for i := 0; i+len(prologue) <= len(text.Data); i++ {
+		if bytes.Equal(text.Data[i:i+len(prologue)], prologue) {
+			starts[text.Addr+uint32(i)] = true
+		}
+	}
+	// Pass 2: decode from every known start, collecting direct-call
+	// targets inside .text; iterate until no new starts appear.
+	for {
+		added := false
+		for _, t := range f.callTargets(text, starts) {
+			if !starts[t] {
+				starts[t] = true
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	out := make([]uint32, 0, len(starts))
+	for a := range starts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (f *File) callTargets(text *Section, starts map[uint32]bool) []uint32 {
+	sorted := make([]uint32, 0, len(starts))
+	for a := range starts {
+		sorted = append(sorted, a)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var targets []uint32
+	for i, addr := range sorted {
+		end := text.Addr + uint32(len(text.Data))
+		if i+1 < len(sorted) {
+			end = sorted[i+1]
+		}
+		code := text.Data[addr-text.Addr : end-text.Addr]
+		p := 0
+		for p < len(code) {
+			in, n, err := x86.Decode(code[p:], addr+uint32(p))
+			if err != nil {
+				break // padding or data; stop this region
+			}
+			if in.IsCall() && len(in.Ops) == 1 && !in.Ops[0].IsMem() && in.Ops[0].Arg.IsImm() {
+				t := uint32(in.Ops[0].Arg.Imm)
+				if text.Contains(t) {
+					targets = append(targets, t)
+				}
+			}
+			p += n
+		}
+	}
+	return targets
+}
+
+// Strip returns a copy of the image without .symtab and .strtab, leaving
+// .dynsym/.dynstr intact — the shape of a stripped dynamically-linked
+// executable.
+func Strip(img []byte) ([]byte, error) {
+	f, err := Read(img)
+	if err != nil {
+		return nil, err
+	}
+	var keep []Section
+	var dynsymIdx, dynstrIdx uint32
+	idx := uint32(1)
+	for _, s := range f.Sections {
+		if s.Type == shtNull || s.Name == ".shstrtab" || s.Name == ".symtab" || s.Name == ".strtab" {
+			continue
+		}
+		switch s.Name {
+		case ".dynsym":
+			dynsymIdx = idx
+		case ".dynstr":
+			dynstrIdx = idx
+		}
+		keep = append(keep, s)
+		idx++
+	}
+	for i := range keep {
+		if keep[i].Name == ".dynsym" {
+			_ = dynsymIdx
+			keep[i].Link = dynstrIdx
+		}
+	}
+	return writeELF(keep, f.Entry)
+}

@@ -1,0 +1,310 @@
+package bin
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/x86"
+)
+
+// Func is one function to be linked into an image: a body of instructions
+// plus the label map produced alongside it (label name -> instruction
+// index).
+type Func struct {
+	Name   string
+	Insts  []asm.Inst
+	Labels map[string]int
+}
+
+// Datum is one named blob placed in .rodata (string literals, globals).
+type Datum struct {
+	Name string
+	Data []byte
+}
+
+// TableReloc patches one 4-byte entry of a datum with the absolute
+// address of a label inside a function — the mechanism behind switch jump
+// tables.
+type TableReloc struct {
+	Datum string // name of the datum holding the table
+	Entry int    // 4-byte entry index within the datum
+	Func  string // function containing the label
+	Label string
+}
+
+// Program is the linker input.
+type Program struct {
+	Funcs       []Func
+	Data        []Datum  // read-only data (.rodata): strings, jump tables
+	Vars        []Datum  // writable initialized globals (.data)
+	Imports     []string // external function names reachable through the PLT
+	TableRelocs []TableReloc
+	// Align16 pads function starts to 16 bytes (off under -Os).
+	Align16 bool
+}
+
+const pltStubSize = 6 // FF 25 <abs32>: jmp [got entry]
+
+// Link assembles every function, lays out .text/.plt/.got/.rodata, resolves
+// all fixups and returns a complete ELF32 image.
+func Link(p *Program) ([]byte, error) {
+	type assembled struct {
+		code      []byte
+		fixups    []x86.Fixup
+		labelOffs map[string]int
+		addr      uint32
+	}
+	funcs := make([]assembled, len(p.Funcs))
+	funcAddr := make(map[string]uint32)
+	funcIdx := make(map[string]int)
+
+	// Layout .text.
+	textAddr := Base + 0x60
+	cur := textAddr
+	for i, f := range p.Funcs {
+		code, fixups, labelOffs, err := x86.AssembleFuncEx(f.Insts, f.Labels)
+		if err != nil {
+			return nil, fmt.Errorf("bin: function %s: %w", f.Name, err)
+		}
+		if p.Align16 {
+			cur = (cur + 15) &^ 15
+		}
+		if _, dup := funcAddr[f.Name]; dup {
+			return nil, fmt.Errorf("bin: duplicate function %s", f.Name)
+		}
+		funcs[i] = assembled{code: code, fixups: fixups, labelOffs: labelOffs, addr: cur}
+		funcAddr[f.Name] = cur
+		funcIdx[f.Name] = i
+		cur += uint32(len(code))
+	}
+	text := make([]byte, cur-textAddr)
+	for i, f := range funcs {
+		copy(text[f.addr-textAddr:], funcs[i].code)
+	}
+
+	// Layout .plt and .got.
+	pltAddr := (cur + 15) &^ 15
+	imports := append([]string(nil), p.Imports...)
+	sort.Strings(imports)
+	gotAddr := pltAddr + uint32(len(imports)*pltStubSize)
+	gotAddr = (gotAddr + 3) &^ 3
+	plt := make([]byte, len(imports)*pltStubSize)
+	importAddr := make(map[string]uint32, len(imports))
+	for i := range imports {
+		stub := pltAddr + uint32(i*pltStubSize)
+		importAddr[imports[i]] = stub
+		got := gotAddr + uint32(i*4)
+		plt[i*pltStubSize] = 0xFF
+		plt[i*pltStubSize+1] = 0x25
+		le.PutUint32(plt[i*pltStubSize+2:], got)
+	}
+	got := make([]byte, len(imports)*4)
+
+	// Layout .rodata.
+	roAddr := (gotAddr + uint32(len(got)) + 15) &^ 15
+	dataAddr := make(map[string]uint32, len(p.Data))
+	var rodata []byte
+	for _, d := range p.Data {
+		if _, dup := dataAddr[d.Name]; dup {
+			return nil, fmt.Errorf("bin: duplicate datum %s", d.Name)
+		}
+		dataAddr[d.Name] = roAddr + uint32(len(rodata))
+		rodata = append(rodata, d.Data...)
+		for len(rodata)%4 != 0 {
+			rodata = append(rodata, 0)
+		}
+	}
+
+	// Layout .data (writable globals) after .rodata.
+	dataSecAddr := (roAddr + uint32(len(rodata)) + 15) &^ 15
+	var dataSec []byte
+	for _, d := range p.Vars {
+		if _, dup := dataAddr[d.Name]; dup {
+			return nil, fmt.Errorf("bin: duplicate datum %s", d.Name)
+		}
+		dataAddr[d.Name] = dataSecAddr + uint32(len(dataSec))
+		dataSec = append(dataSec, d.Data...)
+		for len(dataSec)%4 != 0 {
+			dataSec = append(dataSec, 0)
+		}
+	}
+
+	// Apply jump-table relocations into .rodata.
+	for _, tr := range p.TableRelocs {
+		base, ok := dataAddr[tr.Datum]
+		if !ok {
+			return nil, fmt.Errorf("bin: table reloc references unknown datum %q", tr.Datum)
+		}
+		fi, ok := funcIdx[tr.Func]
+		if !ok {
+			return nil, fmt.Errorf("bin: table reloc references unknown function %q", tr.Func)
+		}
+		off, ok := funcs[fi].labelOffs[tr.Label]
+		if !ok {
+			return nil, fmt.Errorf("bin: table reloc references unknown label %q in %s", tr.Label, tr.Func)
+		}
+		pos := base - roAddr + uint32(4*tr.Entry)
+		if pos+4 > uint32(len(rodata)) {
+			return nil, fmt.Errorf("bin: table reloc entry %d out of range for %q", tr.Entry, tr.Datum)
+		}
+		le.PutUint32(rodata[pos:], funcs[fi].addr+uint32(off))
+	}
+
+	// Resolve fixups.
+	resolve := func(fx x86.Fixup) (uint32, error) {
+		switch fx.Class {
+		case asm.SymFunc:
+			if a, ok := funcAddr[fx.Sym]; ok {
+				return a, nil
+			}
+			if a, ok := importAddr[fx.Sym]; ok {
+				return a, nil
+			}
+			return 0, fmt.Errorf("bin: undefined function %q", fx.Sym)
+		case asm.SymData:
+			if a, ok := dataAddr[fx.Sym]; ok {
+				return a, nil
+			}
+			return 0, fmt.Errorf("bin: undefined datum %q", fx.Sym)
+		default:
+			return 0, fmt.Errorf("bin: unresolvable symbol %q (class %v)", fx.Sym, fx.Class)
+		}
+	}
+	for i := range funcs {
+		f := &funcs[i]
+		body := text[f.addr-textAddr : f.addr-textAddr+uint32(len(f.code))]
+		for _, fx := range f.fixups {
+			addr, err := resolve(fx)
+			if err != nil {
+				return nil, fmt.Errorf("bin: in %s: %w", p.Funcs[i].Name, err)
+			}
+			x86.ApplyFixup(body, fx, addr, f.addr)
+		}
+	}
+
+	// Symbol tables. .dynsym holds import stubs (survives stripping);
+	// .symtab holds local function and data symbols.
+	dynstr := newStrtab()
+	dynsym := make([]byte, stSize) // null entry
+	for _, name := range imports {
+		var e [stSize]byte
+		le.PutUint32(e[0:], dynstr.add(name))
+		le.PutUint32(e[4:], importAddr[name])
+		le.PutUint32(e[8:], pltStubSize)
+		e[12] = symInfo(stbGlobal, sttFunc)
+		e[14] = 2 // .plt section index (see emit order below)
+		dynsym = append(dynsym, e[:]...)
+	}
+	strs := newStrtab()
+	symtab := make([]byte, stSize)
+	for i, f := range p.Funcs {
+		var e [stSize]byte
+		le.PutUint32(e[0:], strs.add(f.Name))
+		le.PutUint32(e[4:], funcs[i].addr)
+		le.PutUint32(e[8:], uint32(len(funcs[i].code)))
+		e[12] = symInfo(stbLocal, sttFunc)
+		e[14] = 1 // .text
+		symtab = append(symtab, e[:]...)
+	}
+	for _, d := range p.Data {
+		var e [stSize]byte
+		le.PutUint32(e[0:], strs.add(d.Name))
+		le.PutUint32(e[4:], dataAddr[d.Name])
+		le.PutUint32(e[8:], uint32(len(d.Data)))
+		e[12] = symInfo(stbLocal, sttObject)
+		e[14] = 4 // .rodata
+		symtab = append(symtab, e[:]...)
+	}
+	for _, d := range p.Vars {
+		var e [stSize]byte
+		le.PutUint32(e[0:], strs.add(d.Name))
+		le.PutUint32(e[4:], dataAddr[d.Name])
+		le.PutUint32(e[8:], uint32(len(d.Data)))
+		e[12] = symInfo(stbLocal, sttObject)
+		e[14] = 5 // .data
+		symtab = append(symtab, e[:]...)
+	}
+
+	sections := []Section{
+		{Name: ".text", Type: shtProgbits, Flags: shfAlloc | shfExecinstr, Addr: textAddr, Data: text, Align: 16},
+		{Name: ".plt", Type: shtProgbits, Flags: shfAlloc | shfExecinstr, Addr: pltAddr, Data: plt, Align: 16},
+		{Name: ".got", Type: shtProgbits, Flags: shfAlloc | shfWrite, Addr: gotAddr, Data: got, Align: 4},
+		{Name: ".rodata", Type: shtProgbits, Flags: shfAlloc, Addr: roAddr, Data: rodata, Align: 16},
+		{Name: ".data", Type: shtProgbits, Flags: shfAlloc | shfWrite, Addr: dataSecAddr, Data: dataSec, Align: 16},
+		{Name: ".dynsym", Type: shtDynsym, Data: dynsym, Link: 7, Align: 4},
+		{Name: ".dynstr", Type: shtStrtab, Data: dynstr.buf, Align: 1},
+		{Name: ".symtab", Type: shtSymtab, Data: symtab, Link: 9, Align: 4},
+		{Name: ".strtab", Type: shtStrtab, Data: strs.buf, Align: 1},
+	}
+	return writeELF(sections, textAddr)
+}
+
+// writeELF serializes sections (which must not include the null section or
+// .shstrtab; both are added here) into an ELF32 image.
+func writeELF(sections []Section, entry uint32) ([]byte, error) {
+	shstr := newStrtab()
+	shstr.add(".shstrtab")
+	for _, s := range sections {
+		shstr.add(s.Name)
+	}
+	all := make([]Section, 0, len(sections)+2)
+	all = append(all, Section{}) // null section
+	all = append(all, sections...)
+	all = append(all, Section{Name: ".shstrtab", Type: shtStrtab, Data: shstr.buf, Align: 1})
+
+	// File layout: header, section contents, section header table.
+	offs := make([]uint32, len(all))
+	off := uint32(ehSize)
+	for i := 1; i < len(all); i++ {
+		align := all[i].Align
+		if align == 0 {
+			align = 1
+		}
+		off = (off + align - 1) &^ (align - 1)
+		offs[i] = off
+		off += uint32(len(all[i].Data))
+	}
+	shoff := (off + 3) &^ 3
+
+	buf := make([]byte, shoff+uint32(len(all))*shSize)
+	// ELF header.
+	buf[0], buf[1], buf[2], buf[3] = elfMagic0, 'E', 'L', 'F'
+	buf[4] = elfClass32
+	buf[5] = elfData2LSB
+	buf[6] = evCurrent
+	le.PutUint16(buf[16:], etExec)
+	le.PutUint16(buf[18:], emI386)
+	le.PutUint32(buf[20:], evCurrent)
+	le.PutUint32(buf[24:], entry)
+	le.PutUint32(buf[32:], shoff)
+	le.PutUint16(buf[40:], ehSize)
+	le.PutUint16(buf[46:], shSize)
+	le.PutUint16(buf[48:], uint16(len(all)))
+	le.PutUint16(buf[50:], uint16(len(all)-1)) // shstrndx
+
+	for i := 1; i < len(all); i++ {
+		copy(buf[offs[i]:], all[i].Data)
+	}
+	for i, s := range all {
+		sh := buf[shoff+uint32(i)*shSize:]
+		le.PutUint32(sh[0:], shstr.off[s.Name])
+		le.PutUint32(sh[4:], s.Type)
+		le.PutUint32(sh[8:], s.Flags)
+		le.PutUint32(sh[12:], s.Addr)
+		if i > 0 {
+			le.PutUint32(sh[16:], offs[i])
+		}
+		le.PutUint32(sh[20:], uint32(len(s.Data)))
+		le.PutUint32(sh[24:], s.Link)
+		align := s.Align
+		if align == 0 {
+			align = 1
+		}
+		le.PutUint32(sh[32:], align)
+		if s.Type == shtSymtab || s.Type == shtDynsym {
+			le.PutUint32(sh[36:], stSize)
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,289 @@
+// Package cfg builds control-flow graphs of basic blocks from instruction
+// sequences, in both decoded-binary form (jump targets are absolute
+// addresses) and listing form (jump targets are labels).
+//
+// A basic block is a sequence of instructions with a single entry point and
+// at most one exit jump at the end (paper Section 3).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/x86"
+)
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Addr  uint32     // address of the first instruction (0 in listing form)
+	Insts []asm.Inst // including the terminating jump, if any
+	Succs []int      // indices of successor blocks, in CFG order
+}
+
+// Body returns the block's instructions without the trailing jump — the
+// StripJumps helper of paper Algorithm 2. Calls are kept: only jumps are
+// control-flow artifacts of layout.
+func (b *Block) Body() []asm.Inst {
+	if n := len(b.Insts); n > 0 && b.Insts[n-1].IsJump() {
+		return b.Insts[:n-1]
+	}
+	return b.Insts
+}
+
+// Graph is a function's control-flow graph.
+type Graph struct {
+	Name   string
+	Blocks []*Block
+	Entry  int
+}
+
+// NumInsts returns the total instruction count over all blocks.
+func (g *Graph) NumInsts() int {
+	n := 0
+	for _, b := range g.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// String renders the graph as a numbered block listing with successor
+// arrows, for debugging and the disasm tool.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "block %d", b.Index)
+		if b.Addr != 0 {
+			fmt.Fprintf(&sb, " @ %#x", b.Addr)
+		}
+		if len(b.Succs) > 0 {
+			fmt.Fprintf(&sb, " -> %v", b.Succs)
+		}
+		sb.WriteString(":\n")
+		for _, in := range b.Insts {
+			fmt.Fprintf(&sb, "\t%s\n", in)
+		}
+	}
+	return sb.String()
+}
+
+// Dot renders the graph in Graphviz DOT syntax, with instruction listings
+// as node labels.
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n\tnode [shape=box, fontname=\"monospace\"];\n", g.Name)
+	for _, b := range g.Blocks {
+		var lines []string
+		for _, in := range b.Insts {
+			lines = append(lines, in.String())
+		}
+		label := fmt.Sprintf("block %d\\l", b.Index) + strings.Join(lines, "\\l") + "\\l"
+		fmt.Fprintf(&sb, "\tn%d [label=%q];\n", b.Index, label)
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, "\tn%d -> n%d;\n", b.Index, s)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// TableReader resolves an indirect-jump table: given the absolute address
+// of a jump table, it returns the code addresses stored there (typically by
+// reading .rodata until an entry leaves the function), or nil when the
+// address is not a recognizable table.
+type TableReader func(tableAddr uint32) []uint32
+
+// Build constructs a CFG from decoded binary instructions. Jump targets are
+// absolute-address immediates; targets outside the function are treated as
+// having no local successor (tail jumps).
+func Build(name string, dec []x86.Decoded) (*Graph, error) {
+	return BuildWithTables(name, dec, nil)
+}
+
+// BuildWithTables is Build with jump-table recovery: an indirect jump of
+// the form jmp [table+reg*4] consults readTable for its successor set, the
+// way real-world disassemblers recover switch statements.
+func BuildWithTables(name string, dec []x86.Decoded, readTable TableReader) (*Graph, error) {
+	if len(dec) == 0 {
+		return nil, fmt.Errorf("cfg: empty function %s", name)
+	}
+	addrIndex := make(map[uint32]int, len(dec))
+	for i, d := range dec {
+		addrIndex[d.Addr] = i
+	}
+	targets := func(i int) []int {
+		in := dec[i].Inst
+		if len(in.Ops) != 1 {
+			return nil
+		}
+		op := in.Ops[0]
+		if !op.IsMem() {
+			if !op.Arg.IsImm() {
+				return nil
+			}
+			if ti, ok := addrIndex[uint32(op.Arg.Imm)]; ok {
+				return []int{ti}
+			}
+			return nil
+		}
+		// Indirect jump: recover [table+reg*4].
+		if readTable == nil || in.Mnemonic != "jmp" {
+			return nil
+		}
+		tbl, ok := jumpTableAddr(op)
+		if !ok {
+			return nil
+		}
+		var out []int
+		for _, addr := range readTable(tbl) {
+			if ti, ok := addrIndex[addr]; ok {
+				out = append(out, ti)
+			}
+		}
+		return out
+	}
+	insts := make([]asm.Inst, len(dec))
+	addrs := make([]uint32, len(dec))
+	for i, d := range dec {
+		insts[i] = d.Inst
+		addrs[i] = d.Addr
+	}
+	return build(name, insts, addrs, targets)
+}
+
+// jumpTableAddr recognizes the memory-operand shape of a jump table
+// dispatch ([imm+reg*4]) and returns the table's base address.
+func jumpTableAddr(op asm.Operand) (uint32, bool) {
+	var base int64 = -1
+	scaled := false
+	terms := op.Mem
+	for i := 0; i < len(terms); i++ {
+		t := terms[i]
+		if i+1 < len(terms) && terms[i+1].Op == asm.OpMul {
+			if t.Arg.IsReg() && terms[i+1].Arg.IsImm() && terms[i+1].Arg.Imm == 4 {
+				scaled = true
+			}
+			i++
+			continue
+		}
+		if t.Arg.IsImm() && t.Op == asm.OpAdd {
+			base = t.Arg.Imm
+		}
+	}
+	if base < 0 || !scaled {
+		return 0, false
+	}
+	return uint32(base), true
+}
+
+// BuildListing constructs a CFG from a parsed listing whose jump targets
+// are label symbols resolved through labels (label name -> instruction
+// index).
+func BuildListing(name string, insts []asm.Inst, labels map[string]int) (*Graph, error) {
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("cfg: empty function %s", name)
+	}
+	targets := func(i int) []int {
+		in := insts[i]
+		if len(in.Ops) != 1 || in.Ops[0].IsMem() || !in.Ops[0].Arg.IsSym() {
+			return nil
+		}
+		ti, ok := labels[in.Ops[0].Arg.Sym]
+		if !ok || ti >= len(insts) {
+			return nil
+		}
+		return []int{ti}
+	}
+	return build(name, insts, nil, targets)
+}
+
+func build(name string, insts []asm.Inst, addrs []uint32, targets func(int) []int) (*Graph, error) {
+	n := len(insts)
+	leaders := map[int]bool{0: true}
+	for i, in := range insts {
+		if !in.Terminates() {
+			continue
+		}
+		if i+1 < n {
+			leaders[i+1] = true
+		}
+		if in.IsJump() {
+			for _, ti := range targets(i) {
+				leaders[ti] = true
+			}
+		}
+	}
+	starts := make([]int, 0, len(leaders))
+	for i := range leaders {
+		starts = append(starts, i)
+	}
+	sort.Ints(starts)
+	blockOf := make([]int, n)
+	g := &Graph{Name: name}
+	for bi, s := range starts {
+		end := n
+		if bi+1 < len(starts) {
+			end = starts[bi+1]
+		}
+		b := &Block{Index: bi, Insts: insts[s:end]}
+		if addrs != nil {
+			b.Addr = addrs[s]
+		}
+		g.Blocks = append(g.Blocks, b)
+		for i := s; i < end; i++ {
+			blockOf[i] = bi
+		}
+	}
+	for bi := range starts {
+		end := n
+		if bi+1 < len(starts) {
+			end = starts[bi+1]
+		}
+		last := insts[end-1]
+		b := g.Blocks[bi]
+		switch {
+		case last.IsRet():
+			// no successors
+		case last.IsJump():
+			seen := map[int]bool{}
+			for _, ti := range targets(end - 1) {
+				if !seen[blockOf[ti]] {
+					seen[blockOf[ti]] = true
+					b.Succs = append(b.Succs, blockOf[ti])
+				}
+			}
+			if last.IsCondJump() && end < n && !seen[blockOf[end]] {
+				b.Succs = append(b.Succs, blockOf[end])
+			}
+		default:
+			if end < n {
+				b.Succs = append(b.Succs, blockOf[end])
+			}
+		}
+	}
+	return g, nil
+}
+
+// AvgDegrees returns the average in-degree and out-degree over all blocks,
+// the statistic reported alongside paper Table 1.
+func (g *Graph) AvgDegrees() (in, out float64) {
+	if len(g.Blocks) == 0 {
+		return 0, 0
+	}
+	indeg := make([]int, len(g.Blocks))
+	total := 0
+	for _, b := range g.Blocks {
+		total += len(b.Succs)
+		for _, s := range b.Succs {
+			indeg[s]++
+		}
+	}
+	sumIn := 0
+	for _, d := range indeg {
+		sumIn += d
+	}
+	n := float64(len(g.Blocks))
+	return float64(sumIn) / n, float64(total) / n
+}

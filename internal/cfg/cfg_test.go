@@ -1,0 +1,230 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/x86"
+)
+
+func buildListing(t *testing.T, src string) *Graph {
+	t.Helper()
+	insts, labels, err := asm.ParseListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildListing("test", insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLinearFunction(t *testing.T) {
+	g := buildListing(t, `
+		push ebp
+		mov ebp, esp
+		mov eax, 1
+		pop ebp
+		retn
+	`)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(g.Blocks))
+	}
+	if len(g.Blocks[0].Succs) != 0 {
+		t.Errorf("ret block has successors %v", g.Blocks[0].Succs)
+	}
+	if len(g.Blocks[0].Insts) != 5 {
+		t.Errorf("block has %d instructions, want 5", len(g.Blocks[0].Insts))
+	}
+}
+
+func TestIfThenElse(t *testing.T) {
+	g := buildListing(t, `
+		cmp eax, 1
+		jnz elseb
+		mov ebx, 1
+		jmp done
+	elseb:
+		mov ebx, 2
+	done:
+		retn
+	`)
+	// Blocks: 0 (cmp,jnz), 1 (mov,jmp), 2 (mov), 3 (ret).
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4:\n%s", len(g.Blocks), g)
+	}
+	succ := func(i int) []int { return g.Blocks[i].Succs }
+	if got := succ(0); len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("block 0 succs %v, want [2 1]", got)
+	}
+	if got := succ(1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("block 1 succs %v, want [3]", got)
+	}
+	if got := succ(2); len(got) != 1 || got[0] != 3 {
+		t.Errorf("block 2 succs %v, want [3]", got)
+	}
+	if got := succ(3); len(got) != 0 {
+		t.Errorf("block 3 succs %v, want []", got)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	g := buildListing(t, `
+		mov ecx, 0
+	top:
+		inc ecx
+		cmp ecx, 0Ah
+		jl top
+		retn
+	`)
+	// Blocks: 0 (mov), 1 (inc,cmp,jl), 2 (ret).
+	if len(g.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3:\n%s", len(g.Blocks), g)
+	}
+	s := g.Blocks[1].Succs
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("loop block succs %v, want [1 2] (back edge first)", s)
+	}
+}
+
+func TestBodyStripsJump(t *testing.T) {
+	g := buildListing(t, `
+		cmp eax, 1
+		jz out
+		mov ebx, 2
+	out:
+		retn
+	`)
+	b0 := g.Blocks[0]
+	if n := len(b0.Insts); n != 2 {
+		t.Fatalf("block 0 has %d insts", n)
+	}
+	body := b0.Body()
+	if len(body) != 1 || body[0].Mnemonic != "cmp" {
+		t.Errorf("Body() = %v, want [cmp]", body)
+	}
+	// Ret must NOT be stripped: only jumps are.
+	last := g.Blocks[len(g.Blocks)-1]
+	if len(last.Body()) != 1 {
+		t.Errorf("ret should not be stripped from body")
+	}
+}
+
+func TestBuildFromDecoded(t *testing.T) {
+	insts, labels, err := asm.ParseListing(`
+		cmp eax, 1
+		jnz elseb
+		mov ebx, 1
+		jmp done
+	elseb:
+		mov ebx, 2
+	done:
+		retn
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, err := x86.AssembleFunc(insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := x86.DecodeAll(code, 0x8048100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build("bin", dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4:\n%s", len(g.Blocks), g)
+	}
+	if g.Blocks[0].Addr != 0x8048100 {
+		t.Errorf("entry block addr %#x", g.Blocks[0].Addr)
+	}
+	// Same structure as the listing-built graph.
+	if s := g.Blocks[0].Succs; len(s) != 2 {
+		t.Errorf("entry succs %v", s)
+	}
+}
+
+func TestTailJumpOutside(t *testing.T) {
+	// A jmp to an address outside the decoded range has no local successor.
+	dec := []x86.Decoded{
+		{Inst: asm.MustParse("mov eax, 1"), Addr: 0x100, Len: 5},
+		{Inst: asm.New("jmp", asm.ImmOp(0x9999)), Addr: 0x105, Len: 5},
+	}
+	g, err := Build("tail", dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 1 || len(g.Blocks[0].Succs) != 0 {
+		t.Errorf("tail-jump function should be one block without successors:\n%s", g)
+	}
+}
+
+func TestEmptyFunction(t *testing.T) {
+	if _, err := Build("x", nil); err == nil {
+		t.Error("Build(empty) should fail")
+	}
+	if _, err := BuildListing("x", nil, nil); err == nil {
+		t.Error("BuildListing(empty) should fail")
+	}
+}
+
+func TestAvgDegrees(t *testing.T) {
+	g := buildListing(t, `
+		cmp eax, 1
+		jnz elseb
+		mov ebx, 1
+		jmp done
+	elseb:
+		mov ebx, 2
+	done:
+		retn
+	`)
+	in, out := g.AvgDegrees()
+	// 4 blocks, edges: 0->2, 0->1, 1->3, 2->3 = 4 edges.
+	if want := 1.0; in != want || out != want {
+		t.Errorf("AvgDegrees = %v, %v, want %v", in, out, want)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := buildListing(t, "mov eax, 1\nretn")
+	s := g.String()
+	if !strings.Contains(s, "block 0") || !strings.Contains(s, "mov eax, 1") {
+		t.Errorf("String() missing content:\n%s", s)
+	}
+}
+
+func TestNumInsts(t *testing.T) {
+	g := buildListing(t, `
+		cmp eax, 1
+		jz done
+		inc eax
+	done:
+		retn
+	`)
+	if got := g.NumInsts(); got != 4 {
+		t.Errorf("NumInsts = %d, want 4", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	g := buildListing(t, `
+		cmp eax, 1
+		jz done
+		inc eax
+	done:
+		retn
+	`)
+	dot := g.Dot()
+	for _, want := range []string{"digraph", "n0 -> n", "cmp eax, 1", "shape=box"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot() missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tinyc"
+)
+
+const srcA = `
+int alpha(int a, int b, char *s) {
+	int x = 1;
+	int y = 0;
+	if (a == 1) { printf("(%d) HELLO", x); }
+	else if (a == 2) { printf(s); }
+	while (y < b) { y = y + a; }
+	fprintf(a, "Cmd %d DONE", x);
+	return x + y;
+}
+`
+
+const srcB = `
+int beta(int a, int b, char *s) {
+	int acc = 0;
+	int i = 0;
+	for (i = 0; i < a; i = i + 1) { acc = acc * 31 + i % 7; }
+	while (b > 0) { acc = acc + b; b = b - 1; }
+	return acc;
+}
+`
+
+// buildExe writes a compiled, stripped executable into dir.
+func buildExe(t *testing.T, dir, name, src string, seed int64) string {
+	t.Helper()
+	img, err := tinyc.BuildStripped(src, tinyc.Config{Opt: tinyc.O2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := Run(&buf, args)
+	return buf.String(), err
+}
+
+func TestIndexSearchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "code.db")
+	a1 := buildExe(t, dir, "a1.bin", srcA+srcB, 11)
+	a2 := buildExe(t, dir, "a2.bin", srcA, 23)
+	q := buildExe(t, dir, "q.bin", srcA, 99)
+
+	out, err := run(t, "index", "-db", db, a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "indexed") {
+		t.Errorf("index output: %s", out)
+	}
+	out, err = run(t, "search", "-db", db, "-exe", q, "-top", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two alpha embeddings must appear as matches ('*').
+	if got := strings.Count(out, "*"); got < 2 {
+		t.Errorf("expected >=2 matches in:\n%s", out)
+	}
+	if !strings.Contains(out, "query:") {
+		t.Errorf("missing query header:\n%s", out)
+	}
+}
+
+func TestCompareExplain(t *testing.T) {
+	dir := t.TempDir()
+	a := buildExe(t, dir, "a.bin", srcA, 5)
+	b := buildExe(t, dir, "b.bin", srcA, 8)
+	out, err := run(t, "compare", "-explain", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "similarity") || !strings.Contains(out, "match=true") {
+		t.Errorf("compare output:\n%s", out)
+	}
+	if !strings.Contains(out, "tracelet") {
+		t.Errorf("explain output missing:\n%s", out)
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	dir := t.TempDir()
+	a := buildExe(t, dir, "a.bin", srcA, 5)
+	out, err := run(t, "disasm", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"block 0", "call _printf", "retn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disasm missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "code.db")
+	a := buildExe(t, dir, "a.bin", srcA+srcB, 3)
+	if _, err := run(t, "index", "-db", db, a); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "stats", "-db", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"functions: 2", "basic blocks:", "3-tracelets:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	if _, err := run(t); err == nil {
+		t.Error("no args should error")
+	}
+	if _, err := run(t, "bogus"); err == nil {
+		t.Error("unknown command should error")
+	}
+	if _, err := run(t, "search", "-db", "/nonexistent/x.db", "-exe", "y"); err == nil {
+		t.Error("missing db should error")
+	}
+	if _, err := run(t, "search"); err == nil {
+		t.Error("search without -exe should error")
+	}
+	if _, err := run(t, "compare", "one.bin"); err == nil {
+		t.Error("compare with one arg should error")
+	}
+	if _, err := run(t, "experiments", "-scale", "bogus"); err == nil {
+		t.Error("bad scale should error")
+	}
+	if _, err := run(t, "experiments", "nosuch"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestSearchByFunctionName(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "code.db")
+	a := buildExe(t, dir, "a.bin", srcA+srcB, 3)
+	if _, err := run(t, "index", "-db", db, a); err != nil {
+		t.Fatal(err)
+	}
+	// Find the real recovered name via disasm, then search by it.
+	out, err := run(t, "disasm", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "; sub_") {
+			name = strings.Fields(line)[1]
+			break
+		}
+	}
+	if name == "" {
+		t.Fatalf("no function name found in disasm:\n%s", out)
+	}
+	if _, err := run(t, "search", "-db", db, "-exe", a, "-fn", name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(t, "search", "-db", db, "-exe", a, "-fn", "nosuch"); err == nil {
+		t.Error("unknown -fn should error")
+	}
+}
+
+func TestTracelets(t *testing.T) {
+	dir := t.TempDir()
+	a := buildExe(t, dir, "a.bin", srcA, 5)
+	out, err := run(t, "tracelets", "-k", "2", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2-tracelets") || !strings.Contains(out, "-- tracelet 0") {
+		t.Errorf("tracelets output:\n%s", out)
+	}
+	if _, err := run(t, "tracelets"); err == nil {
+		t.Error("tracelets without args should error")
+	}
+}
+
+func TestEmulate(t *testing.T) {
+	dir := t.TempDir()
+	a := buildExe(t, dir, "a.bin", srcB, 5)
+	out, err := run(t, "emulate", "-args", "4, 2", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beta(4,2): acc = sum of (acc*31 + i%7) over i<4, then +2+1.
+	if !strings.Contains(out, "steps") {
+		t.Errorf("emulate output:\n%s", out)
+	}
+	if _, err := run(t, "emulate", "-args", "zap", a); err == nil {
+		t.Error("bad args should error")
+	}
+	if _, err := run(t, "emulate"); err == nil {
+		t.Error("missing exe should error")
+	}
+}
+
+func TestDisasmDot(t *testing.T) {
+	dir := t.TempDir()
+	a := buildExe(t, dir, "a.bin", srcA, 5)
+	out, err := run(t, "disasm", "-dot", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "->") {
+		t.Errorf("dot output:\n%s", out)
+	}
+}

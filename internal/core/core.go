@@ -1,0 +1,321 @@
+// Package core implements function-to-function similarity by tracelet
+// decomposition (paper Section 4.2, Algorithm 1): both functions are
+// decomposed into k-tracelets, every reference tracelet is compared
+// against every target tracelet — alignment, constraint-based rewriting,
+// re-scoring — and the fraction of reference tracelets that found a match
+// above the tracelet threshold β becomes the function similarity score,
+// thresholded by α for a match verdict.
+//
+// The block-granularity optimization of Section 5.2 is applied: alignments
+// are computed per basic-block pair and cached, so a block shared by many
+// tracelets is aligned once per target block.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/align"
+	"repro/internal/asm"
+	"repro/internal/prep"
+	"repro/internal/rewrite"
+	"repro/internal/tracelet"
+)
+
+// Options configures the matcher. The zero value is not useful; use
+// DefaultOptions.
+type Options struct {
+	K     int          // tracelet size in basic blocks
+	Beta  float64      // tracelet match threshold (paper β, 0..1)
+	Alpha float64      // function coverage-rate threshold (paper α, 0..1)
+	Norm  align.Method // score normalization
+
+	// UseRewrite enables the constraint-based rewrite engine for tracelet
+	// pairs that do not match syntactically (paper Section 4.4).
+	UseRewrite bool
+	// RewriteSkipBelow skips the rewrite attempt for pairs whose
+	// pre-rewrite normalized score is below this value — the postmortem
+	// optimization of Section 6.3 (tracelets scoring below 50% are not
+	// improved by rewriting). Zero always attempts the rewrite.
+	RewriteSkipBelow float64
+	// DedupeQuery evaluates each distinct reference tracelet once and
+	// multiplies the verdict across identical copies — one of the
+	// search-engine optimizations the paper's prototype deferred
+	// (Section 6.3). It never changes scores, only work.
+	DedupeQuery bool
+	// Workers bounds parallelism in CompareMany; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the configuration the paper found best: k=3,
+// β=0.8 (anywhere in the robust 0.7-0.9 plateau of Table 2), ratio
+// normalization, rewriting enabled with the 50% skip optimization.
+func DefaultOptions() Options {
+	return Options{
+		K:                3,
+		Beta:             0.8,
+		Alpha:            0.5,
+		Norm:             align.Ratio,
+		UseRewrite:       true,
+		RewriteSkipBelow: 0.5,
+	}
+}
+
+// Decomposed is a function decomposed into k-tracelets with precomputed
+// per-block hashes and identity scores.
+type Decomposed struct {
+	Name      string
+	K         int
+	Tracelets []*tracelet.Tracelet
+	NumBlocks int
+	NumInsts  int
+
+	blockHash [][]uint64 // per tracelet, per block
+	ident     []int      // identity score per tracelet
+}
+
+// Decompose extracts and preprocesses the k-tracelets of a lifted function.
+func Decompose(fn *prep.Function, k int) *Decomposed {
+	ts := tracelet.Extract(fn.Graph, k)
+	d := &Decomposed{
+		Name:      fn.Name,
+		K:         k,
+		Tracelets: ts,
+		NumBlocks: len(fn.Graph.Blocks),
+		NumInsts:  fn.Graph.NumInsts(),
+		blockHash: make([][]uint64, len(ts)),
+		ident:     make([]int, len(ts)),
+	}
+	// Hash every distinct block once; tracelets share block slices.
+	type blockID struct {
+		first *asm.Inst
+		n     int
+	}
+	hashCache := make(map[blockID]uint64)
+	for i, t := range ts {
+		d.blockHash[i] = make([]uint64, len(t.Blocks))
+		for j, blk := range t.Blocks {
+			var id blockID
+			if len(blk) > 0 {
+				id = blockID{&blk[0], len(blk)}
+			}
+			h, ok := hashCache[id]
+			if !ok {
+				h = hashInsts(blk)
+				hashCache[id] = h
+			}
+			d.blockHash[i][j] = h
+		}
+		d.ident[i] = align.IdentityScore(t.Insts())
+	}
+	return d
+}
+
+func hashInsts(insts []asm.Inst) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, in := range insts {
+		for _, b := range []byte(in.String()) {
+			h = (h ^ uint64(b)) * prime64
+		}
+		h = (h ^ '\n') * prime64
+	}
+	return h
+}
+
+// Result is the outcome of one function-to-function comparison.
+type Result struct {
+	Name            string  // target function name
+	SimilarityScore float64 // coverage rate of reference tracelets
+	IsMatch         bool
+
+	RefTracelets   int // |RefTracelets|
+	MatchedDirect  int // matched before any rewrite
+	MatchedRewrite int // matched only after the rewrite
+	PairsCompared  int
+	PairsRewritten int
+}
+
+// Matched returns the total number of matched reference tracelets.
+func (r Result) Matched() int { return r.MatchedDirect + r.MatchedRewrite }
+
+// Matcher compares decomposed functions.
+type Matcher struct {
+	Opts Options
+}
+
+// NewMatcher returns a matcher over the given options.
+func NewMatcher(opts Options) *Matcher {
+	if opts.K <= 0 {
+		opts.K = 3
+	}
+	return &Matcher{Opts: opts}
+}
+
+type blockKey struct{ r, t uint64 }
+
+// Compare computes the similarity of target tgt against reference ref
+// (paper Algorithm 1: FunctionsMatchScore).
+func (m *Matcher) Compare(ref, tgt *Decomposed) Result {
+	res := Result{Name: tgt.Name, RefTracelets: len(ref.Tracelets)}
+	if len(ref.Tracelets) == 0 {
+		return res
+	}
+	cache := make(map[blockKey]*align.Alignment)
+	if m.Opts.DedupeQuery {
+		// Identical reference tracelets match identically: evaluate one
+		// representative per content group and multiply.
+		groups := make(map[uint64][]int, len(ref.Tracelets))
+		order := make([]uint64, 0, len(ref.Tracelets))
+		for ri, r := range ref.Tracelets {
+			h := r.Hash()
+			if _, seen := groups[h]; !seen {
+				order = append(order, h)
+			}
+			groups[h] = append(groups[h], ri)
+		}
+		for _, h := range order {
+			idx := groups[h]
+			ri := idx[0]
+			matched, viaRewrite := m.traceletMatch(ref, tgt, ri, ref.Tracelets[ri], cache, &res)
+			switch {
+			case matched && viaRewrite:
+				res.MatchedRewrite += len(idx)
+			case matched:
+				res.MatchedDirect += len(idx)
+			}
+		}
+	} else {
+		for ri, r := range ref.Tracelets {
+			matched, viaRewrite := m.traceletMatch(ref, tgt, ri, r, cache, &res)
+			switch {
+			case matched && viaRewrite:
+				res.MatchedRewrite++
+			case matched:
+				res.MatchedDirect++
+			}
+		}
+	}
+	res.SimilarityScore = float64(res.Matched()) / float64(len(ref.Tracelets))
+	res.IsMatch = res.SimilarityScore > m.Opts.Alpha
+	return res
+}
+
+// traceletMatch looks for any target tracelet matching reference tracelet
+// ri. It returns (matched, matched-only-after-rewrite).
+func (m *Matcher) traceletMatch(ref, tgt *Decomposed, ri int, r *tracelet.Tracelet,
+	cache map[blockKey]*align.Alignment, res *Result) (bool, bool) {
+
+	rIdent := ref.ident[ri]
+	type rewriteCand struct {
+		ti   int
+		al   align.Alignment
+		norm float64
+	}
+	var cands []rewriteCand
+	for ti, t := range tgt.Tracelets {
+		if t.K() != r.K() {
+			continue
+		}
+		res.PairsCompared++
+		al := m.alignCached(ref, tgt, ri, ti, cache)
+		norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
+		if norm > m.Opts.Beta {
+			return true, false
+		}
+		if m.Opts.UseRewrite && norm >= m.Opts.RewriteSkipBelow {
+			cands = append(cands, rewriteCand{ti: ti, al: al, norm: norm})
+		}
+	}
+	// No syntactic match: attempt rewrites on the plausible candidates,
+	// best pre-score first.
+	for len(cands) > 0 {
+		best := 0
+		for i := range cands {
+			if cands[i].norm > cands[best].norm {
+				best = i
+			}
+		}
+		c := cands[best]
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+
+		t := tgt.Tracelets[c.ti]
+		res.PairsRewritten++
+		rw := rewrite.Rewrite(r.Blocks, t.Blocks, c.al)
+		score := align.ScoreBlocks(r.Blocks, rw.Blocks)
+		tIdent := align.IdentityScore(flatten(rw.Blocks))
+		norm := align.Norm(score, rIdent, tIdent, m.Opts.Norm)
+		if norm > m.Opts.Beta {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// alignCached computes the blockwise alignment of tracelet pair (ri, ti),
+// assembling it from cached per-block alignments.
+func (m *Matcher) alignCached(ref, tgt *Decomposed, ri, ti int,
+	cache map[blockKey]*align.Alignment) align.Alignment {
+
+	r, t := ref.Tracelets[ri], tgt.Tracelets[ti]
+	var out align.Alignment
+	refOff, tgtOff := 0, 0
+	for bi := range r.Blocks {
+		key := blockKey{ref.blockHash[ri][bi], tgt.blockHash[ti][bi]}
+		ba, ok := cache[key]
+		if !ok {
+			a := align.Align(r.Blocks[bi], t.Blocks[bi])
+			ba = &a
+			cache[key] = ba
+		}
+		out.Score += ba.Score
+		for _, p := range ba.Pairs {
+			out.Pairs = append(out.Pairs, align.Pair{Ref: p.Ref + refOff, Tgt: p.Tgt + tgtOff})
+		}
+		for _, d := range ba.Deleted {
+			out.Deleted = append(out.Deleted, d+refOff)
+		}
+		for _, ins := range ba.Inserted {
+			out.Inserted = append(out.Inserted, ins+tgtOff)
+		}
+		refOff += len(r.Blocks[bi])
+		tgtOff += len(t.Blocks[bi])
+	}
+	return out
+}
+
+func flatten(blocks [][]asm.Inst) []asm.Inst {
+	var out []asm.Inst
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// CompareMany compares the reference against every target in parallel and
+// returns results in target order.
+func (m *Matcher) CompareMany(ref *Decomposed, targets []*Decomposed) []Result {
+	workers := m.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Result, len(targets))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = m.Compare(ref, targets[i])
+			}
+		}()
+	}
+	for i := range targets {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

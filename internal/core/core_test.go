@@ -1,0 +1,375 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/prep"
+)
+
+// liftListing builds a prep.Function directly from a listing (no binary
+// round trip needed for matcher unit tests).
+func liftListing(t *testing.T, name, src string) *prep.Function {
+	t.Helper()
+	insts, labels, err := asm.ParseListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.BuildListing(name, insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &prep.Function{Name: name, Graph: g}
+}
+
+// srcA is a small function in the shape of the paper's doCommand1.
+const srcA = `
+	push ebp
+	mov ebp, esp
+	sub esp, 18h
+	mov esi, [ebp+arg_0]
+	mov [ebp+var_4], esi
+	cmp esi, 1
+	jz b3
+	mov ecx, [ebp+var_4]
+	add ecx, esi
+	cmp ecx, 2
+	jnz b5
+	mov edx, [ebp+var_4]
+	push edx
+	push offset aMsg
+	call _printf
+	jmp b5
+b3:
+	mov ecx, 1
+	mov [ebp+var_8], ecx
+	push ecx
+	call _printf
+b5:
+	mov eax, 1
+	mov esp, ebp
+	pop ebp
+	retn
+`
+
+// srcARenamed is srcA compiled "in a different context": registers and
+// stack layout changed throughout, same structure and semantics.
+const srcARenamed = `
+	push ebp
+	mov ebp, esp
+	sub esp, 28h
+	mov ebx, [ebp+arg_0]
+	mov [ebp+var_C], ebx
+	cmp ebx, 1
+	jz b3
+	mov edi, [ebp+var_C]
+	add edi, ebx
+	cmp edi, 2
+	jnz b5
+	mov esi, [ebp+var_C]
+	push esi
+	push offset aMsg
+	call _printf
+	jmp b5
+b3:
+	mov edi, 1
+	mov [ebp+var_18], edi
+	push edi
+	call _printf
+b5:
+	mov eax, 1
+	mov esp, ebp
+	pop ebp
+	retn
+`
+
+// srcB is structurally similar but entirely different code.
+const srcB = `
+	mov eax, [esp+4]
+	test eax, eax
+	jz zero
+	imul eax, eax, 0Ch
+	shr eax, 2
+	jmp out_
+zero:
+	xor eax, eax
+out_:
+	retn
+`
+
+func TestSelfSimilarityIsPerfect(t *testing.T) {
+	m := NewMatcher(DefaultOptions())
+	d := Decompose(liftListing(t, "a", srcA), 3)
+	if len(d.Tracelets) == 0 {
+		t.Fatal("no tracelets extracted")
+	}
+	res := m.Compare(d, d)
+	if res.SimilarityScore != 1.0 {
+		t.Errorf("self similarity = %v, want 1.0", res.SimilarityScore)
+	}
+	if !res.IsMatch {
+		t.Error("self comparison should match")
+	}
+	if res.MatchedRewrite != 0 {
+		t.Errorf("self comparison needed %d rewrites", res.MatchedRewrite)
+	}
+	if res.MatchedDirect != res.RefTracelets {
+		t.Errorf("direct matches %d != ref tracelets %d", res.MatchedDirect, res.RefTracelets)
+	}
+}
+
+func TestRenamedVersionMatchesViaRewrite(t *testing.T) {
+	m := NewMatcher(DefaultOptions())
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+	res := m.Compare(ref, tgt)
+	if !res.IsMatch {
+		t.Errorf("renamed version should match: %+v", res)
+	}
+	if res.SimilarityScore < 0.99 {
+		t.Errorf("renamed similarity = %v, want ~1.0", res.SimilarityScore)
+	}
+	// Some tracelets need the rewrite engine (register/offset changes).
+	if res.MatchedRewrite == 0 {
+		t.Errorf("expected some rewrite-only matches: %+v", res)
+	}
+}
+
+func TestRewriteDisabledMissesRenames(t *testing.T) {
+	opts := DefaultOptions()
+	opts.UseRewrite = false
+	m := NewMatcher(opts)
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+	without := m.Compare(ref, tgt)
+
+	opts.UseRewrite = true
+	with := NewMatcher(opts).Compare(ref, tgt)
+	if without.Matched() >= with.Matched() {
+		t.Errorf("rewrite should increase matches: without=%d with=%d",
+			without.Matched(), with.Matched())
+	}
+}
+
+func TestUnrelatedFunctionScoresLow(t *testing.T) {
+	m := NewMatcher(DefaultOptions())
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "b", srcB), 3)
+	res := m.Compare(ref, tgt)
+	if res.IsMatch {
+		t.Errorf("unrelated functions matched: %+v", res)
+	}
+	if res.SimilarityScore > 0.3 {
+		t.Errorf("unrelated similarity = %v, want low", res.SimilarityScore)
+	}
+}
+
+func TestK1Matching(t *testing.T) {
+	opts := DefaultOptions()
+	opts.K = 1
+	m := NewMatcher(opts)
+	ref := Decompose(liftListing(t, "a", srcA), 1)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 1)
+	res := m.Compare(ref, tgt)
+	if !res.IsMatch {
+		t.Errorf("k=1 renamed comparison should still match: %+v", res)
+	}
+}
+
+func TestEmptyReference(t *testing.T) {
+	m := NewMatcher(DefaultOptions())
+	// Single-block function has no 3-tracelets.
+	small := Decompose(liftListing(t, "s", "mov eax, 1\nretn"), 3)
+	other := Decompose(liftListing(t, "a", srcA), 3)
+	res := m.Compare(small, other)
+	if res.SimilarityScore != 0 || res.IsMatch {
+		t.Errorf("empty reference result: %+v", res)
+	}
+}
+
+func TestCompareManyMatchesCompare(t *testing.T) {
+	m := NewMatcher(DefaultOptions())
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	targets := []*Decomposed{
+		Decompose(liftListing(t, "a2", srcARenamed), 3),
+		Decompose(liftListing(t, "b", srcB), 3),
+		Decompose(liftListing(t, "a3", srcA), 3),
+	}
+	many := m.CompareMany(ref, targets)
+	if len(many) != 3 {
+		t.Fatalf("got %d results", len(many))
+	}
+	for i, tgt := range targets {
+		single := m.Compare(ref, tgt)
+		if many[i].SimilarityScore != single.SimilarityScore || many[i].Name != single.Name {
+			t.Errorf("CompareMany[%d] = %+v, Compare = %+v", i, many[i], single)
+		}
+	}
+	if !many[0].IsMatch || many[1].IsMatch || !many[2].IsMatch {
+		t.Errorf("match pattern wrong: %v %v %v", many[0].IsMatch, many[1].IsMatch, many[2].IsMatch)
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	m := NewMatcher(DefaultOptions())
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+	res := m.Compare(ref, tgt)
+	if res.Matched() > res.RefTracelets {
+		t.Errorf("matched %d > ref tracelets %d", res.Matched(), res.RefTracelets)
+	}
+	if res.PairsCompared == 0 {
+		t.Error("no pairs compared")
+	}
+	if got := res.MatchedDirect + res.MatchedRewrite; got != res.Matched() {
+		t.Errorf("Matched() inconsistent: %d", got)
+	}
+}
+
+func TestContainmentNormalization(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Norm = align.Containment
+	m := NewMatcher(opts)
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+	res := m.Compare(ref, tgt)
+	if !res.IsMatch {
+		t.Errorf("containment normalization should also match: %+v", res)
+	}
+}
+
+func TestDecomposeStats(t *testing.T) {
+	d := Decompose(liftListing(t, "a", srcA), 3)
+	if d.NumBlocks == 0 || d.NumInsts == 0 {
+		t.Errorf("stats empty: %+v", d)
+	}
+	if d.K != 3 {
+		t.Errorf("K = %d", d.K)
+	}
+	for i := range d.Tracelets {
+		if d.ident[i] != align.IdentityScore(d.Tracelets[i].Insts()) {
+			t.Errorf("identity score mismatch at %d", i)
+		}
+		if len(d.blockHash[i]) != d.Tracelets[i].K() {
+			t.Errorf("block hash count mismatch at %d", i)
+		}
+	}
+}
+
+func TestExplainAgreesWithCompare(t *testing.T) {
+	m := NewMatcher(DefaultOptions())
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+	res := m.Compare(ref, tgt)
+	ex := m.Explain(ref, tgt)
+	if len(ex) != res.Matched() {
+		t.Errorf("Explain found %d matches, Compare %d", len(ex), res.Matched())
+	}
+	viaRewrite := 0
+	for _, tm := range ex {
+		if tm.ViaRewrite {
+			viaRewrite++
+		}
+		if tm.Score <= m.Opts.Beta {
+			t.Errorf("explained match below beta: %+v", tm)
+		}
+		if len(tm.RefBlocks) != 3 || len(tm.TgtBlocks) != 3 {
+			t.Errorf("block index shape wrong: %+v", tm)
+		}
+	}
+	if viaRewrite != res.MatchedRewrite {
+		t.Errorf("Explain rewrite count %d, Compare %d", viaRewrite, res.MatchedRewrite)
+	}
+}
+
+func TestExplainNoMatches(t *testing.T) {
+	m := NewMatcher(DefaultOptions())
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "b", srcB), 3)
+	ex := m.Explain(ref, tgt)
+	res := m.Compare(ref, tgt)
+	if len(ex) != res.Matched() {
+		t.Errorf("Explain %d vs Compare %d", len(ex), res.Matched())
+	}
+}
+
+func TestBestScoresConsistentWithCompare(t *testing.T) {
+	m := NewMatcher(DefaultOptions())
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+	pre, post := m.BestScores(ref, tgt)
+	if len(pre) != len(ref.Tracelets) || len(post) != len(pre) {
+		t.Fatal("shape wrong")
+	}
+	matched := 0
+	for i := range post {
+		if post[i] < pre[i] {
+			t.Errorf("post < pre at %d", i)
+		}
+		if post[i] > m.Opts.Beta {
+			matched++
+		}
+	}
+	res := m.Compare(ref, tgt)
+	if matched < res.Matched() {
+		t.Errorf("BestScores matched %d < Compare %d", matched, res.Matched())
+	}
+}
+
+func TestMismatchedKIsSkipped(t *testing.T) {
+	// A 2-block function produces 2-tracelets only; comparing k=3 against
+	// it must not panic and must yield zero matches.
+	m := NewMatcher(DefaultOptions())
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	small := Decompose(liftListing(t, "s", "cmp eax, 1\njz x\nnop\nx:\nretn"), 3)
+	res := m.Compare(ref, small)
+	if res.Matched() != 0 {
+		t.Errorf("matched %d against a too-small target", res.Matched())
+	}
+}
+
+func TestWorkersOption(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 1
+	m1 := NewMatcher(opts)
+	opts.Workers = 8
+	m8 := NewMatcher(opts)
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	targets := []*Decomposed{
+		Decompose(liftListing(t, "a2", srcARenamed), 3),
+		Decompose(liftListing(t, "b", srcB), 3),
+	}
+	r1 := m1.CompareMany(ref, targets)
+	r8 := m8.CompareMany(ref, targets)
+	for i := range r1 {
+		if r1[i].SimilarityScore != r8[i].SimilarityScore {
+			t.Errorf("worker count changed results at %d", i)
+		}
+	}
+}
+
+// TestDedupeQueryPreservesScores: the dedupe optimization must be
+// score-invariant across match, partial-match and no-match pairs.
+func TestDedupeQueryPreservesScores(t *testing.T) {
+	pairs := [][2]string{
+		{srcA, srcARenamed},
+		{srcA, srcB},
+		{srcA, srcA},
+	}
+	for i, p := range pairs {
+		ref := Decompose(liftListing(t, "r", p[0]), 3)
+		tgt := Decompose(liftListing(t, "t", p[1]), 3)
+		plain := NewMatcher(DefaultOptions()).Compare(ref, tgt)
+		opts := DefaultOptions()
+		opts.DedupeQuery = true
+		dedup := NewMatcher(opts).Compare(ref, tgt)
+		if plain.SimilarityScore != dedup.SimilarityScore ||
+			plain.Matched() != dedup.Matched() {
+			t.Errorf("pair %d: plain %.3f/%d vs dedup %.3f/%d", i,
+				plain.SimilarityScore, plain.Matched(),
+				dedup.SimilarityScore, dedup.Matched())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"repro/internal/align"
+	"repro/internal/rewrite"
+)
+
+// TraceletMatch explains one matched reference tracelet: which target
+// tracelet it matched, at what normalized score, whether the rewrite
+// engine was needed, and which instructions were inserted/deleted — the
+// accountability output the paper argues for (Sections 1 and 4.3).
+type TraceletMatch struct {
+	RefIndex   int     // index into the reference decomposition
+	TgtIndex   int     // index into the target decomposition
+	RefBlocks  []int   // basic-block numbers in the reference function
+	TgtBlocks  []int   // basic-block numbers in the target function
+	Score      float64 // normalized score of the accepted match
+	ViaRewrite bool
+	// Inserted and Deleted are instruction indices (into the concatenated
+	// tracelet sequences) that did not align: inserted exist only in the
+	// target, deleted only in the reference.
+	Inserted []int
+	Deleted  []int
+}
+
+// Explain runs the comparison like Compare but records, for every matched
+// reference tracelet, the accepted target tracelet and alignment detail.
+func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
+	var out []TraceletMatch
+	cache := make(map[blockKey]*align.Alignment)
+	for ri, r := range ref.Tracelets {
+		rIdent := ref.ident[ri]
+		found := false
+		// Pass 1: syntactic matches.
+		for ti, t := range tgt.Tracelets {
+			if t.K() != r.K() {
+				continue
+			}
+			al := m.alignCached(ref, tgt, ri, ti, cache)
+			norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
+			if norm > m.Opts.Beta {
+				out = append(out, TraceletMatch{
+					RefIndex: ri, TgtIndex: ti,
+					RefBlocks: r.BlockIdx, TgtBlocks: t.BlockIdx,
+					Score: norm, Inserted: al.Inserted, Deleted: al.Deleted,
+				})
+				found = true
+				break
+			}
+		}
+		if found || !m.Opts.UseRewrite {
+			continue
+		}
+		// Pass 2: rewrite attempts in descending pre-score order, exactly
+		// as Compare does.
+		type cand struct {
+			ti   int
+			al   align.Alignment
+			norm float64
+		}
+		var cands []cand
+		for ti, t := range tgt.Tracelets {
+			if t.K() != r.K() {
+				continue
+			}
+			al := m.alignCached(ref, tgt, ri, ti, cache)
+			norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
+			if norm >= m.Opts.RewriteSkipBelow {
+				cands = append(cands, cand{ti, al, norm})
+			}
+		}
+		for len(cands) > 0 {
+			best := 0
+			for i := range cands {
+				if cands[i].norm > cands[best].norm {
+					best = i
+				}
+			}
+			c := cands[best]
+			cands[best] = cands[len(cands)-1]
+			cands = cands[:len(cands)-1]
+			t := tgt.Tracelets[c.ti]
+			rw := rewrite.Rewrite(r.Blocks, t.Blocks, c.al)
+			score := align.ScoreBlocks(r.Blocks, rw.Blocks)
+			tIdent := align.IdentityScore(flatten(rw.Blocks))
+			norm := align.Norm(score, rIdent, tIdent, m.Opts.Norm)
+			if norm > m.Opts.Beta {
+				post := align.AlignBlocks(r.Blocks, rw.Blocks)
+				out = append(out, TraceletMatch{
+					RefIndex: ri, TgtIndex: c.ti,
+					RefBlocks: r.BlockIdx, TgtBlocks: t.BlockIdx,
+					Score: norm, ViaRewrite: true,
+					Inserted: post.Inserted, Deleted: post.Deleted,
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// BestScores returns, for every reference tracelet, the best normalized
+// score achievable against any target tracelet: pre is without the
+// rewrite engine, post is the best after rewriting every plausible
+// candidate (pre-score >= RewriteSkipBelow). It lets callers evaluate any
+// tracelet threshold β in one pass: a reference tracelet matches under β
+// iff max(pre, post) > β.
+func (m *Matcher) BestScores(ref, tgt *Decomposed) (pre, post []float64) {
+	pre = make([]float64, len(ref.Tracelets))
+	post = make([]float64, len(ref.Tracelets))
+	cache := make(map[blockKey]*align.Alignment)
+	for ri, r := range ref.Tracelets {
+		rIdent := ref.ident[ri]
+		for ti, t := range tgt.Tracelets {
+			if t.K() != r.K() {
+				continue
+			}
+			al := m.alignCached(ref, tgt, ri, ti, cache)
+			norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
+			if norm > pre[ri] {
+				pre[ri] = norm
+			}
+			if norm >= 0.999 {
+				continue // already perfect; rewriting cannot help
+			}
+			if m.Opts.UseRewrite && norm >= m.Opts.RewriteSkipBelow {
+				rw := rewrite.Rewrite(r.Blocks, t.Blocks, al)
+				score := align.ScoreBlocks(r.Blocks, rw.Blocks)
+				tIdent := align.IdentityScore(flatten(rw.Blocks))
+				pnorm := align.Norm(score, rIdent, tIdent, m.Opts.Norm)
+				if pnorm > post[ri] {
+					post[ri] = pnorm
+				}
+			}
+		}
+		if pre[ri] > post[ri] {
+			post[ri] = pre[ri]
+		}
+	}
+	return pre, post
+}

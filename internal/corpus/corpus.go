@@ -1,0 +1,245 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/bin"
+	"repro/internal/tinyc"
+)
+
+// Executable is one stripped binary of the test-bed plus its retained
+// ground truth (which the classifier never sees).
+type Executable struct {
+	Name  string
+	Image []byte            // stripped ELF
+	Truth map[uint32]string // function address -> source-level name
+}
+
+// Corpus is the whole test-bed.
+type Corpus struct {
+	Exes []*Executable
+}
+
+// NumFunctions returns the total ground-truth function count.
+func (c *Corpus) NumFunctions() int {
+	n := 0
+	for _, e := range c.Exes {
+		n += len(e.Truth)
+	}
+	return n
+}
+
+// BuildConfig sizes the test-bed.
+type BuildConfig struct {
+	Seed int64
+
+	// Context group: executables embedding the same library function
+	// compiled under different contexts (paper: Coreutils + a shared
+	// parsing helper).
+	ContextCopies int
+
+	// Code-Change group: versions of the same application function with
+	// local source patches (paper: wget 1.10/1.12/1.14).
+	Versions int
+
+	// NoiseExes are executables of only unrelated functions.
+	NoiseExes int
+
+	// FuncsPerExe is the number of random filler functions per executable.
+	FuncsPerExe int
+
+	// TargetStmts is the statement budget of the query functions (the
+	// library and app functions); FillerStmts of the noise functions.
+	TargetStmts int
+	FillerStmts int
+
+	// Opt is the optimization level of the whole corpus (the paper's
+	// controlled stage compiles everything with the same default; O2).
+	Opt tinyc.OptLevel
+}
+
+// DefaultBuildConfig returns a laptop-scale test-bed shape.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{
+		Seed:          1,
+		ContextCopies: 4,
+		Versions:      3,
+		NoiseExes:     4,
+		FuncsPerExe:   6,
+		TargetStmts:   60,
+		FillerStmts:   25,
+		Opt:           tinyc.O2,
+	}
+}
+
+// LibFuncName and AppFuncName are the ground-truth names of the two query
+// functions planted across the corpus.
+const (
+	LibFuncName = "quotearg_buffer"
+	AppFuncName = "getftp"
+)
+
+// Build constructs the test-bed.
+func Build(cfg BuildConfig) (*Corpus, error) {
+	if cfg.ContextCopies == 0 && cfg.Versions == 0 && cfg.NoiseExes == 0 {
+		cfg = DefaultBuildConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{}
+	libSrc := RandomFunc(LibFuncName, cfg.Seed*7+3, GenConfig{Stmts: cfg.TargetStmts, Calls: true})
+
+	mkExe := func(name string, sources []string, ctxSeed int64) error {
+		src := strings.Join(sources, "\n")
+		img, err := tinyc.Build(src, tinyc.Config{Opt: cfg.Opt, Seed: ctxSeed})
+		if err != nil {
+			return fmt.Errorf("corpus: %s: %w", name, err)
+		}
+		f, err := bin.Read(img)
+		if err != nil {
+			return err
+		}
+		truth := make(map[uint32]string)
+		for _, s := range f.Symbols {
+			if s.IsFunc() {
+				truth[s.Value] = s.Name
+			}
+		}
+		stripped, err := bin.Strip(img)
+		if err != nil {
+			return err
+		}
+		c.Exes = append(c.Exes, &Executable{Name: name, Image: stripped, Truth: truth})
+		return nil
+	}
+
+	fillers := func(exe string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = RandomFunc(fmt.Sprintf("f_%s_%d", exe, i), rng.Int63(),
+				GenConfig{Stmts: cfg.FillerStmts, Calls: true})
+		}
+		return out
+	}
+
+	// Context group.
+	for i := 0; i < cfg.ContextCopies; i++ {
+		name := fmt.Sprintf("ctx%d", i)
+		srcs := append([]string{libSrc}, fillers(name, cfg.FuncsPerExe)...)
+		if err := mkExe(name, srcs, 1000+int64(i)*17); err != nil {
+			return nil, err
+		}
+	}
+
+	// Code-change group: version v of the app function, each also in its
+	// own context.
+	for v := 0; v < cfg.Versions; v++ {
+		name := fmt.Sprintf("appv%d", v)
+		appSrc := VersionedFunc(AppFuncName, cfg.Seed*13+5, v, 8, cfg.TargetStmts/8)
+		srcs := append([]string{appSrc}, fillers(name, cfg.FuncsPerExe)...)
+		if err := mkExe(name, srcs, 2000+int64(v)*29); err != nil {
+			return nil, err
+		}
+	}
+
+	// Noise group. Each noise executable carries ordinary fillers plus
+	// two hard negatives: a query-sized random function, and a "sibling"
+	// that shares a minority of its source chunks with the app function
+	// (code reuse without being the same function) — the near-misses that
+	// separate precise classifiers from lenient ones.
+	for i := 0; i < cfg.NoiseExes; i++ {
+		name := fmt.Sprintf("noise%d", i)
+		srcs := fillers(name, cfg.FuncsPerExe)
+		srcs = append(srcs, RandomFunc(fmt.Sprintf("big_%s", name), rng.Int63(),
+			GenConfig{Stmts: cfg.TargetStmts, Calls: true}))
+		srcs = append(srcs, SiblingFunc(fmt.Sprintf("sib_%s", name),
+			cfg.Seed*13+5, rng.Int63(), 8, cfg.TargetStmts/8))
+		if err := mkExe(name, srcs, 3000+int64(i)*31); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// SiblingFunc builds a function that shares two chunks with the
+// VersionedFunc family of sharedSeed but is otherwise unrelated — a hard
+// negative modeling code reuse across different functions.
+func SiblingFunc(name string, sharedSeed, ownSeed int64, chunks, stmtsPerChunk int) string {
+	if chunks <= 0 {
+		chunks = 6
+	}
+	if stmtsPerChunk <= 0 {
+		stmtsPerChunk = 6
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "int %s(int a, int b, char *s) {\n", name)
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&sb, "\tint v%d = %d;\n", i, i*3+1)
+	}
+	for i := 0; i < chunks; i++ {
+		seed := ownSeed*100 + int64(i)
+		if i == 2 || i == 5 {
+			seed = sharedSeed*100 + int64(i) // chunks shared with the app family
+		}
+		sb.WriteString(Chunk(seed, stmtsPerChunk))
+	}
+	sb.WriteString("\treturn v1;\n}\n")
+	return sb.String()
+}
+
+// VersionedFunc renders version `version` of a function assembled from
+// independent chunks: version v inserts one new chunk and regenerates
+// (patches) one existing chunk, leaving the rest untouched — the shape of
+// a real local patch (most tracelets survive, a few change; paper
+// Section 2.1).
+func VersionedFunc(name string, seed int64, version, chunks, stmtsPerChunk int) string {
+	if chunks <= 0 {
+		chunks = 6
+	}
+	if stmtsPerChunk <= 0 {
+		stmtsPerChunk = 6
+	}
+	type chunk struct {
+		seed int64
+	}
+	plan := make([]chunk, chunks)
+	for i := range plan {
+		plan[i] = chunk{seed: seed*100 + int64(i)}
+	}
+	// Apply cumulative patches for each version step.
+	for v := 1; v <= version; v++ {
+		modIdx := (v * 3) % len(plan)
+		plan[modIdx].seed = seed*100 + int64(modIdx) + int64(v)*10000
+		insIdx := (v * 7) % (len(plan) + 1)
+		newChunk := chunk{seed: seed*1000 + int64(v)}
+		plan = append(plan[:insIdx], append([]chunk{newChunk}, plan[insIdx:]...)...)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "int %s(int a, int b, char *s) {\n", name)
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&sb, "\tint v%d = %d;\n", i, i*3+1)
+	}
+	for _, ch := range plan {
+		sb.WriteString(Chunk(ch.seed, stmtsPerChunk))
+	}
+	sb.WriteString("\treturn v0;\n}\n")
+	return sb.String()
+}
+
+// Chunk renders a deterministic statement chunk over the fixed variable
+// pool (a, b, s, v0..v5), suitable for insertion into VersionedFunc
+// bodies.
+func Chunk(seed int64, stmts int) string {
+	g := &generator{
+		rng:    rand.New(rand.NewSource(seed)),
+		cfg:    GenConfig{Stmts: stmts, Calls: true},
+		budget: stmts,
+		sb:     &strings.Builder{},
+		vars:   []string{"a", "b", "s", "v0", "v1", "v2", "v3", "v4", "v5"},
+	}
+	for g.budget > 0 {
+		g.stmt(1)
+	}
+	return g.sb.String()
+}

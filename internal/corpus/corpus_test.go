@@ -1,0 +1,155 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/prep"
+	"repro/internal/tinyc"
+)
+
+func TestRandomFuncCompilesEverywhere(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		src := RandomFunc("rf", seed, GenConfig{Stmts: 40, Calls: true})
+		for _, opt := range []tinyc.OptLevel{tinyc.O0, tinyc.O1, tinyc.O2, tinyc.Os} {
+			img, err := tinyc.Build(src, tinyc.Config{Opt: opt, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v\n%s", seed, opt, err, src)
+			}
+			if _, err := prep.LiftImage(img); err != nil {
+				t.Fatalf("seed %d %v: lift: %v", seed, opt, err)
+			}
+		}
+	}
+}
+
+func TestRandomFuncDeterministic(t *testing.T) {
+	a := RandomFunc("x", 5, GenConfig{Stmts: 30, Calls: true})
+	b := RandomFunc("x", 5, GenConfig{Stmts: 30, Calls: true})
+	if a != b {
+		t.Error("RandomFunc not deterministic")
+	}
+	c := RandomFunc("x", 6, GenConfig{Stmts: 30, Calls: true})
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomFuncGrowsBlocks(t *testing.T) {
+	small := RandomFunc("s", 3, GenConfig{Stmts: 10})
+	big := RandomFunc("b", 3, GenConfig{Stmts: 120})
+	blocksOf := func(src string) int {
+		img, err := tinyc.Build(src, tinyc.Config{Opt: tinyc.O2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fns, err := prep.LiftImage(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fns[0].NumBlocks()
+	}
+	sb, bb := blocksOf(small), blocksOf(big)
+	if bb <= sb {
+		t.Errorf("bigger budget should give more blocks: %d vs %d", sb, bb)
+	}
+	if bb < 20 {
+		t.Errorf("120-stmt function has only %d blocks", bb)
+	}
+}
+
+func TestVersionedFuncPatchesLocally(t *testing.T) {
+	v0 := VersionedFunc("app", 9, 0, 8, 6)
+	v1 := VersionedFunc("app", 9, 1, 8, 6)
+	v2 := VersionedFunc("app", 9, 2, 8, 6)
+	if v0 == v1 || v1 == v2 {
+		t.Fatal("versions should differ")
+	}
+	// Most lines of v0 must survive into v1 (a local patch, not a
+	// rewrite).
+	lines0 := strings.Split(v0, "\n")
+	in1 := map[string]int{}
+	for _, l := range strings.Split(v1, "\n") {
+		in1[l]++
+	}
+	kept := 0
+	for _, l := range lines0 {
+		if in1[l] > 0 {
+			in1[l]--
+			kept++
+		}
+	}
+	ratio := float64(kept) / float64(len(lines0))
+	if ratio < 0.7 {
+		t.Errorf("only %.0f%% of v0 lines survive into v1", ratio*100)
+	}
+	// All versions must compile.
+	for i, src := range []string{v0, v1, v2} {
+		if _, err := tinyc.Build(src, tinyc.Config{Opt: tinyc.O2, Seed: 4}); err != nil {
+			t.Fatalf("v%d: %v\n%s", i, err, src)
+		}
+	}
+}
+
+func TestBuildCorpus(t *testing.T) {
+	cfg := BuildConfig{
+		Seed:          2,
+		ContextCopies: 2,
+		Versions:      2,
+		NoiseExes:     1,
+		FuncsPerExe:   2,
+		TargetStmts:   30,
+		FillerStmts:   12,
+		Opt:           tinyc.O2,
+	}
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Exes) != 5 {
+		t.Fatalf("got %d executables, want 5", len(c.Exes))
+	}
+	libCount, appCount := 0, 0
+	for _, e := range c.Exes {
+		if len(e.Truth) == 0 {
+			t.Errorf("%s has no ground truth", e.Name)
+		}
+		fns, err := prep.LiftImage(e.Image)
+		if err != nil {
+			t.Fatalf("%s: lift: %v", e.Name, err)
+		}
+		// Stripped: every lifted name is synthetic but must correspond to
+		// a ground-truth address.
+		for _, fn := range fns {
+			if _, ok := e.Truth[fn.Addr]; !ok {
+				t.Errorf("%s: lifted function at %#x missing from truth", e.Name, fn.Addr)
+			}
+		}
+		for _, name := range e.Truth {
+			switch name {
+			case LibFuncName:
+				libCount++
+			case AppFuncName:
+				appCount++
+			}
+		}
+	}
+	if libCount != 2 {
+		t.Errorf("library function planted %d times, want 2", libCount)
+	}
+	if appCount != 2 {
+		t.Errorf("app function planted %d times, want 2", appCount)
+	}
+	if c.NumFunctions() < 5*3 {
+		t.Errorf("corpus has only %d functions", c.NumFunctions())
+	}
+}
+
+func TestChunkDeterministic(t *testing.T) {
+	if Chunk(3, 5) != Chunk(3, 5) {
+		t.Error("Chunk not deterministic")
+	}
+	if Chunk(3, 5) == Chunk(4, 5) {
+		t.Error("different chunk seeds should differ")
+	}
+}

@@ -1,0 +1,250 @@
+// Package corpus builds the evaluation test-bed of paper Section 5.1: a
+// Context group (the same library function compiled into several
+// executables under different compilation contexts), a Code-Change group
+// (several versions of the same application, patched at source level), and
+// a noise group of unrelated functions — all as stripped ELF executables
+// with ground truth retained on the side.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig bounds the random function generator.
+type GenConfig struct {
+	// Stmts is the approximate number of statements to generate; control
+	// flow multiplies the resulting basic-block count.
+	Stmts int
+	// Calls enables generating calls to external library functions.
+	Calls bool
+}
+
+var externFuncs = []struct {
+	name  string
+	arity int
+	str   bool // first argument is a format/string literal
+}{
+	{"printf", 2, true},
+	{"fprintf", 3, true},
+	{"strlen", 1, false},
+	{"malloc", 1, false},
+	{"memcpy", 3, false},
+	{"fopen", 2, true},
+	{"atoi", 1, false},
+	{"abs", 1, false},
+}
+
+var strPoolWords = []string{
+	"result: %d", "error %d at %s", "(%d) HELLO", "Cmd %d DONE", "w", "r",
+	"overflow", "usage: %s", "%d/%d bytes", "done", "retry %d", "fatal: %s",
+}
+
+// generator produces random TinyC statements over a fixed symbol pool.
+type generator struct {
+	rng      *rand.Rand
+	cfg      GenConfig
+	vars     []string
+	budget   int
+	sb       *strings.Builder
+	loopVars []string // loop counters; inner statements avoid assigning them
+}
+
+// RandomFunc generates the source of one random function with the given
+// name and seed. Functions with larger cfg.Stmts develop proportionally
+// more basic blocks.
+func RandomFunc(name string, seed int64, cfg GenConfig) string {
+	if cfg.Stmts <= 0 {
+		cfg.Stmts = 30
+	}
+	g := &generator{
+		rng:    rand.New(rand.NewSource(seed)),
+		cfg:    cfg,
+		budget: cfg.Stmts,
+		sb:     &strings.Builder{},
+	}
+	params := []string{"a", "b", "s"}
+	fmt.Fprintf(g.sb, "int %s(int a, int b, char *s) {\n", name)
+	g.vars = append(g.vars, params...)
+	nLocals := 2 + g.rng.Intn(4)
+	for i := 0; i < nLocals; i++ {
+		v := fmt.Sprintf("v%d", i)
+		fmt.Fprintf(g.sb, "\tint %s = %d;\n", v, g.rng.Intn(100))
+		g.vars = append(g.vars, v)
+	}
+	for g.budget > 0 {
+		g.stmt(1)
+	}
+	fmt.Fprintf(g.sb, "\treturn %s;\n}\n", g.pick())
+	return g.sb.String()
+}
+
+func (g *generator) pick() string {
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+// pickAssignable picks a variable that is not an active loop counter, so
+// generated loops terminate (the emulator-based differential tests execute
+// these programs).
+func (g *generator) pickAssignable() string {
+	for tries := 0; tries < 8; tries++ {
+		v := g.pick()
+		bad := false
+		for _, lv := range g.loopVars {
+			if v == lv {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			return v
+		}
+	}
+	return g.vars[0]
+}
+
+func (g *generator) indent(level int) {
+	for i := 0; i <= level; i++ {
+		g.sb.WriteByte('\t')
+	}
+}
+
+// expr produces a random arithmetic expression of bounded depth.
+func (g *generator) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(3) == 0 {
+			return fmt.Sprintf("%d", g.rng.Intn(64))
+		}
+		return g.pick()
+	}
+	ops := []string{"+", "-", "*", "/", "%"}
+	op := ops[g.rng.Intn(len(ops))]
+	right := g.expr(depth - 1)
+	if op == "/" || op == "%" {
+		// Avoid dividing by an arbitrary subexpression; keep a nonzero
+		// literal divisor.
+		right = fmt.Sprintf("%d", 1+g.rng.Intn(16))
+	}
+	return fmt.Sprintf("%s %s %s", g.expr(depth-1), op, right)
+}
+
+func (g *generator) cond() string {
+	cmps := []string{"==", "!=", "<", "<=", ">", ">="}
+	c := fmt.Sprintf("%s %s %s", g.pick(), cmps[g.rng.Intn(len(cmps))], g.expr(1))
+	switch g.rng.Intn(4) {
+	case 0:
+		c = fmt.Sprintf("%s && %s %s %d", c, g.pick(), cmps[g.rng.Intn(len(cmps))], g.rng.Intn(32))
+	case 1:
+		c = fmt.Sprintf("%s || %s == %d", c, g.pick(), g.rng.Intn(8))
+	}
+	return c
+}
+
+func (g *generator) call(level int) {
+	ex := externFuncs[g.rng.Intn(len(externFuncs))]
+	var args []string
+	for i := 0; i < ex.arity; i++ {
+		if i == 0 && ex.str {
+			args = append(args, fmt.Sprintf("%q", strPoolWords[g.rng.Intn(len(strPoolWords))]))
+			continue
+		}
+		args = append(args, g.pick())
+	}
+	g.indent(level)
+	if g.rng.Intn(2) == 0 {
+		fmt.Fprintf(g.sb, "%s = %s(%s);\n", g.pickAssignable(), ex.name, strings.Join(args, ", "))
+	} else {
+		fmt.Fprintf(g.sb, "%s(%s);\n", ex.name, strings.Join(args, ", "))
+	}
+}
+
+func (g *generator) stmt(level int) {
+	g.budget--
+	if level > 4 {
+		g.assign(level)
+		return
+	}
+	n := g.rng.Intn(10)
+	switch {
+	case n < 4:
+		g.assign(level)
+	case n < 6:
+		// if / if-else chain
+		g.indent(level)
+		fmt.Fprintf(g.sb, "if (%s) {\n", g.cond())
+		g.stmts(level+1, 1+g.rng.Intn(3))
+		if g.rng.Intn(2) == 0 {
+			g.indent(level)
+			g.sb.WriteString("} else {\n")
+			g.stmts(level+1, 1+g.rng.Intn(3))
+		}
+		g.indent(level)
+		g.sb.WriteString("}\n")
+	case n < 7:
+		// bounded loop: a for-loop counts up, a while-loop counts a fresh
+		// bounded counter down; neither loop variable is reassigned inside.
+		v := g.pickAssignable()
+		isFor := g.rng.Intn(2) == 0
+		g.indent(level)
+		if isFor {
+			fmt.Fprintf(g.sb, "for (%s = 0; %s < %d; %s = %s + 1) {\n",
+				v, v, 2+g.rng.Intn(30), v, v)
+		} else {
+			fmt.Fprintf(g.sb, "%s = %d;\n", v, 2+g.rng.Intn(30))
+			g.indent(level)
+			fmt.Fprintf(g.sb, "while (%s > 0) {\n", v)
+		}
+		g.loopVars = append(g.loopVars, v)
+		g.stmts(level+1, 1+g.rng.Intn(3))
+		if g.rng.Intn(3) == 0 {
+			g.indent(level + 1)
+			// A conditional continue in a while loop would skip the
+			// decrement; only break is safe in both forms.
+			fmt.Fprintf(g.sb, "if (%s == %d) { break; }\n", g.pickAssignable(), g.rng.Intn(16))
+		}
+		if !isFor {
+			g.indent(level + 1)
+			fmt.Fprintf(g.sb, "%s = %s - 1;\n", v, v)
+		}
+		g.loopVars = g.loopVars[:len(g.loopVars)-1]
+		g.indent(level)
+		g.sb.WriteString("}\n")
+	case n < 8:
+		// switch over a variable: dense consecutive cases so that
+		// table-preferring contexts lower it to a jump table, the
+		// layout-variance source the paper highlights.
+		v := g.pick()
+		g.indent(level)
+		fmt.Fprintf(g.sb, "switch (%s %% %d) {\n", v, 5+g.rng.Intn(4))
+		nCases := 4 + g.rng.Intn(3)
+		for ci := 0; ci < nCases; ci++ {
+			g.indent(level)
+			fmt.Fprintf(g.sb, "case %d:\n", ci)
+			g.stmts(level+1, 1+g.rng.Intn(2))
+		}
+		if g.rng.Intn(2) == 0 {
+			g.indent(level)
+			g.sb.WriteString("default:\n")
+			g.stmts(level+1, 1)
+		}
+		g.indent(level)
+		g.sb.WriteString("}\n")
+	case n < 9 && g.cfg.Calls:
+		g.call(level)
+	default:
+		g.assign(level)
+	}
+}
+
+func (g *generator) stmts(level, n int) {
+	for i := 0; i < n; i++ {
+		g.budget--
+		g.assign(level)
+	}
+}
+
+func (g *generator) assign(level int) {
+	g.indent(level)
+	fmt.Fprintf(g.sb, "%s = %s;\n", g.pickAssignable(), g.expr(1+g.rng.Intn(2)))
+}

@@ -1,0 +1,255 @@
+// Package csp implements the small constraint solver used by the rewrite
+// engine (paper Section 4.4): variables over finite string domains, soft
+// equality constraints (variable=value and variable=variable), and a
+// bounded backtracking search that returns the assignment with the fewest
+// violated constraints found within the backtrack budget.
+//
+// Every constraint is a droppable conjunct — the paper: "when solving the
+// constraint we are willing to drop conjuncts if the full constraint is
+// not satisfiable". The search is exact branch-and-bound when the budget
+// suffices and best-effort otherwise, mirroring the paper's bound of 1000
+// backtracking attempts.
+package csp
+
+import "sort"
+
+// DefaultMaxBacktracks is the paper's backtracking bound.
+const DefaultMaxBacktracks = 1000
+
+// Problem is a set of variables and soft equality constraints.
+type Problem struct {
+	vars   []*variable
+	varIdx map[string]int
+	nBind  int // total bind constraints (for conflict accounting)
+}
+
+type variable struct {
+	name   string
+	domain []string
+	binds  map[string]int // value -> how many bind constraints want it
+	eqs    []int          // indices of variables this one must equal
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem {
+	return &Problem{varIdx: make(map[string]int)}
+}
+
+// AddVar declares a variable with its domain. Declaring the same name
+// twice keeps the first domain.
+func (p *Problem) AddVar(name string, domain []string) {
+	if _, ok := p.varIdx[name]; ok {
+		return
+	}
+	p.varIdx[name] = len(p.vars)
+	p.vars = append(p.vars, &variable{
+		name:   name,
+		domain: domain,
+		binds:  make(map[string]int),
+	})
+}
+
+// HasVar reports whether the variable is declared.
+func (p *Problem) HasVar(name string) bool {
+	_, ok := p.varIdx[name]
+	return ok
+}
+
+// Bind adds a soft constraint var = value.
+func (p *Problem) Bind(name, value string) {
+	i, ok := p.varIdx[name]
+	if !ok {
+		return
+	}
+	p.vars[i].binds[value]++
+	p.nBind++
+}
+
+// Eq adds a soft constraint a = b between two variables.
+func (p *Problem) Eq(a, b string) {
+	ia, oka := p.varIdx[a]
+	ib, okb := p.varIdx[b]
+	if !oka || !okb || ia == ib {
+		return
+	}
+	p.vars[ia].eqs = append(p.vars[ia].eqs, ib)
+	p.vars[ib].eqs = append(p.vars[ib].eqs, ia)
+}
+
+// NumConstraints returns the total number of soft constraints.
+func (p *Problem) NumConstraints() int {
+	ne := 0
+	for _, v := range p.vars {
+		ne += len(v.eqs)
+	}
+	return p.nBind + ne/2
+}
+
+// Solve searches for an assignment minimizing violated constraints, with
+// at most maxBacktracks backtracking steps (per connected component). It
+// returns the best assignment found and its number of violated
+// constraints.
+func (p *Problem) Solve(maxBacktracks int) (map[string]string, int) {
+	if maxBacktracks <= 0 {
+		maxBacktracks = DefaultMaxBacktracks
+	}
+	out := make(map[string]string, len(p.vars))
+	conflicts := 0
+	for _, comp := range p.components() {
+		c := p.solveComponent(comp, maxBacktracks)
+		for i, vi := range c.order {
+			if c.best[i] != "" {
+				out[p.vars[vi].name] = c.best[i]
+			}
+		}
+		conflicts += c.bestCost
+	}
+	return out, conflicts
+}
+
+// components splits variables into connected components of the
+// equality-constraint graph; bind constraints are unary and do not
+// connect.
+func (p *Problem) components() [][]int {
+	seen := make([]bool, len(p.vars))
+	var comps [][]int
+	for i := range p.vars {
+		if seen[i] {
+			continue
+		}
+		var comp []int
+		stack := []int{i}
+		seen[i] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, u := range p.vars[v].eqs {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+type compSolver struct {
+	p        *Problem
+	order    []int       // variable indices (into p.vars), search order
+	pos      map[int]int // variable index -> position in order
+	assign   []string    // current values by position
+	best     []string
+	bestCost int
+	budget   int
+}
+
+func (p *Problem) solveComponent(comp []int, maxBacktracks int) *compSolver {
+	// Order by decreasing constraint degree so that highly-constrained
+	// variables are decided first.
+	order := append([]int(nil), comp...)
+	deg := func(vi int) int {
+		v := p.vars[vi]
+		return len(v.eqs) + len(v.binds)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return deg(order[a]) > deg(order[b]) })
+
+	c := &compSolver{
+		p:      p,
+		order:  order,
+		pos:    make(map[int]int, len(order)),
+		assign: make([]string, len(order)),
+		budget: maxBacktracks,
+	}
+	for i, vi := range order {
+		c.pos[vi] = i
+	}
+	// Greedy first pass establishes an upper bound (and a guaranteed
+	// answer if the budget runs out immediately).
+	cost := 0
+	for i := range order {
+		v, bestVal, bestC := c.p.vars[order[i]], "", 1<<30
+		for _, val := range c.candidates(i) {
+			cc := c.assignCost(i, val)
+			if cc < bestC {
+				bestVal, bestC = val, cc
+			}
+		}
+		if bestVal == "" { // empty domain
+			bestC = c.assignCost(i, "")
+			_ = v
+		}
+		c.assign[i] = bestVal
+		cost += bestC
+	}
+	c.best = append([]string(nil), c.assign...)
+	c.bestCost = cost
+	for i := range c.assign {
+		c.assign[i] = ""
+	}
+	c.search(0, 0)
+	return c
+}
+
+// candidates returns the values worth trying for position i: the domain
+// ordered so that values demanded by bind constraints come first.
+func (c *compSolver) candidates(i int) []string {
+	v := c.p.vars[c.order[i]]
+	vals := append([]string(nil), v.domain...)
+	sort.SliceStable(vals, func(a, b int) bool {
+		return v.binds[vals[a]] > v.binds[vals[b]]
+	})
+	return vals
+}
+
+// assignCost counts the constraints violated by giving position i the
+// value val, against bind constraints and already-assigned eq-neighbours.
+func (c *compSolver) assignCost(i int, val string) int {
+	v := c.p.vars[c.order[i]]
+	cost := 0
+	for want, n := range v.binds {
+		if want != val {
+			cost += n
+		}
+	}
+	for _, u := range v.eqs {
+		j, ok := c.pos[u]
+		if !ok || j > i || c.assign[j] == "" {
+			continue
+		}
+		if c.assign[j] != val {
+			cost++
+		}
+	}
+	return cost
+}
+
+func (c *compSolver) search(i, cost int) bool {
+	if cost >= c.bestCost {
+		return c.budget > 0
+	}
+	if i == len(c.order) {
+		c.bestCost = cost
+		copy(c.best, c.assign)
+		return c.budget > 0
+	}
+	cands := c.candidates(i)
+	if len(cands) == 0 {
+		cands = []string{""}
+	}
+	for _, val := range cands {
+		c.assign[i] = val
+		if !c.search(i+1, cost+c.assignCost(i, val)) {
+			c.assign[i] = ""
+			return false
+		}
+		c.assign[i] = ""
+		c.budget--
+		if c.budget <= 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,208 @@
+package csp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllSatisfiable(t *testing.T) {
+	p := NewProblem()
+	p.AddVar("x", []string{"a", "b", "c"})
+	p.AddVar("y", []string{"a", "b", "c"})
+	p.Bind("x", "b")
+	p.Eq("x", "y")
+	got, conflicts := p.Solve(0)
+	if conflicts != 0 {
+		t.Fatalf("conflicts = %d, want 0", conflicts)
+	}
+	if got["x"] != "b" || got["y"] != "b" {
+		t.Errorf("assignment = %v, want x=y=b", got)
+	}
+}
+
+func TestConflictingBinds(t *testing.T) {
+	p := NewProblem()
+	p.AddVar("x", []string{"a", "b"})
+	p.Bind("x", "a")
+	p.Bind("x", "a")
+	p.Bind("x", "b")
+	got, conflicts := p.Solve(0)
+	// Majority wins: x=a violates one constraint.
+	if got["x"] != "a" || conflicts != 1 {
+		t.Errorf("got %v with %d conflicts, want x=a with 1", got, conflicts)
+	}
+}
+
+func TestChainPropagation(t *testing.T) {
+	// x=y, y=z, bind z=v: everything should become v.
+	p := NewProblem()
+	for _, n := range []string{"x", "y", "z"} {
+		p.AddVar(n, []string{"u", "v", "w"})
+	}
+	p.Eq("x", "y")
+	p.Eq("y", "z")
+	p.Bind("z", "v")
+	got, conflicts := p.Solve(0)
+	if conflicts != 0 {
+		t.Fatalf("conflicts = %d", conflicts)
+	}
+	if got["x"] != "v" || got["y"] != "v" || got["z"] != "v" {
+		t.Errorf("chain assignment = %v", got)
+	}
+}
+
+func TestCrossPressure(t *testing.T) {
+	// Two binds pull x apart; eq to y whose bind agrees with "a" breaks
+	// the tie at minimum conflict.
+	p := NewProblem()
+	p.AddVar("x", []string{"a", "b"})
+	p.AddVar("y", []string{"a", "b"})
+	p.Bind("x", "a")
+	p.Bind("x", "b")
+	p.Bind("y", "a")
+	p.Eq("x", "y")
+	got, conflicts := p.Solve(0)
+	if got["x"] != "a" || got["y"] != "a" {
+		t.Errorf("assignment = %v, want both a", got)
+	}
+	if conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1 (the x=b bind)", conflicts)
+	}
+}
+
+func TestEmptyDomain(t *testing.T) {
+	p := NewProblem()
+	p.AddVar("x", nil)
+	p.Bind("x", "q")
+	got, conflicts := p.Solve(0)
+	if _, assigned := got["x"]; assigned {
+		t.Errorf("empty-domain var should stay unassigned, got %v", got)
+	}
+	if conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", conflicts)
+	}
+}
+
+func TestUnknownVarIgnored(t *testing.T) {
+	p := NewProblem()
+	p.AddVar("x", []string{"a"})
+	p.Bind("nosuch", "a") // no-op
+	p.Eq("x", "nosuch")   // no-op
+	if p.NumConstraints() != 0 {
+		t.Errorf("constraints on unknown vars should be dropped")
+	}
+	if !p.HasVar("x") || p.HasVar("nosuch") {
+		t.Error("HasVar broken")
+	}
+}
+
+func TestIndependentComponents(t *testing.T) {
+	p := NewProblem()
+	p.AddVar("a1", []string{"x", "y"})
+	p.AddVar("a2", []string{"x", "y"})
+	p.AddVar("b1", []string{"x", "y"})
+	p.Eq("a1", "a2")
+	p.Bind("a1", "x")
+	p.Bind("b1", "y")
+	got, conflicts := p.Solve(0)
+	if conflicts != 0 {
+		t.Fatalf("conflicts = %d", conflicts)
+	}
+	if got["a1"] != "x" || got["a2"] != "x" || got["b1"] != "y" {
+		t.Errorf("assignment = %v", got)
+	}
+}
+
+func TestDuplicateAddVarKeepsFirst(t *testing.T) {
+	p := NewProblem()
+	p.AddVar("x", []string{"a"})
+	p.AddVar("x", []string{"b"})
+	got, _ := p.Solve(0)
+	if got["x"] != "a" {
+		t.Errorf("x = %q, want a", got["x"])
+	}
+}
+
+func TestBudgetStillReturnsAnswer(t *testing.T) {
+	// A large chain with a tiny budget must still return a full
+	// assignment (the greedy bound) with reasonable conflicts.
+	p := NewProblem()
+	n := 40
+	dom := []string{"a", "b", "c", "d"}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+		p.AddVar(names[i], dom)
+	}
+	for i := 1; i < n; i++ {
+		p.Eq(names[i-1], names[i])
+	}
+	p.Bind(names[0], "c")
+	got, conflicts := p.Solve(1)
+	if len(got) != n {
+		t.Fatalf("assignment has %d vars, want %d", len(got), n)
+	}
+	if conflicts > 1 {
+		t.Errorf("greedy chain should reach <=1 conflicts, got %d", conflicts)
+	}
+}
+
+// TestQuickSolverNeverWorseThanGreedy: the returned conflict count is a
+// valid evaluation of the returned assignment (recomputed independently)
+// and never exceeds the total constraint count.
+func TestQuickSolverSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewProblem()
+		nv := 2 + rng.Intn(6)
+		dom := []string{"a", "b", "c"}
+		names := make([]string, nv)
+		for i := range names {
+			names[i] = string(rune('a'+i)) + "v"
+			p.AddVar(names[i], dom)
+		}
+		type bind struct{ v, val string }
+		type eq struct{ a, b string }
+		var binds []bind
+		var eqs []eq
+		for i := 0; i < rng.Intn(8); i++ {
+			b := bind{names[rng.Intn(nv)], dom[rng.Intn(len(dom))]}
+			binds = append(binds, b)
+			p.Bind(b.v, b.val)
+		}
+		for i := 0; i < rng.Intn(8); i++ {
+			e := eq{names[rng.Intn(nv)], names[rng.Intn(nv)]}
+			if e.a == e.b {
+				continue
+			}
+			eqs = append(eqs, e)
+			p.Eq(e.a, e.b)
+		}
+		got, conflicts := p.Solve(0)
+		// Recompute conflicts independently.
+		actual := 0
+		for _, b := range binds {
+			if got[b.v] != b.val {
+				actual++
+			}
+		}
+		for _, e := range eqs {
+			if got[e.a] != got[e.b] {
+				actual++
+			}
+		}
+		if actual != conflicts {
+			t.Logf("reported %d conflicts, actual %d (seed %d)", conflicts, actual, seed)
+			return false
+		}
+		if conflicts > len(binds)+len(eqs) {
+			t.Logf("conflicts exceed constraint count")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,349 @@
+// Package emu is a user-mode x86-32 emulator for the instruction subset
+// emitted by the TinyC compiler. Its purpose is differential testing: the
+// same source compiled at O0/O1/O2/Os (and under different context seeds)
+// must compute the same return value and make the same external calls with
+// the same arguments. This validates the compiler, assembler, linker and
+// decoder stack semantically, independent of the similarity pipeline.
+//
+// External (imported) functions are modeled by a deterministic host hook:
+// each call is recorded in the trace and returns a value derived from the
+// import's name and arguments, so differing builds can be compared
+// call-for-call.
+package emu
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/asm"
+	"repro/internal/bin"
+)
+
+// Call is one recorded external call.
+type Call struct {
+	Name string
+	Args []uint32 // raw argument words (a fixed window; see ArgWords)
+	Ret  uint32
+	// Key is a build-independent signature: the name plus the normalized
+	// first argument (data-section pointers are replaced by their content,
+	// so two builds placing a string at different addresses still agree).
+	Key string
+}
+
+// Result is the outcome of an emulated function call.
+type Result struct {
+	Ret   uint32
+	Calls []Call
+	Steps int
+}
+
+// Machine emulates one loaded image.
+type Machine struct {
+	file *bin.File
+	// MaxSteps bounds execution (default 2,000,000).
+	MaxSteps int
+	// ArgWords is how many argument words external calls record (default 4;
+	// cdecl callees cannot know their arity, so a fixed window is used).
+	ArgWords int
+
+	regs  [8]uint32
+	zf    bool
+	sf    bool
+	of    bool
+	cf    bool
+	stack []byte
+	ram   map[int][]byte // fresh writable copies of writable sections
+	calls []Call
+	steps int
+}
+
+const (
+	stackBase = 0xFFF00000 // top of the emulated stack region
+	stackSize = 1 << 20
+	// retSentinel is the return address pushed for the top-level call; a
+	// ret to it ends emulation.
+	retSentinel = 0xDEADBEE0
+)
+
+// New prepares a machine for an image.
+func New(img []byte) (*Machine, error) {
+	f, err := bin.Read(img)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{file: f, MaxSteps: 2_000_000, ArgWords: 4}, nil
+}
+
+// CallFunction emulates a cdecl call to the function at addr with the
+// given integer arguments.
+func (m *Machine) CallFunction(addr uint32, args ...uint32) (*Result, error) {
+	m.stack = make([]byte, stackSize)
+	m.ram = make(map[int][]byte)
+	for i := range m.file.Sections {
+		if s := &m.file.Sections[i]; s.Writable() && len(s.Data) > 0 {
+			m.ram[i] = append([]byte(nil), s.Data...)
+		}
+	}
+	m.calls = nil
+	m.steps = 0
+	for i := range m.regs {
+		m.regs[i] = 0
+	}
+	esp := uint32(stackBase - 64)
+	// Push args right to left, then the sentinel return address.
+	for i := len(args) - 1; i >= 0; i-- {
+		esp -= 4
+		if err := m.store32(esp, args[i]); err != nil {
+			return nil, err
+		}
+	}
+	esp -= 4
+	if err := m.store32(esp, retSentinel); err != nil {
+		return nil, err
+	}
+	m.regs[asm.ESP.Num32()] = esp
+	m.regs[asm.EBP.Num32()] = stackBase - 8
+
+	ip := addr
+	for {
+		if m.steps >= m.MaxSteps {
+			return nil, fmt.Errorf("emu: step limit exceeded at %#x", ip)
+		}
+		m.steps++
+		next, done, err := m.step(ip)
+		if err != nil {
+			return nil, fmt.Errorf("emu: at %#x: %w", ip, err)
+		}
+		if done {
+			break
+		}
+		ip = next
+	}
+	return &Result{Ret: m.regs[asm.EAX.Num32()], Calls: m.calls, Steps: m.steps}, nil
+}
+
+// CallByName finds a function by (ground-truth or recovered) name.
+func (m *Machine) CallByName(name string, args ...uint32) (*Result, error) {
+	fns, err := m.file.Functions()
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range fns {
+		if fn.Name == name {
+			return m.CallFunction(fn.Addr, args...)
+		}
+	}
+	return nil, fmt.Errorf("emu: no function %q", name)
+}
+
+// ---------------------------------------------------------------------
+// Memory.
+
+func (m *Machine) load32(addr uint32) (uint32, error) {
+	if b, ok := m.stackSlice(addr); ok {
+		return le32(b), nil
+	}
+	for i := range m.file.Sections {
+		s := &m.file.Sections[i]
+		if s.Addr != 0 && s.Contains(addr) && addr+4 <= s.Addr+uint32(len(s.Data)) {
+			if copyData, ok := m.ram[i]; ok {
+				return le32(copyData[addr-s.Addr:]), nil
+			}
+			return le32(s.Data[addr-s.Addr:]), nil
+		}
+	}
+	return 0, fmt.Errorf("load from unmapped address %#x", addr)
+}
+
+func (m *Machine) store32(addr uint32, v uint32) error {
+	b, ok := m.stackSlice(addr)
+	if !ok {
+		for i := range m.file.Sections {
+			s := &m.file.Sections[i]
+			if s.Addr != 0 && s.Contains(addr) && addr+4 <= s.Addr+uint32(len(s.Data)) {
+				if copyData, ok := m.ram[i]; ok {
+					b = copyData[addr-s.Addr:]
+					goto write
+				}
+				return fmt.Errorf("store to read-only address %#x", addr)
+			}
+		}
+		return fmt.Errorf("store to unmapped address %#x", addr)
+	}
+write:
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	return nil
+}
+
+func (m *Machine) stackSlice(addr uint32) ([]byte, bool) {
+	lo := uint32(stackBase - stackSize)
+	if addr < lo || addr+4 > stackBase {
+		return nil, false
+	}
+	off := addr - lo
+	return m.stack[off : off+4], true
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// ---------------------------------------------------------------------
+// Register and operand access.
+
+func (m *Machine) reg(r asm.Reg) uint32 { return m.regs[r.Num32()] }
+
+func (m *Machine) setReg(r asm.Reg, v uint32) { m.regs[r.Num32()] = v }
+
+// reg8 reads an 8-bit register through its 32-bit alias.
+func (m *Machine) reg8(r asm.Reg) uint32 {
+	n := r.Num8()
+	if n < 4 {
+		return m.regs[n] & 0xFF
+	}
+	return (m.regs[n-4] >> 8) & 0xFF
+}
+
+func (m *Machine) setReg8(r asm.Reg, v uint32) {
+	n := r.Num8()
+	if n < 4 {
+		m.regs[n] = m.regs[n]&^uint32(0xFF) | v&0xFF
+	} else {
+		m.regs[n-4] = m.regs[n-4]&^uint32(0xFF00) | (v&0xFF)<<8
+	}
+}
+
+// effAddr computes a memory operand's address.
+func (m *Machine) effAddr(op asm.Operand) (uint32, error) {
+	var addr uint32
+	i := 0
+	terms := op.Mem
+	for i < len(terms) {
+		t := terms[i]
+		// Scaled pair reg*imm.
+		if i+1 < len(terms) && terms[i+1].Op == asm.OpMul {
+			if !t.Arg.IsReg() || !terms[i+1].Arg.IsImm() {
+				return 0, fmt.Errorf("bad scaled term in %s", op)
+			}
+			addr += m.reg(t.Arg.Reg) * uint32(terms[i+1].Arg.Imm)
+			i += 2
+			continue
+		}
+		var v uint32
+		switch {
+		case t.Arg.IsReg():
+			v = m.reg(t.Arg.Reg)
+		case t.Arg.IsImm():
+			v = uint32(t.Arg.Imm)
+		default:
+			return 0, fmt.Errorf("symbolic term in %s", op)
+		}
+		if t.Op == asm.OpSub {
+			addr -= v
+		} else {
+			addr += v
+		}
+		i++
+	}
+	return addr, nil
+}
+
+// value reads an operand (register, immediate or memory).
+func (m *Machine) value(op asm.Operand) (uint32, error) {
+	if op.IsMem() {
+		a, err := m.effAddr(op)
+		if err != nil {
+			return 0, err
+		}
+		return m.load32(a)
+	}
+	switch {
+	case op.Arg.IsReg():
+		if op.Arg.Reg.Is8() {
+			return m.reg8(op.Arg.Reg), nil
+		}
+		return m.reg(op.Arg.Reg), nil
+	case op.Arg.IsImm():
+		return uint32(op.Arg.Imm), nil
+	}
+	return 0, fmt.Errorf("cannot read operand %s", op)
+}
+
+// assign writes an operand destination.
+func (m *Machine) assign(op asm.Operand, v uint32) error {
+	if op.IsMem() {
+		a, err := m.effAddr(op)
+		if err != nil {
+			return err
+		}
+		return m.store32(a, v)
+	}
+	if op.Arg.IsReg() {
+		if op.Arg.Reg.Is8() {
+			m.setReg8(op.Arg.Reg, v)
+			return nil
+		}
+		m.setReg(op.Arg.Reg, v)
+		return nil
+	}
+	return fmt.Errorf("cannot write operand %s", op)
+}
+
+func (m *Machine) push(v uint32) error {
+	esp := m.reg(asm.ESP) - 4
+	m.setReg(asm.ESP, esp)
+	return m.store32(esp, v)
+}
+
+func (m *Machine) pop() (uint32, error) {
+	esp := m.reg(asm.ESP)
+	v, err := m.load32(esp)
+	if err != nil {
+		return 0, err
+	}
+	m.setReg(asm.ESP, esp+4)
+	return v, nil
+}
+
+// hookImport models an external call deterministically. The return value
+// derives from the call's build-independent signature, so every build of
+// the same source sees the same environment behaviour.
+func (m *Machine) hookImport(name string) error {
+	esp := m.reg(asm.ESP)
+	args := make([]uint32, m.ArgWords)
+	for i := range args {
+		v, err := m.load32(esp + 4 + uint32(4*i))
+		if err != nil {
+			break // fewer argument words reachable; fine
+		}
+		args[i] = v
+	}
+	// Normalize the first argument: only it is guaranteed meaningful for
+	// every import in the pool (cdecl callees cannot reveal their arity,
+	// and words beyond the real arity hold build-dependent stack junk).
+	key := name + "(" + m.normalizeArg(args[0]) + ")"
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	// Small positive return keeps generated arithmetic well-behaved.
+	ret := h.Sum32() % 1000
+	m.calls = append(m.calls, Call{Name: name, Args: args, Ret: ret, Key: key})
+	m.setReg(asm.EAX, ret)
+	return nil
+}
+
+// normalizeArg renders an argument word build-independently: pointers into
+// initialized data become their (NUL-terminated) content, everything else
+// its numeric value.
+func (m *Machine) normalizeArg(v uint32) string {
+	if data, ok := m.file.DataAt(v); ok {
+		n := 0
+		for n < len(data) && n < 64 && data[n] != 0 {
+			n++
+		}
+		return fmt.Sprintf("%q", data[:n])
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,461 @@
+package emu
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/tinyc"
+)
+
+// runOne compiles src at the given level/seed and calls fnName.
+func runOne(t *testing.T, src string, opt tinyc.OptLevel, seed int64, fnName string, args ...uint32) *Result {
+	t.Helper()
+	img, err := tinyc.Build(src, tinyc.Config{Opt: opt, Seed: seed})
+	if err != nil {
+		t.Fatalf("%v/%d: %v", opt, seed, err)
+	}
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.CallByName(fnName, args...)
+	if err != nil {
+		t.Fatalf("%v/%d: emulate: %v", opt, seed, err)
+	}
+	return res
+}
+
+func TestArithmeticBasics(t *testing.T) {
+	src := `
+	int calc(int a, int b) {
+		int x = a + b * 3;
+		int y = x - 7;
+		int z = y / 2;
+		int w = y % 5;
+		return x * 1000000 + y * 10000 + z * 100 + w;
+	}
+	`
+	// a=4, b=5: x=19, y=12, z=6, w=2 -> 19126002? x*1e6=19000000, y*1e4=120000, z*100=600, w=2.
+	want := uint32(19*1000000 + 12*10000 + 6*100 + 2)
+	for _, opt := range []tinyc.OptLevel{tinyc.O0, tinyc.O1, tinyc.O2, tinyc.Os} {
+		res := runOne(t, src, opt, 1, "calc", 4, 5)
+		if res.Ret != want {
+			t.Errorf("%v: calc(4,5) = %d, want %d", opt, res.Ret, want)
+		}
+	}
+}
+
+func TestNegativeNumbersAndComparisons(t *testing.T) {
+	src := `
+	int cmp(int a, int b) {
+		int r = 0;
+		if (a < b) { r = r + 1; }
+		if (a <= b) { r = r + 10; }
+		if (a > b) { r = r + 100; }
+		if (a >= b) { r = r + 1000; }
+		if (a == b) { r = r + 10000; }
+		if (a != b) { r = r + 100000; }
+		return r;
+	}
+	`
+	cases := []struct {
+		a, b uint32
+		want uint32
+	}{
+		{1, 2, 100011},
+		{2, 1, 101100},
+		{5, 5, 11010},
+		{uint32(0xFFFFFFFF) /* -1 */, 1, 100011}, // signed comparison
+		{1, uint32(0xFFFFFFFE) /* -2 */, 101100},
+	}
+	for _, opt := range []tinyc.OptLevel{tinyc.O0, tinyc.O2} {
+		for _, tc := range cases {
+			res := runOne(t, src, opt, 2, "cmp", tc.a, tc.b)
+			if res.Ret != tc.want {
+				t.Errorf("%v: cmp(%d,%d) = %d, want %d", opt, int32(tc.a), int32(tc.b), res.Ret, tc.want)
+			}
+		}
+	}
+}
+
+func TestLoopsAndLogic(t *testing.T) {
+	src := `
+	int loops(int n) {
+		int acc = 0;
+		int i = 0;
+		for (i = 0; i < n; i = i + 1) {
+			if (i % 2 == 0 && i > 2) { acc = acc + i; }
+			if (i == 7 || acc > 50) { break; }
+		}
+		while (acc > 0 && acc % 3 != 0) { acc = acc - 1; }
+		return acc;
+	}
+	`
+	// Reference: simulate in Go.
+	ref := func(n int32) int32 {
+		acc := int32(0)
+		for i := int32(0); i < n; i++ {
+			if i%2 == 0 && i > 2 {
+				acc += i
+			}
+			if i == 7 || acc > 50 {
+				break
+			}
+		}
+		for acc > 0 && acc%3 != 0 {
+			acc--
+		}
+		return acc
+	}
+	for _, opt := range []tinyc.OptLevel{tinyc.O0, tinyc.O1, tinyc.O2, tinyc.Os} {
+		for _, n := range []int32{0, 1, 5, 9, 40} {
+			res := runOne(t, src, opt, 3, "loops", uint32(n))
+			if int32(res.Ret) != ref(n) {
+				t.Errorf("%v: loops(%d) = %d, want %d", opt, n, int32(res.Ret), ref(n))
+			}
+		}
+	}
+}
+
+func TestExternalCallTrace(t *testing.T) {
+	src := `
+	int talk(int a, char *s) {
+		int h = printf("result: %d", a);
+		if (h > 500) { h = strlen(s); }
+		return h;
+	}
+	`
+	resA := runOne(t, src, tinyc.O0, 1, "talk", 7, 0)
+	resB := runOne(t, src, tinyc.O2, 9, "talk", 7, 0)
+	if len(resA.Calls) == 0 {
+		t.Fatal("no external calls recorded")
+	}
+	if !reflect.DeepEqual(callSummaries(resA.Calls), callSummaries(resB.Calls)) {
+		t.Errorf("call traces differ:\n%v\n%v", resA.Calls, resB.Calls)
+	}
+	if resA.Ret != resB.Ret {
+		t.Errorf("returns differ: %d vs %d", resA.Ret, resB.Ret)
+	}
+	if resA.Calls[0].Name != "printf" {
+		t.Errorf("first call = %q", resA.Calls[0].Name)
+	}
+}
+
+// callSummaries reduces call traces to the build-independent keys plus
+// the hooked return values.
+func callSummaries(calls []Call) []string {
+	out := make([]string, len(calls))
+	for i, c := range calls {
+		out[i] = fmt.Sprintf("%s->%d", c.Key, c.Ret)
+	}
+	return out
+}
+
+func TestInternalCallsAndInlining(t *testing.T) {
+	src := `
+	int outer(int a, int b) {
+		int x = helper(a) + helper(b);
+		return x * refine(a, b);
+	}
+	int helper(int v) { int r = v * 3 + 1; return r; }
+	int refine(int p, int q) {
+		int m = p;
+		if (q > p) { m = q; }
+		return m;
+	}
+	`
+	// O2 inlines; Os calls. Results must agree regardless.
+	want := runOne(t, src, tinyc.O0, 1, "outer", 3, 4)
+	for _, opt := range []tinyc.OptLevel{tinyc.O1, tinyc.O2, tinyc.Os} {
+		res := runOne(t, src, opt, 5, "outer", 3, 4)
+		if res.Ret != want.Ret {
+			t.Errorf("%v: outer(3,4) = %d, want %d", opt, res.Ret, want.Ret)
+		}
+	}
+	// Sanity: (3*3+1)+(4*3+1)=23; max(3,4)=4; 92.
+	if want.Ret != 92 {
+		t.Errorf("outer(3,4) = %d, want 92", want.Ret)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+	int fib(int n) {
+		if (n < 2) { return n; }
+		return fib(n - 1) + fib(n - 2);
+	}
+	`
+	for _, opt := range []tinyc.OptLevel{tinyc.O0, tinyc.O2} {
+		res := runOne(t, src, opt, 1, "fib", 10)
+		if res.Ret != 55 {
+			t.Errorf("%v: fib(10) = %d, want 55", opt, res.Ret)
+		}
+	}
+}
+
+func TestStringArguments(t *testing.T) {
+	src := `
+	int greet(int n) {
+		printf("(%d) HELLO", n);
+		printf("done");
+		return n;
+	}
+	`
+	res := runOne(t, src, tinyc.O2, 4, "greet", 3)
+	if len(res.Calls) != 2 {
+		t.Fatalf("calls = %v", res.Calls)
+	}
+	// First printf's first argument is the string address; second arg is n.
+	if res.Calls[0].Args[1] != 3 {
+		t.Errorf("printf second arg = %d, want 3", res.Calls[0].Args[1])
+	}
+	// Keys carry the string content, not addresses.
+	if want := "printf(\"(%d) HELLO\")"; res.Calls[0].Key != want {
+		t.Errorf("key = %q, want %q", res.Calls[0].Key, want)
+	}
+	if res.Calls[0].Key == res.Calls[1].Key {
+		t.Error("distinct strings share a key")
+	}
+}
+
+// TestDifferentialRandomPrograms is the heavy property test: random TinyC
+// programs must compute identical results and identical external-call
+// sequences at every optimization level and across context seeds.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	type build struct {
+		opt  tinyc.OptLevel
+		seed int64
+	}
+	builds := []build{
+		{tinyc.O0, 1}, {tinyc.O1, 2}, {tinyc.O2, 3}, {tinyc.O2, 4},
+		{tinyc.O2, 5}, {tinyc.Os, 6},
+	}
+	for progSeed := int64(0); progSeed < 15; progSeed++ {
+		src := corpus.RandomFunc("difffn", 1000+progSeed, corpus.GenConfig{Stmts: 25, Calls: true})
+		var ref []string
+		var refRet uint32
+		for bi, b := range builds {
+			img, err := tinyc.Build(src, tinyc.Config{Opt: b.opt, Seed: b.seed})
+			if err != nil {
+				t.Fatalf("prog %d %v/%d: %v", progSeed, b.opt, b.seed, err)
+			}
+			m, err := New(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.MaxSteps = 5_000_000
+			res, err := m.CallByName("difffn", 6, 3, 0)
+			if err != nil {
+				t.Fatalf("prog %d %v/%d: %v\nsource:\n%s", progSeed, b.opt, b.seed, err, src)
+			}
+			sum := callSummaries(res.Calls)
+			if bi == 0 {
+				ref = sum
+				refRet = res.Ret
+				continue
+			}
+			if res.Ret != refRet {
+				t.Errorf("prog %d %v/%d: ret %d, want %d\nsource:\n%s",
+					progSeed, b.opt, b.seed, res.Ret, refRet, src)
+			}
+			if !reflect.DeepEqual(sum, ref) {
+				t.Errorf("prog %d %v/%d: call trace diverged\n got %v\nwant %v",
+					progSeed, b.opt, b.seed, sum, ref)
+			}
+		}
+	}
+}
+
+func TestEmuErrors(t *testing.T) {
+	src := `int f(int a) { return a; }`
+	img, err := tinyc.Build(src, tinyc.Config{Opt: tinyc.O2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CallByName("nosuch"); err == nil {
+		t.Error("unknown function should error")
+	}
+	if _, err := m.CallFunction(0x1234); err == nil {
+		t.Error("execution outside .text should error")
+	}
+	// Step limit.
+	loop := `int f(int a) { while (1 == 1) { a = a + 1; } return a; }`
+	img2, err := tinyc.Build(loop, tinyc.Config{Opt: tinyc.O0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.MaxSteps = 10000
+	if _, err := m2.CallByName("f", 1); err == nil {
+		t.Error("infinite loop should hit the step limit")
+	}
+	if _, err := New([]byte("junk")); err == nil {
+		t.Error("New(garbage) should fail")
+	}
+}
+
+// TestEmuNeverPanics drives the machine over many random programs and
+// argument vectors; any failure mode must be an error, not a panic.
+func TestEmuNeverPanics(t *testing.T) {
+	for seed := int64(50); seed < 62; seed++ {
+		src := corpus.RandomFunc("p", seed, corpus.GenConfig{Stmts: 15, Calls: true})
+		img, err := tinyc.Build(src, tinyc.Config{Opt: tinyc.O2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.MaxSteps = 200000
+		for _, args := range [][]uint32{
+			{}, {1}, {0xFFFFFFFF, 0x80000000, 0}, {7, 7, 7, 7, 7},
+		} {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on seed %d args %v: %v", seed, args, r)
+					}
+				}()
+				_, _ = m.CallByName("p", args...)
+			}()
+		}
+	}
+}
+
+// TestSwitchStrategiesAgree: a dense switch lowered as a compare chain and
+// as a jump table must behave identically, including out-of-range and
+// negative scrutinee values that exercise the table's bounds check.
+func TestSwitchStrategiesAgree(t *testing.T) {
+	src := `
+	int dispatch(int cmd, int x) {
+		int r = 0;
+		switch (cmd) {
+		case 1: r = x + 10;
+		case 2: r = x * 2;
+		case 3:
+			r = x - 5;
+			if (r < 0) { r = 0; }
+		case 4: r = x / 2;
+		case 7: r = 77;
+		default: r = 0 - 1;
+		}
+		return r + 1000 * cmd;
+	}
+	`
+	// Reference semantics in Go.
+	ref := func(cmd, x int32) int32 {
+		r := int32(0)
+		switch cmd {
+		case 1:
+			r = x + 10
+		case 2:
+			r = x * 2
+		case 3:
+			r = x - 5
+			if r < 0 {
+				r = 0
+			}
+		case 4:
+			r = x / 2
+		case 7:
+			r = 77
+		default:
+			r = -1
+		}
+		return r + 1000*cmd
+	}
+	type build struct {
+		opt  tinyc.OptLevel
+		seed int64
+	}
+	builds := []build{{tinyc.O0, 1}}
+	// Include one chain and one table O2 context.
+	for seed := int64(1); seed <= 16; seed++ {
+		p, err := tinyc.Compile(src, tinyc.Config{Opt: tinyc.O2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasTable := false
+		for _, d := range p.Data {
+			if len(d.Name) > 5 && d.Name[:5] == "jtab_" {
+				hasTable = true
+			}
+		}
+		if hasTable {
+			builds = append(builds, build{tinyc.O2, seed})
+			break
+		}
+	}
+	builds = append(builds, build{tinyc.Os, 3})
+	if len(builds) < 3 {
+		t.Fatal("no jump-table context found")
+	}
+	for _, b := range builds {
+		for _, cmd := range []int32{-5, 0, 1, 2, 3, 4, 5, 6, 7, 8, 100} {
+			res := runOne(t, src, b.opt, b.seed, "dispatch", uint32(cmd), 9)
+			if int32(res.Ret) != ref(cmd, 9) {
+				t.Errorf("%v/%d: dispatch(%d, 9) = %d, want %d",
+					b.opt, b.seed, cmd, int32(res.Ret), ref(cmd, 9))
+			}
+		}
+	}
+}
+
+// TestGlobalsSemantics: mutable globals behave identically across
+// optimization levels, including through inlined callees, and each
+// CallFunction starts from fresh initializers.
+func TestGlobalsSemantics(t *testing.T) {
+	src := `
+	int counter = 7;
+	int limit = 20;
+	int bump(int by) {
+		counter = counter + by;
+		if (counter > limit) { counter = limit; }
+		return counter;
+	}
+	int run(int n) {
+		int i = 0;
+		for (i = 0; i < n; i = i + 1) { bump(i); }
+		return counter * 1000 + limit;
+	}
+	`
+	ref := func(n int32) int32 {
+		counter, limit := int32(7), int32(20)
+		for i := int32(0); i < n; i++ {
+			counter += i
+			if counter > limit {
+				counter = limit
+			}
+		}
+		return counter*1000 + limit
+	}
+	for _, opt := range []tinyc.OptLevel{tinyc.O0, tinyc.O1, tinyc.O2, tinyc.Os} {
+		img, err := tinyc.Build(src, tinyc.Config{Opt: opt, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int32{0, 1, 3, 10} {
+			res, err := m.CallByName("run", uint32(n))
+			if err != nil {
+				t.Fatalf("%v: %v", opt, err)
+			}
+			if int32(res.Ret) != ref(n) {
+				t.Errorf("%v: run(%d) = %d, want %d", opt, n, int32(res.Ret), ref(n))
+			}
+		}
+	}
+}

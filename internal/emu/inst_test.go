@@ -1,0 +1,238 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bin"
+)
+
+// buildListing links a single hand-written function for instruction-level
+// emulator tests.
+func buildListing(t *testing.T, src string) *Machine {
+	t.Helper()
+	insts, labels, err := asm.ParseListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := bin.Link(&bin.Program{
+		Funcs:   []bin.Func{{Name: "f", Insts: insts, Labels: labels}},
+		Align16: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// evalF runs f(args...) and returns eax.
+func evalF(t *testing.T, src string, args ...uint32) uint32 {
+	t.Helper()
+	m := buildListing(t, src)
+	res, err := m.CallByName("f", args...)
+	if err != nil {
+		t.Fatalf("emulate: %v", err)
+	}
+	return res.Ret
+}
+
+func TestInstArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		args []uint32
+		want uint32
+	}{
+		{"add", "mov eax, [esp+4]\nadd eax, [esp+8]\nretn", []uint32{3, 4}, 7},
+		{"sub", "mov eax, [esp+4]\nsub eax, 10\nretn", []uint32{3}, 0xFFFFFFF9},
+		{"and-or-xor", "mov eax, 0F0h\nor eax, 0Fh\nand eax, 3Ch\nxor eax, 1\nretn", nil, 0x3D},
+		{"neg", "mov eax, 5\nneg eax\nretn", nil, 0xFFFFFFFB},
+		{"not", "mov eax, 0\nnot eax\nretn", nil, 0xFFFFFFFF},
+		{"inc-dec", "mov eax, 7\ninc eax\ninc eax\ndec eax\nretn", nil, 8},
+		{"imul2", "mov eax, 6\nmov ecx, 7\nimul eax, ecx\nretn", nil, 42},
+		{"imul3", "mov ecx, 6\nimul eax, ecx, -2\nretn", nil, 0xFFFFFFF4},
+		{"imul1", "mov eax, 40000h\nmov ecx, 40000h\nimul ecx\nmov eax, edx\nretn", nil, 0x10},
+		{"shl", "mov eax, 3\nshl eax, 4\nretn", nil, 48},
+		{"shr", "mov eax, -1\nshr eax, 28", nil, 0xF},
+		{"sar", "mov eax, -16\nsar eax, 2\nretn", nil, 0xFFFFFFFC},
+		{"lea", "mov ecx, 10\nmov edx, 3\nlea eax, [ecx+edx*4+5]\nretn", nil, 27},
+		{"adc", "mov eax, -1\nadd eax, 2\nmov eax, 0\nadc eax, 0\nretn", nil, 1},
+		{"sbb", "mov eax, 0\nsub eax, 1\nmov eax, 10\nsbb eax, 2\nretn", nil, 7},
+		{"cdq-idiv", "mov eax, -7\ncdq\nmov ecx, 2\nidiv ecx\nretn", nil, 0xFFFFFFFD},
+		{"movzx", "mov eax, 1FFh\nmovzx ecx, al\nmov eax, ecx\nretn", nil, 0xFF},
+		{"movsx", "mov eax, 80h\nmovsx ecx, al\nmov eax, ecx\nretn", nil, 0xFFFFFF80},
+		{"setcc", "mov eax, 3\ncmp eax, 3\nsetz al\nmovzx eax, al\nretn", nil, 1},
+		{"cmov-taken", "mov eax, 1\nmov ecx, 9\ncmp eax, 1\ncmovz eax, ecx\nretn", nil, 9},
+		{"cmov-skipped", "mov eax, 1\nmov ecx, 9\ncmp eax, 2\ncmovz eax, ecx\nretn", nil, 1},
+		{"xchg-free-mov8", "mov eax, 0\nmov ecx, 12Fh\nmov al, cl\nmovzx eax, al\nretn", nil, 0x2F},
+	}
+	for _, tc := range tests {
+		src := tc.src
+		if src[len(src)-4:] != "retn" {
+			src += "\nretn"
+		}
+		if got := evalF(t, src, tc.args...); got != tc.want {
+			t.Errorf("%s: got %#x, want %#x", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestInstUnsignedBranches(t *testing.T) {
+	// jb/ja/jbe/jae use CF: 1 < -1 unsigned is true.
+	src := `
+		mov eax, 1
+		cmp eax, -1
+		jb below
+		mov eax, 0
+		retn
+	below:
+		mov eax, 42
+		retn
+	`
+	if got := evalF(t, src); got != 42 {
+		t.Errorf("unsigned below: %d", got)
+	}
+	src2 := `
+		mov eax, -1
+		cmp eax, 1
+		ja above
+		mov eax, 0
+		retn
+	above:
+		mov eax, 7
+		retn
+	`
+	if got := evalF(t, src2); got != 7 {
+		t.Errorf("unsigned above: %d", got)
+	}
+}
+
+func TestInstSignOverflowBranches(t *testing.T) {
+	// jl must use SF != OF: INT_MIN < 1 despite overflow in the subtract.
+	src := `
+		mov eax, 80000000h
+		cmp eax, 1
+		jl less
+		mov eax, 0
+		retn
+	less:
+		mov eax, 1
+		retn
+	`
+	if got := evalF(t, src); got != 1 {
+		t.Errorf("INT_MIN < 1 not detected: %d", got)
+	}
+	// js after a negative result.
+	src2 := `
+		mov eax, 3
+		sub eax, 10
+		js neg_
+		mov eax, 0
+		retn
+	neg_:
+		mov eax, 5
+		retn
+	`
+	if got := evalF(t, src2); got != 5 {
+		t.Errorf("sign flag branch: %d", got)
+	}
+}
+
+func TestInstStackOps(t *testing.T) {
+	src := `
+		push 11h
+		push 22h
+		pop eax
+		pop ecx
+		add eax, ecx
+		retn
+	`
+	if got := evalF(t, src); got != 0x33 {
+		t.Errorf("push/pop: %#x", got)
+	}
+	// push/pop through memory operands.
+	src2 := `
+		push ebp
+		mov ebp, esp
+		sub esp, 8
+		mov [ebp-4], 0
+		mov [ebp-8], 0
+		push 5
+		pop [ebp-4]
+		inc [ebp-4]
+		dec [ebp-8]
+		mov eax, [ebp-4]
+		add eax, [ebp-8]
+		mov esp, ebp
+		pop ebp
+		retn
+	`
+	if got := evalF(t, src2); got != 5 {
+		t.Errorf("mem push/pop/inc/dec: %#x", got)
+	}
+}
+
+func TestInstHigh8Registers(t *testing.T) {
+	// ah = bits 8..15 of eax.
+	src := `
+		mov eax, 1234h
+		mov cl, ah
+		movzx eax, cl
+		retn
+	`
+	if got := evalF(t, src); got != 0x12 {
+		t.Errorf("high-8 read: %#x", got)
+	}
+	src2 := `
+		mov eax, 0
+		mov ecx, 56h
+		mov ah, cl
+		retn
+	`
+	if got := evalF(t, src2); got != 0x5600 {
+		t.Errorf("high-8 write: %#x", got)
+	}
+}
+
+func TestInstIndirectFaults(t *testing.T) {
+	// Loads and stores to unmapped addresses must error, not panic.
+	m := buildListing(t, "mov eax, [12345h]\nretn")
+	if _, err := m.CallByName("f"); err == nil {
+		t.Error("unmapped load should error")
+	}
+	m2 := buildListing(t, "mov [12345h], eax\nretn")
+	if _, err := m2.CallByName("f"); err == nil {
+		t.Error("unmapped store should error")
+	}
+	m3 := buildListing(t, "mov eax, 0\nmov ecx, 5\ncdq\nidiv eax\nretn")
+	if _, err := m3.CallByName("f"); err == nil {
+		t.Error("division by zero should error")
+	}
+	m4 := buildListing(t, "mov eax, 80000000h\ncdq\nmov ecx, -1\nidiv ecx\nretn")
+	if _, err := m4.CallByName("f"); err == nil {
+		t.Error("idiv overflow should error")
+	}
+}
+
+func TestInstTestAndLogicBranches(t *testing.T) {
+	src := `
+		mov eax, [esp+4]
+		test eax, eax
+		jnz nonzero
+		mov eax, 100
+		retn
+	nonzero:
+		mov eax, 200
+		retn
+	`
+	if got := evalF(t, src, 0); got != 100 {
+		t.Errorf("test zero: %d", got)
+	}
+	if got := evalF(t, src, 9); got != 200 {
+		t.Errorf("test nonzero: %d", got)
+	}
+}

@@ -1,0 +1,414 @@
+package emu
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/x86"
+)
+
+// step executes the instruction at ip and returns the next ip, or
+// done=true when the top-level function returned.
+func (m *Machine) step(ip uint32) (next uint32, done bool, err error) {
+	text := m.file.Section(".text")
+	if text == nil || !text.Contains(ip) {
+		return 0, false, fmt.Errorf("execution outside .text")
+	}
+	in, size, err := x86.Decode(text.Data[ip-text.Addr:], ip)
+	if err != nil {
+		return 0, false, err
+	}
+	next = ip + uint32(size)
+
+	val := func(i int) (uint32, error) { return m.value(in.Ops[i]) }
+
+	switch in.Mnemonic {
+	case "nop":
+	case "mov":
+		v, err := val(1)
+		if err != nil {
+			return 0, false, err
+		}
+		if err := m.assign(in.Ops[0], v); err != nil {
+			return 0, false, err
+		}
+	case "movzx":
+		v, err := val(1)
+		if err != nil {
+			return 0, false, err
+		}
+		if in.Ops[1].IsMem() {
+			v &= 0xFF // byte load
+		}
+		if err := m.assign(in.Ops[0], v); err != nil {
+			return 0, false, err
+		}
+	case "movsx":
+		v, err := val(1)
+		if err != nil {
+			return 0, false, err
+		}
+		v = uint32(int32(int8(v)))
+		if err := m.assign(in.Ops[0], v); err != nil {
+			return 0, false, err
+		}
+	case "lea":
+		a, err := m.effAddr(in.Ops[1])
+		if err != nil {
+			return 0, false, err
+		}
+		if err := m.assign(in.Ops[0], a); err != nil {
+			return 0, false, err
+		}
+	case "add", "sub", "and", "or", "xor", "adc", "sbb":
+		if err := m.alu(in); err != nil {
+			return 0, false, err
+		}
+	case "cmp":
+		a, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		b, err := val(1)
+		if err != nil {
+			return 0, false, err
+		}
+		m.subFlags(a, b)
+	case "test":
+		a, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		b, err := val(1)
+		if err != nil {
+			return 0, false, err
+		}
+		m.logicFlags(a & b)
+	case "inc", "dec":
+		v, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		var r uint32
+		if in.Mnemonic == "inc" {
+			r = v + 1
+			m.of = v == 0x7FFFFFFF
+		} else {
+			r = v - 1
+			m.of = v == 0x80000000
+		}
+		m.zf = r == 0
+		m.sf = int32(r) < 0
+		if err := m.assign(in.Ops[0], r); err != nil {
+			return 0, false, err
+		}
+	case "neg":
+		v, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		r := -v
+		m.subFlags(0, v)
+		if err := m.assign(in.Ops[0], r); err != nil {
+			return 0, false, err
+		}
+	case "not":
+		v, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		if err := m.assign(in.Ops[0], ^v); err != nil {
+			return 0, false, err
+		}
+	case "imul":
+		if err := m.imul(in); err != nil {
+			return 0, false, err
+		}
+	case "idiv":
+		v, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		if v == 0 {
+			return 0, false, fmt.Errorf("division by zero")
+		}
+		num := int64(int32(m.reg(asm.EDX)))<<32 | int64(m.reg(asm.EAX))
+		den := int64(int32(v))
+		q := num / den
+		r := num % den
+		if q > 0x7FFFFFFF || q < -0x80000000 {
+			return 0, false, fmt.Errorf("idiv overflow")
+		}
+		m.setReg(asm.EAX, uint32(int32(q)))
+		m.setReg(asm.EDX, uint32(int32(r)))
+	case "cdq":
+		if int32(m.reg(asm.EAX)) < 0 {
+			m.setReg(asm.EDX, 0xFFFFFFFF)
+		} else {
+			m.setReg(asm.EDX, 0)
+		}
+	case "shl", "shr", "sar":
+		v, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		n, err := val(1)
+		if err != nil {
+			return 0, false, err
+		}
+		n &= 31
+		var r uint32
+		switch in.Mnemonic {
+		case "shl":
+			r = v << n
+		case "shr":
+			r = v >> n
+		default:
+			r = uint32(int32(v) >> n)
+		}
+		if n != 0 {
+			m.logicFlags(r)
+		}
+		if err := m.assign(in.Ops[0], r); err != nil {
+			return 0, false, err
+		}
+	case "push":
+		v, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		if err := m.push(v); err != nil {
+			return 0, false, err
+		}
+	case "pop":
+		v, err := m.pop()
+		if err != nil {
+			return 0, false, err
+		}
+		if err := m.assign(in.Ops[0], v); err != nil {
+			return 0, false, err
+		}
+	case "leave":
+		m.setReg(asm.ESP, m.reg(asm.EBP))
+		v, err := m.pop()
+		if err != nil {
+			return 0, false, err
+		}
+		m.setReg(asm.EBP, v)
+	case "retn", "ret":
+		v, err := m.pop()
+		if err != nil {
+			return 0, false, err
+		}
+		if v == retSentinel {
+			return 0, true, nil
+		}
+		return v, false, nil
+	case "call":
+		target, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		if err := m.push(next); err != nil {
+			return 0, false, err
+		}
+		if m.file.InPLT(target) {
+			name, ok := m.file.ImportAt(target)
+			if !ok {
+				return 0, false, fmt.Errorf("call into unknown PLT slot %#x", target)
+			}
+			if err := m.hookImport(strings.TrimPrefix(name, "_")); err != nil {
+				return 0, false, err
+			}
+			if _, err := m.pop(); err != nil { // discard pushed return address
+				return 0, false, err
+			}
+			return next, false, nil
+		}
+		return target, false, nil
+	case "jmp":
+		t, err := val(0)
+		if err != nil {
+			return 0, false, err
+		}
+		return t, false, nil
+	default:
+		if cond, ok := m.jccCond(in.Mnemonic, "j"); ok {
+			t, err := val(0)
+			if err != nil {
+				return 0, false, err
+			}
+			if cond {
+				return t, false, nil
+			}
+			return next, false, nil
+		}
+		if cond, ok := m.jccCond(in.Mnemonic, "set"); ok {
+			v := uint32(0)
+			if cond {
+				v = 1
+			}
+			if err := m.assign(in.Ops[0], v); err != nil {
+				return 0, false, err
+			}
+			return next, false, nil
+		}
+		if cond, ok := m.jccCond(in.Mnemonic, "cmov"); ok {
+			if cond {
+				v, err := val(1)
+				if err != nil {
+					return 0, false, err
+				}
+				if err := m.assign(in.Ops[0], v); err != nil {
+					return 0, false, err
+				}
+			}
+			return next, false, nil
+		}
+		return 0, false, fmt.Errorf("unimplemented mnemonic %q", in.Mnemonic)
+	}
+	return next, false, nil
+}
+
+// alu executes the two-operand flag-setting arithmetic group.
+func (m *Machine) alu(in asm.Inst) error {
+	a, err := m.value(in.Ops[0])
+	if err != nil {
+		return err
+	}
+	b, err := m.value(in.Ops[1])
+	if err != nil {
+		return err
+	}
+	var r uint32
+	switch in.Mnemonic {
+	case "add":
+		r = a + b
+		m.addFlags(a, b, r)
+	case "adc":
+		c := uint32(0)
+		if m.cf {
+			c = 1
+		}
+		r = a + b + c
+		m.addFlags(a, b, r)
+	case "sub":
+		r = a - b
+		m.subFlags(a, b)
+	case "sbb":
+		c := uint32(0)
+		if m.cf {
+			c = 1
+		}
+		r = a - b - c
+		m.subFlags(a, b)
+	case "and":
+		r = a & b
+		m.logicFlags(r)
+	case "or":
+		r = a | b
+		m.logicFlags(r)
+	case "xor":
+		r = a ^ b
+		m.logicFlags(r)
+	}
+	return m.assign(in.Ops[0], r)
+}
+
+func (m *Machine) imul(in asm.Inst) error {
+	switch len(in.Ops) {
+	case 1:
+		v, err := m.value(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		p := int64(int32(m.reg(asm.EAX))) * int64(int32(v))
+		m.setReg(asm.EAX, uint32(p))
+		m.setReg(asm.EDX, uint32(p>>32))
+		return nil
+	case 2:
+		a, err := m.value(in.Ops[0])
+		if err != nil {
+			return err
+		}
+		b, err := m.value(in.Ops[1])
+		if err != nil {
+			return err
+		}
+		return m.assign(in.Ops[0], uint32(int32(a)*int32(b)))
+	case 3:
+		b, err := m.value(in.Ops[1])
+		if err != nil {
+			return err
+		}
+		c, err := m.value(in.Ops[2])
+		if err != nil {
+			return err
+		}
+		return m.assign(in.Ops[0], uint32(int32(b)*int32(c)))
+	}
+	return fmt.Errorf("bad imul arity")
+}
+
+// Flag helpers (32-bit semantics).
+
+func (m *Machine) addFlags(a, b, r uint32) {
+	m.zf = r == 0
+	m.sf = int32(r) < 0
+	m.cf = r < a
+	m.of = (int32(a) >= 0) == (int32(b) >= 0) && (int32(r) >= 0) != (int32(a) >= 0)
+}
+
+func (m *Machine) subFlags(a, b uint32) {
+	r := a - b
+	m.zf = r == 0
+	m.sf = int32(r) < 0
+	m.cf = a < b
+	m.of = (int32(a) >= 0) != (int32(b) >= 0) && (int32(r) >= 0) != (int32(a) >= 0)
+}
+
+func (m *Machine) logicFlags(r uint32) {
+	m.zf = r == 0
+	m.sf = int32(r) < 0
+	m.cf = false
+	m.of = false
+}
+
+// jccCond evaluates a condition-suffixed mnemonic against current flags.
+func (m *Machine) jccCond(mnemonic, prefix string) (bool, bool) {
+	if !strings.HasPrefix(mnemonic, prefix) || len(mnemonic) <= len(prefix) {
+		return false, false
+	}
+	switch mnemonic[len(prefix):] {
+	case "z", "e":
+		return m.zf, true
+	case "nz", "ne":
+		return !m.zf, true
+	case "l":
+		return m.sf != m.of, true
+	case "ge":
+		return m.sf == m.of, true
+	case "le":
+		return m.zf || m.sf != m.of, true
+	case "g":
+		return !m.zf && m.sf == m.of, true
+	case "b":
+		return m.cf, true
+	case "ae":
+		return !m.cf, true
+	case "be":
+		return m.cf || m.zf, true
+	case "a":
+		return !m.cf && !m.zf, true
+	case "s":
+		return m.sf, true
+	case "ns":
+		return !m.sf, true
+	case "o":
+		return m.of, true
+	case "no":
+		return !m.of, true
+	}
+	return false, false
+}

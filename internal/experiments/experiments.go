@@ -1,0 +1,208 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 5-6) against a synthetic corpus built with the
+// TinyC compiler substrate: Table 1 (test-bed statistics), Table 2
+// (β sweep), the Section 6.1 k sweep, Table 3 (tracelets vs n-grams vs
+// graphlets), Fig. 8 (rewrite-engine contribution per executable),
+// Table 4 (runtimes) and the Section 8 optimization-level study.
+//
+// Absolute numbers differ from the paper (different corpus, different
+// hardware); the *shapes* — who wins, where thresholds plateau, what the
+// rewrite engine adds — are the reproduction target and are recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/prep"
+	"repro/internal/tinyc"
+)
+
+// Env is the shared evaluation environment: the corpus, the index built
+// from it, and the designated query functions with their ground truth.
+type Env struct {
+	Corpus *corpus.Corpus
+	DB     *index.DB
+
+	// Queries are functions re-compiled in a fresh context (a seed not
+	// present in the corpus), mimicking "a binary in hand" that is not
+	// itself part of the code base.
+	Queries []Query
+}
+
+// Query is one search query with ground truth.
+type Query struct {
+	Name  string // descriptive
+	Truth string // ground-truth name matched against index entries ("" = noise)
+	Fn    *prep.Function
+}
+
+// Scale selects corpus size.
+type Scale int
+
+// Corpus scales.
+const (
+	ScaleSmall  Scale = iota // CI-sized: seconds
+	ScaleMedium              // default CLI: tens of seconds
+	ScaleLarge               // benchmark: minutes
+)
+
+func buildConfig(s Scale) corpus.BuildConfig {
+	switch s {
+	case ScaleMedium:
+		return corpus.BuildConfig{
+			Seed: 1, ContextCopies: 6, Versions: 4, NoiseExes: 8,
+			FuncsPerExe: 10, TargetStmts: 90, FillerStmts: 30, Opt: tinyc.O2,
+		}
+	case ScaleLarge:
+		return corpus.BuildConfig{
+			Seed: 1, ContextCopies: 8, Versions: 5, NoiseExes: 30,
+			FuncsPerExe: 20, TargetStmts: 120, FillerStmts: 40, Opt: tinyc.O2,
+		}
+	default:
+		return corpus.BuildConfig{
+			Seed: 1, ContextCopies: 3, Versions: 3, NoiseExes: 3,
+			FuncsPerExe: 4, TargetStmts: 50, FillerStmts: 18, Opt: tinyc.O2,
+		}
+	}
+}
+
+// BuildEnv constructs the corpus, indexes it, and prepares the query set.
+func BuildEnv(s Scale) (*Env, error) {
+	cfg := buildConfig(s)
+	c, err := corpus.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db := index.New()
+	for _, e := range c.Exes {
+		if err := db.AddImage(e.Name, e.Image, e.Truth); err != nil {
+			return nil, err
+		}
+	}
+	env := &Env{Corpus: c, DB: db}
+
+	// Query 1: the shared library function, compiled in an unseen context
+	// (paper: quotearg_buffer_restyled from wc).
+	libSrc := corpus.RandomFunc(corpus.LibFuncName, cfg.Seed*7+3,
+		corpus.GenConfig{Stmts: cfg.TargetStmts, Calls: true})
+	if err := env.addQuery("lib-fresh-context", corpus.LibFuncName, libSrc, tinyc.O2, 777); err != nil {
+		return nil, err
+	}
+	// Query 2: the same function "implanted": compiled together with
+	// foreign functions into a different executable (paper: wc 7.6
+	// implanted in wc 8.19).
+	implantSrc := libSrc + "\n" + corpus.RandomFunc("host1", 901, corpus.GenConfig{Stmts: cfg.FillerStmts, Calls: true})
+	if err := env.addQueryFrom("lib-implanted", corpus.LibFuncName, implantSrc, tinyc.O2, 778); err != nil {
+		return nil, err
+	}
+	// Query 3: version 0 of the app function (paper: getftp from wget
+	// 1.10 searched across versions).
+	appSrc := corpus.VersionedFunc(corpus.AppFuncName, cfg.Seed*13+5, 0, 8, cfg.TargetStmts/8)
+	if err := env.addQuery("app-v0", corpus.AppFuncName, appSrc, tinyc.O2, 779); err != nil {
+		return nil, err
+	}
+	// Query 4: the newest version of the app function.
+	appSrcN := corpus.VersionedFunc(corpus.AppFuncName, cfg.Seed*13+5, cfg.Versions-1, 8, cfg.TargetStmts/8)
+	if err := env.addQuery("app-latest", corpus.AppFuncName, appSrcN, tinyc.O2, 780); err != nil {
+		return nil, err
+	}
+	// Queries 5-6: noise functions with no true matches in the corpus.
+	for i, seed := range []int64{555, 556} {
+		src := corpus.RandomFunc(fmt.Sprintf("noiseq%d", i), seed,
+			corpus.GenConfig{Stmts: cfg.TargetStmts, Calls: true})
+		if err := env.addQuery(fmt.Sprintf("noise-%d", i), "", src, tinyc.O2, 781+int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	return env, nil
+}
+
+func (env *Env) addQuery(name, truth, src string, opt tinyc.OptLevel, seed int64) error {
+	return env.addQueryFrom(name, truth, src, opt, seed)
+}
+
+// addQueryFrom compiles src (which may contain several functions),
+// strips, lifts, and registers the *largest* function as the query (the
+// planted one is always the largest by construction).
+func (env *Env) addQueryFrom(name, truth, src string, opt tinyc.OptLevel, seed int64) error {
+	img, err := tinyc.BuildStripped(src, tinyc.Config{Opt: opt, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("experiments: query %s: %w", name, err)
+	}
+	fns, err := prep.LiftImage(img)
+	if err != nil {
+		return err
+	}
+	best := fns[0]
+	for _, fn := range fns[1:] {
+		if fn.NumInsts() > best.NumInsts() {
+			best = fn
+		}
+	}
+	env.Queries = append(env.Queries, Query{Name: name, Truth: truth, Fn: best})
+	return nil
+}
+
+// stats computes mean and (population) standard deviation.
+func stats(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func minMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// sampleLabel reports whether an index entry is a true match for a query.
+func sampleLabel(q Query, e *index.Entry) bool {
+	return q.Truth != "" && e.Truth == q.Truth
+}
+
+// matcherOptions returns the default matcher configuration with the
+// given β (as a fraction) and k.
+func matcherOptions(k int, beta float64) core.Options {
+	opts := core.DefaultOptions()
+	opts.K = k
+	opts.Beta = beta
+	return opts
+}

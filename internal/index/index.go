@@ -1,0 +1,127 @@
+// Package index implements the function database and search engine of the
+// prototype (paper Section 5.2): executables are disassembled and lifted
+// on ingest, decomposed into tracelets per requested k (cached), and a
+// query function is compared against every indexed function in parallel.
+// The database serializes with encoding/gob.
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/prep"
+)
+
+// Entry is one indexed binary function.
+type Entry struct {
+	Exe   string // executable name
+	Name  string // recovered name (sub_XXX in stripped binaries)
+	Addr  uint32
+	Truth string // ground-truth source name, if known (evaluation only)
+	Func  *prep.Function
+}
+
+// DB is the searchable function database.
+type DB struct {
+	Entries []*Entry
+
+	decomposed map[int][]*core.Decomposed
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{decomposed: make(map[int][]*core.Decomposed)}
+}
+
+// AddImage lifts all functions of a (possibly stripped) ELF image and
+// indexes them. truth maps function addresses to ground-truth names and
+// may be nil.
+func (db *DB) AddImage(exe string, img []byte, truth map[uint32]string) error {
+	fns, err := prep.LiftImage(img)
+	if err != nil {
+		return fmt.Errorf("index: %s: %w", exe, err)
+	}
+	for _, fn := range fns {
+		e := &Entry{Exe: exe, Name: fn.Name, Addr: fn.Addr, Func: fn}
+		if truth != nil {
+			e.Truth = truth[fn.Addr]
+		}
+		db.Entries = append(db.Entries, e)
+	}
+	db.decomposed = make(map[int][]*core.Decomposed) // invalidate cache
+	return nil
+}
+
+// Len returns the number of indexed functions.
+func (db *DB) Len() int { return len(db.Entries) }
+
+// Decomposed returns the k-tracelet decomposition of every entry, cached
+// per k and aligned with Entries.
+func (db *DB) Decomposed(k int) []*core.Decomposed {
+	if db.decomposed == nil {
+		db.decomposed = make(map[int][]*core.Decomposed)
+	}
+	if d, ok := db.decomposed[k]; ok {
+		return d
+	}
+	d := make([]*core.Decomposed, len(db.Entries))
+	for i, e := range db.Entries {
+		d[i] = core.Decompose(e.Func, k)
+	}
+	db.decomposed[k] = d
+	return d
+}
+
+// Hit is one search result.
+type Hit struct {
+	Entry  *Entry
+	Result core.Result
+}
+
+// Search compares the query function against every entry, in parallel,
+// and returns all hits ordered by similarity score (descending), with
+// ties broken by executable and name for determinism.
+func (db *DB) Search(query *prep.Function, opts core.Options) []Hit {
+	m := core.NewMatcher(opts)
+	ref := core.Decompose(query, m.Opts.K)
+	targets := db.Decomposed(m.Opts.K)
+	results := m.CompareMany(ref, targets)
+	hits := make([]Hit, len(results))
+	for i := range results {
+		hits[i] = Hit{Entry: db.Entries[i], Result: results[i]}
+	}
+	sort.SliceStable(hits, func(i, j int) bool {
+		a, b := hits[i], hits[j]
+		if a.Result.SimilarityScore != b.Result.SimilarityScore {
+			return a.Result.SimilarityScore > b.Result.SimilarityScore
+		}
+		if a.Entry.Exe != b.Entry.Exe {
+			return a.Entry.Exe < b.Entry.Exe
+		}
+		return a.Entry.Name < b.Entry.Name
+	})
+	return hits
+}
+
+// gobDB is the serialized form.
+type gobDB struct {
+	Entries []*Entry
+}
+
+// Save serializes the database (entries only; decompositions are
+// recomputed on demand).
+func (db *DB) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(gobDB{Entries: db.Entries})
+}
+
+// Load restores a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var g gobDB
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &DB{Entries: g.Entries, decomposed: make(map[int][]*core.Decomposed)}, nil
+}

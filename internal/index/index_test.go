@@ -1,0 +1,176 @@
+package index
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/prep"
+	"repro/internal/tinyc"
+)
+
+// buildTestDB builds a small corpus and indexes it.
+func buildTestDB(t *testing.T) (*DB, *corpus.Corpus) {
+	t.Helper()
+	c, err := corpus.Build(corpus.BuildConfig{
+		Seed:          3,
+		ContextCopies: 3,
+		Versions:      2,
+		NoiseExes:     2,
+		FuncsPerExe:   3,
+		TargetStmts:   40,
+		FillerStmts:   15,
+		Opt:           tinyc.O2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	for _, e := range c.Exes {
+		if err := db.AddImage(e.Name, e.Image, e.Truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, c
+}
+
+// queryFor lifts the planted query function out of one corpus executable.
+func queryFor(t *testing.T, db *DB, truthName string) *prep.Function {
+	t.Helper()
+	for _, e := range db.Entries {
+		if e.Truth == truthName {
+			return e.Func
+		}
+	}
+	t.Fatalf("no entry with truth %q", truthName)
+	return nil
+}
+
+func TestSearchFindsAllContexts(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	hits := db.Search(query, core.DefaultOptions())
+	if len(hits) != db.Len() {
+		t.Fatalf("got %d hits, want %d", len(hits), db.Len())
+	}
+	// The top ContextCopies hits must be the planted library functions.
+	for i := 0; i < 3; i++ {
+		if hits[i].Entry.Truth != corpus.LibFuncName {
+			t.Errorf("hit %d is %q (score %.2f), want %s", i,
+				hits[i].Entry.Truth, hits[i].Result.SimilarityScore, corpus.LibFuncName)
+		}
+		if !hits[i].Result.IsMatch {
+			t.Errorf("hit %d not classified as match (score %.2f)", i,
+				hits[i].Result.SimilarityScore)
+		}
+	}
+	// Everything else should score clearly below.
+	for _, h := range hits[3:] {
+		if h.Result.IsMatch {
+			t.Errorf("false positive: %s/%s scored %.2f", h.Entry.Exe,
+				h.Entry.Truth, h.Result.SimilarityScore)
+		}
+	}
+}
+
+func TestSearchFindsVersions(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.AppFuncName)
+	hits := db.Search(query, core.DefaultOptions())
+	for i := 0; i < 2; i++ {
+		if hits[i].Entry.Truth != corpus.AppFuncName {
+			t.Errorf("hit %d is %q, want %s (score %.2f)", i, hits[i].Entry.Truth,
+				corpus.AppFuncName, hits[i].Result.SimilarityScore)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, _ := buildTestDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("loaded %d entries, want %d", db2.Len(), db.Len())
+	}
+	// The loaded DB must search identically.
+	query := queryFor(t, db2, corpus.LibFuncName)
+	hits := db2.Search(query, core.DefaultOptions())
+	if hits[0].Entry.Truth != corpus.LibFuncName {
+		t.Errorf("loaded DB search broken: top hit %q", hits[0].Entry.Truth)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("Load(garbage) should fail")
+	}
+}
+
+func TestDecomposedCache(t *testing.T) {
+	db, _ := buildTestDB(t)
+	a := db.Decomposed(3)
+	b := db.Decomposed(3)
+	if &a[0] != &b[0] {
+		t.Error("decomposition not cached")
+	}
+	c := db.Decomposed(2)
+	if len(c) != len(a) {
+		t.Error("per-k decompositions misaligned")
+	}
+}
+
+func TestAddImageInvalidatesCache(t *testing.T) {
+	db, c := buildTestDB(t)
+	before := len(db.Decomposed(3))
+	if err := db.AddImage("again", c.Exes[0].Image, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := len(db.Decomposed(3))
+	if after <= before {
+		t.Errorf("cache not invalidated: %d -> %d", before, after)
+	}
+}
+
+func TestAddImageBadData(t *testing.T) {
+	db := New()
+	if err := db.AddImage("x", []byte("not elf"), nil); err == nil {
+		t.Error("AddImage(garbage) should fail")
+	}
+}
+
+// TestConcurrentSearches runs several searches in parallel on a shared DB
+// (the decomposition cache must be safe once built).
+func TestConcurrentSearches(t *testing.T) {
+	db, _ := buildTestDB(t)
+	db.Decomposed(3) // prebuild before sharing
+	queries := []*prep.Function{
+		queryFor(t, db, corpus.LibFuncName),
+		queryFor(t, db, corpus.AppFuncName),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := queries[i%2]
+			hits := db.Search(q, core.DefaultOptions())
+			if len(hits) != db.Len() {
+				errs <- "wrong hit count"
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

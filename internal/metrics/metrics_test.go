@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPerfectClassifier(t *testing.T) {
+	samples := []Sample{
+		{0.9, true}, {0.8, true}, {0.3, false}, {0.1, false},
+	}
+	if got := ROCAUC(samples); !approx(got, 1.0, 1e-12) {
+		t.Errorf("perfect ROC AUC = %v", got)
+	}
+	if got := CROCAUC(samples); !approx(got, 1.0, 1e-9) {
+		t.Errorf("perfect CROC AUC = %v", got)
+	}
+}
+
+func TestWorstClassifier(t *testing.T) {
+	samples := []Sample{
+		{0.9, false}, {0.8, false}, {0.3, true}, {0.1, true},
+	}
+	if got := ROCAUC(samples); !approx(got, 0.0, 1e-12) {
+		t.Errorf("inverted ROC AUC = %v", got)
+	}
+}
+
+func TestRandomClassifierNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var samples []Sample
+	for i := 0; i < 5000; i++ {
+		samples = append(samples, Sample{rng.Float64(), rng.Intn(2) == 0})
+	}
+	if got := ROCAUC(samples); !approx(got, 0.5, 0.03) {
+		t.Errorf("random ROC AUC = %v, want ~0.5", got)
+	}
+	// CROC of a random classifier at α=7 is ~0.14 (Swamidass et al.): the
+	// area of the diagonal under the exponential transform is
+	// (1 - 8e⁻⁷)/(7(1 - e⁻⁷)) ≈ 0.1418.
+	if got := CROCAUC(samples); !approx(got, 0.1418, 0.02) {
+		t.Errorf("random CROC AUC = %v, want ~0.1418", got)
+	}
+}
+
+// TestCROCPunishesEarlyFalsePositives: two classifiers with the same ROC
+// AUC, one making its false positives early (top-ranked), one late. CROC
+// must score the early-FP classifier strictly lower.
+func TestCROCEmphasis(t *testing.T) {
+	// classifier A: FP ranked first, then all TPs, then TNs.
+	var a []Sample
+	a = append(a, Sample{1.0, false})
+	for i := 0; i < 10; i++ {
+		a = append(a, Sample{0.9, true})
+	}
+	for i := 0; i < 89; i++ {
+		a = append(a, Sample{0.1, false})
+	}
+	// classifier B: all TPs first, one FP just after, then TNs.
+	var b []Sample
+	for i := 0; i < 10; i++ {
+		b = append(b, Sample{1.0, true})
+	}
+	b = append(b, Sample{0.9, false})
+	for i := 0; i < 89; i++ {
+		b = append(b, Sample{0.1, false})
+	}
+	crocA, crocB := CROCAUC(a), CROCAUC(b)
+	if crocA >= crocB {
+		t.Errorf("CROC should punish early FP: A=%v B=%v", crocA, crocB)
+	}
+	rocA, rocB := ROCAUC(a), ROCAUC(b)
+	// The ROC gap is small; the CROC gap must be larger.
+	if (crocB - crocA) <= (rocB - rocA) {
+		t.Errorf("CROC gap %v should exceed ROC gap %v", crocB-crocA, rocB-rocA)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	samples := []Sample{{0.5, true}, {0.4, false}}
+	pts := ROC(samples)
+	if pts[0] != (Point{0, 0}) {
+		t.Errorf("ROC must start at origin, got %v", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last != (Point{1, 1}) {
+		t.Errorf("ROC must end at (1,1), got %v", last)
+	}
+}
+
+func TestROCTies(t *testing.T) {
+	// All scores equal: the curve is the diagonal, AUC 0.5.
+	var samples []Sample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, Sample{0.5, i%2 == 0})
+	}
+	if got := ROCAUC(samples); !approx(got, 0.5, 1e-12) {
+		t.Errorf("tied-scores AUC = %v, want 0.5", got)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	samples := []Sample{
+		{0.9, true},  // TP at 0.5
+		{0.6, false}, // FP
+		{0.4, true},  // FN
+		{0.1, false}, // TN
+	}
+	c := At(samples, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if !approx(c.Precision(), 0.5, 1e-12) || !approx(c.Recall(), 0.5, 1e-12) {
+		t.Errorf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+	if !approx(c.Accuracy(), 0.5, 1e-12) {
+		t.Errorf("accuracy = %v", c.Accuracy())
+	}
+	if !approx(c.F1(), 0.5, 1e-12) {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Error("degenerate confusion should be all zeros")
+	}
+}
+
+// TestQuickAUCBounds: AUC and CROC AUC are always within [0,1] and the
+// ROC curve is monotonically nondecreasing in both axes.
+func TestQuickAUCBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		samples := make([]Sample, n)
+		hasPos, hasNeg := false, false
+		for i := range samples {
+			samples[i] = Sample{rng.Float64(), rng.Intn(2) == 0}
+			if samples[i].Positive {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true // degenerate labels; skip
+		}
+		auc := ROCAUC(samples)
+		croc := CROCAUC(samples)
+		if auc < -1e-9 || auc > 1+1e-9 || croc < -1e-9 || croc > 1+1e-9 {
+			t.Logf("AUC out of range: roc=%v croc=%v", auc, croc)
+			return false
+		}
+		pts := ROC(samples)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].FPR < pts[i-1].FPR-1e-12 || pts[i].TPR < pts[i-1].TPR-1e-12 {
+				t.Logf("ROC not monotone at %d", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCROCTransformProperties(t *testing.T) {
+	if got := crocTransform(0, 7); !approx(got, 0, 1e-12) {
+		t.Errorf("transform(0) = %v", got)
+	}
+	if got := crocTransform(1, 7); !approx(got, 1, 1e-12) {
+		t.Errorf("transform(1) = %v", got)
+	}
+	// Early region is magnified: 10% FPR maps past 50%.
+	if got := crocTransform(0.1, 7); got < 0.5 {
+		t.Errorf("transform(0.1) = %v, want > 0.5", got)
+	}
+}
+
+func TestPRCurveAndAP(t *testing.T) {
+	perfect := []Sample{{0.9, true}, {0.8, true}, {0.2, false}, {0.1, false}}
+	if got := AveragePrecision(perfect); !approx(got, 1.0, 1e-12) {
+		t.Errorf("perfect AP = %v", got)
+	}
+	inverted := []Sample{{0.9, false}, {0.8, false}, {0.2, true}, {0.1, true}}
+	if got := AveragePrecision(inverted); got >= 0.6 {
+		t.Errorf("inverted AP = %v, want low", got)
+	}
+	// Mixed: TP at ranks 1 and 3 -> AP = (1/2)(1) + (1/2)(2/3) = 0.8333.
+	mixed := []Sample{{0.9, true}, {0.8, false}, {0.7, true}, {0.1, false}}
+	if got := AveragePrecision(mixed); !approx(got, 5.0/6.0, 1e-9) {
+		t.Errorf("mixed AP = %v, want %v", got, 5.0/6.0)
+	}
+	// Degenerate: no positives.
+	if got := PRCurve([]Sample{{0.5, false}}); got != nil {
+		t.Errorf("no-positive PR curve should be nil")
+	}
+	// Recall is nondecreasing along the curve.
+	pts := PRCurve(mixed)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Recall < pts[i-1].Recall {
+			t.Error("recall decreased")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package ngram implements the n-gram baseline the paper compares against
+// (Section 1 [15][20], configuration from Section 5.3): a sliding window
+// of n instructions with step delta over the *linear* layout of the
+// function, with normalization — linear renaming of registers and memory
+// locations — to absorb naming variance across binaries. Function
+// similarity is set containment of the reference's n-gram set in the
+// target's.
+//
+// The known weakness reproduced here is the one the paper exploits: the
+// n-gram stream follows binary layout, so block reordering and local
+// patches shift every window that crosses the change.
+package ngram
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/prep"
+)
+
+// Options configures extraction. The paper's experiments use the best
+// parameters reported by Rendezvous: windows of 5 instructions with a
+// 1-instruction delta.
+type Options struct {
+	N     int // window size in instructions
+	Delta int // window step
+}
+
+// DefaultOptions returns the paper's configuration (size 5, delta 1).
+func DefaultOptions() Options { return Options{N: 5, Delta: 1} }
+
+// Fingerprint is a function's normalized n-gram set.
+type Fingerprint struct {
+	Name  string
+	Grams map[string]bool
+}
+
+// Extract computes the fingerprint of a lifted function: its instructions
+// in linear (layout) order, normalized, cut into n-grams.
+func Extract(fn *prep.Function, opts Options) *Fingerprint {
+	if opts.N <= 0 {
+		opts = DefaultOptions()
+	}
+	if opts.Delta <= 0 {
+		opts.Delta = 1
+	}
+	var linear []asm.Inst
+	for _, b := range fn.Graph.Blocks {
+		linear = append(linear, b.Insts...)
+	}
+	norm := normalize(linear)
+	fp := &Fingerprint{Name: fn.Name, Grams: make(map[string]bool)}
+	for i := 0; i+opts.N <= len(norm); i += opts.Delta {
+		fp.Grams[strings.Join(norm[i:i+opts.N], "|")] = true
+	}
+	return fp
+}
+
+// normalize renders each instruction with linearly renamed symbols:
+// registers become r0, r1, ... in order of first appearance, memory and
+// data symbols become m0, m1, ..., immediates become a fixed token, and
+// intra-procedural jump targets are dropped to a bare mnemonic.
+func normalize(insts []asm.Inst) []string {
+	regNames := map[asm.Reg]string{}
+	memNames := map[string]string{}
+	out := make([]string, len(insts))
+	for i, in := range insts {
+		if in.IsJump() {
+			out[i] = in.Mnemonic
+			continue
+		}
+		var parts []string
+		for _, op := range in.Ops {
+			parts = append(parts, normOperand(op, regNames, memNames))
+		}
+		out[i] = in.Mnemonic + " " + strings.Join(parts, ",")
+	}
+	return out
+}
+
+func normOperand(op asm.Operand, regNames map[asm.Reg]string, memNames map[string]string) string {
+	if !op.IsMem() {
+		return normArg(op.Arg, regNames, memNames)
+	}
+	var terms []string
+	for _, t := range op.Mem {
+		terms = append(terms, string(t.Op)+normArg(t.Arg, regNames, memNames))
+	}
+	return "[" + strings.Join(terms, "") + "]"
+}
+
+func normArg(a asm.Arg, regNames map[asm.Reg]string, memNames map[string]string) string {
+	switch {
+	case a.IsReg():
+		n, ok := regNames[a.Reg]
+		if !ok {
+			n = fmt.Sprintf("r%d", len(regNames))
+			regNames[a.Reg] = n
+		}
+		return n
+	case a.IsImm():
+		return "v"
+	default:
+		key := fmt.Sprintf("%d:%s", a.Cls, a.Sym)
+		n, ok := memNames[key]
+		if !ok {
+			n = fmt.Sprintf("m%d", len(memNames))
+			memNames[key] = n
+		}
+		return n
+	}
+}
+
+// Similarity returns the containment of the reference's n-grams in the
+// target's: |ref ∩ tgt| / |ref|.
+func Similarity(ref, tgt *Fingerprint) float64 {
+	if len(ref.Grams) == 0 {
+		return 0
+	}
+	common := 0
+	for g := range ref.Grams {
+		if tgt.Grams[g] {
+			common++
+		}
+	}
+	return float64(common) / float64(len(ref.Grams))
+}

@@ -1,0 +1,164 @@
+package ngram
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/prep"
+)
+
+func lift(t *testing.T, name, src string) *prep.Function {
+	t.Helper()
+	insts, labels, err := asm.ParseListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.BuildListing(name, insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &prep.Function{Name: name, Graph: g}
+}
+
+const fnA = `
+	push ebp
+	mov ebp, esp
+	mov esi, [ebp+arg_0]
+	cmp esi, 1
+	jz l1
+	add esi, 2
+	push esi
+	call _printf
+l1:
+	mov eax, esi
+	pop ebp
+	retn
+`
+
+// fnARenamed renames registers and offsets only: normalization should make
+// it identical gram-for-gram.
+const fnARenamed = `
+	push ebp
+	mov ebp, esp
+	mov ebx, [ebp+arg_8]
+	cmp ebx, 5
+	jz l1
+	add ebx, 9
+	push ebx
+	call _printf
+l1:
+	mov eax, ebx
+	pop ebp
+	retn
+`
+
+const fnOther = `
+	xor eax, eax
+	mov ecx, [esp+4]
+	imul eax, ecx, 3
+	test eax, eax
+	jnz l1
+	inc eax
+l1:
+	retn
+`
+
+func TestSelfSimilarity(t *testing.T) {
+	fp := Extract(lift(t, "a", fnA), DefaultOptions())
+	if len(fp.Grams) == 0 {
+		t.Fatal("no grams extracted")
+	}
+	if got := Similarity(fp, fp); got != 1.0 {
+		t.Errorf("self similarity = %v", got)
+	}
+}
+
+func TestNormalizationAbsorbsRenaming(t *testing.T) {
+	a := Extract(lift(t, "a", fnA), DefaultOptions())
+	b := Extract(lift(t, "a2", fnARenamed), DefaultOptions())
+	if got := Similarity(a, b); got != 1.0 {
+		t.Errorf("renamed similarity = %v, want 1.0 (normalization)", got)
+	}
+}
+
+func TestEaxIsNotSpecial(t *testing.T) {
+	// eax maps to whatever linear index it appears at; two functions
+	// differing only in *which* register fills each role are identical.
+	a := Extract(lift(t, "x", "mov eax, ebx\nmov ecx, eax\nretn\nnop\nnop"), Options{N: 3, Delta: 1})
+	b := Extract(lift(t, "y", "mov edi, esi\nmov edx, edi\nretn\nnop\nnop"), Options{N: 3, Delta: 1})
+	if got := Similarity(a, b); got != 1.0 {
+		t.Errorf("similarity = %v, want 1.0", got)
+	}
+}
+
+func TestDissimilarFunctions(t *testing.T) {
+	a := Extract(lift(t, "a", fnA), DefaultOptions())
+	o := Extract(lift(t, "o", fnOther), DefaultOptions())
+	if got := Similarity(a, o); got > 0.3 {
+		t.Errorf("unrelated similarity = %v, want low", got)
+	}
+}
+
+// TestLayoutSensitivity demonstrates the weakness the paper exploits:
+// swapping the layout of two middle blocks (semantically equivalent,
+// jump-adjusted) changes grams that cross the boundary.
+func TestLayoutSensitivity(t *testing.T) {
+	orig := `
+		cmp eax, 1
+		jz bthen
+		mov ebx, 2
+		add ebx, 3
+		sub ebx, 4
+		jmp merge
+	bthen:
+		mov ecx, 5
+		add ecx, 6
+		sub ecx, 7
+	merge:
+		retn
+	`
+	swapped := `
+		cmp eax, 1
+		jnz belse
+		mov ecx, 5
+		add ecx, 6
+		sub ecx, 7
+		jmp merge
+	belse:
+		mov ebx, 2
+		add ebx, 3
+		sub ebx, 4
+	merge:
+		retn
+	`
+	a := Extract(lift(t, "o", orig), DefaultOptions())
+	b := Extract(lift(t, "s", swapped), DefaultOptions())
+	if got := Similarity(a, b); got >= 0.9 {
+		t.Errorf("layout swap similarity = %v; n-grams should be layout sensitive", got)
+	}
+}
+
+func TestWindowAndDelta(t *testing.T) {
+	fn := lift(t, "a", fnA)
+	n5 := Extract(fn, Options{N: 5, Delta: 1})
+	n3 := Extract(fn, Options{N: 3, Delta: 1})
+	if len(n3.Grams) <= len(n5.Grams) {
+		t.Errorf("smaller windows should give at least as many grams: n3=%d n5=%d",
+			len(n3.Grams), len(n5.Grams))
+	}
+	d2 := Extract(fn, Options{N: 3, Delta: 2})
+	if len(d2.Grams) > len(n3.Grams) {
+		t.Errorf("larger delta cannot produce more grams")
+	}
+}
+
+func TestShortFunction(t *testing.T) {
+	fp := Extract(lift(t, "tiny", "retn"), DefaultOptions())
+	if len(fp.Grams) != 0 {
+		t.Errorf("function shorter than window should have no grams")
+	}
+	if got := Similarity(fp, fp); got != 0 {
+		t.Errorf("empty fingerprint similarity = %v", got)
+	}
+}

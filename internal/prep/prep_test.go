@@ -1,0 +1,327 @@
+package prep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bin"
+)
+
+// buildImage links a single-function program with an import and a string
+// datum and returns the parsed file.
+func buildImage(t *testing.T, src string, stripped bool) *bin.File {
+	t.Helper()
+	insts, labels, err := asm.ParseListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &bin.Program{
+		Funcs: []bin.Func{{Name: "f", Insts: insts, Labels: labels}},
+		Data: []bin.Datum{
+			{Name: "aCmdDDone", Data: append([]byte("Cmd %d DONE"), 0)},
+			{Name: "blob", Data: []byte{1, 2, 3, 4, 0, 0, 0, 0}},
+		},
+		Imports: []string{"_printf", "_fopen"},
+		Align16: true,
+	}
+	img, err := bin.Link(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripped {
+		img, err = bin.Strip(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := bin.Read(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func liftOne(t *testing.T, f *bin.File) *Function {
+	t.Helper()
+	fns, err := Lift(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 1 {
+		t.Fatalf("lifted %d functions, want 1", len(fns))
+	}
+	return fns[0]
+}
+
+func flatten(fn *Function) string {
+	var sb strings.Builder
+	for _, b := range fn.Graph.Blocks {
+		for _, in := range b.Insts {
+			sb.WriteString(in.String())
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+func TestImportCallNaming(t *testing.T) {
+	f := buildImage(t, `
+		push ebp
+		mov ebp, esp
+		push offset aCmdDDone
+		call _printf
+		mov esp, ebp
+		pop ebp
+		retn
+	`, true)
+	fn := liftOne(t, f)
+	text := flatten(fn)
+	if !strings.Contains(text, "call _printf") {
+		t.Errorf("imported call not renamed:\n%s", text)
+	}
+}
+
+func TestDataContentToken(t *testing.T) {
+	f := buildImage(t, `
+		push offset aCmdDDone
+		call _printf
+		retn
+	`, true)
+	fn := liftOne(t, f)
+	text := flatten(fn)
+	// The address of the string must come back as its content-derived
+	// token (which recapitalizes independently of the original name).
+	if !strings.Contains(text, "push offset aCmdDDONE") {
+		t.Errorf("string address not tokenized:\n%s", text)
+	}
+}
+
+func TestEbpFrameNaming(t *testing.T) {
+	f := buildImage(t, `
+		push ebp
+		mov ebp, esp
+		sub esp, 18h
+		mov eax, [ebp+8]
+		mov [ebp-4], eax
+		mov ecx, [ebp+0Ch]
+		mov esp, ebp
+		pop ebp
+		retn
+	`, true)
+	fn := liftOne(t, f)
+	text := flatten(fn)
+	for _, want := range []string{
+		"mov eax, [ebp+arg_0]",
+		"mov [ebp+var_4], eax",
+		"mov ecx, [ebp+arg_4]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestEspSlotNaming(t *testing.T) {
+	f := buildImage(t, `
+		sub esp, 18h
+		mov [esp+4], eax
+		mov [esp+14h], ebx
+		add esp, 18h
+		retn
+	`, true)
+	fn := liftOne(t, f)
+	text := flatten(fn)
+	// depth after sub is 0x18; [esp+4] is 0x14 below entry esp.
+	if !strings.Contains(text, "mov [esp+var_s14], eax") {
+		t.Errorf("esp slot not named:\n%s", text)
+	}
+	if !strings.Contains(text, "mov [esp+var_s4], ebx") {
+		t.Errorf("esp slot not named:\n%s", text)
+	}
+}
+
+func TestInternalCallToken(t *testing.T) {
+	insts1, labels1, _ := asm.ParseListing("call g\nretn")
+	insts2, labels2, _ := asm.ParseListing("mov eax, 7\nretn")
+	img, err := bin.Link(&bin.Program{
+		Funcs: []bin.Func{
+			{Name: "f", Insts: insts1, Labels: labels1},
+			{Name: "g", Insts: insts2, Labels: labels2},
+		},
+		Align16: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err = bin.Strip(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns, err := LiftImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 2 {
+		t.Fatalf("lifted %d functions, want 2", len(fns))
+	}
+	text := flatten(fns[0])
+	if !strings.Contains(text, "call sub_") {
+		t.Errorf("internal call should become sub_ token:\n%s", text)
+	}
+}
+
+func TestJumpLabelToken(t *testing.T) {
+	f := buildImage(t, `
+		cmp eax, 1
+		jz done
+		inc eax
+	done:
+		retn
+	`, true)
+	fn := liftOne(t, f)
+	text := flatten(fn)
+	if !strings.Contains(text, "jz loc_") {
+		t.Errorf("jump target should become loc_ token:\n%s", text)
+	}
+}
+
+func TestUnstrippedKeepsName(t *testing.T) {
+	f := buildImage(t, "mov eax, 1\nretn", false)
+	fn := liftOne(t, f)
+	if fn.Name != "f" {
+		t.Errorf("unstripped function name = %q, want f", fn.Name)
+	}
+	fs := buildImage(t, "mov eax, 1\nretn", true)
+	fns := liftOne(t, fs)
+	if !strings.HasPrefix(fns.Name, "sub_") {
+		t.Errorf("stripped function name = %q, want sub_ prefix", fns.Name)
+	}
+}
+
+func TestDataToken(t *testing.T) {
+	for _, tc := range []struct {
+		data []byte
+		want string
+	}{
+		{append([]byte("Cmd %d DONE"), 0), "aCmdDDONE"},
+		{append([]byte("(%d) HELLO"), 0), "aDHELLO"},
+		{append([]byte("hello world"), 0), "aHelloWorld"},
+		{append([]byte("w"), 0), "aW"},
+		{[]byte{1, 2, 3, 4}, "unk_04030201"},
+		{[]byte{0}, "unk_00000000"},
+	} {
+		if got := DataToken(tc.data); got != tc.want {
+			t.Errorf("DataToken(%q) = %q, want %q", tc.data, got, tc.want)
+		}
+	}
+	// Equal content must give equal tokens; different content different
+	// tokens (for these cases).
+	a := DataToken([]byte("same\x00"))
+	b := DataToken([]byte("same\x00"))
+	c := DataToken([]byte("diff\x00"))
+	if a != b {
+		t.Error("equal content must tokenize equally")
+	}
+	if a == c {
+		t.Error("different content should not collide here")
+	}
+}
+
+func TestFrameToken(t *testing.T) {
+	for _, tc := range []struct {
+		disp int64
+		want string
+	}{
+		{-4, "var_4"}, {-0x18, "var_18"}, {8, "arg_0"}, {0xC, "arg_4"}, {4, "retaddr"},
+	} {
+		if got := frameToken(tc.disp); got != tc.want {
+			t.Errorf("frameToken(%d) = %q, want %q", tc.disp, got, tc.want)
+		}
+	}
+}
+
+func TestLiftCounts(t *testing.T) {
+	f := buildImage(t, `
+		push ebp
+		mov ebp, esp
+		cmp eax, 1
+		jz out
+		inc eax
+	out:
+		pop ebp
+		retn
+	`, true)
+	fn := liftOne(t, f)
+	if fn.NumBlocks() != 3 {
+		t.Errorf("NumBlocks = %d, want 3", fn.NumBlocks())
+	}
+	if fn.NumInsts() != 7 {
+		t.Errorf("NumInsts = %d, want 7", fn.NumInsts())
+	}
+}
+
+// TestEspTrackingAcrossBranches: slot naming must survive control flow —
+// both branch paths reach the store with the same tracked depth.
+func TestEspTrackingAcrossBranches(t *testing.T) {
+	f := buildImage(t, `
+		sub esp, 10h
+		cmp eax, 1
+		jz other
+		mov [esp+4], eax
+		jmp join
+	other:
+		mov [esp+4], ecx
+	join:
+		mov [esp+8], edx
+		add esp, 10h
+		retn
+	`, true)
+	fn := liftOne(t, f)
+	text := flatten(fn)
+	// depth 0x10 everywhere: [esp+4] -> var_sC, [esp+8] -> var_s8.
+	if !strings.Contains(text, "mov [esp+var_sC], eax") ||
+		!strings.Contains(text, "mov [esp+var_sC], ecx") {
+		t.Errorf("branch slots not named:\n%s", text)
+	}
+	if !strings.Contains(text, "mov [esp+var_s8], edx") {
+		t.Errorf("join slot not named:\n%s", text)
+	}
+}
+
+// TestEspTrackingUnknownAfterLeave: after leave/mov esp,ebp the depth is
+// unknown and esp slots stay numeric.
+func TestEspTrackingUnknownAfterLeave(t *testing.T) {
+	f := buildImage(t, `
+		push ebp
+		mov ebp, esp
+		sub esp, 8
+		mov esp, ebp
+		mov [esp+4], eax
+		pop ebp
+		retn
+	`, true)
+	fn := liftOne(t, f)
+	text := flatten(fn)
+	if !strings.Contains(text, "mov [esp+4], eax") {
+		t.Errorf("post-epilogue slot should stay numeric:\n%s", text)
+	}
+}
+
+// TestPushPopDepth: push/pop adjust the tracked depth.
+func TestPushPopDepth(t *testing.T) {
+	f := buildImage(t, `
+		push eax
+		push ebx
+		mov [esp+4], ecx
+		pop ebx
+		pop eax
+		retn
+	`, true)
+	fn := liftOne(t, f)
+	text := flatten(fn)
+	// depth 8 at the store; [esp+4] is 4 below entry.
+	if !strings.Contains(text, "mov [esp+var_s4], ecx") {
+		t.Errorf("push-tracked slot not named:\n%s", text)
+	}
+}

@@ -1,0 +1,261 @@
+// Package rewrite implements the rewrite engine of paper Section 4.4
+// (Algorithm 4): given an aligned reference/target tracelet pair, every
+// argument of the target is abstracted to a typed variable, in-tracelet
+// dataflow constraints (through lastWrite) and cross-tracelet alignment
+// constraints are generated, and a bounded backtracking constraint solver
+// finds a minimal-conflict assignment that rewrites the target's
+// registers, memory symbols, immediates and call targets toward the
+// reference — undoing register allocation and memory layout decisions.
+package rewrite
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/align"
+	"repro/internal/asm"
+	"repro/internal/csp"
+)
+
+// MaxBacktracks is the solver bound used by the paper.
+const MaxBacktracks = csp.DefaultMaxBacktracks
+
+// Result reports what the rewrite did.
+type Result struct {
+	Blocks    [][]asm.Inst      // the rewritten target tracelet
+	Conflicts int               // violated constraints in the chosen assignment
+	NumVars   int               // abstracted variables
+	VMap      map[string]string // solved variable assignment
+}
+
+// domains collects, per symbol class, the values present in the reference
+// tracelet: they are the assignment domains (paper: "our domain for the
+// register assignment only contains registers found in the reference
+// tracelet", and likewise for memory offsets and function names).
+type domains struct {
+	regs  []string
+	imms  []string
+	byCls map[asm.SymClass][]string
+}
+
+func collectDomains(refInsts []asm.Inst) *domains {
+	d := &domains{byCls: make(map[asm.SymClass][]string)}
+	seenReg := map[string]bool{}
+	seenImm := map[string]bool{}
+	seenSym := map[string]bool{}
+	for _, in := range refInsts {
+		for _, a := range in.Args() {
+			switch {
+			case a.IsReg():
+				s := a.Reg.String()
+				if !seenReg[s] {
+					seenReg[s] = true
+					d.regs = append(d.regs, s)
+				}
+			case a.IsImm():
+				s := strconv.FormatInt(a.Imm, 10)
+				if !seenImm[s] {
+					seenImm[s] = true
+					d.imms = append(d.imms, s)
+				}
+			case a.IsSym():
+				key := fmt.Sprintf("%d:%s", a.Cls, a.Sym)
+				if !seenSym[key] {
+					seenSym[key] = true
+					d.byCls[a.Cls] = append(d.byCls[a.Cls], a.Sym)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// argValue encodes an argument as a solver value string.
+func argValue(a asm.Arg) string {
+	switch {
+	case a.IsReg():
+		return a.Reg.String()
+	case a.IsImm():
+		return strconv.FormatInt(a.Imm, 10)
+	default:
+		return a.Sym
+	}
+}
+
+// Rewrite rewrites the target tracelet toward the reference using the
+// instruction alignment al (whose pair indices refer to the concatenated
+// instruction sequences). It implements paper Algorithm 4 followed by the
+// assignment application, including the swap cache applied to unaligned
+// (inserted) target instructions.
+func Rewrite(refBlocks, tgtBlocks [][]asm.Inst, al align.Alignment) Result {
+	refInsts := flatten(refBlocks)
+	tgtInsts := flatten(tgtBlocks)
+	dom := collectDomains(refInsts)
+
+	p := csp.NewProblem()
+	nextVar := 0
+	// occVar[tIdx][argPos] records the variable abstracting that argument
+	// occurrence.
+	occVar := make(map[int]map[int]string)
+	// identVar maps a non-register symbol identity (class + name, or an
+	// immediate value) to its single variable: memory layout and call
+	// targets are swapped consistently, so a swap "is counted at most
+	// once" over the whole tracelet.
+	identVar := make(map[string]string)
+	lastWrite := make(map[asm.Reg]string)
+
+	domainOf := func(a asm.Arg) []string {
+		switch {
+		case a.IsReg():
+			return dom.regs
+		case a.IsImm():
+			return dom.imms
+		default:
+			return dom.byCls[a.Cls]
+		}
+	}
+
+	for _, pair := range al.Pairs {
+		t := tgtInsts[pair.Tgt]
+		r := refInsts[pair.Ref]
+		targs, rargs := t.Args(), r.Args()
+		if len(targs) != len(rargs) {
+			continue // cannot happen for SameKind pairs; defensive
+		}
+		reads := t.Read()
+		writes := t.Write()
+		for i := range targs {
+			st, sr := targs[i], rargs[i]
+			var nv string
+			if st.IsReg() {
+				// Registers are flow-sensitive: a fresh variable per
+				// occurrence, linked through lastWrite.
+				nv = fmt.Sprintf("r%d", nextVar)
+				nextVar++
+				p.AddVar(nv, domainOf(st))
+				if reads[st.Reg] && lastWrite[st.Reg] != "" {
+					p.Eq(nv, lastWrite[st.Reg])
+				} else if writes[st.Reg] {
+					lastWrite[st.Reg] = nv
+				}
+			} else {
+				// Symbols and immediates are layout properties: one
+				// variable per identity.
+				key := identKey(st)
+				var ok bool
+				if nv, ok = identVar[key]; !ok {
+					nv = fmt.Sprintf("s%d", nextVar)
+					nextVar++
+					identVar[key] = nv
+					p.AddVar(nv, domainOf(st))
+				}
+			}
+			// Cross-tracelet constraint: the abstracted argument should
+			// equal the aligned reference argument.
+			p.Bind(nv, argValue(sr))
+			if occVar[pair.Tgt] == nil {
+				occVar[pair.Tgt] = make(map[int]string)
+			}
+			occVar[pair.Tgt][i] = nv
+		}
+	}
+
+	vmap, conflicts := p.Solve(MaxBacktracks)
+
+	// Swap cache for unaligned instructions: original argument value ->
+	// last substituted value.
+	swap := make(map[string]string)
+	record := func(orig asm.Arg, v string) {
+		if v != "" {
+			swap[identKey(orig)] = v
+		}
+	}
+
+	out := make([][]asm.Inst, len(tgtBlocks))
+	idx := 0
+	aligned := make(map[int]bool, len(al.Pairs))
+	for _, pair := range al.Pairs {
+		aligned[pair.Tgt] = true
+	}
+	for bi, blk := range tgtBlocks {
+		out[bi] = make([]asm.Inst, len(blk))
+		for ii := range blk {
+			in := blk[ii].Clone()
+			if vars, ok := occVar[idx]; ok {
+				args := in.Args()
+				for pos, a := range args {
+					if v, assigned := vmap[vars[pos]]; assigned {
+						na, err := decodeValue(a, v)
+						if err == nil {
+							in.SetArg(pos, na)
+							record(args[pos], v)
+						}
+					}
+				}
+			}
+			out[bi][ii] = in
+			idx++
+		}
+	}
+	// Second pass: apply the swap cache to instructions that were not
+	// aligned (the "deleted instructions" of the paper, i.e. inserted
+	// target instructions).
+	idx = 0
+	for bi := range out {
+		for ii := range out[bi] {
+			if !aligned[idx] {
+				in := &out[bi][ii]
+				for pos, a := range in.Args() {
+					if v, ok := swap[identKey(a)]; ok {
+						if na, err := decodeValue(a, v); err == nil {
+							in.SetArg(pos, na)
+						}
+					}
+				}
+			}
+			idx++
+		}
+	}
+	return Result{Blocks: out, Conflicts: conflicts, NumVars: nextVar, VMap: vmap}
+}
+
+// identKey keys an argument identity for the identVar/swap maps.
+func identKey(a asm.Arg) string {
+	switch {
+	case a.IsReg():
+		return "r:" + a.Reg.String()
+	case a.IsImm():
+		return "i:" + strconv.FormatInt(a.Imm, 10)
+	default:
+		return fmt.Sprintf("s%d:%s", a.Cls, a.Sym)
+	}
+}
+
+// decodeValue converts a solver value back into an argument of the same
+// kind as the original.
+func decodeValue(orig asm.Arg, v string) (asm.Arg, error) {
+	switch {
+	case orig.IsReg():
+		r := asm.LookupReg(v)
+		if r == asm.RegNone {
+			return asm.Arg{}, fmt.Errorf("rewrite: bad register value %q", v)
+		}
+		return asm.RegArg(r), nil
+	case orig.IsImm():
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return asm.Arg{}, fmt.Errorf("rewrite: bad immediate value %q", v)
+		}
+		return asm.ImmArg(n), nil
+	default:
+		return asm.SymArg(orig.Cls, v), nil
+	}
+}
+
+func flatten(blocks [][]asm.Inst) []asm.Inst {
+	var out []asm.Inst
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}

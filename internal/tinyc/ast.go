@@ -1,0 +1,173 @@
+// Package tinyc is a small C-like compiler targeting the x86-32 subset of
+// internal/x86, standing in for gcc in the reproduction. It exists to
+// manufacture realistic binary variance: the same source compiled under
+// different Configs differs exactly the way the paper's corpus differs —
+// register allocation, stack layout, branch and loop layout, argument
+// passing style and peephole choices all change with the optimization
+// level and the context seed, while semantics stay fixed.
+//
+// Language: int and char* expressions, locals, assignment, if/else,
+// while, for, break/continue, return, function calls, string literals,
+// and the usual arithmetic/comparison/logical operators with
+// short-circuit && and ||.
+package tinyc
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is a file-scope integer variable with a literal initializer.
+type GlobalDecl struct {
+	Name string
+	Init int64
+}
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable with an optional initializer.
+type DeclStmt struct {
+	Name string
+	Init Expr // may be nil
+}
+
+// AssignStmt assigns to a local or parameter.
+type AssignStmt struct {
+	Name string
+	X    Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt or *IfStmt (else-if chain), or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init Stmt // DeclStmt or AssignStmt
+	Cond Expr
+	Post Stmt // AssignStmt
+	Body *BlockStmt
+}
+
+// SwitchStmt is a C-like switch over integer cases with TinyC semantics:
+// no fallthrough (every case body breaks implicitly) and an optional
+// default.
+type SwitchStmt struct {
+	X       Expr
+	Cases   []SwitchCase
+	Default *BlockStmt // may be nil
+}
+
+// SwitchCase is one case arm.
+type SwitchCase struct {
+	Value int64
+	Body  *BlockStmt
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	X Expr // may be nil
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{}
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{}
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*SwitchStmt) stmt()   {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	V int64
+}
+
+// StrLit is a string literal (char*).
+type StrLit struct {
+	S string
+}
+
+// Ident references a local or parameter.
+type Ident struct {
+	Name string
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinaryExpr is a binary operation: + - * / % == != < <= > >= && ||.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+}
+
+// CallExpr calls a named function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (*IntLit) expr()     {}
+func (*StrLit) expr()     {}
+func (*Ident) expr()      {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*CallExpr) expr()   {}
+
+// hasCall reports whether the expression contains any function call.
+func hasCall(e Expr) bool {
+	switch v := e.(type) {
+	case *CallExpr:
+		return true
+	case *UnaryExpr:
+		return hasCall(v.X)
+	case *BinaryExpr:
+		return hasCall(v.X) || hasCall(v.Y)
+	default:
+		return false
+	}
+}

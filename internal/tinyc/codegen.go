@@ -1,0 +1,872 @@
+package tinyc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/bin"
+)
+
+// OptLevel selects the optimization level, mirroring gcc's -O0/-O1/-O2/-Os
+// behaviours that matter for binary similarity (paper Section 8 studies
+// exactly this axis).
+type OptLevel int
+
+const (
+	O0 OptLevel = iota // everything through memory, no peepholes
+	O1                 // register allocation, small shortcuts
+	O2                 // + block layout choices, loop rotation, peepholes
+	Os                 // size-preferring: push-style args, no alignment
+)
+
+// String names the level like a compiler flag.
+func (o OptLevel) String() string {
+	switch o {
+	case O0:
+		return "O0"
+	case O1:
+		return "O1"
+	case O2:
+		return "O2"
+	case Os:
+		return "Os"
+	}
+	return "O?"
+}
+
+// Config is the compilation context. Two Configs with the same Opt but
+// different Seeds model "the same code compiled in a different context"
+// (different register allocation order, stack layout, frame padding and
+// branch layout), the paper's Context group.
+type Config struct {
+	Opt  OptLevel
+	Seed int64
+}
+
+// knobs are the context decisions derived deterministically from Config.
+type knobs struct {
+	regOrder     []asm.Reg // callee-saved allocation order
+	maxRegVars   int
+	reverseStack bool    // local slot assignment order
+	elseFirst    bool    // if/else layout at O2
+	rotateLoops  bool    // bottom-test loop layout
+	espArgs      bool    // mov [esp+N] argument style vs push
+	schedule     bool    // seeded local instruction scheduling pass
+	useLeave     bool    // leave vs mov esp,ebp; pop ebp epilogue
+	pad          int32   // extra frame padding bytes
+	immShortcut  bool    // op eax, imm instead of the generic temp scheme
+	peephole     bool    // xor-zero, inc/dec, test-vs-cmp0
+	accReg       asm.Reg // expression accumulator (eax, or ecx at some O2 contexts)
+	directMove   bool    // Os: variable-to-variable moves skip the accumulator
+	shiftMul     bool    // Os: shl/sar instead of imul/idiv for powers of two
+	pushSaves    bool    // Os: push/pop callee-saved regs instead of mov-to-slot
+	inline       bool    // O1/O2: inline small leaf functions
+	useSetcc     bool    // O2 contexts: setcc/movzx boolean materialization
+	switchTable  bool    // O2 contexts: dense switches lower to jump tables
+}
+
+func deriveKnobs(cfg Config) knobs {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := []asm.Reg{asm.ESI, asm.EDI, asm.EBX}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	k := knobs{regOrder: order, accReg: asm.EAX}
+	switch cfg.Opt {
+	case O0:
+		k.maxRegVars = 0
+		k.useLeave = true
+	case O1:
+		k.maxRegVars = 2
+		k.reverseStack = rng.Intn(2) == 0
+		k.rotateLoops = true
+		k.elseFirst = true // -freorder-blocks layout, shared with O2
+		k.espArgs = true
+		k.inline = true
+		k.pad = int32(rng.Intn(2)) * 8
+		k.immShortcut = true
+	case O2:
+		k.maxRegVars = 3
+		k.reverseStack = rng.Intn(2) == 0
+		k.elseFirst = rng.Intn(2) == 0
+		k.rotateLoops = true
+		k.espArgs = true
+		k.schedule = true
+		k.inline = true
+		k.pad = int32(rng.Intn(3)) * 8
+		k.immShortcut = true
+		k.peephole = true
+		if rng.Intn(2) == 0 {
+			k.accReg = asm.ECX
+		}
+		k.useSetcc = rng.Intn(2) == 0
+		k.switchTable = rng.Intn(2) == 0
+	case Os:
+		// -Os disables block reordering (gcc: -freorder-blocks off), so
+		// loops keep their top-test layout; together with push-style
+		// arguments and direct moves this makes Os builds structurally
+		// different from O1/O2, as the paper observes in Section 8.
+		k.maxRegVars = 3
+		k.useLeave = true
+		k.immShortcut = true
+		k.peephole = true
+		k.directMove = true
+		k.shiftMul = true
+		k.pushSaves = true
+	}
+	return k
+}
+
+// strPool interns string literals as content-named data and accumulates
+// switch jump tables with their relocations.
+type strPool struct {
+	data    []bin.Datum
+	names   map[string]string
+	relocs  []bin.TableReloc
+	nTables int
+}
+
+func newStrPool() *strPool {
+	return &strPool{names: make(map[string]string)}
+}
+
+// addTable reserves a zero-filled jump table of n 4-byte entries and
+// returns its datum name.
+func (sp *strPool) addTable(n int) string {
+	sp.nTables++
+	name := fmt.Sprintf("jtab_%d", sp.nTables)
+	sp.data = append(sp.data, bin.Datum{Name: name, Data: make([]byte, 4*n)})
+	return name
+}
+
+// addTableReloc records that entry i of the table must hold the address of
+// a label in a function.
+func (sp *strPool) addTableReloc(datum string, entry int, fn, label string) {
+	sp.relocs = append(sp.relocs, bin.TableReloc{Datum: datum, Entry: entry, Func: fn, Label: label})
+}
+
+func (sp *strPool) intern(s string) string {
+	if n, ok := sp.names[s]; ok {
+		return n
+	}
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	name := fmt.Sprintf("str_%08x", h.Sum32())
+	sp.names[s] = name
+	sp.data = append(sp.data, bin.Datum{Name: name, Data: append([]byte(s), 0)})
+	return name
+}
+
+// Compile compiles TinyC source into a linkable program.
+func Compile(src string, cfg Config) (*bin.Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	defined := make(map[string]bool, len(prog.Funcs))
+	for _, fn := range prog.Funcs {
+		if defined[fn.Name] {
+			return nil, fmt.Errorf("tinyc: duplicate function %s", fn.Name)
+		}
+		defined[fn.Name] = true
+	}
+	foldProgram(prog)
+	if deriveKnobs(cfg).inline {
+		inlineProgram(prog, 10)
+	}
+	pool := newStrPool()
+	imports := make(map[string]bool)
+	out := &bin.Program{Align16: cfg.Opt != Os}
+	globals := make(map[string]string, len(prog.Globals))
+	for _, gd := range prog.Globals {
+		datum := "g_" + gd.Name
+		globals[gd.Name] = datum
+		var buf [4]byte
+		v := uint32(int32(gd.Init))
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		out.Vars = append(out.Vars, bin.Datum{Name: datum, Data: buf[:]})
+	}
+	for _, fn := range prog.Funcs {
+		g := newFuncGen(fn, cfg, pool, defined, imports, globals)
+		insts, labels, err := g.generate()
+		if err != nil {
+			return nil, fmt.Errorf("tinyc: %s: %w", fn.Name, err)
+		}
+		out.Funcs = append(out.Funcs, bin.Func{Name: fn.Name, Insts: insts, Labels: labels})
+	}
+	out.Data = pool.data
+	out.TableRelocs = pool.relocs
+	for imp := range imports {
+		out.Imports = append(out.Imports, imp)
+	}
+	sort.Strings(out.Imports)
+	return out, nil
+}
+
+// Build compiles and links TinyC source into an ELF image.
+func Build(src string, cfg Config) ([]byte, error) {
+	p, err := Compile(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return bin.Link(p)
+}
+
+// BuildStripped compiles, links and strips.
+func BuildStripped(src string, cfg Config) ([]byte, error) {
+	img, err := Build(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return bin.Strip(img)
+}
+
+type funcGen struct {
+	fn      *FuncDecl
+	cfg     Config
+	k       knobs
+	pool    *strPool
+	defined map[string]bool
+	imports map[string]bool
+	globals map[string]string // source name -> datum name
+
+	out    []asm.Inst
+	labels map[string]int
+	nLabel int
+
+	regOf     map[string]asm.Reg
+	offOf     map[string]int32 // ebp-relative (negative locals, positive params)
+	saved     []asm.Reg
+	saveOff   map[asm.Reg]int32
+	frame     int32
+	espArgs   bool
+	tempDepth int // live expression temporaries on the machine stack
+	retLbl    string
+	breakLbl  []string
+	contLbl   []string
+}
+
+func newFuncGen(fn *FuncDecl, cfg Config, pool *strPool, defined, imports map[string]bool, globals map[string]string) *funcGen {
+	return &funcGen{
+		fn:      fn,
+		cfg:     cfg,
+		k:       deriveKnobs(cfg),
+		pool:    pool,
+		defined: defined,
+		imports: imports,
+		globals: globals,
+		labels:  make(map[string]int),
+		regOf:   make(map[string]asm.Reg),
+		offOf:   make(map[string]int32),
+		saveOff: make(map[asm.Reg]int32),
+	}
+}
+
+func (g *funcGen) emit(in asm.Inst)                   { g.out = append(g.out, in) }
+func (g *funcGen) emitf(m string, ops ...asm.Operand) { g.emit(asm.New(m, ops...)) }
+
+func (g *funcGen) newLabel() string {
+	g.nLabel++
+	return fmt.Sprintf(".L%d", g.nLabel)
+}
+
+func (g *funcGen) place(lbl string) { g.labels[lbl] = len(g.out) }
+
+func (g *funcGen) jmp(lbl string) { g.emitf("jmp", asm.SymOp(asm.SymLabel, lbl)) }
+
+func (g *funcGen) jcc(cc, lbl string) { g.emitf(cc, asm.SymOp(asm.SymLabel, lbl)) }
+
+// collect gathers declared locals (in declaration order) and reference
+// counts for allocation decisions.
+func collect(fn *FuncDecl) (locals []string, refs map[string]int) {
+	refs = make(map[string]int)
+	seen := make(map[string]bool)
+	for _, p := range fn.Params {
+		refs[p] = 0
+		seen[p] = true
+	}
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch v := e.(type) {
+		case *Ident:
+			refs[v.Name]++
+		case *UnaryExpr:
+			walkExpr(v.X)
+		case *BinaryExpr:
+			walkExpr(v.X)
+			walkExpr(v.Y)
+		case *CallExpr:
+			for _, a := range v.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walkStmt func(Stmt)
+	walkStmt = func(s Stmt) {
+		switch v := s.(type) {
+		case *BlockStmt:
+			for _, st := range v.Stmts {
+				walkStmt(st)
+			}
+		case *DeclStmt:
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				locals = append(locals, v.Name)
+			}
+			if v.Init != nil {
+				walkExpr(v.Init)
+				refs[v.Name]++
+			}
+		case *AssignStmt:
+			walkExpr(v.X)
+			refs[v.Name]++
+		case *IfStmt:
+			walkExpr(v.Cond)
+			walkStmt(v.Then)
+			if v.Else != nil {
+				walkStmt(v.Else)
+			}
+		case *WhileStmt:
+			walkExpr(v.Cond)
+			walkStmt(v.Body)
+		case *SwitchStmt:
+			walkExpr(v.X)
+			for _, cs := range v.Cases {
+				walkStmt(cs.Body)
+			}
+			if v.Default != nil {
+				walkStmt(v.Default)
+			}
+		case *ForStmt:
+			if v.Init != nil {
+				walkStmt(v.Init)
+			}
+			if v.Cond != nil {
+				walkExpr(v.Cond)
+			}
+			if v.Post != nil {
+				walkStmt(v.Post)
+			}
+			walkStmt(v.Body)
+		case *ReturnStmt:
+			if v.X != nil {
+				walkExpr(v.X)
+			}
+		case *ExprStmt:
+			walkExpr(v.X)
+		}
+	}
+	walkStmt(fn.Body)
+	return locals, refs
+}
+
+// maxOutgoing returns the largest argument count over all calls.
+func maxOutgoing(fn *FuncDecl) int {
+	max := 0
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch v := e.(type) {
+		case *UnaryExpr:
+			walkExpr(v.X)
+		case *BinaryExpr:
+			walkExpr(v.X)
+			walkExpr(v.Y)
+		case *CallExpr:
+			if len(v.Args) > max {
+				max = len(v.Args)
+			}
+			for _, a := range v.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walkStmt func(Stmt)
+	walkStmt = func(s Stmt) {
+		switch v := s.(type) {
+		case *BlockStmt:
+			for _, st := range v.Stmts {
+				walkStmt(st)
+			}
+		case *DeclStmt:
+			if v.Init != nil {
+				walkExpr(v.Init)
+			}
+		case *AssignStmt:
+			walkExpr(v.X)
+		case *IfStmt:
+			walkExpr(v.Cond)
+			walkStmt(v.Then)
+			if v.Else != nil {
+				walkStmt(v.Else)
+			}
+		case *WhileStmt:
+			walkExpr(v.Cond)
+			walkStmt(v.Body)
+		case *SwitchStmt:
+			walkExpr(v.X)
+			for _, cs := range v.Cases {
+				walkStmt(cs.Body)
+			}
+			if v.Default != nil {
+				walkStmt(v.Default)
+			}
+		case *ForStmt:
+			if v.Init != nil {
+				walkStmt(v.Init)
+			}
+			if v.Cond != nil {
+				walkExpr(v.Cond)
+			}
+			if v.Post != nil {
+				walkStmt(v.Post)
+			}
+			walkStmt(v.Body)
+		case *ReturnStmt:
+			if v.X != nil {
+				walkExpr(v.X)
+			}
+		case *ExprStmt:
+			walkExpr(v.X)
+		}
+	}
+	walkStmt(fn.Body)
+	return max
+}
+
+func (g *funcGen) generate() ([]asm.Inst, map[string]int, error) {
+	locals, refs := collect(g.fn)
+
+	// Register allocation: the first declared variables with enough uses
+	// go to callee-saved registers, in the context's preferred order.
+	// Declaration-order priority (rather than use counts) keeps the
+	// allocation stable under local patches, as production compilers
+	// largely do; which *register* each variable lands in still varies
+	// with the context (regOrder).
+	if g.k.maxRegVars > 0 {
+		cands := locals
+		n := g.k.maxRegVars
+		if n > len(g.k.regOrder) {
+			n = len(g.k.regOrder)
+		}
+		next := 0
+		for _, name := range cands {
+			if next >= n {
+				break
+			}
+			if refs[name] < 2 {
+				continue // not worth a register
+			}
+			g.regOf[name] = g.k.regOrder[next]
+			next++
+		}
+	}
+
+	// Frame layout. Slots: one per used callee-saved register, one per
+	// memory-resident local, plus padding, plus the outgoing-args area in
+	// esp style.
+	g.espArgs = g.k.espArgs
+	off := int32(0)
+	alloc := func() int32 {
+		off += 4
+		return -off
+	}
+	usedRegs := map[asm.Reg]bool{}
+	for _, r := range g.regOf {
+		usedRegs[r] = true
+	}
+	for _, r := range g.k.regOrder {
+		if usedRegs[r] {
+			g.saveOff[r] = alloc()
+			g.saved = append(g.saved, r)
+		}
+	}
+	memLocals := make([]string, 0, len(locals))
+	for _, l := range locals {
+		if _, inReg := g.regOf[l]; !inReg {
+			memLocals = append(memLocals, l)
+		}
+	}
+	if g.k.reverseStack {
+		for i, j := 0, len(memLocals)-1; i < j; i, j = i+1, j-1 {
+			memLocals[i], memLocals[j] = memLocals[j], memLocals[i]
+		}
+	}
+	for _, l := range memLocals {
+		g.offOf[l] = alloc()
+	}
+	off += g.k.pad
+	outArea := int32(0)
+	if g.espArgs {
+		outArea = int32(maxOutgoing(g.fn)) * 4
+	}
+	g.frame = ((off + outArea + 7) &^ 7)
+
+	// Parameter homes.
+	for i, p := range g.fn.Params {
+		g.offOf[p] = int32(8 + 4*i)
+	}
+
+	// Prologue. With pushSaves the callee-saved registers land exactly in
+	// their reserved slots (the first slots below ebp), so the remaining
+	// frame shrinks by the pushed bytes.
+	g.emitf("push", asm.RegOp(asm.EBP))
+	g.emitf("mov", asm.RegOp(asm.EBP), asm.RegOp(asm.ESP))
+	pushedBytes := int32(0)
+	if g.k.pushSaves {
+		for _, r := range g.saved {
+			g.emitf("push", asm.RegOp(r))
+			pushedBytes += 4
+		}
+	}
+	if g.frame > pushedBytes {
+		g.emitf("sub", asm.RegOp(asm.ESP), asm.ImmOp(int64(g.frame-pushedBytes)))
+	}
+	if !g.k.pushSaves {
+		for _, r := range g.saved {
+			g.emitf("mov", asm.MemDisp(asm.EBP, int64(g.saveOff[r])), asm.RegOp(r))
+		}
+	}
+	for i, p := range g.fn.Params {
+		if r, ok := g.regOf[p]; ok {
+			g.emitf("mov", asm.RegOp(r), asm.MemDisp(asm.EBP, int64(8+4*i)))
+		}
+	}
+
+	g.retLbl = g.newLabel()
+	if err := g.genBlock(g.fn.Body); err != nil {
+		return nil, nil, err
+	}
+
+	// Epilogue.
+	g.place(g.retLbl)
+	if g.k.pushSaves {
+		if g.frame > pushedBytes {
+			g.emitf("add", asm.RegOp(asm.ESP), asm.ImmOp(int64(g.frame-pushedBytes)))
+		}
+		for i := len(g.saved) - 1; i >= 0; i-- {
+			g.emitf("pop", asm.RegOp(g.saved[i]))
+		}
+		g.emitf("pop", asm.RegOp(asm.EBP))
+	} else {
+		for _, r := range g.saved {
+			g.emitf("mov", asm.RegOp(r), asm.MemDisp(asm.EBP, int64(g.saveOff[r])))
+		}
+		if g.frame > 0 {
+			if g.k.useLeave {
+				g.emitf("leave")
+			} else {
+				g.emitf("mov", asm.RegOp(asm.ESP), asm.RegOp(asm.EBP))
+				g.emitf("pop", asm.RegOp(asm.EBP))
+			}
+		} else {
+			g.emitf("pop", asm.RegOp(asm.EBP))
+		}
+	}
+	g.emitf("retn")
+
+	g.removeJumpsToNext()
+	if g.k.schedule {
+		h := fnv.New64a()
+		h.Write([]byte(g.fn.Name))
+		rng := rand.New(rand.NewSource(g.cfg.Seed ^ int64(h.Sum64()&0x7fffffffffff)))
+		g.out = scheduleFunc(g.out, g.labels, rng)
+	}
+	return g.out, g.labels, nil
+}
+
+// removeJumpsToNext deletes unconditional jumps whose target is the
+// immediately following instruction (artifacts of structured codegen).
+func (g *funcGen) removeJumpsToNext() {
+	for {
+		removed := -1
+		for i, in := range g.out {
+			if in.Mnemonic != "jmp" || len(in.Ops) != 1 || !in.Ops[0].Arg.IsSym() {
+				continue
+			}
+			if ti, ok := g.labels[in.Ops[0].Arg.Sym]; ok && ti == i+1 {
+				removed = i
+				break
+			}
+		}
+		if removed < 0 {
+			return
+		}
+		g.out = append(g.out[:removed], g.out[removed+1:]...)
+		for l, ti := range g.labels {
+			if ti > removed {
+				g.labels[l] = ti - 1
+			}
+		}
+	}
+}
+
+// home returns the operand holding a variable (register, stack slot, or
+// global memory). Locals shadow globals.
+func (g *funcGen) home(name string) (asm.Operand, error) {
+	if r, ok := g.regOf[name]; ok {
+		return asm.RegOp(r), nil
+	}
+	if off, ok := g.offOf[name]; ok {
+		return asm.MemDisp(asm.EBP, int64(off)), nil
+	}
+	if datum, ok := g.globals[name]; ok {
+		return asm.MemOperand(asm.MemTerm{Op: asm.OpAdd, Arg: asm.SymArg(asm.SymData, datum)}), nil
+	}
+	return asm.Operand{}, fmt.Errorf("undefined variable %q", name)
+}
+
+func (g *funcGen) genBlock(b *BlockStmt) error {
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *funcGen) genStmt(s Stmt) error {
+	switch v := s.(type) {
+	case *BlockStmt:
+		return g.genBlock(v)
+	case *DeclStmt:
+		if v.Init == nil {
+			return nil
+		}
+		return g.genAssign(v.Name, v.Init)
+	case *AssignStmt:
+		return g.genAssign(v.Name, v.X)
+	case *IfStmt:
+		return g.genIf(v)
+	case *WhileStmt:
+		return g.genWhile(v)
+	case *SwitchStmt:
+		return g.genSwitch(v)
+	case *ForStmt:
+		return g.genFor(v)
+	case *ReturnStmt:
+		if v.X != nil {
+			if err := g.genExpr(v.X); err != nil {
+				return err
+			}
+			if g.k.accReg != asm.EAX {
+				g.emitf("mov", asm.RegOp(asm.EAX), g.accOp())
+			}
+		}
+		g.jmp(g.retLbl)
+		return nil
+	case *ExprStmt:
+		if call, ok := v.X.(*CallExpr); ok {
+			return g.genCall(call, false)
+		}
+		return g.genExpr(v.X)
+	case *BreakStmt:
+		if len(g.breakLbl) == 0 {
+			return fmt.Errorf("break outside loop")
+		}
+		g.jmp(g.breakLbl[len(g.breakLbl)-1])
+		return nil
+	case *ContinueStmt:
+		if len(g.contLbl) == 0 {
+			return fmt.Errorf("continue outside loop")
+		}
+		g.jmp(g.contLbl[len(g.contLbl)-1])
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (g *funcGen) genAssign(name string, x Expr) error {
+	dst, err := g.home(name)
+	if err != nil {
+		return err
+	}
+	// Peepholes on direct forms.
+	if lit, ok := x.(*IntLit); ok {
+		if g.k.peephole && lit.V == 0 && !dst.IsMem() {
+			g.emitf("xor", dst, dst)
+			return nil
+		}
+		g.emitf("mov", dst, asm.ImmOp(lit.V))
+		return nil
+	}
+	if b, ok := x.(*BinaryExpr); ok && g.k.immShortcut {
+		if id, ok := b.X.(*Ident); ok && id.Name == name {
+			if lit, ok := b.Y.(*IntLit); ok && (b.Op == "+" || b.Op == "-") {
+				if g.k.peephole && lit.V == 1 && !dst.IsMem() {
+					if b.Op == "+" {
+						g.emitf("inc", dst)
+					} else {
+						g.emitf("dec", dst)
+					}
+					return nil
+				}
+				op := "add"
+				if b.Op == "-" {
+					op = "sub"
+				}
+				g.emitf(op, dst, asm.ImmOp(lit.V))
+				return nil
+			}
+		}
+	}
+	// Os size idiom: variable-to-variable moves skip the accumulator
+	// when at least one side is a register.
+	if g.k.directMove {
+		if id, ok := x.(*Ident); ok {
+			if src, err := g.home(id.Name); err == nil && (!dst.IsMem() || !src.IsMem()) {
+				g.emitf("mov", dst, src)
+				return nil
+			}
+		}
+	}
+	if err := g.genExpr(x); err != nil {
+		return err
+	}
+	g.emitf("mov", dst, g.accOp())
+	return nil
+}
+
+func (g *funcGen) genIf(v *IfStmt) error {
+	end := g.newLabel()
+	if v.Else == nil {
+		if err := g.genCondJump(v.Cond, end, false); err != nil {
+			return err
+		}
+		if err := g.genBlock(v.Then); err != nil {
+			return err
+		}
+		g.place(end)
+		return nil
+	}
+	if g.k.elseFirst {
+		thenLbl := g.newLabel()
+		if err := g.genCondJump(v.Cond, thenLbl, true); err != nil {
+			return err
+		}
+		if err := g.genStmt(v.Else); err != nil {
+			return err
+		}
+		g.jmp(end)
+		g.place(thenLbl)
+		if err := g.genBlock(v.Then); err != nil {
+			return err
+		}
+		g.place(end)
+		return nil
+	}
+	elseLbl := g.newLabel()
+	if err := g.genCondJump(v.Cond, elseLbl, false); err != nil {
+		return err
+	}
+	if err := g.genBlock(v.Then); err != nil {
+		return err
+	}
+	g.jmp(end)
+	g.place(elseLbl)
+	if err := g.genStmt(v.Else); err != nil {
+		return err
+	}
+	g.place(end)
+	return nil
+}
+
+func (g *funcGen) genWhile(v *WhileStmt) error {
+	end := g.newLabel()
+	if g.k.rotateLoops {
+		cond := g.newLabel()
+		body := g.newLabel()
+		g.jmp(cond)
+		g.place(body)
+		g.breakLbl = append(g.breakLbl, end)
+		g.contLbl = append(g.contLbl, cond)
+		err := g.genBlock(v.Body)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		if err != nil {
+			return err
+		}
+		g.place(cond)
+		if err := g.genCondJump(v.Cond, body, true); err != nil {
+			return err
+		}
+		g.place(end)
+		return nil
+	}
+	top := g.newLabel()
+	g.place(top)
+	if err := g.genCondJump(v.Cond, end, false); err != nil {
+		return err
+	}
+	g.breakLbl = append(g.breakLbl, end)
+	g.contLbl = append(g.contLbl, top)
+	err := g.genBlock(v.Body)
+	g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+	g.contLbl = g.contLbl[:len(g.contLbl)-1]
+	if err != nil {
+		return err
+	}
+	g.jmp(top)
+	g.place(end)
+	return nil
+}
+
+func (g *funcGen) genFor(v *ForStmt) error {
+	if v.Init != nil {
+		if err := g.genStmt(v.Init); err != nil {
+			return err
+		}
+	}
+	end := g.newLabel()
+	post := g.newLabel()
+	if g.k.rotateLoops && v.Cond != nil {
+		cond := g.newLabel()
+		body := g.newLabel()
+		g.jmp(cond)
+		g.place(body)
+		g.breakLbl = append(g.breakLbl, end)
+		g.contLbl = append(g.contLbl, post)
+		err := g.genBlock(v.Body)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		if err != nil {
+			return err
+		}
+		g.place(post)
+		if v.Post != nil {
+			if err := g.genStmt(v.Post); err != nil {
+				return err
+			}
+		}
+		g.place(cond)
+		if err := g.genCondJump(v.Cond, body, true); err != nil {
+			return err
+		}
+		g.place(end)
+		return nil
+	}
+	top := g.newLabel()
+	g.place(top)
+	if v.Cond != nil {
+		if err := g.genCondJump(v.Cond, end, false); err != nil {
+			return err
+		}
+	}
+	g.breakLbl = append(g.breakLbl, end)
+	g.contLbl = append(g.contLbl, post)
+	err := g.genBlock(v.Body)
+	g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+	g.contLbl = g.contLbl[:len(g.contLbl)-1]
+	if err != nil {
+		return err
+	}
+	g.place(post)
+	if v.Post != nil {
+		if err := g.genStmt(v.Post); err != nil {
+			return err
+		}
+	}
+	g.jmp(top)
+	g.place(end)
+	return nil
+}

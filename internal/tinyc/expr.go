@@ -1,0 +1,458 @@
+package tinyc
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+)
+
+// acc returns the expression accumulator register. The default is eax; at
+// O2 a context may pick ecx instead (the accumulator knob), which renames
+// nearly every value-carrying instruction between contexts — the variance
+// the rewrite engine of the paper's Section 4.4 bridges.
+func (g *funcGen) accOp() asm.Operand { return asm.RegOp(g.k.accReg) }
+
+// tmpOp returns the scratch register paired with the accumulator.
+func (g *funcGen) tmpOp() asm.Operand {
+	if g.k.accReg == asm.ECX {
+		return asm.RegOp(asm.EDX)
+	}
+	return asm.RegOp(asm.ECX)
+}
+
+// genExpr evaluates e into the accumulator. The scratch register and edx
+// are clobbered; esi/edi/ebx hold register-allocated variables and
+// survive.
+func (g *funcGen) genExpr(e Expr) error {
+	acc := g.accOp()
+	switch v := e.(type) {
+	case *IntLit:
+		if g.k.peephole && v.V == 0 {
+			g.emitf("xor", acc, acc)
+		} else {
+			g.emitf("mov", acc, asm.ImmOp(v.V))
+		}
+		return nil
+	case *StrLit:
+		name := g.pool.intern(v.S)
+		g.emitf("mov", acc, asm.OffsetOp(asm.SymData, name))
+		return nil
+	case *Ident:
+		home, err := g.home(v.Name)
+		if err != nil {
+			return err
+		}
+		g.emitf("mov", acc, home)
+		return nil
+	case *UnaryExpr:
+		switch v.Op {
+		case "-":
+			if err := g.genExpr(v.X); err != nil {
+				return err
+			}
+			g.emitf("neg", acc)
+			return nil
+		case "!":
+			return g.materializeBool(v)
+		}
+		return fmt.Errorf("unknown unary op %q", v.Op)
+	case *BinaryExpr:
+		switch v.Op {
+		case "+", "-", "*", "/", "%":
+			return g.genArith(v)
+		default:
+			// Comparisons and logical operators as values.
+			return g.materializeBool(v)
+		}
+	case *CallExpr:
+		return g.genCall(v, true)
+	}
+	return fmt.Errorf("unknown expression %T", e)
+}
+
+// materializeBool evaluates a boolean expression into the accumulator as
+// 0/1 — with a setcc/movzx pair when the context prefers it (gcc's idiom)
+// or through branches otherwise (older-compiler style; also used for the
+// short-circuit operators, whose evaluation is inherently branchy).
+func (g *funcGen) materializeBool(e Expr) error {
+	acc := g.accOp()
+	if g.k.useSetcc {
+		if v, ok := e.(*BinaryExpr); ok {
+			if ccT, _, ok := ccFor(v.Op); ok {
+				if low := g.k.accReg.Low8(); low != asm.RegNone {
+					if err := g.genCompare(v); err != nil {
+						return err
+					}
+					g.emitf("set"+ccT[1:], asm.RegOp(low))
+					g.emitf("movzx", acc, asm.RegOp(low))
+					return nil
+				}
+			}
+		}
+	}
+	falseLbl := g.newLabel()
+	end := g.newLabel()
+	if err := g.genCondJump(e, falseLbl, false); err != nil {
+		return err
+	}
+	g.emitf("mov", acc, asm.ImmOp(1))
+	g.jmp(end)
+	g.place(falseLbl)
+	if g.k.peephole {
+		g.emitf("xor", acc, acc)
+	} else {
+		g.emitf("mov", acc, asm.ImmOp(0))
+	}
+	g.place(end)
+	return nil
+}
+
+// simpleOperand returns an operand usable directly as the right-hand side
+// of an ALU op (an immediate, a register variable, or a memory home),
+// avoiding the generic push/pop scheme.
+func (g *funcGen) simpleOperand(e Expr) (asm.Operand, bool) {
+	if !g.k.immShortcut {
+		return asm.Operand{}, false
+	}
+	switch v := e.(type) {
+	case *IntLit:
+		return asm.ImmOp(v.V), true
+	case *Ident:
+		if home, err := g.home(v.Name); err == nil {
+			return home, true
+		}
+	}
+	return asm.Operand{}, false
+}
+
+// genDiv emits the division tail: dividend is in the accumulator, divisor
+// in rhs (a register or memory operand, never eax or edx). The quotient or
+// remainder lands back in the accumulator.
+func (g *funcGen) genDiv(rhs asm.Operand, mod bool) {
+	acc := g.accOp()
+	eax := asm.RegOp(asm.EAX)
+	if g.k.accReg != asm.EAX {
+		g.emitf("mov", eax, acc)
+	}
+	g.emitf("cdq")
+	g.emitf("idiv", rhs)
+	src := eax
+	if mod {
+		src = asm.RegOp(asm.EDX)
+	}
+	if g.k.accReg != asm.EAX || mod {
+		g.emitf("mov", acc, src)
+	}
+}
+
+func (g *funcGen) genArith(v *BinaryExpr) error {
+	acc := g.accOp()
+	// x OP simple: evaluate x into the accumulator, apply directly.
+	if rhs, ok := g.simpleOperand(v.Y); ok {
+		if err := g.genExpr(v.X); err != nil {
+			return err
+		}
+		switch v.Op {
+		case "+":
+			if g.k.peephole && isOne(v.Y) {
+				g.emitf("inc", acc)
+				return nil
+			}
+			g.emitf("add", acc, rhs)
+		case "-":
+			if g.k.peephole && isOne(v.Y) {
+				g.emitf("dec", acc)
+				return nil
+			}
+			g.emitf("sub", acc, rhs)
+		case "*":
+			if lit, isLit := v.Y.(*IntLit); isLit {
+				if sh, ok := log2(lit.V); ok && g.k.shiftMul {
+					g.emitf("shl", acc, asm.ImmOp(sh))
+					return nil
+				}
+				g.emitf("imul", acc, acc, asm.ImmOp(lit.V))
+			} else {
+				g.emitf("imul", acc, rhs)
+			}
+		case "/", "%":
+			// idiv needs a register or memory operand, never immediate;
+			// ecx is free here (the dividend moves to eax first).
+			if lit, isLit := v.Y.(*IntLit); isLit {
+				if sh, ok := log2(lit.V); ok && g.k.shiftMul && v.Op == "/" {
+					// Size-preferring arithmetic shift (TinyC values are
+					// treated as non-negative by the generator).
+					g.emitf("sar", acc, asm.ImmOp(sh))
+					return nil
+				}
+				_ = lit
+			}
+			if _, isLit := v.Y.(*IntLit); isLit {
+				if g.k.accReg != asm.EAX {
+					g.emitf("mov", asm.RegOp(asm.EAX), acc)
+				}
+				g.emitf("mov", asm.RegOp(asm.ECX), rhs)
+				g.emitf("cdq")
+				g.emitf("idiv", asm.RegOp(asm.ECX))
+				src := asm.RegOp(asm.EAX)
+				if v.Op == "%" {
+					src = asm.RegOp(asm.EDX)
+				}
+				if g.k.accReg != asm.EAX || v.Op == "%" {
+					g.emitf("mov", acc, src)
+				}
+				return nil
+			}
+			g.genDiv(rhs, v.Op == "%")
+		}
+		return nil
+	}
+	// General scheme: x on the machine stack while y evaluates.
+	if err := g.genExpr(v.X); err != nil {
+		return err
+	}
+	g.emitf("push", acc)
+	g.tempDepth++
+	if err := g.genExpr(v.Y); err != nil {
+		return err
+	}
+	g.tempDepth--
+	switch v.Op {
+	case "/", "%":
+		// Divisor must reach ecx, dividend eax.
+		if g.k.accReg != asm.ECX {
+			g.emitf("mov", asm.RegOp(asm.ECX), acc)
+		}
+		g.emitf("pop", asm.RegOp(asm.EAX))
+		g.emitf("cdq")
+		g.emitf("idiv", asm.RegOp(asm.ECX))
+		src := asm.RegOp(asm.EAX)
+		if v.Op == "%" {
+			src = asm.RegOp(asm.EDX)
+		}
+		if g.k.accReg != asm.EAX || v.Op == "%" {
+			g.emitf("mov", acc, src)
+		}
+		return nil
+	}
+	tmp := g.tmpOp()
+	g.emitf("mov", tmp, acc)
+	g.emitf("pop", acc)
+	switch v.Op {
+	case "+":
+		g.emitf("add", acc, tmp)
+	case "-":
+		g.emitf("sub", acc, tmp)
+	case "*":
+		g.emitf("imul", acc, tmp)
+	default:
+		return fmt.Errorf("unknown arith op %q", v.Op)
+	}
+	return nil
+}
+
+// log2 returns the exponent for positive powers of two above 1.
+func log2(v int64) (int64, bool) {
+	if v < 2 || v&(v-1) != 0 {
+		return 0, false
+	}
+	n := int64(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n, true
+}
+
+func isOne(e Expr) bool {
+	lit, ok := e.(*IntLit)
+	return ok && lit.V == 1
+}
+
+func isZero(e Expr) bool {
+	lit, ok := e.(*IntLit)
+	return ok && lit.V == 0
+}
+
+// genCall emits a call. wantResult moves the cdecl return value from eax
+// into the accumulator when they differ; statement-level calls skip it.
+func (g *funcGen) genCall(v *CallExpr, wantResult bool) error {
+	acc := g.accOp()
+	target := v.Name
+	if !g.defined[target] {
+		target = "_" + target
+		g.imports[target] = true
+	}
+	callOp := asm.SymOp(asm.SymFunc, target)
+	argsHaveCalls := false
+	for _, a := range v.Args {
+		if hasCall(a) {
+			argsHaveCalls = true
+		}
+	}
+	finish := func() {
+		if wantResult && g.k.accReg != asm.EAX {
+			g.emitf("mov", acc, asm.RegOp(asm.EAX))
+		}
+	}
+	// The outgoing-area store addresses [esp+4i] are only valid when no
+	// expression temporary is live on the machine stack.
+	if g.espArgs && !argsHaveCalls && g.tempDepth == 0 {
+		// gcc-style: store arguments into the reserved outgoing area.
+		for i := len(v.Args) - 1; i >= 0; i-- {
+			if err := g.genExpr(v.Args[i]); err != nil {
+				return err
+			}
+			g.emitf("mov", asm.MemDisp(asm.ESP, int64(4*i)), acc)
+		}
+		g.emitf("call", callOp)
+		finish()
+		return nil
+	}
+	// push-style, right to left; caller cleans up.
+	for i := len(v.Args) - 1; i >= 0; i-- {
+		// Literal and address arguments push directly.
+		switch a := v.Args[i].(type) {
+		case *IntLit:
+			g.emitf("push", asm.ImmOp(a.V))
+			continue
+		case *StrLit:
+			g.emitf("push", asm.OffsetOp(asm.SymData, g.pool.intern(a.S)))
+			continue
+		}
+		if err := g.genExpr(v.Args[i]); err != nil {
+			return err
+		}
+		g.emitf("push", acc)
+	}
+	g.emitf("call", callOp)
+	if n := len(v.Args); n > 0 {
+		g.emitf("add", asm.RegOp(asm.ESP), asm.ImmOp(int64(4*n)))
+	}
+	finish()
+	return nil
+}
+
+// ccFor maps a comparison operator to (jump-if-true, jump-if-false)
+// condition codes, signed.
+func ccFor(op string) (string, string, bool) {
+	switch op {
+	case "==":
+		return "jz", "jnz", true
+	case "!=":
+		return "jnz", "jz", true
+	case "<":
+		return "jl", "jge", true
+	case "<=":
+		return "jle", "jg", true
+	case ">":
+		return "jg", "jle", true
+	case ">=":
+		return "jge", "jl", true
+	}
+	return "", "", false
+}
+
+// genCondJump evaluates e as a condition and jumps to lbl when the
+// condition's truth equals jumpIfTrue; otherwise control falls through.
+func (g *funcGen) genCondJump(e Expr, lbl string, jumpIfTrue bool) error {
+	switch v := e.(type) {
+	case *UnaryExpr:
+		if v.Op == "!" {
+			return g.genCondJump(v.X, lbl, !jumpIfTrue)
+		}
+	case *BinaryExpr:
+		if ccT, ccF, ok := ccFor(v.Op); ok {
+			if err := g.genCompare(v); err != nil {
+				return err
+			}
+			if jumpIfTrue {
+				g.jcc(ccT, lbl)
+			} else {
+				g.jcc(ccF, lbl)
+			}
+			return nil
+		}
+		switch v.Op {
+		case "&&":
+			if jumpIfTrue {
+				skip := g.newLabel()
+				if err := g.genCondJump(v.X, skip, false); err != nil {
+					return err
+				}
+				if err := g.genCondJump(v.Y, lbl, true); err != nil {
+					return err
+				}
+				g.place(skip)
+				return nil
+			}
+			if err := g.genCondJump(v.X, lbl, false); err != nil {
+				return err
+			}
+			return g.genCondJump(v.Y, lbl, false)
+		case "||":
+			if jumpIfTrue {
+				if err := g.genCondJump(v.X, lbl, true); err != nil {
+					return err
+				}
+				return g.genCondJump(v.Y, lbl, true)
+			}
+			skip := g.newLabel()
+			if err := g.genCondJump(v.X, skip, true); err != nil {
+				return err
+			}
+			if err := g.genCondJump(v.Y, lbl, false); err != nil {
+				return err
+			}
+			g.place(skip)
+			return nil
+		}
+	}
+	// Generic truthiness: nonzero is true.
+	if err := g.genExpr(e); err != nil {
+		return err
+	}
+	acc := g.accOp()
+	if g.k.peephole {
+		g.emitf("test", acc, acc)
+	} else {
+		g.emitf("cmp", acc, asm.ImmOp(0))
+	}
+	if jumpIfTrue {
+		g.jcc("jnz", lbl)
+	} else {
+		g.jcc("jz", lbl)
+	}
+	return nil
+}
+
+// genCompare emits the cmp (or test) setting flags for a comparison
+// operator.
+func (g *funcGen) genCompare(v *BinaryExpr) error {
+	acc := g.accOp()
+	if rhs, ok := g.simpleOperand(v.Y); ok {
+		if err := g.genExpr(v.X); err != nil {
+			return err
+		}
+		if g.k.peephole && isZero(v.Y) && (v.Op == "==" || v.Op == "!=") {
+			g.emitf("test", acc, acc)
+			return nil
+		}
+		g.emitf("cmp", acc, rhs)
+		return nil
+	}
+	if err := g.genExpr(v.X); err != nil {
+		return err
+	}
+	g.emitf("push", acc)
+	g.tempDepth++
+	if err := g.genExpr(v.Y); err != nil {
+		return err
+	}
+	g.tempDepth--
+	tmp := g.tmpOp()
+	g.emitf("mov", tmp, acc)
+	g.emitf("pop", acc)
+	g.emitf("cmp", acc, tmp)
+	return nil
+}

@@ -1,0 +1,167 @@
+package tinyc
+
+// Constant folding, applied at every optimization level (as real compilers
+// do): literal subexpressions are evaluated at compile time with C's
+// 32-bit truncating semantics, and arithmetic identities involving 0 and 1
+// are simplified. Folding runs before inlining so that inlined bodies are
+// folded again in context by the per-function pass.
+
+// foldProgram folds every function in place.
+func foldProgram(p *Program) {
+	for _, fn := range p.Funcs {
+		foldStmt(fn.Body)
+	}
+}
+
+func foldStmt(s Stmt) {
+	switch v := s.(type) {
+	case *BlockStmt:
+		for _, st := range v.Stmts {
+			foldStmt(st)
+		}
+	case *DeclStmt:
+		if v.Init != nil {
+			v.Init = foldExpr(v.Init)
+		}
+	case *AssignStmt:
+		v.X = foldExpr(v.X)
+	case *IfStmt:
+		v.Cond = foldExpr(v.Cond)
+		foldStmt(v.Then)
+		if v.Else != nil {
+			foldStmt(v.Else)
+		}
+	case *WhileStmt:
+		v.Cond = foldExpr(v.Cond)
+		foldStmt(v.Body)
+	case *SwitchStmt:
+		v.X = foldExpr(v.X)
+		for _, cs := range v.Cases {
+			foldStmt(cs.Body)
+		}
+		if v.Default != nil {
+			foldStmt(v.Default)
+		}
+	case *ForStmt:
+		if v.Init != nil {
+			foldStmt(v.Init)
+		}
+		if v.Cond != nil {
+			v.Cond = foldExpr(v.Cond)
+		}
+		if v.Post != nil {
+			foldStmt(v.Post)
+		}
+		foldStmt(v.Body)
+	case *ReturnStmt:
+		if v.X != nil {
+			v.X = foldExpr(v.X)
+		}
+	case *ExprStmt:
+		v.X = foldExpr(v.X)
+	}
+}
+
+func foldExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case *UnaryExpr:
+		v.X = foldExpr(v.X)
+		if lit, ok := v.X.(*IntLit); ok {
+			switch v.Op {
+			case "-":
+				return &IntLit{V: int64(-int32(lit.V))}
+			case "!":
+				if lit.V == 0 {
+					return &IntLit{V: 1}
+				}
+				return &IntLit{V: 0}
+			}
+		}
+		return v
+	case *BinaryExpr:
+		v.X = foldExpr(v.X)
+		v.Y = foldExpr(v.Y)
+		lx, xlit := v.X.(*IntLit)
+		ly, ylit := v.Y.(*IntLit)
+		if xlit && ylit {
+			if folded, ok := evalConst(v.Op, int32(lx.V), int32(ly.V)); ok {
+				return &IntLit{V: int64(folded)}
+			}
+			return v
+		}
+		// Identities. Only ones that preserve evaluation order and side
+		// effects (the discarded operand is a literal, so nothing is lost).
+		switch {
+		case ylit && ly.V == 0 && (v.Op == "+" || v.Op == "-"):
+			return v.X
+		case ylit && ly.V == 1 && (v.Op == "*" || v.Op == "/"):
+			return v.X
+		case ylit && ly.V == 1 && v.Op == "%":
+			// x % 1 is 0 only if x has no side effects; TinyC expressions
+			// with calls must still run, so keep unless x is side-effect
+			// free.
+			if !hasCall(v.X) {
+				return &IntLit{V: 0}
+			}
+		case xlit && lx.V == 0 && v.Op == "+":
+			return v.Y
+		case xlit && lx.V == 1 && v.Op == "*":
+			return v.Y
+		}
+		return v
+	case *CallExpr:
+		for i := range v.Args {
+			v.Args[i] = foldExpr(v.Args[i])
+		}
+		return v
+	default:
+		return e
+	}
+}
+
+// evalConst applies an operator with C's int32 semantics. Division by zero
+// and INT_MIN/-1 are left unfolded (runtime traps stay runtime traps).
+func evalConst(op string, a, b int32) (int32, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 || (a == -2147483648 && b == -1) {
+			return 0, false
+		}
+		return a / b, true
+	case "%":
+		if b == 0 || (a == -2147483648 && b == -1) {
+			return 0, false
+		}
+		return a % b, true
+	case "==":
+		return b2i(a == b), true
+	case "!=":
+		return b2i(a != b), true
+	case "<":
+		return b2i(a < b), true
+	case "<=":
+		return b2i(a <= b), true
+	case ">":
+		return b2i(a > b), true
+	case ">=":
+		return b2i(a >= b), true
+	case "&&":
+		return b2i(a != 0 && b != 0), true
+	case "||":
+		return b2i(a != 0 || b != 0), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package tinyc
+
+import "testing"
+
+func foldOf(t *testing.T, exprSrc string) Expr {
+	t.Helper()
+	prog, err := Parse("int f(int a, int b) { return " + exprSrc + "; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foldProgram(prog)
+	ret := prog.Funcs[0].Body.Stmts[len(prog.Funcs[0].Body.Stmts)-1].(*ReturnStmt)
+	return ret.X
+}
+
+func TestFoldConstants(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(10 - 4) / 3", 2},
+		{"17 % 5", 2},
+		{"0 - 5", -5},
+		{"!(3 > 2)", 0},
+		{"3 == 3", 1},
+		{"1 && 0", 0},
+		{"0 || 7", 1},
+		{"2147483647 + 1", -2147483648}, // int32 wraparound
+	} {
+		got := foldOf(t, tc.src)
+		lit, ok := got.(*IntLit)
+		if !ok {
+			t.Errorf("%s: not folded: %#v", tc.src, got)
+			continue
+		}
+		if lit.V != tc.want {
+			t.Errorf("%s = %d, want %d", tc.src, lit.V, tc.want)
+		}
+	}
+}
+
+func TestFoldIdentities(t *testing.T) {
+	// a + 0, a * 1, a / 1 reduce to the identifier.
+	for _, src := range []string{"a + 0", "a * 1", "a / 1", "0 + a", "1 * a"} {
+		if _, ok := foldOf(t, src).(*Ident); !ok {
+			t.Errorf("%s: not reduced to identifier", src)
+		}
+	}
+	// a % 1 is 0 when side-effect free.
+	if lit, ok := foldOf(t, "a % 1").(*IntLit); !ok || lit.V != 0 {
+		t.Errorf("a %% 1 should fold to 0")
+	}
+	// Calls must survive: f(a) % 1 keeps the call.
+	if _, ok := foldOf(t, "g(a) % 1").(*BinaryExpr); !ok {
+		t.Error("call operand must not be discarded")
+	}
+}
+
+func TestFoldKeepsTraps(t *testing.T) {
+	// Division by zero stays a runtime expression.
+	if _, ok := foldOf(t, "5 / 0").(*BinaryExpr); !ok {
+		t.Error("5/0 must not fold")
+	}
+	if _, ok := foldOf(t, "5 % 0").(*BinaryExpr); !ok {
+		t.Error("5%0 must not fold")
+	}
+}
+
+func TestFoldShrinksCode(t *testing.T) {
+	folded, err := Compile("int f() { return 2 + 3 * 4; }", Config{Opt: O0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole body should be a single mov of 14 plus prologue/epilogue.
+	found := false
+	for _, in := range folded.Funcs[0].Insts {
+		if in.String() == "mov eax, 0Eh" {
+			found = true
+		}
+		if in.Mnemonic == "imul" || in.Mnemonic == "add" {
+			t.Errorf("unfolded arithmetic survived: %s", in)
+		}
+	}
+	if !found {
+		t.Error("folded constant not materialized")
+	}
+}

@@ -1,0 +1,145 @@
+package tinyc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bin"
+	"repro/internal/prep"
+)
+
+const globalsSrc = `
+int counter = 7;
+int limit = 100;
+int bump(int by) {
+	counter = counter + by;
+	if (counter > limit) { counter = limit; }
+	return counter;
+}
+int run(int n) {
+	int i = 0;
+	for (i = 0; i < n; i = i + 1) { bump(i); }
+	return counter + limit;
+}
+`
+
+func TestGlobalsParse(t *testing.T) {
+	prog, err := Parse(globalsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 2 || len(prog.Funcs) != 2 {
+		t.Fatalf("globals=%d funcs=%d", len(prog.Globals), len(prog.Funcs))
+	}
+	if prog.Globals[0].Name != "counter" || prog.Globals[0].Init != 7 {
+		t.Errorf("global 0 = %+v", prog.Globals[0])
+	}
+}
+
+func TestGlobalsParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"int g = x;\nint f() { return 0; }",             // non-literal init
+		"int g = 1;\nint g = 2;\nint f() { return 0; }", // duplicate
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestGlobalsInDataSection(t *testing.T) {
+	img, err := Build(globalsSrc, Config{Opt: O2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := bin.Read(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := f.Section(".data")
+	if data == nil || len(data.Data) < 8 {
+		t.Fatal("missing .data section")
+	}
+	if !data.Writable() {
+		t.Error(".data should be writable")
+	}
+	if ro := f.Section(".rodata"); ro.Writable() {
+		t.Error(".rodata should not be writable")
+	}
+	// Initializers present: 7 and 100 little-endian.
+	found7, found100 := false, false
+	for i := 0; i+4 <= len(data.Data); i += 4 {
+		v := uint32(data.Data[i]) | uint32(data.Data[i+1])<<8 |
+			uint32(data.Data[i+2])<<16 | uint32(data.Data[i+3])<<24
+		if v == 7 {
+			found7 = true
+		}
+		if v == 100 {
+			found100 = true
+		}
+	}
+	if !found7 || !found100 {
+		t.Errorf("initializers missing from .data: % X", data.Data)
+	}
+}
+
+func TestGlobalsCompileAllLevels(t *testing.T) {
+	for _, opt := range []OptLevel{O0, O1, O2, Os} {
+		img, err := BuildStripped(globalsSrc, Config{Opt: opt, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", opt, err)
+		}
+		fns, err := prep.LiftImage(img)
+		if err != nil {
+			t.Fatalf("%v: %v", opt, err)
+		}
+		// Global accesses appear as content-derived data tokens.
+		all := ""
+		for _, fn := range fns {
+			all += fn.Graph.String()
+		}
+		if !strings.Contains(all, "unk_") {
+			t.Errorf("%v: global accesses not tokenized:\n%s", opt, all)
+		}
+	}
+}
+
+func TestLocalShadowsGlobal(t *testing.T) {
+	src := `
+	int x = 50;
+	int f(int a) {
+		int x = 1;
+		x = x + a;
+		return x;
+	}
+	`
+	p, err := Compile(src, Config{Opt: O0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The function body must not reference the global datum g_x.
+	for _, in := range p.Funcs[0].Insts {
+		if strings.Contains(in.String(), "g_x") {
+			t.Errorf("local should shadow global: %s", in)
+		}
+	}
+}
+
+func TestGlobalInInlinedCallee(t *testing.T) {
+	// The inliner must NOT rename global references in inlined bodies.
+	src := `
+	int total = 0;
+	int add(int v) { total = total + v; return total; }
+	int f(int a) { int r = add(a) + add(a * 2); return r + total; }
+	`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlineProgram(prog, 10)
+	// Compile end-to-end at O2 (inlining on): must not error with
+	// undefined __iN_total.
+	if _, err := Compile(src, Config{Opt: O2, Seed: 2}); err != nil {
+		t.Fatalf("inlined global reference broke compilation: %v", err)
+	}
+}

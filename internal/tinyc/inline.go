@@ -1,0 +1,458 @@
+package tinyc
+
+import "fmt"
+
+// inlineProgram performs function inlining at O1/O2: calls to small leaf
+// functions (ones that call nothing defined in the unit, with a single
+// trailing return) are replaced by their renamed bodies. -Os and -O0 keep
+// the calls, which is the dominant reason real -Os builds of the same
+// source diverge structurally from -O2 builds (paper Section 8).
+func inlineProgram(p *Program, maxStmts int) {
+	byName := make(map[string]*FuncDecl, len(p.Funcs))
+	for _, fn := range p.Funcs {
+		byName[fn.Name] = fn
+	}
+	globals := make(map[string]bool, len(p.Globals))
+	for _, g := range p.Globals {
+		globals[g.Name] = true
+	}
+	inlineable := make(map[string]*FuncDecl)
+	for _, fn := range p.Funcs {
+		if isInlineable(fn, byName, maxStmts) {
+			inlineable[fn.Name] = fn
+		}
+	}
+	if len(inlineable) == 0 {
+		return
+	}
+	for _, fn := range p.Funcs {
+		ctx := &inliner{inlineable: inlineable, self: fn.Name, globals: globals}
+		fn.Body = ctx.block(fn.Body)
+	}
+}
+
+// isInlineable: small, non-recursive leaf (calls only externals), with
+// returns appearing only as the final statement of the body.
+func isInlineable(fn *FuncDecl, defined map[string]*FuncDecl, maxStmts int) bool {
+	if countStmts(fn.Body) > maxStmts {
+		return false
+	}
+	callsDefined := false
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch v := e.(type) {
+		case *UnaryExpr:
+			walkExpr(v.X)
+		case *BinaryExpr:
+			walkExpr(v.X)
+			walkExpr(v.Y)
+		case *CallExpr:
+			if _, ok := defined[v.Name]; ok {
+				callsDefined = true
+			}
+			for _, a := range v.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	returns := 0
+	badReturn := false
+	var walkStmt func(s Stmt, isLast, topLevel bool)
+	walkStmt = func(s Stmt, isLast, topLevel bool) {
+		switch v := s.(type) {
+		case *BlockStmt:
+			for i, st := range v.Stmts {
+				walkStmt(st, isLast && i == len(v.Stmts)-1, topLevel)
+			}
+		case *ReturnStmt:
+			returns++
+			if !isLast || !topLevel {
+				badReturn = true
+			}
+			if v.X != nil {
+				walkExpr(v.X)
+			}
+		case *DeclStmt:
+			if v.Init != nil {
+				walkExpr(v.Init)
+			}
+		case *AssignStmt:
+			walkExpr(v.X)
+		case *IfStmt:
+			walkExpr(v.Cond)
+			walkStmt(v.Then, false, false)
+			if v.Else != nil {
+				walkStmt(v.Else, false, false)
+			}
+		case *WhileStmt:
+			walkExpr(v.Cond)
+			walkStmt(v.Body, false, false)
+		case *SwitchStmt:
+			walkExpr(v.X)
+			for _, cs := range v.Cases {
+				walkStmt(cs.Body, false, false)
+			}
+			if v.Default != nil {
+				walkStmt(v.Default, false, false)
+			}
+		case *ForStmt:
+			if v.Init != nil {
+				walkStmt(v.Init, false, false)
+			}
+			if v.Cond != nil {
+				walkExpr(v.Cond)
+			}
+			if v.Post != nil {
+				walkStmt(v.Post, false, false)
+			}
+			walkStmt(v.Body, false, false)
+		case *ExprStmt:
+			walkExpr(v.X)
+		}
+	}
+	walkStmt(fn.Body, true, true)
+	return !callsDefined && !badReturn && returns <= 1
+}
+
+func countStmts(s Stmt) int {
+	n := 0
+	switch v := s.(type) {
+	case *BlockStmt:
+		for _, st := range v.Stmts {
+			n += countStmts(st)
+		}
+		return n
+	case *IfStmt:
+		n = 1 + countStmts(v.Then)
+		if v.Else != nil {
+			n += countStmts(v.Else)
+		}
+		return n
+	case *WhileStmt:
+		return 1 + countStmts(v.Body)
+	case *SwitchStmt:
+		n = 1
+		for _, cs := range v.Cases {
+			n += countStmts(cs.Body)
+		}
+		if v.Default != nil {
+			n += countStmts(v.Default)
+		}
+		return n
+	case *ForStmt:
+		return 1 + countStmts(v.Body)
+	default:
+		return 1
+	}
+}
+
+// inliner rewrites one function's statements, expanding inlineable calls
+// found in statement-level expressions (initializers, assignments,
+// expression statements, returns, and once-evaluated if conditions).
+type inliner struct {
+	inlineable map[string]*FuncDecl
+	self       string
+	globals    map[string]bool
+	nTemp      int
+	pre        []Stmt // statements to emit before the one being rewritten
+}
+
+func (c *inliner) block(b *BlockStmt) *BlockStmt {
+	out := &BlockStmt{}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, c.rewrite(s)...)
+	}
+	return out
+}
+
+// rewrite processes one statement, returning any hoisted inlined blocks
+// followed by the rewritten statement itself.
+func (c *inliner) rewrite(s Stmt) []Stmt {
+	saved := c.pre
+	c.pre = nil
+	ns := c.stmt(s)
+	out := append(c.pre, ns)
+	c.pre = saved
+	return out
+}
+
+func (c *inliner) stmt(s Stmt) Stmt {
+	switch v := s.(type) {
+	case *BlockStmt:
+		return c.block(v)
+	case *DeclStmt:
+		if v.Init != nil {
+			v.Init = c.expr(v.Init)
+		}
+		return v
+	case *AssignStmt:
+		v.X = c.expr(v.X)
+		return v
+	case *ExprStmt:
+		// A bare inlineable call needs no result temp.
+		if call, ok := v.X.(*CallExpr); ok {
+			if fn, ok := c.inlineable[call.Name]; ok && call.Name != c.self {
+				blk, _ := c.expand(fn, call, false)
+				return blk
+			}
+		}
+		v.X = c.expr(v.X)
+		return v
+	case *ReturnStmt:
+		if v.X != nil {
+			v.X = c.expr(v.X)
+		}
+		return v
+	case *IfStmt:
+		// Conditions keep their calls (they may be skipped or
+		// re-evaluated); only branch bodies are expanded.
+		v.Then = c.block(v.Then)
+		if v.Else != nil {
+			v.Else = c.stmt(v.Else)
+		}
+		return v
+	case *WhileStmt:
+		v.Body = c.block(v.Body)
+		return v
+	case *SwitchStmt:
+		// The scrutinee is evaluated exactly once; its hoisted blocks go
+		// before the switch.
+		v.X = c.expr(v.X)
+		for i := range v.Cases {
+			v.Cases[i].Body = c.block(v.Cases[i].Body)
+		}
+		if v.Default != nil {
+			v.Default = c.block(v.Default)
+		}
+		return v
+	case *ForStmt:
+		// Init runs once: its hoisted blocks belong before the loop, which
+		// is where rewrite places them. Post re-runs per iteration and is
+		// left untouched.
+		if v.Init != nil {
+			init := c.rewrite(v.Init)
+			if len(init) > 1 {
+				c.pre = append(c.pre, init[:len(init)-1]...)
+			}
+			v.Init = init[len(init)-1]
+		}
+		v.Body = c.block(v.Body)
+		return v
+	default:
+		return s
+	}
+}
+
+func (c *inliner) expr(e Expr) Expr {
+	switch v := e.(type) {
+	case *UnaryExpr:
+		v.X = c.expr(v.X)
+		return v
+	case *BinaryExpr:
+		v.X = c.expr(v.X)
+		v.Y = c.expr(v.Y)
+		return v
+	case *CallExpr:
+		for i := range v.Args {
+			v.Args[i] = c.expr(v.Args[i])
+		}
+		fn, ok := c.inlineable[v.Name]
+		if !ok || v.Name == c.self {
+			return v
+		}
+		blk, result := c.expand(fn, v, true)
+		c.pre = append(c.pre, blk)
+		return result
+	default:
+		return e
+	}
+}
+
+// expand produces the renamed inlined body; when wantResult is set it
+// declares a temp receiving the callee's return expression and returns an
+// Ident for it.
+func (c *inliner) expand(fn *FuncDecl, call *CallExpr, wantResult bool) (Stmt, Expr) {
+	c.nTemp++
+	prefix := fmt.Sprintf("__i%d_", c.nTemp)
+	blk := &BlockStmt{}
+	for i, p := range fn.Params {
+		var init Expr
+		if i < len(call.Args) {
+			init = call.Args[i]
+		} else {
+			init = &IntLit{V: 0}
+		}
+		blk.Stmts = append(blk.Stmts, &DeclStmt{Name: prefix + p, Init: init})
+	}
+	// Callee locals that shadow globals must still be renamed; track the
+	// callee's own declared names so only global references pass through.
+	declared := map[string]bool{}
+	for _, p := range fn.Params {
+		declared[p] = true
+	}
+	collectDecls(fn.Body, declared)
+	rn := &renamer{prefix: prefix, globals: c.globals, declared: declared}
+	body, ret := splitTrailingReturn(fn.Body)
+	for _, s := range body {
+		blk.Stmts = append(blk.Stmts, rn.stmt(s))
+	}
+	if !wantResult {
+		if ret != nil && ret.X != nil {
+			blk.Stmts = append(blk.Stmts, &ExprStmt{X: rn.expr(ret.X)})
+		}
+		return blk, nil
+	}
+	tmp := prefix + "ret"
+	var resultExpr Expr = &IntLit{V: 0}
+	if ret != nil && ret.X != nil {
+		resultExpr = rn.expr(ret.X)
+	}
+	blk.Stmts = append(blk.Stmts, &DeclStmt{Name: tmp, Init: resultExpr})
+	return blk, &Ident{Name: tmp}
+}
+
+func splitTrailingReturn(b *BlockStmt) ([]Stmt, *ReturnStmt) {
+	if n := len(b.Stmts); n > 0 {
+		if ret, ok := b.Stmts[n-1].(*ReturnStmt); ok {
+			return b.Stmts[:n-1], ret
+		}
+	}
+	return b.Stmts, nil
+}
+
+// collectDecls gathers every locally declared variable name in a
+// statement tree.
+func collectDecls(s Stmt, out map[string]bool) {
+	switch v := s.(type) {
+	case *BlockStmt:
+		for _, st := range v.Stmts {
+			collectDecls(st, out)
+		}
+	case *DeclStmt:
+		out[v.Name] = true
+	case *IfStmt:
+		collectDecls(v.Then, out)
+		if v.Else != nil {
+			collectDecls(v.Else, out)
+		}
+	case *WhileStmt:
+		collectDecls(v.Body, out)
+	case *SwitchStmt:
+		for _, cs := range v.Cases {
+			collectDecls(cs.Body, out)
+		}
+		if v.Default != nil {
+			collectDecls(v.Default, out)
+		}
+	case *ForStmt:
+		if v.Init != nil {
+			collectDecls(v.Init, out)
+		}
+		collectDecls(v.Body, out)
+	}
+}
+
+// renamer deep-copies callee statements, prefixing the callee's own
+// parameters and locals while leaving global references intact.
+type renamer struct {
+	prefix   string
+	globals  map[string]bool
+	declared map[string]bool // callee params + locals
+}
+
+func (r *renamer) name(n string) string {
+	if r.globals[n] && !r.declared[n] {
+		return n
+	}
+	return r.prefix + n
+}
+
+func (r *renamer) stmt(s Stmt) Stmt {
+	switch v := s.(type) {
+	case *BlockStmt:
+		out := &BlockStmt{}
+		for _, st := range v.Stmts {
+			out.Stmts = append(out.Stmts, r.stmt(st))
+		}
+		return out
+	case *DeclStmt:
+		out := &DeclStmt{Name: r.prefix + v.Name}
+		if v.Init != nil {
+			out.Init = r.expr(v.Init)
+		}
+		return out
+	case *AssignStmt:
+		return &AssignStmt{Name: r.name(v.Name), X: r.expr(v.X)}
+	case *IfStmt:
+		out := &IfStmt{Cond: r.expr(v.Cond)}
+		out.Then = r.stmt(v.Then).(*BlockStmt)
+		if v.Else != nil {
+			out.Else = r.stmt(v.Else)
+		}
+		return out
+	case *WhileStmt:
+		return &WhileStmt{
+			Cond: r.expr(v.Cond),
+			Body: r.stmt(v.Body).(*BlockStmt),
+		}
+	case *SwitchStmt:
+		out := &SwitchStmt{X: r.expr(v.X)}
+		for _, cs := range v.Cases {
+			out.Cases = append(out.Cases, SwitchCase{
+				Value: cs.Value,
+				Body:  r.stmt(cs.Body).(*BlockStmt),
+			})
+		}
+		if v.Default != nil {
+			out.Default = r.stmt(v.Default).(*BlockStmt)
+		}
+		return out
+	case *ForStmt:
+		out := &ForStmt{Body: r.stmt(v.Body).(*BlockStmt)}
+		if v.Init != nil {
+			out.Init = r.stmt(v.Init)
+		}
+		if v.Cond != nil {
+			out.Cond = r.expr(v.Cond)
+		}
+		if v.Post != nil {
+			out.Post = r.stmt(v.Post)
+		}
+		return out
+	case *ReturnStmt:
+		// Unreachable for inlineable callees (single trailing return,
+		// already split off); kept for safety.
+		out := &ReturnStmt{}
+		if v.X != nil {
+			out.X = r.expr(v.X)
+		}
+		return out
+	case *ExprStmt:
+		return &ExprStmt{X: r.expr(v.X)}
+	default:
+		return s
+	}
+}
+
+func (r *renamer) expr(e Expr) Expr {
+	switch v := e.(type) {
+	case *IntLit:
+		return &IntLit{V: v.V}
+	case *StrLit:
+		return &StrLit{S: v.S}
+	case *Ident:
+		return &Ident{Name: r.name(v.Name)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: v.Op, X: r.expr(v.X)}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: v.Op, X: r.expr(v.X), Y: r.expr(v.Y)}
+	case *CallExpr:
+		out := &CallExpr{Name: v.Name}
+		for _, a := range v.Args {
+			out.Args = append(out.Args, r.expr(a))
+		}
+		return out
+	default:
+		return e
+	}
+}

@@ -1,0 +1,612 @@
+package tinyc
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a TinyC translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	seenGlobal := map[string]bool{}
+	for !p.at(tokEOF, "") {
+		// Lookahead: "type ident (" is a function, "type ident =|;" a
+		// global.
+		if g, ok, err := p.tryGlobal(); err != nil {
+			return nil, err
+		} else if ok {
+			if seenGlobal[g.Name] {
+				return nil, fmt.Errorf("tinyc: duplicate global %s", g.Name)
+			}
+			seenGlobal[g.Name] = true
+			prog.Globals = append(prog.Globals, g)
+			continue
+		}
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	if len(prog.Funcs) == 0 {
+		return nil, fmt.Errorf("tinyc: empty program")
+	}
+	return prog, nil
+}
+
+// tryGlobal parses a file-scope "int name [= literal];" if the lookahead
+// matches one; it returns ok=false (without consuming input) for function
+// definitions.
+func (p *parser) tryGlobal() (GlobalDecl, bool, error) {
+	save := p.pos
+	if !p.atType() {
+		return GlobalDecl{}, false, nil
+	}
+	if err := p.typeName(); err != nil {
+		return GlobalDecl{}, false, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		p.pos = save
+		return GlobalDecl{}, false, nil
+	}
+	if p.at(tokPunct, "(") {
+		p.pos = save
+		return GlobalDecl{}, false, nil
+	}
+	g := GlobalDecl{Name: name}
+	if p.accept(tokPunct, "=") {
+		neg := p.accept(tokPunct, "-")
+		t := p.cur()
+		if t.kind != tokInt {
+			return GlobalDecl{}, false, fmt.Errorf("tinyc: line %d: global initializer must be an integer literal", t.line)
+		}
+		p.advance()
+		g.Init = t.val
+		if neg {
+			g.Init = -g.Init
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return GlobalDecl{}, false, err
+	}
+	return g, true, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		return t, fmt.Errorf("tinyc: line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	p.advance()
+	return t, nil
+}
+
+// typeName parses "int" | "char *" | "void" and discards it (TinyC is
+// effectively untyped 32-bit).
+func (p *parser) typeName() error {
+	t := p.cur()
+	if t.kind != tokKeyword || (t.text != "int" && t.text != "char" && t.text != "void") {
+		return fmt.Errorf("tinyc: line %d: expected type, found %q", t.line, t.text)
+	}
+	p.advance()
+	for p.accept(tokPunct, "*") {
+	}
+	return nil
+}
+
+func (p *parser) atType() bool {
+	t := p.cur()
+	return t.kind == tokKeyword && (t.text == "int" || t.text == "char" || t.text == "void")
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	if err := p.typeName(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name}
+	if !p.at(tokPunct, ")") {
+		for {
+			if p.atType() {
+				if err := p.typeName(); err != nil {
+					return nil, err
+				}
+			}
+			pn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, pn)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("tinyc: line %d: expected identifier, found %q", t.line, t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, fmt.Errorf("tinyc: unexpected EOF in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance()
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+	case p.atType():
+		return p.declStmt(true)
+	case t.kind == tokKeyword && t.text == "if":
+		return p.ifStmt()
+	case t.kind == tokKeyword && t.text == "while":
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case t.kind == tokKeyword && t.text == "for":
+		return p.forStmt()
+	case t.kind == tokKeyword && t.text == "switch":
+		return p.switchStmt()
+	case t.kind == tokKeyword && t.text == "return":
+		p.advance()
+		var x Expr
+		if !p.at(tokPunct, ";") {
+			var err error
+			if x, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		_, err := p.expect(tokPunct, ";")
+		return &ReturnStmt{X: x}, err
+	case t.kind == tokKeyword && t.text == "break":
+		p.advance()
+		_, err := p.expect(tokPunct, ";")
+		return &BreakStmt{}, err
+	case t.kind == tokKeyword && t.text == "continue":
+		p.advance()
+		_, err := p.expect(tokPunct, ";")
+		return &ContinueStmt{}, err
+	default:
+		return p.simpleStmt(true)
+	}
+}
+
+// declStmt parses "int x = e;" (semi controls whether ';' is consumed, for
+// for-headers).
+func (p *parser) declStmt(semi bool) (Stmt, error) {
+	if err := p.typeName(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: name}
+	if p.accept(tokPunct, "=") {
+		if d.Init, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if semi {
+		_, err = p.expect(tokPunct, ";")
+	}
+	return d, err
+}
+
+// simpleStmt parses "x = e;" or an expression statement.
+func (p *parser) simpleStmt(semi bool) (Stmt, error) {
+	if p.cur().kind == tokIdent && p.pos+1 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=" {
+		name := p.cur().text
+		p.advance()
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if semi {
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		return &AssignStmt{Name: name, X: x}, nil
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if semi {
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.advance() // if
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.accept(tokKeyword, "else") {
+		if p.at(tokKeyword, "if") {
+			st.Else, err = p.ifStmt()
+		} else {
+			st.Else, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// switchStmt parses switch (x) { case N: stmts... default: stmts... }.
+// Case bodies run to the next case/default/closing brace and never fall
+// through.
+func (p *parser) switchStmt() (Stmt, error) {
+	p.advance() // switch
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{X: x}
+	seen := map[int64]bool{}
+	parseBody := func() (*BlockStmt, error) {
+		body := &BlockStmt{}
+		for {
+			t := p.cur()
+			if p.at(tokPunct, "}") || (t.kind == tokKeyword && (t.text == "case" || t.text == "default")) {
+				return body, nil
+			}
+			if p.at(tokEOF, "") {
+				return nil, fmt.Errorf("tinyc: unexpected EOF in switch")
+			}
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			body.Stmts = append(body.Stmts, s)
+		}
+	}
+	for !p.at(tokPunct, "}") {
+		t := p.cur()
+		switch {
+		case t.kind == tokKeyword && t.text == "case":
+			p.advance()
+			neg := p.accept(tokPunct, "-")
+			vt := p.cur()
+			if vt.kind != tokInt {
+				return nil, fmt.Errorf("tinyc: line %d: case value must be an integer literal", vt.line)
+			}
+			p.advance()
+			v := vt.val
+			if neg {
+				v = -v
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("tinyc: line %d: duplicate case %d", vt.line, v)
+			}
+			seen[v] = true
+			if _, err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			body, err := parseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Cases = append(st.Cases, SwitchCase{Value: v, Body: body})
+		case t.kind == tokKeyword && t.text == "default":
+			p.advance()
+			if _, err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			if st.Default != nil {
+				return nil, fmt.Errorf("tinyc: line %d: duplicate default", t.line)
+			}
+			body, err := parseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Default = body
+		default:
+			return nil, fmt.Errorf("tinyc: line %d: expected case or default, found %q", t.line, t.text)
+		}
+	}
+	p.advance()
+	if len(st.Cases) == 0 {
+		return nil, fmt.Errorf("tinyc: switch with no cases")
+	}
+	return st, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.advance() // for
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{}
+	var err error
+	if !p.at(tokPunct, ";") {
+		if p.atType() {
+			f.Init, err = p.declStmt(false)
+		} else {
+			f.Init, err = p.simpleStmt(false)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		if f.Cond, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		if f.Post, err = p.simpleStmt(false); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// Expression grammar with standard precedence:
+// or > and > cmp > add > mul > unary > primary.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "||") {
+		p.advance()
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: "||", X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	x, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "&&") {
+		p.advance()
+		y, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: "&&", X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return x, nil
+		}
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.advance()
+			y, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: t.text, X: x, Y: y}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "+") || p.at(tokPunct, "-") {
+		op := p.cur().text
+		p.advance()
+		y, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	x, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "*") || p.at(tokPunct, "/") || p.at(tokPunct, "%") {
+		op := p.cur().text
+		p.advance()
+		y, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(tokPunct, "-") || p.at(tokPunct, "!") {
+		op := p.cur().text
+		p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		return &IntLit{V: t.val}, nil
+	case t.kind == tokStr:
+		p.advance()
+		return &StrLit{S: t.str}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		if p.accept(tokPunct, "(") {
+			call := &CallExpr{Name: t.text}
+			if !p.at(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.text}, nil
+	case p.accept(tokPunct, "("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("tinyc: line %d: unexpected token %q", t.line, t.text)
+	}
+}

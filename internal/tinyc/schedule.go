@@ -1,0 +1,156 @@
+package tinyc
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+)
+
+// scheduleFunc performs a seeded local instruction scheduling pass: within
+// each region between control-flow instructions and labels, independent
+// adjacent instructions may be reordered. This models the scheduling
+// freedom real compilers exercise differently from build to build — one of
+// the main reasons the paper's n-gram baseline degrades across contexts
+// while tracelet alignment absorbs the transpositions.
+//
+// Dependence rules (conservative):
+//   - control flow (jumps, calls, returns) and any esp-affecting
+//     instruction are barriers;
+//   - two instructions conflict if one writes a register the other reads
+//     or writes;
+//   - two memory-touching instructions conflict unless both address
+//     distinct constant offsets from the same base register;
+//   - the final flag-setting instruction before a region end is pinned
+//     (its flags feed the following jcc).
+func scheduleFunc(insts []asm.Inst, labels map[string]int, rng *rand.Rand) []asm.Inst {
+	// Region boundaries: labels and control flow.
+	isLabelTarget := make([]bool, len(insts)+1)
+	for _, idx := range labels {
+		if idx >= 0 && idx <= len(insts) {
+			isLabelTarget[idx] = true
+		}
+	}
+	out := append([]asm.Inst(nil), insts...)
+	start := 0
+	for i := 0; i <= len(out); i++ {
+		atEnd := i == len(out)
+		boundary := atEnd || isLabelTarget[i] || isBarrier(out[i])
+		if !boundary {
+			continue
+		}
+		end := i
+		scheduleRegion(out[start:end], rng)
+		start = i + 1
+	}
+	return out
+}
+
+func isBarrier(in asm.Inst) bool {
+	if in.IsControlFlow() {
+		return true
+	}
+	// esp-affecting instructions keep their order (push/pop/sub esp).
+	if w := in.Write(); w[asm.ESP] {
+		return true
+	}
+	return false
+}
+
+// scheduleRegion shuffles a dependence-free region: it applies a random
+// sequence of legal adjacent transpositions.
+func scheduleRegion(insts []asm.Inst, rng *rand.Rand) {
+	n := len(insts)
+	if n < 2 {
+		return
+	}
+	// Pin the last instruction if anything could consume its flags later
+	// (conservative: always pin the final instruction of the region).
+	limit := n - 1
+	for pass := 0; pass < 2; pass++ {
+		for j := 0; j+1 < limit; j++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			if independent(insts[j], insts[j+1]) {
+				insts[j], insts[j+1] = insts[j+1], insts[j]
+			}
+		}
+	}
+}
+
+// independent reports whether two instructions may be swapped.
+func independent(a, b asm.Inst) bool {
+	ra, wa := a.Read(), a.Write()
+	rb, wb := b.Read(), b.Write()
+	for r := range wa {
+		if rb[r] || wb[r] {
+			return false
+		}
+	}
+	for r := range wb {
+		if ra[r] {
+			return false
+		}
+	}
+	if touchesMem(a) && touchesMem(b) && !distinctSlots(a, b) {
+		return false
+	}
+	return true
+}
+
+func touchesMem(in asm.Inst) bool {
+	for _, op := range in.Ops {
+		if op.IsMem() {
+			return true
+		}
+	}
+	return false
+}
+
+// distinctSlots reports whether the two instructions' memory operands are
+// provably disjoint: single memory operand each, same base register, both
+// with constant displacements that differ.
+func distinctSlots(a, b asm.Inst) bool {
+	ma, oka := soleMem(a)
+	mb, okb := soleMem(b)
+	if !oka || !okb {
+		return false
+	}
+	baseA, dispA, okA := baseDisp(ma)
+	baseB, dispB, okB := baseDisp(mb)
+	return okA && okB && baseA == baseB && dispA != dispB
+}
+
+func soleMem(in asm.Inst) (asm.Operand, bool) {
+	var found asm.Operand
+	count := 0
+	for _, op := range in.Ops {
+		if op.IsMem() {
+			found = op
+			count++
+		}
+	}
+	return found, count == 1
+}
+
+// baseDisp decomposes [reg+const] / [reg-const] / [reg].
+func baseDisp(op asm.Operand) (asm.Reg, int64, bool) {
+	base := asm.RegNone
+	disp := int64(0)
+	for i, t := range op.Mem {
+		switch {
+		case t.Arg.IsReg() && i == 0 && t.Op == asm.OpAdd:
+			base = t.Arg.Reg
+		case t.Arg.IsImm() && t.Op == asm.OpAdd:
+			disp += t.Arg.Imm
+		case t.Arg.IsImm() && t.Op == asm.OpSub:
+			disp -= t.Arg.Imm
+		default:
+			return asm.RegNone, 0, false
+		}
+	}
+	if base == asm.RegNone {
+		return asm.RegNone, 0, false
+	}
+	return base, disp, true
+}

@@ -1,0 +1,102 @@
+package tinyc
+
+import (
+	"sort"
+
+	"repro/internal/asm"
+)
+
+// genSwitch lowers a switch statement. Two strategies exist, exactly the
+// variance the paper calls out for switch layout: a linear compare/branch
+// chain, or — for dense case sets in table-preferring contexts — a bounds
+// check plus an indirect jump through a .rodata lookup table.
+func (g *funcGen) genSwitch(v *SwitchStmt) error {
+	end := g.newLabel()
+	defLbl := end
+	if v.Default != nil {
+		defLbl = g.newLabel()
+	}
+	caseLbl := make([]string, len(v.Cases))
+	for i := range v.Cases {
+		caseLbl[i] = g.newLabel()
+	}
+
+	if err := g.genExpr(v.X); err != nil {
+		return err
+	}
+	acc := g.accOp()
+
+	if min, span, ok := denseCaseRange(v.Cases); ok && g.k.switchTable {
+		// Jump table: normalize to a zero-based index, bounds check, then
+		// dispatch through the table. The unsigned "ja" catches values
+		// below min as well (they wrap to huge unsigned indices).
+		if min != 0 {
+			g.emitf("sub", acc, asm.ImmOp(min))
+		}
+		g.emitf("cmp", acc, asm.ImmOp(span-1))
+		g.jcc("ja", defLbl)
+		tbl := g.pool.addTable(int(span))
+		byValue := make(map[int64]string, len(v.Cases))
+		for i, cs := range v.Cases {
+			byValue[cs.Value] = caseLbl[i]
+		}
+		for j := int64(0); j < span; j++ {
+			lbl, ok := byValue[min+j]
+			if !ok {
+				lbl = defLbl
+			}
+			g.pool.addTableReloc(tbl, int(j), g.fn.Name, lbl)
+		}
+		g.emit(asm.New("jmp", asm.MemOperand(
+			asm.MemTerm{Op: asm.OpAdd, Arg: asm.SymArg(asm.SymData, tbl)},
+			asm.MemTerm{Op: asm.OpAdd, Arg: g.accOp().Arg},
+			asm.MemTerm{Op: asm.OpMul, Arg: asm.ImmArg(4)},
+		)))
+	} else {
+		// Compare/branch chain.
+		for i, cs := range v.Cases {
+			g.emitf("cmp", acc, asm.ImmOp(cs.Value))
+			g.jcc("jz", caseLbl[i])
+		}
+		g.jmp(defLbl)
+	}
+
+	// break inside a case body exits the switch, as in C.
+	g.breakLbl = append(g.breakLbl, end)
+	defer func() { g.breakLbl = g.breakLbl[:len(g.breakLbl)-1] }()
+	for i, cs := range v.Cases {
+		g.place(caseLbl[i])
+		if err := g.genBlock(cs.Body); err != nil {
+			return err
+		}
+		g.jmp(end)
+	}
+	if v.Default != nil {
+		g.place(defLbl)
+		if err := g.genBlock(v.Default); err != nil {
+			return err
+		}
+	}
+	g.place(end)
+	return nil
+}
+
+// denseCaseRange reports whether the case values are worth a jump table:
+// at least 4 cases, a span of at most 64 entries, and at least half the
+// slots occupied.
+func denseCaseRange(cases []SwitchCase) (min, span int64, ok bool) {
+	if len(cases) < 4 {
+		return 0, 0, false
+	}
+	vals := make([]int64, len(cases))
+	for i, c := range cases {
+		vals[i] = c.Value
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	min = vals[0]
+	span = vals[len(vals)-1] - min + 1
+	if span > 64 || int64(len(cases))*2 < span {
+		return 0, 0, false
+	}
+	return min, span, true
+}

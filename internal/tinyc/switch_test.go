@@ -1,0 +1,203 @@
+package tinyc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/prep"
+)
+
+const switchSrc = `
+int dispatch(int cmd, int x) {
+	int r = 0;
+	switch (cmd) {
+	case 1:
+		r = x + 10;
+	case 2:
+		r = x * 2;
+	case 3:
+		r = x - 5;
+		if (r < 0) { r = 0; }
+	case 4:
+		r = x / 2;
+	case 7:
+		r = 77;
+	default:
+		r = 0 - 1;
+	}
+	return r;
+}
+`
+
+func TestSwitchParses(t *testing.T) {
+	prog, err := Parse(switchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sw *SwitchStmt
+	for _, s := range prog.Funcs[0].Body.Stmts {
+		if v, ok := s.(*SwitchStmt); ok {
+			sw = v
+		}
+	}
+	if sw == nil {
+		t.Fatal("no switch parsed")
+	}
+	if len(sw.Cases) != 5 || sw.Default == nil {
+		t.Fatalf("cases=%d default=%v", len(sw.Cases), sw.Default != nil)
+	}
+}
+
+func TestSwitchParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"int f(int a) { switch (a) { } return 0; }",                        // no cases
+		"int f(int a) { switch (a) { case a: a = 1; } return 0; }",         // non-literal
+		"int f(int a) { switch (a) { case 1: case 1: a = 1; } return 0; }", // duplicate
+		"int f(int a) { switch (a) { default: a = 0; default: a = 1; case 1: a = 2; } return 0; }",
+		"int f(int a) { switch (a) { banana } return 0; }",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+// findStrategies compiles switchSrc across seeds and returns whether both
+// lowering strategies were observed at O2.
+func findStrategies(t *testing.T) (chainSeed, tableSeed int64) {
+	t.Helper()
+	chainSeed, tableSeed = -1, -1
+	for seed := int64(1); seed <= 16; seed++ {
+		p, err := Compile(switchSrc, Config{Opt: O2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasTable := false
+		for _, d := range p.Data {
+			if strings.HasPrefix(d.Name, "jtab_") {
+				hasTable = true
+			}
+		}
+		if hasTable && tableSeed < 0 {
+			tableSeed = seed
+		}
+		if !hasTable && chainSeed < 0 {
+			chainSeed = seed
+		}
+	}
+	if chainSeed < 0 || tableSeed < 0 {
+		t.Fatalf("both strategies should appear across seeds: chain=%d table=%d",
+			chainSeed, tableSeed)
+	}
+	return chainSeed, tableSeed
+}
+
+func TestSwitchBothStrategiesAppear(t *testing.T) {
+	findStrategies(t)
+}
+
+func TestSwitchJumpTableCFGRecovery(t *testing.T) {
+	_, tableSeed := findStrategies(t)
+	img, err := BuildStripped(switchSrc, Config{Opt: O2, Seed: tableSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns, err := prep.LiftImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := fns[0]
+	// The dispatch block ends in an indirect jmp; table recovery must
+	// give it >= 5 successors (cases + default slots).
+	maxSuccs := 0
+	sawIndirect := false
+	for _, b := range fn.Graph.Blocks {
+		if len(b.Succs) > maxSuccs {
+			maxSuccs = len(b.Succs)
+		}
+		for _, in := range b.Insts {
+			if in.Mnemonic == "jmp" && len(in.Ops) == 1 && in.Ops[0].IsMem() {
+				sawIndirect = true
+			}
+		}
+	}
+	if !sawIndirect {
+		t.Fatalf("no indirect jump in table build:\n%s", fn.Graph)
+	}
+	if maxSuccs < 5 {
+		t.Errorf("jump-table successors not recovered: max out-degree %d\n%s",
+			maxSuccs, fn.Graph)
+	}
+}
+
+func TestSwitchChainCFG(t *testing.T) {
+	chainSeed, _ := findStrategies(t)
+	img, err := BuildStripped(switchSrc, Config{Opt: O2, Seed: chainSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns, err := prep.LiftImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain build has no indirect jumps and still many blocks.
+	for _, b := range fns[0].Graph.Blocks {
+		for _, in := range b.Insts {
+			if in.Mnemonic == "jmp" && len(in.Ops) == 1 && in.Ops[0].IsMem() {
+				t.Fatal("chain build contains an indirect jump")
+			}
+		}
+	}
+	if fns[0].NumBlocks() < 8 {
+		t.Errorf("chain build has only %d blocks", fns[0].NumBlocks())
+	}
+}
+
+func TestSwitchSparseFallsBackToChain(t *testing.T) {
+	sparse := `
+	int f(int a) {
+		int r = 0;
+		switch (a) {
+		case 1: r = 1;
+		case 100: r = 2;
+		case 2000: r = 3;
+		case 30000: r = 4;
+		default: r = 5;
+		}
+		return r;
+	}
+	`
+	for seed := int64(1); seed <= 8; seed++ {
+		p, err := Compile(sparse, Config{Opt: O2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range p.Data {
+			if strings.HasPrefix(d.Name, "jtab_") {
+				t.Fatal("sparse switch must not use a jump table")
+			}
+		}
+	}
+}
+
+func TestSwitchBreakInsideCase(t *testing.T) {
+	src := `
+	int f(int a) {
+		int r = 0;
+		switch (a) {
+		case 1:
+			r = 10;
+			if (a == 1) { break; }
+			r = 20;
+		case 2: r = 2;
+		case 3: r = 3;
+		case 4: r = 4;
+		default: r = 99;
+		}
+		return r + 1;
+	}
+	`
+	if _, err := Compile(src, Config{Opt: O2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package tracelet implements k-tracelet extraction (paper Section 4.2.1,
+// Algorithm 2). A k-tracelet is an ordered tuple of k instruction
+// sequences, one per basic block of a directed acyclic sub-path of the
+// CFG, with all jump instructions stripped: a continuous, short, partial
+// trace of an execution.
+package tracelet
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+)
+
+// Tracelet is one k-tracelet: k stripped basic-block bodies along a CFG
+// path, plus the indices of the originating blocks (for accountability:
+// reported matches can point back into the function).
+type Tracelet struct {
+	BlockIdx []int
+	Blocks   [][]asm.Inst
+}
+
+// K returns the tracelet length in basic blocks.
+func (t *Tracelet) K() int { return len(t.Blocks) }
+
+// NumInsts returns the total number of instructions.
+func (t *Tracelet) NumInsts() int {
+	n := 0
+	for _, b := range t.Blocks {
+		n += len(b)
+	}
+	return n
+}
+
+// Insts returns the concatenated instruction sequence.
+func (t *Tracelet) Insts() []asm.Inst {
+	out := make([]asm.Inst, 0, t.NumInsts())
+	for _, b := range t.Blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// String renders the tracelet as assembly text with ';' between blocks.
+func (t *Tracelet) String() string {
+	var parts []string
+	for _, b := range t.Blocks {
+		var lines []string
+		for _, in := range b {
+			lines = append(lines, in.String())
+		}
+		parts = append(parts, strings.Join(lines, "\n"))
+	}
+	return strings.Join(parts, "\n;\n")
+}
+
+// Hash returns a content hash of the tracelet (used for caching and
+// deduplicated indexing).
+func (t *Tracelet) Hash() uint64 {
+	h := fnv.New64a()
+	for _, b := range t.Blocks {
+		for _, in := range b {
+			h.Write([]byte(in.String()))
+			h.Write([]byte{'\n'})
+		}
+		h.Write([]byte{';'})
+	}
+	return h.Sum64()
+}
+
+// Extract returns all k-tracelets of the graph (paper Algorithm 2): for
+// every basic block, the Cartesian product of the block with all
+// (k-1)-tracelets of its successors. Paths shorter than k are omitted, and
+// paths never repeat a block (tracelets are acyclic sub-paths).
+func Extract(g *cfg.Graph, k int) []*Tracelet {
+	if k < 1 {
+		return nil
+	}
+	var out []*Tracelet
+	path := make([]int, 0, k)
+	onPath := make([]bool, len(g.Blocks))
+	var walk func(bi, rem int)
+	walk = func(bi, rem int) {
+		path = append(path, bi)
+		onPath[bi] = true
+		if rem == 1 {
+			t := &Tracelet{
+				BlockIdx: append([]int(nil), path...),
+				Blocks:   make([][]asm.Inst, len(path)),
+			}
+			for i, idx := range path {
+				t.Blocks[i] = g.Blocks[idx].Body()
+			}
+			out = append(out, t)
+		} else {
+			for _, s := range g.Blocks[bi].Succs {
+				if !onPath[s] {
+					walk(s, rem-1)
+				}
+			}
+		}
+		onPath[bi] = false
+		path = path[:len(path)-1]
+	}
+	for bi := range g.Blocks {
+		walk(bi, k)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package tracelet
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+)
+
+// paperG1 builds a CFG with the exact shape of the paper's Fig. 1(b):
+// 1->{2,3}, 2->{4,5}, 3->5, 4->5, 5 exit.
+func paperG1(t *testing.T) *cfg.Graph {
+	t.Helper()
+	src := `
+		cmp esi, 1
+		jz b3
+	b2:
+		cmp esi, 2
+		jnz b5
+	b4:
+		mov eax, 2
+		jmp b5
+	b3:
+		mov ecx, 1
+		jmp b5
+	b5:
+		retn
+	`
+	insts, labels, err := asm.ParseListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.BuildListing("g1", insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func blockTuples(ts []*Tracelet) [][]int {
+	out := make([][]int, len(ts))
+	for i, tr := range ts {
+		out[i] = tr.BlockIdx
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func TestExtractPaperShape(t *testing.T) {
+	g := paperG1(t)
+	if len(g.Blocks) != 5 {
+		t.Fatalf("test graph has %d blocks, want 5:\n%s", len(g.Blocks), g)
+	}
+	// Layout order: block0=(cmp,jz), block1=b2, block2=b4, block3=b3,
+	// block4=b5. Mapping to paper numbering: 1=0, 2=1, 4=2, 3=3, 5=4.
+	got := blockTuples(Extract(g, 3))
+	// Paper: (1,2,4), (1,2,5), (1,3,5), (2,4,5) => in our indices:
+	// (0,1,2), (0,1,4), (0,3,4), (1,2,4).
+	want := [][]int{{0, 1, 2}, {0, 1, 4}, {0, 3, 4}, {1, 2, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("3-tracelets = %v, want %v", got, want)
+	}
+}
+
+func TestExtractK1IsAllBlocks(t *testing.T) {
+	g := paperG1(t)
+	ts := Extract(g, 1)
+	if len(ts) != 5 {
+		t.Fatalf("got %d 1-tracelets, want 5", len(ts))
+	}
+	for i, tr := range ts {
+		if tr.K() != 1 {
+			t.Errorf("tracelet %d has k=%d", i, tr.K())
+		}
+	}
+}
+
+func TestExtractK2(t *testing.T) {
+	g := paperG1(t)
+	got := blockTuples(Extract(g, 2))
+	// Edges: 0->1, 0->3, 1->2, 1->4, 2->4, 3->4.
+	want := [][]int{{0, 1}, {0, 3}, {1, 2}, {1, 4}, {2, 4}, {3, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("2-tracelets = %v, want %v", got, want)
+	}
+}
+
+func TestExtractOmitsShortPaths(t *testing.T) {
+	// Straight-line function: only one 1-tracelet per block and no
+	// k>=2 tracelet beyond the chain length.
+	insts, labels, _ := asm.ParseListing("mov eax, 1\nretn")
+	g, err := cfg.BuildListing("line", insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Extract(g, 2)); got != 0 {
+		t.Errorf("single-block graph has %d 2-tracelets, want 0", got)
+	}
+	if got := len(Extract(g, 1)); got != 1 {
+		t.Errorf("single-block graph has %d 1-tracelets, want 1", got)
+	}
+}
+
+func TestExtractStripsJumps(t *testing.T) {
+	g := paperG1(t)
+	for _, tr := range Extract(g, 3) {
+		for _, in := range tr.Insts() {
+			if in.IsJump() {
+				t.Fatalf("tracelet contains jump %s", in)
+			}
+		}
+	}
+}
+
+func TestExtractAcyclic(t *testing.T) {
+	// Self-loop: tracelets must not repeat blocks.
+	insts, labels, _ := asm.ParseListing(`
+	top:
+		dec eax
+		jnz top
+		retn
+	`)
+	g, err := cfg.BuildListing("loop", insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range Extract(g, 3) {
+		seen := map[int]bool{}
+		for _, b := range tr.BlockIdx {
+			if seen[b] {
+				t.Fatalf("tracelet %v repeats block %d", tr.BlockIdx, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestHashAndString(t *testing.T) {
+	g := paperG1(t)
+	ts := Extract(g, 2)
+	h := map[uint64]string{}
+	for _, tr := range ts {
+		s := tr.String()
+		if prev, ok := h[tr.Hash()]; ok && prev != s {
+			t.Errorf("hash collision between distinct tracelets")
+		}
+		h[tr.Hash()] = s
+	}
+	if len(ts) > 0 && ts[0].String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestNumInsts(t *testing.T) {
+	g := paperG1(t)
+	for _, tr := range Extract(g, 3) {
+		if tr.NumInsts() != len(tr.Insts()) {
+			t.Errorf("NumInsts=%d, len(Insts)=%d", tr.NumInsts(), len(tr.Insts()))
+		}
+	}
+}
+
+func TestExtractKZero(t *testing.T) {
+	g := paperG1(t)
+	if got := Extract(g, 0); got != nil {
+		t.Errorf("Extract(k=0) = %v, want nil", got)
+	}
+}
+
+// bruteForcePaths enumerates acyclic k-paths by naive recursion, for
+// cross-checking Extract on random graphs.
+func bruteForcePaths(succs [][]int, k int) [][]int {
+	var out [][]int
+	var rec func(path []int)
+	rec = func(path []int) {
+		if len(path) == k {
+			out = append(out, append([]int(nil), path...))
+			return
+		}
+		for _, s := range succs[path[len(path)-1]] {
+			on := false
+			for _, p := range path {
+				if p == s {
+					on = true
+				}
+			}
+			if !on {
+				rec(append(path, s))
+			}
+		}
+	}
+	for v := range succs {
+		rec([]int{v})
+	}
+	return out
+}
+
+// TestQuickExtractMatchesBruteForce builds random small CFG shapes and
+// checks that Algorithm 2's output is exactly the set of acyclic k-paths.
+func TestQuickExtractMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		// Random instruction filler per block; jumps are implied by edges.
+		succs := make([][]int, n)
+		for i := range succs {
+			for _, j := range rng.Perm(n)[:rng.Intn(3)] {
+				if j != i {
+					succs[i] = append(succs[i], j)
+				}
+			}
+			sort.Ints(succs[i])
+		}
+		g := &cfg.Graph{Name: "rand"}
+		for i := 0; i < n; i++ {
+			g.Blocks = append(g.Blocks, &cfg.Block{
+				Index: i,
+				Insts: []asm.Inst{asm.MustParse("nop")},
+				Succs: succs[i],
+			})
+		}
+		k := 1 + rng.Intn(4)
+		got := blockTuples(Extract(g, k))
+		want := bruteForcePaths(succs, k)
+		sort.Slice(want, func(a, b int) bool {
+			x, y := want[a], want[b]
+			for i := 0; i < len(x) && i < len(y); i++ {
+				if x[i] != y[i] {
+					return x[i] < y[i]
+				}
+			}
+			return len(x) < len(y)
+		})
+		if len(got) != len(want) || (len(got) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Logf("seed %d k=%d: got %v want %v", seed, k, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/asm"
+)
+
+// AssembleFunc assembles a function body. Jump targets must be label
+// symbols present in labels (mapping label name to instruction index; an
+// index equal to len(insts) denotes the end of the function). Short (rel8)
+// jump forms are chosen where the displacement allows, using standard
+// grow-only relaxation. Call and data-symbol references are returned as
+// fixups with offsets relative to the start of the returned code.
+func AssembleFunc(insts []asm.Inst, labels map[string]int) ([]byte, []Fixup, error) {
+	code, fixups, _, err := AssembleFuncEx(insts, labels)
+	return code, fixups, err
+}
+
+// AssembleFuncEx is AssembleFunc plus the resolved byte offset of every
+// label, which linkers need to materialize jump tables.
+func AssembleFuncEx(insts []asm.Inst, labels map[string]int) ([]byte, []Fixup, map[string]int, error) {
+	n := len(insts)
+	type pre struct {
+		bytes  []byte // encoded bytes for non-jump instructions
+		fixups []Fixup
+		jump   bool // relaxable label jump
+		cond   bool // conditional (jcc) vs unconditional (jmp)
+		target int  // target instruction index
+		long   bool // promoted to rel32 form
+		size   int  // current encoded size
+	}
+	pres := make([]pre, n)
+	for i, in := range insts {
+		if in.IsJump() && len(in.Ops) == 1 && !in.Ops[0].IsMem() && in.Ops[0].Arg.IsSym() {
+			sym := in.Ops[0].Arg.Sym
+			ti, ok := labels[sym]
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("x86: undefined label %q in %s", sym, in)
+			}
+			if ti < 0 || ti > n {
+				return nil, nil, nil, fmt.Errorf("x86: label %q out of range", sym)
+			}
+			cond := in.IsCondJump()
+			if cond {
+				if _, ok := ccNum[in.Mnemonic]; !ok {
+					return nil, nil, nil, fmt.Errorf("x86: unknown condition %q", in.Mnemonic)
+				}
+			}
+			pres[i] = pre{jump: true, cond: cond, target: ti, size: 2}
+			continue
+		}
+		code, fx, err := EncodeInst(in)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("x86: instruction %d (%s): %w", i, in, err)
+		}
+		pres[i] = pre{bytes: code, fixups: fx, size: len(code)}
+	}
+
+	// Relaxation: start all short, promote to long while any displacement
+	// does not fit in rel8. Promotion only grows sizes, so this terminates.
+	offsets := make([]int, n+1)
+	for {
+		off := 0
+		for i := range pres {
+			offsets[i] = off
+			off += pres[i].size
+		}
+		offsets[n] = off
+		changed := false
+		for i := range pres {
+			p := &pres[i]
+			if !p.jump || p.long {
+				continue
+			}
+			disp := offsets[p.target] - (offsets[i] + p.size)
+			if !fitsInt8(int64(disp)) {
+				p.long = true
+				if p.cond {
+					p.size = 6
+				} else {
+					p.size = 5
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Emission.
+	var code []byte
+	var fixups []Fixup
+	for i, in := range insts {
+		p := pres[i]
+		start := offsets[i]
+		if len(code) != start {
+			return nil, nil, nil, fmt.Errorf("x86: internal offset mismatch at instruction %d", i)
+		}
+		if !p.jump {
+			code = append(code, p.bytes...)
+			for _, fx := range p.fixups {
+				fx.Off += start
+				fx.NextIP = start + p.size
+				fixups = append(fixups, fx)
+			}
+			continue
+		}
+		disp := offsets[p.target] - (offsets[i] + p.size)
+		switch {
+		case !p.cond && !p.long:
+			code = append(code, 0xEB, byte(int8(disp)))
+		case !p.cond && p.long:
+			code = append(code, 0xE9, 0, 0, 0, 0)
+			binary.LittleEndian.PutUint32(code[start+1:], uint32(int32(disp)))
+		case p.cond && !p.long:
+			code = append(code, byte(0x70+ccNum[in.Mnemonic]), byte(int8(disp)))
+		default:
+			code = append(code, 0x0F, byte(0x80+ccNum[in.Mnemonic]), 0, 0, 0, 0)
+			binary.LittleEndian.PutUint32(code[start+2:], uint32(int32(disp)))
+		}
+	}
+	labelOffs := make(map[string]int, len(labels))
+	for name, idx := range labels {
+		labelOffs[name] = offsets[idx]
+	}
+	return code, fixups, labelOffs, nil
+}
+
+// ApplyFixup patches one fixup in code, given the resolved absolute address
+// of the symbol and the absolute address at which the code will be loaded.
+func ApplyFixup(code []byte, fx Fixup, symAddr, codeBase uint32) {
+	field := code[fx.Off : fx.Off+4]
+	switch fx.Kind {
+	case FixupAbs32:
+		addend := binary.LittleEndian.Uint32(field)
+		binary.LittleEndian.PutUint32(field, symAddr+addend)
+	case FixupRel32:
+		next := codeBase + uint32(fx.NextIP)
+		binary.LittleEndian.PutUint32(field, symAddr-next)
+	}
+}

@@ -1,0 +1,460 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/asm"
+)
+
+// ccName maps condition codes back to mnemonics. The synonyms chosen (jz
+// over je, jnz over jne) follow the paper's listings.
+var ccName = [16]string{
+	"jo", "jno", "jb", "jae", "jz", "jnz", "jbe", "ja",
+	"js", "jns", "jp", "jnp", "jl", "jge", "jle", "jg",
+}
+
+var aluName = [8]string{"add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"}
+
+// ccSuffix maps condition codes to setcc/cmovcc suffixes, preferring the
+// z/nz spellings to match the jump synonyms used elsewhere.
+var ccSuffix = [16]string{
+	"o", "no", "b", "ae", "z", "nz", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+var shiftName = map[int]string{0: "rol", 1: "ror", 4: "shl", 5: "shr", 7: "sar"}
+
+var unaryName = map[int]string{2: "not", 3: "neg", 4: "mul", 5: "imul", 6: "div", 7: "idiv"}
+
+// Decoded couples a decoded instruction with its address and length.
+type Decoded struct {
+	Inst asm.Inst
+	Addr uint32
+	Len  int
+}
+
+type reader struct {
+	b  []byte
+	ip uint32 // address of b[0]
+	p  int
+}
+
+var errTruncated = fmt.Errorf("x86: truncated instruction")
+
+func (r *reader) byte() (byte, error) {
+	if r.p >= len(r.b) {
+		return 0, errTruncated
+	}
+	v := r.b[r.p]
+	r.p++
+	return v, nil
+}
+
+func (r *reader) i8() (int64, error) {
+	v, err := r.byte()
+	return int64(int8(v)), err
+}
+
+func (r *reader) i32() (int64, error) {
+	if r.p+4 > len(r.b) {
+		return 0, errTruncated
+	}
+	v := int32(binary.LittleEndian.Uint32(r.b[r.p:]))
+	r.p += 4
+	return int64(v), nil
+}
+
+// modrm8 decodes a ModRM byte whose register operands are 8-bit.
+func (r *reader) modrm8() (int, asm.Operand, error) {
+	save := r.p
+	mb, err := r.byte()
+	if err != nil {
+		return 0, asm.Operand{}, err
+	}
+	if mb>>6 == 3 {
+		return int(mb >> 3 & 7), asm.RegOp(asm.Reg8(int(mb & 7))), nil
+	}
+	r.p = save
+	return r.modrm() // memory forms are identical
+}
+
+// modrm decodes a ModRM byte (plus SIB/disp) and returns the register
+// field and the r/m operand.
+func (r *reader) modrm() (int, asm.Operand, error) {
+	mb, err := r.byte()
+	if err != nil {
+		return 0, asm.Operand{}, err
+	}
+	mod := int(mb >> 6)
+	regField := int(mb >> 3 & 7)
+	rm := int(mb & 7)
+	if mod == 3 {
+		return regField, asm.RegOp(asm.Reg32(rm)), nil
+	}
+	var m memRef
+	m.scale = 1
+	hasSIB := rm == 0b100
+	if hasSIB {
+		sib, err := r.byte()
+		if err != nil {
+			return 0, asm.Operand{}, err
+		}
+		scale := 1 << (sib >> 6)
+		idx := int(sib >> 3 & 7)
+		base := int(sib & 7)
+		if idx != 0b100 {
+			m.index = asm.Reg32(idx)
+			m.scale = scale
+		}
+		if base == 0b101 && mod == 0 {
+			// no base, disp32 follows
+			d, err := r.i32()
+			if err != nil {
+				return 0, asm.Operand{}, err
+			}
+			m.disp = int32(d)
+			return regField, m.operand(), nil
+		}
+		m.base = asm.Reg32(base)
+	} else if rm == 0b101 && mod == 0 {
+		d, err := r.i32()
+		if err != nil {
+			return 0, asm.Operand{}, err
+		}
+		m.disp = int32(d)
+		return regField, m.operand(), nil
+	} else {
+		m.base = asm.Reg32(rm)
+	}
+	switch mod {
+	case 1:
+		d, err := r.i8()
+		if err != nil {
+			return 0, asm.Operand{}, err
+		}
+		m.disp = int32(d)
+	case 2:
+		d, err := r.i32()
+		if err != nil {
+			return 0, asm.Operand{}, err
+		}
+		m.disp = int32(d)
+	}
+	return regField, m.operand(), nil
+}
+
+// Decode decodes the instruction at the start of code, which is loaded at
+// absolute address ip. Relative jump and call targets are returned as
+// immediate operands holding the absolute target address.
+func Decode(code []byte, ip uint32) (asm.Inst, int, error) {
+	r := &reader{b: code, ip: ip}
+	in, err := r.inst()
+	if err != nil {
+		return asm.Inst{}, 0, err
+	}
+	return in, r.p, nil
+}
+
+// DecodeAll decodes consecutive instructions covering all of code.
+func DecodeAll(code []byte, base uint32) ([]Decoded, error) {
+	var out []Decoded
+	p := 0
+	for p < len(code) {
+		in, n, err := Decode(code[p:], base+uint32(p))
+		if err != nil {
+			return out, fmt.Errorf("at %#x: %w", base+uint32(p), err)
+		}
+		out = append(out, Decoded{Inst: in, Addr: base + uint32(p), Len: n})
+		p += n
+	}
+	return out, nil
+}
+
+func (r *reader) rel(width int) (asm.Operand, error) {
+	var d int64
+	var err error
+	if width == 1 {
+		d, err = r.i8()
+	} else {
+		d, err = r.i32()
+	}
+	if err != nil {
+		return asm.Operand{}, err
+	}
+	target := r.ip + uint32(r.p) + uint32(int32(d))
+	return asm.ImmOp(int64(target)), nil
+}
+
+func (r *reader) inst() (asm.Inst, error) {
+	op, err := r.byte()
+	if err != nil {
+		return asm.Inst{}, err
+	}
+	mk := func(m string, ops ...asm.Operand) (asm.Inst, error) {
+		return asm.Inst{Mnemonic: m, Ops: ops}, nil
+	}
+	fail := func() (asm.Inst, error) {
+		return asm.Inst{}, fmt.Errorf("x86: cannot decode opcode %#02x at %#x", op, r.ip)
+	}
+
+	// ALU rows: grp*8+1 (rm,r) and grp*8+3 (r,rm).
+	if op < 0x40 && (op&7 == 1 || op&7 == 3) {
+		grp := int(op >> 3)
+		reg, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		if op&7 == 1 {
+			return mk(aluName[grp], rm, asm.RegOp(asm.Reg32(reg)))
+		}
+		return mk(aluName[grp], asm.RegOp(asm.Reg32(reg)), rm)
+	}
+
+	switch {
+	case op >= 0x40 && op <= 0x47:
+		return mk("inc", asm.RegOp(asm.Reg32(int(op-0x40))))
+	case op >= 0x48 && op <= 0x4F:
+		return mk("dec", asm.RegOp(asm.Reg32(int(op-0x48))))
+	case op >= 0x50 && op <= 0x57:
+		return mk("push", asm.RegOp(asm.Reg32(int(op-0x50))))
+	case op >= 0x58 && op <= 0x5F:
+		return mk("pop", asm.RegOp(asm.Reg32(int(op-0x58))))
+	case op >= 0x70 && op <= 0x7F:
+		t, err := r.rel(1)
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk(ccName[op-0x70], t)
+	case op >= 0xB0 && op <= 0xB7:
+		v, err := r.i8()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("mov", asm.RegOp(asm.Reg8(int(op-0xB0))), asm.ImmOp(v))
+	case op >= 0xB8 && op <= 0xBF:
+		v, err := r.i32()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("mov", asm.RegOp(asm.Reg32(int(op-0xB8))), asm.ImmOp(v))
+	}
+
+	switch op {
+	case 0x0F:
+		op2, err := r.byte()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		switch {
+		case op2 == 0xAF:
+			reg, rm, err := r.modrm()
+			if err != nil {
+				return asm.Inst{}, err
+			}
+			return mk("imul", asm.RegOp(asm.Reg32(reg)), rm)
+		case op2 >= 0x80 && op2 <= 0x8F:
+			t, err := r.rel(4)
+			if err != nil {
+				return asm.Inst{}, err
+			}
+			return mk(ccName[op2-0x80], t)
+		case op2 >= 0x90 && op2 <= 0x9F:
+			_, rm, err := r.modrm8()
+			if err != nil {
+				return asm.Inst{}, err
+			}
+			return mk("set"+ccSuffix[op2-0x90], rm)
+		case op2 >= 0x40 && op2 <= 0x4F:
+			reg, rm, err := r.modrm()
+			if err != nil {
+				return asm.Inst{}, err
+			}
+			return mk("cmov"+ccSuffix[op2-0x40], asm.RegOp(asm.Reg32(reg)), rm)
+		case op2 == 0xB6 || op2 == 0xBE:
+			reg, rm, err := r.modrm8()
+			if err != nil {
+				return asm.Inst{}, err
+			}
+			name := "movzx"
+			if op2 == 0xBE {
+				name = "movsx"
+			}
+			return mk(name, asm.RegOp(asm.Reg32(reg)), rm)
+		}
+		return asm.Inst{}, fmt.Errorf("x86: cannot decode opcode 0f %#02x at %#x", op2, r.ip)
+	case 0x68:
+		v, err := r.i32()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("push", asm.ImmOp(v))
+	case 0x6A:
+		v, err := r.i8()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("push", asm.ImmOp(v))
+	case 0x69, 0x6B:
+		reg, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		var v int64
+		if op == 0x69 {
+			v, err = r.i32()
+		} else {
+			v, err = r.i8()
+		}
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("imul", asm.RegOp(asm.Reg32(reg)), rm, asm.ImmOp(v))
+	case 0x81, 0x83:
+		grp, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		var v int64
+		if op == 0x81 {
+			v, err = r.i32()
+		} else {
+			v, err = r.i8()
+		}
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk(aluName[grp], rm, asm.ImmOp(v))
+	case 0x85:
+		reg, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("test", rm, asm.RegOp(asm.Reg32(reg)))
+	case 0x88:
+		reg, rm, err := r.modrm8()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("mov", rm, asm.RegOp(asm.Reg8(reg)))
+	case 0x8A:
+		reg, rm, err := r.modrm8()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("mov", asm.RegOp(asm.Reg8(reg)), rm)
+	case 0x89:
+		reg, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("mov", rm, asm.RegOp(asm.Reg32(reg)))
+	case 0x8B:
+		reg, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("mov", asm.RegOp(asm.Reg32(reg)), rm)
+	case 0x8D:
+		reg, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("lea", asm.RegOp(asm.Reg32(reg)), rm)
+	case 0x8F:
+		_, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("pop", rm)
+	case 0x90:
+		return mk("nop")
+	case 0x99:
+		return mk("cdq")
+	case 0xC1:
+		digit, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		name, ok := shiftName[digit]
+		if !ok {
+			return fail()
+		}
+		v, err := r.i8()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk(name, rm, asm.ImmOp(v))
+	case 0xC3:
+		return mk("retn")
+	case 0xC7:
+		digit, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		if digit != 0 {
+			return fail()
+		}
+		v, err := r.i32()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("mov", rm, asm.ImmOp(v))
+	case 0xC9:
+		return mk("leave")
+	case 0xE8:
+		t, err := r.rel(4)
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("call", t)
+	case 0xE9:
+		t, err := r.rel(4)
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("jmp", t)
+	case 0xEB:
+		t, err := r.rel(1)
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		return mk("jmp", t)
+	case 0xF7:
+		digit, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		if digit == 0 {
+			v, err := r.i32()
+			if err != nil {
+				return asm.Inst{}, err
+			}
+			return mk("test", rm, asm.ImmOp(v))
+		}
+		name, ok := unaryName[digit]
+		if !ok {
+			return fail()
+		}
+		return mk(name, rm)
+	case 0xFF:
+		digit, rm, err := r.modrm()
+		if err != nil {
+			return asm.Inst{}, err
+		}
+		switch digit {
+		case 0:
+			return mk("inc", rm)
+		case 1:
+			return mk("dec", rm)
+		case 2:
+			return mk("call", rm)
+		case 4:
+			return mk("jmp", rm)
+		case 6:
+			return mk("push", rm)
+		}
+		return fail()
+	}
+	return fail()
+}

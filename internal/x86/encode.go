@@ -1,0 +1,611 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/asm"
+)
+
+// aluGroup maps the eight classic ALU mnemonics to their /digit group and
+// base opcode row.
+var aluGroup = map[string]int{
+	"add": 0, "or": 1, "adc": 2, "sbb": 3,
+	"and": 4, "sub": 5, "xor": 6, "cmp": 7,
+}
+
+// shiftGroup maps shift/rotate mnemonics to their C1 /digit.
+var shiftGroup = map[string]int{
+	"rol": 0, "ror": 1, "shl": 4, "shr": 5, "sar": 7,
+}
+
+// unaryGroup maps F7 /digit unary mnemonics.
+var unaryGroup = map[string]int{
+	"not": 2, "neg": 3, "mul": 4, "imul": 5, "div": 6, "idiv": 7,
+}
+
+// ccNum maps conditional-jump mnemonics to their condition code (the low
+// nibble of the 0F 8x opcode).
+var ccNum = map[string]int{
+	"jo": 0, "jno": 1, "jb": 2, "jae": 3,
+	"je": 4, "jz": 4, "jne": 5, "jnz": 5,
+	"jbe": 6, "ja": 7, "js": 8, "jns": 9,
+	"jp": 10, "jnp": 11, "jl": 12, "jge": 13, "jle": 14, "jg": 15,
+}
+
+// setccNum maps setcc/cmovcc condition suffixes to condition codes.
+var setccNum = map[string]int{
+	"o": 0, "no": 1, "b": 2, "ae": 3, "e": 4, "z": 4, "ne": 5, "nz": 5,
+	"be": 6, "a": 7, "s": 8, "ns": 9, "p": 10, "np": 11,
+	"l": 12, "ge": 13, "le": 14, "g": 15,
+}
+
+type encoder struct {
+	buf    []byte
+	fixups []Fixup
+}
+
+func (e *encoder) byte(b byte) { e.buf = append(e.buf, b) }
+
+func (e *encoder) imm8(v int64) { e.buf = append(e.buf, byte(int8(v))) }
+
+func (e *encoder) imm32(v int64) {
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], uint32(int32(v)))
+	e.buf = append(e.buf, w[:]...)
+}
+
+// abs32 emits a 4-byte absolute-address field holding the addend and
+// records a fixup for sym.
+func (e *encoder) abs32(sym string, class asm.SymClass, addend int32) {
+	e.fixups = append(e.fixups, Fixup{Kind: FixupAbs32, Off: len(e.buf), Sym: sym, Class: class})
+	e.imm32(int64(addend))
+}
+
+func fitsInt8(v int64) bool { return v >= -128 && v <= 127 }
+
+func regBits(r asm.Reg) (int, error) {
+	if !r.Is32() {
+		return 0, fmt.Errorf("x86: register %s is not encodable (32-bit GPRs only)", r)
+	}
+	return r.Num32(), nil
+}
+
+// reg8Modrm encodes a ModRM byte whose r/m field is an 8-bit register.
+func (e *encoder) reg8Modrm(regField int, r asm.Reg) error {
+	if !r.Is8() {
+		return fmt.Errorf("x86: %s is not an 8-bit register", r)
+	}
+	e.byte(byte(0xC0 | regField<<3 | r.Num8()))
+	return nil
+}
+
+var scaleBits = map[int]byte{1: 0, 2: 1, 4: 2, 8: 3}
+
+// modrm encodes the ModRM byte (plus SIB and displacement) for the given
+// reg-field value and r/m operand.
+func (e *encoder) modrm(regField int, op asm.Operand) error {
+	if !op.IsMem() {
+		if !op.Arg.IsReg() {
+			return fmt.Errorf("x86: r/m operand %s is neither register nor memory", op)
+		}
+		rm, err := regBits(op.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		e.byte(byte(0xC0 | regField<<3 | rm))
+		return nil
+	}
+	m, err := canonMem(op)
+	if err != nil {
+		return err
+	}
+	emitDisp := func(mod int) {
+		// mod chosen by caller: 0 none (or disp32-no-base), 1 disp8, 2 disp32.
+		switch mod {
+		case 1:
+			e.imm8(int64(m.disp))
+		case 2:
+			if m.sym != "" {
+				e.abs32(m.sym, asm.SymData, m.disp)
+			} else {
+				e.imm32(int64(m.disp))
+			}
+		}
+	}
+	// Absolute address, no registers: mod=00 rm=101 disp32.
+	if m.base == asm.RegNone && m.index == asm.RegNone {
+		e.byte(byte(regField<<3 | 0b101))
+		emitDisp(2)
+		return nil
+	}
+	// Index but no base: mod=00 rm=100, SIB with base=101, disp32.
+	if m.base == asm.RegNone {
+		idx, err := regBits(m.index)
+		if err != nil {
+			return err
+		}
+		e.byte(byte(regField<<3 | 0b100))
+		e.byte(scaleBits[m.scale]<<6 | byte(idx)<<3 | 0b101)
+		emitDisp(2)
+		return nil
+	}
+	base, err := regBits(m.base)
+	if err != nil {
+		return err
+	}
+	// Choose mod by displacement width. [ebp] needs an explicit disp.
+	mod := 0
+	switch {
+	case m.sym != "" || !fitsInt8(int64(m.disp)):
+		mod = 2
+	case m.disp != 0 || m.base == asm.EBP:
+		mod = 1
+	}
+	needSIB := m.index != asm.RegNone || m.base == asm.ESP
+	if !needSIB {
+		e.byte(byte(mod<<6 | regField<<3 | base))
+		emitDisp(mod)
+		return nil
+	}
+	idx := 0b100 // "no index"
+	if m.index != asm.RegNone {
+		idx, err = regBits(m.index)
+		if err != nil {
+			return err
+		}
+	}
+	e.byte(byte(mod<<6 | regField<<3 | 0b100))
+	e.byte(scaleBits[m.scale]<<6 | byte(idx)<<3 | byte(base))
+	emitDisp(mod)
+	return nil
+}
+
+// EncodeInst encodes a single non-jump instruction (jumps are encoded by
+// AssembleFunc, which performs rel8/rel32 relaxation). Calls to symbolic
+// targets and references to data symbols produce fixups.
+func EncodeInst(in asm.Inst) ([]byte, []Fixup, error) {
+	var e encoder
+	if err := e.inst(in); err != nil {
+		return nil, nil, err
+	}
+	// Rebase NextIP: for single-inst encoding every fixup's rel base is the
+	// end of this instruction.
+	for i := range e.fixups {
+		e.fixups[i].NextIP = len(e.buf)
+	}
+	return e.buf, e.fixups, nil
+}
+
+func (e *encoder) inst(in asm.Inst) error {
+	ops := in.Ops
+	switch in.Mnemonic {
+	case "nop":
+		e.byte(0x90)
+	case "ret", "retn":
+		e.byte(0xC3)
+	case "leave":
+		e.byte(0xC9)
+	case "cdq":
+		e.byte(0x99)
+	case "mov":
+		return e.mov(ops)
+	case "add", "or", "adc", "sbb", "and", "sub", "xor", "cmp":
+		return e.alu(aluGroup[in.Mnemonic], ops)
+	case "test":
+		return e.test(ops)
+	case "lea":
+		return e.lea(ops)
+	case "imul":
+		return e.imul(ops)
+	case "push":
+		return e.push(ops)
+	case "pop":
+		return e.pop(ops)
+	case "inc", "dec":
+		return e.incdec(in.Mnemonic, ops)
+	case "not", "neg", "mul", "div", "idiv":
+		if len(ops) != 1 {
+			return fmt.Errorf("x86: %s needs 1 operand", in.Mnemonic)
+		}
+		e.byte(0xF7)
+		return e.modrm(unaryGroup[in.Mnemonic], ops[0])
+	case "shl", "shr", "sar", "rol", "ror":
+		return e.shift(shiftGroup[in.Mnemonic], ops)
+	case "call":
+		return e.call(ops)
+	case "jmp":
+		// Indirect forms only (register or memory, e.g. jump tables);
+		// direct label jumps are encoded by AssembleFunc.
+		if len(ops) == 1 && (ops[0].IsMem() || ops[0].Arg.IsReg()) {
+			e.byte(0xFF)
+			return e.modrm(4, ops[0])
+		}
+		return fmt.Errorf("x86: jmp form must be assembled via AssembleFunc")
+	case "movzx", "movsx":
+		return e.movx(in.Mnemonic, ops)
+	default:
+		if cc, ok := ccFromMnemonic(in.Mnemonic, "set"); ok {
+			return e.setcc(cc, ops)
+		}
+		if cc, ok := ccFromMnemonic(in.Mnemonic, "cmov"); ok {
+			return e.cmovcc(cc, ops)
+		}
+		return fmt.Errorf("x86: cannot encode mnemonic %q", in.Mnemonic)
+	}
+	if len(ops) != 0 {
+		return fmt.Errorf("x86: %s takes no operands", in.Mnemonic)
+	}
+	return nil
+}
+
+func (e *encoder) mov(ops []asm.Operand) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("x86: mov needs 2 operands")
+	}
+	dst, src := ops[0], ops[1]
+	// 8-bit register forms: mov r8, r8 (8A /r) and mov r8, imm8 (B0+r).
+	if !dst.IsMem() && dst.Arg.IsReg() && dst.Arg.Reg.Is8() {
+		switch {
+		case !src.IsMem() && src.Arg.IsReg() && src.Arg.Reg.Is8():
+			e.byte(0x8A)
+			return e.reg8Modrm(dst.Arg.Reg.Num8(), src.Arg.Reg)
+		case !src.IsMem() && src.Arg.IsImm():
+			e.byte(byte(0xB0 + dst.Arg.Reg.Num8()))
+			e.imm8(src.Arg.Imm)
+			return nil
+		}
+		return fmt.Errorf("x86: unsupported 8-bit mov form %s, %s", dst, src)
+	}
+	if !src.IsMem() && src.Arg.IsReg() && src.Arg.Reg.Is8() {
+		return fmt.Errorf("x86: unsupported 8-bit mov form %s, %s", dst, src)
+	}
+	switch {
+	case !dst.IsMem() && dst.Arg.IsReg() && !src.IsMem() && src.Arg.IsImm():
+		n, err := regBits(dst.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		e.byte(byte(0xB8 + n))
+		e.imm32(src.Arg.Imm)
+	case !dst.IsMem() && dst.Arg.IsReg() && !src.IsMem() && src.Arg.IsSym() && src.Offset:
+		n, err := regBits(dst.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		e.byte(byte(0xB8 + n))
+		e.abs32(src.Arg.Sym, src.Arg.Cls, 0)
+	case !src.IsMem() && src.Arg.IsReg():
+		e.byte(0x89)
+		n, err := regBits(src.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		return e.modrm(n, dst)
+	case !dst.IsMem() && dst.Arg.IsReg() && src.IsMem():
+		e.byte(0x8B)
+		n, err := regBits(dst.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		return e.modrm(n, src)
+	case !src.IsMem() && src.Arg.IsImm():
+		e.byte(0xC7)
+		if err := e.modrm(0, dst); err != nil {
+			return err
+		}
+		e.imm32(src.Arg.Imm)
+	case !src.IsMem() && src.Arg.IsSym() && src.Offset:
+		e.byte(0xC7)
+		if err := e.modrm(0, dst); err != nil {
+			return err
+		}
+		e.abs32(src.Arg.Sym, src.Arg.Cls, 0)
+	default:
+		return fmt.Errorf("x86: unsupported mov form %s, %s", dst, src)
+	}
+	return nil
+}
+
+func (e *encoder) alu(grp int, ops []asm.Operand) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("x86: alu op needs 2 operands")
+	}
+	dst, src := ops[0], ops[1]
+	switch {
+	case !src.IsMem() && src.Arg.IsReg():
+		e.byte(byte(grp*8 + 1))
+		n, err := regBits(src.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		return e.modrm(n, dst)
+	case !dst.IsMem() && dst.Arg.IsReg() && src.IsMem():
+		e.byte(byte(grp*8 + 3))
+		n, err := regBits(dst.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		return e.modrm(n, src)
+	case !src.IsMem() && src.Arg.IsImm():
+		if fitsInt8(src.Arg.Imm) {
+			e.byte(0x83)
+			if err := e.modrm(grp, dst); err != nil {
+				return err
+			}
+			e.imm8(src.Arg.Imm)
+			return nil
+		}
+		e.byte(0x81)
+		if err := e.modrm(grp, dst); err != nil {
+			return err
+		}
+		e.imm32(src.Arg.Imm)
+	case !src.IsMem() && src.Arg.IsSym() && src.Offset:
+		e.byte(0x81)
+		if err := e.modrm(grp, dst); err != nil {
+			return err
+		}
+		e.abs32(src.Arg.Sym, src.Arg.Cls, 0)
+	default:
+		return fmt.Errorf("x86: unsupported alu form %s, %s", dst, src)
+	}
+	return nil
+}
+
+func (e *encoder) test(ops []asm.Operand) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("x86: test needs 2 operands")
+	}
+	dst, src := ops[0], ops[1]
+	switch {
+	case !src.IsMem() && src.Arg.IsReg():
+		e.byte(0x85)
+		n, err := regBits(src.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		return e.modrm(n, dst)
+	case !src.IsMem() && src.Arg.IsImm():
+		e.byte(0xF7)
+		if err := e.modrm(0, dst); err != nil {
+			return err
+		}
+		e.imm32(src.Arg.Imm)
+		return nil
+	}
+	return fmt.Errorf("x86: unsupported test form %s, %s", dst, src)
+}
+
+func (e *encoder) lea(ops []asm.Operand) error {
+	if len(ops) != 2 || ops[0].IsMem() || !ops[0].Arg.IsReg() || !ops[1].IsMem() {
+		return fmt.Errorf("x86: lea needs reg, mem")
+	}
+	e.byte(0x8D)
+	n, err := regBits(ops[0].Arg.Reg)
+	if err != nil {
+		return err
+	}
+	return e.modrm(n, ops[1])
+}
+
+func (e *encoder) imul(ops []asm.Operand) error {
+	switch len(ops) {
+	case 1:
+		e.byte(0xF7)
+		return e.modrm(unaryGroup["imul"], ops[0])
+	case 2:
+		if ops[0].IsMem() || !ops[0].Arg.IsReg() {
+			return fmt.Errorf("x86: imul dst must be a register")
+		}
+		e.byte(0x0F)
+		e.byte(0xAF)
+		n, err := regBits(ops[0].Arg.Reg)
+		if err != nil {
+			return err
+		}
+		return e.modrm(n, ops[1])
+	case 3:
+		if ops[0].IsMem() || !ops[0].Arg.IsReg() || ops[2].IsMem() || !ops[2].Arg.IsImm() {
+			return fmt.Errorf("x86: imul needs reg, r/m, imm")
+		}
+		n, err := regBits(ops[0].Arg.Reg)
+		if err != nil {
+			return err
+		}
+		v := ops[2].Arg.Imm
+		if fitsInt8(v) {
+			e.byte(0x6B)
+			if err := e.modrm(n, ops[1]); err != nil {
+				return err
+			}
+			e.imm8(v)
+			return nil
+		}
+		e.byte(0x69)
+		if err := e.modrm(n, ops[1]); err != nil {
+			return err
+		}
+		e.imm32(v)
+		return nil
+	}
+	return fmt.Errorf("x86: imul needs 1-3 operands")
+}
+
+func (e *encoder) push(ops []asm.Operand) error {
+	if len(ops) != 1 {
+		return fmt.Errorf("x86: push needs 1 operand")
+	}
+	op := ops[0]
+	switch {
+	case !op.IsMem() && op.Arg.IsReg():
+		n, err := regBits(op.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		e.byte(byte(0x50 + n))
+	case !op.IsMem() && op.Arg.IsImm():
+		if fitsInt8(op.Arg.Imm) {
+			e.byte(0x6A)
+			e.imm8(op.Arg.Imm)
+			return nil
+		}
+		e.byte(0x68)
+		e.imm32(op.Arg.Imm)
+	case !op.IsMem() && op.Arg.IsSym() && op.Offset:
+		e.byte(0x68)
+		e.abs32(op.Arg.Sym, op.Arg.Cls, 0)
+	case op.IsMem():
+		e.byte(0xFF)
+		return e.modrm(6, op)
+	default:
+		return fmt.Errorf("x86: unsupported push form %s", op)
+	}
+	return nil
+}
+
+func (e *encoder) pop(ops []asm.Operand) error {
+	if len(ops) != 1 {
+		return fmt.Errorf("x86: pop needs 1 operand")
+	}
+	op := ops[0]
+	if !op.IsMem() && op.Arg.IsReg() {
+		n, err := regBits(op.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		e.byte(byte(0x58 + n))
+		return nil
+	}
+	if op.IsMem() {
+		e.byte(0x8F)
+		return e.modrm(0, op)
+	}
+	return fmt.Errorf("x86: unsupported pop form %s", op)
+}
+
+func (e *encoder) incdec(mnemonic string, ops []asm.Operand) error {
+	if len(ops) != 1 {
+		return fmt.Errorf("x86: %s needs 1 operand", mnemonic)
+	}
+	op := ops[0]
+	if !op.IsMem() && op.Arg.IsReg() {
+		n, err := regBits(op.Arg.Reg)
+		if err != nil {
+			return err
+		}
+		base := 0x40
+		if mnemonic == "dec" {
+			base = 0x48
+		}
+		e.byte(byte(base + n))
+		return nil
+	}
+	e.byte(0xFF)
+	digit := 0
+	if mnemonic == "dec" {
+		digit = 1
+	}
+	return e.modrm(digit, op)
+}
+
+func (e *encoder) shift(digit int, ops []asm.Operand) error {
+	if len(ops) != 2 || ops[1].IsMem() || !ops[1].Arg.IsImm() {
+		return fmt.Errorf("x86: shift needs r/m, imm8")
+	}
+	e.byte(0xC1)
+	if err := e.modrm(digit, ops[0]); err != nil {
+		return err
+	}
+	e.imm8(ops[1].Arg.Imm)
+	return nil
+}
+
+// ccFromMnemonic extracts a condition code from a prefixed mnemonic.
+func ccFromMnemonic(m, prefix string) (int, bool) {
+	if len(m) <= len(prefix) || m[:len(prefix)] != prefix {
+		return 0, false
+	}
+	cc, ok := setccNum[m[len(prefix):]]
+	return cc, ok
+}
+
+// movx encodes movzx/movsx r32, r/m8 (0F B6 / 0F BE).
+func (e *encoder) movx(m string, ops []asm.Operand) error {
+	if len(ops) != 2 || ops[0].IsMem() || !ops[0].Arg.IsReg() {
+		return fmt.Errorf("x86: %s needs r32, r/m8", m)
+	}
+	n, err := regBits(ops[0].Arg.Reg)
+	if err != nil {
+		return err
+	}
+	e.byte(0x0F)
+	if m == "movzx" {
+		e.byte(0xB6)
+	} else {
+		e.byte(0xBE)
+	}
+	src := ops[1]
+	if !src.IsMem() && src.Arg.IsReg() {
+		return e.reg8Modrm(n, src.Arg.Reg)
+	}
+	if src.IsMem() {
+		return e.modrm(n, src)
+	}
+	return fmt.Errorf("x86: %s source must be r/m8", m)
+}
+
+// setcc encodes setcc r/m8 (0F 90+cc).
+func (e *encoder) setcc(cc int, ops []asm.Operand) error {
+	if len(ops) != 1 {
+		return fmt.Errorf("x86: setcc needs 1 operand")
+	}
+	e.byte(0x0F)
+	e.byte(byte(0x90 + cc))
+	op := ops[0]
+	if !op.IsMem() && op.Arg.IsReg() {
+		return e.reg8Modrm(0, op.Arg.Reg)
+	}
+	if op.IsMem() {
+		return e.modrm(0, op)
+	}
+	return fmt.Errorf("x86: setcc operand must be r/m8")
+}
+
+// cmovcc encodes cmovcc r32, r/m32 (0F 40+cc).
+func (e *encoder) cmovcc(cc int, ops []asm.Operand) error {
+	if len(ops) != 2 || ops[0].IsMem() || !ops[0].Arg.IsReg() {
+		return fmt.Errorf("x86: cmov needs r32, r/m32")
+	}
+	n, err := regBits(ops[0].Arg.Reg)
+	if err != nil {
+		return err
+	}
+	e.byte(0x0F)
+	e.byte(byte(0x40 + cc))
+	return e.modrm(n, ops[1])
+}
+
+func (e *encoder) call(ops []asm.Operand) error {
+	if len(ops) != 1 {
+		return fmt.Errorf("x86: call needs 1 operand")
+	}
+	op := ops[0]
+	switch {
+	case !op.IsMem() && op.Arg.IsSym():
+		e.byte(0xE8)
+		e.fixups = append(e.fixups, Fixup{Kind: FixupRel32, Off: len(e.buf), Sym: op.Arg.Sym, Class: op.Arg.Cls})
+		e.imm32(0)
+	case !op.IsMem() && op.Arg.IsImm():
+		// Absolute target expressed as rel32 at link time is not
+		// supported; immediate targets only appear decoded, not encoded.
+		return fmt.Errorf("x86: call to raw immediate not encodable")
+	case !op.IsMem() && op.Arg.IsReg():
+		e.byte(0xFF)
+		return e.modrm(2, op)
+	case op.IsMem():
+		e.byte(0xFF)
+		return e.modrm(2, op)
+	}
+	return nil
+}

@@ -1,0 +1,594 @@
+package x86
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+)
+
+// TestKnownEncodings checks emitted bytes against independently known x86
+// machine code (as produced by gas/nasm).
+func TestKnownEncodings(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []byte
+	}{
+		{"push ebp", []byte{0x55}},
+		{"mov ebp, esp", []byte{0x89, 0xE5}},
+		{"sub esp, 18h", []byte{0x83, 0xEC, 0x18}},
+		{"sub esp, 128h", []byte{0x81, 0xEC, 0x28, 0x01, 0x00, 0x00}},
+		{"mov eax, [ebp+8]", []byte{0x8B, 0x45, 0x08}},
+		{"mov [ebp-4], eax", []byte{0x89, 0x45, 0xFC}},
+		{"mov eax, 1", []byte{0xB8, 0x01, 0x00, 0x00, 0x00}},
+		{"lea eax, [ebx+ecx*4+10h]", []byte{0x8D, 0x44, 0x8B, 0x10}},
+		{"retn", []byte{0xC3}},
+		{"leave", []byte{0xC9}},
+		{"cdq", []byte{0x99}},
+		{"nop", []byte{0x90}},
+		{"push 5", []byte{0x6A, 0x05}},
+		{"push 100h", []byte{0x68, 0x00, 0x01, 0x00, 0x00}},
+		{"pop ebx", []byte{0x5B}},
+		{"inc eax", []byte{0x40}},
+		{"dec edi", []byte{0x4F}},
+		{"xor esi, esi", []byte{0x31, 0xF6}},
+		{"cmp esi, 1", []byte{0x83, 0xFE, 0x01}},
+		{"add eax, ebx", []byte{0x01, 0xD8}},
+		{"mov eax, [esp]", []byte{0x8B, 0x04, 0x24}},
+		{"mov [esp+4], ecx", []byte{0x89, 0x4C, 0x24, 0x04}},
+		{"mov eax, [ebp+0]", []byte{0x8B, 0x45, 0x00}},
+		{"imul eax, ebx, 4", []byte{0x6B, 0xC3, 0x04}},
+		{"imul eax, ebx, 1000h", []byte{0x69, 0xC3, 0x00, 0x10, 0x00, 0x00}},
+		{"imul eax, ebx", []byte{0x0F, 0xAF, 0xC3}},
+		{"shl eax, 2", []byte{0xC1, 0xE0, 0x02}},
+		{"sar edx, 1Fh", []byte{0xC1, 0xFA, 0x1F}},
+		{"neg eax", []byte{0xF7, 0xD8}},
+		{"not ecx", []byte{0xF7, 0xD1}},
+		{"idiv ebx", []byte{0xF7, 0xFB}},
+		{"test eax, eax", []byte{0x85, 0xC0}},
+		{"mov [eax], edx", []byte{0x89, 0x10}},
+		{"mov edx, [1234h]", []byte{0x8B, 0x15, 0x34, 0x12, 0x00, 0x00}},
+		{"call eax", []byte{0xFF, 0xD0}},
+	}
+	for _, tc := range tests {
+		in := asm.MustParse(tc.src)
+		got, fixups, err := EncodeInst(in)
+		if err != nil {
+			t.Errorf("encode %q: %v", tc.src, err)
+			continue
+		}
+		if len(fixups) != 0 {
+			t.Errorf("encode %q: unexpected fixups %v", tc.src, fixups)
+		}
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("encode %q = % X, want % X", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripFixed(t *testing.T) {
+	srcs := []string{
+		"push ebp",
+		"mov ebp, esp",
+		"mov eax, [ebp+8]",
+		"mov [ebp-0Ch], eax",
+		"mov [esp+18h], ebx",
+		"lea esi, [eax+edx*8-20h]",
+		"add eax, 12345h",
+		"cmp [ebp-4], edi",
+		"imul ecx, [ebp+10h], 7",
+		"push 7Fh",
+		"push 80h",
+		"test eax, 0FF00h",
+		"pop [eax+4]",
+		"inc [ebx]",
+		"dec [ebx+8]",
+		"push [ebp+0Ch]",
+		"mov edi, [esi+eax*2]",
+		"retn",
+	}
+	for _, src := range srcs {
+		in := asm.MustParse(src)
+		code, fixups, err := EncodeInst(in)
+		if err != nil {
+			t.Fatalf("encode %q: %v", src, err)
+		}
+		if len(fixups) != 0 {
+			t.Fatalf("encode %q: unexpected fixups", src)
+		}
+		out, n, err := Decode(code, 0x1000)
+		if err != nil {
+			t.Fatalf("decode %q (% X): %v", src, code, err)
+		}
+		if n != len(code) {
+			t.Errorf("decode %q: consumed %d of %d bytes", src, n, len(code))
+		}
+		if !in.Equal(out) {
+			t.Errorf("round trip %q -> %q", in, out)
+		}
+	}
+}
+
+// genInst generates a random encodable instruction in canonical form.
+func genInst(rng *rand.Rand) asm.Inst {
+	regsNoESP := []asm.Reg{asm.EAX, asm.ECX, asm.EDX, asm.EBX, asm.EBP, asm.ESI, asm.EDI}
+	anyReg := asm.GP32()
+	reg := func() asm.Operand { return asm.RegOp(anyReg[rng.Intn(len(anyReg))]) }
+	imm := func() asm.Operand {
+		switch rng.Intn(3) {
+		case 0:
+			return asm.ImmOp(int64(int8(rng.Int())))
+		case 1:
+			return asm.ImmOp(int64(rng.Intn(1 << 16)))
+		default:
+			return asm.ImmOp(int64(int32(rng.Uint32())))
+		}
+	}
+	mem := func() asm.Operand {
+		var m memRef
+		m.scale = 1
+		if rng.Intn(4) > 0 {
+			m.base = anyReg[rng.Intn(len(anyReg))]
+		}
+		if rng.Intn(3) == 0 {
+			m.index = regsNoESP[rng.Intn(len(regsNoESP))]
+			m.scale = []int{1, 2, 4, 8}[rng.Intn(4)]
+		}
+		switch rng.Intn(3) {
+		case 0:
+			// no displacement
+		case 1:
+			m.disp = int32(int8(rng.Int()))
+		default:
+			m.disp = int32(rng.Uint32())
+		}
+		if m.base == asm.RegNone && m.index == asm.RegNone && m.disp == 0 {
+			m.disp = 0x1000
+		}
+		return m.operand()
+	}
+	rm := func() asm.Operand {
+		if rng.Intn(2) == 0 {
+			return reg()
+		}
+		return mem()
+	}
+	switch rng.Intn(12) {
+	case 0:
+		return asm.New("mov", reg(), imm())
+	case 1:
+		return asm.New("mov", rm(), reg())
+	case 2:
+		return asm.New("mov", reg(), mem())
+	case 3:
+		return asm.New("mov", mem(), imm())
+	case 4:
+		alu := []string{"add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"}
+		name := alu[rng.Intn(len(alu))]
+		switch rng.Intn(3) {
+		case 0:
+			return asm.New(name, rm(), reg())
+		case 1:
+			return asm.New(name, reg(), mem())
+		default:
+			return asm.New(name, rm(), imm())
+		}
+	case 5:
+		return asm.New("lea", reg(), mem())
+	case 6:
+		if rng.Intn(2) == 0 {
+			return asm.New("imul", reg(), rm())
+		}
+		return asm.New("imul", reg(), rm(), imm())
+	case 7:
+		switch rng.Intn(3) {
+		case 0:
+			return asm.New("push", reg())
+		case 1:
+			return asm.New("push", imm())
+		default:
+			return asm.New("push", mem())
+		}
+	case 8:
+		if rng.Intn(2) == 0 {
+			return asm.New("pop", reg())
+		}
+		return asm.New("pop", mem())
+	case 9:
+		un := []string{"not", "neg", "mul", "div", "idiv", "inc", "dec"}
+		return asm.New(un[rng.Intn(len(un))], rm())
+	case 10:
+		sh := []string{"shl", "shr", "sar", "rol", "ror"}
+		return asm.New(sh[rng.Intn(len(sh))], rm(), asm.ImmOp(int64(rng.Intn(32))))
+	default:
+		if rng.Intn(2) == 0 {
+			return asm.New("test", rm(), reg())
+		}
+		return asm.New("test", rm(), imm())
+	}
+}
+
+// TestQuickRoundTrip is the property test: every generated instruction
+// encodes, decodes back to itself, and consumes exactly its own bytes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := genInst(rng)
+		code, fixups, err := EncodeInst(in)
+		if err != nil {
+			t.Logf("encode %q: %v", in, err)
+			return false
+		}
+		if len(fixups) != 0 {
+			t.Logf("unexpected fixups for %q", in)
+			return false
+		}
+		out, n, err := Decode(code, 0x8048000)
+		if err != nil {
+			t.Logf("decode %q (% X): %v", in, code, err)
+			return false
+		}
+		if n != len(code) {
+			t.Logf("decode %q: partial consume", in)
+			return false
+		}
+		// imm width is canonicalized by decode (sign-extended imm8 forms
+		// decode to the same value), so Inst equality is the right check.
+		if !in.Equal(out) {
+			t.Logf("round trip %q -> %q (% X)", in, out, code)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleFuncJumps(t *testing.T) {
+	insts, labels, err := asm.ParseListing(`
+		cmp eax, 1
+		jnz else_
+		mov ebx, 1
+		jmp done
+	else_:
+		mov ebx, 2
+	done:
+		retn
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, fixups, err := AssembleFunc(insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixups) != 0 {
+		t.Fatalf("unexpected fixups: %v", fixups)
+	}
+	dec, err := DecodeAll(code, 0)
+	if err != nil {
+		t.Fatalf("decode: %v (% X)", err, code)
+	}
+	if len(dec) != len(insts) {
+		t.Fatalf("decoded %d instructions, want %d", len(dec), len(insts))
+	}
+	// jnz must target the mov ebx,2 instruction, jmp must target retn.
+	jnz := dec[1]
+	if got, want := uint32(jnz.Inst.Ops[0].Arg.Imm), dec[4].Addr; got != want {
+		t.Errorf("jnz target %#x, want %#x", got, want)
+	}
+	jmp := dec[3]
+	if got, want := uint32(jmp.Inst.Ops[0].Arg.Imm), dec[5].Addr; got != want {
+		t.Errorf("jmp target %#x, want %#x", got, want)
+	}
+	// Both branches are near; short forms expected.
+	if code[len(code)-1] != 0xC3 {
+		t.Error("function should end with ret")
+	}
+}
+
+func TestAssembleFuncRelaxation(t *testing.T) {
+	// Build a function where a forward jump crosses > 127 bytes of code so
+	// that it must be promoted to rel32.
+	var src bytes.Buffer
+	src.WriteString("jmp far_\n")
+	for i := 0; i < 40; i++ {
+		src.WriteString("mov eax, 12345678h\n") // 5 bytes each
+	}
+	src.WriteString("far_:\nretn\n")
+	insts, labels, err := asm.ParseListing(src.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, err := AssembleFunc(insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0] != 0xE9 {
+		t.Errorf("long forward jump should use E9, got %#02x", code[0])
+	}
+	dec, err := DecodeAll(code, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := dec[len(dec)-1]
+	if got := uint32(dec[0].Inst.Ops[0].Arg.Imm); got != last.Addr {
+		t.Errorf("relaxed jump target %#x, want %#x", got, last.Addr)
+	}
+}
+
+func TestAssembleFuncBackwardJump(t *testing.T) {
+	insts, labels, err := asm.ParseListing(`
+	top:
+		dec eax
+		cmp eax, 0
+		jg top
+		retn
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, err := AssembleFunc(insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeAll(code, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jg := dec[2]
+	if got := uint32(jg.Inst.Ops[0].Arg.Imm); got != 0x400000 {
+		t.Errorf("backward jump target %#x, want %#x", got, 0x400000)
+	}
+	// Backward short jump should be rel8.
+	if dec[2].Len != 2 {
+		t.Errorf("near backward jcc should be 2 bytes, got %d", dec[2].Len)
+	}
+}
+
+func TestCallFixup(t *testing.T) {
+	insts, labels, err := asm.ParseListing(`
+		push eax
+		call _printf
+		retn
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, fixups, err := AssembleFunc(insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixups) != 1 {
+		t.Fatalf("got %d fixups, want 1", len(fixups))
+	}
+	fx := fixups[0]
+	if fx.Kind != FixupRel32 || fx.Sym != "_printf" || fx.Class != asm.SymFunc {
+		t.Fatalf("bad fixup %+v", fx)
+	}
+	// Link the call to address 0x8049000 with the code at 0x8048000.
+	ApplyFixup(code, fx, 0x8049000, 0x8048000)
+	dec, err := DecodeAll(code, 0x8048000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := uint32(dec[1].Inst.Ops[0].Arg.Imm); got != 0x8049000 {
+		t.Errorf("linked call target %#x, want %#x", got, 0x8049000)
+	}
+}
+
+func TestDataFixups(t *testing.T) {
+	for _, src := range []string{
+		"mov ebx, offset unk_404000",
+		"push offset aHello",
+		"mov eax, [aCounter]",
+		"mov [aCounter], eax",
+		"cmp eax, offset aHello",
+	} {
+		in := asm.MustParse(src)
+		code, fixups, err := EncodeInst(in)
+		if err != nil {
+			t.Fatalf("encode %q: %v", src, err)
+		}
+		if len(fixups) != 1 {
+			t.Fatalf("%q: got %d fixups, want 1", src, len(fixups))
+		}
+		fx := fixups[0]
+		if fx.Kind != FixupAbs32 {
+			t.Errorf("%q: fixup kind %v, want abs32", src, fx.Kind)
+		}
+		ApplyFixup(code, fx, 0x404000, 0)
+		if _, _, err := Decode(code, 0); err != nil {
+			t.Errorf("%q: decode after link: %v", src, err)
+		}
+	}
+}
+
+func TestSymbolicMemAddend(t *testing.T) {
+	in := asm.MustParse("mov eax, [aTable+8]")
+	code, fixups, err := EncodeInst(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixups) != 1 {
+		t.Fatalf("got %d fixups, want 1", len(fixups))
+	}
+	ApplyFixup(code, fixups[0], 0x404100, 0)
+	out, _, err := Decode(code, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asm.MustParse("mov eax, [404108h]")
+	if !out.Equal(want) {
+		t.Errorf("decoded %q, want %q", out, want)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	for _, src := range []string{
+		"mov rax, 1",         // 64-bit register
+		"bogus eax",          // unknown mnemonic
+		"mov [esp+esp], eax", // esp as index
+		"shl eax, ebx",       // register shift count unsupported
+	} {
+		in, err := asm.Parse(src)
+		if err != nil {
+			continue // parser may reject, also fine
+		}
+		if _, _, err := EncodeInst(in); err == nil {
+			t.Errorf("EncodeInst(%q): expected error", src)
+		}
+	}
+	// Undefined label.
+	insts := []asm.Inst{asm.MustParse("jmp nowhere")}
+	if _, _, err := AssembleFunc(insts, map[string]int{}); err == nil {
+		t.Error("AssembleFunc with undefined label: expected error")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, code := range [][]byte{
+		{},           // empty
+		{0x8B},       // truncated modrm
+		{0x8B, 0x45}, // truncated disp
+		{0xB8, 0x01}, // truncated imm32
+		{0x0F, 0x04}, // unknown 0F opcode
+		{0xF4},       // hlt: unsupported
+		{0xFF, 0xF8}, // FF /7: undefined
+	} {
+		if _, _, err := Decode(code, 0); err == nil {
+			t.Errorf("Decode(% X): expected error", code)
+		}
+	}
+}
+
+// TestDecodeNeverPanics feeds random byte soup to the decoder: it must
+// return cleanly (instruction or error) for any input.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, rng.Intn(24))
+		rng.Read(buf)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on % X: %v", buf, r)
+			}
+		}()
+		_, n, err := Decode(buf, uint32(rng.Uint32()))
+		if err == nil && (n <= 0 || n > len(buf)) {
+			t.Logf("bad length %d for % X", n, buf)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetccMovzxCmovEncodings(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []byte
+	}{
+		{"setz al", []byte{0x0F, 0x94, 0xC0}},
+		{"setnz cl", []byte{0x0F, 0x95, 0xC1}},
+		{"setl dl", []byte{0x0F, 0x9C, 0xC2}},
+		{"setg bl", []byte{0x0F, 0x9F, 0xC3}},
+		{"movzx eax, al", []byte{0x0F, 0xB6, 0xC0}},
+		{"movzx ecx, cl", []byte{0x0F, 0xB6, 0xC9}},
+		{"movsx edx, dl", []byte{0x0F, 0xBE, 0xD2}},
+		{"cmovz eax, ebx", []byte{0x0F, 0x44, 0xC3}},
+		{"cmovg esi, edi", []byte{0x0F, 0x4F, 0xF7}},
+	}
+	for _, tc := range tests {
+		in := asm.MustParse(tc.src)
+		got, _, err := EncodeInst(in)
+		if err != nil {
+			t.Errorf("encode %q: %v", tc.src, err)
+			continue
+		}
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("encode %q = % X, want % X", tc.src, got, tc.want)
+		}
+		out, n, err := Decode(got, 0)
+		if err != nil || n != len(got) {
+			t.Errorf("decode %q: %v (n=%d)", tc.src, err, n)
+			continue
+		}
+		if !in.Equal(out) {
+			t.Errorf("round trip %q -> %q", in, out)
+		}
+	}
+	// Memory forms round trip too.
+	for _, src := range []string{
+		"setz [ebp-4]",
+		"movzx eax, [ebp+8]",
+		"cmovnz ecx, [esi+4]",
+	} {
+		in := asm.MustParse(src)
+		code, _, err := EncodeInst(in)
+		if err != nil {
+			t.Fatalf("encode %q: %v", src, err)
+		}
+		out, _, err := Decode(code, 0)
+		if err != nil {
+			t.Fatalf("decode %q: %v", src, err)
+		}
+		if !in.Equal(out) {
+			t.Errorf("round trip %q -> %q", in, out)
+		}
+	}
+}
+
+func TestLabelAtFunctionEnd(t *testing.T) {
+	// A label equal to len(insts) denotes the end of the function; a jump
+	// there must assemble and decode to a target just past the last byte.
+	insts, labels, err := asm.ParseListing(`
+		cmp eax, 1
+		jz end_
+		inc eax
+	end_:
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["end_"] != len(insts) {
+		t.Fatalf("label index %d, want %d", labels["end_"], len(insts))
+	}
+	code, _, err := AssembleFunc(insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeAll(code, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := uint32(dec[1].Inst.Ops[0].Arg.Imm); got != 0x100+uint32(len(code)) {
+		t.Errorf("end-label target %#x, want %#x", got, 0x100+uint32(len(code)))
+	}
+}
+
+func TestAssembleFuncExLabelOffsets(t *testing.T) {
+	insts, labels, err := asm.ParseListing(`
+		nop
+	mid:
+		nop
+		nop
+	tail:
+		retn
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, offs, err := AssembleFuncEx(insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offs["mid"] != 1 || offs["tail"] != 3 {
+		t.Errorf("label offsets = %v", offs)
+	}
+}

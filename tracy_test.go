@@ -1,0 +1,245 @@
+package tracy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// paperPair is the doCommand1/doCommand2 pair from the paper's Figs. 1-2.
+const paperFunc1 = `
+int doCommand1(int cmd, char *optionalMsg, char *logPath) {
+	int counter = 1;
+	int f = fopen(logPath, "w");
+	if (cmd == 1) {
+		printf("(%d) HELLO", counter);
+	} else if (cmd == 2) {
+		printf(optionalMsg);
+	}
+	fprintf(f, "Cmd %d DONE", counter);
+	return counter;
+}
+`
+
+const paperFunc2 = `
+int doCommand2(int cmd, char *optionalMsg, char *logPath) {
+	int counter = 1;
+	int bytes = 0;
+	int f = fopen(logPath, "w");
+	if (cmd == 1) {
+		printf("(%d) HELLO", counter);
+		bytes = bytes + 4;
+	} else if (cmd == 2) {
+		printf(optionalMsg);
+		bytes = bytes + strlen(optionalMsg);
+	} else if (cmd == 3) {
+		printf("(%d) BYE", counter);
+		bytes = bytes + 3;
+	}
+	fprintf(f, "Cmd %d\\%d DONE", counter, bytes);
+	return counter;
+}
+`
+
+const unrelatedFunc = `
+int checksum(int a, int b, char *s) {
+	int acc = 0;
+	int i;
+	for (i = 0; i < a; i = i + 1) {
+		acc = acc * 31 + i % 7;
+		if (acc > 10000) { acc = acc / 2; }
+	}
+	while (b > 0) { acc = acc + b; b = b - 1; }
+	return acc;
+}
+`
+
+func loadOne(t *testing.T, src string, opt OptLevel, seed int64) *Function {
+	t.Helper()
+	img, err := CompileTinyCStripped(src, opt, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns, err := LoadExecutable(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 1 {
+		t.Fatalf("lifted %d functions", len(fns))
+	}
+	return fns[0]
+}
+
+// TestPaperMotivatingExample: doCommand1 and its patched doCommand2,
+// compiled in different contexts, must be similar; an unrelated function
+// must not.
+func TestPaperMotivatingExample(t *testing.T) {
+	ref := loadOne(t, paperFunc1, OptO2, 11)
+	patched := loadOne(t, paperFunc2, OptO2, 23)
+	other := loadOne(t, unrelatedFunc, OptO2, 37)
+
+	opts := DefaultOptions()
+	simPatched := Compare(ref, patched, opts)
+	simOther := Compare(ref, other, opts)
+	if !simPatched.IsMatch {
+		t.Errorf("doCommand1 vs doCommand2: score %.2f, want match",
+			simPatched.SimilarityScore)
+	}
+	if simOther.IsMatch {
+		t.Errorf("doCommand1 vs checksum: score %.2f, want no match",
+			simOther.SimilarityScore)
+	}
+	if simPatched.SimilarityScore <= simOther.SimilarityScore {
+		t.Errorf("patched (%.2f) should outscore unrelated (%.2f)",
+			simPatched.SimilarityScore, simOther.SimilarityScore)
+	}
+}
+
+func TestExplainAccountability(t *testing.T) {
+	ref := loadOne(t, paperFunc1, OptO2, 11)
+	patched := loadOne(t, paperFunc2, OptO2, 23)
+	ms := Explain(ref, patched, DefaultOptions())
+	if len(ms) == 0 {
+		t.Fatal("no explained matches")
+	}
+	for _, m := range ms {
+		if m.Score <= DefaultOptions().Beta {
+			t.Errorf("match below threshold: %+v", m)
+		}
+	}
+}
+
+func TestDatabaseSearchEndToEnd(t *testing.T) {
+	db := NewDatabase()
+	// Index the same function under three contexts, plus noise.
+	for seed := int64(1); seed <= 3; seed++ {
+		img, err := CompileTinyC(paperFunc1+unrelatedFunc, OptO2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := TruthOf(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripped, err := StripExecutable(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.IndexExecutableWithTruth(
+			strings.Repeat("x", int(seed))+"exe", stripped, truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.NumFunctions() != 6 {
+		t.Fatalf("indexed %d functions, want 6", db.NumFunctions())
+	}
+	query := loadOne(t, paperFunc1, OptO2, 99)
+	hits := db.Search(query, DefaultOptions())
+	if len(hits) != 6 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	for i := 0; i < 3; i++ {
+		if hits[i].Truth != "doCommand1" {
+			t.Errorf("hit %d = %q (%.2f), want doCommand1", i, hits[i].Truth,
+				hits[i].Result.SimilarityScore)
+		}
+	}
+	for _, h := range hits[3:] {
+		if h.Result.IsMatch {
+			t.Errorf("false positive %q scored %.2f", h.Truth, h.Result.SimilarityScore)
+		}
+	}
+}
+
+func TestDatabaseSaveLoad(t *testing.T) {
+	db := NewDatabase()
+	img, err := CompileTinyCStripped(paperFunc1, OptO2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.IndexExecutable("one", img); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumFunctions() != db.NumFunctions() {
+		t.Error("round trip lost functions")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	fn := loadOne(t, paperFunc1, OptO2, 1)
+	text := Disassemble(fn)
+	if !strings.Contains(text, "block 0") || !strings.Contains(text, "call _fopen") {
+		t.Errorf("Disassemble output unexpected:\n%s", text)
+	}
+}
+
+func TestTruthOfStripped(t *testing.T) {
+	img, err := CompileTinyCStripped(paperFunc1, OptO2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TruthOf(img); err == nil {
+		t.Error("TruthOf(stripped) should fail")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := CompileTinyC("int f( {", OptO2, 1); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestFunctionsAccessor(t *testing.T) {
+	db := NewDatabase()
+	img, err := CompileTinyCStripped(paperFunc1+unrelatedFunc, OptO2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.IndexExecutable("one", img); err != nil {
+		t.Fatal(err)
+	}
+	fns := db.Functions()
+	if len(fns) != 2 {
+		t.Fatalf("Functions() = %d entries", len(fns))
+	}
+	for _, fn := range fns {
+		if fn.NumBlocks() == 0 || fn.NumInsts() == 0 {
+			t.Error("empty lifted function")
+		}
+	}
+}
+
+func TestOptionsVariants(t *testing.T) {
+	ref := loadOne(t, paperFunc1, OptO2, 11)
+	tgt := loadOne(t, paperFunc1, OptO2, 12)
+	base := DefaultOptions()
+	if res := Compare(ref, tgt, base); !res.IsMatch {
+		t.Fatalf("baseline should match: %+v", res)
+	}
+	// k=2 and containment also work through the public API.
+	o2 := base
+	o2.K = 2
+	if res := Compare(ref, tgt, o2); !res.IsMatch {
+		t.Errorf("k=2: %+v", res)
+	}
+	oc := base
+	oc.Norm = Containment
+	if res := Compare(ref, tgt, oc); !res.IsMatch {
+		t.Errorf("containment: %+v", res)
+	}
+	// An absurd β of ~1 with rewriting still matches identical-source
+	// cross-context builds (the rewrite reaches exact equality).
+	ob := base
+	ob.Beta = 0.99
+	if res := Compare(ref, tgt, ob); res.SimilarityScore == 0 {
+		t.Errorf("β=0.99 cross-context similarity collapsed: %+v", res)
+	}
+}
