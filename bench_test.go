@@ -16,9 +16,12 @@ package tracy
 // against the paper's Table 4.
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/bin"
@@ -31,6 +34,7 @@ import (
 	"repro/internal/ngram"
 	"repro/internal/prep"
 	"repro/internal/rewrite"
+	"repro/internal/telemetry"
 	"repro/internal/tinyc"
 	"repro/internal/tracelet"
 	"repro/internal/x86"
@@ -38,7 +42,7 @@ import (
 
 // benchFunc compiles a large random function (~Table 4's "functions
 // containing ~200 basic blocks") in the given context.
-func benchFunc(b *testing.B, stmts int, seed int64) *prep.Function {
+func benchFunc(b testing.TB, stmts int, seed int64) *prep.Function {
 	b.Helper()
 	src := corpus.RandomFunc("bench", 31, corpus.GenConfig{Stmts: stmts, Calls: true})
 	img, err := tinyc.BuildStripped(src, tinyc.Config{Opt: tinyc.O2, Seed: seed})
@@ -294,6 +298,77 @@ func BenchmarkMetricsCROC(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = metrics.CROCAUC(samples)
+	}
+}
+
+// BenchmarkFunctionCompareInstrumented is BenchmarkFunctionCompare with a
+// live telemetry collector attached; the delta against the plain benchmark
+// is the instrumentation overhead (target: under a few percent).
+func BenchmarkFunctionCompareInstrumented(b *testing.B) {
+	ref := core.Decompose(benchFunc(b, 240, 41), 3)
+	tgt := core.Decompose(benchFunc(b, 240, 42), 3)
+	opts := core.DefaultOptions()
+	opts.Tel = telemetry.New()
+	m := core.NewMatcher(opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Compare(ref, tgt)
+	}
+}
+
+// TestTelemetryOverheadReport measures Compare throughput with and without
+// a collector and writes BENCH_telemetry.json. It is a report, not a gate:
+// shared-runner jitter makes a hard percentage assertion flaky, so CI runs
+// it in -short mode where it is skipped.
+func TestTelemetryOverheadReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing report; skipped in -short mode")
+	}
+	ref := core.Decompose(benchFunc(t, 120, 41), 3)
+	tgt := core.Decompose(benchFunc(t, 120, 42), 3)
+
+	noop := core.NewMatcher(core.DefaultOptions())
+	iOpts := core.DefaultOptions()
+	iOpts.Tel = telemetry.New()
+	inst := core.NewMatcher(iOpts)
+
+	// Warm both paths, then interleave single ops so clock drift, GC and
+	// thermal state hit both sides equally.
+	noop.Compare(ref, tgt)
+	inst.Compare(ref, tgt)
+	const rounds = 12
+	var noopNS, instNS float64
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		_ = noop.Compare(ref, tgt)
+		noopNS += float64(time.Since(t0).Nanoseconds())
+		t1 := time.Now()
+		_ = inst.Compare(ref, tgt)
+		instNS += float64(time.Since(t1).Nanoseconds())
+	}
+	noopNS /= rounds
+	instNS /= rounds
+	overhead := (instNS - noopNS) / noopNS * 100
+
+	report := map[string]any{
+		"benchmark":              "FunctionCompare (120-stmt pair, k=3)",
+		"noop_ns_per_op":         noopNS,
+		"instrumented_ns_per_op": instNS,
+		"overhead_pct":           overhead,
+		"rounds":                 rounds,
+		"target_overhead_pct":    3.0,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_telemetry.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("noop %.0f ns/op, instrumented %.0f ns/op, overhead %.2f%%",
+		noopNS, instNS, overhead)
+	if overhead > 25 {
+		t.Errorf("instrumentation overhead %.1f%% is far above the 3%% target", overhead)
 	}
 }
 

@@ -10,6 +10,12 @@
 //	tracy experiments [name]                   regenerate paper tables
 //
 // Flags -k, -beta, -alpha, -norm, -norewrite configure matching.
+//
+// Every command also accepts the observability flags -stats (summary),
+// -stats-json DEST (machine-readable telemetry report), -trace-json DEST
+// (per-query span trace, where the command runs queries) and -pprof ADDR
+// (serve /statsz and /debug/pprof while the command runs); DEST is a file
+// path or "-" for standard output. See README.md, "Observability".
 package cli
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/index"
 	"repro/internal/prep"
+	"repro/internal/telemetry"
 	"repro/internal/tracelet"
 )
 
@@ -92,7 +99,11 @@ func matchFlags(fs *flag.FlagSet) func() core.Options {
 func (c *env) index(args []string) error {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	dbPath := fs.String("db", "tracy.db", "database file to create or extend")
+	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tf.activate(c.w, "index"); err != nil {
 		return err
 	}
 	db := index.New()
@@ -104,6 +115,7 @@ func (c *env) index(args []string) error {
 		}
 		db = loaded
 	}
+	db.Tel = tf.tel
 	for _, path := range fs.Args() {
 		img, err := os.ReadFile(path)
 		if err != nil {
@@ -119,7 +131,10 @@ func (c *env) index(args []string) error {
 		return err
 	}
 	defer out.Close()
-	return db.Save(out)
+	if err := db.Save(out); err != nil {
+		return err
+	}
+	return tf.finish(c.w)
 }
 
 // liftQuery loads an executable and selects a query function by name, or
@@ -160,11 +175,15 @@ func (c *env) search(args []string) error {
 	fnName := fs.String("fn", "", "query function name (default: largest)")
 	top := fs.Int("top", 10, "results to print")
 	opts := matchFlags(fs)
+	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *exe == "" {
 		return fmt.Errorf("search: -exe is required")
+	}
+	if err := tf.activate(c.w, "search"); err != nil {
+		return err
 	}
 	f, err := os.Open(*dbPath)
 	if err != nil {
@@ -175,13 +194,17 @@ func (c *env) search(args []string) error {
 	if err != nil {
 		return err
 	}
+	db.Tel = tf.tel
 	query, err := liftQuery(*exe, *fnName)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(c.w, "query: %s (%d blocks, %d instructions) vs %d functions\n",
 		query.Name, query.NumBlocks(), query.NumInsts(), db.Len())
-	hits := db.Search(query, opts())
+	sOpts := opts()
+	sOpts.Tel = tf.tel
+	sOpts.Trace = tf.trace
+	hits := db.Search(query, sOpts)
 	for i, h := range hits {
 		if i >= *top {
 			break
@@ -194,7 +217,7 @@ func (c *env) search(args []string) error {
 			mark, h.Result.SimilarityScore*100, h.Entry.Exe, h.Entry.Name,
 			h.Result.Matched(), h.Result.RefTracelets, h.Result.MatchedRewrite)
 	}
-	return nil
+	return tf.finish(c.w)
 }
 
 func (c *env) compare(args []string) error {
@@ -203,11 +226,15 @@ func (c *env) compare(args []string) error {
 	fnB := fs.String("fnb", "", "function in second executable (default largest)")
 	explain := fs.Bool("explain", false, "print per-tracelet match evidence")
 	opts := matchFlags(fs)
+	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
 		return fmt.Errorf("compare: need exactly two executables")
+	}
+	if err := tf.activate(c.w, "compare"); err != nil {
+		return err
 	}
 	a, err := liftQuery(fs.Arg(0), *fnA)
 	if err != nil {
@@ -217,16 +244,25 @@ func (c *env) compare(args []string) error {
 	if err != nil {
 		return err
 	}
-	m := core.NewMatcher(opts())
-	ref := core.Decompose(a, m.Opts.K)
-	tgt := core.Decompose(b, m.Opts.K)
+	cOpts := opts()
+	cOpts.Tel = tf.tel
+	cOpts.Trace = tf.trace
+	m := core.NewMatcher(cOpts)
+	ref := core.DecomposeT(a, m.Opts.K, tf.tel)
+	tgt := core.DecomposeT(b, m.Opts.K, tf.tel)
 	res := m.Compare(ref, tgt)
 	fmt.Fprintf(c.w, "%s (%d tracelets) vs %s (%d tracelets)\n",
 		a.Name, len(ref.Tracelets), b.Name, len(tgt.Tracelets))
 	fmt.Fprintf(c.w, "similarity %.1f%%  match=%v  direct=%d rewrite=%d\n",
 		res.SimilarityScore*100, res.IsMatch, res.MatchedDirect, res.MatchedRewrite)
 	if *explain {
-		for _, tm := range m.Explain(ref, tgt) {
+		// The explained pair gets its own collector so the accountability
+		// line reflects exactly this Explain call, whether or not the
+		// command-level flags enabled telemetry.
+		em := *m
+		em.Opts.Tel = telemetry.New()
+		em.Opts.Trace = nil
+		for _, tm := range em.Explain(ref, tgt) {
 			how := "aligned"
 			if tm.ViaRewrite {
 				how = "rewritten"
@@ -235,15 +271,25 @@ func (c *env) compare(args []string) error {
 				tm.RefBlocks, tm.TgtBlocks, tm.Score*100, how,
 				len(tm.Inserted), len(tm.Deleted))
 		}
+		es := em.Opts.Tel.Snapshot()
+		hits, misses := es.Counters["block_cache_hits"], es.Counters["block_cache_misses"]
+		fmt.Fprintf(c.w, "telemetry: block cache %d/%d hits (%.1f%% hit rate); rewrites %d attempted, %d skipped, %d succeeded\n",
+			hits, hits+misses, 100*es.Derived["block_cache_hit_rate"],
+			es.Counters["rewrites_attempted"], es.Counters["rewrites_skipped"],
+			es.Counters["rewrites_succeeded"])
 	}
-	return nil
+	return tf.finish(c.w)
 }
 
 func (c *env) disasm(args []string) error {
 	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
 	fnName := fs.String("fn", "", "only this function")
 	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of a listing")
+	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tf.activate(c.w, "disasm"); err != nil {
 		return err
 	}
 	for _, path := range fs.Args() {
@@ -268,7 +314,7 @@ func (c *env) disasm(args []string) error {
 			fmt.Fprintln(c.w, fn.Graph)
 		}
 	}
-	return nil
+	return tf.finish(c.w)
 }
 
 // tracelets dumps the k-tracelet decomposition of a function, the unit of
@@ -277,11 +323,15 @@ func (c *env) tracelets(args []string) error {
 	fs := flag.NewFlagSet("tracelets", flag.ExitOnError)
 	fnName := fs.String("fn", "", "function name (default: largest)")
 	k := fs.Int("k", 3, "tracelet size in basic blocks")
+	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("tracelets: need exactly one executable")
+	}
+	if err := tf.activate(c.w, "tracelets"); err != nil {
+		return err
 	}
 	fn, err := liftQuery(fs.Arg(0), *fnName)
 	if err != nil {
@@ -293,7 +343,7 @@ func (c *env) tracelets(args []string) error {
 		fmt.Fprintf(c.w, "-- tracelet %d: blocks %v (%d instructions)\n", i, tr.BlockIdx, tr.NumInsts())
 		fmt.Fprintln(c.w, tr)
 	}
-	return nil
+	return tf.finish(c.w)
 }
 
 // emulate runs a function from an executable in the x86 emulator and
@@ -303,11 +353,15 @@ func (c *env) emulate(args []string) error {
 	fnName := fs.String("fn", "", "function name (default: largest)")
 	argList := fs.String("args", "", "comma-separated integer arguments")
 	steps := fs.Int("maxsteps", 2_000_000, "instruction budget")
+	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("emulate: need exactly one executable")
+	}
+	if err := tf.activate(c.w, "emulate"); err != nil {
+		return err
 	}
 	img, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -341,13 +395,17 @@ func (c *env) emulate(args []string) error {
 	for _, call := range res.Calls {
 		fmt.Fprintf(c.w, "  call %s -> %d\n", call.Key, call.Ret)
 	}
-	return nil
+	return tf.finish(c.w)
 }
 
 func (c *env) stats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dbPath := fs.String("db", "tracy.db", "database file")
+	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tf.activate(c.w, "stats"); err != nil {
 		return err
 	}
 	f, err := os.Open(*dbPath)
@@ -359,6 +417,7 @@ func (c *env) stats(args []string) error {
 	if err != nil {
 		return err
 	}
+	db.Tel = tf.tel
 	blocks, insts := 0, 0
 	for _, e := range db.Entries {
 		blocks += e.Func.NumBlocks()
@@ -373,14 +432,21 @@ func (c *env) stats(args []string) error {
 		}
 		fmt.Fprintf(c.w, "%d-tracelets: %d\n", k, total)
 	}
-	return nil
+	return tf.finish(c.w)
 }
 
 func (c *env) experiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	scale := fs.String("scale", "medium", "corpus scale: small, medium, large")
+	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return experiments.Run(c.w, *scale, fs.Args())
+	if err := tf.activate(c.w, "experiments"); err != nil {
+		return err
+	}
+	if err := experiments.RunT(c.w, *scale, fs.Args(), tf.tel); err != nil {
+		return err
+	}
+	return tf.finish(c.w)
 }

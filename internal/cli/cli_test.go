@@ -2,11 +2,14 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/telemetry"
 	"repro/internal/tinyc"
 )
 
@@ -213,6 +216,217 @@ func TestEmulate(t *testing.T) {
 	}
 	if _, err := run(t, "emulate"); err == nil {
 		t.Error("missing exe should error")
+	}
+}
+
+// searchStatsSetup indexes two executables and returns (db path, query path).
+func searchStatsSetup(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db := filepath.Join(dir, "code.db")
+	a1 := buildExe(t, dir, "a1.bin", srcA+srcB, 11)
+	a2 := buildExe(t, dir, "a2.bin", srcA, 23)
+	q := buildExe(t, dir, "q.bin", srcA, 99)
+	if _, err := run(t, "index", "-db", db, a1, a2); err != nil {
+		t.Fatal(err)
+	}
+	return db, q
+}
+
+// TestSearchStatsJSON is the acceptance check of the telemetry tentpole:
+// `tracy search -stats-json -` must emit a machine-readable report with
+// per-stage latency histograms, alignment-cache hit/miss counts, rewrite
+// attempted/skipped/succeeded counts, and end-to-end query latency.
+func TestSearchStatsJSON(t *testing.T) {
+	db, q := searchStatsSetup(t)
+	out, err := run(t, "search", "-db", db, "-exe", q, "-stats-json", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JSON report follows the human-readable hit list; find it.
+	idx := strings.Index(out, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(out[idx:]), &snap); err != nil {
+		t.Fatalf("stats-json not valid JSON: %v\n%s", err, out[idx:])
+	}
+	if snap.Counters["queries"] != 1 {
+		t.Errorf("queries = %d, want 1", snap.Counters["queries"])
+	}
+	if snap.Counters["compares"] == 0 || snap.Counters["pairs_compared"] == 0 {
+		t.Errorf("no compare work recorded: %v", snap.Counters)
+	}
+	if snap.Counters["block_cache_hits"]+snap.Counters["block_cache_misses"] == 0 {
+		t.Errorf("no block-cache traffic recorded: %v", snap.Counters)
+	}
+	if _, ok := snap.Counters["rewrites_attempted"]; !ok {
+		t.Error("rewrites_attempted missing from counters")
+	}
+	if _, ok := snap.Counters["rewrites_skipped"]; !ok {
+		t.Error("rewrites_skipped missing from counters")
+	}
+	if _, ok := snap.Counters["rewrites_succeeded"]; !ok {
+		t.Error("rewrites_succeeded missing from counters")
+	}
+	for _, h := range []string{"query_latency", "compare_latency", "pair_latency", "decompose_latency"} {
+		if snap.Histograms[h].Count == 0 {
+			t.Errorf("histogram %s empty", h)
+		}
+	}
+	if snap.Histograms["query_latency"].Count != 1 {
+		t.Errorf("query_latency count = %d, want 1", snap.Histograms["query_latency"].Count)
+	}
+}
+
+func TestSearchStatsSummaryAndFile(t *testing.T) {
+	db, q := searchStatsSetup(t)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "stats.json")
+	out, err := run(t, "search", "-db", db, "-exe", q, "-stats", "-stats-json", jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"-- telemetry --", "block cache:", "query_latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("stats file invalid: %v", err)
+	}
+	if snap.Counters["queries"] != 1 {
+		t.Errorf("file snapshot queries = %d", snap.Counters["queries"])
+	}
+}
+
+func TestSearchTraceJSON(t *testing.T) {
+	db, q := searchStatsSetup(t)
+	out, err := run(t, "search", "-db", db, "-exe", q, "-trace-json", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(out, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var span struct {
+		Name     string `json:"name"`
+		DurNS    int64  `json:"dur_ns"`
+		Children []struct {
+			Name     string           `json:"name"`
+			Attrs    map[string]int64 `json:"attrs"`
+			Children []struct {
+				Name  string           `json:"name"`
+				Attrs map[string]int64 `json:"attrs"`
+			} `json:"children"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(out[idx:]), &span); err != nil {
+		t.Fatalf("trace-json invalid: %v\n%s", err, out[idx:])
+	}
+	if span.Name != "search" || span.DurNS <= 0 {
+		t.Errorf("root span wrong: %+v", span)
+	}
+	names := map[string]bool{}
+	var compares int
+	for _, c := range span.Children {
+		names[c.Name] = true
+		if c.Name == "scan" {
+			for _, cc := range c.Children {
+				if strings.HasPrefix(cc.Name, "compare:") {
+					compares++
+					if _, ok := cc.Attrs["verdict_match"]; !ok {
+						t.Errorf("compare span missing verdict: %+v", cc)
+					}
+				}
+			}
+		}
+	}
+	for _, want := range []string{"decompose", "scan", "rank"} {
+		if !names[want] {
+			t.Errorf("trace missing %q child (have %v)", want, names)
+		}
+	}
+	if compares == 0 {
+		t.Error("no compare spans under scan")
+	}
+}
+
+// TestCompareExplainTelemetryLine checks the satellite: explain output
+// ends with an accountability line reporting cache hit rate and rewrite
+// skip counts for the explained pair.
+func TestCompareExplainTelemetryLine(t *testing.T) {
+	dir := t.TempDir()
+	a := buildExe(t, dir, "a.bin", srcA, 5)
+	b := buildExe(t, dir, "b.bin", srcA, 8)
+	out, err := run(t, "compare", "-explain", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "telemetry: block cache") {
+		t.Errorf("explain missing telemetry line:\n%s", out)
+	}
+	if !strings.Contains(out, "hit rate") || !strings.Contains(out, "skipped") {
+		t.Errorf("telemetry line incomplete:\n%s", out)
+	}
+}
+
+func TestComparePprofEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	a := buildExe(t, dir, "a.bin", srcA, 5)
+	b := buildExe(t, dir, "b.bin", srcA, 8)
+	out, err := run(t, "compare", "-pprof", "127.0.0.1:0", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bound address is announced on the first line; the server stays
+	// up for the process lifetime, so we can still query it here.
+	var addr string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "serving /statsz") {
+			addr = line[strings.Index(line, "http://"):]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no pprof announcement in:\n%s", out)
+	}
+	resp, err := http.Get(addr + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["compares"] == 0 {
+		t.Errorf("statsz shows no compares: %v", snap.Counters)
+	}
+}
+
+func TestStatsWithTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "code.db")
+	a := buildExe(t, dir, "a.bin", srcA+srcB, 3)
+	if _, err := run(t, "index", "-db", db, a); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "stats", "-db", db, "-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stats command decomposes the corpus for k=1..4; that work must
+	// show up in the telemetry summary.
+	if !strings.Contains(out, "decomposed:") || !strings.Contains(out, "decompose_latency") {
+		t.Errorf("stats telemetry missing decompose data:\n%s", out)
 	}
 }
 

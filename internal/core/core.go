@@ -12,6 +12,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/prep"
 	"repro/internal/rewrite"
+	"repro/internal/telemetry"
 	"repro/internal/tracelet"
 )
 
@@ -43,8 +45,21 @@ type Options struct {
 	// search-engine optimizations the paper's prototype deferred
 	// (Section 6.3). It never changes scores, only work.
 	DedupeQuery bool
-	// Workers bounds parallelism in CompareMany; 0 means GOMAXPROCS.
+	// Workers bounds parallelism in CompareMany. 0 means
+	// runtime.GOMAXPROCS(0); negative values are clamped to 1 (serial).
 	Workers int
+
+	// Tel, when non-nil, receives matcher telemetry: stage counters
+	// (block-cache hits/misses, rewrites attempted/skipped/succeeded,
+	// dedupe savings) and latency histograms (per compare, per tracelet
+	// pair, per rewrite attempt). A nil collector disables instrumentation
+	// at negligible cost.
+	Tel *telemetry.Collector
+	// Trace, when non-nil, receives one child span per Compare call
+	// carrying the match-decision trail (per-tracelet attributes). It is
+	// a per-query object: set it on the Options of one search, not on a
+	// long-lived default. Safe under CompareMany parallelism.
+	Trace *telemetry.Span
 }
 
 // DefaultOptions returns the configuration the paper found best: k=3,
@@ -111,6 +126,17 @@ func Decompose(fn *prep.Function, k int) *Decomposed {
 	return d
 }
 
+// DecomposeT is Decompose with telemetry: the decomposition is timed into
+// tel's decompose-latency histogram and counted. A nil collector makes it
+// identical to Decompose.
+func DecomposeT(fn *prep.Function, k int, tel *telemetry.Collector) *Decomposed {
+	t := tel.StartTimer(telemetry.DecomposeLatency)
+	d := Decompose(fn, k)
+	t.Stop()
+	tel.Inc(telemetry.FunctionsDecomposed)
+	return d
+}
+
 func hashInsts(insts []asm.Inst) uint64 {
 	const offset64, prime64 = 14695981039346656037, 1099511628211
 	h := uint64(offset64)
@@ -154,58 +180,143 @@ func NewMatcher(opts Options) *Matcher {
 
 type blockKey struct{ r, t uint64 }
 
+// cmpStats tallies one Compare locally (no atomics in the inner loops);
+// finishCompare flushes it to the collector in a handful of atomic adds.
+type cmpStats struct {
+	cacheHits   uint64
+	cacheMisses uint64
+	rwAttempted uint64
+	rwSkipped   uint64
+	rwSucceeded uint64
+	dedupeSaved uint64
+}
+
+// cmpCtx carries the per-Compare block-alignment cache, telemetry sink
+// and (optional) trace span through the tracelet loops.
+type cmpCtx struct {
+	cache   map[blockKey]*align.Alignment
+	tel     *telemetry.Collector
+	span    *telemetry.Span
+	stats   cmpStats
+	pairSeq uint64 // pairs seen; drives 1-in-8 pair-latency sampling
+}
+
+// pairTimer returns a running PairLatency timer for one pair in eight
+// (the zero Timer otherwise). Timing every pair costs two clock reads on
+// a path that is often just a cache lookup, which benchmarks showed at
+// ~7% Compare overhead; uniform sampling keeps the histogram
+// representative at ~1/8 of that cost.
+func (ctx *cmpCtx) pairTimer() telemetry.Timer {
+	if ctx.tel == nil {
+		return telemetry.Timer{}
+	}
+	seq := ctx.pairSeq
+	ctx.pairSeq++
+	if seq&7 != 0 {
+		return telemetry.Timer{}
+	}
+	return ctx.tel.StartTimer(telemetry.PairLatency)
+}
+
 // Compare computes the similarity of target tgt against reference ref
 // (paper Algorithm 1: FunctionsMatchScore).
 func (m *Matcher) Compare(ref, tgt *Decomposed) Result {
+	ct := m.Opts.Tel.StartTimer(telemetry.CompareLatency)
 	res := Result{Name: tgt.Name, RefTracelets: len(ref.Tracelets)}
-	if len(ref.Tracelets) == 0 {
-		return res
+	ctx := &cmpCtx{tel: m.Opts.Tel}
+	if m.Opts.Trace != nil {
+		ctx.span = m.Opts.Trace.Child("compare:" + tgt.Name)
 	}
-	cache := make(map[blockKey]*align.Alignment)
-	if m.Opts.DedupeQuery {
-		// Identical reference tracelets match identically: evaluate one
-		// representative per content group and multiply.
-		groups := make(map[uint64][]int, len(ref.Tracelets))
-		order := make([]uint64, 0, len(ref.Tracelets))
-		for ri, r := range ref.Tracelets {
-			h := r.Hash()
-			if _, seen := groups[h]; !seen {
-				order = append(order, h)
+	if len(ref.Tracelets) > 0 {
+		ctx.cache = make(map[blockKey]*align.Alignment)
+		if m.Opts.DedupeQuery {
+			// Identical reference tracelets match identically: evaluate one
+			// representative per content group and multiply.
+			groups := make(map[uint64][]int, len(ref.Tracelets))
+			order := make([]uint64, 0, len(ref.Tracelets))
+			for ri, r := range ref.Tracelets {
+				h := r.Hash()
+				if _, seen := groups[h]; !seen {
+					order = append(order, h)
+				}
+				groups[h] = append(groups[h], ri)
 			}
-			groups[h] = append(groups[h], ri)
-		}
-		for _, h := range order {
-			idx := groups[h]
-			ri := idx[0]
-			matched, viaRewrite := m.traceletMatch(ref, tgt, ri, ref.Tracelets[ri], cache, &res)
-			switch {
-			case matched && viaRewrite:
-				res.MatchedRewrite += len(idx)
-			case matched:
-				res.MatchedDirect += len(idx)
+			for _, h := range order {
+				idx := groups[h]
+				ri := idx[0]
+				ctx.stats.dedupeSaved += uint64(len(idx) - 1)
+				matched, viaRewrite := m.traceletMatch(ref, tgt, ri, ref.Tracelets[ri], ctx, &res)
+				switch {
+				case matched && viaRewrite:
+					res.MatchedRewrite += len(idx)
+				case matched:
+					res.MatchedDirect += len(idx)
+				}
+			}
+		} else {
+			for ri, r := range ref.Tracelets {
+				matched, viaRewrite := m.traceletMatch(ref, tgt, ri, r, ctx, &res)
+				switch {
+				case matched && viaRewrite:
+					res.MatchedRewrite++
+				case matched:
+					res.MatchedDirect++
+				}
 			}
 		}
-	} else {
-		for ri, r := range ref.Tracelets {
-			matched, viaRewrite := m.traceletMatch(ref, tgt, ri, r, cache, &res)
-			switch {
-			case matched && viaRewrite:
-				res.MatchedRewrite++
-			case matched:
-				res.MatchedDirect++
-			}
-		}
+		res.SimilarityScore = float64(res.Matched()) / float64(len(ref.Tracelets))
+		res.IsMatch = res.SimilarityScore > m.Opts.Alpha
 	}
-	res.SimilarityScore = float64(res.Matched()) / float64(len(ref.Tracelets))
-	res.IsMatch = res.SimilarityScore > m.Opts.Alpha
+	m.finishCompare(&res, ctx, ct)
 	return res
+}
+
+// finishCompare flushes the local tally into the collector and closes the
+// compare span with the decision summary.
+func (m *Matcher) finishCompare(res *Result, ctx *cmpCtx, ct telemetry.Timer) {
+	ct.Stop()
+	tel, st := ctx.tel, &ctx.stats
+	tel.Inc(telemetry.Compares)
+	tel.Add(telemetry.PairsCompared, uint64(res.PairsCompared))
+	tel.Add(telemetry.BlockCacheHits, st.cacheHits)
+	tel.Add(telemetry.BlockCacheMisses, st.cacheMisses)
+	tel.Add(telemetry.RewritesAttempted, st.rwAttempted)
+	tel.Add(telemetry.RewritesSkipped, st.rwSkipped)
+	tel.Add(telemetry.RewritesSucceeded, st.rwSucceeded)
+	tel.Add(telemetry.DedupeSavedTracelets, st.dedupeSaved)
+	if res.IsMatch {
+		tel.Inc(telemetry.Matches)
+	}
+	if sp := ctx.span; sp != nil {
+		sp.Set("ref_tracelets", int64(res.RefTracelets))
+		sp.Set("pairs_compared", int64(res.PairsCompared))
+		sp.Set("block_cache_hits", int64(st.cacheHits))
+		sp.Set("block_cache_misses", int64(st.cacheMisses))
+		sp.Set("rewrites_attempted", int64(st.rwAttempted))
+		sp.Set("rewrites_skipped", int64(st.rwSkipped))
+		sp.Set("rewrites_succeeded", int64(st.rwSucceeded))
+		sp.Set("matched_direct", int64(res.MatchedDirect))
+		sp.Set("matched_rewrite", int64(res.MatchedRewrite))
+		sp.Set("similarity_bp", int64(res.SimilarityScore*10000))
+		if res.IsMatch {
+			sp.Set("verdict_match", 1)
+		} else {
+			sp.Set("verdict_match", 0)
+		}
+		sp.End()
+	}
 }
 
 // traceletMatch looks for any target tracelet matching reference tracelet
 // ri. It returns (matched, matched-only-after-rewrite).
 func (m *Matcher) traceletMatch(ref, tgt *Decomposed, ri int, r *tracelet.Tracelet,
-	cache map[blockKey]*align.Alignment, res *Result) (bool, bool) {
+	ctx *cmpCtx, res *Result) (bool, bool) {
 
+	var tsp *telemetry.Span
+	if ctx.span != nil {
+		tsp = ctx.span.Child(fmt.Sprintf("tracelet:%d", ri))
+		defer tsp.End()
+	}
 	rIdent := ref.ident[ri]
 	type rewriteCand struct {
 		ti   int
@@ -213,19 +324,38 @@ func (m *Matcher) traceletMatch(ref, tgt *Decomposed, ri int, r *tracelet.Tracel
 		norm float64
 	}
 	var cands []rewriteCand
+	bestPre := 0.0
 	for ti, t := range tgt.Tracelets {
 		if t.K() != r.K() {
 			continue
 		}
 		res.PairsCompared++
-		al := m.alignCached(ref, tgt, ri, ti, cache)
+		pt := ctx.pairTimer()
+		al := m.alignCached(ref, tgt, ri, ti, ctx)
 		norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
+		pt.Stop()
+		if norm > bestPre {
+			bestPre = norm
+		}
 		if norm > m.Opts.Beta {
+			if tsp != nil {
+				tsp.Set("matched_ti", int64(ti))
+				tsp.Set("score_bp", int64(norm*10000))
+				tsp.Set("via_rewrite", 0)
+			}
 			return true, false
 		}
-		if m.Opts.UseRewrite && norm >= m.Opts.RewriteSkipBelow {
-			cands = append(cands, rewriteCand{ti: ti, al: al, norm: norm})
+		if m.Opts.UseRewrite {
+			if norm >= m.Opts.RewriteSkipBelow {
+				cands = append(cands, rewriteCand{ti: ti, al: al, norm: norm})
+			} else {
+				ctx.stats.rwSkipped++
+			}
 		}
+	}
+	if tsp != nil {
+		tsp.Set("best_pre_score_bp", int64(bestPre*10000))
+		tsp.Set("rewrite_candidates", int64(len(cands)))
 	}
 	// No syntactic match: attempt rewrites on the plausible candidates,
 	// best pre-score first.
@@ -242,32 +372,45 @@ func (m *Matcher) traceletMatch(ref, tgt *Decomposed, ri int, r *tracelet.Tracel
 
 		t := tgt.Tracelets[c.ti]
 		res.PairsRewritten++
-		rw := rewrite.Rewrite(r.Blocks, t.Blocks, c.al)
+		ctx.stats.rwAttempted++
+		rt := ctx.tel.StartTimer(telemetry.RewriteLatency)
+		rw := rewrite.RewriteT(r.Blocks, t.Blocks, c.al, ctx.tel)
 		score := align.ScoreBlocks(r.Blocks, rw.Blocks)
 		tIdent := align.IdentityScore(flatten(rw.Blocks))
 		norm := align.Norm(score, rIdent, tIdent, m.Opts.Norm)
+		rt.Stop()
 		if norm > m.Opts.Beta {
+			ctx.stats.rwSucceeded++
+			if tsp != nil {
+				tsp.Set("matched_ti", int64(c.ti))
+				tsp.Set("score_bp", int64(norm*10000))
+				tsp.Set("via_rewrite", 1)
+			}
 			return true, true
 		}
+	}
+	if tsp != nil {
+		tsp.Set("via_rewrite", -1) // unmatched
 	}
 	return false, false
 }
 
 // alignCached computes the blockwise alignment of tracelet pair (ri, ti),
 // assembling it from cached per-block alignments.
-func (m *Matcher) alignCached(ref, tgt *Decomposed, ri, ti int,
-	cache map[blockKey]*align.Alignment) align.Alignment {
-
+func (m *Matcher) alignCached(ref, tgt *Decomposed, ri, ti int, ctx *cmpCtx) align.Alignment {
 	r, t := ref.Tracelets[ri], tgt.Tracelets[ti]
 	var out align.Alignment
 	refOff, tgtOff := 0, 0
 	for bi := range r.Blocks {
 		key := blockKey{ref.blockHash[ri][bi], tgt.blockHash[ti][bi]}
-		ba, ok := cache[key]
+		ba, ok := ctx.cache[key]
 		if !ok {
+			ctx.stats.cacheMisses++
 			a := align.Align(r.Blocks[bi], t.Blocks[bi])
 			ba = &a
-			cache[key] = ba
+			ctx.cache[key] = ba
+		} else {
+			ctx.stats.cacheHits++
 		}
 		out.Score += ba.Score
 		for _, p := range ba.Pairs {
@@ -294,11 +437,15 @@ func flatten(blocks [][]asm.Inst) []asm.Inst {
 }
 
 // CompareMany compares the reference against every target in parallel and
-// returns results in target order.
+// returns results in target order. Opts.Workers bounds the parallelism:
+// 0 means runtime.GOMAXPROCS(0), negative values are clamped to 1.
 func (m *Matcher) CompareMany(ref *Decomposed, targets []*Decomposed) []Result {
 	workers := m.Opts.Workers
-	if workers <= 0 {
+	switch {
+	case workers == 0:
 		workers = runtime.GOMAXPROCS(0)
+	case workers < 0:
+		workers = 1
 	}
 	out := make([]Result, len(targets))
 	var wg sync.WaitGroup

@@ -7,6 +7,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/prep"
+	"repro/internal/telemetry"
 )
 
 // liftListing builds a prep.Function directly from a listing (no binary
@@ -347,6 +348,167 @@ func TestWorkersOption(t *testing.T) {
 		if r1[i].SimilarityScore != r8[i].SimilarityScore {
 			t.Errorf("worker count changed results at %d", i)
 		}
+	}
+}
+
+// TestWorkersNegativeClamped: Workers < 0 must clamp to serial execution
+// (regression for the old behavior where any non-positive value meant
+// GOMAXPROCS) and produce the same results.
+func TestWorkersNegativeClamped(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = -1
+	m := NewMatcher(opts)
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	targets := []*Decomposed{
+		Decompose(liftListing(t, "a2", srcARenamed), 3),
+		Decompose(liftListing(t, "b", srcB), 3),
+		Decompose(liftListing(t, "a3", srcA), 3),
+	}
+	got := m.CompareMany(ref, targets)
+	if len(got) != len(targets) {
+		t.Fatalf("got %d results, want %d", len(got), len(targets))
+	}
+	for i, tgt := range targets {
+		want := m.Compare(ref, tgt)
+		if got[i].SimilarityScore != want.SimilarityScore {
+			t.Errorf("Workers=-1 changed result %d: %v vs %v",
+				i, got[i].SimilarityScore, want.SimilarityScore)
+		}
+	}
+}
+
+// TestTelemetryCountersConsistent: the collector's aggregates must agree
+// with the per-Result accounting, and telemetry must not perturb scores.
+func TestTelemetryCountersConsistent(t *testing.T) {
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+
+	plain := NewMatcher(DefaultOptions()).Compare(ref, tgt)
+
+	opts := DefaultOptions()
+	opts.Tel = telemetry.New()
+	m := NewMatcher(opts)
+	res := m.Compare(ref, tgt)
+
+	if res.SimilarityScore != plain.SimilarityScore || res.Matched() != plain.Matched() {
+		t.Errorf("telemetry changed the verdict: %+v vs %+v", res, plain)
+	}
+	tel := opts.Tel
+	if got := tel.Get(telemetry.Compares); got != 1 {
+		t.Errorf("compares = %d, want 1", got)
+	}
+	if got := tel.Get(telemetry.PairsCompared); got != uint64(res.PairsCompared) {
+		t.Errorf("pairs_compared = %d, Result says %d", got, res.PairsCompared)
+	}
+	if got := tel.Get(telemetry.RewritesAttempted); got != uint64(res.PairsRewritten) {
+		t.Errorf("rewrites_attempted = %d, Result says %d", got, res.PairsRewritten)
+	}
+	if got := tel.Get(telemetry.RewritesSucceeded); got != uint64(res.MatchedRewrite) {
+		t.Errorf("rewrites_succeeded = %d, Result says %d", got, res.MatchedRewrite)
+	}
+	if res.IsMatch && tel.Get(telemetry.Matches) != 1 {
+		t.Error("match not counted")
+	}
+	// Every pair assembles K block alignments, each a cache hit or miss.
+	lookups := tel.Get(telemetry.BlockCacheHits) + tel.Get(telemetry.BlockCacheMisses)
+	if lookups == 0 || lookups%uint64(res.PairsCompared) != 0 {
+		t.Errorf("cache lookups %d not a multiple of pairs %d", lookups, res.PairsCompared)
+	}
+	// The rewrite path drives the CSP, which must have reported its solves.
+	if res.PairsRewritten > 0 && tel.Get(telemetry.CSPSolves) == 0 {
+		t.Error("rewrites ran but no CSP solves recorded")
+	}
+	snap := tel.Snapshot()
+	for _, h := range []telemetry.Hist{telemetry.CompareLatency, telemetry.PairLatency} {
+		if snap.Histograms[h.String()].Count == 0 {
+			t.Errorf("histogram %s empty after instrumented compare", h)
+		}
+	}
+}
+
+// TestTraceSpanDecisionTrail: a traced compare must leave one compare
+// child with per-tracelet children carrying the decision attributes.
+func TestTraceSpanDecisionTrail(t *testing.T) {
+	root := telemetry.StartSpan("test")
+	opts := DefaultOptions()
+	opts.Trace = root
+	m := NewMatcher(opts)
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+	res := m.Compare(ref, tgt)
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 1 || kids[0].Name() != "compare:a2" {
+		t.Fatalf("trace children wrong: %d", len(kids))
+	}
+	cmp := kids[0]
+	if cmp.Attr("pairs_compared") != int64(res.PairsCompared) {
+		t.Errorf("span pairs_compared = %d, want %d",
+			cmp.Attr("pairs_compared"), res.PairsCompared)
+	}
+	if got := cmp.Attr("verdict_match"); (got == 1) != res.IsMatch {
+		t.Errorf("span verdict %d vs result %v", got, res.IsMatch)
+	}
+	tracelets := cmp.Children()
+	if len(tracelets) != len(ref.Tracelets) {
+		t.Errorf("tracelet spans = %d, want %d", len(tracelets), len(ref.Tracelets))
+	}
+	viaRewrite := 0
+	for _, ts := range tracelets {
+		if ts.Attr("via_rewrite") == 1 {
+			viaRewrite++
+		}
+	}
+	if viaRewrite != res.MatchedRewrite {
+		t.Errorf("span rewrite matches %d, result %d", viaRewrite, res.MatchedRewrite)
+	}
+}
+
+// TestDecomposeT: the telemetry variant must match Decompose and record
+// its work.
+func TestDecomposeT(t *testing.T) {
+	tel := telemetry.New()
+	fn := liftListing(t, "a", srcA)
+	d := DecomposeT(fn, 3, tel)
+	plain := Decompose(fn, 3)
+	if len(d.Tracelets) != len(plain.Tracelets) {
+		t.Errorf("DecomposeT diverges: %d vs %d tracelets",
+			len(d.Tracelets), len(plain.Tracelets))
+	}
+	if tel.Get(telemetry.FunctionsDecomposed) != 1 {
+		t.Error("function not counted")
+	}
+	if tel.Snapshot().Histograms["decompose_latency"].Count != 1 {
+		t.Error("decompose latency not recorded")
+	}
+	// Nil collector must be identical to Decompose.
+	if d2 := DecomposeT(fn, 3, nil); len(d2.Tracelets) != len(plain.Tracelets) {
+		t.Error("DecomposeT(nil) diverges")
+	}
+}
+
+// TestExplainTelemetry: Explain must report cache and rewrite counters to
+// the collector (the satellite behind `tracy compare -explain`).
+func TestExplainTelemetry(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Tel = telemetry.New()
+	m := NewMatcher(opts)
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+	ex := m.Explain(ref, tgt)
+	tel := opts.Tel
+	if tel.Get(telemetry.BlockCacheHits)+tel.Get(telemetry.BlockCacheMisses) == 0 {
+		t.Error("Explain recorded no cache traffic")
+	}
+	viaRewrite := uint64(0)
+	for _, tm := range ex {
+		if tm.ViaRewrite {
+			viaRewrite++
+		}
+	}
+	if got := tel.Get(telemetry.RewritesSucceeded); got != viaRewrite {
+		t.Errorf("rewrites_succeeded = %d, explain found %d", got, viaRewrite)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/align"
 	"repro/internal/rewrite"
+	"repro/internal/telemetry"
 )
 
 // TraceletMatch explains one matched reference tracelet: which target
@@ -25,9 +26,13 @@ type TraceletMatch struct {
 
 // Explain runs the comparison like Compare but records, for every matched
 // reference tracelet, the accepted target tracelet and alignment detail.
+// Like Compare it reports to Opts.Tel (cache hit/miss counts, rewrite
+// attempted/skipped/succeeded) so callers can print a telemetry line next
+// to the evidence; note the two-pass structure revisits pairs, so cache
+// hit rates run higher than Compare's on the same input.
 func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 	var out []TraceletMatch
-	cache := make(map[blockKey]*align.Alignment)
+	ctx := &cmpCtx{cache: make(map[blockKey]*align.Alignment), tel: m.Opts.Tel}
 	for ri, r := range ref.Tracelets {
 		rIdent := ref.ident[ri]
 		found := false
@@ -36,7 +41,7 @@ func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 			if t.K() != r.K() {
 				continue
 			}
-			al := m.alignCached(ref, tgt, ri, ti, cache)
+			al := m.alignCached(ref, tgt, ri, ti, ctx)
 			norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
 			if norm > m.Opts.Beta {
 				out = append(out, TraceletMatch{
@@ -63,10 +68,12 @@ func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 			if t.K() != r.K() {
 				continue
 			}
-			al := m.alignCached(ref, tgt, ri, ti, cache)
+			al := m.alignCached(ref, tgt, ri, ti, ctx)
 			norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
 			if norm >= m.Opts.RewriteSkipBelow {
 				cands = append(cands, cand{ti, al, norm})
+			} else {
+				ctx.stats.rwSkipped++
 			}
 		}
 		for len(cands) > 0 {
@@ -80,11 +87,15 @@ func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 			cands[best] = cands[len(cands)-1]
 			cands = cands[:len(cands)-1]
 			t := tgt.Tracelets[c.ti]
-			rw := rewrite.Rewrite(r.Blocks, t.Blocks, c.al)
+			ctx.stats.rwAttempted++
+			rt := ctx.tel.StartTimer(telemetry.RewriteLatency)
+			rw := rewrite.RewriteT(r.Blocks, t.Blocks, c.al, ctx.tel)
 			score := align.ScoreBlocks(r.Blocks, rw.Blocks)
 			tIdent := align.IdentityScore(flatten(rw.Blocks))
 			norm := align.Norm(score, rIdent, tIdent, m.Opts.Norm)
+			rt.Stop()
 			if norm > m.Opts.Beta {
+				ctx.stats.rwSucceeded++
 				post := align.AlignBlocks(r.Blocks, rw.Blocks)
 				out = append(out, TraceletMatch{
 					RefIndex: ri, TgtIndex: c.ti,
@@ -96,6 +107,12 @@ func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 			}
 		}
 	}
+	tel := ctx.tel
+	tel.Add(telemetry.BlockCacheHits, ctx.stats.cacheHits)
+	tel.Add(telemetry.BlockCacheMisses, ctx.stats.cacheMisses)
+	tel.Add(telemetry.RewritesAttempted, ctx.stats.rwAttempted)
+	tel.Add(telemetry.RewritesSkipped, ctx.stats.rwSkipped)
+	tel.Add(telemetry.RewritesSucceeded, ctx.stats.rwSucceeded)
 	return out
 }
 
@@ -106,16 +123,19 @@ func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 // tracelet threshold β in one pass: a reference tracelet matches under β
 // iff max(pre, post) > β.
 func (m *Matcher) BestScores(ref, tgt *Decomposed) (pre, post []float64) {
+	ct := m.Opts.Tel.StartTimer(telemetry.CompareLatency)
 	pre = make([]float64, len(ref.Tracelets))
 	post = make([]float64, len(ref.Tracelets))
-	cache := make(map[blockKey]*align.Alignment)
+	ctx := &cmpCtx{cache: make(map[blockKey]*align.Alignment), tel: m.Opts.Tel}
+	pairs := uint64(0)
 	for ri, r := range ref.Tracelets {
 		rIdent := ref.ident[ri]
 		for ti, t := range tgt.Tracelets {
 			if t.K() != r.K() {
 				continue
 			}
-			al := m.alignCached(ref, tgt, ri, ti, cache)
+			pairs++
+			al := m.alignCached(ref, tgt, ri, ti, ctx)
 			norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
 			if norm > pre[ri] {
 				pre[ri] = norm
@@ -124,18 +144,36 @@ func (m *Matcher) BestScores(ref, tgt *Decomposed) (pre, post []float64) {
 				continue // already perfect; rewriting cannot help
 			}
 			if m.Opts.UseRewrite && norm >= m.Opts.RewriteSkipBelow {
-				rw := rewrite.Rewrite(r.Blocks, t.Blocks, al)
+				ctx.stats.rwAttempted++
+				rt := ctx.tel.StartTimer(telemetry.RewriteLatency)
+				rw := rewrite.RewriteT(r.Blocks, t.Blocks, al, ctx.tel)
 				score := align.ScoreBlocks(r.Blocks, rw.Blocks)
 				tIdent := align.IdentityScore(flatten(rw.Blocks))
 				pnorm := align.Norm(score, rIdent, tIdent, m.Opts.Norm)
+				rt.Stop()
+				if pnorm > norm {
+					ctx.stats.rwSucceeded++ // rewriting improved the pair
+				}
 				if pnorm > post[ri] {
 					post[ri] = pnorm
 				}
+			} else if m.Opts.UseRewrite {
+				ctx.stats.rwSkipped++
 			}
 		}
 		if pre[ri] > post[ri] {
 			post[ri] = pre[ri]
 		}
 	}
+	if tel := m.Opts.Tel; tel != nil {
+		tel.Inc(telemetry.Compares)
+		tel.Add(telemetry.PairsCompared, pairs)
+		tel.Add(telemetry.BlockCacheHits, ctx.stats.cacheHits)
+		tel.Add(telemetry.BlockCacheMisses, ctx.stats.cacheMisses)
+		tel.Add(telemetry.RewritesAttempted, ctx.stats.rwAttempted)
+		tel.Add(telemetry.RewritesSkipped, ctx.stats.rwSkipped)
+		tel.Add(telemetry.RewritesSucceeded, ctx.stats.rwSucceeded)
+	}
+	ct.Stop()
 	return pre, post
 }

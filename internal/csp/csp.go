@@ -11,7 +11,11 @@
 // backtracking attempts.
 package csp
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/telemetry"
+)
 
 // DefaultMaxBacktracks is the paper's backtracking bound.
 const DefaultMaxBacktracks = 1000
@@ -21,6 +25,10 @@ type Problem struct {
 	vars   []*variable
 	varIdx map[string]int
 	nBind  int // total bind constraints (for conflict accounting)
+
+	// Tel, when non-nil, receives solver telemetry: solve latency, the
+	// backtracking steps consumed, and budget-exhaustion (timeout) events.
+	Tel *telemetry.Collector
 }
 
 type variable struct {
@@ -93,6 +101,8 @@ func (p *Problem) Solve(maxBacktracks int) (map[string]string, int) {
 	if maxBacktracks <= 0 {
 		maxBacktracks = DefaultMaxBacktracks
 	}
+	st := p.Tel.StartTimer(telemetry.SolveLatency)
+	p.Tel.Inc(telemetry.CSPSolves)
 	out := make(map[string]string, len(p.vars))
 	conflicts := 0
 	for _, comp := range p.components() {
@@ -103,7 +113,12 @@ func (p *Problem) Solve(maxBacktracks int) (map[string]string, int) {
 			}
 		}
 		conflicts += c.bestCost
+		p.Tel.Add(telemetry.CSPBacktracks, uint64(maxBacktracks-c.budget))
+		if c.budget <= 0 {
+			p.Tel.Inc(telemetry.CSPBudgetExhausted)
+		}
 	}
+	st.Stop()
 	return out, conflicts
 }
 

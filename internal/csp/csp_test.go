@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/telemetry"
 )
 
 func TestAllSatisfiable(t *testing.T) {
@@ -145,6 +147,59 @@ func TestBudgetStillReturnsAnswer(t *testing.T) {
 	}
 	if conflicts > 1 {
 		t.Errorf("greedy chain should reach <=1 conflicts, got %d", conflicts)
+	}
+}
+
+// TestSolveTelemetry: a solve with a collector attached must record the
+// invocation, its latency, and the backtracks consumed — and a starved
+// budget must surface as a budget-exhausted event. A nil collector must
+// not change results.
+func TestSolveTelemetry(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		dom := []string{"a", "b", "c"}
+		names := []string{"x", "y", "z", "w"}
+		for _, n := range names {
+			p.AddVar(n, dom)
+		}
+		for i := 1; i < len(names); i++ {
+			p.Eq(names[i-1], names[i])
+		}
+		p.Bind("x", "a")
+		p.Bind("w", "b") // unsatisfiable together with the chain: forces search
+		return p
+	}
+
+	p := build()
+	p.Tel = telemetry.New()
+	got, conflicts := p.Solve(0)
+	if p.Tel.Get(telemetry.CSPSolves) != 1 {
+		t.Errorf("csp_solves = %d, want 1", p.Tel.Get(telemetry.CSPSolves))
+	}
+	if p.Tel.Get(telemetry.CSPBacktracks) == 0 {
+		t.Error("no backtracks recorded for a conflicted problem")
+	}
+	if p.Tel.Get(telemetry.CSPBudgetExhausted) != 0 {
+		t.Error("default budget should not exhaust on 4 variables")
+	}
+	if p.Tel.Snapshot().Histograms["solve_latency"].Count != 1 {
+		t.Error("solve latency not recorded")
+	}
+
+	// Same problem, nil collector: identical outcome.
+	p2 := build()
+	got2, conflicts2 := p2.Solve(0)
+	if conflicts != conflicts2 || len(got) != len(got2) {
+		t.Errorf("telemetry changed the solve: %v/%d vs %v/%d",
+			got, conflicts, got2, conflicts2)
+	}
+
+	// Starved budget: exhaustion must be counted.
+	p3 := build()
+	p3.Tel = telemetry.New()
+	p3.Solve(1)
+	if p3.Tel.Get(telemetry.CSPBudgetExhausted) == 0 {
+		t.Error("budget of 1 should exhaust and be counted")
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/index"
 	"repro/internal/prep"
+	"repro/internal/telemetry"
 	"repro/internal/tinyc"
 )
 
@@ -198,11 +199,18 @@ func sampleLabel(q Query, e *index.Entry) bool {
 	return q.Truth != "" && e.Truth == q.Truth
 }
 
+// sharedTel, when set by RunT before any sweep starts, is attached to
+// every matcher the experiments build, so -stats/-pprof on the
+// experiments subcommand observe the sweeps live. Nil (the default)
+// keeps every telemetry hook a no-op.
+var sharedTel *telemetry.Collector
+
 // matcherOptions returns the default matcher configuration with the
 // given β (as a fraction) and k.
 func matcherOptions(k int, beta float64) core.Options {
 	opts := core.DefaultOptions()
 	opts.K = k
 	opts.Beta = beta
+	opts.Tel = sharedTel
 	return opts
 }

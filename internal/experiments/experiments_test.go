@@ -14,6 +14,16 @@ var (
 	envErr  error
 )
 
+// skipInShort gates the experiment sweeps: each one compiles a corpus and
+// runs full searches, which dominates the test-suite wall clock. CI's
+// race job runs with -short; the full suite still runs them.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment sweep; skipped in -short mode")
+	}
+}
+
 // sharedEnv builds the small environment once per test binary.
 func sharedEnv(t *testing.T) *Env {
 	t.Helper()
@@ -27,6 +37,7 @@ func sharedEnv(t *testing.T) *Env {
 }
 
 func TestTable1Shapes(t *testing.T) {
+	skipInShort(t)
 	env := sharedEnv(t)
 	rows := env.Table1()
 	if len(rows) != 5 {
@@ -61,6 +72,7 @@ func TestTable1Shapes(t *testing.T) {
 }
 
 func TestTable2BetaPlateau(t *testing.T) {
+	skipInShort(t)
 	env := sharedEnv(t)
 	rows := env.Table2()
 	if len(rows) != 10 {
@@ -90,6 +102,7 @@ func TestTable2BetaPlateau(t *testing.T) {
 }
 
 func TestKSweepShape(t *testing.T) {
+	skipInShort(t)
 	env := sharedEnv(t)
 	rows := env.KSweep()
 	byK := map[int]KSweepRow{}
@@ -113,6 +126,7 @@ func TestKSweepShape(t *testing.T) {
 }
 
 func TestTable3TraceletsWin(t *testing.T) {
+	skipInShort(t)
 	env := sharedEnv(t)
 	rows := env.Table3()
 	if len(rows) != 4 {
@@ -140,6 +154,7 @@ func TestTable3TraceletsWin(t *testing.T) {
 }
 
 func TestFig8RewriteContributes(t *testing.T) {
+	skipInShort(t)
 	env := sharedEnv(t)
 	rows := env.Fig8()
 	if len(rows) == 0 {
@@ -169,6 +184,7 @@ func TestFig8RewriteContributes(t *testing.T) {
 }
 
 func TestTable4RewriteCostsMore(t *testing.T) {
+	skipInShort(t)
 	rows, err := Table4(80, 60)
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +216,7 @@ func TestTable4RewriteCostsMore(t *testing.T) {
 }
 
 func TestOptLevelsShape(t *testing.T) {
+	skipInShort(t)
 	rows, err := OptLevels(optProbeSrc, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -229,6 +246,7 @@ func TestOptLevelsShape(t *testing.T) {
 }
 
 func TestAblationRewriteMatters(t *testing.T) {
+	skipInShort(t)
 	env := sharedEnv(t)
 	rows := env.Ablation()
 	byName := map[string]AblationRow{}
@@ -252,6 +270,7 @@ func TestAblationRewriteMatters(t *testing.T) {
 }
 
 func TestSmallFunctionsLimitation(t *testing.T) {
+	skipInShort(t)
 	rows, err := SmallFunctions()
 	if err != nil {
 		t.Fatal(err)
@@ -280,6 +299,7 @@ func TestSmallFunctionsLimitation(t *testing.T) {
 }
 
 func TestInlinedContainment(t *testing.T) {
+	skipInShort(t)
 	rows, err := Inlined()
 	if err != nil {
 		t.Fatal(err)

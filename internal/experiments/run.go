@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // optProbeSrc has small leaf helpers: O1/O2 inline them, O0/Os keep the
@@ -51,6 +51,14 @@ int checkv(int t, int a) {
 // at the given corpus scale, writing paper-style tables to w. Valid names:
 // table1, table2, ksweep, table3, fig8, table4, optlevels.
 func Run(w io.Writer, scale string, names []string) error {
+	return RunT(w, scale, names, nil)
+}
+
+// RunT is Run with a telemetry collector attached to every matcher the
+// sweeps build (nil for none). It must not be called concurrently with
+// itself or Run: the collector is handed to the sweeps via package state.
+func RunT(w io.Writer, scale string, names []string, tel *telemetry.Collector) error {
+	sharedTel = tel
 	var s Scale
 	switch scale {
 	case "small":
@@ -102,7 +110,7 @@ func Run(w io.Writer, scale string, names []string) error {
 			}
 			RenderTable4(w, rows)
 		case "optlevels":
-			rows, err := OptLevels(optProbeSrc, core.DefaultOptions())
+			rows, err := OptLevels(optProbeSrc, matcherOptions(3, 0.8))
 			if err != nil {
 				return err
 			}

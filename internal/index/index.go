@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/prep"
+	"repro/internal/telemetry"
 )
 
 // Entry is one indexed binary function.
@@ -27,6 +28,11 @@ type Entry struct {
 // DB is the searchable function database.
 type DB struct {
 	Entries []*Entry
+
+	// Tel, when non-nil, receives index telemetry (corpus decomposition
+	// latency) and is the default collector for Search when the query's
+	// opts.Tel is nil. It is not serialized by Save.
+	Tel *telemetry.Collector
 
 	decomposed map[int][]*core.Decomposed
 }
@@ -69,7 +75,7 @@ func (db *DB) Decomposed(k int) []*core.Decomposed {
 	}
 	d := make([]*core.Decomposed, len(db.Entries))
 	for i, e := range db.Entries {
-		d[i] = core.Decompose(e.Func, k)
+		d[i] = core.DecomposeT(e.Func, k, db.Tel)
 	}
 	db.decomposed[k] = d
 	return d
@@ -84,15 +90,38 @@ type Hit struct {
 // Search compares the query function against every entry, in parallel,
 // and returns all hits ordered by similarity score (descending), with
 // ties broken by executable and name for determinism.
+//
+// Telemetry: the query is counted and timed end-to-end into opts.Tel
+// (falling back to db.Tel when opts.Tel is nil), and when opts.Trace is
+// set the span gains "decompose", "scan" (one compare child per
+// candidate) and "rank" children tracing the whole decision.
 func (db *DB) Search(query *prep.Function, opts core.Options) []Hit {
+	if opts.Tel == nil {
+		opts.Tel = db.Tel
+	}
+	tel := opts.Tel
+	tel.Inc(telemetry.Queries)
+	qt := tel.StartTimer(telemetry.QueryLatency)
+	root := opts.Trace
+	k := opts.K
+	if k <= 0 {
+		k = 3 // mirror NewMatcher's default
+	}
+	dsp := root.Child("decompose")
+	ref := core.DecomposeT(query, k, tel)
+	targets := db.Decomposed(k)
+	dsp.Set("query_tracelets", int64(len(ref.Tracelets)))
+	dsp.Set("corpus_functions", int64(len(targets)))
+	dsp.End()
+	opts.Trace = root.Child("scan")
 	m := core.NewMatcher(opts)
-	ref := core.Decompose(query, m.Opts.K)
-	targets := db.Decomposed(m.Opts.K)
 	results := m.CompareMany(ref, targets)
+	opts.Trace.End()
 	hits := make([]Hit, len(results))
 	for i := range results {
 		hits[i] = Hit{Entry: db.Entries[i], Result: results[i]}
 	}
+	rsp := root.Child("rank")
 	sort.SliceStable(hits, func(i, j int) bool {
 		a, b := hits[i], hits[j]
 		if a.Result.SimilarityScore != b.Result.SimilarityScore {
@@ -103,6 +132,8 @@ func (db *DB) Search(query *prep.Function, opts core.Options) []Hit {
 		}
 		return a.Entry.Name < b.Entry.Name
 	})
+	rsp.End()
+	qt.Stop()
 	return hits
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/prep"
+	"repro/internal/telemetry"
 	"repro/internal/tinyc"
 )
 
@@ -100,6 +101,28 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if db2.Len() != db.Len() {
 		t.Fatalf("loaded %d entries, want %d", db2.Len(), db.Len())
 	}
+	// Every entry must survive field-for-field, including function bodies.
+	for i, e := range db.Entries {
+		e2 := db2.Entries[i]
+		if e2.Exe != e.Exe || e2.Name != e.Name || e2.Addr != e.Addr || e2.Truth != e.Truth {
+			t.Errorf("entry %d metadata changed: %+v vs %+v", i, e2, e)
+		}
+		if e2.Func == nil {
+			t.Fatalf("entry %d lost its function", i)
+		}
+		if e2.Func.NumBlocks() != e.Func.NumBlocks() {
+			t.Errorf("entry %d: %d blocks after load, want %d", i,
+				e2.Func.NumBlocks(), e.Func.NumBlocks())
+			continue
+		}
+		for bi, b := range e.Func.Graph.Blocks {
+			b2 := e2.Func.Graph.Blocks[bi]
+			if len(b2.Insts) != len(b.Insts) {
+				t.Errorf("entry %d block %d: %d insts, want %d", i, bi,
+					len(b2.Insts), len(b.Insts))
+			}
+		}
+	}
 	// The loaded DB must search identically.
 	query := queryFor(t, db2, corpus.LibFuncName)
 	hits := db2.Search(query, core.DefaultOptions())
@@ -111,6 +134,51 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Error("Load(garbage) should fail")
+	}
+}
+
+// TestLoadTruncated: a valid gob stream cut off mid-way must produce an
+// error, not a silently shortened database.
+func TestLoadTruncated(t *testing.T) {
+	db, _ := buildTestDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []int{2, 4, 10} {
+		cut := full[:len(full)/frac]
+		if _, err := Load(bytes.NewReader(cut)); err == nil {
+			t.Errorf("Load(first 1/%d of stream) should fail", frac)
+		}
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("Load(empty) should fail")
+	}
+}
+
+// TestSearchRecordsTelemetry: a collector hung on the DB is picked up by
+// Search when the options carry none.
+func TestSearchRecordsTelemetry(t *testing.T) {
+	db, _ := buildTestDB(t)
+	db.Tel = telemetry.New()
+	query := queryFor(t, db, corpus.LibFuncName)
+	hits := db.Search(query, core.DefaultOptions())
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if got := db.Tel.Get(telemetry.Queries); got != 1 {
+		t.Errorf("queries = %d, want 1", got)
+	}
+	if got := db.Tel.Get(telemetry.Compares); got != uint64(db.Len()) {
+		t.Errorf("compares = %d, want %d", got, db.Len())
+	}
+	snap := db.Tel.Snapshot()
+	if snap.Histograms["query_latency"].Count != 1 {
+		t.Error("query latency not recorded")
+	}
+	if snap.Histograms["compare_latency"].Count == 0 {
+		t.Error("compare latency not recorded")
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/asm"
 	"repro/internal/csp"
+	"repro/internal/telemetry"
 )
 
 // MaxBacktracks is the solver bound used by the paper.
@@ -88,11 +89,19 @@ func argValue(a asm.Arg) string {
 // assignment application, including the swap cache applied to unaligned
 // (inserted) target instructions.
 func Rewrite(refBlocks, tgtBlocks [][]asm.Inst, al align.Alignment) Result {
+	return RewriteT(refBlocks, tgtBlocks, al, nil)
+}
+
+// RewriteT is Rewrite with telemetry: the embedded constraint solve
+// reports its latency, backtracking steps and budget-exhaustion events to
+// tel. A nil collector makes it identical to Rewrite.
+func RewriteT(refBlocks, tgtBlocks [][]asm.Inst, al align.Alignment, tel *telemetry.Collector) Result {
 	refInsts := flatten(refBlocks)
 	tgtInsts := flatten(tgtBlocks)
 	dom := collectDomains(refInsts)
 
 	p := csp.NewProblem()
+	p.Tel = tel
 	nextVar := 0
 	// occVar[tIdx][argPos] records the variable abstracting that argument
 	// occurrence.

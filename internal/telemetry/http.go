@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the collector:
+//
+//	/statsz         current Snapshot as JSON (POST /statsz?reset=1 resets)
+//	/debug/pprof/*  the standard net/http/pprof profile endpoints
+//
+// Long-running search servers mount this next to their API; the CLI's
+// -pprof flag serves it for the duration of one command.
+func Handler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Query().Get("reset") == "1" {
+			c.Reset()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := c.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts Handler(c) on addr (e.g. "localhost:6060", or ":0" for an
+// ephemeral port) in a background goroutine and returns the bound
+// address. The server lives until the process exits.
+func Serve(addr string, c *Collector) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, Handler(c)) }()
+	return ln.Addr(), nil
+}

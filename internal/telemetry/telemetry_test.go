@@ -1,0 +1,337 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	c := New()
+	c.Inc(Queries)
+	c.Add(PairsCompared, 41)
+	c.Inc(PairsCompared)
+	c.Add(BlockCacheHits, 9)
+	c.Inc(BlockCacheMisses)
+	if got := c.Get(PairsCompared); got != 42 {
+		t.Errorf("PairsCompared = %d, want 42", got)
+	}
+	s := c.Snapshot()
+	if s.Counters["queries"] != 1 || s.Counters["pairs_compared"] != 42 {
+		t.Errorf("snapshot counters wrong: %v", s.Counters)
+	}
+	if got := s.Derived["block_cache_hit_rate"]; math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("hit rate = %v, want 0.9", got)
+	}
+	// Every counter name must be present (schema stability).
+	for i := Counter(0); i < numCounters; i++ {
+		if _, ok := s.Counters[i.String()]; !ok {
+			t.Errorf("snapshot missing counter %q", i)
+		}
+	}
+	for i := Hist(0); i < numHists; i++ {
+		if _, ok := s.Histograms[i.String()]; !ok {
+			t.Errorf("snapshot missing histogram %q", i)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	c := New()
+	durs := []time.Duration{
+		100 * time.Nanosecond, // bucket 0
+		time.Microsecond,
+		50 * time.Microsecond,
+		time.Millisecond,
+		20 * time.Millisecond,
+	}
+	var sum int64
+	for _, d := range durs {
+		c.Observe(CompareLatency, d)
+		sum += d.Nanoseconds()
+	}
+	hs := c.Snapshot().Histograms["compare_latency"]
+	if hs.Count != uint64(len(durs)) {
+		t.Fatalf("count = %d, want %d", hs.Count, len(durs))
+	}
+	if hs.SumNS != sum {
+		t.Errorf("sum = %d, want %d", hs.SumNS, sum)
+	}
+	if hs.MaxNS != durs[len(durs)-1].Nanoseconds() {
+		t.Errorf("max = %d, want %d", hs.MaxNS, durs[len(durs)-1].Nanoseconds())
+	}
+	if hs.MeanNS != float64(sum)/float64(len(durs)) {
+		t.Errorf("mean = %v", hs.MeanNS)
+	}
+	var bucketed uint64
+	for _, b := range hs.Buckets {
+		bucketed += b.Count
+	}
+	if bucketed != hs.Count {
+		t.Errorf("bucket total %d != count %d", bucketed, hs.Count)
+	}
+	// Quantiles must be ordered and bounded by the observed extremes.
+	if !(hs.P50NS <= hs.P90NS && hs.P90NS <= hs.P99NS) {
+		t.Errorf("quantiles unordered: %v %v %v", hs.P50NS, hs.P90NS, hs.P99NS)
+	}
+	if hs.P99NS > float64(hs.MaxNS) {
+		t.Errorf("p99 %v > max %d", hs.P99NS, hs.MaxNS)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {127, 0}, {128, 1}, {255, 1}, {256, 2},
+		{-5, 0}, {math.MaxInt64, numBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.ns); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.ns, got, tc.want)
+		}
+	}
+	// Every bucket's samples stay below its upper bound.
+	for i := 0; i < numBuckets-1; i++ {
+		up := BucketUpperNS(i)
+		if bucketOf(up-1) != i {
+			t.Errorf("bucketOf(%d) = %d, want %d", up-1, bucketOf(up-1), i)
+		}
+		if bucketOf(up) != i+1 {
+			t.Errorf("bucketOf(%d) = %d, want %d", up, bucketOf(up), i+1)
+		}
+	}
+}
+
+// TestNilCollectorAllocFree pins the tentpole's contract: the disabled
+// path performs zero allocations (and, per StartTimer's doc, no clock
+// reads).
+func TestNilCollectorAllocFree(t *testing.T) {
+	var c *Collector
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc(Compares)
+		c.Add(PairsCompared, 7)
+		c.Observe(PairLatency, time.Microsecond)
+		tm := c.StartTimer(CompareLatency)
+		tm.Stop()
+		_ = c.Get(Matches)
+	})
+	if allocs != 0 {
+		t.Errorf("nil collector allocated %v times per op, want 0", allocs)
+	}
+	var s *Span
+	allocs = testing.AllocsPerRun(1000, func() {
+		c2 := s.Child("x")
+		c2.Set("k", 1)
+		c2.Add("k", 1)
+		c2.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil span allocated %v times per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	c := New()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(PairsCompared)
+				c.Observe(PairLatency, time.Duration(i)*time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(PairsCompared); got != workers*perWorker {
+		t.Errorf("count = %d, want %d", got, workers*perWorker)
+	}
+	hs := c.Snapshot().Histograms["pair_latency"]
+	if hs.Count != workers*perWorker {
+		t.Errorf("hist count = %d, want %d", hs.Count, workers*perWorker)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	c := New()
+	c.Inc(Queries)
+	c.Observe(QueryLatency, 3*time.Millisecond)
+	var sb strings.Builder
+	if err := c.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &s); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v", err)
+	}
+	if s.Counters["queries"] != 1 {
+		t.Errorf("round-trip lost counters: %v", s.Counters)
+	}
+	if s.Histograms["query_latency"].Count != 1 {
+		t.Errorf("round-trip lost histograms")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Inc(Queries)
+	c.Observe(QueryLatency, time.Millisecond)
+	c.Reset()
+	s := c.Snapshot()
+	if s.Counters["queries"] != 0 || s.Histograms["query_latency"].Count != 0 {
+		t.Errorf("reset left state behind: %v", s.Counters)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("search")
+	d := root.Child("decompose")
+	d.End()
+	scan := root.Child("scan")
+	cmp := scan.Child("compare:f1")
+	cmp.Set("pairs_compared", 12)
+	cmp.Add("pairs_compared", 3)
+	cmp.Set("verdict_match", 1)
+	cmp.End()
+	scan.End()
+	root.End()
+
+	if root.Name() != "search" || len(root.Children()) != 2 {
+		t.Fatalf("root shape wrong: %q %d", root.Name(), len(root.Children()))
+	}
+	if cmp.Attr("pairs_compared") != 15 {
+		t.Errorf("attr = %d, want 15", cmp.Attr("pairs_compared"))
+	}
+	var sb strings.Builder
+	if err := root.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name     string `json:"name"`
+		DurNS    int64  `json:"dur_ns"`
+		Children []struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name  string           `json:"name"`
+				Attrs map[string]int64 `json:"attrs"`
+			} `json:"children"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("span JSON invalid: %v\n%s", err, sb.String())
+	}
+	if decoded.Name != "search" || decoded.DurNS <= 0 {
+		t.Errorf("decoded root wrong: %+v", decoded)
+	}
+	if decoded.Children[1].Children[0].Attrs["pairs_compared"] != 15 {
+		t.Errorf("decoded attrs wrong: %+v", decoded.Children[1])
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := StartSpan("parallel")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("worker")
+			c.Add("n", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 16 {
+		t.Errorf("children = %d, want 16", got)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	c := New()
+	c.Inc(Queries)
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statsz status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["queries"] != 1 {
+		t.Errorf("statsz counters: %v", s.Counters)
+	}
+
+	resp2, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp2.StatusCode)
+	}
+
+	// POST /statsz?reset=1 zeroes the collector.
+	resp3, err := http.Post(srv.URL+"/statsz?reset=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := c.Get(Queries); got != 0 {
+		t.Errorf("reset via statsz left queries=%d", got)
+	}
+}
+
+func TestServe(t *testing.T) {
+	c := New()
+	addr, err := Serve("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func BenchmarkNoopCollector(b *testing.B) {
+	var c *Collector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(PairsCompared)
+		tm := c.StartTimer(PairLatency)
+		tm.Stop()
+	}
+}
+
+func BenchmarkCollectorObserve(b *testing.B) {
+	c := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(PairsCompared)
+		c.Observe(PairLatency, time.Duration(i))
+	}
+}
