@@ -1,5 +1,6 @@
 // Command tracy is the command-line front end of the tracelet search
-// engine. See internal/cli for the command set.
+// engine, including the long-running query service (tracy serve) and its
+// client (tracy query). See internal/cli for the command set.
 package main
 
 import (

@@ -1,7 +1,10 @@
 // Package cli implements the tracy command-line front end:
 //
 //	tracy index  -db code.db exe1 exe2 ...     index executables
-//	tracy search -db code.db -exe q.bin [-fn sub_X] [-top N]
+//	tracy search -db code.db -exe q.bin [-fn sub_X] [-limit N] [-min-score X]
+//	tracy serve  -db code.db -addr :8077       run the HTTP query service
+//	tracy query  -server URL -exe q.bin        search a running service
+//	tracy mkcorpus -dir corpus                 generate a demo corpus on disk
 //	tracy compare [-explain] a.bin b.bin       compare largest functions
 //	tracy disasm [-dot] exe                    dump lifted CFGs
 //	tracy tracelets [-k N] exe                 dump a function's tracelets
@@ -49,6 +52,12 @@ func Run(w io.Writer, args []string) error {
 		return cmd.index(args[1:])
 	case "search":
 		return cmd.search(args[1:])
+	case "serve":
+		return cmd.serve(args[1:])
+	case "query":
+		return cmd.query(args[1:])
+	case "mkcorpus":
+		return cmd.mkcorpus(args[1:])
 	case "compare":
 		return cmd.compare(args[1:])
 	case "disasm":
@@ -73,7 +82,7 @@ type env struct {
 
 func usageError() error {
 	return fmt.Errorf(`usage: tracy <command> [flags]
-commands: index, search, compare, disasm, tracelets, emulate, stats, experiments`)
+commands: index, search, serve, query, mkcorpus, compare, disasm, tracelets, emulate, stats, experiments`)
 }
 
 // matchFlags registers the shared matching options.
@@ -173,7 +182,9 @@ func (c *env) search(args []string) error {
 	dbPath := fs.String("db", "tracy.db", "database file")
 	exe := fs.String("exe", "", "executable containing the query function")
 	fnName := fs.String("fn", "", "query function name (default: largest)")
-	top := fs.Int("top", 10, "results to print")
+	top := fs.Int("top", 10, "results to print (alias of -limit)")
+	limit := fs.Int("limit", 0, "keep only the top N hits (0: use -top)")
+	minScore := fs.Float64("min-score", 0, "drop hits scoring below this (0..1)")
 	opts := matchFlags(fs)
 	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -204,11 +215,12 @@ func (c *env) search(args []string) error {
 	sOpts := opts()
 	sOpts.Tel = tf.tel
 	sOpts.Trace = tf.trace
-	hits := db.Search(query, sOpts)
-	for i, h := range hits {
-		if i >= *top {
-			break
-		}
+	n := *limit
+	if n <= 0 {
+		n = *top
+	}
+	hits := index.TopK(db.Search(query, sOpts), n, *minScore)
+	for _, h := range hits {
 		mark := " "
 		if h.Result.IsMatch {
 			mark = "*"

@@ -1,0 +1,192 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/telemetry"
+)
+
+// serve runs the query service until SIGINT/SIGTERM (graceful drain) —
+// SIGHUP hot-reloads the index from disk.
+func (c *env) serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dbPath := fs.String("db", "tracy.db", "index file to serve (and hot-reload)")
+	addr := fs.String("addr", ":8077", "listen address")
+	ksFlag := fs.String("ks", "", "comma-separated tracelet sizes to precompute (default: -k)")
+	shards := fs.Int("shards", 0, "snapshot shards per query (0: GOMAXPROCS)")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent searches before shedding 429s (0: 4*GOMAXPROCS)")
+	cacheN := fs.Int("cache", 256, "LRU result-cache entries (negative: disable)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
+	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+	opts := matchFlags(fs)
+	tf := telFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tf.activate(c.w, "serve"); err != nil {
+		return err
+	}
+	cfg := server.Config{
+		DBPath:         *dbPath,
+		Opts:           opts(),
+		Shards:         *shards,
+		MaxInFlight:    *maxInFlight,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cacheN,
+		Tel:            tf.tel,
+	}
+	if cfg.Tel == nil {
+		// The server always collects: /statsz is part of the service.
+		cfg.Tel = telemetry.New()
+	}
+	if *ksFlag != "" {
+		for _, part := range strings.Split(*ksFlag, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || k <= 0 {
+				return fmt.Errorf("serve: bad -ks entry %q", part)
+			}
+			cfg.Ks = append(cfg.Ks, k)
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.w, "tracy: serving %s on http://%s (POST /v1/search, /statsz, /debug/pprof)\n",
+		*dbPath, bound)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	defer signal.Stop(sigs)
+	for sig := range sigs {
+		if sig == syscall.SIGHUP {
+			res, err := srv.Reload()
+			if err != nil {
+				fmt.Fprintf(c.w, "tracy: reload failed: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(c.w, "tracy: reloaded %s: %d functions (generation %d, %.0fms)\n",
+				*dbPath, res.Functions, res.Generation, res.TookMS)
+			continue
+		}
+		fmt.Fprintf(c.w, "tracy: %v: draining in-flight queries\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		fmt.Fprintln(c.w, "tracy: shutdown complete")
+		break
+	}
+	return tf.finish(c.w)
+}
+
+// query sends one search to a running tracy server and prints the ranked
+// hits in the same shape as tracy search.
+func (c *env) query(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8077", "tracy server base URL")
+	exe := fs.String("exe", "", "executable containing the query function")
+	fnName := fs.String("fn", "", "query function name (default: largest)")
+	k := fs.Int("k", 0, "tracelet size (0: server default)")
+	limit := fs.Int("limit", 10, "max hits to request")
+	minScore := fs.Float64("min-score", 0, "drop hits scoring below this (0..1)")
+	timeout := fs.Duration("timeout", 60*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exe == "" {
+		return fmt.Errorf("query: -exe is required")
+	}
+	img, err := os.ReadFile(*exe)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := client.New(*serverURL)
+	resp, err := cl.SearchImage(ctx, img, *fnName, &server.SearchRequest{
+		K: *k, Limit: *limit, MinScore: *minScore,
+	})
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	cached := ""
+	if resp.Cached {
+		cached = ", cached"
+	}
+	fmt.Fprintf(c.w, "query: %s (%d blocks, %d instructions) vs %d functions (k=%d, %.0fms%s)\n",
+		resp.Query, resp.QueryBlocks, resp.QueryInsts, resp.Candidates, resp.K, resp.TookMS, cached)
+	for _, h := range resp.Hits {
+		mark := " "
+		if h.IsMatch {
+			mark = "*"
+		}
+		fmt.Fprintf(c.w, "%s %5.1f%%  %-20s %-16s matched %d/%d tracelets (%d via rewrite)\n",
+			mark, h.Score*100, h.Exe, h.Name, h.Matched, h.RefTracelets, h.MatchedRewrite)
+	}
+	return nil
+}
+
+// mkcorpus generates the synthetic evaluation corpus as stripped
+// executables on disk, ready for tracy index / tracy serve — the
+// self-contained way to stand a demo service up (CI's server smoke test
+// uses it).
+func (c *env) mkcorpus(args []string) error {
+	fs := flag.NewFlagSet("mkcorpus", flag.ExitOnError)
+	dir := fs.String("dir", "corpus", "output directory")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	contexts := fs.Int("contexts", 4, "context-group executables")
+	versions := fs.Int("versions", 3, "code-change-group executables")
+	noise := fs.Int("noise", 4, "noise executables")
+	funcs := fs.Int("funcs", 6, "filler functions per executable")
+	tf := telFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tf.activate(c.w, "mkcorpus"); err != nil {
+		return err
+	}
+	cfg := corpus.DefaultBuildConfig()
+	cfg.Seed = *seed
+	cfg.ContextCopies = *contexts
+	cfg.Versions = *versions
+	cfg.NoiseExes = *noise
+	cfg.FuncsPerExe = *funcs
+	cp, err := corpus.Build(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	funcsTotal := 0
+	for _, e := range cp.Exes {
+		path := filepath.Join(*dir, e.Name+".bin")
+		if err := os.WriteFile(path, e.Image, 0o644); err != nil {
+			return err
+		}
+		funcsTotal += len(e.Truth)
+	}
+	fmt.Fprintf(c.w, "wrote %d executables (%d functions) to %s\n",
+		len(cp.Exes), funcsTotal, *dir)
+	return tf.finish(c.w)
+}

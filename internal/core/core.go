@@ -126,6 +126,27 @@ func Decompose(fn *prep.Function, k int) *Decomposed {
 	return d
 }
 
+// Fingerprint returns a stable 64-bit content hash of the decomposition:
+// two functions with identical tracelet content (for the same k) collide,
+// different content essentially never does. Result caches key on it.
+func (d *Decomposed) Fingerprint() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(d.K))
+	mix(uint64(d.NumBlocks))
+	mix(uint64(d.NumInsts))
+	for _, t := range d.Tracelets {
+		mix(t.Hash())
+	}
+	return h
+}
+
 // DecomposeT is Decompose with telemetry: the decomposition is timed into
 // tel's decompose-latency histogram and counted. A nil collector makes it
 // identical to Decompose.

@@ -6,10 +6,11 @@
 package index
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
-	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/prep"
@@ -25,7 +26,9 @@ type Entry struct {
 	Func  *prep.Function
 }
 
-// DB is the searchable function database.
+// DB is the searchable function database. Concurrent Search/Decomposed
+// calls are safe; AddImage must not race with readers (ingest the corpus
+// first, or build an immutable Snapshot for serving).
 type DB struct {
 	Entries []*Entry
 
@@ -34,6 +37,7 @@ type DB struct {
 	// opts.Tel is nil. It is not serialized by Save.
 	Tel *telemetry.Collector
 
+	mu         sync.Mutex // guards decomposed
 	decomposed map[int][]*core.Decomposed
 }
 
@@ -57,7 +61,9 @@ func (db *DB) AddImage(exe string, img []byte, truth map[uint32]string) error {
 		}
 		db.Entries = append(db.Entries, e)
 	}
+	db.mu.Lock()
 	db.decomposed = make(map[int][]*core.Decomposed) // invalidate cache
+	db.mu.Unlock()
 	return nil
 }
 
@@ -65,8 +71,12 @@ func (db *DB) AddImage(exe string, img []byte, truth map[uint32]string) error {
 func (db *DB) Len() int { return len(db.Entries) }
 
 // Decomposed returns the k-tracelet decomposition of every entry, cached
-// per k and aligned with Entries.
+// per k and aligned with Entries. It is safe for concurrent use: the
+// first caller for a given k computes (and the rest wait), after which
+// lookups only take the mutex briefly.
 func (db *DB) Decomposed(k int) []*core.Decomposed {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.decomposed == nil {
 		db.decomposed = make(map[int][]*core.Decomposed)
 	}
@@ -122,16 +132,7 @@ func (db *DB) Search(query *prep.Function, opts core.Options) []Hit {
 		hits[i] = Hit{Entry: db.Entries[i], Result: results[i]}
 	}
 	rsp := root.Child("rank")
-	sort.SliceStable(hits, func(i, j int) bool {
-		a, b := hits[i], hits[j]
-		if a.Result.SimilarityScore != b.Result.SimilarityScore {
-			return a.Result.SimilarityScore > b.Result.SimilarityScore
-		}
-		if a.Entry.Exe != b.Entry.Exe {
-			return a.Entry.Exe < b.Entry.Exe
-		}
-		return a.Entry.Name < b.Entry.Name
-	})
+	SortHits(hits)
 	rsp.End()
 	qt.Stop()
 	return hits
@@ -142,17 +143,42 @@ type gobDB struct {
 	Entries []*Entry
 }
 
+// The on-disk format is an 8-byte magic plus a one-byte format version in
+// front of the gob payload, so a stale or foreign file fails fast with a
+// versioned error instead of an opaque gob decode failure. Headerless
+// files written before the header existed ("v0") are still read.
+const (
+	indexMagic   = "TRACYIDX"
+	indexVersion = 1
+)
+
 // Save serializes the database (entries only; decompositions are
-// recomputed on demand).
+// recomputed on demand), prefixed with the format header.
 func (db *DB) Save(w io.Writer) error {
+	hdr := append([]byte(indexMagic), indexVersion)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
 	return gob.NewEncoder(w).Encode(gobDB{Entries: db.Entries})
 }
 
-// Load restores a database written by Save.
+// Load restores a database written by Save. It accepts the current
+// headered format and headerless v0 files; anything else — a future
+// format version or a file that is not a tracy index at all — yields an
+// error naming the expected format version.
 func Load(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	if peek, err := br.Peek(len(indexMagic) + 1); err == nil && string(peek[:len(indexMagic)]) == indexMagic {
+		if v := int(peek[len(indexMagic)]); v != indexVersion {
+			return nil, fmt.Errorf("index: format v%d expected, file is v%d (rebuild with tracy index)", indexVersion, v)
+		}
+		if _, err := br.Discard(len(indexMagic) + 1); err != nil {
+			return nil, err
+		}
+	}
 	var g gobDB
-	if err := gob.NewDecoder(r).Decode(&g); err != nil {
-		return nil, err
+	if err := gob.NewDecoder(br).Decode(&g); err != nil {
+		return nil, fmt.Errorf("index: not a tracy index (format v%d expected): %w", indexVersion, err)
 	}
 	return &DB{Entries: g.Entries, decomposed: make(map[int][]*core.Decomposed)}, nil
 }

@@ -1,0 +1,41 @@
+package index
+
+import "sort"
+
+// hitLess is the canonical result order: similarity score descending,
+// ties broken by executable then function name so rankings are
+// deterministic across runs, shards and processes.
+func hitLess(a, b Hit) bool {
+	if a.Result.SimilarityScore != b.Result.SimilarityScore {
+		return a.Result.SimilarityScore > b.Result.SimilarityScore
+	}
+	if a.Entry.Exe != b.Entry.Exe {
+		return a.Entry.Exe < b.Entry.Exe
+	}
+	return a.Entry.Name < b.Entry.Name
+}
+
+// SortHits orders hits in the canonical result order (see hitLess). Both
+// DB.Search and Snapshot.Search rank with it, which is what makes their
+// outputs comparable hit for hit.
+func SortHits(hits []Hit) {
+	sort.SliceStable(hits, func(i, j int) bool { return hitLess(hits[i], hits[j]) })
+}
+
+// TopK filters sorted-or-unsorted hits down to the ones worth returning:
+// hits scoring below minScore are dropped, the rest are put in canonical
+// order, and at most limit survive (limit <= 0 keeps all). The input
+// slice is not modified.
+func TopK(hits []Hit, limit int, minScore float64) []Hit {
+	kept := make([]Hit, 0, len(hits))
+	for _, h := range hits {
+		if h.Result.SimilarityScore >= minScore {
+			kept = append(kept, h)
+		}
+	}
+	SortHits(kept)
+	if limit > 0 && len(kept) > limit {
+		kept = kept[:limit]
+	}
+	return kept
+}

@@ -1,0 +1,195 @@
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/prep"
+	"repro/internal/telemetry"
+)
+
+// Snapshot is an immutable, sharded view of a DB prepared for serving:
+// every entry is pre-decomposed for each supported tracelet size k and
+// the corpus is split into contiguous shards, so one query fans out
+// across the shards (intra-query parallelism) while any number of
+// queries run concurrently against the same snapshot without locking.
+// Swapping in a new corpus is an atomic pointer swap in the caller
+// (see internal/server); an old snapshot stays valid for in-flight
+// queries until they finish.
+type Snapshot struct {
+	entries []*Entry
+	ks      []int
+	shards  []snapShard
+	byName  map[string]*Entry // exe + "\x00" + name -> entry
+
+	// Tel is the default collector for Search when opts.Tel is nil.
+	Tel *telemetry.Collector
+}
+
+// snapShard is the contiguous entry range [lo, hi) plus its precomputed
+// decompositions, aligned with entries[lo:hi].
+type snapShard struct {
+	lo, hi int
+	dec    map[int][]*core.Decomposed
+}
+
+// BuildSnapshot decomposes every entry of db for each tracelet size in ks
+// (deduplicated; defaults to [3] when empty) and splits the corpus into
+// nShards contiguous shards (<= 0 means runtime.GOMAXPROCS(0)). The
+// decomposition work itself runs in parallel across entries. The DB is
+// only read; the snapshot holds its own decompositions and shares the
+// (immutable) entries.
+func BuildSnapshot(db *DB, ks []int, nShards int) *Snapshot {
+	uniq := make(map[int]bool)
+	var kept []int
+	for _, k := range ks {
+		if k > 0 && !uniq[k] {
+			uniq[k] = true
+			kept = append(kept, k)
+		}
+	}
+	if len(kept) == 0 {
+		kept = []int{3}
+	}
+	sort.Ints(kept)
+
+	n := len(db.Entries)
+	if nShards <= 0 {
+		nShards = runtime.GOMAXPROCS(0)
+	}
+	if nShards > n {
+		nShards = n
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+
+	s := &Snapshot{
+		entries: db.Entries,
+		ks:      kept,
+		byName:  make(map[string]*Entry, n),
+		Tel:     db.Tel,
+	}
+	for _, e := range db.Entries {
+		s.byName[entryKey(e.Exe, e.Name)] = e
+	}
+
+	// Decompose all (entry, k) pairs with a worker pool.
+	all := make(map[int][]*core.Decomposed, len(kept))
+	for _, k := range kept {
+		all[k] = make([]*core.Decomposed, n)
+	}
+	type job struct{ k, i int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				all[j.k][j.i] = core.DecomposeT(db.Entries[j.i].Func, j.k, db.Tel)
+			}
+		}()
+	}
+	for _, k := range kept {
+		for i := 0; i < n; i++ {
+			jobs <- job{k, i}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Slice the corpus into near-equal contiguous shards.
+	for sh := 0; sh < nShards; sh++ {
+		lo := sh * n / nShards
+		hi := (sh + 1) * n / nShards
+		dec := make(map[int][]*core.Decomposed, len(kept))
+		for _, k := range kept {
+			dec[k] = all[k][lo:hi]
+		}
+		s.shards = append(s.shards, snapShard{lo: lo, hi: hi, dec: dec})
+	}
+	return s
+}
+
+func entryKey(exe, name string) string { return exe + "\x00" + name }
+
+// Len returns the number of indexed functions.
+func (s *Snapshot) Len() int { return len(s.entries) }
+
+// Entries returns the snapshot's entries. The slice and its entries are
+// shared and must be treated as read-only.
+func (s *Snapshot) Entries() []*Entry { return s.entries }
+
+// Ks returns the tracelet sizes the snapshot has precomputed.
+func (s *Snapshot) Ks() []int { return s.ks }
+
+// NumShards returns the shard count.
+func (s *Snapshot) NumShards() int { return len(s.shards) }
+
+// SupportsK reports whether queries with tracelet size k can be served
+// from the precomputed decompositions.
+func (s *Snapshot) SupportsK(k int) bool {
+	for _, have := range s.ks {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the indexed entry for (exe, name), or nil.
+func (s *Snapshot) Lookup(exe, name string) *Entry {
+	return s.byName[entryKey(exe, name)]
+}
+
+// Search decomposes the query and runs SearchDecomposed.
+func (s *Snapshot) Search(query *prep.Function, opts core.Options) ([]Hit, error) {
+	if opts.Tel == nil {
+		opts.Tel = s.Tel
+	}
+	k := opts.K
+	if k <= 0 {
+		k = 3
+	}
+	return s.SearchDecomposed(core.DecomposeT(query, k, opts.Tel), opts)
+}
+
+// SearchDecomposed compares an already-decomposed query against every
+// entry, fanning one goroutine out per shard, and returns all hits in
+// canonical order — hit for hit identical to DB.Search over the same
+// corpus and options. It errors if ref.K is not a precomputed tracelet
+// size. Safe for any number of concurrent callers.
+func (s *Snapshot) SearchDecomposed(ref *core.Decomposed, opts core.Options) ([]Hit, error) {
+	if opts.Tel == nil {
+		opts.Tel = s.Tel
+	}
+	if !s.SupportsK(ref.K) {
+		return nil, fmt.Errorf("index: snapshot has no k=%d decomposition (supported: %v)", ref.K, s.ks)
+	}
+	tel := opts.Tel
+	tel.Inc(telemetry.Queries)
+	qt := tel.StartTimer(telemetry.QueryLatency)
+	hits := make([]Hit, len(s.entries))
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh snapShard) {
+			defer wg.Done()
+			// Each shard scans serially with its own matcher: cross-shard
+			// fan-out is the query's parallelism, and independent matchers
+			// keep block-alignment caches core-local.
+			m := core.NewMatcher(opts)
+			for j, tgt := range sh.dec[ref.K] {
+				hits[sh.lo+j] = Hit{Entry: s.entries[sh.lo+j], Result: m.Compare(ref, tgt)}
+			}
+		}(sh)
+	}
+	wg.Wait()
+	SortHits(hits)
+	qt.Stop()
+	return hits, nil
+}

@@ -1,0 +1,218 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func TestSnapshotSearchMatchesDBSearch(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	want := db.Search(query, core.DefaultOptions())
+	for _, shards := range []int{1, 3, 0} {
+		snap := BuildSnapshot(db, []int{3}, shards)
+		got, err := snap.Search(query, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d hits, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Entry != want[i].Entry {
+				t.Errorf("shards=%d hit %d: %s/%s, want %s/%s", shards, i,
+					got[i].Entry.Exe, got[i].Entry.Name, want[i].Entry.Exe, want[i].Entry.Name)
+			}
+			if got[i].Result.SimilarityScore != want[i].Result.SimilarityScore {
+				t.Errorf("shards=%d hit %d: score %v, want %v", shards, i,
+					got[i].Result.SimilarityScore, want[i].Result.SimilarityScore)
+			}
+		}
+	}
+}
+
+func TestSnapshotUnsupportedK(t *testing.T) {
+	db, _ := buildTestDB(t)
+	snap := BuildSnapshot(db, []int{3}, 2)
+	query := queryFor(t, db, corpus.LibFuncName)
+	opts := core.DefaultOptions()
+	opts.K = 2
+	if _, err := snap.Search(query, opts); err == nil {
+		t.Fatal("k=2 search against a k=3 snapshot should fail")
+	}
+	if !snap.SupportsK(3) || snap.SupportsK(2) {
+		t.Errorf("SupportsK wrong: ks=%v", snap.Ks())
+	}
+}
+
+func TestSnapshotLookup(t *testing.T) {
+	db, _ := buildTestDB(t)
+	snap := BuildSnapshot(db, []int{3}, 0)
+	e := db.Entries[len(db.Entries)/2]
+	if got := snap.Lookup(e.Exe, e.Name); got != e {
+		t.Errorf("Lookup(%s, %s) = %v, want %v", e.Exe, e.Name, got, e)
+	}
+	if got := snap.Lookup("nope", "nothing"); got != nil {
+		t.Errorf("Lookup of absent function = %v, want nil", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	mk := func(exe, name string, score float64) Hit {
+		return Hit{Entry: &Entry{Exe: exe, Name: name}, Result: core.Result{SimilarityScore: score}}
+	}
+	hits := []Hit{
+		mk("b", "y", 0.5), mk("a", "z", 0.9), mk("a", "x", 0.5), mk("c", "w", 0.1),
+	}
+	got := TopK(hits, 3, 0.2)
+	if len(got) != 3 {
+		t.Fatalf("got %d hits, want 3", len(got))
+	}
+	// 0.9 first, then the two 0.5s tie-broken by exe/name; 0.1 filtered.
+	if got[0].Entry.Name != "z" || got[1].Entry.Exe != "a" || got[2].Entry.Exe != "b" {
+		t.Errorf("wrong order: %v %v %v", got[0].Entry, got[1].Entry, got[2].Entry)
+	}
+	if n := len(TopK(hits, 0, 0)); n != 4 {
+		t.Errorf("limit 0 kept %d, want all 4", n)
+	}
+	// The input must not be reordered.
+	if hits[0].Entry.Name != "y" {
+		t.Error("TopK mutated its input")
+	}
+}
+
+// TestConcurrentDBSearch drives the library API from many goroutines
+// with a cold decomposition cache — the exact access pattern that raced
+// before db.decomposed was mutex-guarded. Run under -race.
+func TestConcurrentDBSearch(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	want := db.Search(query, core.DefaultOptions())
+
+	fresh, err := Load(saved(t, db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([][]Hit, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			opts := core.DefaultOptions()
+			if w%2 == 1 {
+				opts.K = 2 // populate a second k concurrently
+			}
+			results[w] = fresh.Search(queryFor(t, fresh, corpus.LibFuncName), opts)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w += 2 { // k=3 searches must agree with offline
+		if len(results[w]) != len(want) {
+			t.Fatalf("worker %d: %d hits, want %d", w, len(results[w]), len(want))
+		}
+		for i := range want {
+			if results[w][i].Result.SimilarityScore != want[i].Result.SimilarityScore {
+				t.Errorf("worker %d hit %d: score %v, want %v", w, i,
+					results[w][i].Result.SimilarityScore, want[i].Result.SimilarityScore)
+			}
+		}
+	}
+}
+
+func TestConcurrentSnapshotSearch(t *testing.T) {
+	db, _ := buildTestDB(t)
+	snap := BuildSnapshot(db, []int{3}, 4)
+	query := queryFor(t, db, corpus.LibFuncName)
+	want, err := snap.Search(query, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := snap.Search(query, core.DefaultOptions())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range want {
+				if got[i].Entry != want[i].Entry {
+					t.Errorf("hit %d diverged under concurrency", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// saved round-trips db through Save into a reader.
+func saved(t *testing.T, db *DB) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestSaveWritesHeader(t *testing.T) {
+	db, _ := buildTestDB(t)
+	buf := saved(t, db)
+	if !bytes.HasPrefix(buf.Bytes(), []byte(indexMagic)) {
+		t.Fatalf("saved index does not start with %q", indexMagic)
+	}
+	if v := buf.Bytes()[len(indexMagic)]; v != indexVersion {
+		t.Errorf("header version %d, want %d", v, indexVersion)
+	}
+}
+
+// TestLoadHeaderlessV0: files written before the header existed are a
+// bare gob stream and must still load.
+func TestLoadHeaderlessV0(t *testing.T) {
+	db, _ := buildTestDB(t)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobDB{Entries: db.Entries}); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("headerless v0 load: %v", err)
+	}
+	if db2.Len() != db.Len() {
+		t.Errorf("v0 load: %d entries, want %d", db2.Len(), db.Len())
+	}
+}
+
+func TestLoadFutureVersion(t *testing.T) {
+	data := append([]byte(indexMagic), 9)
+	data = append(data, []byte("whatever follows")...)
+	_, err := Load(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("future-version file should fail to load")
+	}
+	if !strings.Contains(err.Error(), "format v1 expected") || !strings.Contains(err.Error(), "v9") {
+		t.Errorf("unhelpful version error: %v", err)
+	}
+}
+
+func TestLoadForeignFileError(t *testing.T) {
+	_, err := Load(bytes.NewReader([]byte("PK\x03\x04 this is a zip, not an index")))
+	if err == nil {
+		t.Fatal("foreign file should fail to load")
+	}
+	if !strings.Contains(err.Error(), "format v1 expected") {
+		t.Errorf("foreign-file error does not name the expected format: %v", err)
+	}
+}

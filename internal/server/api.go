@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/base64"
+	"time"
+)
+
+// The wire schema of the query service. All endpoints speak JSON:
+//
+//	POST /v1/search        SearchRequest  -> SearchResponse
+//	POST /v1/search/batch  BatchRequest   -> BatchResponse
+//	GET  /v1/functions     (query params) -> FunctionsResponse
+//	GET  /v1/healthz                      -> HealthResponse
+//	POST /v1/reload                       -> ReloadResponse
+//
+// Errors are ErrorResponse bodies with a matching HTTP status.
+
+// SearchRequest asks for the corpus functions most similar to one query
+// function. The query is given either by uploading an executable image
+// (Image, base64; Function selects a function in it, default the
+// largest) or by referencing a function already in the index (Exe +
+// Name). Exactly one of the two forms must be used.
+type SearchRequest struct {
+	Image    string `json:"image,omitempty"`    // base64 ELF image to lift
+	Function string `json:"function,omitempty"` // function within Image (default: largest)
+
+	Exe  string `json:"exe,omitempty"`  // indexed executable ...
+	Name string `json:"name,omitempty"` // ... and function to query by reference
+
+	K        int     `json:"k,omitempty"`         // tracelet size (default: server's -k)
+	Limit    int     `json:"limit,omitempty"`     // max hits returned (default 10, cap 1000)
+	MinScore float64 `json:"min_score,omitempty"` // drop hits scoring below this (0..1)
+}
+
+// SetImage stores img as the request's base64 query image.
+func (r *SearchRequest) SetImage(img []byte) {
+	r.Image = base64.StdEncoding.EncodeToString(img)
+}
+
+// DecodeImage returns the decoded query image.
+func (r *SearchRequest) DecodeImage() ([]byte, error) {
+	return base64.StdEncoding.DecodeString(r.Image)
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	Exe            string  `json:"exe"`
+	Name           string  `json:"name"`
+	Addr           uint32  `json:"addr"`
+	Score          float64 `json:"score"`    // similarity (coverage rate, 0..1)
+	IsMatch        bool    `json:"is_match"` // score above the α threshold
+	Matched        int     `json:"matched"`  // matched reference tracelets
+	RefTracelets   int     `json:"ref_tracelets"`
+	MatchedRewrite int     `json:"matched_rewrite"` // matched only via the rewrite engine
+}
+
+// SearchResponse is the ranked answer to one SearchRequest.
+type SearchResponse struct {
+	Query       string  `json:"query"` // resolved query function name
+	QueryBlocks int     `json:"query_blocks"`
+	QueryInsts  int     `json:"query_insts"`
+	K           int     `json:"k"`
+	Candidates  int     `json:"candidates"` // corpus functions scanned
+	Hits        []Hit   `json:"hits"`
+	Cached      bool    `json:"cached"` // served from the result cache
+	TookMS      float64 `json:"took_ms"`
+}
+
+// BatchRequest runs several searches in one round trip.
+type BatchRequest struct {
+	Queries []SearchRequest `json:"queries"`
+}
+
+// BatchItem is one per-query outcome: either Result or Error is set.
+type BatchItem struct {
+	Result *SearchResponse `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// BatchResponse carries one item per request query, in order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// FunctionInfo describes one indexed function.
+type FunctionInfo struct {
+	Exe    string `json:"exe"`
+	Name   string `json:"name"`
+	Addr   uint32 `json:"addr"`
+	Blocks int    `json:"blocks"`
+	Insts  int    `json:"insts"`
+}
+
+// FunctionsResponse lists the indexed corpus.
+type FunctionsResponse struct {
+	Total     int            `json:"total"` // before exe filter and limit
+	Functions []FunctionInfo `json:"functions"`
+}
+
+// HealthResponse reports liveness and the loaded snapshot's shape.
+type HealthResponse struct {
+	Status     string    `json:"status"` // "ok", or "empty" before an index is loaded
+	Functions  int       `json:"functions"`
+	Ks         []int     `json:"ks"` // precomputed tracelet sizes
+	Shards     int       `json:"shards"`
+	Generation uint64    `json:"generation"` // bumped on every snapshot swap
+	LoadedAt   time.Time `json:"loaded_at"`
+}
+
+// ReloadResponse reports a completed hot reload.
+type ReloadResponse struct {
+	Functions  int     `json:"functions"`
+	Generation uint64  `json:"generation"`
+	TookMS     float64 `json:"took_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

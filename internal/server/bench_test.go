@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// The serving-layer benchmarks measure the full HTTP round trip
+// (httptest transport, JSON codec, semaphore, cache, sharded scan).
+// `go test -bench Server -benchtime 5x ./internal/server/` gives quick
+// numbers; TestServerBenchReport regenerates BENCH_server.json when run
+// with BENCH_SERVER_REPORT=path.
+
+func benchHarness(b *testing.B, cacheEntries int) (http.Handler, SearchRequest) {
+	db := bigDB(b)
+	s := NewFromDB(db, Config{CacheEntries: cacheEntries, MaxInFlight: 64})
+	e := entryWithTruth(b, db, corpus.LibFuncName)
+	return s.Handler(), SearchRequest{Exe: e.Exe, Name: e.Name, Limit: 10}
+}
+
+func BenchmarkServerSearchUncached(b *testing.B) {
+	h, req := benchHarness(b, -1) // cache disabled: every request scans
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec, _ := postSearch(b, h, req); rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkServerSearchCached(b *testing.B) {
+	h, req := benchHarness(b, 256)
+	postSearch(b, h, req) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec, _ := postSearch(b, h, req); rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+var benchReport = os.Getenv("BENCH_SERVER_REPORT")
+
+// TestServerBenchReport measures serving throughput/latency and the
+// cache-hit speedup and writes BENCH_server.json at the path in
+// BENCH_SERVER_REPORT (skipped otherwise, and in -short mode).
+func TestServerBenchReport(t *testing.T) {
+	if benchReport == "" {
+		t.Skip("set BENCH_SERVER_REPORT=path to write the report")
+	}
+	if testing.Short() {
+		t.Skip("timing report; skipped in -short mode")
+	}
+	db := bigDB(t)
+	s := NewFromDB(db, Config{MaxInFlight: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+
+	body, _ := json.Marshal(SearchRequest{Exe: e.Exe, Name: e.Name, Limit: 10})
+	do := func() time.Duration {
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr SearchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		return time.Since(t0)
+	}
+
+	// One uncached scan (the first request after the snapshot loads),
+	// then cached round trips.
+	uncached := do()
+	const cachedRounds = 25
+	var cachedTotal time.Duration
+	for i := 0; i < cachedRounds; i++ {
+		cachedTotal += do()
+	}
+	cachedMean := cachedTotal / cachedRounds
+
+	// Concurrent sustained throughput over the cached path plus a second
+	// distinct query to keep the scan path warm too.
+	body2, _ := json.Marshal(SearchRequest{Exe: e.Exe, Name: e.Name, Limit: 5})
+	const workers, perWorker = 8, 8
+	var reqs atomic.Int64
+	t0 := time.Now()
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < perWorker; i++ {
+				b := body
+				if (w+i)%2 == 1 {
+					b = body2
+				}
+				resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(b))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				reqs.Add(1)
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	elapsed := time.Since(t0)
+	qps := float64(reqs.Load()) / elapsed.Seconds()
+
+	report := map[string]any{
+		"benchmark":             fmt.Sprintf("tracy serve, %d-function corpus, k=3, limit 10, %d workers", db.Len(), workers),
+		"corpus_functions":      db.Len(),
+		"uncached_search_ms":    float64(uncached.Microseconds()) / 1000,
+		"cached_search_ms":      float64(cachedMean.Microseconds()) / 1000,
+		"cache_speedup_x":       float64(uncached) / float64(cachedMean),
+		"concurrent_workers":    workers,
+		"concurrent_requests":   reqs.Load(),
+		"concurrent_elapsed_ms": float64(elapsed.Microseconds()) / 1000,
+		"throughput_qps":        qps,
+		"gomaxprocs":            runtime.GOMAXPROCS(0),
+	}
+	snap := s.Tel().Snapshot()
+	report["server_cache_hit_rate"] = snap.Derived["server_cache_hit_rate"]
+	if h, ok := snap.Histograms["server_latency"]; ok {
+		report["server_latency_p50_ms"] = h.P50NS / 1e6
+		report["server_latency_p99_ms"] = h.P99NS / 1e6
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchReport, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: uncached %.1fms, cached %.2fms (%.0fx), %.1f qps",
+		benchReport, float64(uncached.Microseconds())/1000,
+		float64(cachedMean.Microseconds())/1000,
+		float64(uncached)/float64(cachedMean), qps)
+}

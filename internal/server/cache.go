@@ -1,0 +1,96 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one cacheable search: the query content
+// fingerprint, the snapshot generation it ran against, and every option
+// that changes the answer. A reload bumps the generation, so stale
+// results can never be served (purge on swap just frees the memory
+// sooner).
+type cacheKey struct {
+	fp       uint64
+	gen      uint64
+	k        int
+	limit    int
+	minScore float64
+}
+
+// resultCache is a mutex-guarded LRU of search responses. The cached
+// *SearchResponse and its Hits slice are shared between callers and must
+// be treated as read-only; handlers copy the struct header before
+// stamping per-request fields (Cached, TookMS).
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *cacheSlot
+	items map[cacheKey]*list.Element
+}
+
+type cacheSlot struct {
+	key  cacheKey
+	resp *SearchResponse
+}
+
+// newResultCache returns a cache holding at most max entries; max <= 0
+// disables caching (every get misses, puts are dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		order: list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached response for key, refreshing its recency.
+func (c *resultCache) get(key cacheKey) (*SearchResponse, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheSlot).resp, true
+}
+
+// put stores resp under key, evicting the least recently used entry when
+// full.
+func (c *resultCache) put(key cacheKey, resp *SearchResponse) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheSlot).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheSlot{key: key, resp: resp})
+	for len(c.items) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheSlot).key)
+	}
+}
+
+// purge drops every entry (used on snapshot swap).
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[cacheKey]*list.Element)
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -1,0 +1,158 @@
+// Package client is the Go client of the tracy query service
+// (internal/server): typed wrappers over the /v1 HTTP/JSON API with
+// context support and structured errors.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// ErrSaturated is wrapped by errors returned when the server sheds load
+// with 429; callers back off and retry: errors.Is(err, ErrSaturated).
+var ErrSaturated = errors.New("server saturated")
+
+// APIError is a non-2xx reply decoded from the server's error body.
+type APIError struct {
+	Status int    // HTTP status code
+	Msg    string // server-provided message
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// Unwrap lets errors.Is(err, ErrSaturated) match 429 replies.
+func (e *APIError) Unwrap() error {
+	if e.Status == http.StatusTooManyRequests {
+		return ErrSaturated
+	}
+	return nil
+}
+
+// Client talks to one tracy server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8077".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Search runs one query.
+func (c *Client) Search(ctx context.Context, req *server.SearchRequest) (*server.SearchResponse, error) {
+	var resp server.SearchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/search", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SearchImage uploads an executable image and searches for its function
+// fn (empty: the largest); extra tunes limit/min_score/k when non-nil.
+func (c *Client) SearchImage(ctx context.Context, img []byte, fn string, extra *server.SearchRequest) (*server.SearchResponse, error) {
+	req := server.SearchRequest{}
+	if extra != nil {
+		req = *extra
+	}
+	req.SetImage(img)
+	req.Function = fn
+	req.Exe, req.Name = "", ""
+	return c.Search(ctx, &req)
+}
+
+// SearchBatch runs several queries in one round trip.
+func (c *Client) SearchBatch(ctx context.Context, queries []server.SearchRequest) (*server.BatchResponse, error) {
+	var resp server.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/search/batch", server.BatchRequest{Queries: queries}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Functions lists the indexed corpus; exe filters by executable and
+// limit caps the listing when > 0.
+func (c *Client) Functions(ctx context.Context, exe string, limit int) (*server.FunctionsResponse, error) {
+	path := "/v1/functions"
+	sep := "?"
+	if exe != "" {
+		path += sep + "exe=" + exe
+		sep = "&"
+	}
+	if limit > 0 {
+		path += fmt.Sprintf("%slimit=%d", sep, limit)
+	}
+	var resp server.FunctionsResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz probes liveness and the loaded snapshot's shape.
+func (c *Client) Healthz(ctx context.Context) (*server.HealthResponse, error) {
+	var resp server.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Reload asks the server to hot-reload its index from disk.
+func (c *Client) Reload(ctx context.Context) (*server.ReloadResponse, error) {
+	var resp server.ReloadResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/reload", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// do sends one JSON request and decodes the reply into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var apiErr server.ErrorResponse
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Msg: msg}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,562 @@
+// Package server turns the tracelet search engine into a long-running
+// HTTP/JSON query service (paper Section 5.2 frames TRACY as a search
+// engine over a large code base; this is its serving layer).
+//
+// The server loads the gob index once and prepares an immutable
+// index.Snapshot: entries pre-decomposed per tracelet size and split
+// into shards, so one query fans out across shards while any number of
+// queries run concurrently with no locks on the read path. A hot reload
+// (POST /v1/reload, or SIGHUP via tracy serve) builds a fresh snapshot
+// and swaps it in atomically; in-flight queries finish on the old one.
+//
+// Robustness is part of the design: a bounded in-flight semaphore sheds
+// load with 429 instead of queueing unboundedly, every request runs
+// under a deadline and a body-size limit, shutdown drains in-flight
+// queries, and an LRU cache keyed on (query fingerprint, options,
+// snapshot generation) short-circuits repeated searches. Everything
+// reports into a telemetry.Collector served at /statsz alongside the
+// pprof endpoints.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/prep"
+	"repro/internal/telemetry"
+)
+
+// Config shapes a Server. The zero value of every field selects a
+// sensible production default.
+type Config struct {
+	// DBPath is the gob index to load and hot-reload. Optional when the
+	// server is seeded with NewFromDB (reload then requires a path).
+	DBPath string
+
+	// Opts are the default matching options (zero value:
+	// core.DefaultOptions). A request's k overrides Opts.K if the
+	// snapshot precomputed it.
+	Opts core.Options
+
+	// Ks lists the tracelet sizes to pre-decompose (default: [Opts.K]).
+	Ks []int
+
+	// Shards is the per-query fan-out width (default GOMAXPROCS).
+	Shards int
+
+	// MaxInFlight bounds concurrently processed search requests; excess
+	// requests are rejected with 429 (default 4*GOMAXPROCS).
+	MaxInFlight int
+
+	// MaxBodyBytes bounds a request body (default 8 MiB).
+	MaxBodyBytes int64
+
+	// RequestTimeout is the per-request deadline (default 30s).
+	RequestTimeout time.Duration
+
+	// CacheEntries sizes the LRU result cache (default 256; negative
+	// disables caching).
+	CacheEntries int
+
+	// Tel receives server telemetry and is served at /statsz (default: a
+	// fresh collector).
+	Tel *telemetry.Collector
+}
+
+// snapState is what one atomic snapshot swap publishes.
+type snapState struct {
+	snap     *index.Snapshot
+	gen      uint64
+	loadedAt time.Time
+}
+
+// Server is the query service. Create with New or NewFromDB.
+type Server struct {
+	cfg   Config
+	opts  core.Options
+	ks    []int
+	tel   *telemetry.Collector
+	snap  atomic.Pointer[snapState]
+	gen   atomic.Uint64
+	sem   chan struct{}
+	cache *resultCache
+
+	httpSrv *http.Server
+
+	// holdForTest, when non-nil, blocks every search request after it
+	// acquires its in-flight slot — the hook saturation and drain tests
+	// use to hold requests in flight deterministically.
+	holdForTest chan struct{}
+}
+
+// New builds a server and, when cfg.DBPath is set, loads the index.
+func New(cfg Config) (*Server, error) {
+	s := newServer(cfg)
+	if cfg.DBPath != "" {
+		if _, err := s.reload(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NewFromDB builds a server over an in-memory database (no DBPath
+// needed); the snapshot is built immediately.
+func NewFromDB(db *index.DB, cfg Config) *Server {
+	s := newServer(cfg)
+	s.install(db)
+	return s
+}
+
+func newServer(cfg Config) *Server {
+	opts := cfg.Opts
+	if opts == (core.Options{}) {
+		opts = core.DefaultOptions()
+	}
+	if opts.K <= 0 {
+		opts.K = 3
+	}
+	ks := cfg.Ks
+	if len(ks) == 0 {
+		ks = []int{opts.K}
+	}
+	tel := cfg.Tel
+	if tel == nil {
+		tel = telemetry.New()
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	cacheN := cfg.CacheEntries
+	switch {
+	case cacheN == 0:
+		cacheN = 256
+	case cacheN < 0:
+		cacheN = 0 // disabled
+	}
+	return &Server{
+		cfg:   cfg,
+		opts:  opts,
+		ks:    ks,
+		tel:   tel,
+		sem:   make(chan struct{}, maxInFlight),
+		cache: newResultCache(cacheN),
+	}
+}
+
+// Tel returns the server's telemetry collector.
+func (s *Server) Tel() *telemetry.Collector { return s.tel }
+
+// install builds a snapshot of db and swaps it in.
+func (s *Server) install(db *index.DB) *snapState {
+	db.Tel = s.tel
+	st := &snapState{
+		snap:     index.BuildSnapshot(db, s.ks, s.cfg.Shards),
+		gen:      s.gen.Add(1),
+		loadedAt: time.Now(),
+	}
+	s.snap.Store(st)
+	s.cache.purge()
+	return st
+}
+
+// Reload re-reads cfg.DBPath and atomically swaps in the new snapshot.
+// In-flight queries keep using the old snapshot until they return.
+func (s *Server) Reload() (*ReloadResponse, error) {
+	st, err := s.reload()
+	if err != nil {
+		return nil, err
+	}
+	s.tel.Inc(telemetry.ServerReloads)
+	return st, nil
+}
+
+func (s *Server) reload() (*ReloadResponse, error) {
+	if s.cfg.DBPath == "" {
+		return nil, errors.New("server: no index path configured for reload")
+	}
+	t0 := time.Now()
+	f, err := os.Open(s.cfg.DBPath)
+	if err != nil {
+		return nil, err
+	}
+	db, err := index.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	st := s.install(db)
+	return &ReloadResponse{
+		Functions:  st.snap.Len(),
+		Generation: st.gen,
+		TookMS:     msSince(t0),
+	}, nil
+}
+
+// Handler returns the service mux: the /v1 API plus /statsz and
+// /debug/pprof from the telemetry collector.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	timeoutBody, _ := json.Marshal(ErrorResponse{Error: "request deadline exceeded"})
+	api := func(h http.HandlerFunc) http.Handler {
+		return http.TimeoutHandler(h, s.cfg.RequestTimeout, string(timeoutBody))
+	}
+	mux.Handle("POST /v1/search", api(s.handleSearch))
+	mux.Handle("POST /v1/search/batch", api(s.handleBatch))
+	mux.Handle("GET /v1/functions", api(s.handleFunctions))
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz) // no deadline: must answer under load
+	mux.Handle("POST /v1/reload", api(s.handleReload))
+	th := telemetry.Handler(s.tel)
+	mux.Handle("/statsz", th)
+	mux.Handle("/debug/pprof/", th)
+	return mux
+}
+
+// Start listens on addr and serves in a background goroutine; use
+// Shutdown to stop. It returns the bound address (useful with ":0").
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Shutdown stops accepting new connections and drains in-flight
+// requests, waiting up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// httpError carries a status code through the request pipeline.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	he := &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+	errors.As(err, &he)
+	writeJSON(w, he.status, ErrorResponse{Error: he.msg})
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Nanoseconds()) / 1e6
+}
+
+// acquire takes an in-flight slot without blocking; nil means saturated.
+func (s *Server) acquire() func() {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }
+	default:
+		return nil
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	release := s.acquire()
+	if release == nil {
+		s.tel.Inc(telemetry.ServerRejected)
+		writeErr(w, errf(http.StatusTooManyRequests, "server saturated: %d searches in flight", cap(s.sem)))
+		return
+	}
+	defer release()
+	s.tel.Inc(telemetry.ServerRequests)
+	lt := s.tel.StartTimer(telemetry.ServerLatency)
+	defer lt.Stop()
+	if s.holdForTest != nil {
+		<-s.holdForTest
+	}
+	var req SearchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := s.runSearch(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxBatch bounds the queries in one batch request.
+const maxBatch = 64
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// One batch holds one in-flight slot: its queries run back to back,
+	// and each still fans out across all snapshot shards.
+	release := s.acquire()
+	if release == nil {
+		s.tel.Inc(telemetry.ServerRejected)
+		writeErr(w, errf(http.StatusTooManyRequests, "server saturated: %d searches in flight", cap(s.sem)))
+		return
+	}
+	defer release()
+	s.tel.Inc(telemetry.ServerRequests)
+	lt := s.tel.StartTimer(telemetry.ServerLatency)
+	defer lt.Stop()
+	if s.holdForTest != nil {
+		<-s.holdForTest
+	}
+	var req BatchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, errf(http.StatusBadRequest, "batch: no queries"))
+		return
+	}
+	if len(req.Queries) > maxBatch {
+		writeErr(w, errf(http.StatusBadRequest, "batch: %d queries exceeds the limit of %d", len(req.Queries), maxBatch))
+		return
+	}
+	out := BatchResponse{Results: make([]BatchItem, len(req.Queries))}
+	for i := range req.Queries {
+		resp, err := s.runSearch(&req.Queries[i])
+		if err != nil {
+			out.Results[i].Error = err.Error()
+			continue
+		}
+		out.Results[i].Result = resp
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	st := s.snap.Load()
+	if st == nil {
+		writeErr(w, errf(http.StatusServiceUnavailable, "no index loaded"))
+		return
+	}
+	exe := r.URL.Query().Get("exe")
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &limit); err != nil || limit < 0 {
+			writeErr(w, errf(http.StatusBadRequest, "functions: bad limit %q", v))
+			return
+		}
+	}
+	resp := FunctionsResponse{Total: st.snap.Len()}
+	for _, e := range st.snap.Entries() {
+		if exe != "" && e.Exe != exe {
+			continue
+		}
+		resp.Functions = append(resp.Functions, FunctionInfo{
+			Exe: e.Exe, Name: e.Name, Addr: e.Addr,
+			Blocks: e.Func.NumBlocks(), Insts: e.Func.NumInsts(),
+		})
+		if limit > 0 && len(resp.Functions) == limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.snap.Load()
+	if st == nil {
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "empty"})
+		return
+	}
+	ks := append([]int(nil), st.snap.Ks()...)
+	sort.Ints(ks)
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     "ok",
+		Functions:  st.snap.Len(),
+		Ks:         ks,
+		Shards:     st.snap.NumShards(),
+		Generation: st.gen,
+		LoadedAt:   st.loadedAt,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.Reload()
+	if err != nil {
+		var he *httpError
+		if !errors.As(err, &he) {
+			err = errf(http.StatusConflict, "reload: %v", err)
+		}
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBody JSON-decodes a size-limited request body.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errf(http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+		}
+		return errf(http.StatusBadRequest, "bad request body: %v", err)
+	}
+	return nil
+}
+
+// runSearch executes one search (shared by the single and batch
+// endpoints): resolve the query function, consult the cache, fan out
+// over the snapshot, rank top-K.
+func (s *Server) runSearch(req *SearchRequest) (*SearchResponse, error) {
+	t0 := time.Now()
+	st := s.snap.Load()
+	if st == nil {
+		return nil, errf(http.StatusServiceUnavailable, "no index loaded")
+	}
+	k := req.K
+	if k <= 0 {
+		k = s.opts.K
+	}
+	if !st.snap.SupportsK(k) {
+		return nil, errf(http.StatusBadRequest, "k=%d not precomputed (supported: %v)", k, st.snap.Ks())
+	}
+	limit := req.Limit
+	switch {
+	case limit <= 0:
+		limit = 10
+	case limit > 1000:
+		limit = 1000
+	}
+	if req.MinScore < 0 || req.MinScore > 1 {
+		return nil, errf(http.StatusBadRequest, "min_score %v outside [0,1]", req.MinScore)
+	}
+
+	query, err := s.resolveQuery(st, req)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := s.opts
+	opts.K = k
+	opts.Tel = s.tel
+	ref := core.DecomposeT(query, k, s.tel)
+	key := cacheKey{fp: ref.Fingerprint(), gen: st.gen, k: k, limit: limit, minScore: req.MinScore}
+	if cached, ok := s.cache.get(key); ok {
+		s.tel.Inc(telemetry.ServerCacheHits)
+		resp := *cached // shallow copy; shared Hits are read-only
+		resp.Cached = true
+		resp.TookMS = msSince(t0)
+		return &resp, nil
+	}
+	s.tel.Inc(telemetry.ServerCacheMisses)
+
+	hits, serr := st.snap.SearchDecomposed(ref, opts)
+	if serr != nil {
+		return nil, errf(http.StatusBadRequest, "%v", serr)
+	}
+	top := index.TopK(hits, limit, req.MinScore)
+	resp := &SearchResponse{
+		Query:       query.Name,
+		QueryBlocks: query.NumBlocks(),
+		QueryInsts:  query.NumInsts(),
+		K:           k,
+		Candidates:  len(hits),
+		Hits:        make([]Hit, len(top)),
+	}
+	for i, h := range top {
+		resp.Hits[i] = Hit{
+			Exe:            h.Entry.Exe,
+			Name:           h.Entry.Name,
+			Addr:           h.Entry.Addr,
+			Score:          h.Result.SimilarityScore,
+			IsMatch:        h.Result.IsMatch,
+			Matched:        h.Result.Matched(),
+			RefTracelets:   h.Result.RefTracelets,
+			MatchedRewrite: h.Result.MatchedRewrite,
+		}
+	}
+	resp.TookMS = msSince(t0)
+	s.cache.put(key, resp)
+	return resp, nil
+}
+
+// resolveQuery produces the query function from either form of
+// SearchRequest.
+func (s *Server) resolveQuery(st *snapState, req *SearchRequest) (*prep.Function, error) {
+	byImage := req.Image != ""
+	byRef := req.Exe != "" || req.Name != ""
+	switch {
+	case byImage && byRef:
+		return nil, errf(http.StatusBadRequest, "give either image or exe/name, not both")
+	case byRef:
+		if req.Exe == "" || req.Name == "" {
+			return nil, errf(http.StatusBadRequest, "reference queries need both exe and name")
+		}
+		e := st.snap.Lookup(req.Exe, req.Name)
+		if e == nil {
+			return nil, errf(http.StatusNotFound, "no indexed function %s/%s", req.Exe, req.Name)
+		}
+		return e.Func, nil
+	case byImage:
+		img, err := req.DecodeImage()
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad base64 image: %v", err)
+		}
+		fns, err := prep.LiftImage(img)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "lifting image: %v", err)
+		}
+		if len(fns) == 0 {
+			return nil, errf(http.StatusBadRequest, "image has no functions")
+		}
+		if req.Function != "" {
+			for _, fn := range fns {
+				if fn.Name == req.Function {
+					return fn, nil
+				}
+			}
+			return nil, errf(http.StatusNotFound, "image has no function %q", req.Function)
+		}
+		best := fns[0]
+		for _, fn := range fns[1:] {
+			if fn.NumInsts() > best.NumInsts() {
+				best = fn
+			}
+		}
+		return best, nil
+	default:
+		return nil, errf(http.StatusBadRequest, "empty query: set image or exe/name")
+	}
+}

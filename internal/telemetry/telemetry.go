@@ -45,6 +45,11 @@ const (
 	CSPSolves                           // constraint-solver invocations
 	CSPBacktracks                       // backtracking steps consumed across solves
 	CSPBudgetExhausted                  // solves that hit the backtrack budget
+	ServerRequests                      // query-service API requests accepted for processing
+	ServerRejected                      // API requests rejected with 429 (in-flight limit)
+	ServerCacheHits                     // search responses served from the result cache
+	ServerCacheMisses                   // search responses computed (cacheable but absent)
+	ServerReloads                       // successful hot index reloads (snapshot swaps)
 	numCounters
 )
 
@@ -63,6 +68,11 @@ var counterNames = [numCounters]string{
 	CSPSolves:            "csp_solves",
 	CSPBacktracks:        "csp_backtracks",
 	CSPBudgetExhausted:   "csp_budget_exhausted",
+	ServerRequests:       "server_requests",
+	ServerRejected:       "server_rejected",
+	ServerCacheHits:      "server_cache_hits",
+	ServerCacheMisses:    "server_cache_misses",
+	ServerReloads:        "server_reloads",
 }
 
 // String returns the snake_case metric name used in JSON exports.
@@ -83,6 +93,7 @@ const (
 	RewriteLatency               // one rewrite attempt incl. re-scoring
 	SolveLatency                 // one CSP solve
 	DecomposeLatency             // one function decomposition
+	ServerLatency                // one query-service request end to end
 	numHists
 )
 
@@ -93,6 +104,7 @@ var histNames = [numHists]string{
 	RewriteLatency:   "rewrite_latency",
 	SolveLatency:     "solve_latency",
 	DecomposeLatency: "decompose_latency",
+	ServerLatency:    "server_latency",
 }
 
 // String returns the snake_case histogram name used in JSON exports.
@@ -375,6 +387,10 @@ func derive(ct map[string]uint64) map[string]float64 {
 	ratio("match_rate", ct[Matches.String()], ct[Compares.String()])
 	ratio("pairs_per_compare", ct[PairsCompared.String()], ct[Compares.String()])
 	ratio("csp_backtracks_per_solve", ct[CSPBacktracks.String()], ct[CSPSolves.String()])
+	sch, scm := ct[ServerCacheHits.String()], ct[ServerCacheMisses.String()]
+	ratio("server_cache_hit_rate", sch, sch+scm)
+	ratio("server_reject_rate", ct[ServerRejected.String()],
+		ct[ServerRequests.String()]+ct[ServerRejected.String()])
 	if len(d) == 0 {
 		return nil
 	}
