@@ -1,0 +1,231 @@
+package align
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/tracelet"
+)
+
+// listing builds a CFG from assembly text (test helper mirroring the
+// tracelet package tests).
+func listing(t *testing.T, name, src string) *cfg.Graph {
+	t.Helper()
+	insts, labels, err := asm.ParseListing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.BuildListing(name, insts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEmptyTracelet pins down the degenerate cases: empty instruction
+// sequences score zero against anything, produce no aligned pairs, and
+// normalize to zero rather than NaN.
+func TestEmptyTracelet(t *testing.T) {
+	seq := insts(t, "push ebp", "mov ebp, esp", "retn")
+	if got := Score(nil, nil); got != 0 {
+		t.Errorf("Score(nil, nil) = %d, want 0", got)
+	}
+	if got := Score(nil, seq); got != 0 {
+		t.Errorf("Score(nil, seq) = %d, want 0", got)
+	}
+	if got := Score(seq, nil); got != 0 {
+		t.Errorf("Score(seq, nil) = %d, want 0", got)
+	}
+	if got := IdentityScore(nil); got != 0 {
+		t.Errorf("IdentityScore(nil) = %d, want 0", got)
+	}
+	a := Align(nil, seq)
+	if a.Score != 0 || len(a.Pairs) != 0 || len(a.Deleted) != 0 || len(a.Inserted) != len(seq) {
+		t.Errorf("Align(nil, seq) = %+v, want all-inserted", a)
+	}
+	b := Align(seq, nil)
+	if b.Score != 0 || len(b.Pairs) != 0 || len(b.Inserted) != 0 || len(b.Deleted) != len(seq) {
+		t.Errorf("Align(seq, nil) = %+v, want all-deleted", b)
+	}
+	// An empty tracelet (e.g. a basic block that was nothing but its jump)
+	// must normalize to 0 against everything, including itself.
+	empty := &tracelet.Tracelet{Blocks: [][]asm.Inst{nil}}
+	s := Score(empty.Insts(), seq)
+	for _, m := range []Method{Ratio, Containment} {
+		if got := Norm(s, IdentityScore(empty.Insts()), IdentityScore(seq), m); got != 0 {
+			t.Errorf("Norm(empty vs seq, %v) = %v, want 0", m, got)
+		}
+		if got := Norm(0, 0, 0, m); got != 0 {
+			t.Errorf("Norm(empty vs empty, %v) = %v, want 0", m, got)
+		}
+	}
+}
+
+// TestK1SingleBlockTracelets exercises the k=1 boundary: every basic
+// block yields a single-block tracelet, and blocks consisting only of a
+// jump yield empty tracelets that score 0 but never crash or divide by
+// zero.
+func TestK1SingleBlockTracelets(t *testing.T) {
+	g := listing(t, "k1", `
+		cmp esi, 1
+		jz done
+		mov eax, 2
+		jmp done
+	done:
+		retn
+	`)
+	ts := tracelet.Extract(g, 1)
+	if len(ts) != len(g.Blocks) {
+		t.Fatalf("k=1 extracted %d tracelets from %d blocks", len(ts), len(g.Blocks))
+	}
+	for _, tr := range ts {
+		if tr.K() != 1 {
+			t.Fatalf("k=1 tracelet has %d blocks", tr.K())
+		}
+		self := tr.Insts()
+		ident := IdentityScore(self)
+		if got := Score(self, self); got != ident {
+			t.Errorf("k=1 self-score %d != identity %d for %q", got, ident, tr)
+		}
+		want := 1.0
+		if len(self) == 0 {
+			want = 0 // jump-only block: stripped body is empty
+		}
+		for _, m := range []Method{Ratio, Containment} {
+			if got := Norm(Score(self, self), ident, ident, m); got != want {
+				t.Errorf("k=1 self-norm(%v) = %v, want %v for %q", m, got, want, tr)
+			}
+		}
+	}
+	// The graph above has one jump-only control transfer; make sure at
+	// least one non-empty and the cross-block scores respect the identity
+	// ceiling.
+	for _, a := range ts {
+		for _, b := range ts {
+			s := Score(a.Insts(), b.Insts())
+			ia, ib := IdentityScore(a.Insts()), IdentityScore(b.Insts())
+			min := ia
+			if ib < min {
+				min = ib
+			}
+			if s > min {
+				t.Errorf("cross score %d exceeds min identity %d (%q vs %q)", s, min, a, b)
+			}
+		}
+	}
+}
+
+// TestJumpTargetOnlyDifference checks the core stripping property of
+// tracelet extraction (paper Section 4.2.1): two functions whose only
+// difference is their jump instructions — condition sense and therefore
+// target — produce identical tracelets, and those tracelets score exactly
+// 1.0 against each other.
+func TestJumpTargetOnlyDifference(t *testing.T) {
+	gA := listing(t, "fnA", `
+		cmp esi, 1
+		jz arm
+		mov eax, 2
+		jmp done
+	arm:
+		mov ecx, 1
+	done:
+		retn
+	`)
+	gB := listing(t, "fnB", `
+		cmp esi, 1
+		jnz arm
+		mov eax, 2
+		jmp done
+	arm:
+		mov ecx, 1
+	done:
+		retn
+	`)
+	for _, k := range []int{1, 2, 3} {
+		tsA, tsB := tracelet.Extract(gA, k), tracelet.Extract(gB, k)
+		if len(tsA) != len(tsB) {
+			t.Fatalf("k=%d: %d vs %d tracelets", k, len(tsA), len(tsB))
+		}
+		sa, sb := traceletStrings(tsA), traceletStrings(tsB)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Errorf("k=%d tracelet %d differs despite jump-only change:\n%s\nvs\n%s",
+					k, i, sa[i], sb[i])
+			}
+		}
+		// And the alignment agrees: every A-tracelet has a B-tracelet at
+		// similarity exactly 1.0.
+		for _, ta := range tsA {
+			best := 0.0
+			for _, tb := range tsB {
+				s := Score(ta.Insts(), tb.Insts())
+				n := Norm(s, IdentityScore(ta.Insts()), IdentityScore(tb.Insts()), Ratio)
+				if n > best {
+					best = n
+				}
+			}
+			if ta.NumInsts() > 0 && best != 1.0 {
+				t.Errorf("k=%d: tracelet %q best cross-binary score %v, want exactly 1.0", k, ta, best)
+			}
+		}
+	}
+}
+
+func traceletStrings(ts []*tracelet.Tracelet) []string {
+	out := make([]string, len(ts))
+	for i, tr := range ts {
+		out[i] = tr.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestIdenticalTraceletsExactlyOne asserts the self-similarity identity is
+// exact, not approximate: for every tracelet of a realistic function, the
+// normalized self-score is precisely 1.0 under both methods (the floating
+// division 2s/(s+s) and s/min(s,s) must not introduce error).
+func TestIdenticalTraceletsExactlyOne(t *testing.T) {
+	g := listing(t, "real", `
+		push ebp
+		mov ebp, esp
+		sub esp, 18h
+		cmp esi, 1
+		jz b3
+		mov eax, 2
+		mov [esp+18h+var_14], ecx
+		jmp b5
+	b3:
+		mov ecx, 1
+		call _printf
+	b5:
+		mov esp, ebp
+		pop ebp
+		retn
+	`)
+	checked := 0
+	for _, k := range []int{1, 2, 3} {
+		for _, tr := range tracelet.Extract(g, k) {
+			self := tr.Insts()
+			if len(self) == 0 {
+				continue
+			}
+			s := Score(self, self)
+			ident := IdentityScore(self)
+			if s != ident {
+				t.Fatalf("self-score %d != identity %d for %q", s, ident, tr)
+			}
+			if got := Norm(s, ident, ident, Ratio); got != 1.0 {
+				t.Errorf("Ratio self-norm = %v, want exactly 1.0 for %q", got, tr)
+			}
+			if got := Norm(s, ident, ident, Containment); got != 1.0 {
+				t.Errorf("Containment self-norm = %v, want exactly 1.0 for %q", got, tr)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no tracelets checked")
+	}
+}

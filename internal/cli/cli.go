@@ -9,6 +9,7 @@
 //	tracy disasm [-dot] exe                    dump lifted CFGs
 //	tracy tracelets [-k N] exe                 dump a function's tracelets
 //	tracy emulate -args 1,2 exe                run a function in the emulator
+//	tracy fuzz   -programs 50 -seed 1          differential-test the pipeline
 //	tracy stats  -db code.db                   database statistics
 //	tracy experiments [name]                   regenerate paper tables
 //
@@ -66,6 +67,8 @@ func Run(w io.Writer, args []string) error {
 		return cmd.tracelets(args[1:])
 	case "emulate":
 		return cmd.emulate(args[1:])
+	case "fuzz":
+		return cmd.fuzz(args[1:])
 	case "stats":
 		return cmd.stats(args[1:])
 	case "experiments":
@@ -82,7 +85,7 @@ type env struct {
 
 func usageError() error {
 	return fmt.Errorf(`usage: tracy <command> [flags]
-commands: index, search, serve, query, mkcorpus, compare, disasm, tracelets, emulate, stats, experiments`)
+commands: index, search, serve, query, mkcorpus, compare, disasm, tracelets, emulate, fuzz, stats, experiments`)
 }
 
 // matchFlags registers the shared matching options.

@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/difftest"
+)
+
+// fuzz runs the differential-testing campaign: seeded random programs
+// built under every optimization level × context combination, emulated
+// on shared inputs, plus the metamorphic invariants of the search stack.
+// It exits non-zero on any divergence, so CI can gate on it.
+func (c *env) fuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	programs := fs.Int("programs", 25, "random programs to generate")
+	seed := fs.Int64("seed", 1, "master seed; reruns with the same seed are identical")
+	stmts := fs.Int("stmts", 25, "statement budget per generated program")
+	inputs := fs.Int("inputs", 3, "input vectors emulated per program")
+	contexts := fs.Int("contexts", 2, "extra O2 context variants beyond O0/O1/O2/Os")
+	workers := fs.Int("workers", 0, "parallel program pipelines (0: GOMAXPROCS)")
+	maxDiv := fs.Int("max-divergences", 16, "stop after this many divergences")
+	noInv := fs.Bool("noinvariants", false, "skip the metamorphic invariants (oracle only)")
+	showSrc := fs.Bool("show-source", false, "print the generated source of each divergent program")
+	tf := telFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tf.activate(c.w, "fuzz"); err != nil {
+		return err
+	}
+	rep, err := difftest.Run(difftest.Config{
+		Programs:       *programs,
+		Seed:           *seed,
+		Stmts:          *stmts,
+		Inputs:         *inputs,
+		ExtraO2:        *contexts,
+		Workers:        *workers,
+		MaxDivergences: *maxDiv,
+		SkipInvariants: *noInv,
+		Tel:            tf.tel,
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range rep.Divergences {
+		fmt.Fprintf(c.w, "DIVERGENCE %s\n", d)
+		if *showSrc {
+			fmt.Fprintf(c.w, "--- source (reproduce: tracy fuzz -programs 1 -seed <derived>, generator seed %d)\n%s\n", d.Seed, d.Source)
+		}
+	}
+	fmt.Fprintf(c.w, "fuzz: seed %d: %s\n", *seed, rep.Summary())
+	if err := tf.finish(c.w); err != nil {
+		return err
+	}
+	if !rep.OK() {
+		return fmt.Errorf("fuzz: %d divergences (rerun with -seed %d -show-source to inspect)",
+			len(rep.Divergences), *seed)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFuzzVerb runs a tiny differential campaign through the CLI and
+// checks the summary line and exit behavior.
+func TestFuzzVerb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential campaign in -short mode")
+	}
+	out, err := run(t, "fuzz", "-programs", "2", "-seed", "3", "-stmts", "12", "-inputs", "2", "-contexts", "1")
+	if err != nil {
+		t.Fatalf("fuzz verb failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "fuzz: seed 3:") {
+		t.Errorf("missing summary line: %s", out)
+	}
+	if !strings.Contains(out, "0 divergences") {
+		t.Errorf("expected a clean campaign: %s", out)
+	}
+	if strings.Contains(out, "DIVERGENCE") {
+		t.Errorf("unexpected divergence report: %s", out)
+	}
+}
+
+// TestFuzzVerbTelemetry checks that -stats surfaces the campaign counters.
+func TestFuzzVerbTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential campaign in -short mode")
+	}
+	out, err := run(t, "fuzz", "-programs", "1", "-seed", "5", "-stmts", "10", "-inputs", "2", "-contexts", "0", "-noinvariants", "-stats")
+	if err != nil {
+		t.Fatalf("fuzz verb failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"diff_programs", "diff_builds", "diff_executions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -186,7 +187,16 @@ func (c *env) mkcorpus(args []string) error {
 		}
 		funcsTotal += len(e.Truth)
 	}
-	fmt.Fprintf(c.w, "wrote %d executables (%d functions) to %s\n",
-		len(cp.Exes), funcsTotal, *dir)
+	// The manifest records the generating configuration — above all the
+	// seed — so the corpus can be regenerated byte-for-byte.
+	mf, err := json.MarshalIndent(cp.Manifest(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, "manifest.json"), append(mf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.w, "wrote %d executables (%d functions) to %s (seed %d, manifest.json)\n",
+		len(cp.Exes), funcsTotal, *dir, *seed)
 	return tf.finish(c.w)
 }

@@ -2,12 +2,14 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/server"
 )
 
@@ -108,13 +110,27 @@ func TestMkcorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 3 {
-		t.Fatalf("wrote %d files, want 3", len(entries))
+	if len(entries) != 4 { // 3 executables + manifest.json
+		t.Fatalf("wrote %d files, want 4", len(entries))
+	}
+	// The manifest must record the generating seed for reproducibility.
+	mf, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifest corpus.Manifest
+	if err := json.Unmarshal(mf, &manifest); err != nil {
+		t.Fatalf("manifest.json: %v", err)
+	}
+	if manifest.Config.Seed != 1 || len(manifest.Exes) != 3 {
+		t.Errorf("manifest = %+v, want seed 1 and 3 exes", manifest)
 	}
 	// The generated executables must be indexable as-is.
 	paths := []string{}
 	for _, e := range entries {
-		paths = append(paths, filepath.Join(dir, e.Name()))
+		if strings.HasSuffix(e.Name(), ".bin") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
 	}
 	dbPath := filepath.Join(t.TempDir(), "c.db")
 	iout, err := run(t, append([]string{"index", "-db", dbPath}, paths...)...)

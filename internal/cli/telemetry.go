@@ -123,9 +123,18 @@ func writeStatsSummary(w io.Writer, s telemetry.Snapshot) {
 	if ct["functions_decomposed"] > 0 {
 		fmt.Fprintf(w, "decomposed: %d functions\n", ct["functions_decomposed"])
 	}
+	if ct["diff_programs"] > 0 {
+		fmt.Fprintf(w, "diff: %d diff_programs, %d diff_builds, %d diff_executions, %d diff_divergences\n",
+			ct["diff_programs"], ct["diff_builds"], ct["diff_executions"], ct["diff_divergences"])
+	}
+	if ct["invariant_checks"] > 0 {
+		fmt.Fprintf(w, "invariants: %d invariant_checks, %d invariant_violations\n",
+			ct["invariant_checks"], ct["invariant_violations"])
+	}
 	for _, name := range []string{
 		"query_latency", "compare_latency", "pair_latency",
 		"rewrite_latency", "solve_latency", "decompose_latency",
+		"diff_program_latency",
 	} {
 		h := s.Histograms[name]
 		if h.Count == 0 {

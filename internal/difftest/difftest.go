@@ -1,0 +1,352 @@
+// Package difftest is the correctness harness of the whole pipeline: a
+// differential-testing engine that pits the compiler → assembler →
+// linker → loader → decoder → emulator stack against itself, plus the
+// metamorphic invariants of the search stack (alignment, rewriting,
+// indexing, serving) evaluated over the same generated programs.
+//
+// The oracle is the one Trex-style semantics-based approaches use for
+// binary similarity, repurposed for testing: every build of the same
+// source — any optimization level, any context-knob seed — must compute
+// the same return value and make the same external calls on the same
+// inputs. A silent bug anywhere in the chain (a miscompiled loop, a
+// misencoded ModRM byte, a decoder that drops a displacement) surfaces
+// as a divergence between two variants, with a seed that reproduces it
+// byte-for-byte.
+//
+// Everything derives deterministically from Config.Seed: program
+// sources, context knobs and input vectors. `tracy fuzz -seed S` twice
+// is the same run twice.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/emu"
+	"repro/internal/telemetry"
+	"repro/internal/tinyc"
+)
+
+// FuncName is the name of the generated function in every program.
+const FuncName = "fuzzfn"
+
+// Config sizes and seeds a differential run. The zero value of any
+// field picks the default noted on it.
+type Config struct {
+	Programs int   // random programs to generate (default 25)
+	Seed     int64 // master seed; the whole run derives from it (default 1)
+	Stmts    int   // statement budget per program (default 25)
+	Inputs   int   // input vectors emulated per program (default 3)
+	ExtraO2  int   // O2 context variants beyond the base O0/O1/O2/Os set (default 2)
+	MaxSteps int   // emulator step budget per run (default 2,000,000)
+	Workers  int   // parallel program pipelines (0: GOMAXPROCS, <0: 1)
+
+	// SkipInvariants disables the metamorphic checks, leaving only the
+	// compiler/emulator oracle.
+	SkipInvariants bool
+
+	// MaxDivergences stops the run once this many divergences have been
+	// collected (default 16; the first one is almost always the story).
+	MaxDivergences int
+
+	// Tel, when non-nil, receives per-run statistics: diff_programs,
+	// diff_builds, diff_executions, diff_divergences, invariant_checks,
+	// invariant_violations, and the diff_program_latency histogram.
+	Tel *telemetry.Collector
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.Programs <= 0 {
+		cfg.Programs = 25
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Stmts <= 0 {
+		cfg.Stmts = 25
+	}
+	if cfg.Inputs <= 0 {
+		cfg.Inputs = 3
+	}
+	if cfg.ExtraO2 == 0 {
+		cfg.ExtraO2 = 2
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 2_000_000
+	}
+	switch {
+	case cfg.Workers == 0:
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	case cfg.Workers < 0:
+		cfg.Workers = 1
+	}
+	if cfg.MaxDivergences <= 0 {
+		cfg.MaxDivergences = 16
+	}
+}
+
+// Divergence is one oracle violation: two variants of the same program
+// disagreed, a build or emulation failed, or a metamorphic invariant did
+// not hold. Seed + Variant reproduce it.
+type Divergence struct {
+	Check   string // "oracle/return", "oracle/calls", "build", "emu", "invariant/<name>"
+	Program int    // program index within the run
+	Seed    int64  // generator seed of the program (RandomFunc seed)
+	Variant string // the variant that disagreed, e.g. "O2/ctx2"
+	Detail  string // what differed
+	Source  string // the program source, for offline reproduction
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s: program %d (seed %d) variant %s: %s",
+		d.Check, d.Program, d.Seed, d.Variant, d.Detail)
+}
+
+// Report aggregates one differential run.
+type Report struct {
+	Programs        int // programs generated and exercised
+	Builds          int // variants compiled
+	Executions      int // emulator runs
+	InvariantChecks int // metamorphic invariant evaluations
+	Divergences     []Divergence
+}
+
+// OK reports whether the run observed no divergence of any kind.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 }
+
+// Summary renders the run in one line.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%d programs, %d builds, %d executions, %d invariant checks, %d divergences",
+		r.Programs, r.Builds, r.Executions, r.InvariantChecks, len(r.Divergences))
+}
+
+// variant is one compilation context of a program.
+type variant struct {
+	opt tinyc.OptLevel
+	ctx int64 // tinyc context-knob seed
+}
+
+func (v variant) String() string { return fmt.Sprintf("%v/ctx%d", v.opt, v.ctx%100) }
+
+// variants returns the build matrix for one program: every optimization
+// level once, plus extra O2 contexts (the knob-heaviest level, where
+// register allocation, block layout, setcc and jump-table decisions all
+// vary by seed).
+func (cfg *Config) variants(progSeed int64) []variant {
+	base := progSeed*31 + 1000
+	out := []variant{
+		{tinyc.O0, base},
+		{tinyc.O1, base + 1},
+		{tinyc.O2, base + 2},
+		{tinyc.Os, base + 3},
+	}
+	for j := 0; j < cfg.ExtraO2; j++ {
+		out = append(out, variant{tinyc.O2, base + 4 + int64(j)})
+	}
+	return out
+}
+
+// progSeed derives the generator seed of program i. The multipliers
+// spread consecutive programs far apart in the generator's seed space
+// while keeping the mapping reproducible from (Seed, i) alone.
+func (cfg *Config) progSeed(i int) int64 {
+	return cfg.Seed*1_000_003 + int64(i)*7919
+}
+
+// inputVectors derives the shared argument vectors of one program. The
+// first vector is fixed so every program is exercised at least once on
+// a known-good shape; the rest are seeded, mixing small positives,
+// negatives and zero (the values generated arithmetic is sensitive to).
+func (cfg *Config) inputVectors(progSeed int64) [][]uint32 {
+	rng := rand.New(rand.NewSource(progSeed ^ 0x5DEECE66D))
+	out := [][]uint32{{6, 3, 0}}
+	for len(out) < cfg.Inputs {
+		a := uint32(int32(rng.Intn(128) - 32))
+		b := uint32(int32(rng.Intn(64) - 16))
+		s := uint32(rng.Intn(2) * rng.Intn(1000))
+		out = append(out, []uint32{a, b, s})
+	}
+	return out
+}
+
+// outcome is what one variant computed on all input vectors.
+type outcome struct {
+	rets  []uint32
+	calls [][]string // build-independent call keys + hooked returns
+}
+
+// progResult is the per-program tally a worker hands back.
+type progResult struct {
+	builds, execs, invChecks int
+	divs                     []Divergence
+}
+
+// Run executes the whole differential campaign and returns its report.
+// The error return is reserved for harness-level failures; divergences
+// (including build and emulation errors) are reported in the Report so
+// one bad program does not mask the rest of the run.
+func Run(cfg Config) (*Report, error) {
+	cfg.fillDefaults()
+	report := &Report{}
+
+	results := make([]progResult, cfg.Programs)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pt := cfg.Tel.StartTimer(telemetry.DiffProgramLatency)
+				results[i] = cfg.runProgram(i)
+				pt.Stop()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Programs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := range results {
+		r := &results[i]
+		report.Programs++
+		report.Builds += r.builds
+		report.Executions += r.execs
+		report.InvariantChecks += r.invChecks
+		report.Divergences = append(report.Divergences, r.divs...)
+		if len(report.Divergences) >= cfg.MaxDivergences {
+			report.Divergences = report.Divergences[:cfg.MaxDivergences]
+			break
+		}
+	}
+	cfg.Tel.Add(telemetry.DiffPrograms, uint64(report.Programs))
+	cfg.Tel.Add(telemetry.DiffBuilds, uint64(report.Builds))
+	cfg.Tel.Add(telemetry.DiffExecutions, uint64(report.Executions))
+	cfg.Tel.Add(telemetry.DiffDivergences, uint64(len(report.Divergences)))
+	cfg.Tel.Add(telemetry.InvariantChecks, uint64(report.InvariantChecks))
+	for _, d := range report.Divergences {
+		if strings.HasPrefix(d.Check, "invariant/") {
+			cfg.Tel.Inc(telemetry.InvariantViolations)
+		}
+	}
+	return report, nil
+}
+
+// runProgram generates, builds, emulates and (optionally) invariant-checks
+// one program.
+func (cfg *Config) runProgram(i int) progResult {
+	seed := cfg.progSeed(i)
+	src := corpus.RandomFunc(FuncName, seed, corpus.GenConfig{Stmts: cfg.Stmts, Calls: true})
+	variants := cfg.variants(seed)
+	inputs := cfg.inputVectors(seed)
+	res := progResult{}
+	diverge := func(check, variant, detail string) {
+		res.divs = append(res.divs, Divergence{
+			Check: check, Program: i, Seed: seed, Variant: variant,
+			Detail: detail, Source: src,
+		})
+	}
+
+	images := make([][]byte, 0, len(variants))
+	built := make([]variant, 0, len(variants))
+	for _, v := range variants {
+		img, err := tinyc.Build(src, tinyc.Config{Opt: v.opt, Seed: v.ctx})
+		if err != nil {
+			diverge("build", v.String(), err.Error())
+			continue
+		}
+		res.builds++
+		images = append(images, img)
+		built = append(built, v)
+	}
+	if len(images) == 0 {
+		return res
+	}
+
+	// The compiler/emulator oracle: every variant must agree with the
+	// first one on every input vector — same return value, same external
+	// calls in the same order with the same normalized arguments.
+	var ref *outcome
+	for vi, img := range images {
+		out, err := cfg.emulate(img, inputs)
+		if err != nil {
+			diverge("emu", built[vi].String(), err.Error())
+			continue
+		}
+		res.execs += len(inputs)
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for k := range inputs {
+			if out.rets[k] != ref.rets[k] {
+				diverge("oracle/return", built[vi].String(), fmt.Sprintf(
+					"%s(%v) = %d, want %d (vs %s)",
+					FuncName, argInts(inputs[k]), int32(out.rets[k]), int32(ref.rets[k]), built[0]))
+			}
+			if !equalStrings(out.calls[k], ref.calls[k]) {
+				diverge("oracle/calls", built[vi].String(), fmt.Sprintf(
+					"%s(%v) call trace %v, want %v (vs %s)",
+					FuncName, argInts(inputs[k]), out.calls[k], ref.calls[k], built[0]))
+			}
+		}
+	}
+
+	if !cfg.SkipInvariants {
+		checks, divs := cfg.checkInvariants(i, seed, src, built, images)
+		res.invChecks += checks
+		res.divs = append(res.divs, divs...)
+	}
+	return res
+}
+
+// emulate runs FuncName on every input vector of one image.
+func (cfg *Config) emulate(img []byte, inputs [][]uint32) (*outcome, error) {
+	m, err := emu.New(img)
+	if err != nil {
+		return nil, err
+	}
+	m.MaxSteps = cfg.MaxSteps
+	out := &outcome{}
+	for _, args := range inputs {
+		r, err := m.CallByName(FuncName, args...)
+		if err != nil {
+			return nil, fmt.Errorf("args %v: %w", argInts(args), err)
+		}
+		keys := make([]string, len(r.Calls))
+		for i, c := range r.Calls {
+			keys[i] = fmt.Sprintf("%s->%d", c.Key, c.Ret)
+		}
+		out.rets = append(out.rets, r.Ret)
+		out.calls = append(out.calls, keys)
+	}
+	return out, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// argInts renders an argument vector with signed values, the way the
+// generated source thinks about them.
+func argInts(args []uint32) []int32 {
+	out := make([]int32, len(args))
+	for i, a := range args {
+		out[i] = int32(a)
+	}
+	return out
+}

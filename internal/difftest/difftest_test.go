@@ -1,0 +1,102 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestRunSmallCampaign is the harness testing itself: a handful of
+// programs through the full differential + invariant pipeline must come
+// back clean.
+func TestRunSmallCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential campaign is slow")
+	}
+	tel := telemetry.New()
+	rep, err := Run(Config{Programs: 4, Seed: 7, Tel: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Divergences {
+		t.Errorf("divergence: %s", d)
+	}
+	if rep.Programs != 4 {
+		t.Errorf("Programs = %d, want 4", rep.Programs)
+	}
+	if rep.Builds != 4*6 {
+		t.Errorf("Builds = %d, want %d (4 programs x 6 variants)", rep.Builds, 4*6)
+	}
+	if rep.Executions != 4*6*3 {
+		t.Errorf("Executions = %d, want %d", rep.Executions, 4*6*3)
+	}
+	if rep.InvariantChecks == 0 {
+		t.Error("no invariant checks ran")
+	}
+	snap := tel.Snapshot()
+	if got := snap.Counters["diff_programs"]; got != 4 {
+		t.Errorf("diff_programs counter = %d, want 4", got)
+	}
+	if got := snap.Counters["invariant_checks"]; got != uint64(rep.InvariantChecks) {
+		t.Errorf("invariant_checks counter = %d, want %d", got, rep.InvariantChecks)
+	}
+}
+
+// TestRunDeterministic: the same seed must produce the identical report.
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential campaign is slow")
+	}
+	run := func() *Report {
+		rep, err := Run(Config{Programs: 2, Seed: 42, Workers: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Summary() != b.Summary() {
+		t.Errorf("same seed, different reports:\n  %s\n  %s", a.Summary(), b.Summary())
+	}
+}
+
+// TestSeedsDiffer: different master seeds must generate different programs.
+func TestSeedsDiffer(t *testing.T) {
+	cfgA := Config{Seed: 1}
+	cfgB := Config{Seed: 2}
+	cfgA.fillDefaults()
+	cfgB.fillDefaults()
+	if cfgA.progSeed(0) == cfgB.progSeed(0) {
+		t.Error("different master seeds derived the same program seed")
+	}
+}
+
+// TestDivergenceString: the rendered divergence must carry everything
+// needed to reproduce — check name, program seed and variant.
+func TestDivergenceString(t *testing.T) {
+	d := Divergence{Check: "oracle/return", Program: 3, Seed: 12345, Variant: "O2/ctx7", Detail: "boom"}
+	s := d.String()
+	for _, want := range []string{"oracle/return", "12345", "O2/ctx7", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// TestConfigDefaults: the zero config fills in the documented defaults.
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.fillDefaults()
+	if cfg.Programs != 25 || cfg.Seed != 1 || cfg.Inputs != 3 || cfg.ExtraO2 != 2 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.Workers < 1 {
+		t.Errorf("Workers = %d, want >= 1", cfg.Workers)
+	}
+	neg := Config{Workers: -5}
+	neg.fillDefaults()
+	if neg.Workers != 1 {
+		t.Errorf("negative Workers = %d, want clamped to 1", neg.Workers)
+	}
+}

@@ -1,0 +1,422 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/align"
+	"repro/internal/asm"
+	"repro/internal/bin"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/prep"
+	"repro/internal/rewrite"
+	"repro/internal/server"
+	"repro/internal/x86"
+)
+
+// checker accumulates invariant evaluations over one program. Every call
+// to fail records a divergence; ran counts evaluations whether they pass
+// or not, so Report.InvariantChecks reflects coverage, not luck.
+type checker struct {
+	prog   int
+	seed   int64
+	src    string
+	checks int
+	divs   []Divergence
+}
+
+func (c *checker) ran() { c.checks++ }
+
+func (c *checker) fail(name, variant, format string, args ...any) {
+	c.divs = append(c.divs, Divergence{
+		Check: "invariant/" + name, Program: c.prog, Seed: c.seed,
+		Variant: variant, Detail: fmt.Sprintf(format, args...), Source: c.src,
+	})
+}
+
+// checkInvariants evaluates every metamorphic invariant over the built
+// variants of one program.
+func (cfg *Config) checkInvariants(prog int, seed int64, src string, built []variant, images [][]byte) (int, []Divergence) {
+	c := &checker{prog: prog, seed: seed, src: src}
+
+	for vi, img := range images {
+		c.roundTrip(built[vi].String(), img)
+	}
+
+	// Alignment and rewrite invariants want structurally different builds
+	// of the same semantics: the first (O0) and last (highest-seeded O2)
+	// variants are the farthest apart in the matrix.
+	if len(images) >= 2 {
+		first := liftNamed(images[0], FuncName)
+		last := liftNamed(images[len(images)-1], FuncName)
+		if first != nil && last != nil {
+			da := core.Decompose(first, 3)
+			db := core.Decompose(last, 3)
+			c.alignInvariants(built[0].String(), da, db)
+			c.rewriteInvariants(built[len(built)-1].String(), da, db)
+		}
+	}
+
+	c.searchParity(built, images)
+	return c.checks, c.divs
+}
+
+// roundTrip checks encode→decode→re-encode byte identity over every
+// function of one built image: whatever the decoder understood, the
+// encoder must reproduce bit-for-bit. Control-flow instructions are
+// exempt — the decoder resolves their relative displacements to absolute
+// targets, which only AssembleFunc (with labels) can re-encode.
+func (c *checker) roundTrip(variant string, img []byte) {
+	f, err := bin.Read(img)
+	if err != nil {
+		c.ran()
+		c.fail("roundtrip", variant, "reading built image: %v", err)
+		return
+	}
+	fns, err := f.Functions()
+	if err != nil {
+		c.ran()
+		c.fail("roundtrip", variant, "finding functions: %v", err)
+		return
+	}
+	for _, fn := range fns {
+		decoded, err := x86.DecodeAll(fn.Code, fn.Addr)
+		if err != nil {
+			c.ran()
+			c.fail("roundtrip", variant, "%s: decoding: %v", fn.Name, err)
+			continue
+		}
+		for _, d := range decoded {
+			if d.Inst.IsControlFlow() {
+				continue
+			}
+			c.ran()
+			enc, fixups, err := x86.EncodeInst(d.Inst)
+			if err != nil {
+				c.fail("roundtrip", variant, "%s at %#x: %q decoded but will not re-encode: %v",
+					fn.Name, d.Addr, d.Inst, err)
+				continue
+			}
+			if len(fixups) != 0 {
+				c.fail("roundtrip", variant, "%s at %#x: %q re-encoded with %d fixups from concrete bytes",
+					fn.Name, d.Addr, d.Inst, len(fixups))
+				continue
+			}
+			orig := fn.Code[d.Addr-fn.Addr : d.Addr-fn.Addr+uint32(d.Len)]
+			if !bytes.Equal(enc, orig) {
+				c.fail("roundtrip", variant, "%s at %#x: %q re-encodes to % x, was % x",
+					fn.Name, d.Addr, d.Inst, enc, orig)
+			}
+		}
+	}
+}
+
+// alignInvariants checks the algebra of the tracelet aligner on real
+// tracelets from two builds: score symmetry, the self-similarity
+// ceiling (nothing aligns better with a tracelet than itself, and the
+// self-score normalizes to exactly 1), and traceback consistency (the
+// alignment's claimed score equals both the DP score and the sum of
+// Sim over its chosen pairs).
+func (c *checker) alignInvariants(variant string, da, db *core.Decomposed) {
+	pairs := traceletPairs(da, db, 4)
+	for _, p := range pairs {
+		ref, tgt := p[0], p[1]
+		rIdent, tIdent := align.IdentityScore(ref), align.IdentityScore(tgt)
+
+		c.ran()
+		fwd, bwd := align.Score(ref, tgt), align.Score(tgt, ref)
+		if fwd != bwd {
+			c.fail("align/symmetry", variant, "Score(ref,tgt)=%d but Score(tgt,ref)=%d", fwd, bwd)
+		}
+
+		c.ran()
+		if min := minInt(rIdent, tIdent); fwd > min {
+			c.fail("align/ceiling", variant, "cross score %d exceeds min identity %d", fwd, min)
+		}
+
+		c.ran()
+		if self := align.Score(ref, ref); self != rIdent {
+			c.fail("align/self", variant, "self score %d != identity score %d", self, rIdent)
+		} else if rIdent > 0 {
+			for _, m := range []align.Method{align.Ratio, align.Containment} {
+				if n := align.Norm(self, rIdent, rIdent, m); n != 1.0 {
+					c.fail("align/self", variant, "%v-normalized self score = %v, want exactly 1", m, n)
+				}
+			}
+		}
+
+		c.ran()
+		al := align.Align(ref, tgt)
+		if al.Score != fwd {
+			c.fail("align/traceback", variant, "Align score %d != Score %d", al.Score, fwd)
+		}
+		sum, prevR, prevT := 0, -1, -1
+		for _, pr := range al.Pairs {
+			if pr.Ref <= prevR || pr.Tgt <= prevT {
+				c.fail("align/traceback", variant, "pairs not strictly increasing: %v", al.Pairs)
+				break
+			}
+			prevR, prevT = pr.Ref, pr.Tgt
+			sum += align.Sim(ref[pr.Ref], tgt[pr.Tgt])
+		}
+		if sum != al.Score {
+			c.fail("align/traceback", variant, "sum of pair sims %d != score %d", sum, al.Score)
+		}
+		if len(al.Pairs)+len(al.Deleted) != len(ref) || len(al.Pairs)+len(al.Inserted) != len(tgt) {
+			c.fail("align/traceback", variant, "pairs+deleted+inserted do not partition the sequences")
+		}
+	}
+}
+
+// rewriteInvariants checks the CSP rewrite engine on tracelet pairs from
+// two builds: the rewrite must preserve the target's shape (same blocks,
+// same instruction kinds), must not mutate its input, must never lower
+// the alignment score of the pair it was asked to improve, and the full
+// matcher with rewriting enabled must never score a function pair below
+// the same matcher with rewriting disabled.
+func (c *checker) rewriteInvariants(variant string, da, db *core.Decomposed) {
+	n := minInt(minInt(len(da.Tracelets), len(db.Tracelets)), 3)
+	for i := 0; i < n; i++ {
+		rt, tt := da.Tracelets[i], db.Tracelets[i]
+		refInsts, tgtInsts := rt.Insts(), tt.Insts()
+		if len(refInsts) == 0 || len(tgtInsts) == 0 {
+			continue
+		}
+		before := traceletString(tt.Blocks)
+		pre := align.Score(refInsts, tgtInsts)
+		al := align.Align(refInsts, tgtInsts)
+		res := rewrite.Rewrite(rt.Blocks, tt.Blocks, al)
+
+		c.ran()
+		if after := traceletString(tt.Blocks); after != before {
+			c.fail("rewrite/immutable", variant, "Rewrite mutated its input tracelet")
+		}
+
+		c.ran()
+		if len(res.Blocks) != len(tt.Blocks) {
+			c.fail("rewrite/shape", variant, "rewrite changed block count %d -> %d",
+				len(tt.Blocks), len(res.Blocks))
+		} else {
+		shape:
+			for bi, blk := range res.Blocks {
+				if len(blk) != len(tt.Blocks[bi]) {
+					c.fail("rewrite/shape", variant, "block %d changed length %d -> %d",
+						bi, len(tt.Blocks[bi]), len(blk))
+					break
+				}
+				for ii, in := range blk {
+					if in.Mnemonic != tt.Blocks[bi][ii].Mnemonic {
+						c.fail("rewrite/shape", variant, "block %d inst %d changed kind %q -> %q",
+							bi, ii, tt.Blocks[bi][ii].Mnemonic, in.Mnemonic)
+						break shape
+					}
+				}
+			}
+		}
+
+		c.ran()
+		post := align.Score(refInsts, flattenBlocks(res.Blocks))
+		if post < pre {
+			c.fail("rewrite/monotone", variant,
+				"rewriting lowered the alignment score %d -> %d (vars=%d conflicts=%d)",
+				pre, post, res.NumVars, res.Conflicts)
+		}
+	}
+
+	// Engine-level monotonicity: rewriting can only add matched tracelets.
+	c.ran()
+	plain := core.DefaultOptions()
+	plain.UseRewrite = false
+	with := core.DefaultOptions()
+	rp := core.NewMatcher(plain).Compare(da, db)
+	rw := core.NewMatcher(with).Compare(da, db)
+	if rw.SimilarityScore < rp.SimilarityScore || rw.Matched() < rp.Matched() {
+		c.fail("rewrite/monotone", variant,
+			"enabling rewrite lowered the verdict: score %v -> %v, matched %d -> %d",
+			rp.SimilarityScore, rw.SimilarityScore, rp.Matched(), rw.Matched())
+	}
+	c.ran()
+	if rw.MatchedDirect != rp.MatchedDirect {
+		c.fail("rewrite/direct", variant,
+			"enabling rewrite changed direct matches %d -> %d", rp.MatchedDirect, rw.MatchedDirect)
+	}
+}
+
+// searchParity indexes every variant and checks that the three search
+// paths — offline DB scan, sharded snapshot, and the HTTP service — rank
+// the same query identically, hit for hit.
+func (c *checker) searchParity(built []variant, images [][]byte) {
+	const limit = 100
+	opts := core.DefaultOptions()
+	db := index.New()
+	for vi, img := range images {
+		if err := db.AddImage(fmt.Sprintf("v%d-%s", vi, built[vi]), img, nil); err != nil {
+			c.ran()
+			c.fail("parity", built[vi].String(), "indexing: %v", err)
+			return
+		}
+	}
+	query := liftNamed(images[0], FuncName)
+	if query == nil {
+		c.ran()
+		c.fail("parity", built[0].String(), "query function %s not liftable from first variant", FuncName)
+		return
+	}
+
+	offline := index.TopK(db.Search(query, opts), limit, 0)
+
+	c.ran()
+	snap := index.BuildSnapshot(db, []int{opts.K}, 2)
+	snapHits, err := snap.Search(query, opts)
+	if err != nil {
+		c.fail("parity", "snapshot", "snapshot search: %v", err)
+		return
+	}
+	snapTop := index.TopK(snapHits, limit, 0)
+	if d := diffOfflineHits(offline, snapTop); d != "" {
+		c.fail("parity", "snapshot", "snapshot vs offline: %s", d)
+	}
+
+	c.ran()
+	srv := server.NewFromDB(db, server.Config{Opts: opts})
+	req := &server.SearchRequest{Function: FuncName, K: opts.K, Limit: limit}
+	req.SetImage(images[0])
+	resp, err := postSearch(srv, req)
+	if err != nil {
+		c.fail("parity", "server", "%v", err)
+		return
+	}
+	if d := diffServerHits(offline, resp.Hits); d != "" {
+		c.fail("parity", "server", "served vs offline: %s", d)
+	}
+	if resp.Candidates != len(offline) && resp.Candidates != db.Len() {
+		c.fail("parity", "server", "served %d candidates, index holds %d", resp.Candidates, db.Len())
+	}
+}
+
+// postSearch drives the server's real HTTP handler in memory.
+func postSearch(srv *server.Server, req *server.SearchRequest) (*server.SearchResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	w := &memResponse{header: make(http.Header), status: http.StatusOK}
+	srv.Handler().ServeHTTP(w, hr)
+	if w.status != http.StatusOK {
+		return nil, fmt.Errorf("search returned %d: %s", w.status, bytes.TrimSpace(w.body.Bytes()))
+	}
+	var resp server.SearchResponse
+	if err := json.Unmarshal(w.body.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return &resp, nil
+}
+
+// memResponse is a minimal in-memory http.ResponseWriter.
+type memResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (m *memResponse) Header() http.Header         { return m.header }
+func (m *memResponse) Write(p []byte) (int, error) { return m.body.Write(p) }
+func (m *memResponse) WriteHeader(status int)      { m.status = status }
+
+func diffOfflineHits(want, got []index.Hit) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("%d hits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Entry.Exe != g.Entry.Exe || w.Entry.Name != g.Entry.Name ||
+			w.Result.SimilarityScore != g.Result.SimilarityScore ||
+			w.Result.IsMatch != g.Result.IsMatch || w.Result.Matched() != g.Result.Matched() {
+			return fmt.Sprintf("hit %d: got %s/%s score %v match %v, want %s/%s score %v match %v",
+				i, g.Entry.Exe, g.Entry.Name, g.Result.SimilarityScore, g.Result.IsMatch,
+				w.Entry.Exe, w.Entry.Name, w.Result.SimilarityScore, w.Result.IsMatch)
+		}
+	}
+	return ""
+}
+
+func diffServerHits(want []index.Hit, got []server.Hit) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("%d hits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Entry.Exe != g.Exe || w.Entry.Name != g.Name ||
+			w.Result.SimilarityScore != g.Score || w.Result.IsMatch != g.IsMatch ||
+			w.Result.Matched() != g.Matched {
+			return fmt.Sprintf("hit %d: got %s/%s score %v match %v, want %s/%s score %v match %v",
+				i, g.Exe, g.Name, g.Score, g.IsMatch,
+				w.Entry.Exe, w.Entry.Name, w.Result.SimilarityScore, w.Result.IsMatch)
+		}
+	}
+	return ""
+}
+
+// liftNamed lifts an image and returns its function named name, or nil.
+func liftNamed(img []byte, name string) *prep.Function {
+	fns, err := prep.LiftImage(img)
+	if err != nil {
+		return nil
+	}
+	for _, fn := range fns {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// traceletPairs yields up to n (ref, tgt) instruction-sequence pairs
+// drawn positionally from two decompositions, padding with a self-pair
+// so degenerate functions still exercise the self invariants.
+func traceletPairs(da, db *core.Decomposed, n int) [][2][]asm.Inst {
+	var out [][2][]asm.Inst
+	for i := 0; i < len(da.Tracelets) && i < len(db.Tracelets) && len(out) < n; i++ {
+		out = append(out, [2][]asm.Inst{da.Tracelets[i].Insts(), db.Tracelets[i].Insts()})
+	}
+	if len(da.Tracelets) > 0 {
+		in := da.Tracelets[0].Insts()
+		out = append(out, [2][]asm.Inst{in, in})
+	}
+	return out
+}
+
+func traceletString(blocks [][]asm.Inst) string {
+	var b bytes.Buffer
+	for _, blk := range blocks {
+		for _, in := range blk {
+			b.WriteString(in.String())
+			b.WriteByte('\n')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func flattenBlocks(blocks [][]asm.Inst) []asm.Inst {
+	var out []asm.Inst
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

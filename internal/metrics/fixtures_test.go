@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// The fixture below is small enough to evaluate by hand. Six samples,
+// three positive, three negative, with one tie:
+//
+//	score  0.9  0.8  0.8  0.5  0.4  0.1
+//	label   +    −    +    −    +    −
+//
+// Sweeping the threshold from the top and grouping the 0.8 tie:
+//
+//	after 0.9        tp=1 fp=0  → (FPR 0,   TPR 1/3)
+//	after 0.8 group  tp=2 fp=1  → (1/3, 2/3)   (diagonal: tie mixes + and −)
+//	after 0.5        tp=2 fp=2  → (2/3, 2/3)
+//	after 0.4        tp=3 fp=2  → (2/3, 1)
+//	after 0.1        tp=3 fp=3  → (1,   1)
+var fixture = []Sample{
+	{0.9, true}, {0.8, false}, {0.8, true}, {0.5, false}, {0.4, true}, {0.1, false},
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestROCFixtureByHand(t *testing.T) {
+	want := []Point{
+		{0, 0}, {0, 1. / 3}, {1. / 3, 2. / 3}, {2. / 3, 2. / 3}, {2. / 3, 1}, {1, 1},
+	}
+	got := ROC(fixture)
+	if len(got) != len(want) {
+		t.Fatalf("ROC has %d points, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if !near(got[i].FPR, want[i].FPR) || !near(got[i].TPR, want[i].TPR) {
+			t.Errorf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Trapezoids: (0→1/3)·(1/3+2/3)/2 + (1/3→2/3)·2/3 + (2/3→1)·1
+	//           = 1/6 + 2/9 + 1/3 = 13/18.
+	if auc := ROCAUC(fixture); !near(auc, 13.0/18) {
+		t.Errorf("ROCAUC = %v, want 13/18 = %v", auc, 13.0/18)
+	}
+}
+
+func TestConfusionFixtureByHand(t *testing.T) {
+	// threshold 0.5, strict >: predicted positive = {0.9+, 0.8−, 0.8+}.
+	c := At(fixture, 0.5)
+	if c != (Confusion{TP: 2, FP: 1, TN: 2, FN: 1}) {
+		t.Fatalf("At(0.5) = %+v, want TP2 FP1 TN2 FN1", c)
+	}
+	if !near(c.Precision(), 2.0/3) {
+		t.Errorf("precision = %v, want 2/3", c.Precision())
+	}
+	if !near(c.Recall(), 2.0/3) {
+		t.Errorf("recall = %v, want 2/3", c.Recall())
+	}
+	if !near(c.Accuracy(), 2.0/3) {
+		t.Errorf("accuracy = %v, want 4/6", c.Accuracy())
+	}
+	// Precision == recall, so F1 equals both.
+	if !near(c.F1(), 2.0/3) {
+		t.Errorf("F1 = %v, want 2/3", c.F1())
+	}
+	// Threshold above every score: nothing predicted positive.
+	if c := At(fixture, 1.0); c != (Confusion{TN: 3, FN: 3}) {
+		t.Errorf("At(1.0) = %+v, want TN3 FN3", c)
+	}
+	// Threshold below every score: everything predicted positive.
+	if c := At(fixture, 0.0); c != (Confusion{TP: 3, FP: 3}) {
+		t.Errorf("At(0.0) = %+v, want TP3 FP3", c)
+	}
+}
+
+func TestPRFixtureByHand(t *testing.T) {
+	want := []PRPoint{
+		{1. / 3, 1},      // after 0.9: tp=1 of 1 retrieved
+		{2. / 3, 2. / 3}, // after 0.8 tie: tp=2 of 3
+		{2. / 3, 1. / 2}, // after 0.5: tp=2 of 4
+		{1, 3. / 5},      // after 0.4: tp=3 of 5
+		{1, 1. / 2},      // after 0.1: tp=3 of 6
+	}
+	got := PRCurve(fixture)
+	if len(got) != len(want) {
+		t.Fatalf("PR has %d points, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if !near(got[i].Recall, want[i].Recall) || !near(got[i].Precision, want[i].Precision) {
+			t.Errorf("PR point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// AP = Σ Δrecall·precision = (1/3)·1 + (1/3)·(2/3) + 0 + (1/3)·(3/5) + 0
+	//    = 1/3 + 2/9 + 1/5 = 34/45.
+	if ap := AveragePrecision(fixture); !near(ap, 34.0/45) {
+		t.Errorf("AP = %v, want 34/45 = %v", ap, 34.0/45)
+	}
+}
+
+func TestCROCFixtureByHand(t *testing.T) {
+	// The transform at the fixture's two interior FPR knots, α=7:
+	// x'(1/3) = (1−e^(−7/3))/(1−e^(−7)) ≈ 0.903854
+	// x'(2/3) = (1−e^(−14/3))/(1−e^(−7)) ≈ 0.991505
+	x13 := (1 - math.Exp(-7.0/3)) / (1 - math.Exp(-7))
+	x23 := (1 - math.Exp(-14.0/3)) / (1 - math.Exp(-7))
+	if math.Abs(x13-0.903854) > 1e-4 || math.Abs(x23-0.991505) > 1e-4 {
+		t.Fatalf("hand-computed transform knots drifted: %v, %v", x13, x23)
+	}
+	croc := CROC(ROC(fixture), DefaultCROCAlpha)
+	// The transformed curve must still be a monotone curve from (0,0) to
+	// (1,1) passing through the transformed knots with unchanged TPRs.
+	if first, last := croc[0], croc[len(croc)-1]; first != (Point{0, 0}) || !near(last.FPR, 1) || !near(last.TPR, 1) {
+		t.Errorf("CROC endpoints %v .. %v", first, last)
+	}
+	seen13, seen23 := false, false
+	for i, p := range croc {
+		if i > 0 && p.FPR < croc[i-1].FPR-1e-12 {
+			t.Errorf("CROC FPR not monotone at %d: %v after %v", i, p, croc[i-1])
+		}
+		if near(p.FPR, x13) && near(p.TPR, 2.0/3) {
+			seen13 = true
+		}
+		if near(p.FPR, x23) && near(p.TPR, 2.0/3) || near(p.FPR, x23) && near(p.TPR, 1) {
+			seen23 = true
+		}
+	}
+	if !seen13 || !seen23 {
+		t.Errorf("transformed knots missing from CROC curve (%v): %v", []float64{x13, x23}, croc)
+	}
+	// The fixture's early retrieval is strong (first third of positives at
+	// FPR 0), and the magnifier stretches the low-FPR region where the
+	// curve is already at TPR ≥ 1/3 — the CROC AUC must reward that
+	// without leaving [0, 1].
+	cauc := CROCAUC(fixture)
+	if cauc < 0 || cauc > 1 {
+		t.Fatalf("CROCAUC = %v out of range", cauc)
+	}
+	// Hand-bound: the curve is ≥ 2/3 for all transformed FPR ≥ x'(1/3)
+	// ≈ 0.9039, and ≥ 1/3 before it, so AUC ≥ 1/3·0.9039 + 2/3·0.0961.
+	if lower := 1.0/3*x13 + 2.0/3*(1-x13); cauc < lower {
+		t.Errorf("CROCAUC = %v below hand-computed floor %v", cauc, lower)
+	}
+}

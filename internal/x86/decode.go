@@ -2,6 +2,7 @@ package x86
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/asm"
@@ -40,11 +41,20 @@ type reader struct {
 	p  int
 }
 
-var errTruncated = fmt.Errorf("x86: truncated instruction")
+// Typed decode failures. Both are *expected* rejections of malformed
+// input — fuzz targets and hardened callers use errors.Is to separate
+// them from genuine faults (anything else, including a panic, is a bug):
+//
+//   - ErrTruncated: the byte stream ends inside an instruction.
+//   - ErrBadOpcode: a byte sequence outside the supported subset.
+var (
+	ErrTruncated = errors.New("x86: truncated instruction")
+	ErrBadOpcode = errors.New("x86: unsupported opcode")
+)
 
 func (r *reader) byte() (byte, error) {
 	if r.p >= len(r.b) {
-		return 0, errTruncated
+		return 0, ErrTruncated
 	}
 	v := r.b[r.p]
 	r.p++
@@ -58,7 +68,7 @@ func (r *reader) i8() (int64, error) {
 
 func (r *reader) i32() (int64, error) {
 	if r.p+4 > len(r.b) {
-		return 0, errTruncated
+		return 0, ErrTruncated
 	}
 	v := int32(binary.LittleEndian.Uint32(r.b[r.p:]))
 	r.p += 4
@@ -195,7 +205,7 @@ func (r *reader) inst() (asm.Inst, error) {
 		return asm.Inst{Mnemonic: m, Ops: ops}, nil
 	}
 	fail := func() (asm.Inst, error) {
-		return asm.Inst{}, fmt.Errorf("x86: cannot decode opcode %#02x at %#x", op, r.ip)
+		return asm.Inst{}, fmt.Errorf("%w %#02x at %#x", ErrBadOpcode, op, r.ip)
 	}
 
 	// ALU rows: grp*8+1 (rm,r) and grp*8+3 (r,rm).
@@ -282,7 +292,7 @@ func (r *reader) inst() (asm.Inst, error) {
 			}
 			return mk(name, asm.RegOp(asm.Reg32(reg)), rm)
 		}
-		return asm.Inst{}, fmt.Errorf("x86: cannot decode opcode 0f %#02x at %#x", op2, r.ip)
+		return asm.Inst{}, fmt.Errorf("%w 0f %#02x at %#x", ErrBadOpcode, op2, r.ip)
 	case 0x68:
 		v, err := r.i32()
 		if err != nil {
@@ -359,6 +369,10 @@ func (r *reader) inst() (asm.Inst, error) {
 		reg, rm, err := r.modrm()
 		if err != nil {
 			return asm.Inst{}, err
+		}
+		if !rm.IsMem() {
+			// lea with a register source (ModRM mod=11) is #UD on hardware.
+			return asm.Inst{}, fmt.Errorf("%w: lea with register source at %#x", ErrBadOpcode, r.ip)
 		}
 		return mk("lea", asm.RegOp(asm.Reg32(reg)), rm)
 	case 0x8F:

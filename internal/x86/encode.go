@@ -244,7 +244,8 @@ func (e *encoder) mov(ops []asm.Operand) error {
 		return fmt.Errorf("x86: mov needs 2 operands")
 	}
 	dst, src := ops[0], ops[1]
-	// 8-bit register forms: mov r8, r8 (8A /r) and mov r8, imm8 (B0+r).
+	// 8-bit forms: mov r8, r8 (8A /r), mov r8, imm8 (B0+r), and the
+	// memory moves mov r8, m8 (8A /r) / mov m8, r8 (88 /r).
 	if !dst.IsMem() && dst.Arg.IsReg() && dst.Arg.Reg.Is8() {
 		switch {
 		case !src.IsMem() && src.Arg.IsReg() && src.Arg.Reg.Is8():
@@ -254,10 +255,17 @@ func (e *encoder) mov(ops []asm.Operand) error {
 			e.byte(byte(0xB0 + dst.Arg.Reg.Num8()))
 			e.imm8(src.Arg.Imm)
 			return nil
+		case src.IsMem():
+			e.byte(0x8A)
+			return e.modrm(dst.Arg.Reg.Num8(), src)
 		}
 		return fmt.Errorf("x86: unsupported 8-bit mov form %s, %s", dst, src)
 	}
 	if !src.IsMem() && src.Arg.IsReg() && src.Arg.Reg.Is8() {
+		if dst.IsMem() {
+			e.byte(0x88)
+			return e.modrm(src.Arg.Reg.Num8(), dst)
+		}
 		return fmt.Errorf("x86: unsupported 8-bit mov form %s, %s", dst, src)
 	}
 	switch {
