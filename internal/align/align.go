@@ -11,18 +11,34 @@
 // containment normalizations of the tracelet similarity score.
 package align
 
-import "repro/internal/asm"
+import (
+	"sync"
+
+	"repro/internal/asm"
+)
 
 // Sim is the instruction similarity measure of paper Section 4.3.
+// Same-kind instructions have pairwise same-shape operands, so the
+// positional argument comparison walks both operand lists in place —
+// no flattened arg slices are materialized on this path (it runs once
+// per DP cell).
 func Sim(c, cp asm.Inst) int {
 	if !asm.SameKind(c, cp) {
 		return -1
 	}
-	a, b := c.Args(), cp.Args()
 	score := 2
-	for i := range a {
-		if i < len(b) && a[i] == b[i] {
-			score++
+	for i := range c.Ops {
+		o, p := &c.Ops[i], &cp.Ops[i]
+		if !o.IsMem() {
+			if o.Arg == p.Arg {
+				score++
+			}
+			continue
+		}
+		for j := range o.Mem {
+			if o.Mem[j].Arg == p.Mem[j].Arg {
+				score++
+			}
 		}
 	}
 	return score
@@ -33,7 +49,7 @@ func Sim(c, cp asm.Inst) int {
 func IdentityScore(insts []asm.Inst) int {
 	s := 0
 	for _, in := range insts {
-		s += 2 + len(in.Args())
+		s += 2 + in.NumArgs()
 	}
 	return s
 }
@@ -54,6 +70,23 @@ type Alignment struct {
 	Inserted []int // target instructions with no counterpart
 }
 
+// dpPool recycles DP buffers across Score/Align calls: the matcher runs
+// one DP per distinct block pair on the search hot path, and per-call
+// row/matrix allocations were a measurable share of its garbage.
+var dpPool = sync.Pool{New: func() any { return new([]int) }}
+
+// getInts returns a zeroed length-n buffer from the pool.
+func getInts(n int) *[]int {
+	p := dpPool.Get().(*[]int)
+	if cap(*p) < n {
+		*p = make([]int, n)
+	} else {
+		*p = (*p)[:n]
+		clear(*p)
+	}
+	return p
+}
+
 // Score computes only the similarity score between a reference and target
 // instruction sequence (CalcScore of paper Algorithm 3).
 func Score(ref, tgt []asm.Inst) int {
@@ -61,9 +94,9 @@ func Score(ref, tgt []asm.Inst) int {
 	if n == 0 || m == 0 {
 		return 0
 	}
-	// Single rolling row: A[j] = best score aligning ref[i:] with tgt[j:].
-	prev := make([]int, m+1)
-	cur := make([]int, m+1)
+	// Two rolling rows: A[j] = best score aligning ref[i:] with tgt[j:].
+	bp := getInts(2 * (m + 1))
+	prev, cur := (*bp)[:m+1], (*bp)[m+1:]
 	for i := n - 1; i >= 0; i-- {
 		for j := m - 1; j >= 0; j-- {
 			best := prev[j] // delete ref[i]
@@ -78,7 +111,9 @@ func Score(ref, tgt []asm.Inst) int {
 		prev, cur = cur, prev
 		cur[m] = 0
 	}
-	return prev[0]
+	s := prev[0]
+	dpPool.Put(bp)
+	return s
 }
 
 // Align computes the full alignment between a reference and a target
@@ -87,32 +122,48 @@ func Score(ref, tgt []asm.Inst) int {
 // same computation).
 func Align(ref, tgt []asm.Inst) Alignment {
 	n, m := len(ref), len(tgt)
-	a := make([][]int, n+1)
-	for i := range a {
-		a[i] = make([]int, m+1)
-	}
+	// Flat (n+1)×(m+1) matrix from the pool; a[i][j] lives at a[i*w+j].
+	w := m + 1
+	bp := getInts((n + 1) * w)
+	a := *bp
 	for i := n - 1; i >= 0; i-- {
+		row, below := a[i*w:(i+1)*w], a[(i+1)*w:(i+2)*w]
 		for j := m - 1; j >= 0; j-- {
-			best := a[i+1][j]
-			if v := a[i][j+1]; v > best {
+			best := below[j]
+			if v := row[j+1]; v > best {
 				best = v
 			}
-			if v := Sim(ref[i], tgt[j]) + a[i+1][j+1]; v > best {
+			if v := Sim(ref[i], tgt[j]) + below[j+1]; v > best {
 				best = v
 			}
-			a[i][j] = best
+			row[j] = best
 		}
 	}
-	out := Alignment{Score: a[0][0]}
+	// The output sizes are bounded up front: pairs+deleted partition the
+	// reference, pairs+inserted the target.
+	minNM := n
+	if m < minNM {
+		minNM = m
+	}
+	out := Alignment{Score: a[0]}
+	if minNM > 0 {
+		out.Pairs = make([]Pair, 0, minNM)
+	}
+	if n > 0 {
+		out.Deleted = make([]int, 0, n)
+	}
+	if m > 0 {
+		out.Inserted = make([]int, 0, m)
+	}
 	i, j := 0, 0
 	for i < n && j < m {
 		s := Sim(ref[i], tgt[j])
 		switch {
-		case s >= 0 && a[i][j] == s+a[i+1][j+1]:
+		case s >= 0 && a[i*w+j] == s+a[(i+1)*w+j+1]:
 			out.Pairs = append(out.Pairs, Pair{Ref: i, Tgt: j})
 			i++
 			j++
-		case a[i][j] == a[i+1][j]:
+		case a[i*w+j] == a[(i+1)*w+j]:
 			out.Deleted = append(out.Deleted, i)
 			i++
 		default:
@@ -126,6 +177,7 @@ func Align(ref, tgt []asm.Inst) Alignment {
 	for ; j < m; j++ {
 		out.Inserted = append(out.Inserted, j)
 	}
+	dpPool.Put(bp)
 	return out
 }
 

@@ -247,11 +247,30 @@ func (in Inst) Write() map[Reg]bool {
 // order (paper Section 3: args(inst)). Arguments inside memory operands are
 // included; duplicates are preserved so that positional alignment works.
 func (in Inst) Args() []Arg {
-	var out []Arg
+	out := make([]Arg, 0, in.NumArgs())
 	for _, op := range in.Ops {
-		out = append(out, op.Args()...)
+		if !op.IsMem() {
+			out = append(out, op.Arg)
+			continue
+		}
+		for _, t := range op.Mem {
+			out = append(out, t.Arg)
+		}
 	}
 	return out
+}
+
+// NumArgs returns len(Args()) without materializing the slice.
+func (in Inst) NumArgs() int {
+	n := 0
+	for i := range in.Ops {
+		if in.Ops[i].IsMem() {
+			n += len(in.Ops[i].Mem)
+		} else {
+			n++
+		}
+	}
+	return n
 }
 
 // SameKind reports whether two instructions have the same structure (paper

@@ -95,6 +95,7 @@ func matchFlags(fs *flag.FlagSet) func() core.Options {
 	alpha := fs.Float64("alpha", 0.5, "function coverage threshold (0..1)")
 	norm := fs.String("norm", "ratio", "normalization: ratio or containment")
 	noRW := fs.Bool("norewrite", false, "disable the rewrite engine")
+	noPrune := fs.Bool("noprune", false, "disable the lossless score-bound pruner (exhaustive DP)")
 	return func() core.Options {
 		opts := core.DefaultOptions()
 		opts.K = *k
@@ -104,6 +105,7 @@ func matchFlags(fs *flag.FlagSet) func() core.Options {
 			opts.Norm = align.Containment
 		}
 		opts.UseRewrite = !*noRW
+		opts.Prune = !*noPrune
 		return opts
 	}
 }
@@ -188,6 +190,8 @@ func (c *env) search(args []string) error {
 	top := fs.Int("top", 10, "results to print (alias of -limit)")
 	limit := fs.Int("limit", 0, "keep only the top N hits (0: use -top)")
 	minScore := fs.Float64("min-score", 0, "drop hits scoring below this (0..1)")
+	prefilter := fs.Bool("prefilter", false, "rank candidates by shared features before exact comparison (lossy)")
+	candidates := fs.Int("candidates", 0, "prefilter candidate cap (implies -prefilter; default 50)")
 	opts := matchFlags(fs)
 	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -222,7 +226,8 @@ func (c *env) search(args []string) error {
 	if n <= 0 {
 		n = *top
 	}
-	hits := index.TopK(db.Search(query, sOpts), n, *minScore)
+	pf := index.PrefilterOptions{Enabled: *prefilter, Candidates: *candidates}
+	hits := index.TopK(db.SearchWith(query, sOpts, pf), n, *minScore)
 	for _, h := range hits {
 		mark := " "
 		if h.Result.IsMatch {

@@ -110,6 +110,8 @@ func (c *env) query(args []string) error {
 	k := fs.Int("k", 0, "tracelet size (0: server default)")
 	limit := fs.Int("limit", 10, "max hits to request")
 	minScore := fs.Float64("min-score", 0, "drop hits scoring below this (0..1)")
+	prefilter := fs.Bool("prefilter", false, "rank candidates by shared features before exact comparison (lossy)")
+	candidates := fs.Int("candidates", 0, "prefilter candidate cap (implies -prefilter; default 50)")
 	timeout := fs.Duration("timeout", 60*time.Second, "request timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +128,7 @@ func (c *env) query(args []string) error {
 	cl := client.New(*serverURL)
 	resp, err := cl.SearchImage(ctx, img, *fnName, &server.SearchRequest{
 		K: *k, Limit: *limit, MinScore: *minScore,
+		Prefilter: *prefilter, Candidates: *candidates,
 	})
 	if err != nil {
 		return fmt.Errorf("query: %w", err)
@@ -133,6 +136,9 @@ func (c *env) query(args []string) error {
 	cached := ""
 	if resp.Cached {
 		cached = ", cached"
+	}
+	if resp.Prefiltered {
+		cached += ", prefiltered"
 	}
 	fmt.Fprintf(c.w, "query: %s (%d blocks, %d instructions) vs %d functions (k=%d, %.0fms%s)\n",
 		resp.Query, resp.QueryBlocks, resp.QueryInsts, resp.Candidates, resp.K, resp.TookMS, cached)

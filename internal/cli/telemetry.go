@@ -108,6 +108,14 @@ func writeStatsSummary(w io.Writer, s telemetry.Snapshot) {
 		fmt.Fprintf(w, "block cache: %d hits / %d misses (%.1f%% hit rate)\n",
 			hits, misses, 100*s.Derived["block_cache_hit_rate"])
 	}
+	if ct["pairs_pruned_bound"]+ct["funcs_pruned_alpha"] > 0 {
+		fmt.Fprintf(w, "pruned: %d pairs by score bound (%.1f%% of compared), %d functions by alpha\n",
+			ct["pairs_pruned_bound"], 100*s.Derived["pairs_pruned_rate"], ct["funcs_pruned_alpha"])
+	}
+	if ct["prefilter_candidates"] > 0 {
+		fmt.Fprintf(w, "prefilter: %d candidates passed to exact comparison\n",
+			ct["prefilter_candidates"])
+	}
 	if ct["rewrites_attempted"]+ct["rewrites_skipped"] > 0 {
 		fmt.Fprintf(w, "rewrites: %d attempted / %d skipped / %d succeeded\n",
 			ct["rewrites_attempted"], ct["rewrites_skipped"], ct["rewrites_succeeded"])

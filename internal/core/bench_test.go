@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/prep"
+)
+
+// benchLift is liftListing for benchmarks (testing.TB instead of *testing.T).
+func benchLift(tb testing.TB, name, src string) *prep.Function {
+	tb.Helper()
+	insts, labels, err := asm.ParseListing(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, err := cfg.BuildListing(name, insts, labels)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &prep.Function{Name: name, Graph: g}
+}
+
+// BenchmarkCompare measures one full function-vs-function comparison on
+// the doCommand1 pair from the paper: a true match (renamed compile) and
+// a true mismatch, with the score-bound pruner on and off. -benchmem
+// shows the effect of the pooled DP buffers and score matrices.
+func BenchmarkCompare(b *testing.B) {
+	ref := Decompose(benchLift(b, "a", srcA), 3)
+	match := Decompose(benchLift(b, "a2", srcARenamed), 3)
+	miss := Decompose(benchLift(b, "b", srcB), 3)
+
+	for _, bc := range []struct {
+		name  string
+		tgt   *Decomposed
+		prune bool
+	}{
+		{"match/pruned", match, true},
+		{"match/exhaustive", match, false},
+		{"miss/pruned", miss, true},
+		{"miss/exhaustive", miss, false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Prune = bc.prune
+			m := NewMatcher(opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := m.Compare(ref, bc.tgt)
+				if res.RefTracelets == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}

@@ -249,12 +249,24 @@ func TestDecomposeStats(t *testing.T) {
 	if d.K != 3 {
 		t.Errorf("K = %d", d.K)
 	}
+	if len(d.distinct) == 0 {
+		t.Fatal("no distinct blocks recorded")
+	}
 	for i := range d.Tracelets {
 		if d.ident[i] != align.IdentityScore(d.Tracelets[i].Insts()) {
 			t.Errorf("identity score mismatch at %d", i)
 		}
-		if len(d.blockHash[i]) != d.Tracelets[i].K() {
-			t.Errorf("block hash count mismatch at %d", i)
+		if len(d.blockID[i]) != d.Tracelets[i].K() {
+			t.Errorf("block id count mismatch at %d", i)
+		}
+		for j, id := range d.blockID[i] {
+			b := d.distinct[id]
+			if b.hash != hashInsts(d.Tracelets[i].Blocks[j]) {
+				t.Errorf("tracelet %d block %d mapped to wrong distinct block", i, j)
+			}
+			if int(b.ident) != align.IdentityScore(b.insts) {
+				t.Errorf("distinct block %d identity score wrong", id)
+			}
 		}
 	}
 }
@@ -385,7 +397,10 @@ func TestTelemetryCountersConsistent(t *testing.T) {
 
 	plain := NewMatcher(DefaultOptions()).Compare(ref, tgt)
 
+	// Exhaustive mode (Prune=false) keeps the cache-lookup arithmetic
+	// exact: every pair assembles K block scores, none is skipped.
 	opts := DefaultOptions()
+	opts.Prune = false
 	opts.Tel = telemetry.New()
 	m := NewMatcher(opts)
 	res := m.Compare(ref, tgt)

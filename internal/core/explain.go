@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/align"
 	"repro/internal/rewrite"
 	"repro/internal/telemetry"
@@ -29,21 +31,23 @@ type TraceletMatch struct {
 // Like Compare it reports to Opts.Tel (cache hit/miss counts, rewrite
 // attempted/skipped/succeeded) so callers can print a telemetry line next
 // to the evidence; note the two-pass structure revisits pairs, so cache
-// hit rates run higher than Compare's on the same input.
+// hit rates run higher than Compare's on the same input. Explain never
+// prunes: its job is evidence, not throughput.
 func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 	var out []TraceletMatch
-	ctx := &cmpCtx{cache: make(map[blockKey]*align.Alignment), tel: m.Opts.Tel}
+	ctx := newCmpCtx(ref, tgt, m.Opts.Tel)
 	for ri, r := range ref.Tracelets {
 		rIdent := ref.ident[ri]
 		found := false
-		// Pass 1: syntactic matches.
+		// Pass 1: syntactic matches. Score-only scan; the traceback runs
+		// just for the accepted pair's evidence.
 		for ti, t := range tgt.Tracelets {
 			if t.K() != r.K() {
 				continue
 			}
-			al := m.alignCached(ref, tgt, ri, ti, ctx)
-			norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
+			norm := align.Norm(ctx.pairScore(ri, ti), rIdent, tgt.ident[ti], m.Opts.Norm)
 			if norm > m.Opts.Beta {
+				al := ctx.alignPair(ri, ti)
 				out = append(out, TraceletMatch{
 					RefIndex: ri, TgtIndex: ti,
 					RefBlocks: r.BlockIdx, TgtBlocks: t.BlockIdx,
@@ -60,7 +64,6 @@ func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 		// as Compare does.
 		type cand struct {
 			ti   int
-			al   align.Alignment
 			norm float64
 		}
 		var cands []cand
@@ -68,28 +71,20 @@ func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 			if t.K() != r.K() {
 				continue
 			}
-			al := m.alignCached(ref, tgt, ri, ti, ctx)
-			norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
+			norm := align.Norm(ctx.pairScore(ri, ti), rIdent, tgt.ident[ti], m.Opts.Norm)
 			if norm >= m.Opts.RewriteSkipBelow {
-				cands = append(cands, cand{ti, al, norm})
+				cands = append(cands, cand{ti, norm})
 			} else {
 				ctx.stats.rwSkipped++
 			}
 		}
-		for len(cands) > 0 {
-			best := 0
-			for i := range cands {
-				if cands[i].norm > cands[best].norm {
-					best = i
-				}
-			}
-			c := cands[best]
-			cands[best] = cands[len(cands)-1]
-			cands = cands[:len(cands)-1]
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].norm > cands[j].norm })
+		for _, c := range cands {
 			t := tgt.Tracelets[c.ti]
 			ctx.stats.rwAttempted++
+			al := ctx.alignPair(ri, c.ti)
 			rt := ctx.tel.StartTimer(telemetry.RewriteLatency)
-			rw := rewrite.RewriteT(r.Blocks, t.Blocks, c.al, ctx.tel)
+			rw := rewrite.RewriteT(r.Blocks, t.Blocks, al, ctx.tel)
 			score := align.ScoreBlocks(r.Blocks, rw.Blocks)
 			tIdent := align.IdentityScore(flatten(rw.Blocks))
 			norm := align.Norm(score, rIdent, tIdent, m.Opts.Norm)
@@ -113,6 +108,7 @@ func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 	tel.Add(telemetry.RewritesAttempted, ctx.stats.rwAttempted)
 	tel.Add(telemetry.RewritesSkipped, ctx.stats.rwSkipped)
 	tel.Add(telemetry.RewritesSucceeded, ctx.stats.rwSucceeded)
+	ctx.release()
 	return out
 }
 
@@ -121,12 +117,12 @@ func (m *Matcher) Explain(ref, tgt *Decomposed) []TraceletMatch {
 // rewrite engine, post is the best after rewriting every plausible
 // candidate (pre-score >= RewriteSkipBelow). It lets callers evaluate any
 // tracelet threshold β in one pass: a reference tracelet matches under β
-// iff max(pre, post) > β.
+// iff max(pre, post) > β. Like Explain, it never prunes.
 func (m *Matcher) BestScores(ref, tgt *Decomposed) (pre, post []float64) {
 	ct := m.Opts.Tel.StartTimer(telemetry.CompareLatency)
 	pre = make([]float64, len(ref.Tracelets))
 	post = make([]float64, len(ref.Tracelets))
-	ctx := &cmpCtx{cache: make(map[blockKey]*align.Alignment), tel: m.Opts.Tel}
+	ctx := newCmpCtx(ref, tgt, m.Opts.Tel)
 	pairs := uint64(0)
 	for ri, r := range ref.Tracelets {
 		rIdent := ref.ident[ri]
@@ -135,8 +131,7 @@ func (m *Matcher) BestScores(ref, tgt *Decomposed) (pre, post []float64) {
 				continue
 			}
 			pairs++
-			al := m.alignCached(ref, tgt, ri, ti, ctx)
-			norm := align.Norm(al.Score, rIdent, tgt.ident[ti], m.Opts.Norm)
+			norm := align.Norm(ctx.pairScore(ri, ti), rIdent, tgt.ident[ti], m.Opts.Norm)
 			if norm > pre[ri] {
 				pre[ri] = norm
 			}
@@ -145,6 +140,7 @@ func (m *Matcher) BestScores(ref, tgt *Decomposed) (pre, post []float64) {
 			}
 			if m.Opts.UseRewrite && norm >= m.Opts.RewriteSkipBelow {
 				ctx.stats.rwAttempted++
+				al := ctx.alignPair(ri, ti)
 				rt := ctx.tel.StartTimer(telemetry.RewriteLatency)
 				rw := rewrite.RewriteT(r.Blocks, t.Blocks, al, ctx.tel)
 				score := align.ScoreBlocks(r.Blocks, rw.Blocks)
@@ -174,6 +170,7 @@ func (m *Matcher) BestScores(ref, tgt *Decomposed) (pre, post []float64) {
 		tel.Add(telemetry.RewritesSkipped, ctx.stats.rwSkipped)
 		tel.Add(telemetry.RewritesSucceeded, ctx.stats.rwSucceeded)
 	}
+	ctx.release()
 	ct.Stop()
 	return pre, post
 }

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/align"
+)
+
+// pruneTestPairs returns the cross product of the shared test listings,
+// decomposed — enough variety to exercise direct matches, rewrites, and
+// clear mismatches.
+func pruneTestPairs(t *testing.T, k int) []*Decomposed {
+	t.Helper()
+	return []*Decomposed{
+		Decompose(liftListing(t, "a", srcA), k),
+		Decompose(liftListing(t, "a2", srcARenamed), k),
+		Decompose(liftListing(t, "b", srcB), k),
+	}
+}
+
+// TestPruneBitIdentical: the score-bound pruner must be invisible in the
+// output — every field of every Result identical to exhaustive mode, over
+// every pair of test functions, for both normalizations and with the
+// rewrite engine on and off.
+func TestPruneBitIdentical(t *testing.T) {
+	ds := pruneTestPairs(t, 3)
+	for _, norm := range []align.Method{align.Ratio, align.Containment} {
+		for _, useRewrite := range []bool{true, false} {
+			exact := DefaultOptions()
+			exact.Prune = false
+			exact.Norm = norm
+			exact.UseRewrite = useRewrite
+			pruned := exact
+			pruned.Prune = true
+			me, mp := NewMatcher(exact), NewMatcher(pruned)
+			for _, ref := range ds {
+				for _, tgt := range ds {
+					want := me.Compare(ref, tgt)
+					got := mp.Compare(ref, tgt)
+					if got != want {
+						t.Errorf("norm=%v rewrite=%v %s vs %s: pruned %+v != exhaustive %+v",
+							norm, useRewrite, ref.Name, tgt.Name, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPairBoundSound: the profile-based bound must dominate the real
+// alignment score for every tracelet pair — the exactness of the pruner
+// rests on this inequality.
+func TestPairBoundSound(t *testing.T) {
+	ds := pruneTestPairs(t, 3)
+	for _, ref := range ds {
+		for _, tgt := range ds {
+			ctx := newCmpCtx(ref, tgt, nil)
+			for ri, r := range ref.Tracelets {
+				for ti, tt := range tgt.Tracelets {
+					if tt.K() != r.K() {
+						continue
+					}
+					bound := ctx.pairBound(ri, ti)
+					score := ctx.pairScore(ri, ti)
+					if bound < score {
+						t.Errorf("%s[%d] vs %s[%d]: bound %d < score %d",
+							ref.Name, ri, tgt.Name, ti, bound, score)
+					}
+				}
+			}
+			ctx.release()
+		}
+	}
+}
+
+// TestBlockBoundTightOnSelf: a block compared against itself must bound
+// to exactly its identity score (the equal-hash fast path), and the full
+// alignment of identical blocks must be the diagonal.
+func TestBlockBoundTightOnSelf(t *testing.T) {
+	d := Decompose(liftListing(t, "a", srcA), 3)
+	ctx := newCmpCtx(d, d, nil)
+	defer ctx.release()
+	for i := range d.distinct {
+		id := int32(i)
+		if got, want := ctx.blockBound(id, id), d.distinct[i].ident; got != want {
+			t.Errorf("block %d: self bound %d != ident %d", i, got, want)
+		}
+		if got, want := ctx.blockScore(id, id), d.distinct[i].ident; got != want {
+			t.Errorf("block %d: self score %d != ident %d", i, got, want)
+		}
+		al := ctx.fullBlock(id, id)
+		if al.Score != int(d.distinct[i].ident) || len(al.Deleted) != 0 || len(al.Inserted) != 0 {
+			t.Errorf("block %d: self alignment not identity: %+v", i, al)
+		}
+		ref := align.Align(d.distinct[i].insts, d.distinct[i].insts)
+		if al.Score != ref.Score || len(al.Pairs) != len(ref.Pairs) {
+			t.Errorf("block %d: synthesized diagonal disagrees with Align", i)
+		}
+	}
+}
+
+// TestAlignPairMatchesAlignCached: the lazily assembled full pair
+// alignment must agree with aligning the concatenated sequences blockwise
+// the way the old cache did (same score, same per-block structure).
+func TestAlignPairMatchesAlignCached(t *testing.T) {
+	ref := Decompose(liftListing(t, "a", srcA), 3)
+	tgt := Decompose(liftListing(t, "a2", srcARenamed), 3)
+	ctx := newCmpCtx(ref, tgt, nil)
+	defer ctx.release()
+	for ri, r := range ref.Tracelets {
+		for ti, tt := range tgt.Tracelets {
+			if tt.K() != r.K() {
+				continue
+			}
+			al := ctx.alignPair(ri, ti)
+			if al.Score != ctx.pairScore(ri, ti) {
+				t.Fatalf("pair (%d,%d): alignPair score %d != pairScore %d",
+					ri, ti, al.Score, ctx.pairScore(ri, ti))
+			}
+			want := align.AlignBlocks(r.Blocks, tt.Blocks)
+			if al.Score != want.Score {
+				t.Errorf("pair (%d,%d): score %d != AlignBlocks %d", ri, ti, al.Score, want.Score)
+			}
+			if len(al.Pairs)+len(al.Deleted) != r.NumInsts() {
+				t.Errorf("pair (%d,%d): pairs+deleted do not partition the reference", ri, ti)
+			}
+			if len(al.Pairs)+len(al.Inserted) != tt.NumInsts() {
+				t.Errorf("pair (%d,%d): pairs+inserted do not partition the target", ri, ti)
+			}
+		}
+	}
+}
+
+// TestPruneAlphaPreservesVerdict: the α short-circuit may truncate the
+// score but never the match verdict.
+func TestPruneAlphaPreservesVerdict(t *testing.T) {
+	ds := pruneTestPairs(t, 3)
+	exact := DefaultOptions()
+	trunc := DefaultOptions()
+	trunc.PruneAlpha = true
+	me, mt := NewMatcher(exact), NewMatcher(trunc)
+	sawTruncation := false
+	for _, ref := range ds {
+		for _, tgt := range ds {
+			want := me.Compare(ref, tgt)
+			got := mt.Compare(ref, tgt)
+			if got.IsMatch != want.IsMatch {
+				t.Errorf("%s vs %s: PruneAlpha changed verdict %v -> %v",
+					ref.Name, tgt.Name, want.IsMatch, got.IsMatch)
+			}
+			if got.SimilarityScore > want.SimilarityScore {
+				t.Errorf("%s vs %s: truncated score %v exceeds exact %v",
+					ref.Name, tgt.Name, got.SimilarityScore, want.SimilarityScore)
+			}
+			if got.Truncated {
+				sawTruncation = true
+				if got.IsMatch {
+					t.Errorf("%s vs %s: truncated comparison cannot be a match", ref.Name, tgt.Name)
+				}
+			} else if got != want {
+				t.Errorf("%s vs %s: untruncated PruneAlpha result differs: %+v vs %+v",
+					ref.Name, tgt.Name, got, want)
+			}
+		}
+	}
+	if !sawTruncation {
+		t.Error("no comparison was truncated; test corpus too friendly")
+	}
+}
+
+// TestHashInstsDiscriminates: the structural hash must separate the test
+// listings' blocks while being stable for identical content.
+func TestHashInstsDiscriminates(t *testing.T) {
+	a := Decompose(liftListing(t, "a", srcA), 3)
+	b := Decompose(liftListing(t, "b", srcB), 3)
+	for i := range a.distinct {
+		if a.distinct[i].hash != hashInsts(a.distinct[i].insts) {
+			t.Fatalf("hash not deterministic for block %d", i)
+		}
+		for j := i + 1; j < len(a.distinct); j++ {
+			if a.distinct[i].hash == a.distinct[j].hash {
+				t.Errorf("distinct blocks %d and %d collide", i, j)
+			}
+		}
+	}
+	cross := 0
+	for i := range a.distinct {
+		for j := range b.distinct {
+			if a.distinct[i].hash == b.distinct[j].hash {
+				cross++
+			}
+		}
+	}
+	if cross > len(a.distinct) {
+		t.Errorf("implausible cross-function hash collisions: %d", cross)
+	}
+}
+
+// TestCompareWorkers: the pool must never exceed the target count.
+func TestCompareWorkers(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{0, 1, 1},    // GOMAXPROCS clamped to one target
+		{-3, 8, 1},   // negative means serial
+		{4, 2, 2},    // more workers than targets
+		{2, 100, 2},  // explicit bound respected
+		{5, 0, 0},    // nothing to do
+		{0, 1000, 0}, // placeholder; patched below
+	}
+	cases[5].want = compareWorkers(0, 1000) // GOMAXPROCS-dependent, just bounded
+	if cases[5].want < 1 || cases[5].want > 1000 {
+		t.Errorf("compareWorkers(0, 1000) = %d out of range", cases[5].want)
+	}
+	for _, c := range cases[:5] {
+		if got := compareWorkers(c.workers, c.n); got != c.want {
+			t.Errorf("compareWorkers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+// TestDistinctBlocks: the exported view must cover every tracelet block's
+// content exactly once.
+func TestDistinctBlocks(t *testing.T) {
+	d := Decompose(liftListing(t, "a", srcA), 3)
+	blocks := d.DistinctBlocks()
+	if len(blocks) != len(d.distinct) {
+		t.Fatalf("DistinctBlocks len %d != %d", len(blocks), len(d.distinct))
+	}
+	seen := make(map[uint64]bool, len(blocks))
+	for _, b := range blocks {
+		seen[hashInsts(b)] = true
+	}
+	for _, t2 := range d.Tracelets {
+		for _, blk := range t2.Blocks {
+			if !seen[hashInsts(blk)] {
+				t.Fatal("tracelet block missing from DistinctBlocks")
+			}
+		}
+	}
+}

@@ -268,6 +268,46 @@ func (c *checker) searchParity(built []variant, images [][]byte) {
 
 	offline := index.TopK(db.Search(query, opts), limit, 0)
 
+	// The score-bound pruner must be lossless: every Result field of every
+	// hit identical between pruned and exhaustive search.
+	c.ran()
+	exhaustive := opts
+	exhaustive.Prune = false
+	exHits := index.TopK(db.Search(query, exhaustive), limit, 0)
+	if len(exHits) != len(offline) {
+		c.fail("parity", "prune", "pruned search returned %d hits, exhaustive %d",
+			len(offline), len(exHits))
+	} else {
+		for i := range offline {
+			if offline[i].Entry != exHits[i].Entry || offline[i].Result != exHits[i].Result {
+				c.fail("parity", "prune", "hit %d: pruned %s %+v != exhaustive %s %+v",
+					i, offline[i].Entry.Name, offline[i].Result,
+					exHits[i].Entry.Name, exHits[i].Result)
+				break
+			}
+		}
+	}
+
+	// The feature prefilter is lossy in coverage but must be exact in
+	// scoring: each prefiltered hit carries the exhaustive scan's Result
+	// for the same entry.
+	c.ran()
+	byEntry := make(map[*index.Entry]core.Result, len(offline))
+	for _, h := range offline {
+		byEntry[h.Entry] = h.Result
+	}
+	pre := db.SearchWith(query, opts, index.PrefilterOptions{Candidates: 5})
+	if len(pre) == 0 || len(pre) > 5 {
+		c.fail("parity", "prefilter", "cap 5 returned %d candidates", len(pre))
+	}
+	for _, h := range pre {
+		if want, ok := byEntry[h.Entry]; !ok || h.Result != want {
+			c.fail("parity", "prefilter", "candidate %s/%s result drifted: %+v vs %+v",
+				h.Entry.Exe, h.Entry.Name, h.Result, want)
+			break
+		}
+	}
+
 	c.ran()
 	snap := index.BuildSnapshot(db, []int{opts.K}, 2)
 	snapHits, err := snap.Search(query, opts)

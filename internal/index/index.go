@@ -37,8 +37,10 @@ type DB struct {
 	// opts.Tel is nil. It is not serialized by Save.
 	Tel *telemetry.Collector
 
-	mu         sync.Mutex // guards decomposed
+	mu         sync.Mutex // guards decomposed, feats, fidx
 	decomposed map[int][]*core.Decomposed
+	feats      [][]uint64 // per-entry prefilter features, aligned with Entries
+	fidx       *featureIndex
 }
 
 // New returns an empty database.
@@ -62,7 +64,8 @@ func (db *DB) AddImage(exe string, img []byte, truth map[uint32]string) error {
 		db.Entries = append(db.Entries, e)
 	}
 	db.mu.Lock()
-	db.decomposed = make(map[int][]*core.Decomposed) // invalidate cache
+	db.decomposed = make(map[int][]*core.Decomposed) // invalidate caches
+	db.feats, db.fidx = nil, nil
 	db.mu.Unlock()
 	return nil
 }
@@ -91,6 +94,33 @@ func (db *DB) Decomposed(k int) []*core.Decomposed {
 	return d
 }
 
+// features returns the per-entry prefilter feature sets, computing them
+// once (or adopting the sets deserialized from a v2 index file).
+func (db *DB) features() [][]uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.feats == nil {
+		fs := make([][]uint64, len(db.Entries))
+		for i, e := range db.Entries {
+			fs[i] = FuncFeatures(e.Func)
+		}
+		db.feats = fs
+	}
+	return db.feats
+}
+
+// prefilterIndex returns the inverted feature index, built lazily on the
+// first prefiltered search.
+func (db *DB) prefilterIndex() *featureIndex {
+	fs := db.features()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.fidx == nil {
+		db.fidx = buildFeatureIndex(fs)
+	}
+	return db.fidx
+}
+
 // Hit is one search result.
 type Hit struct {
 	Entry  *Entry
@@ -106,6 +136,15 @@ type Hit struct {
 // set the span gains "decompose", "scan" (one compare child per
 // candidate) and "rank" children tracing the whole decision.
 func (db *DB) Search(query *prep.Function, opts core.Options) []Hit {
+	return db.SearchWith(query, opts, PrefilterOptions{})
+}
+
+// SearchWith is Search with an explicit prefilter stage: when pf enables
+// it, only the top-C corpus functions by shared prefilter features are
+// compared exactly (a lossy cut — a true match sharing no features with
+// the query is missed). The zero PrefilterOptions makes it identical to
+// Search.
+func (db *DB) SearchWith(query *prep.Function, opts core.Options, pf PrefilterOptions) []Hit {
 	if opts.Tel == nil {
 		opts.Tel = db.Tel
 	}
@@ -123,13 +162,36 @@ func (db *DB) Search(query *prep.Function, opts core.Options) []Hit {
 	dsp.Set("query_tracelets", int64(len(ref.Tracelets)))
 	dsp.Set("corpus_functions", int64(len(targets)))
 	dsp.End()
+
+	// Stage 1 (optional, lossy): rank corpus functions by shared features
+	// and keep the top C for exact comparison.
+	var ids []int32 // set iff the prefilter ran: hit i maps to entry ids[i]
+	if c := pf.cap(); c > 0 {
+		fsp := root.Child("prefilter")
+		ids = db.prefilterIndex().topCandidates(QueryFeatures(ref), c)
+		tel.Add(telemetry.PrefilterCandidates, uint64(len(ids)))
+		fsp.Set("candidates", int64(len(ids)))
+		fsp.Set("cap", int64(c))
+		fsp.End()
+		sub := make([]*core.Decomposed, len(ids))
+		for i, id := range ids {
+			sub[i] = targets[id]
+		}
+		targets = sub
+	}
+
+	// Stage 2 (exact): full tracelet comparison of the surviving targets.
 	opts.Trace = root.Child("scan")
 	m := core.NewMatcher(opts)
 	results := m.CompareMany(ref, targets)
 	opts.Trace.End()
 	hits := make([]Hit, len(results))
 	for i := range results {
-		hits[i] = Hit{Entry: db.Entries[i], Result: results[i]}
+		ei := i
+		if ids != nil {
+			ei = int(ids[i])
+		}
+		hits[i] = Hit{Entry: db.Entries[ei], Result: results[i]}
 	}
 	rsp := root.Child("rank")
 	SortHits(hits)
@@ -138,38 +200,45 @@ func (db *DB) Search(query *prep.Function, opts core.Options) []Hit {
 	return hits
 }
 
-// gobDB is the serialized form.
+// gobDB is the serialized form. Feats (since format v2) carries the
+// per-entry prefilter feature sets so serving nodes skip recomputing
+// them at load; v1 payloads simply decode with Feats nil and the sets
+// are rebuilt lazily on the first prefiltered search.
 type gobDB struct {
 	Entries []*Entry
+	Feats   [][]uint64
 }
 
 // The on-disk format is an 8-byte magic plus a one-byte format version in
 // front of the gob payload, so a stale or foreign file fails fast with a
 // versioned error instead of an opaque gob decode failure. Headerless
-// files written before the header existed ("v0") are still read.
+// files written before the header existed ("v0") and v1 files (no
+// prefilter features) are still read.
 const (
 	indexMagic   = "TRACYIDX"
-	indexVersion = 1
+	indexVersion = 2
 )
 
-// Save serializes the database (entries only; decompositions are
-// recomputed on demand), prefixed with the format header.
+// Save serializes the database (entries plus prefilter features;
+// decompositions are recomputed on demand), prefixed with the format
+// header.
 func (db *DB) Save(w io.Writer) error {
 	hdr := append([]byte(indexMagic), indexVersion)
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	return gob.NewEncoder(w).Encode(gobDB{Entries: db.Entries})
+	return gob.NewEncoder(w).Encode(gobDB{Entries: db.Entries, Feats: db.features()})
 }
 
 // Load restores a database written by Save. It accepts the current
-// headered format and headerless v0 files; anything else — a future
-// format version or a file that is not a tracy index at all — yields an
-// error naming the expected format version.
+// headered format, the v1 header (entries only — prefilter features are
+// recomputed on demand), and headerless v0 files; anything else — a
+// future format version or a file that is not a tracy index at all —
+// yields an error naming the expected format version.
 func Load(r io.Reader) (*DB, error) {
 	br := bufio.NewReader(r)
 	if peek, err := br.Peek(len(indexMagic) + 1); err == nil && string(peek[:len(indexMagic)]) == indexMagic {
-		if v := int(peek[len(indexMagic)]); v != indexVersion {
+		if v := int(peek[len(indexMagic)]); v != indexVersion && v != 1 {
 			return nil, fmt.Errorf("index: format v%d expected, file is v%d (rebuild with tracy index)", indexVersion, v)
 		}
 		if _, err := br.Discard(len(indexMagic) + 1); err != nil {
@@ -206,5 +275,12 @@ func Load(r io.Reader) (*DB, error) {
 			}
 		}
 	}
-	return &DB{Entries: g.Entries, decomposed: make(map[int][]*core.Decomposed)}, nil
+	db := &DB{Entries: g.Entries, decomposed: make(map[int][]*core.Decomposed)}
+	// Adopt serialized prefilter features only when they line up with the
+	// entries — a fuzzed or hand-edited payload must not smuggle in a
+	// misaligned feature table (features() rebuilds from scratch instead).
+	if g.Feats != nil && len(g.Feats) == len(g.Entries) {
+		db.feats = g.Feats
+	}
+	return db, nil
 }

@@ -1,0 +1,165 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/ngram"
+	"repro/internal/prep"
+)
+
+// The feature prefilter is the lossy first stage of two-stage search:
+// every corpus function is summarized as a set of normalized per-block
+// mnemonic-kind k-grams, an inverted index maps each feature to the
+// functions carrying it, and a query is answered by ranking functions on
+// shared-feature count and running the exact tracelet comparison only on
+// the top C. Unlike the package ngram baseline (linear layout windows),
+// the grams here are per basic block with block-local renaming, so block
+// reordering does not shift them — only genuinely changed blocks lose
+// features.
+
+// prefilterGram is the per-block window size. 3 is small enough that a
+// patched block still shares most grams with its original, large enough
+// to carry ordering signal beyond a bag of mnemonics.
+const prefilterGram = 3
+
+// DefaultPrefilterCandidates is the candidate cap used when a caller
+// enables the prefilter without choosing one.
+const DefaultPrefilterCandidates = 50
+
+// PrefilterOptions selects the lossy candidate-ranking stage of a search.
+// The zero value disables it (exact, exhaustive search).
+type PrefilterOptions struct {
+	// Enabled turns the prefilter on. Candidates > 0 implies Enabled.
+	Enabled bool
+	// Candidates caps how many top-ranked corpus functions proceed to the
+	// exact comparison; <= 0 means DefaultPrefilterCandidates.
+	Candidates int
+}
+
+// cap returns the effective candidate cap, or 0 when disabled.
+func (pf PrefilterOptions) cap() int {
+	if !pf.Enabled && pf.Candidates <= 0 {
+		return 0
+	}
+	if pf.Candidates <= 0 {
+		return DefaultPrefilterCandidates
+	}
+	return pf.Candidates
+}
+
+// hashGram folds a window of normalized instruction strings into one
+// 64-bit feature (FNV-1a over the tokens with a separator).
+func hashGram(norm []string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, s := range norm {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime64
+		}
+		h = (h ^ '|') * prime64
+	}
+	return h
+}
+
+// blockFeatures appends the block's features to dst: every
+// prefilterGram-window of the normalized body, or one whole-block gram
+// when the body is shorter than a window.
+func blockFeatures(dst []uint64, body []asm.Inst) []uint64 {
+	if len(body) == 0 {
+		return dst
+	}
+	norm := ngram.NormalizeInsts(body)
+	if len(norm) < prefilterGram {
+		return append(dst, hashGram(norm))
+	}
+	for i := 0; i+prefilterGram <= len(norm); i++ {
+		dst = append(dst, hashGram(norm[i:i+prefilterGram]))
+	}
+	return dst
+}
+
+// dedupeSorted sorts fs and removes duplicates in place (a feature is a
+// set member, not a count).
+func dedupeSorted(fs []uint64) []uint64 {
+	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	out := fs[:0]
+	for i, f := range fs {
+		if i == 0 || f != fs[i-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FuncFeatures computes the feature set of a lifted corpus function:
+// normalized per-block grams over the jump-stripped block bodies, sorted
+// and deduplicated.
+func FuncFeatures(fn *prep.Function) []uint64 {
+	var fs []uint64
+	for _, b := range fn.Graph.Blocks {
+		fs = blockFeatures(fs, b.Body())
+	}
+	return dedupeSorted(fs)
+}
+
+// QueryFeatures computes the feature set of a decomposed query from its
+// distinct tracelet blocks — the same jump-stripped bodies FuncFeatures
+// sees on the corpus side.
+func QueryFeatures(d *core.Decomposed) []uint64 {
+	var fs []uint64
+	for _, blk := range d.DistinctBlocks() {
+		fs = blockFeatures(fs, blk)
+	}
+	return dedupeSorted(fs)
+}
+
+// featureIndex is the inverted index: feature -> ascending entry ids.
+type featureIndex struct {
+	n        int // number of entries indexed
+	postings map[uint64][]int32
+}
+
+// buildFeatureIndex inverts per-entry feature sets.
+func buildFeatureIndex(feats [][]uint64) *featureIndex {
+	fi := &featureIndex{n: len(feats), postings: make(map[uint64][]int32)}
+	for id, fs := range feats {
+		for _, f := range fs {
+			fi.postings[f] = append(fi.postings[f], int32(id))
+		}
+	}
+	return fi
+}
+
+// topCandidates ranks entries by shared-feature count with the query and
+// selects the top limit by (count descending, id ascending) — fully
+// deterministic — returning the selected ids in ascending order. Entries
+// sharing no feature are never returned, even under a generous limit.
+func (fi *featureIndex) topCandidates(query []uint64, limit int) []int32 {
+	if fi == nil || limit <= 0 {
+		return nil
+	}
+	counts := make([]int32, fi.n)
+	for _, f := range query {
+		for _, id := range fi.postings[f] {
+			counts[id]++
+		}
+	}
+	cands := make([]int32, 0, fi.n)
+	for id := int32(0); id < int32(fi.n); id++ {
+		if counts[id] > 0 {
+			cands = append(cands, id)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return counts[cands[i]] > counts[cands[j]]
+	})
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	// Exact comparison order should follow entry order for cache locality
+	// and stable telemetry, not rank order.
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	return cands
+}

@@ -1,0 +1,235 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// TestLoadV1Compat: a v1-headered index (entries only, no feature table)
+// must still load, search, and serve prefiltered queries — the features
+// are just recomputed instead of deserialized.
+func TestLoadV1Compat(t *testing.T) {
+	db, _ := buildTestDB(t)
+	var buf bytes.Buffer
+	buf.Write(append([]byte(indexMagic), 1))
+	// A v1 writer serialized gobDB without Feats; encoding the Entries-only
+	// shape reproduces its payload byte-for-byte semantics.
+	type gobDBv1 struct {
+		Entries []*Entry
+	}
+	if err := gob.NewEncoder(&buf).Encode(gobDBv1{Entries: db.Entries}); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("v1 load: %v", err)
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("v1 load: %d entries, want %d", db2.Len(), db.Len())
+	}
+	if db2.feats != nil {
+		t.Error("v1 payload cannot carry features; expected lazy recompute")
+	}
+	query := queryFor(t, db2, corpus.LibFuncName)
+	opts := core.DefaultOptions()
+	exhaustive := db2.Search(query, opts)
+	if len(exhaustive) != db2.Len() {
+		t.Fatalf("v1 search returned %d hits, want %d", len(exhaustive), db2.Len())
+	}
+	pre := db2.SearchWith(query, opts, PrefilterOptions{Enabled: true, Candidates: 5})
+	if len(pre) == 0 || len(pre) > 5 {
+		t.Fatalf("v1 prefiltered search returned %d hits", len(pre))
+	}
+}
+
+// TestSaveLoadV2Features: Save must persist the feature table and Load
+// must adopt it verbatim (no recompute) when it lines up.
+func TestSaveLoadV2Features(t *testing.T) {
+	db, _ := buildTestDB(t)
+	want := db.features()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := buf.Bytes()[len(indexMagic)]; v != 2 {
+		t.Fatalf("saved version %d, want 2", v)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.feats == nil {
+		t.Fatal("v2 load dropped the feature table")
+	}
+	if !reflect.DeepEqual(db2.feats, want) {
+		t.Error("deserialized features differ from recomputed ones")
+	}
+}
+
+// TestLoadMisalignedFeatures: a payload whose feature table does not line
+// up with the entries (fuzzer territory) must be ignored, not adopted.
+func TestLoadMisalignedFeatures(t *testing.T) {
+	db, _ := buildTestDB(t)
+	var buf bytes.Buffer
+	buf.Write(append([]byte(indexMagic), indexVersion))
+	bogus := gobDB{Entries: db.Entries, Feats: [][]uint64{{1, 2, 3}}}
+	if err := gob.NewEncoder(&buf).Encode(bogus); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.feats != nil {
+		t.Error("misaligned feature table was adopted")
+	}
+	if got := db2.features(); len(got) != db2.Len() {
+		t.Errorf("recomputed features: %d sets for %d entries", len(got), db2.Len())
+	}
+}
+
+// TestPrefilterSubsetOfExhaustive: every prefiltered hit must carry a
+// Result identical to the exhaustive scan's for the same entry — the
+// prefilter selects candidates, it never changes scores.
+func TestPrefilterSubsetOfExhaustive(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	opts := core.DefaultOptions()
+	full := db.Search(query, opts)
+	byEntry := make(map[*Entry]core.Result, len(full))
+	for _, h := range full {
+		byEntry[h.Entry] = h.Result
+	}
+	for _, c := range []int{1, 5, 1 << 20} {
+		pre := db.SearchWith(query, opts, PrefilterOptions{Candidates: c})
+		if len(pre) == 0 {
+			t.Fatalf("cap %d: no candidates shared a feature with the query", c)
+		}
+		if len(pre) > c {
+			t.Fatalf("cap %d exceeded: %d hits", c, len(pre))
+		}
+		for _, h := range pre {
+			want, ok := byEntry[h.Entry]
+			if !ok {
+				t.Fatalf("cap %d: prefiltered hit not in exhaustive results", c)
+			}
+			if h.Result != want {
+				t.Errorf("cap %d: %s/%s result drifted: %+v vs %+v",
+					c, h.Entry.Exe, h.Entry.Name, h.Result, want)
+			}
+		}
+	}
+}
+
+// TestPrefilterFindsSelf: the query was built from an indexed context, so
+// a near-identical corpus entry shares nearly all features — it must rank
+// into even a tiny candidate set and the exact stage must match it.
+func TestPrefilterFindsSelf(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	hits := db.SearchWith(query, core.DefaultOptions(), PrefilterOptions{Candidates: 3})
+	found := false
+	for _, h := range hits {
+		if h.Result.IsMatch {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("prefiltered search lost the planted match at cap 3")
+	}
+}
+
+// TestPrefilterDeterministic: identical queries must yield identical
+// candidate sets and hit orders.
+func TestPrefilterDeterministic(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	pf := PrefilterOptions{Candidates: 7}
+	a := db.SearchWith(query, core.DefaultOptions(), pf)
+	b := db.SearchWith(query, core.DefaultOptions(), pf)
+	if len(a) != len(b) {
+		t.Fatalf("candidate count drifted: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Entry != b[i].Entry || a[i].Result != b[i].Result {
+			t.Fatalf("hit %d drifted between identical queries", i)
+		}
+	}
+}
+
+// TestSnapshotPrefilterParity: DB.SearchWith and the snapshot path must
+// return identical prefiltered hits.
+func TestSnapshotPrefilterParity(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	snap := BuildSnapshot(db, []int{3}, 4)
+	opts := core.DefaultOptions()
+	pf := PrefilterOptions{Candidates: 9}
+	want := db.SearchWith(query, opts, pf)
+	got, err := snap.SearchDecomposedWith(core.Decompose(query, 3), opts, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot prefilter returned %d hits, DB returned %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Entry.Exe != want[i].Entry.Exe || got[i].Entry.Name != want[i].Entry.Name ||
+			got[i].Result != want[i].Result {
+			t.Errorf("hit %d differs: %s/%s vs %s/%s", i,
+				got[i].Entry.Exe, got[i].Entry.Name, want[i].Entry.Exe, want[i].Entry.Name)
+		}
+	}
+}
+
+// TestSearchPruneParity: DB.Search with the default (pruned) options must
+// return hits bit-identical to exhaustive mode — the index-level view of
+// the core pruner's losslessness.
+func TestSearchPruneParity(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	exact := core.DefaultOptions()
+	exact.Prune = false
+	pruned := core.DefaultOptions()
+	pruned.Prune = true
+	a := db.Search(query, exact)
+	b := db.Search(query, pruned)
+	if len(a) != len(b) {
+		t.Fatalf("hit counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Entry != b[i].Entry || a[i].Result != b[i].Result {
+			t.Errorf("hit %d: pruned %+v != exhaustive %+v", i, b[i].Result, a[i].Result)
+		}
+	}
+}
+
+// TestTopCandidatesOrdering: deterministic selection by (count desc, id
+// asc), output in ascending id order, zero-overlap entries excluded.
+func TestTopCandidatesOrdering(t *testing.T) {
+	fi := buildFeatureIndex([][]uint64{
+		{1, 2, 3}, // id 0: 2 shared
+		{1, 2},    // id 1: 2 shared (tie -> lower id wins on cut)
+		{9},       // id 2: none shared
+		{1},       // id 3: 1 shared
+	})
+	got := fi.topCandidates([]uint64{1, 2}, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("topCandidates = %v, want [0 1]", got)
+	}
+	all := fi.topCandidates([]uint64{1, 2}, 10)
+	if len(all) != 3 {
+		t.Errorf("zero-overlap entry leaked into candidates: %v", all)
+	}
+	if fi.topCandidates([]uint64{42}, 10) == nil {
+		// sharing nothing is fine; just must be empty
+	}
+	if n := len(fi.topCandidates([]uint64{42}, 10)); n != 0 {
+		t.Errorf("no-overlap query returned %d candidates", n)
+	}
+}

@@ -24,6 +24,8 @@ type Snapshot struct {
 	ks      []int
 	shards  []snapShard
 	byName  map[string]*Entry // exe + "\x00" + name -> entry
+	flat    map[int][]*core.Decomposed
+	fidx    *featureIndex
 
 	// Tel is the default collector for Search when opts.Tel is nil.
 	Tel *telemetry.Collector
@@ -112,6 +114,11 @@ func BuildSnapshot(db *DB, ks []int, nShards int) *Snapshot {
 		}
 		s.shards = append(s.shards, snapShard{lo: lo, hi: hi, dec: dec})
 	}
+	s.flat = all
+	// The feature index is snapshot-resident: built once here (reusing
+	// features deserialized from a v2 index file when present), then read
+	// lock-free by any number of prefiltered queries.
+	s.fidx = buildFeatureIndex(db.features())
 	return s
 }
 
@@ -164,6 +171,15 @@ func (s *Snapshot) Search(query *prep.Function, opts core.Options) ([]Hit, error
 // corpus and options. It errors if ref.K is not a precomputed tracelet
 // size. Safe for any number of concurrent callers.
 func (s *Snapshot) SearchDecomposed(ref *core.Decomposed, opts core.Options) ([]Hit, error) {
+	return s.SearchDecomposedWith(ref, opts, PrefilterOptions{})
+}
+
+// SearchDecomposedWith is SearchDecomposed with an explicit prefilter
+// stage: when pf enables it, the snapshot's feature index ranks the
+// corpus by shared features and only the top-C candidates are compared
+// exactly (fanned across shard-sized worker goroutines). The zero
+// PrefilterOptions makes it identical to SearchDecomposed.
+func (s *Snapshot) SearchDecomposedWith(ref *core.Decomposed, opts core.Options, pf PrefilterOptions) ([]Hit, error) {
 	if opts.Tel == nil {
 		opts.Tel = s.Tel
 	}
@@ -173,6 +189,39 @@ func (s *Snapshot) SearchDecomposed(ref *core.Decomposed, opts core.Options) ([]
 	tel := opts.Tel
 	tel.Inc(telemetry.Queries)
 	qt := tel.StartTimer(telemetry.QueryLatency)
+
+	if c := pf.cap(); c > 0 {
+		ids := s.fidx.topCandidates(QueryFeatures(ref), c)
+		tel.Add(telemetry.PrefilterCandidates, uint64(len(ids)))
+		dec := s.flat[ref.K]
+		hits := make([]Hit, len(ids))
+		workers := len(s.shards)
+		if workers > len(ids) {
+			workers = len(ids)
+		}
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m := core.NewMatcher(opts)
+				for i := range jobs {
+					id := ids[i]
+					hits[i] = Hit{Entry: s.entries[id], Result: m.Compare(ref, dec[id])}
+				}
+			}()
+		}
+		for i := range ids {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		SortHits(hits)
+		qt.Stop()
+		return hits, nil
+	}
+
 	hits := make([]Hit, len(s.entries))
 	var wg sync.WaitGroup
 	for _, sh := range s.shards {

@@ -57,6 +57,13 @@ func Extract(fn *prep.Function, opts Options) *Fingerprint {
 	return fp
 }
 
+// NormalizeInsts renders an instruction sequence with linearly renamed
+// symbols (see normalize). The renaming restarts at every call, so
+// per-block invocations yield block-local names — which is exactly what
+// the index feature prefilter wants: features that survive register
+// reallocation across compilations.
+func NormalizeInsts(insts []asm.Inst) []string { return normalize(insts) }
+
 // normalize renders each instruction with linearly renamed symbols:
 // registers become r0, r1, ... in order of first appearance, memory and
 // data symbols become m0, m1, ..., immediates become a fixed token, and

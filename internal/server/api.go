@@ -30,6 +30,13 @@ type SearchRequest struct {
 	K        int     `json:"k,omitempty"`         // tracelet size (default: server's -k)
 	Limit    int     `json:"limit,omitempty"`     // max hits returned (default 10, cap 1000)
 	MinScore float64 `json:"min_score,omitempty"` // drop hits scoring below this (0..1)
+
+	// Prefilter enables the lossy feature prefilter: only the top
+	// Candidates corpus functions by shared features are compared exactly.
+	// Candidates > 0 implies Prefilter; Prefilter alone uses the server's
+	// default cap.
+	Prefilter  bool `json:"prefilter,omitempty"`
+	Candidates int  `json:"candidates,omitempty"` // candidate cap (cap 1000)
 }
 
 // SetImage stores img as the request's base64 query image.
@@ -60,7 +67,8 @@ type SearchResponse struct {
 	QueryBlocks int     `json:"query_blocks"`
 	QueryInsts  int     `json:"query_insts"`
 	K           int     `json:"k"`
-	Candidates  int     `json:"candidates"` // corpus functions scanned
+	Candidates  int     `json:"candidates"`            // corpus functions scanned
+	Prefiltered bool    `json:"prefiltered,omitempty"` // candidate set was feature-prefiltered
 	Hits        []Hit   `json:"hits"`
 	Cached      bool    `json:"cached"` // served from the result cache
 	TookMS      float64 `json:"took_ms"`

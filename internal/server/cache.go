@@ -11,11 +11,12 @@ import (
 // results can never be served (purge on swap just frees the memory
 // sooner).
 type cacheKey struct {
-	fp       uint64
-	gen      uint64
-	k        int
-	limit    int
-	minScore float64
+	fp         uint64
+	gen        uint64
+	k          int
+	limit      int
+	minScore   float64
+	candidates int // effective prefilter cap; 0 = exhaustive
 }
 
 // resultCache is a mutex-guarded LRU of search responses. The cached

@@ -462,6 +462,21 @@ func (s *Server) runSearch(req *SearchRequest) (*SearchResponse, error) {
 	if req.MinScore < 0 || req.MinScore > 1 {
 		return nil, errf(http.StatusBadRequest, "min_score %v outside [0,1]", req.MinScore)
 	}
+	if req.Candidates < 0 {
+		return nil, errf(http.StatusBadRequest, "candidates %d must be positive", req.Candidates)
+	}
+	pf := index.PrefilterOptions{Enabled: req.Prefilter, Candidates: req.Candidates}
+	if pf.Candidates > 1000 {
+		pf.Candidates = 1000
+	}
+	effCand := 0
+	if pf.Enabled || pf.Candidates > 0 {
+		pf.Enabled = true
+		effCand = pf.Candidates
+		if effCand <= 0 {
+			effCand = index.DefaultPrefilterCandidates
+		}
+	}
 
 	query, err := s.resolveQuery(st, req)
 	if err != nil {
@@ -472,7 +487,8 @@ func (s *Server) runSearch(req *SearchRequest) (*SearchResponse, error) {
 	opts.K = k
 	opts.Tel = s.tel
 	ref := core.DecomposeT(query, k, s.tel)
-	key := cacheKey{fp: ref.Fingerprint(), gen: st.gen, k: k, limit: limit, minScore: req.MinScore}
+	key := cacheKey{fp: ref.Fingerprint(), gen: st.gen, k: k, limit: limit,
+		minScore: req.MinScore, candidates: effCand}
 	if cached, ok := s.cache.get(key); ok {
 		s.tel.Inc(telemetry.ServerCacheHits)
 		resp := *cached // shallow copy; shared Hits are read-only
@@ -482,7 +498,7 @@ func (s *Server) runSearch(req *SearchRequest) (*SearchResponse, error) {
 	}
 	s.tel.Inc(telemetry.ServerCacheMisses)
 
-	hits, serr := st.snap.SearchDecomposed(ref, opts)
+	hits, serr := st.snap.SearchDecomposedWith(ref, opts, pf)
 	if serr != nil {
 		return nil, errf(http.StatusBadRequest, "%v", serr)
 	}
@@ -493,6 +509,7 @@ func (s *Server) runSearch(req *SearchRequest) (*SearchResponse, error) {
 		QueryInsts:  query.NumInsts(),
 		K:           k,
 		Candidates:  len(hits),
+		Prefiltered: pf.Enabled,
 		Hits:        make([]Hit, len(top)),
 	}
 	for i, h := range top {

@@ -181,6 +181,53 @@ func TestSearchByReferenceMatchesOffline(t *testing.T) {
 	}
 }
 
+func TestSearchPrefiltered(t *testing.T) {
+	db, _ := smallDB(t)
+	s := NewFromDB(db, Config{})
+	h := s.Handler()
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+
+	_, resp := postSearch(t, h, SearchRequest{Exe: e.Exe, Name: e.Name, Candidates: 3, Limit: 1000})
+	if resp == nil {
+		t.Fatal("prefiltered search failed")
+	}
+	if !resp.Prefiltered {
+		t.Error("response not marked prefiltered")
+	}
+	if resp.Candidates == 0 || resp.Candidates > 3 {
+		t.Errorf("candidates = %d, want 1..3", resp.Candidates)
+	}
+	if len(resp.Hits) == 0 || !resp.Hits[0].IsMatch {
+		t.Errorf("prefiltered search lost the planted match: %+v", resp.Hits)
+	}
+	// Every prefiltered hit must score exactly like the exhaustive scan.
+	offline := index.TopK(db.Search(e.Func, core.DefaultOptions()), 1000, 0)
+	scores := make(map[string]float64, len(offline))
+	for _, oh := range offline {
+		scores[oh.Entry.Exe+"/"+oh.Entry.Name] = oh.Result.SimilarityScore
+	}
+	for _, hh := range resp.Hits {
+		if want, ok := scores[hh.Exe+"/"+hh.Name]; !ok || hh.Score != want {
+			t.Errorf("hit %s/%s score %v drifted from exhaustive %v", hh.Exe, hh.Name, hh.Score, want)
+		}
+	}
+
+	// The prefilter shape is part of the cache key: same query without the
+	// prefilter must not be served from the prefiltered entry.
+	_, full := postSearch(t, h, SearchRequest{Exe: e.Exe, Name: e.Name, Limit: 1000})
+	if full == nil || full.Cached {
+		t.Fatal("exhaustive search was served from the prefiltered cache entry")
+	}
+	if full.Candidates != db.Len() {
+		t.Errorf("exhaustive candidates = %d, want %d", full.Candidates, db.Len())
+	}
+
+	// Negative candidate caps are a client error.
+	if rec, _ := postSearch(t, h, SearchRequest{Exe: e.Exe, Name: e.Name, Candidates: -1}); rec.Code != http.StatusBadRequest {
+		t.Errorf("candidates=-1 got %d, want 400", rec.Code)
+	}
+}
+
 func TestSearchRequestValidation(t *testing.T) {
 	db, c := smallDB(t)
 	s := NewFromDB(db, Config{})
