@@ -23,6 +23,8 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -192,6 +194,7 @@ func (c *env) search(args []string) error {
 	minScore := fs.Float64("min-score", 0, "drop hits scoring below this (0..1)")
 	prefilter := fs.Bool("prefilter", false, "rank candidates by shared features before exact comparison (lossy)")
 	candidates := fs.Int("candidates", 0, "prefilter candidate cap (implies -prefilter; default 50)")
+	timeout := fs.Duration("timeout", 0, "abort the search after this long (e.g. 500ms, 10s; 0: no limit)")
 	opts := matchFlags(fs)
 	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -227,7 +230,20 @@ func (c *env) search(args []string) error {
 		n = *top
 	}
 	pf := index.PrefilterOptions{Enabled: *prefilter, Candidates: *candidates}
-	hits := index.TopK(db.SearchWith(query, sOpts, pf), n, *minScore)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	all, err := db.SearchCtx(ctx, query, sOpts, pf)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("search: timed out after %v", *timeout)
+		}
+		return fmt.Errorf("search: %w", err)
+	}
+	hits := index.TopK(all, n, *minScore)
 	for _, h := range hits {
 		mark := " "
 		if h.Result.IsMatch {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/telemetry"
@@ -31,6 +32,9 @@ func (c *env) serve(args []string) error {
 	cacheN := fs.Int("cache", 256, "LRU result-cache entries (negative: disable)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
 	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+	degraded := fs.Bool("degraded", false, "answer saturated searches with cached or prefilter-only results instead of 429")
+	faultSpec := fs.String("faults", os.Getenv(faultinject.EnvVar),
+		"fault-injection spec, e.g. search=latency:200ms,decode=error:x2 (chaos testing; default $"+faultinject.EnvVar+")")
 	opts := matchFlags(fs)
 	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -38,6 +42,14 @@ func (c *env) serve(args []string) error {
 	}
 	if err := tf.activate(c.w, "serve"); err != nil {
 		return err
+	}
+	var faults *faultinject.Injector
+	if *faultSpec != "" {
+		var err error
+		if faults, err = faultinject.Parse(*faultSpec); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		fmt.Fprintf(c.w, "tracy: WARNING: fault injection armed (%s) — chaos testing only\n", *faultSpec)
 	}
 	cfg := server.Config{
 		DBPath:         *dbPath,
@@ -47,6 +59,8 @@ func (c *env) serve(args []string) error {
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		CacheEntries:   *cacheN,
+		DegradedMode:   *degraded,
+		Faults:         faults,
 		Tel:            tf.tel,
 	}
 	if cfg.Tel == nil {
@@ -112,7 +126,7 @@ func (c *env) query(args []string) error {
 	minScore := fs.Float64("min-score", 0, "drop hits scoring below this (0..1)")
 	prefilter := fs.Bool("prefilter", false, "rank candidates by shared features before exact comparison (lossy)")
 	candidates := fs.Int("candidates", 0, "prefilter candidate cap (implies -prefilter; default 50)")
-	timeout := fs.Duration("timeout", 60*time.Second, "request timeout")
+	timeout := fs.Duration("timeout", 60*time.Second, "request timeout (also sent to the server as its compute budget)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,12 +137,16 @@ func (c *env) query(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	// The server gets the -timeout as its compute budget (timeout_ms) and
+	// the HTTP call a little grace on top, so a deadline expiry comes back
+	// as the server's 504 rather than a client-side disconnect.
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout+2*time.Second)
 	defer cancel()
 	cl := client.New(*serverURL)
 	resp, err := cl.SearchImage(ctx, img, *fnName, &server.SearchRequest{
 		K: *k, Limit: *limit, MinScore: *minScore,
 		Prefilter: *prefilter, Candidates: *candidates,
+		TimeoutMS: int(timeout.Milliseconds()),
 	})
 	if err != nil {
 		return fmt.Errorf("query: %w", err)
@@ -139,6 +157,9 @@ func (c *env) query(args []string) error {
 	}
 	if resp.Prefiltered {
 		cached += ", prefiltered"
+	}
+	if resp.Degraded {
+		cached += ", DEGRADED (" + resp.DegradedReason + ")"
 	}
 	fmt.Fprintf(c.w, "query: %s (%d blocks, %d instructions) vs %d functions (k=%d, %.0fms%s)\n",
 		resp.Query, resp.QueryBlocks, resp.QueryInsts, resp.Candidates, resp.K, resp.TookMS, cached)

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -439,6 +440,62 @@ func getI32(n int) *[]int32 {
 	return p
 }
 
+// cancelCheckInterval is how many pair-loop iterations pass between Done
+// channel probes. A power of two keeps the check a mask; 32 bounds the
+// overshoot after cancellation to a handful of block-cache lookups while
+// keeping the per-pair cost of an active context to one increment and one
+// branch.
+const cancelCheckInterval = 32
+
+// cancelCheck is the cooperative cancellation probe threaded through the
+// matcher's pair loops. The zero value (and any check built from a
+// context whose Done channel is nil, such as context.Background()) is
+// completely free: one nil comparison per poll, no channel operations —
+// so uncancellable compares stay bit-identical in behavior and cost.
+type cancelCheck struct {
+	done <-chan struct{}
+	ctx  context.Context
+	seq  uint32
+}
+
+func newCancelCheck(ctx context.Context) cancelCheck {
+	if ctx == nil {
+		return cancelCheck{}
+	}
+	if done := ctx.Done(); done != nil {
+		return cancelCheck{done: done, ctx: ctx}
+	}
+	return cancelCheck{}
+}
+
+// poll reports the context's error, probing the Done channel once every
+// cancelCheckInterval calls (cheap enough for the per-pair hot loop).
+func (c *cancelCheck) poll() error {
+	if c.done == nil {
+		return nil
+	}
+	c.seq++
+	if c.seq&(cancelCheckInterval-1) != 0 {
+		return nil
+	}
+	return c.now()
+}
+
+// now probes the Done channel immediately — for coarse loop boundaries
+// (per rewrite attempt, per reference tracelet) where the work between
+// checks is already expensive.
+func (c *cancelCheck) now() error {
+	if c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // cmpCtx carries one Compare's working state through the tracelet loops:
 // flat pooled score/bound matrices over the distinct-block cross product,
 // lazily built full alignments (rewrite candidates only), the telemetry
@@ -449,6 +506,9 @@ type cmpCtx struct {
 	scoresBuf, boundsBuf *[]int32
 	scores, bounds       []int32 // rd×td; -1 = not yet computed
 	full                 map[uint64]*align.Alignment
+
+	cancel    cancelCheck
+	cancelErr error // first context error observed; aborts the compare
 
 	tel     *telemetry.Collector
 	span    *telemetry.Span
@@ -624,11 +684,24 @@ func (ctx *cmpCtx) alignPair(ri, ti int) align.Alignment {
 }
 
 // Compare computes the similarity of target tgt against reference ref
-// (paper Algorithm 1: FunctionsMatchScore).
+// (paper Algorithm 1: FunctionsMatchScore). It cannot be interrupted; use
+// CompareCtx to bound the work with a context.
 func (m *Matcher) Compare(ref, tgt *Decomposed) Result {
+	res, _ := m.CompareCtx(context.Background(), ref, tgt)
+	return res
+}
+
+// CompareCtx is Compare with cooperative cancellation: the pair loop
+// polls cc every few iterations and aborts the comparison as soon as the
+// context is done, returning the partial Result alongside cc's error
+// (the Result is then a lower bound and must not be ranked). A context
+// that can never be cancelled (context.Background()) adds no overhead
+// and the Result is bit-identical to Compare's.
+func (m *Matcher) CompareCtx(cc context.Context, ref, tgt *Decomposed) (Result, error) {
 	ct := m.Opts.Tel.StartTimer(telemetry.CompareLatency)
 	res := Result{Name: tgt.Name, RefTracelets: len(ref.Tracelets)}
 	ctx := newCmpCtx(ref, tgt, m.Opts.Tel)
+	ctx.cancel = newCancelCheck(cc)
 	if m.Opts.Trace != nil {
 		ctx.span = m.Opts.Trace.Child("compare:" + tgt.Name)
 	}
@@ -653,6 +726,9 @@ func (m *Matcher) Compare(ref, tgt *Decomposed) Result {
 			}
 			left := total
 			for _, h := range order {
+				if ctx.cancelErr != nil {
+					break
+				}
 				if m.Opts.PruneAlpha && !canStillMatch(left) {
 					res.Truncated = true
 					break
@@ -671,6 +747,9 @@ func (m *Matcher) Compare(ref, tgt *Decomposed) Result {
 			}
 		} else {
 			for ri, r := range ref.Tracelets {
+				if ctx.cancelErr != nil {
+					break
+				}
 				if m.Opts.PruneAlpha && !canStillMatch(total-ri) {
 					res.Truncated = true
 					break
@@ -687,8 +766,13 @@ func (m *Matcher) Compare(ref, tgt *Decomposed) Result {
 		res.SimilarityScore = float64(res.Matched()) / float64(total)
 		res.IsMatch = res.SimilarityScore > m.Opts.Alpha
 	}
+	if ctx.cancelErr != nil {
+		// Partial evaluation: the score is a lower bound over the
+		// tracelets visited before the abort, never a rankable verdict.
+		res.Truncated = true
+	}
 	m.finishCompare(&res, ctx, ct)
-	return res
+	return res, ctx.cancelErr
 }
 
 // finishCompare flushes the local tally into the collector, closes the
@@ -708,7 +792,7 @@ func (m *Matcher) finishCompare(res *Result, ctx *cmpCtx, ct telemetry.Timer) {
 	if res.IsMatch {
 		tel.Inc(telemetry.Matches)
 	}
-	if res.Truncated {
+	if res.Truncated && ctx.cancelErr == nil {
 		tel.Inc(telemetry.FuncsPrunedAlpha)
 	}
 	if sp := ctx.span; sp != nil {
@@ -754,6 +838,10 @@ func (m *Matcher) traceletMatch(ref, tgt *Decomposed, ri int, r *tracelet.Tracel
 	var cands []rewriteCand
 	bestPre := 0.0
 	for ti, t := range tgt.Tracelets {
+		if err := ctx.cancel.poll(); err != nil {
+			ctx.cancelErr = err
+			return false, false
+		}
 		if t.K() != r.K() {
 			continue
 		}
@@ -802,6 +890,13 @@ func (m *Matcher) traceletMatch(ref, tgt *Decomposed, ri int, r *tracelet.Tracel
 	// best pre-score first — one stable sort, not repeated selection.
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].norm > cands[j].norm })
 	for _, c := range cands {
+		// A rewrite attempt (alignment traceback + CSP solve) is the most
+		// expensive unit of work in the matcher: probe the context before
+		// every one, not just every few pairs.
+		if err := ctx.cancel.now(); err != nil {
+			ctx.cancelErr = err
+			return false, false
+		}
 		t := tgt.Tracelets[c.ti]
 		res.PairsRewritten++
 		ctx.stats.rwAttempted++
@@ -877,10 +972,34 @@ func compareWorkers(workers, n int) int {
 // returns results in target order. Opts.Workers bounds the parallelism:
 // 0 means runtime.GOMAXPROCS(0), negative values are clamped to 1.
 func (m *Matcher) CompareMany(ref *Decomposed, targets []*Decomposed) []Result {
+	out, _ := m.CompareManyCtx(context.Background(), ref, targets)
+	return out
+}
+
+// CompareManyCtx is CompareMany with cooperative cancellation: the
+// dispatcher stops handing out targets once cc is done, in-flight
+// compares abort at their next poll, and the first context error observed
+// is returned. On error the result slice is partial (untouched slots are
+// zero Results) and must be discarded by ranking callers.
+func (m *Matcher) CompareManyCtx(cc context.Context, ref *Decomposed, targets []*Decomposed) ([]Result, error) {
+	if cc == nil {
+		cc = context.Background()
+	}
 	out := make([]Result, len(targets))
 	workers := compareWorkers(m.Opts.Workers, len(targets))
 	if workers <= 0 {
-		return out
+		return out, nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -889,14 +1008,28 @@ func (m *Matcher) CompareMany(ref *Decomposed, targets []*Decomposed) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = m.Compare(ref, targets[i])
+				res, err := m.CompareCtx(cc, ref, targets[i])
+				if err != nil {
+					setErr(err)
+					continue // drain remaining jobs; they abort fast
+				}
+				out[i] = res
 			}
 		}()
 	}
+	done := cc.Done()
+dispatch:
 	for i := range targets {
-		jobs <- i
+		select {
+		case <-done:
+			setErr(cc.Err())
+			break dispatch
+		case jobs <- i:
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	mu.Lock()
+	defer mu.Unlock()
+	return out, firstErr
 }

@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -268,6 +269,17 @@ func (c *checker) searchParity(built []variant, images [][]byte) {
 
 	offline := index.TopK(db.Search(query, opts), limit, 0)
 
+	// Cancellation plumbing must be pure overhead: a Background context
+	// threaded through the context-aware entry point yields the same hits,
+	// bit for bit, as the legacy call it wraps.
+	c.ran()
+	ctxHits, err := db.SearchCtx(context.Background(), query, opts, index.PrefilterOptions{})
+	if err != nil {
+		c.fail("parity", "ctx", "SearchCtx(Background) errored: %v", err)
+	} else if d := diffOfflineHits(offline, index.TopK(ctxHits, limit, 0)); d != "" {
+		c.fail("parity", "ctx", "SearchCtx(Background) vs Search: %s", d)
+	}
+
 	// The score-bound pruner must be lossless: every Result field of every
 	// hit identical between pruned and exhaustive search.
 	c.ran()
@@ -318,6 +330,15 @@ func (c *checker) searchParity(built []variant, images [][]byte) {
 	snapTop := index.TopK(snapHits, limit, 0)
 	if d := diffOfflineHits(offline, snapTop); d != "" {
 		c.fail("parity", "snapshot", "snapshot vs offline: %s", d)
+	}
+
+	// Same rule for the sharded snapshot path.
+	c.ran()
+	snapCtxHits, err := snap.SearchCtx(context.Background(), query, opts)
+	if err != nil {
+		c.fail("parity", "snapshot-ctx", "SearchCtx(Background) errored: %v", err)
+	} else if d := diffOfflineHits(snapTop, index.TopK(snapCtxHits, limit, 0)); d != "" {
+		c.fail("parity", "snapshot-ctx", "snapshot SearchCtx vs Search: %s", d)
 	}
 
 	c.ran()

@@ -1,0 +1,258 @@
+// Package faultinject is a minimal named-fault-point framework for chaos
+// testing the serving stack. Production code marks interesting places
+// with injector.Fire(ctx, "point"); with no faults armed that is one
+// pointer check. Tests (or an operator, via the TRACY_FAULTS
+// environment variable) arm a fault — added latency, a returned error,
+// or a panic — at a named point, optionally limited to the first N
+// firings so "retries eventually succeed once the fault clears" is
+// directly testable.
+//
+// Fault specs are comma-separated "point=mode[:arg][:xN]" items:
+//
+//	search=latency:200ms        sleep 200ms at every search
+//	decode=error                return ErrInjected at decode
+//	cache=error:x2              fail the first two cache lookups only
+//	search=panic:x1             panic once at search
+//
+// Modes: latency (arg = Go duration, default 50ms), error (no arg),
+// panic (no arg). ":xN" caps the firing count; omitted means forever.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// EnvVar is the environment variable FromEnv reads fault specs from.
+const EnvVar = "TRACY_FAULTS"
+
+// ErrInjected is the error returned by an armed error-mode fault.
+// Handlers treat it like any other internal failure; tests recognize it
+// with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Mode is what an armed fault does when it fires.
+type Mode int
+
+const (
+	// Latency sleeps for the fault's Latency duration (cut short if the
+	// caller's context ends first — injected latency must never outlive
+	// a request deadline).
+	Latency Mode = iota
+	// Error makes Fire return ErrInjected.
+	Error
+	// Panic makes Fire panic — for exercising recovery middleware.
+	Panic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Latency:
+		return "latency"
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Fault is one armed fault at a named point.
+type Fault struct {
+	Point   string        // fault-point name, e.g. "search"
+	Mode    Mode          // what firing does
+	Latency time.Duration // sleep length for Latency mode (default 50ms)
+	Count   int           // fire at most this many times; <= 0 = forever
+
+	fired atomic.Int64
+}
+
+// Injector holds the armed faults. The zero value and the nil injector
+// are both valid and never fire (Fire is a single nil/empty check), so
+// production servers pay nothing when chaos is off. Arm/Clear may race
+// freely with Fire.
+type Injector struct {
+	mu     sync.RWMutex
+	faults map[string][]*Fault
+	armed  atomic.Bool
+
+	// Tel, when non-nil, counts every firing as faults_injected.
+	Tel *telemetry.Collector
+}
+
+// New returns an empty injector.
+func New() *Injector { return &Injector{} }
+
+// Arm registers a fault. Several faults may share a point; they fire in
+// arming order each time the point is hit.
+func (in *Injector) Arm(f *Fault) {
+	if in == nil || f == nil || f.Point == "" {
+		return
+	}
+	if f.Mode == Latency && f.Latency <= 0 {
+		f.Latency = 50 * time.Millisecond
+	}
+	in.mu.Lock()
+	if in.faults == nil {
+		in.faults = make(map[string][]*Fault)
+	}
+	in.faults[f.Point] = append(in.faults[f.Point], f)
+	in.armed.Store(true)
+	in.mu.Unlock()
+}
+
+// Clear disarms every fault.
+func (in *Injector) Clear() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.faults = nil
+	in.armed.Store(false)
+	in.mu.Unlock()
+}
+
+// Fired reports how many times faults at point have fired.
+func (in *Injector) Fired(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	var n int
+	for _, f := range in.faults[point] {
+		n += int(f.fired.Load())
+	}
+	return n
+}
+
+// Fire triggers the faults armed at point, if any: it sleeps, returns
+// ErrInjected, or panics according to each matching fault's mode. With
+// nothing armed it is a nil check plus one atomic load. A nil ctx is
+// treated as Background.
+func (in *Injector) Fire(ctx context.Context, point string) error {
+	if in == nil || !in.armed.Load() {
+		return nil
+	}
+	in.mu.RLock()
+	faults := in.faults[point]
+	in.mu.RUnlock()
+	var firstErr error
+	for _, f := range faults {
+		if f.Count > 0 && f.fired.Add(1) > int64(f.Count) {
+			f.fired.Add(-1)
+			continue
+		}
+		if f.Count <= 0 {
+			f.fired.Add(1)
+		}
+		in.Tel.Inc(telemetry.FaultsInjected)
+		switch f.Mode {
+		case Latency:
+			sleepCtx(ctx, f.Latency)
+		case Error:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w at %q", ErrInjected, point)
+			}
+		case Panic:
+			panic(fmt.Sprintf("faultinject: injected panic at %q", point))
+		}
+	}
+	return firstErr
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Parse builds an injector from a comma-separated spec string (see the
+// package comment for the grammar). An empty spec yields an empty (but
+// non-nil) injector.
+func Parse(spec string) (*Injector, error) {
+	in := New()
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		f, err := parseFault(item)
+		if err != nil {
+			return nil, err
+		}
+		in.Arm(f)
+	}
+	return in, nil
+}
+
+// parseFault parses one "point=mode[:arg][:xN]" item.
+func parseFault(item string) (*Fault, error) {
+	point, rest, ok := strings.Cut(item, "=")
+	point = strings.TrimSpace(point)
+	if !ok || point == "" || rest == "" {
+		return nil, fmt.Errorf("faultinject: bad fault %q (want point=mode[:arg][:xN])", item)
+	}
+	f := &Fault{Point: point}
+	parts := strings.Split(rest, ":")
+	switch parts[0] {
+	case "latency":
+		f.Mode = Latency
+	case "error":
+		f.Mode = Error
+	case "panic":
+		f.Mode = Panic
+	default:
+		return nil, fmt.Errorf("faultinject: unknown mode %q in %q (want latency|error|panic)", parts[0], item)
+	}
+	for _, p := range parts[1:] {
+		if n, ok := strings.CutPrefix(p, "x"); ok {
+			c, err := strconv.Atoi(n)
+			if err != nil || c <= 0 {
+				return nil, fmt.Errorf("faultinject: bad count %q in %q", p, item)
+			}
+			f.Count = c
+			continue
+		}
+		if f.Mode != Latency {
+			return nil, fmt.Errorf("faultinject: mode %s takes no argument (got %q in %q)", f.Mode, p, item)
+		}
+		d, err := time.ParseDuration(p)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("faultinject: bad duration %q in %q", p, item)
+		}
+		f.Latency = d
+	}
+	return f, nil
+}
+
+// FromEnv builds an injector from the TRACY_FAULTS environment
+// variable. Unset or empty yields (nil, nil) — chaos fully off.
+func FromEnv() (*Injector, error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return nil, nil
+	}
+	in, err := Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", EnvVar, err)
+	}
+	return in, nil
+}

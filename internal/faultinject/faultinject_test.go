@@ -1,0 +1,210 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestNilAndEmptyInjectorNeverFire(t *testing.T) {
+	var nilIn *Injector
+	if err := nilIn.Fire(context.Background(), "search"); err != nil {
+		t.Errorf("nil injector fired: %v", err)
+	}
+	nilIn.Arm(&Fault{Point: "x", Mode: Error}) // must not panic
+	nilIn.Clear()
+	if n := nilIn.Fired("x"); n != 0 {
+		t.Errorf("nil injector Fired = %d", n)
+	}
+
+	in := New()
+	if err := in.Fire(context.Background(), "search"); err != nil {
+		t.Errorf("empty injector fired: %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	in := New()
+	in.Arm(&Fault{Point: "decode", Mode: Error})
+	err := in.Fire(context.Background(), "decode")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if err := in.Fire(context.Background(), "search"); err != nil {
+		t.Errorf("unarmed point fired: %v", err)
+	}
+	if got := in.Fired("decode"); got != 1 {
+		t.Errorf("Fired = %d, want 1", got)
+	}
+}
+
+func TestCountLimitedFault(t *testing.T) {
+	in := New()
+	in.Arm(&Fault{Point: "cache", Mode: Error, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := in.Fire(context.Background(), "cache"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	// The fault is spent: subsequent fires succeed (this is what lets a
+	// chaos test assert "retries eventually succeed once faults clear").
+	for i := 0; i < 3; i++ {
+		if err := in.Fire(context.Background(), "cache"); err != nil {
+			t.Fatalf("spent fault still firing: %v", err)
+		}
+	}
+	if got := in.Fired("cache"); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+}
+
+func TestLatencyFaultHonorsContext(t *testing.T) {
+	in := New()
+	in.Arm(&Fault{Point: "search", Mode: Latency, Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := in.Fire(ctx, "search"); err != nil {
+		t.Fatalf("latency fault returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("latency fault ignored context: slept %v", elapsed)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := New()
+	in.Arm(&Fault{Point: "reload", Mode: Panic, Count: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic fault did not panic")
+			}
+		}()
+		in.Fire(context.Background(), "reload")
+	}()
+	// Count exhausted: no second panic.
+	if err := in.Fire(context.Background(), "reload"); err != nil {
+		t.Errorf("spent panic fault: %v", err)
+	}
+}
+
+func TestClear(t *testing.T) {
+	in := New()
+	in.Arm(&Fault{Point: "decode", Mode: Error})
+	in.Clear()
+	if err := in.Fire(context.Background(), "decode"); err != nil {
+		t.Errorf("cleared injector fired: %v", err)
+	}
+}
+
+func TestTelemetryCounting(t *testing.T) {
+	in := New()
+	in.Tel = telemetry.New()
+	in.Arm(&Fault{Point: "decode", Mode: Error})
+	in.Fire(context.Background(), "decode")
+	in.Fire(context.Background(), "decode")
+	if n := in.Tel.Snapshot().Counters["faults_injected"]; n != 2 {
+		t.Errorf("faults_injected = %d, want 2", n)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("search=latency:200ms, decode=error ,cache=error:x2,reload=panic:x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Fire(context.Background(), "decode"); !errors.Is(err, ErrInjected) {
+		t.Errorf("decode: %v", err)
+	}
+	start := time.Now()
+	if err := in.Fire(context.Background(), "search"); err != nil {
+		t.Errorf("search: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("latency fault slept only %v, want ~200ms", elapsed)
+	}
+	in.Fire(context.Background(), "cache")
+	in.Fire(context.Background(), "cache")
+	if err := in.Fire(context.Background(), "cache"); err != nil {
+		t.Errorf("cache fault not count-limited: %v", err)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	in, err := Parse("search=latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	in.Fire(context.Background(), "search")
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("default latency slept only %v, want ~50ms", elapsed)
+	}
+	if in, err := Parse(""); err != nil || in == nil {
+		t.Errorf("empty spec: in=%v err=%v", in, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"search",               // no mode
+		"=error",               // no point
+		"search=fnord",         // unknown mode
+		"search=latency:bogus", // bad duration
+		"search=latency:-5ms",  // negative duration
+		"search=error:200ms",   // argument on argless mode
+		"search=error:x0",      // zero count
+		"search=error:xbanana", // non-numeric count
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if in, err := FromEnv(); in != nil || err != nil {
+		t.Errorf("unset env: in=%v err=%v", in, err)
+	}
+	t.Setenv(EnvVar, "decode=error")
+	in, err := FromEnv()
+	if err != nil || in == nil {
+		t.Fatalf("FromEnv: in=%v err=%v", in, err)
+	}
+	if err := in.Fire(context.Background(), "decode"); !errors.Is(err, ErrInjected) {
+		t.Errorf("env-armed fault: %v", err)
+	}
+	t.Setenv(EnvVar, "decode=gibberish")
+	if _, err := FromEnv(); err == nil || !strings.Contains(err.Error(), EnvVar) {
+		t.Errorf("bad env spec error = %v, want mention of %s", err, EnvVar)
+	}
+}
+
+// TestConcurrentFire: arming, clearing, and firing race freely — run
+// with -race.
+func TestConcurrentFire(t *testing.T) {
+	in := New()
+	in.Tel = telemetry.New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in.Fire(context.Background(), "search")
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		in.Arm(&Fault{Point: "search", Mode: Error, Count: 1})
+		in.Clear()
+	}
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ package index
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -136,7 +137,8 @@ type Hit struct {
 // set the span gains "decompose", "scan" (one compare child per
 // candidate) and "rank" children tracing the whole decision.
 func (db *DB) Search(query *prep.Function, opts core.Options) []Hit {
-	return db.SearchWith(query, opts, PrefilterOptions{})
+	hits, _ := db.SearchCtx(context.Background(), query, opts, PrefilterOptions{})
+	return hits
 }
 
 // SearchWith is Search with an explicit prefilter stage: when pf enables
@@ -145,6 +147,18 @@ func (db *DB) Search(query *prep.Function, opts core.Options) []Hit {
 // the query is missed). The zero PrefilterOptions makes it identical to
 // Search.
 func (db *DB) SearchWith(query *prep.Function, opts core.Options, pf PrefilterOptions) []Hit {
+	hits, _ := db.SearchCtx(context.Background(), query, opts, pf)
+	return hits
+}
+
+// SearchCtx is SearchWith bounded by ctx: the comparison workers check
+// it cooperatively and the search returns ctx.Err() — with nil hits —
+// shortly after cancellation or deadline expiry. A Background (or nil)
+// context adds no overhead and leaves results identical to SearchWith.
+func (db *DB) SearchCtx(ctx context.Context, query *prep.Function, opts core.Options, pf PrefilterOptions) ([]Hit, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Tel == nil {
 		opts.Tel = db.Tel
 	}
@@ -168,7 +182,13 @@ func (db *DB) SearchWith(query *prep.Function, opts core.Options, pf PrefilterOp
 	var ids []int32 // set iff the prefilter ran: hit i maps to entry ids[i]
 	if c := pf.cap(); c > 0 {
 		fsp := root.Child("prefilter")
-		ids = db.prefilterIndex().topCandidates(QueryFeatures(ref), c)
+		ids = db.prefilterIndex().topCandidates(ctx, QueryFeatures(ref), c)
+		if err := ctx.Err(); err != nil {
+			fsp.End()
+			noteCtxErr(tel, err)
+			qt.Stop()
+			return nil, err
+		}
 		tel.Add(telemetry.PrefilterCandidates, uint64(len(ids)))
 		fsp.Set("candidates", int64(len(ids)))
 		fsp.Set("cap", int64(c))
@@ -183,8 +203,13 @@ func (db *DB) SearchWith(query *prep.Function, opts core.Options, pf PrefilterOp
 	// Stage 2 (exact): full tracelet comparison of the surviving targets.
 	opts.Trace = root.Child("scan")
 	m := core.NewMatcher(opts)
-	results := m.CompareMany(ref, targets)
+	results, err := m.CompareManyCtx(ctx, ref, targets)
 	opts.Trace.End()
+	if err != nil {
+		noteCtxErr(tel, err)
+		qt.Stop()
+		return nil, err
+	}
 	hits := make([]Hit, len(results))
 	for i := range results {
 		ei := i
@@ -197,7 +222,7 @@ func (db *DB) SearchWith(query *prep.Function, opts core.Options, pf PrefilterOp
 	SortHits(hits)
 	rsp.End()
 	qt.Stop()
-	return hits
+	return hits, nil
 }
 
 // gobDB is the serialized form. Feats (since format v2) carries the

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/asm"
@@ -132,31 +133,57 @@ func buildFeatureIndex(feats [][]uint64) *featureIndex {
 	return fi
 }
 
-// topCandidates ranks entries by shared-feature count with the query and
-// selects the top limit by (count descending, id ascending) — fully
-// deterministic — returning the selected ids in ascending order. Entries
-// sharing no feature are never returned, even under a generous limit.
-func (fi *featureIndex) topCandidates(query []uint64, limit int) []int32 {
+// Ranked is one prefilter-ranked corpus candidate: the entry id and how
+// many features it shares with the query. Degraded-mode serving exposes
+// this ranking directly (no exact comparison runs behind it).
+type Ranked struct {
+	ID     int32
+	Shared int
+}
+
+// ranked scores every entry by shared-feature count with the query and
+// returns the top limit in rank order (count descending, id ascending —
+// fully deterministic). Entries sharing no feature are never returned.
+// ctx is polled between posting-list merges; on cancellation the partial
+// ranking is abandoned and nil is returned (callers check ctx.Err()).
+func (fi *featureIndex) ranked(ctx context.Context, query []uint64, limit int) []Ranked {
 	if fi == nil || limit <= 0 {
 		return nil
 	}
 	counts := make([]int32, fi.n)
-	for _, f := range query {
+	for qi, f := range query {
+		if qi&127 == 0 && ctx != nil && ctx.Err() != nil {
+			return nil
+		}
 		for _, id := range fi.postings[f] {
 			counts[id]++
 		}
 	}
-	cands := make([]int32, 0, fi.n)
+	cands := make([]Ranked, 0, fi.n)
 	for id := int32(0); id < int32(fi.n); id++ {
 		if counts[id] > 0 {
-			cands = append(cands, id)
+			cands = append(cands, Ranked{ID: id, Shared: int(counts[id])})
 		}
 	}
 	sort.SliceStable(cands, func(i, j int) bool {
-		return counts[cands[i]] > counts[cands[j]]
+		return cands[i].Shared > cands[j].Shared
 	})
 	if len(cands) > limit {
 		cands = cands[:limit]
+	}
+	return cands
+}
+
+// topCandidates selects the top limit entries by (count descending, id
+// ascending) and returns their ids in ascending order.
+func (fi *featureIndex) topCandidates(ctx context.Context, query []uint64, limit int) []int32 {
+	ranked := fi.ranked(ctx, query, limit)
+	if len(ranked) == 0 {
+		return nil
+	}
+	cands := make([]int32, len(ranked))
+	for i, r := range ranked {
+		cands[i] = r.ID
 	}
 	// Exact comparison order should follow entry order for cache locality
 	// and stable telemetry, not rank order.

@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"reflect"
 	"testing"
@@ -218,18 +219,18 @@ func TestTopCandidatesOrdering(t *testing.T) {
 		{9},       // id 2: none shared
 		{1},       // id 3: 1 shared
 	})
-	got := fi.topCandidates([]uint64{1, 2}, 2)
+	got := fi.topCandidates(context.Background(), []uint64{1, 2}, 2)
 	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
 		t.Errorf("topCandidates = %v, want [0 1]", got)
 	}
-	all := fi.topCandidates([]uint64{1, 2}, 10)
+	all := fi.topCandidates(context.Background(), []uint64{1, 2}, 10)
 	if len(all) != 3 {
 		t.Errorf("zero-overlap entry leaked into candidates: %v", all)
 	}
-	if fi.topCandidates([]uint64{42}, 10) == nil {
+	if fi.topCandidates(context.Background(), []uint64{42}, 10) == nil {
 		// sharing nothing is fine; just must be empty
 	}
-	if n := len(fi.topCandidates([]uint64{42}, 10)); n != 0 {
+	if n := len(fi.topCandidates(context.Background(), []uint64{42}, 10)); n != 0 {
 		t.Errorf("no-overlap query returned %d candidates", n)
 	}
 }

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -153,8 +155,26 @@ func (s *Snapshot) Lookup(exe, name string) *Entry {
 	return s.byName[entryKey(exe, name)]
 }
 
+// noteCtxErr counts a context-aborted search into tel: one tick of
+// SearchesDeadline for an expired deadline, SearchesCancelled for an
+// explicit cancel. Non-context errors are not counted.
+func noteCtxErr(tel *telemetry.Collector, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		tel.Inc(telemetry.SearchesDeadline)
+	case errors.Is(err, context.Canceled):
+		tel.Inc(telemetry.SearchesCancelled)
+	}
+}
+
 // Search decomposes the query and runs SearchDecomposed.
 func (s *Snapshot) Search(query *prep.Function, opts core.Options) ([]Hit, error) {
+	return s.SearchCtx(context.Background(), query, opts)
+}
+
+// SearchCtx is Search bounded by ctx: decomposition runs to completion
+// (it is cheap and uncancellable), then the exact comparison honors ctx.
+func (s *Snapshot) SearchCtx(ctx context.Context, query *prep.Function, opts core.Options) ([]Hit, error) {
 	if opts.Tel == nil {
 		opts.Tel = s.Tel
 	}
@@ -162,7 +182,7 @@ func (s *Snapshot) Search(query *prep.Function, opts core.Options) ([]Hit, error
 	if k <= 0 {
 		k = 3
 	}
-	return s.SearchDecomposed(core.DecomposeT(query, k, opts.Tel), opts)
+	return s.SearchDecomposedCtx(ctx, core.DecomposeT(query, k, opts.Tel), opts, PrefilterOptions{})
 }
 
 // SearchDecomposed compares an already-decomposed query against every
@@ -171,7 +191,7 @@ func (s *Snapshot) Search(query *prep.Function, opts core.Options) ([]Hit, error
 // corpus and options. It errors if ref.K is not a precomputed tracelet
 // size. Safe for any number of concurrent callers.
 func (s *Snapshot) SearchDecomposed(ref *core.Decomposed, opts core.Options) ([]Hit, error) {
-	return s.SearchDecomposedWith(ref, opts, PrefilterOptions{})
+	return s.SearchDecomposedCtx(context.Background(), ref, opts, PrefilterOptions{})
 }
 
 // SearchDecomposedWith is SearchDecomposed with an explicit prefilter
@@ -180,6 +200,20 @@ func (s *Snapshot) SearchDecomposed(ref *core.Decomposed, opts core.Options) ([]
 // exactly (fanned across shard-sized worker goroutines). The zero
 // PrefilterOptions makes it identical to SearchDecomposed.
 func (s *Snapshot) SearchDecomposedWith(ref *core.Decomposed, opts core.Options, pf PrefilterOptions) ([]Hit, error) {
+	return s.SearchDecomposedCtx(context.Background(), ref, opts, pf)
+}
+
+// SearchDecomposedCtx is SearchDecomposedWith bounded by ctx: the shard
+// (or candidate-pool) workers check it cooperatively inside the pair
+// loop and the whole search returns ctx.Err() — with nil hits — as soon
+// as every worker has noticed the abort. Cancelled and deadline-expired
+// searches are counted separately in telemetry. A Background (or nil)
+// context adds no overhead and leaves results bit-identical to
+// SearchDecomposedWith.
+func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed, opts core.Options, pf PrefilterOptions) ([]Hit, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Tel == nil {
 		opts.Tel = s.Tel
 	}
@@ -190,8 +224,28 @@ func (s *Snapshot) SearchDecomposedWith(ref *core.Decomposed, opts core.Options,
 	tel.Inc(telemetry.Queries)
 	qt := tel.StartTimer(telemetry.QueryLatency)
 
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
 	if c := pf.cap(); c > 0 {
-		ids := s.fidx.topCandidates(QueryFeatures(ref), c)
+		ids := s.fidx.topCandidates(ctx, QueryFeatures(ref), c)
+		if err := ctx.Err(); err != nil {
+			noteCtxErr(tel, err)
+			qt.Stop()
+			return nil, err
+		}
 		tel.Add(telemetry.PrefilterCandidates, uint64(len(ids)))
 		dec := s.flat[ref.K]
 		hits := make([]Hit, len(ids))
@@ -208,7 +262,12 @@ func (s *Snapshot) SearchDecomposedWith(ref *core.Decomposed, opts core.Options,
 				m := core.NewMatcher(opts)
 				for i := range jobs {
 					id := ids[i]
-					hits[i] = Hit{Entry: s.entries[id], Result: m.Compare(ref, dec[id])}
+					res, err := m.CompareCtx(ctx, ref, dec[id])
+					if err != nil {
+						setErr(err)
+						continue // keep draining jobs; remaining compares abort instantly
+					}
+					hits[i] = Hit{Entry: s.entries[id], Result: res}
 				}
 			}()
 		}
@@ -217,6 +276,11 @@ func (s *Snapshot) SearchDecomposedWith(ref *core.Decomposed, opts core.Options,
 		}
 		close(jobs)
 		wg.Wait()
+		if firstErr != nil {
+			noteCtxErr(tel, firstErr)
+			qt.Stop()
+			return nil, firstErr
+		}
 		SortHits(hits)
 		qt.Stop()
 		return hits, nil
@@ -233,12 +297,43 @@ func (s *Snapshot) SearchDecomposedWith(ref *core.Decomposed, opts core.Options,
 			// keep block-alignment caches core-local.
 			m := core.NewMatcher(opts)
 			for j, tgt := range sh.dec[ref.K] {
-				hits[sh.lo+j] = Hit{Entry: s.entries[sh.lo+j], Result: m.Compare(ref, tgt)}
+				res, err := m.CompareCtx(ctx, ref, tgt)
+				if err != nil {
+					setErr(err)
+					return
+				}
+				hits[sh.lo+j] = Hit{Entry: s.entries[sh.lo+j], Result: res}
 			}
 		}(sh)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		noteCtxErr(tel, firstErr)
+		qt.Stop()
+		return nil, firstErr
+	}
 	SortHits(hits)
 	qt.Stop()
 	return hits, nil
+}
+
+// PrefilterRank is the lossy stage alone: it ranks the corpus by shared
+// prefilter features with the query and returns the top limit entries
+// with their shared-feature counts, running no exact comparison at all.
+// This is the degraded-mode answer path — orders of magnitude cheaper
+// than a real search and still honoring ctx. limit <= 0 means
+// DefaultPrefilterCandidates.
+func (s *Snapshot) PrefilterRank(ctx context.Context, ref *core.Decomposed, limit int) ([]Ranked, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if limit <= 0 {
+		limit = DefaultPrefilterCandidates
+	}
+	ranked := s.fidx.ranked(ctx, QueryFeatures(ref), limit)
+	if err := ctx.Err(); err != nil {
+		noteCtxErr(s.Tel, err)
+		return nil, err
+	}
+	return ranked, nil
 }

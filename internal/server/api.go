@@ -37,6 +37,11 @@ type SearchRequest struct {
 	// default cap.
 	Prefilter  bool `json:"prefilter,omitempty"`
 	Candidates int  `json:"candidates,omitempty"` // candidate cap (cap 1000)
+
+	// TimeoutMS bounds this search's compute time in milliseconds. It can
+	// only tighten the server's own request budget, never extend it; an
+	// exceeded deadline answers 504.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // SetImage stores img as the request's base64 query image.
@@ -72,6 +77,13 @@ type SearchResponse struct {
 	Hits        []Hit   `json:"hits"`
 	Cached      bool    `json:"cached"` // served from the result cache
 	TookMS      float64 `json:"took_ms"`
+
+	// Degraded marks a reduced-quality answer produced under saturation
+	// (prefilter-only ranking, no exact comparison): hit scores are
+	// shared-feature ratios, not similarity scores, and IsMatch is never
+	// set. Only possible when the server opts into DegradedMode.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // BatchRequest runs several searches in one round trip.

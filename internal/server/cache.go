@@ -16,7 +16,8 @@ type cacheKey struct {
 	k          int
 	limit      int
 	minScore   float64
-	candidates int // effective prefilter cap; 0 = exhaustive
+	candidates int  // effective prefilter cap; 0 = exhaustive
+	degraded   bool // prefilter-only degraded answer: separate keyspace
 }
 
 // resultCache is a mutex-guarded LRU of search responses. The cached

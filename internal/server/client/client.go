@@ -1,6 +1,8 @@
 // Package client is the Go client of the tracy query service
 // (internal/server): typed wrappers over the /v1 HTTP/JSON API with
-// context support and structured errors.
+// context support, structured errors, and built-in resilience —
+// exponential-backoff retries with jitter (honoring Retry-After), an
+// optional circuit breaker, and opt-in hedging for batch searches.
 package client
 
 import (
@@ -11,19 +13,27 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/server"
 )
 
 // ErrSaturated is wrapped by errors returned when the server sheds load
-// with 429; callers back off and retry: errors.Is(err, ErrSaturated).
+// with 429; callers back off and retry (the default RetryPolicy already
+// does): errors.Is(err, ErrSaturated).
 var ErrSaturated = errors.New("server saturated")
+
+// maxErrBody bounds how much of an error response body is read: a
+// misbehaving server cannot make the client buffer an unbounded error.
+const maxErrBody = 1 << 16
 
 // APIError is a non-2xx reply decoded from the server's error body.
 type APIError struct {
-	Status int    // HTTP status code
-	Msg    string // server-provided message
+	Status     int           // HTTP status code
+	Msg        string        // server-provided message
+	RetryAfter time.Duration // parsed Retry-After header; 0 when absent
 }
 
 func (e *APIError) Error() string {
@@ -38,17 +48,66 @@ func (e *APIError) Unwrap() error {
 	return nil
 }
 
-// Client talks to one tracy server.
+// TransportError wraps a failure to reach the server at all (connection
+// refused/reset, DNS failure, broken response stream). Transport errors
+// are always retryable.
+type TransportError struct {
+	Err error
+}
+
+func (e *TransportError) Error() string { return "transport: " + e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// parseRetryAfter reads a Retry-After header value: delta-seconds or an
+// HTTP date. 0 means absent or unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Client talks to one tracy server. The zero value of every policy
+// field is safe: nil Retry means no retries, nil Breaker means no
+// circuit breaking, zero HedgeDelay means no hedging. New() enables the
+// default retry policy.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8077".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	// Retry, when non-nil, retries saturated (429), server-failure (5xx),
+	// and transport errors with exponential backoff and jitter. A context
+	// that ends stops retrying immediately.
+	Retry *RetryPolicy
+
+	// Breaker, when non-nil, fails requests fast with ErrCircuitOpen
+	// after a run of consecutive failures, probing again after a cooldown.
+	Breaker *Breaker
+
+	// HedgeDelay, when positive, arms hedging for SearchBatch: if the
+	// first attempt has not answered within this delay, a second identical
+	// request races it and the first success wins. Only the batch path
+	// hedges — it is the long-running, many-query call where one slow
+	// replica hurts most.
+	HedgeDelay time.Duration
+
+	stats statCounters
 }
 
-// New returns a client for the server at baseURL.
+// New returns a client for the server at baseURL with the default
+// retry policy armed.
 func New(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Retry: DefaultRetryPolicy()}
 }
 
 // Search runs one query.
@@ -73,10 +132,11 @@ func (c *Client) SearchImage(ctx context.Context, img []byte, fn string, extra *
 	return c.Search(ctx, &req)
 }
 
-// SearchBatch runs several queries in one round trip.
+// SearchBatch runs several queries in one round trip. When HedgeDelay
+// is set, a slow batch is raced by a duplicate request.
 func (c *Client) SearchBatch(ctx context.Context, queries []server.SearchRequest) (*server.BatchResponse, error) {
 	var resp server.BatchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/search/batch", server.BatchRequest{Queries: queries}, &resp); err != nil {
+	if err := c.exec(ctx, http.MethodPost, "/v1/search/batch", server.BatchRequest{Queries: queries}, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -119,21 +179,54 @@ func (c *Client) Reload(ctx context.Context) (*server.ReloadResponse, error) {
 	return &resp, nil
 }
 
-// do sends one JSON request and decodes the reply into out.
+// do sends one JSON request (with the retry policy) and decodes the
+// reply into out.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.exec(ctx, method, path, in, out, false)
+}
+
+// exec is the shared request pipeline: marshal once, then run attempts
+// through the optional hedging and retry layers.
+func (c *Client) exec(ctx context.Context, method, path string, in, out any, hedge bool) error {
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	attempt := func(ctx context.Context) ([]byte, error) {
+		return c.attempt(ctx, method, path, payload, in != nil)
+	}
+	if hedge {
+		attempt = c.hedged(attempt)
+	}
+	data, err := c.withRetry(ctx, attempt)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// attempt performs exactly one HTTP round trip and classifies the
+// outcome: raw 200 body, *APIError (with parsed Retry-After), or
+// *TransportError. Context errors come back unwrapped so the retry
+// layer can tell "the caller gave up" from "the network failed".
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool) ([]byte, error) {
+	c.stats.attempts.Add(1)
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -142,17 +235,31 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, &TransportError{Err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
 		var apiErr server.ErrorResponse
 		msg := strings.TrimSpace(string(data))
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return &APIError{Status: resp.StatusCode, Msg: msg}
+		return nil, &APIError{
+			Status:     resp.StatusCode,
+			Msg:        msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, &TransportError{Err: err}
+	}
+	return data, nil
 }

@@ -1,0 +1,361 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy shapes the client's retry loop. Zero-valued fields take
+// the documented defaults, so &RetryPolicy{} is the default policy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4; values < 1 mean the default).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized, 0..1
+	// (default 0.5: delay is 50–100% of nominal). Negative disables
+	// jitter entirely.
+	Jitter float64
+	// Budget, when positive, bounds the total time spent across all
+	// attempts and backoffs; once exceeded, the last error is returned
+	// rather than sleeping again.
+	Budget time.Duration
+
+	// randFloat is the jitter source (test seam; default math/rand).
+	randFloat func() float64
+}
+
+// DefaultRetryPolicy returns the policy New() arms: 4 attempts, 50ms
+// base delay doubling to a 2s cap, half-width jitter, no overall budget
+// (the caller's context is the budget).
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{}
+}
+
+func (p *RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the backoff before retry number retry (0-based).
+// A server-provided Retry-After floors the result: the server knows its
+// own saturation horizon better than our exponential guess.
+func (p *RetryPolicy) delay(retry int, retryAfter time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = 2 * time.Second
+	}
+	d := base << uint(retry)
+	if d > maxD || d <= 0 { // <= 0: shift overflow
+		d = maxD
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		if jitter > 1 {
+			jitter = 1
+		}
+		rf := p.randFloat
+		if rf == nil {
+			rf = rand.Float64
+		}
+		// Uniform in [1-jitter, 1] of nominal: never longer than the cap,
+		// decorrelated across clients.
+		d = time.Duration(float64(d) * (1 - jitter*rf()))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// retryable reports whether err is worth another attempt: saturation
+// (429), server failure (5xx), or a transport error. Client mistakes
+// (4xx) and context ends are final.
+func retryable(err error) bool {
+	var te *TransportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusTooManyRequests || ae.Status >= 500
+	}
+	return false
+}
+
+// retryAfterOf extracts the server's Retry-After hint from err, if any.
+func retryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// withRetry drives attempts of f under the client's policy: breaker
+// check, attempt, classify, back off (honoring Retry-After), repeat. A
+// done context is never retried past — the in-flight attempt's error
+// (or the context's) returns immediately.
+func (c *Client) withRetry(ctx context.Context, f func(context.Context) ([]byte, error)) ([]byte, error) {
+	p := c.Retry
+	if p == nil {
+		if err := c.Breaker.Allow(); err != nil {
+			return nil, err
+		}
+		data, err := f(ctx)
+		c.Breaker.Record(err)
+		return data, err
+	}
+	var deadline time.Time
+	if p.Budget > 0 {
+		deadline = time.Now().Add(p.Budget)
+	}
+	var lastErr error
+	for try := 0; try < p.maxAttempts(); try++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		if err := c.Breaker.Allow(); err != nil {
+			return nil, err
+		}
+		data, err := f(ctx)
+		c.Breaker.Record(err)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		if try == p.maxAttempts()-1 {
+			break
+		}
+		d := p.delay(try, retryAfterOf(err))
+		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+			break // budget spent: sleeping again cannot pay off
+		}
+		c.stats.retries.Add(1)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// hedged wraps f so that a slow first attempt is raced by a duplicate
+// after HedgeDelay; the first success wins and cancels the other. If
+// both fail, the first failure is reported. Hedging a failed-fast
+// primary is pointless, so an error before the hedge timer just returns.
+func (c *Client) hedged(f func(context.Context) ([]byte, error)) func(context.Context) ([]byte, error) {
+	if c.HedgeDelay <= 0 {
+		return f
+	}
+	return func(ctx context.Context) ([]byte, error) {
+		hctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		type outcome struct {
+			data []byte
+			err  error
+		}
+		ch := make(chan outcome, 2) // buffered: the losing goroutine never blocks
+		launch := func() {
+			go func() {
+				data, err := f(hctx)
+				ch <- outcome{data, err}
+			}()
+		}
+		launch()
+		inFlight, hedgedNow := 1, false
+		timer := time.NewTimer(c.HedgeDelay)
+		defer timer.Stop()
+		var firstErr error
+		for {
+			select {
+			case o := <-ch:
+				inFlight--
+				if o.err == nil {
+					return o.data, nil
+				}
+				if firstErr == nil {
+					firstErr = o.err
+				}
+				if inFlight == 0 {
+					return nil, firstErr
+				}
+			case <-timer.C:
+				if !hedgedNow {
+					hedgedNow = true
+					c.stats.hedges.Add(1)
+					launch()
+					inFlight++
+				}
+			case <-ctx.Done():
+				if firstErr != nil {
+					return nil, firstErr
+				}
+				return nil, ctx.Err()
+			}
+		}
+	}
+}
+
+// ErrCircuitOpen is returned (wrapped) while the breaker is open.
+var ErrCircuitOpen = errors.New("circuit breaker open")
+
+// Breaker is a consecutive-failure circuit breaker: after Threshold
+// failures in a row it opens and fails requests instantly for Cooldown,
+// then lets a single probe through (half-open); the probe's outcome
+// closes or re-opens it. A nil *Breaker is a no-op. Saturation (429)
+// does not trip the breaker — a shedding server is alive, and backoff
+// is the right response, not lockout. Context cancellation does not
+// trip it either: the caller gave up, the server did not fail.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 5; values < 1 mean the default).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a probe
+	// (default 1s).
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	fails    int
+	state    breakerState
+	openedAt time.Time
+	probing  bool
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+)
+
+func (b *Breaker) threshold() int {
+	if b.Threshold < 1 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a request may proceed: nil when closed or when
+// it wins the half-open probe slot, an ErrCircuitOpen-wrapped error
+// otherwise.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerClosed {
+		return nil
+	}
+	if since := time.Since(b.openedAt); since >= b.cooldown() {
+		if !b.probing {
+			b.probing = true // half-open: exactly one probe at a time
+			return nil
+		}
+		return fmt.Errorf("%w: probe in flight", ErrCircuitOpen)
+	}
+	return fmt.Errorf("%w: retry in %v", ErrCircuitOpen, b.cooldown()-time.Since(b.openedAt))
+}
+
+// Record feeds a request outcome into the breaker.
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	failure := err != nil && !errors.Is(err, ErrSaturated) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	if failure {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status < 500 && ae.Status != http.StatusTooManyRequests {
+			failure = false // the caller's mistake, not the server's health
+		}
+	}
+	if !failure {
+		if err == nil {
+			b.fails = 0
+			b.state = breakerClosed
+		}
+		b.probing = false
+		return
+	}
+	b.probing = false
+	b.fails++
+	if b.state == breakerOpen || b.fails >= b.threshold() {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// State returns "closed" or "open" (for logs and tests).
+func (b *Breaker) State() string {
+	if b == nil {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerClosed {
+		return "closed"
+	}
+	return "open"
+}
+
+// statCounters tracks client-side resilience activity.
+type statCounters struct {
+	attempts atomic.Uint64
+	retries  atomic.Uint64
+	hedges   atomic.Uint64
+}
+
+// Stats is a point-in-time copy of the client's resilience counters.
+type Stats struct {
+	Attempts uint64 // HTTP round trips started
+	Retries  uint64 // backoff retries taken
+	Hedges   uint64 // hedge requests launched
+}
+
+// Stats returns the client's cumulative resilience counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Attempts: c.stats.attempts.Load(),
+		Retries:  c.stats.retries.Load(),
+		Hedges:   c.stats.hedges.Load(),
+	}
+}

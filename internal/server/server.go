@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/index"
 	"repro/internal/prep"
 	"repro/internal/telemetry"
@@ -69,10 +70,30 @@ type Config struct {
 	// disables caching).
 	CacheEntries int
 
+	// DegradedMode opts into graceful degradation: when every in-flight
+	// slot is taken, instead of shedding with 429 the server answers from
+	// the result cache when it can, and otherwise falls back to a
+	// prefilter-only ranking marked degraded:true — a reduced-quality
+	// answer that is orders of magnitude cheaper than an exact search.
+	DegradedMode bool
+
+	// Faults, when non-nil, arms fault injection at the server's named
+	// fault points (decode, cache, search, reload) — chaos testing only.
+	// tracy serve arms it from the TRACY_FAULTS environment variable.
+	Faults *faultinject.Injector
+
 	// Tel receives server telemetry and is served at /statsz (default: a
 	// fresh collector).
 	Tel *telemetry.Collector
 }
+
+// Named fault points the server fires (see internal/faultinject).
+const (
+	FaultDecode = "decode" // request-body decode
+	FaultCache  = "cache"  // result-cache lookup/store (fault = cache miss)
+	FaultSearch = "search" // snapshot search, after the cache miss
+	FaultReload = "reload" // index reload
+)
 
 // snapState is what one atomic snapshot swap publishes.
 type snapState struct {
@@ -83,14 +104,15 @@ type snapState struct {
 
 // Server is the query service. Create with New or NewFromDB.
 type Server struct {
-	cfg   Config
-	opts  core.Options
-	ks    []int
-	tel   *telemetry.Collector
-	snap  atomic.Pointer[snapState]
-	gen   atomic.Uint64
-	sem   chan struct{}
-	cache *resultCache
+	cfg    Config
+	opts   core.Options
+	ks     []int
+	tel    *telemetry.Collector
+	snap   atomic.Pointer[snapState]
+	gen    atomic.Uint64
+	sem    chan struct{}
+	cache  *resultCache
+	faults *faultinject.Injector // nil when chaos is off
 
 	httpSrv *http.Server
 
@@ -152,13 +174,17 @@ func newServer(cfg Config) *Server {
 	case cacheN < 0:
 		cacheN = 0 // disabled
 	}
+	if cfg.Faults != nil && cfg.Faults.Tel == nil {
+		cfg.Faults.Tel = tel
+	}
 	return &Server{
-		cfg:   cfg,
-		opts:  opts,
-		ks:    ks,
-		tel:   tel,
-		sem:   make(chan struct{}, maxInFlight),
-		cache: newResultCache(cacheN),
+		cfg:    cfg,
+		opts:   opts,
+		ks:     ks,
+		tel:    tel,
+		sem:    make(chan struct{}, maxInFlight),
+		cache:  newResultCache(cacheN),
+		faults: cfg.Faults,
 	}
 }
 
@@ -193,6 +219,9 @@ func (s *Server) reload() (*ReloadResponse, error) {
 	if s.cfg.DBPath == "" {
 		return nil, errors.New("server: no index path configured for reload")
 	}
+	if err := s.faults.Fire(context.Background(), FaultReload); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	f, err := os.Open(s.cfg.DBPath)
 	if err != nil {
@@ -211,13 +240,41 @@ func (s *Server) reload() (*ReloadResponse, error) {
 	}, nil
 }
 
+// recoverPanics is the outermost per-request middleware: a panicking
+// handler answers 500 with a JSON error and bumps server_panics instead
+// of tearing down the connection (net/http would survive the panic but
+// the client would see an aborted response and the failure would go
+// uncounted). http.ErrAbortHandler keeps its meaning and is re-raised.
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.tel.Inc(telemetry.ServerPanics)
+			writeJSON(w, http.StatusInternalServerError,
+				ErrorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
 // Handler returns the service mux: the /v1 API plus /statsz and
 // /debug/pprof from the telemetry collector.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	timeoutBody, _ := json.Marshal(ErrorResponse{Error: "request deadline exceeded"})
 	api := func(h http.HandlerFunc) http.Handler {
-		return http.TimeoutHandler(h, s.cfg.RequestTimeout, string(timeoutBody))
+		// TimeoutHandler both bounds the wall-clock response time and — by
+		// wrapping the request context in a deadline — turns RequestTimeout
+		// into a real compute budget now that the search path is
+		// cancellable. Panics inside it propagate out, so the recovery
+		// middleware goes outermost.
+		return s.recoverPanics(http.TimeoutHandler(h, s.cfg.RequestTimeout, string(timeoutBody)))
 	}
 	mux.Handle("POST /v1/search", api(s.handleSearch))
 	mux.Handle("POST /v1/search/batch", api(s.handleBatch))
@@ -289,11 +346,26 @@ func (s *Server) acquire() func() {
 	}
 }
 
+// shedRetryAfter is the backoff hint attached to every 429: the server
+// is saturated with searches that take O(100ms..s), so "come back in a
+// second" is an honest floor for when a slot may free up.
+const shedRetryAfter = "1"
+
+// shed answers a saturated request with 429 plus a Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.tel.Inc(telemetry.ServerRejected)
+	w.Header().Set("Retry-After", shedRetryAfter)
+	writeErr(w, errf(http.StatusTooManyRequests, "server saturated: %d searches in flight", cap(s.sem)))
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	release := s.acquire()
 	if release == nil {
-		s.tel.Inc(telemetry.ServerRejected)
-		writeErr(w, errf(http.StatusTooManyRequests, "server saturated: %d searches in flight", cap(s.sem)))
+		if s.cfg.DegradedMode {
+			s.serveDegradedSearch(w, r)
+			return
+		}
+		s.shed(w)
 		return
 	}
 	defer release()
@@ -308,7 +380,28 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	resp, err := s.runSearch(&req)
+	resp, err := s.runSearch(r.Context(), &req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveDegradedSearch answers a search when every in-flight slot is
+// taken and DegradedMode is on: from the result cache if the exact
+// answer is already there, else with a prefilter-only ranking marked
+// degraded. Both are cheap enough to run outside the slot semaphore.
+func (s *Server) serveDegradedSearch(w http.ResponseWriter, r *http.Request) {
+	s.tel.Inc(telemetry.ServerRequests)
+	lt := s.tel.StartTimer(telemetry.ServerLatency)
+	defer lt.Stop()
+	var req SearchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := s.runDegraded(r.Context(), &req)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -322,17 +415,21 @@ const maxBatch = 64
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// One batch holds one in-flight slot: its queries run back to back,
 	// and each still fans out across all snapshot shards.
+	degraded := false
 	release := s.acquire()
 	if release == nil {
-		s.tel.Inc(telemetry.ServerRejected)
-		writeErr(w, errf(http.StatusTooManyRequests, "server saturated: %d searches in flight", cap(s.sem)))
-		return
+		if !s.cfg.DegradedMode {
+			s.shed(w)
+			return
+		}
+		degraded = true
+	} else {
+		defer release()
 	}
-	defer release()
 	s.tel.Inc(telemetry.ServerRequests)
 	lt := s.tel.StartTimer(telemetry.ServerLatency)
 	defer lt.Stop()
-	if s.holdForTest != nil {
+	if !degraded && s.holdForTest != nil {
 		<-s.holdForTest
 	}
 	var req BatchRequest
@@ -350,7 +447,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	out := BatchResponse{Results: make([]BatchItem, len(req.Queries))}
 	for i := range req.Queries {
-		resp, err := s.runSearch(&req.Queries[i])
+		var resp *SearchResponse
+		var err error
+		if degraded {
+			resp, err = s.runDegraded(r.Context(), &req.Queries[i])
+		} else {
+			resp, err = s.runSearch(r.Context(), &req.Queries[i])
+		}
 		if err != nil {
 			out.Results[i].Error = err.Error()
 			continue
@@ -423,6 +526,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 // decodeBody JSON-decodes a size-limited request body.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	if err := s.faults.Fire(r.Context(), FaultDecode); err != nil {
+		return errf(http.StatusInternalServerError, "decode: %v", err)
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
@@ -436,11 +542,21 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
-// runSearch executes one search (shared by the single and batch
-// endpoints): resolve the query function, consult the cache, fan out
-// over the snapshot, rank top-K.
-func (s *Server) runSearch(req *SearchRequest) (*SearchResponse, error) {
-	t0 := time.Now()
+// searchPlan is the validated, resolved prelude shared by the exact and
+// degraded search paths.
+type searchPlan struct {
+	st      *snapState
+	query   *prep.Function
+	ref     *core.Decomposed
+	k       int
+	limit   int
+	pf      index.PrefilterOptions
+	effCand int
+}
+
+// planSearch validates req, resolves the query function, and decomposes
+// it — everything a search needs before any corpus work happens.
+func (s *Server) planSearch(req *SearchRequest) (*searchPlan, error) {
 	st := s.snap.Load()
 	if st == nil {
 		return nil, errf(http.StatusServiceUnavailable, "no index loaded")
@@ -465,6 +581,9 @@ func (s *Server) runSearch(req *SearchRequest) (*SearchResponse, error) {
 	if req.Candidates < 0 {
 		return nil, errf(http.StatusBadRequest, "candidates %d must be positive", req.Candidates)
 	}
+	if req.TimeoutMS < 0 {
+		return nil, errf(http.StatusBadRequest, "timeout_ms %d must be positive", req.TimeoutMS)
+	}
 	pf := index.PrefilterOptions{Enabled: req.Prefilter, Candidates: req.Candidates}
 	if pf.Candidates > 1000 {
 		pf.Candidates = 1000
@@ -477,39 +596,93 @@ func (s *Server) runSearch(req *SearchRequest) (*SearchResponse, error) {
 			effCand = index.DefaultPrefilterCandidates
 		}
 	}
-
 	query, err := s.resolveQuery(st, req)
 	if err != nil {
 		return nil, err
 	}
+	return &searchPlan{
+		st:      st,
+		query:   query,
+		ref:     core.DecomposeT(query, k, s.tel),
+		k:       k,
+		limit:   limit,
+		pf:      pf,
+		effCand: effCand,
+	}, nil
+}
+
+// reqCtx derives the search's compute context: the request context
+// (already deadline-bounded by the TimeoutHandler) tightened further by
+// the request's own timeout_ms when given.
+func reqCtx(ctx context.Context, req *SearchRequest) (context.Context, context.CancelFunc) {
+	if req.TimeoutMS > 0 {
+		return context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	return ctx, func() {}
+}
+
+// ctxHTTPErr maps a context abort to its HTTP status: 504 for an
+// expired deadline, 499 (the de-facto "client closed request" code) for
+// an explicit cancel. Nil for any other error.
+func ctxHTTPErr(err error) *httpError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return errf(http.StatusGatewayTimeout, "search deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		return errf(499, "search cancelled by client")
+	}
+	return nil
+}
+
+// runSearch executes one search (shared by the single and batch
+// endpoints): resolve the query function, consult the cache, fan out
+// over the snapshot under ctx, rank top-K.
+func (s *Server) runSearch(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
+	t0 := time.Now()
+	p, err := s.planSearch(req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := reqCtx(ctx, req)
+	defer cancel()
 
 	opts := s.opts
-	opts.K = k
+	opts.K = p.k
 	opts.Tel = s.tel
-	ref := core.DecomposeT(query, k, s.tel)
-	key := cacheKey{fp: ref.Fingerprint(), gen: st.gen, k: k, limit: limit,
-		minScore: req.MinScore, candidates: effCand}
-	if cached, ok := s.cache.get(key); ok {
-		s.tel.Inc(telemetry.ServerCacheHits)
-		resp := *cached // shallow copy; shared Hits are read-only
-		resp.Cached = true
-		resp.TookMS = msSince(t0)
-		return &resp, nil
+	key := cacheKey{fp: p.ref.Fingerprint(), gen: p.st.gen, k: p.k, limit: p.limit,
+		minScore: req.MinScore, candidates: p.effCand}
+	// A cache fault means the cache is unavailable, not that the search
+	// fails: degrade to a miss (and skip the store below).
+	cacheOK := s.faults.Fire(ctx, FaultCache) == nil
+	if cacheOK {
+		if cached, ok := s.cache.get(key); ok {
+			s.tel.Inc(telemetry.ServerCacheHits)
+			resp := *cached // shallow copy; shared Hits are read-only
+			resp.Cached = true
+			resp.TookMS = msSince(t0)
+			return &resp, nil
+		}
+		s.tel.Inc(telemetry.ServerCacheMisses)
 	}
-	s.tel.Inc(telemetry.ServerCacheMisses)
 
-	hits, serr := st.snap.SearchDecomposedWith(ref, opts, pf)
+	if err := s.faults.Fire(ctx, FaultSearch); err != nil {
+		return nil, errf(http.StatusInternalServerError, "search: %v", err)
+	}
+	hits, serr := p.st.snap.SearchDecomposedCtx(ctx, p.ref, opts, p.pf)
 	if serr != nil {
+		if he := ctxHTTPErr(serr); he != nil {
+			return nil, he
+		}
 		return nil, errf(http.StatusBadRequest, "%v", serr)
 	}
-	top := index.TopK(hits, limit, req.MinScore)
+	top := index.TopK(hits, p.limit, req.MinScore)
 	resp := &SearchResponse{
-		Query:       query.Name,
-		QueryBlocks: query.NumBlocks(),
-		QueryInsts:  query.NumInsts(),
-		K:           k,
+		Query:       p.query.Name,
+		QueryBlocks: p.query.NumBlocks(),
+		QueryInsts:  p.query.NumInsts(),
+		K:           p.k,
 		Candidates:  len(hits),
-		Prefiltered: pf.Enabled,
+		Prefiltered: p.pf.Enabled,
 		Hits:        make([]Hit, len(top)),
 	}
 	for i, h := range top {
@@ -525,7 +698,90 @@ func (s *Server) runSearch(req *SearchRequest) (*SearchResponse, error) {
 		}
 	}
 	resp.TookMS = msSince(t0)
-	s.cache.put(key, resp)
+	if cacheOK {
+		s.cache.put(key, resp)
+	}
+	return resp, nil
+}
+
+// runDegraded answers a search without taking an in-flight slot: a
+// result-cache hit is served at full quality; otherwise the snapshot's
+// prefilter ranks the corpus by shared features and the top entries are
+// returned with degraded:true — feature-share ratios in place of
+// similarity scores, IsMatch never set. Degraded answers live in their
+// own cache keyspace so they can never shadow an exact result.
+func (s *Server) runDegraded(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
+	t0 := time.Now()
+	p, err := s.planSearch(req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := reqCtx(ctx, req)
+	defer cancel()
+
+	exactKey := cacheKey{fp: p.ref.Fingerprint(), gen: p.st.gen, k: p.k, limit: p.limit,
+		minScore: req.MinScore, candidates: p.effCand}
+	cacheOK := s.faults.Fire(ctx, FaultCache) == nil
+	if cacheOK {
+		if cached, ok := s.cache.get(exactKey); ok {
+			s.tel.Inc(telemetry.ServerCacheHits)
+			resp := *cached
+			resp.Cached = true
+			resp.TookMS = msSince(t0)
+			return &resp, nil
+		}
+	}
+
+	s.tel.Inc(telemetry.ServerDegraded)
+	degKey := cacheKey{fp: p.ref.Fingerprint(), gen: p.st.gen, k: p.k, limit: p.limit, degraded: true}
+	if cacheOK {
+		if cached, ok := s.cache.get(degKey); ok {
+			s.tel.Inc(telemetry.ServerCacheHits)
+			resp := *cached
+			resp.Cached = true
+			resp.TookMS = msSince(t0)
+			return &resp, nil
+		}
+		s.tel.Inc(telemetry.ServerCacheMisses)
+	}
+
+	if err := s.faults.Fire(ctx, FaultSearch); err != nil {
+		return nil, errf(http.StatusInternalServerError, "search: %v", err)
+	}
+	ranked, rerr := p.st.snap.PrefilterRank(ctx, p.ref, p.limit)
+	if rerr != nil {
+		if he := ctxHTTPErr(rerr); he != nil {
+			return nil, he
+		}
+		return nil, errf(http.StatusInternalServerError, "%v", rerr)
+	}
+	qf := len(index.QueryFeatures(p.ref))
+	entries := p.st.snap.Entries()
+	resp := &SearchResponse{
+		Query:          p.query.Name,
+		QueryBlocks:    p.query.NumBlocks(),
+		QueryInsts:     p.query.NumInsts(),
+		K:              p.k,
+		Candidates:     len(ranked),
+		Degraded:       true,
+		DegradedReason: "server saturated: prefilter-only ranking, no exact comparison",
+		Hits:           make([]Hit, len(ranked)),
+	}
+	for i, r := range ranked {
+		e := entries[r.ID]
+		score := 0.0
+		if qf > 0 {
+			score = float64(r.Shared) / float64(qf)
+			if score > 1 {
+				score = 1
+			}
+		}
+		resp.Hits[i] = Hit{Exe: e.Exe, Name: e.Name, Addr: e.Addr, Score: score}
+	}
+	resp.TookMS = msSince(t0)
+	if cacheOK {
+		s.cache.put(degKey, resp)
+	}
 	return resp, nil
 }
 
