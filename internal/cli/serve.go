@@ -33,6 +33,11 @@ func (c *env) serve(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
 	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 	degraded := fs.Bool("degraded", false, "answer saturated searches with cached or prefilter-only results instead of 429")
+	accessLog := fs.String("access-log", "", "structured JSON access-log destination: a file path or \"-\" for stdout (default: off)")
+	accessSample := fs.Int("access-sample", 1, "log 1 in N requests (errors and slow queries always log)")
+	slowQuery := fs.Duration("slow-query", time.Second, "slow-query threshold: such requests always log and bump server_slow_queries")
+	flightSlow := fs.Int("flight-slow", 0, "slowest requests retained at /debug/requests (0: default)")
+	flightErrors := fs.Int("flight-errors", 0, "recent errored requests retained at /debug/requests (0: default)")
 	faultSpec := fs.String("faults", os.Getenv(faultinject.EnvVar),
 		"fault-injection spec, e.g. search=latency:200ms,decode=error:x2 (chaos testing; default $"+faultinject.EnvVar+")")
 	opts := matchFlags(fs)
@@ -52,16 +57,32 @@ func (c *env) serve(args []string) error {
 		fmt.Fprintf(c.w, "tracy: WARNING: fault injection armed (%s) — chaos testing only\n", *faultSpec)
 	}
 	cfg := server.Config{
-		DBPath:         *dbPath,
-		Opts:           opts(),
-		Shards:         *shards,
-		MaxInFlight:    *maxInFlight,
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *timeout,
-		CacheEntries:   *cacheN,
-		DegradedMode:   *degraded,
-		Faults:         faults,
-		Tel:            tf.tel,
+		DBPath:             *dbPath,
+		Opts:               opts(),
+		Shards:             *shards,
+		MaxInFlight:        *maxInFlight,
+		MaxBodyBytes:       *maxBody,
+		RequestTimeout:     *timeout,
+		CacheEntries:       *cacheN,
+		DegradedMode:       *degraded,
+		Faults:             faults,
+		Tel:                tf.tel,
+		AccessLogSample:    *accessSample,
+		SlowQueryThreshold: *slowQuery,
+		FlightSlow:         *flightSlow,
+		FlightErrors:       *flightErrors,
+	}
+	if *accessLog != "" {
+		if *accessLog == "-" {
+			cfg.AccessLog = c.w
+		} else {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("serve: access log: %w", err)
+			}
+			defer f.Close()
+			cfg.AccessLog = f
+		}
 	}
 	if cfg.Tel == nil {
 		// The server always collects: /statsz is part of the service.
@@ -84,7 +105,7 @@ func (c *env) serve(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(c.w, "tracy: serving %s on http://%s (POST /v1/search, /statsz, /debug/pprof)\n",
+	fmt.Fprintf(c.w, "tracy: serving %s on http://%s (POST /v1/search, /statsz, /metrics, /debug/requests, /debug/pprof)\n",
 		*dbPath, bound)
 
 	sigs := make(chan os.Signal, 1)

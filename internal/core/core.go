@@ -388,6 +388,7 @@ type Result struct {
 	MatchedRewrite int // matched only after the rewrite
 	PairsCompared  int
 	PairsRewritten int
+	PairsPruned    int // pairs skipped by the lossless score-bound pruner
 
 	// Truncated reports that the comparison stopped early because the α
 	// verdict was already decided (Options.PruneAlpha): IsMatch is exact,
@@ -780,6 +781,7 @@ func (m *Matcher) CompareCtx(cc context.Context, ref, tgt *Decomposed) (Result, 
 func (m *Matcher) finishCompare(res *Result, ctx *cmpCtx, ct telemetry.Timer) {
 	ct.Stop()
 	tel, st := ctx.tel, &ctx.stats
+	res.PairsPruned = int(st.prunedBound)
 	tel.Inc(telemetry.Compares)
 	tel.Add(telemetry.PairsCompared, uint64(res.PairsCompared))
 	tel.Add(telemetry.PairsPrunedBound, st.prunedBound)

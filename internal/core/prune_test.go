@@ -37,6 +37,9 @@ func TestPruneBitIdentical(t *testing.T) {
 				for _, tgt := range ds {
 					want := me.Compare(ref, tgt)
 					got := mp.Compare(ref, tgt)
+					// PairsPruned is work accounting, not output: it is
+					// nonzero only when the pruner runs, by definition.
+					want.PairsPruned, got.PairsPruned = 0, 0
 					if got != want {
 						t.Errorf("norm=%v rewrite=%v %s vs %s: pruned %+v != exhaustive %+v",
 							norm, useRewrite, ref.Name, tgt.Name, got, want)

@@ -223,6 +223,7 @@ func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed
 	tel := opts.Tel
 	tel.Inc(telemetry.Queries)
 	qt := tel.StartTimer(telemetry.QueryLatency)
+	sp := telemetry.SpanFromContext(ctx)
 
 	var (
 		errMu    sync.Mutex
@@ -240,7 +241,12 @@ func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed
 	}
 
 	if c := pf.cap(); c > 0 {
+		pfSpan := sp.Child("prefilter")
+		pt := tel.StartTimer(telemetry.PrefilterLatency)
 		ids := s.fidx.topCandidates(ctx, QueryFeatures(ref), c)
+		pt.Stop()
+		pfSpan.Set("candidates", int64(len(ids)))
+		pfSpan.End()
 		if err := ctx.Err(); err != nil {
 			noteCtxErr(tel, err)
 			qt.Stop()
@@ -249,6 +255,8 @@ func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed
 		tel.Add(telemetry.PrefilterCandidates, uint64(len(ids)))
 		dec := s.flat[ref.K]
 		hits := make([]Hit, len(ids))
+		cmpSpan := sp.Child("compare")
+		cmpSpan.Set("pairs", int64(len(ids)))
 		workers := len(s.shards)
 		if workers > len(ids) {
 			workers = len(ids)
@@ -276,17 +284,21 @@ func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed
 		}
 		close(jobs)
 		wg.Wait()
+		cmpSpan.End()
 		if firstErr != nil {
 			noteCtxErr(tel, firstErr)
 			qt.Stop()
 			return nil, firstErr
 		}
+		spanNotePrune(sp, hits)
 		SortHits(hits)
 		qt.Stop()
 		return hits, nil
 	}
 
 	hits := make([]Hit, len(s.entries))
+	cmpSpan := sp.Child("compare")
+	cmpSpan.Set("pairs", int64(len(s.entries)))
 	var wg sync.WaitGroup
 	for _, sh := range s.shards {
 		wg.Add(1)
@@ -307,14 +319,33 @@ func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed
 		}(sh)
 	}
 	wg.Wait()
+	cmpSpan.End()
 	if firstErr != nil {
 		noteCtxErr(tel, firstErr)
 		qt.Stop()
 		return nil, firstErr
 	}
+	spanNotePrune(sp, hits)
 	SortHits(hits)
 	qt.Stop()
 	return hits, nil
+}
+
+// spanNotePrune attaches the "prune" stage to a request span. Pruning
+// happens inside the DP comparisons rather than as a separable timed
+// phase, so the stage is an instant span carrying the total pair count
+// the score-bound pruner skipped across all hits.
+func spanNotePrune(sp *telemetry.Span, hits []Hit) {
+	if sp == nil {
+		return
+	}
+	var pruned int64
+	for i := range hits {
+		pruned += int64(hits[i].Result.PairsPruned)
+	}
+	c := sp.Child("prune")
+	c.Set("pairs_pruned", pruned)
+	c.End()
 }
 
 // PrefilterRank is the lossy stage alone: it ranks the corpus by shared
@@ -330,7 +361,12 @@ func (s *Snapshot) PrefilterRank(ctx context.Context, ref *core.Decomposed, limi
 	if limit <= 0 {
 		limit = DefaultPrefilterCandidates
 	}
+	pfSpan := telemetry.SpanFromContext(ctx).Child("prefilter")
+	pt := s.Tel.StartTimer(telemetry.PrefilterLatency)
 	ranked := s.fidx.ranked(ctx, QueryFeatures(ref), limit)
+	pt.Stop()
+	pfSpan.Set("candidates", int64(len(ranked)))
+	pfSpan.End()
 	if err := ctx.Err(); err != nil {
 		noteCtxErr(s.Tel, err)
 		return nil, err

@@ -78,6 +78,11 @@ type SearchResponse struct {
 	Cached      bool    `json:"cached"` // served from the result cache
 	TookMS      float64 `json:"took_ms"`
 
+	// TraceID is the request's trace ID (from the caller's traceparent
+	// header, or minted by the server): the join key across the response,
+	// the access log, /debug/requests and client-side attempt records.
+	TraceID string `json:"trace_id,omitempty"`
+
 	// Degraded marks a reduced-quality answer produced under saturation
 	// (prefilter-only ranking, no exact comparison): hit scores are
 	// shared-feature ratios, not similarity scores, and IsMatch is never
@@ -100,6 +105,7 @@ type BatchItem struct {
 // BatchResponse carries one item per request query, in order.
 type BatchResponse struct {
 	Results []BatchItem `json:"results"`
+	TraceID string      `json:"trace_id,omitempty"` // shared by every query in the batch
 }
 
 // FunctionInfo describes one indexed function.
@@ -134,7 +140,10 @@ type ReloadResponse struct {
 	TookMS     float64 `json:"took_ms"`
 }
 
-// ErrorResponse is the body of every non-2xx reply.
+// ErrorResponse is the body of every non-2xx reply. TraceID lets a
+// caller quote the exact failed request when filing a report — 499/504
+// cancellation errors and 500s all carry it.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }

@@ -1,0 +1,216 @@
+package server_test
+
+// Chaos-suite extension for end-to-end tracing: through a REAL TCP
+// server with injected faults, one logical request must keep a single
+// trace ID across every retry and hedge attempt, and that ID must join
+// the client's attempt records, the server's flight recorder and access
+// log, and the response body.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/telemetry"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the access logger writes
+// from server handler goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestChaosOneTraceAcrossRetries is the acceptance path: a transient
+// search fault forces two retries, and afterwards the same trace ID is
+// visible in (1) the client's Stats().Recent as three distinct attempts,
+// (2) the server's flight recorder — two errored attempts plus the
+// winner with its stage spans, (3) the access log, and (4) the response.
+func TestChaosOneTraceAcrossRetries(t *testing.T) {
+	faults := faultinject.New()
+	faults.Arm(&faultinject.Fault{Point: server.FaultSearch, Mode: faultinject.Error, Count: 2})
+	var accessLog syncBuffer
+	s, url := startChaos(t, server.Config{Faults: faults, AccessLog: &accessLog, AccessLogSample: 1})
+	cl := client.New(url)
+	cl.Retry = fastPolicy()
+
+	req := chaosQuery(t, chaosDB(t))
+	resp, err := cl.Search(context.Background(), &req)
+	if err != nil {
+		t.Fatalf("search should survive the transient fault: %v", err)
+	}
+	if !telemetry.IsTraceID(resp.TraceID) {
+		t.Fatalf("response trace_id %q invalid", resp.TraceID)
+	}
+	tid := resp.TraceID
+
+	// Client side: three attempts (0, 1, 2), one trace, no hedges.
+	recent := cl.Stats().Recent
+	if len(recent) != 3 {
+		t.Fatalf("client recorded %d attempts, want 3: %+v", len(recent), recent)
+	}
+	for i, ar := range recent {
+		if ar.TraceID != tid {
+			t.Errorf("attempt %d trace %q, want %q", i, ar.TraceID, tid)
+		}
+		if ar.Attempt != i || ar.Hedge {
+			t.Errorf("attempt record %d = %+v, want Attempt=%d Hedge=false", i, ar, i)
+		}
+	}
+	if recent[0].Status != 500 || recent[1].Status != 500 || recent[2].Status != 200 {
+		t.Errorf("attempt statuses %d/%d/%d, want 500/500/200",
+			recent[0].Status, recent[1].Status, recent[2].Status)
+	}
+
+	// Server side: the flight recorder holds all three round trips under
+	// the one trace — two in the errored ring, the winner in slowest with
+	// a finished span tree.
+	flight := s.Flight().Snapshot()
+	errored := 0
+	for _, fr := range flight.Errored {
+		if fr.TraceID == tid {
+			errored++
+			if fr.Status != 500 || fr.Error == "" {
+				t.Errorf("errored record %+v, want status 500 with a message", fr)
+			}
+		}
+	}
+	if errored != 2 {
+		t.Errorf("errored ring has %d records for %s, want 2", errored, tid)
+	}
+	var winner *telemetry.RequestRecord
+	for _, fr := range flight.Slowest {
+		if fr.TraceID == tid && fr.Status == 200 {
+			winner = fr
+			break
+		}
+	}
+	if winner == nil {
+		t.Fatalf("winning attempt for %s not in flight recorder", tid)
+	}
+	if winner.Attempt != 2 {
+		t.Errorf("winner attempt %d, want 2 (server sees the client's attempt header)", winner.Attempt)
+	}
+	if winner.Span == nil || winner.Span.Duration() <= 0 {
+		t.Error("winner lost its span tree")
+	}
+
+	// Access log: one line per attempt, all carrying the trace. The log
+	// write races the response by a hair, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	var lines []string
+	for {
+		lines = nil
+		for _, ln := range strings.Split(strings.TrimSpace(accessLog.String()), "\n") {
+			if strings.Contains(ln, tid) {
+				lines = append(lines, ln)
+			}
+		}
+		if len(lines) >= 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("access log has %d lines for %s, want 3:\n%s", len(lines), tid, accessLog.String())
+	}
+	var last struct {
+		TraceID string             `json:"trace_id"`
+		Attempt int                `json:"attempt"`
+		Status  int                `json:"status"`
+		Stages  map[string]float64 `json:"stages_ms"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("bad access line: %v\n%s", err, lines[len(lines)-1])
+	}
+	if last.TraceID != tid {
+		t.Errorf("access line trace %q, want %q", last.TraceID, tid)
+	}
+}
+
+// TestChaosHedgeSharesTrace: a one-shot latency fault slows the primary
+// batch attempt; the hedge duplicate races past it. Both round trips
+// must share one trace ID, and the hedge must be marked as such on both
+// sides of the wire.
+func TestChaosHedgeSharesTrace(t *testing.T) {
+	faults := faultinject.New()
+	faults.Arm(&faultinject.Fault{Point: server.FaultSearch, Mode: faultinject.Latency,
+		Latency: 3 * time.Second, Count: 1})
+	s, url := startChaos(t, server.Config{Faults: faults})
+	cl := client.New(url)
+	cl.Retry = nil
+	cl.HedgeDelay = 30 * time.Millisecond
+
+	req := chaosQuery(t, chaosDB(t))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := cl.SearchBatch(ctx, []server.SearchRequest{req})
+	if err != nil {
+		t.Fatalf("hedged batch should win past the latency fault: %v", err)
+	}
+	if !telemetry.IsTraceID(resp.TraceID) {
+		t.Fatalf("batch trace_id %q invalid", resp.TraceID)
+	}
+	tid := resp.TraceID
+	if got := cl.Stats().Hedges; got < 1 {
+		t.Fatalf("client hedged %d times, want >= 1", got)
+	}
+
+	// The losing primary is cancelled when the hedge wins and records its
+	// attempt asynchronously on the way out — poll for it.
+	var recent []client.AttemptRecord
+	var sawHedge, sawPrimary bool
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		recent = cl.Stats().Recent
+		sawHedge, sawPrimary = false, false
+		for _, ar := range recent {
+			if ar.TraceID != tid {
+				t.Fatalf("attempt %+v has foreign trace, want %q", ar, tid)
+			}
+			if ar.Hedge {
+				sawHedge = true
+			} else {
+				sawPrimary = true
+			}
+		}
+		if (sawHedge && sawPrimary) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(recent) < 2 || !sawHedge || !sawPrimary {
+		t.Fatalf("want primary + hedge attempt records under one trace, got %+v", recent)
+	}
+
+	// Server side: the winning (hedge) request is recorded with the
+	// hedge flag — the server learns it from the request headers.
+	var hedged bool
+	for _, fr := range s.Flight().Snapshot().Slowest {
+		if fr.TraceID == tid && fr.Hedge && fr.Status == 200 {
+			hedged = true
+		}
+	}
+	if !hedged {
+		t.Errorf("flight recorder has no successful hedge-marked record for %s: %+v",
+			tid, s.Flight().Snapshot().Slowest)
+	}
+}

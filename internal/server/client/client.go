@@ -15,9 +15,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 // ErrSaturated is wrapped by errors returned when the server sheds load
@@ -185,8 +187,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return c.exec(ctx, method, path, in, out, false)
 }
 
-// exec is the shared request pipeline: marshal once, then run attempts
-// through the optional hedging and retry layers.
+// exec is the shared request pipeline: marshal once, mint the logical
+// request's trace ID, then run attempts through the optional hedging
+// and retry layers. Every HTTP round trip — first try, backoff retry,
+// hedge duplicate — carries the same trace ID in its traceparent header
+// (with a fresh span ID per attempt) plus its attempt number and hedge
+// flag, so the server's access log and flight recorder can tell the
+// attempts of one logical request apart while still joining them.
 func (c *Client) exec(ctx context.Context, method, path string, in, out any, hedge bool) error {
 	var payload []byte
 	if in != nil {
@@ -196,13 +203,21 @@ func (c *Client) exec(ctx context.Context, method, path string, in, out any, hed
 		}
 		payload = b
 	}
-	attempt := func(ctx context.Context) ([]byte, error) {
-		return c.attempt(ctx, method, path, payload, in != nil)
+	traceID := telemetry.NewTraceID()
+	var seq atomic.Int64
+	attempt := func(ctx context.Context, hedged bool) ([]byte, error) {
+		n := int(seq.Add(1)) - 1 // 0-based attempt number within this request
+		return c.attempt(ctx, method, path, payload, in != nil, attemptMeta{
+			trace:   traceID,
+			attempt: n,
+			hedge:   hedged,
+		})
 	}
+	run := func(ctx context.Context) ([]byte, error) { return attempt(ctx, false) }
 	if hedge {
-		attempt = c.hedged(attempt)
+		run = c.hedged(attempt)
 	}
-	data, err := c.withRetry(ctx, attempt)
+	data, err := c.withRetry(ctx, run)
 	if err != nil {
 		return err
 	}
@@ -212,12 +227,22 @@ func (c *Client) exec(ctx context.Context, method, path string, in, out any, hed
 	return json.Unmarshal(data, out)
 }
 
+// attemptMeta is one round trip's trace identity.
+type attemptMeta struct {
+	trace   string
+	attempt int
+	hedge   bool
+}
+
 // attempt performs exactly one HTTP round trip and classifies the
 // outcome: raw 200 body, *APIError (with parsed Retry-After), or
 // *TransportError. Context errors come back unwrapped so the retry
 // layer can tell "the caller gave up" from "the network failed".
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool) ([]byte, error) {
+// Every outcome lands in the client's attempt-record ring (Stats).
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, meta attemptMeta) ([]byte, error) {
 	c.stats.attempts.Add(1)
+	t0 := time.Now()
+	rec := AttemptRecord{TraceID: meta.trace, Path: path, Attempt: meta.attempt, Hedge: meta.hedge}
 	var body io.Reader
 	if hasBody {
 		body = bytes.NewReader(payload)
@@ -229,6 +254,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set(telemetry.TraceparentHeader, telemetry.FormatTraceparent(meta.trace, telemetry.NewSpanID()))
+	req.Header.Set(server.AttemptHeader, strconv.Itoa(meta.attempt))
+	if meta.hedge {
+		req.Header.Set(server.HedgeHeader, "1")
+	}
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
@@ -236,11 +266,17 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	resp, err := hc.Do(req)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
+			err = cerr
+		} else {
+			err = &TransportError{Err: err}
 		}
-		return nil, &TransportError{Err: err}
+		rec.Err = err.Error()
+		rec.DurMS = msSince(t0)
+		c.stats.record(rec)
+		return nil, err
 	}
 	defer resp.Body.Close()
+	rec.Status = resp.StatusCode
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
 		var apiErr server.ErrorResponse
@@ -248,18 +284,33 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return nil, &APIError{
+		aerr := &APIError{
 			Status:     resp.StatusCode,
 			Msg:        msg,
 			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 		}
+		rec.Err = aerr.Error()
+		rec.DurMS = msSince(t0)
+		c.stats.record(rec)
+		return nil, aerr
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
+			err = cerr
+		} else {
+			err = &TransportError{Err: err}
 		}
-		return nil, &TransportError{Err: err}
+		rec.Err = err.Error()
+		rec.DurMS = msSince(t0)
+		c.stats.record(rec)
+		return nil, err
 	}
+	rec.DurMS = msSince(t0)
+	c.stats.record(rec)
 	return data, nil
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Nanoseconds()) / 1e6
 }

@@ -172,9 +172,11 @@ func (c *Client) withRetry(ctx context.Context, f func(context.Context) ([]byte,
 // after HedgeDelay; the first success wins and cancels the other. If
 // both fail, the first failure is reported. Hedging a failed-fast
 // primary is pointless, so an error before the hedge timer just returns.
-func (c *Client) hedged(f func(context.Context) ([]byte, error)) func(context.Context) ([]byte, error) {
+// f's bool argument marks the hedge duplicate, so its round trip is
+// labeled as such on the wire and in the attempt records.
+func (c *Client) hedged(f func(context.Context, bool) ([]byte, error)) func(context.Context) ([]byte, error) {
 	if c.HedgeDelay <= 0 {
-		return f
+		return func(ctx context.Context) ([]byte, error) { return f(ctx, false) }
 	}
 	return func(ctx context.Context) ([]byte, error) {
 		hctx, cancel := context.WithCancel(ctx)
@@ -184,13 +186,13 @@ func (c *Client) hedged(f func(context.Context) ([]byte, error)) func(context.Co
 			err  error
 		}
 		ch := make(chan outcome, 2) // buffered: the losing goroutine never blocks
-		launch := func() {
+		launch := func(isHedge bool) {
 			go func() {
-				data, err := f(hctx)
+				data, err := f(hctx, isHedge)
 				ch <- outcome{data, err}
 			}()
 		}
-		launch()
+		launch(false)
 		inFlight, hedgedNow := 1, false
 		timer := time.NewTimer(c.HedgeDelay)
 		defer timer.Stop()
@@ -212,7 +214,7 @@ func (c *Client) hedged(f func(context.Context) ([]byte, error)) func(context.Co
 				if !hedgedNow {
 					hedgedNow = true
 					c.stats.hedges.Add(1)
-					launch()
+					launch(true)
 					inFlight++
 				}
 			case <-ctx.Done():
@@ -337,11 +339,63 @@ func (b *Breaker) State() string {
 	return "open"
 }
 
+// maxAttemptRecords bounds the attempt-record ring: enough to cover
+// every round trip of a recent burst without growing with traffic.
+const maxAttemptRecords = 64
+
+// AttemptRecord describes one HTTP round trip: which logical request
+// it belonged to (TraceID), which try it was (Attempt, Hedge) and how
+// it ended. Retries and hedge duplicates each get their own record
+// under the same trace ID — the client-side half of the end-to-end
+// trace join.
+type AttemptRecord struct {
+	TraceID string  // trace ID shared by all attempts of one request
+	Path    string  // request path, e.g. "/v1/search"
+	Attempt int     // 0-based attempt number within the request
+	Hedge   bool    // this round trip was the hedge duplicate
+	Status  int     // HTTP status (0 when the transport failed)
+	Err     string  // "" on success
+	DurMS   float64 // round-trip wall time
+}
+
 // statCounters tracks client-side resilience activity.
 type statCounters struct {
 	attempts atomic.Uint64
 	retries  atomic.Uint64
 	hedges   atomic.Uint64
+
+	mu      sync.Mutex
+	recent  []AttemptRecord // ring of the last maxAttemptRecords attempts
+	recNext int
+	recFull bool
+}
+
+// record appends one finished round trip to the attempt ring.
+func (s *statCounters) record(rec AttemptRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recent == nil {
+		s.recent = make([]AttemptRecord, maxAttemptRecords)
+	}
+	s.recent[s.recNext] = rec
+	s.recNext++
+	if s.recNext == len(s.recent) {
+		s.recNext = 0
+		s.recFull = true
+	}
+}
+
+// recentCopy returns the ring's contents oldest-first.
+func (s *statCounters) recentCopy() []AttemptRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.recFull {
+		return append([]AttemptRecord(nil), s.recent[:s.recNext]...)
+	}
+	out := make([]AttemptRecord, 0, len(s.recent))
+	out = append(out, s.recent[s.recNext:]...)
+	out = append(out, s.recent[:s.recNext]...)
+	return out
 }
 
 // Stats is a point-in-time copy of the client's resilience counters.
@@ -349,13 +403,19 @@ type Stats struct {
 	Attempts uint64 // HTTP round trips started
 	Retries  uint64 // backoff retries taken
 	Hedges   uint64 // hedge requests launched
+
+	// Recent holds the last attempts (oldest first, bounded ring): one
+	// record per HTTP round trip with its trace ID and outcome.
+	Recent []AttemptRecord
 }
 
-// Stats returns the client's cumulative resilience counters.
+// Stats returns the client's cumulative resilience counters and the
+// recent attempt records.
 func (c *Client) Stats() Stats {
 	return Stats{
 		Attempts: c.stats.attempts.Load(),
 		Retries:  c.stats.retries.Load(),
 		Hedges:   c.stats.hedges.Load(),
+		Recent:   c.stats.recentCopy(),
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -85,6 +86,24 @@ type Config struct {
 	// Tel receives server telemetry and is served at /statsz (default: a
 	// fresh collector).
 	Tel *telemetry.Collector
+
+	// FlightSlow and FlightErrors size the flight recorder served at
+	// /debug/requests: the N slowest and the N most recent errored
+	// requests, each with its full span tree (defaults
+	// telemetry.DefaultFlightSlow / DefaultFlightErrors).
+	FlightSlow   int
+	FlightErrors int
+
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// logged request. Lines are sampled 1-in-AccessLogSample (default 1:
+	// every request), but errors and slow queries always log.
+	AccessLog       io.Writer
+	AccessLogSample int
+
+	// SlowQueryThreshold marks requests at least this slow: they bump
+	// server_slow_queries, always reach the access log, and compete for
+	// flight-recorder retention (default telemetry.DefaultSlowQuery).
+	SlowQueryThreshold time.Duration
 }
 
 // Named fault points the server fires (see internal/faultinject).
@@ -113,6 +132,10 @@ type Server struct {
 	sem    chan struct{}
 	cache  *resultCache
 	faults *faultinject.Injector // nil when chaos is off
+
+	flight     *telemetry.FlightRecorder
+	accessLog  *telemetry.AccessLogger // nil when no AccessLog writer
+	slowThresh time.Duration
 
 	httpSrv *http.Server
 
@@ -177,19 +200,30 @@ func newServer(cfg Config) *Server {
 	if cfg.Faults != nil && cfg.Faults.Tel == nil {
 		cfg.Faults.Tel = tel
 	}
+	slowT := cfg.SlowQueryThreshold
+	if slowT <= 0 {
+		slowT = telemetry.DefaultSlowQuery
+	}
 	return &Server{
-		cfg:    cfg,
-		opts:   opts,
-		ks:     ks,
-		tel:    tel,
-		sem:    make(chan struct{}, maxInFlight),
-		cache:  newResultCache(cacheN),
-		faults: cfg.Faults,
+		cfg:        cfg,
+		opts:       opts,
+		ks:         ks,
+		tel:        tel,
+		sem:        make(chan struct{}, maxInFlight),
+		cache:      newResultCache(cacheN),
+		faults:     cfg.Faults,
+		flight:     telemetry.NewFlightRecorder(cfg.FlightSlow, cfg.FlightErrors),
+		accessLog:  telemetry.NewAccessLogger(cfg.AccessLog, cfg.AccessLogSample, slowT),
+		slowThresh: slowT,
 	}
 }
 
 // Tel returns the server's telemetry collector.
 func (s *Server) Tel() *telemetry.Collector { return s.tel }
+
+// Flight returns the server's flight recorder (served at
+// /debug/requests).
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
 
 // install builds a snapshot of db and swaps it in.
 func (s *Server) install(db *index.DB) *snapState {
@@ -256,15 +290,20 @@ func (s *Server) recoverPanics(h http.Handler) http.Handler {
 				panic(p)
 			}
 			s.tel.Inc(telemetry.ServerPanics)
-			writeJSON(w, http.StatusInternalServerError,
-				ErrorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+			msg := fmt.Sprintf("internal error: %v", p)
+			obsFromContext(r.Context()).setErr(msg)
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+				Error:   msg,
+				TraceID: telemetry.SpanFromContext(r.Context()).TraceID(),
+			})
 		}()
 		h.ServeHTTP(w, r)
 	})
 }
 
-// Handler returns the service mux: the /v1 API plus /statsz and
-// /debug/pprof from the telemetry collector.
+// Handler returns the service mux: the /v1 API plus /statsz, /metrics
+// and /debug/pprof from the telemetry collector and the flight
+// recorder's /debug/requests.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	timeoutBody, _ := json.Marshal(ErrorResponse{Error: "request deadline exceeded"})
@@ -273,8 +312,9 @@ func (s *Server) Handler() http.Handler {
 		// wrapping the request context in a deadline — turns RequestTimeout
 		// into a real compute budget now that the search path is
 		// cancellable. Panics inside it propagate out, so the recovery
-		// middleware goes outermost.
-		return s.recoverPanics(http.TimeoutHandler(h, s.cfg.RequestTimeout, string(timeoutBody)))
+		// middleware wraps it; the observe middleware goes outermost so the
+		// trace spans the request's full life including a timeout's 503.
+		return s.observe(s.recoverPanics(http.TimeoutHandler(h, s.cfg.RequestTimeout, string(timeoutBody))))
 	}
 	mux.Handle("POST /v1/search", api(s.handleSearch))
 	mux.Handle("POST /v1/search/batch", api(s.handleBatch))
@@ -283,7 +323,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/reload", api(s.handleReload))
 	th := telemetry.Handler(s.tel)
 	mux.Handle("/statsz", th)
+	mux.Handle("/metrics", th)
 	mux.Handle("/debug/pprof/", th)
+	mux.Handle("GET /debug/requests", s.flight)
 	return mux
 }
 
@@ -326,10 +368,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+// writeErr answers r with err's status and message, stamping the
+// request's trace ID into the body and recording the message for the
+// access log / flight recorder.
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	he := &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 	errors.As(err, &he)
-	writeJSON(w, he.status, ErrorResponse{Error: he.msg})
+	obsFromContext(r.Context()).setErr(he.msg)
+	writeJSON(w, he.status, ErrorResponse{
+		Error:   he.msg,
+		TraceID: telemetry.SpanFromContext(r.Context()).TraceID(),
+	})
 }
 
 func msSince(t0 time.Time) float64 {
@@ -352,10 +401,10 @@ func (s *Server) acquire() func() {
 const shedRetryAfter = "1"
 
 // shed answers a saturated request with 429 plus a Retry-After hint.
-func (s *Server) shed(w http.ResponseWriter) {
+func (s *Server) shed(w http.ResponseWriter, r *http.Request) {
 	s.tel.Inc(telemetry.ServerRejected)
 	w.Header().Set("Retry-After", shedRetryAfter)
-	writeErr(w, errf(http.StatusTooManyRequests, "server saturated: %d searches in flight", cap(s.sem)))
+	writeErr(w, r, errf(http.StatusTooManyRequests, "server saturated: %d searches in flight", cap(s.sem)))
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -365,7 +414,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.serveDegradedSearch(w, r)
 			return
 		}
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	defer release()
@@ -375,16 +424,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if s.holdForTest != nil {
 		<-s.holdForTest
 	}
+	sp := telemetry.SpanFromContext(r.Context())
 	var req SearchRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
-		writeErr(w, err)
+	if err := s.decodeRequest(w, r, sp, &req); err != nil {
+		writeErr(w, r, err)
 		return
 	}
 	resp, err := s.runSearch(r.Context(), &req)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	resp.TraceID = sp.TraceID()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -396,16 +447,18 @@ func (s *Server) serveDegradedSearch(w http.ResponseWriter, r *http.Request) {
 	s.tel.Inc(telemetry.ServerRequests)
 	lt := s.tel.StartTimer(telemetry.ServerLatency)
 	defer lt.Stop()
+	sp := telemetry.SpanFromContext(r.Context())
 	var req SearchRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
-		writeErr(w, err)
+	if err := s.decodeRequest(w, r, sp, &req); err != nil {
+		writeErr(w, r, err)
 		return
 	}
 	resp, err := s.runDegraded(r.Context(), &req)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	resp.TraceID = sp.TraceID()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -419,7 +472,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	release := s.acquire()
 	if release == nil {
 		if !s.cfg.DegradedMode {
-			s.shed(w)
+			s.shed(w, r)
 			return
 		}
 		degraded = true
@@ -432,32 +485,39 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !degraded && s.holdForTest != nil {
 		<-s.holdForTest
 	}
+	sp := telemetry.SpanFromContext(r.Context())
 	var req BatchRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
-		writeErr(w, err)
+	if err := s.decodeRequest(w, r, sp, &req); err != nil {
+		writeErr(w, r, err)
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeErr(w, errf(http.StatusBadRequest, "batch: no queries"))
+		writeErr(w, r, errf(http.StatusBadRequest, "batch: no queries"))
 		return
 	}
 	if len(req.Queries) > maxBatch {
-		writeErr(w, errf(http.StatusBadRequest, "batch: %d queries exceeds the limit of %d", len(req.Queries), maxBatch))
+		writeErr(w, r, errf(http.StatusBadRequest, "batch: %d queries exceeds the limit of %d", len(req.Queries), maxBatch))
 		return
 	}
-	out := BatchResponse{Results: make([]BatchItem, len(req.Queries))}
+	out := BatchResponse{Results: make([]BatchItem, len(req.Queries)), TraceID: sp.TraceID()}
 	for i := range req.Queries {
+		// Each batch item gets its own child span so the span tree shows
+		// per-query stage timings: query:N -> resolve/cache/prefilter/...
+		qsp := sp.Child(fmt.Sprintf("query:%d", i))
+		qctx := telemetry.ContextWithSpan(r.Context(), qsp)
 		var resp *SearchResponse
 		var err error
 		if degraded {
-			resp, err = s.runDegraded(r.Context(), &req.Queries[i])
+			resp, err = s.runDegraded(qctx, &req.Queries[i])
 		} else {
-			resp, err = s.runSearch(r.Context(), &req.Queries[i])
+			resp, err = s.runSearch(qctx, &req.Queries[i])
 		}
+		qsp.End()
 		if err != nil {
 			out.Results[i].Error = err.Error()
 			continue
 		}
+		resp.TraceID = sp.TraceID()
 		out.Results[i].Result = resp
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -466,14 +526,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
 	st := s.snap.Load()
 	if st == nil {
-		writeErr(w, errf(http.StatusServiceUnavailable, "no index loaded"))
+		writeErr(w, r, errf(http.StatusServiceUnavailable, "no index loaded"))
 		return
 	}
 	exe := r.URL.Query().Get("exe")
 	limit := 0
 	if v := r.URL.Query().Get("limit"); v != "" {
 		if _, err := fmt.Sscanf(v, "%d", &limit); err != nil || limit < 0 {
-			writeErr(w, errf(http.StatusBadRequest, "functions: bad limit %q", v))
+			writeErr(w, r, errf(http.StatusBadRequest, "functions: bad limit %q", v))
 			return
 		}
 	}
@@ -518,10 +578,21 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		if !errors.As(err, &he) {
 			err = errf(http.StatusConflict, "reload: %v", err)
 		}
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeRequest is decodeBody under a "decode" stage span and the
+// request-decode latency histogram.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, sp *telemetry.Span, v any) error {
+	dsp := sp.Child("decode")
+	dt := s.tel.StartTimer(telemetry.RequestDecodeLatency)
+	err := s.decodeBody(w, r, v)
+	dt.Stop()
+	dsp.End()
+	return err
 }
 
 // decodeBody JSON-decodes a size-limited request body.
@@ -639,7 +710,10 @@ func ctxHTTPErr(err error) *httpError {
 // over the snapshot under ctx, rank top-K.
 func (s *Server) runSearch(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
 	t0 := time.Now()
+	sp := telemetry.SpanFromContext(ctx)
+	rsp := sp.Child("resolve")
 	p, err := s.planSearch(req)
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -655,8 +729,14 @@ func (s *Server) runSearch(ctx context.Context, req *SearchRequest) (*SearchResp
 	// fails: degrade to a miss (and skip the store below).
 	cacheOK := s.faults.Fire(ctx, FaultCache) == nil
 	if cacheOK {
-		if cached, ok := s.cache.get(key); ok {
+		csp := sp.Child("cache")
+		ct := s.tel.StartTimer(telemetry.CacheLookupLatency)
+		cached, ok := s.cache.get(key)
+		ct.Stop()
+		csp.End()
+		if ok {
 			s.tel.Inc(telemetry.ServerCacheHits)
+			sp.Set("cached", 1)
 			resp := *cached // shallow copy; shared Hits are read-only
 			resp.Cached = true
 			resp.TookMS = msSince(t0)
@@ -686,6 +766,9 @@ func (s *Server) runSearch(ctx context.Context, req *SearchRequest) (*SearchResp
 		Hits:        make([]Hit, len(top)),
 	}
 	for i, h := range top {
+		if h.Result.Truncated {
+			sp.Set("truncated", 1)
+		}
 		resp.Hits[i] = Hit{
 			Exe:            h.Entry.Exe,
 			Name:           h.Entry.Name,
@@ -712,7 +795,10 @@ func (s *Server) runSearch(ctx context.Context, req *SearchRequest) (*SearchResp
 // own cache keyspace so they can never shadow an exact result.
 func (s *Server) runDegraded(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
 	t0 := time.Now()
+	sp := telemetry.SpanFromContext(ctx)
+	rsp := sp.Child("resolve")
 	p, err := s.planSearch(req)
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -722,9 +808,14 @@ func (s *Server) runDegraded(ctx context.Context, req *SearchRequest) (*SearchRe
 	exactKey := cacheKey{fp: p.ref.Fingerprint(), gen: p.st.gen, k: p.k, limit: p.limit,
 		minScore: req.MinScore, candidates: p.effCand}
 	cacheOK := s.faults.Fire(ctx, FaultCache) == nil
+	csp := sp.Child("cache")
+	ct := s.tel.StartTimer(telemetry.CacheLookupLatency)
 	if cacheOK {
 		if cached, ok := s.cache.get(exactKey); ok {
+			ct.Stop()
+			csp.End()
 			s.tel.Inc(telemetry.ServerCacheHits)
+			sp.Set("cached", 1)
 			resp := *cached
 			resp.Cached = true
 			resp.TookMS = msSince(t0)
@@ -733,16 +824,24 @@ func (s *Server) runDegraded(ctx context.Context, req *SearchRequest) (*SearchRe
 	}
 
 	s.tel.Inc(telemetry.ServerDegraded)
+	sp.Set("degraded", 1)
 	degKey := cacheKey{fp: p.ref.Fingerprint(), gen: p.st.gen, k: p.k, limit: p.limit, degraded: true}
 	if cacheOK {
-		if cached, ok := s.cache.get(degKey); ok {
+		cached, ok := s.cache.get(degKey)
+		ct.Stop()
+		csp.End()
+		if ok {
 			s.tel.Inc(telemetry.ServerCacheHits)
+			sp.Set("cached", 1)
 			resp := *cached
 			resp.Cached = true
 			resp.TookMS = msSince(t0)
 			return &resp, nil
 		}
 		s.tel.Inc(telemetry.ServerCacheMisses)
+	} else {
+		ct.Stop()
+		csp.End()
 	}
 
 	if err := s.faults.Fire(ctx, FaultSearch); err != nil {

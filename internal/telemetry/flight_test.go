@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func rec(trace string, durMS float64, status int) *RequestRecord {
+	return &RequestRecord{TraceID: trace, Method: "POST", Path: "/v1/search",
+		Start: time.Unix(1700000000, 0), DurMS: durMS, Status: status}
+}
+
+func TestFlightRecorderSlowest(t *testing.T) {
+	f := NewFlightRecorder(3, 3)
+	for i, d := range []float64{5, 1, 9, 3, 7} {
+		f.Record(rec(fmt.Sprintf("t%d", i), d, 200))
+	}
+	s := f.Snapshot()
+	if s.Recorded != 5 {
+		t.Fatalf("recorded %d, want 5", s.Recorded)
+	}
+	var got []float64
+	for _, r := range s.Slowest {
+		got = append(got, r.DurMS)
+	}
+	want := []float64{9, 7, 5}
+	if len(got) != len(want) {
+		t.Fatalf("slowest %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slowest %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFlightRecorderErrorRing(t *testing.T) {
+	f := NewFlightRecorder(2, 3)
+	for i := 0; i < 5; i++ {
+		status := 200
+		if i%2 == 0 {
+			status = 500 // records 0, 2, 4 error
+		}
+		f.Record(rec(fmt.Sprintf("t%d", i), float64(i), status))
+	}
+	s := f.Snapshot()
+	if len(s.Errored) != 3 {
+		t.Fatalf("errored %d records, want 3", len(s.Errored))
+	}
+	// Most recent first: t4, t2, t0 all fit in a ring of 3.
+	for i, want := range []string{"t4", "t2", "t0"} {
+		if s.Errored[i].TraceID != want {
+			t.Fatalf("errored[%d] = %s, want %s", i, s.Errored[i].TraceID, want)
+		}
+	}
+	// One more error evicts the oldest.
+	f.Record(rec("t6", 6, 499))
+	s = f.Snapshot()
+	for i, want := range []string{"t6", "t4", "t2"} {
+		if s.Errored[i].TraceID != want {
+			t.Fatalf("after wrap, errored[%d] = %s, want %s", i, s.Errored[i].TraceID, want)
+		}
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(rec("t", 1, 200)) // must not panic
+	s := f.Snapshot()
+	if s.Recorded != 0 || s.Slowest != nil || s.Errored != nil {
+		t.Fatalf("nil recorder snapshot %+v, want zero", s)
+	}
+}
+
+func TestFlightRecorderServeHTTP(t *testing.T) {
+	f := NewFlightRecorder(2, 2)
+	root := StartTraceSpan("request", "")
+	root.Child("prefilter").End()
+	root.End()
+	r := rec(root.TraceID(), 4, 200)
+	r.Span = root
+	f.Record(r)
+	f.Record(rec("deadbeef", 1, 504))
+
+	w := httptest.NewRecorder()
+	f.ServeHTTP(w, httptest.NewRequest("GET", "/debug/requests", nil))
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	var out struct {
+		Recorded uint64 `json:"recorded"`
+		Slowest  []struct {
+			TraceID string `json:"trace_id"`
+			Span    *struct {
+				Name     string            `json:"name"`
+				Children []json.RawMessage `json:"children"`
+			} `json:"span"`
+		} `json:"slowest"`
+		Errored []struct {
+			Status int `json:"status"`
+		} `json:"errored"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body.String())
+	}
+	if out.Recorded != 2 || len(out.Slowest) != 2 || len(out.Errored) != 1 {
+		t.Fatalf("snapshot shape %+v", out)
+	}
+	top := out.Slowest[0]
+	if top.TraceID != root.TraceID() || top.Span == nil || len(top.Span.Children) != 1 {
+		t.Fatalf("slowest[0] lost its span tree: %+v", top)
+	}
+	if out.Errored[0].Status != 504 {
+		t.Fatalf("errored[0].Status = %d, want 504", out.Errored[0].Status)
+	}
+}

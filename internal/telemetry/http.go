@@ -9,12 +9,14 @@ import (
 // Handler returns an http.Handler serving the collector:
 //
 //	/statsz         current Snapshot as JSON (POST /statsz?reset=1 resets)
+//	/metrics        Prometheus text exposition of the same state
 //	/debug/pprof/*  the standard net/http/pprof profile endpoints
 //
 // Long-running search servers mount this next to their API; the CLI's
 // -pprof flag serves it for the duration of one command.
 func Handler(c *Collector) http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", PrometheusHandler(c))
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodPost && r.URL.Query().Get("reset") == "1" {
 			c.Reset()

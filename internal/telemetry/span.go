@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"sync"
@@ -18,6 +19,7 @@ import (
 type Span struct {
 	mu       sync.Mutex
 	name     string
+	traceID  string // root spans only: the request's 128-bit trace ID
 	start    time.Time
 	durNS    int64
 	attrs    map[string]int64
@@ -27,6 +29,25 @@ type Span struct {
 // StartSpan starts a root span.
 func StartSpan(name string) *Span {
 	return &Span{name: name, start: time.Now()}
+}
+
+// StartTraceSpan starts a root span bound to a trace ID (minting a fresh
+// one when id is empty or malformed), the form every request-scoped root
+// uses: the ID is what joins this span tree to client stats, access logs
+// and error bodies.
+func StartTraceSpan(name, id string) *Span {
+	if !isHex(id, 32) {
+		id = NewTraceID()
+	}
+	return &Span{name: name, traceID: id, start: time.Now()}
+}
+
+// TraceID returns the span's trace ID ("" on nil or non-root spans).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
 }
 
 // Child starts and attaches a child span. On a nil receiver it returns
@@ -114,9 +135,48 @@ func (s *Span) Children() []*Span {
 	return append([]*Span(nil), s.children...)
 }
 
+// Duration returns the span's recorded duration, or the elapsed time so
+// far for an unfinished span (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.durNS == 0 {
+		return time.Since(s.start)
+	}
+	return time.Duration(s.durNS)
+}
+
+// spanCtxKey keys the request span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sp. A nil span is carried
+// too (SpanFromContext then returns nil), so pipeline code can thread
+// the context unconditionally — nil propagates as "tracing off" exactly
+// like the nil *Span itself does.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil. Every Span
+// method accepts a nil receiver, so the result can be used unguarded.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
 // spanJSON is the wire form of a span tree.
 type spanJSON struct {
 	Name     string           `json:"name"`
+	TraceID  string           `json:"trace_id,omitempty"`
 	DurNS    int64            `json:"dur_ns"`
 	Attrs    map[string]int64 `json:"attrs,omitempty"`
 	Children []*Span          `json:"children,omitempty"`
@@ -129,7 +189,7 @@ func (s *Span) MarshalJSON() ([]byte, error) {
 		return []byte("null"), nil
 	}
 	s.mu.Lock()
-	j := spanJSON{Name: s.name, DurNS: s.durNS}
+	j := spanJSON{Name: s.name, TraceID: s.traceID, DurNS: s.durNS}
 	if j.DurNS == 0 {
 		j.DurNS = time.Since(s.start).Nanoseconds()
 	}

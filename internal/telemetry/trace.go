@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand"
+	"sync"
+)
+
+// Trace identity: every end-to-end request carries a 128-bit trace ID
+// (rendered as 32 lowercase hex digits) that is minted once by the
+// first participant — normally the client — and propagated unchanged
+// across every HTTP hop, retry and hedge attempt. Each hop mints its
+// own 64-bit span ID. The wire format is the W3C Trace Context
+// `traceparent` header:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>
+//
+// Only version 00 is emitted; any syntactically valid version is
+// accepted on ingest (per the spec, unknown versions parse as 00 when
+// the 00 fields are present). A malformed header is simply ignored and
+// the server mints a fresh trace — tracing must never fail a request.
+
+// TraceparentHeader is the canonical W3C trace-context header name.
+const TraceparentHeader = "traceparent"
+
+// idRand is a locked fallback PRNG used only if crypto/rand fails
+// (effectively never on supported platforms); trace IDs are identifiers,
+// not secrets, so degrading to math/rand is acceptable.
+var idRand = struct {
+	sync.Mutex
+	r *rand.Rand
+}{r: rand.New(rand.NewSource(0x7261636554))}
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := crand.Read(b); err != nil {
+		idRand.Lock()
+		for i := 0; i+8 <= len(b); i += 8 {
+			binary.LittleEndian.PutUint64(b[i:], idRand.r.Uint64())
+		}
+		if rem := len(b) % 8; rem != 0 {
+			var tail [8]byte
+			binary.LittleEndian.PutUint64(tail[:], idRand.r.Uint64())
+			copy(b[len(b)-rem:], tail[:rem])
+		}
+		idRand.Unlock()
+	}
+	// An all-zero ID is invalid per the W3C spec; force one nonzero bit.
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		b[len(b)-1] = 1
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID mints a random 128-bit trace ID (32 hex digits).
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID mints a random 64-bit span ID (16 hex digits).
+func NewSpanID() string { return randHex(8) }
+
+// IsTraceID reports whether s is a well-formed trace ID: exactly 32
+// lowercase hex digits.
+func IsTraceID(s string) bool { return isHex(s, 32) }
+
+// FormatTraceparent renders a version-00 traceparent header value with
+// the sampled flag set. Empty, malformed or all-zero IDs (forbidden by
+// the spec) are replaced with fresh random ones.
+func FormatTraceparent(traceID, spanID string) string {
+	if !isHex(traceID, 32) || isZero(traceID) {
+		traceID = NewTraceID()
+	}
+	if !isHex(spanID, 16) || isZero(spanID) {
+		spanID = NewSpanID()
+	}
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceparent extracts the trace and parent-span IDs from a
+// traceparent header value. ok is false for anything malformed: wrong
+// field count or width, non-hex digits, the forbidden version "ff", or
+// all-zero IDs. Callers treat !ok as "no incoming trace".
+func ParseTraceparent(h string) (traceID, spanID string, ok bool) {
+	// Fixed layout: 2-32-16-2 hex fields joined by dashes, 55 bytes.
+	if len(h) < 55 {
+		return "", "", false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return "", "", false // future versions may append fields after a dash
+	}
+	h = h[:55]
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	ver, tid, sid, flags := h[0:2], h[3:35], h[36:52], h[53:55]
+	if !isHex(ver, 2) || !isHex(tid, 32) || !isHex(sid, 16) || !isHex(flags, 2) {
+		return "", "", false
+	}
+	if ver == "ff" {
+		return "", "", false
+	}
+	if isZero(tid) || isZero(sid) {
+		return "", "", false
+	}
+	return tid, sid, true
+}
+
+// isHex reports whether s is exactly n lowercase hex digits. Uppercase
+// is rejected — the W3C grammar requires lowercase.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func isZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
