@@ -1,9 +1,11 @@
 // Package cli implements the tracy command-line front end:
 //
-//	tracy index  -db code.db exe1 exe2 ...     index executables
+//	tracy index  -db code.db [-format v3|gob] exe1 exe2 ...  index executables
 //	tracy search -db code.db -exe q.bin [-fn sub_X] [-limit N] [-min-score X]
 //	tracy serve  -db code.db -addr :8077       run the HTTP query service
 //	tracy query  -server URL -exe q.bin        search a running service
+//	tracy convert [-to v3|gob] in.db out.db    migrate an index between formats
+//	tracy idxinfo [-verify] code.db            inspect an index file's layout
 //	tracy mkcorpus -dir corpus                 generate a demo corpus on disk
 //	tracy obscheck -server URL                 validate a server's observability surfaces
 //	tracy compare [-explain] a.bin b.bin       compare largest functions
@@ -60,6 +62,10 @@ func Run(w io.Writer, args []string) error {
 		return cmd.serve(args[1:])
 	case "query":
 		return cmd.query(args[1:])
+	case "convert":
+		return cmd.convert(args[1:])
+	case "idxinfo":
+		return cmd.idxinfo(args[1:])
 	case "mkcorpus":
 		return cmd.mkcorpus(args[1:])
 	case "obscheck":
@@ -90,7 +96,7 @@ type env struct {
 
 func usageError() error {
 	return fmt.Errorf(`usage: tracy <command> [flags]
-commands: index, search, serve, query, mkcorpus, obscheck, compare, disasm, tracelets, emulate, fuzz, stats, experiments`)
+commands: index, search, serve, query, convert, idxinfo, mkcorpus, obscheck, compare, disasm, tracelets, emulate, fuzz, stats, experiments`)
 }
 
 // matchFlags registers the shared matching options.
@@ -118,21 +124,31 @@ func matchFlags(fs *flag.FlagSet) func() core.Options {
 func (c *env) index(args []string) error {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	dbPath := fs.String("db", "tracy.db", "database file to create or extend")
+	format := fs.String("format", "", "output format: gob (v2) or v3 (columnar, mmap-served); default: keep the existing file's format, gob for new files")
 	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "" && *format != "gob" && *format != "v3" {
+		return fmt.Errorf("index: unknown format %q (want gob or v3)", *format)
 	}
 	if err := tf.activate(c.w, "index"); err != nil {
 		return err
 	}
 	db := index.New()
-	if f, err := os.Open(*dbPath); err == nil {
-		loaded, err2 := index.Load(f)
-		f.Close()
+	if _, err := os.Stat(*dbPath); err == nil {
+		loaded, err2 := index.OpenFile(*dbPath)
 		if err2 != nil {
 			return fmt.Errorf("loading %s: %w", *dbPath, err2)
 		}
 		db = loaded
+	}
+	if *format == "" {
+		if db.Info().Version == 3 {
+			*format = "v3"
+		} else {
+			*format = "gob"
+		}
 	}
 	db.Tel = tf.tel
 	for _, path := range fs.Args() {
@@ -145,12 +161,29 @@ func (c *env) index(args []string) error {
 		}
 		fmt.Fprintf(c.w, "indexed %s (%d functions total)\n", path, db.Len())
 	}
-	out, err := os.Create(*dbPath)
+	// Extending a v3 file in place: the mapping being rewritten is the
+	// one the lazy entries decode from, so write to a temp file and
+	// rename over the original only after the store is released.
+	tmp := *dbPath + ".tmp"
+	out, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	defer out.Close()
-	if err := db.Save(out); err != nil {
+	if *format == "v3" {
+		err = db.SaveV3(out)
+	} else {
+		err = db.Save(out)
+	}
+	if err2 := out.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	db.Close()
+	if err := os.Rename(tmp, *dbPath); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	return tf.finish(c.w)
@@ -209,15 +242,11 @@ func (c *env) search(args []string) error {
 	if err := tf.activate(c.w, "search"); err != nil {
 		return err
 	}
-	f, err := os.Open(*dbPath)
+	db, err := index.OpenFile(*dbPath)
 	if err != nil {
 		return err
 	}
-	db, err := index.Load(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
+	defer db.Close()
 	db.Tel = tf.tel
 	query, err := liftQuery(*exe, *fnName)
 	if err != nil {
@@ -447,20 +476,16 @@ func (c *env) stats(args []string) error {
 	if err := tf.activate(c.w, "stats"); err != nil {
 		return err
 	}
-	f, err := os.Open(*dbPath)
+	db, err := index.OpenFile(*dbPath)
 	if err != nil {
 		return err
 	}
-	db, err := index.Load(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
+	defer db.Close()
 	db.Tel = tf.tel
 	blocks, insts := 0, 0
 	for _, e := range db.Entries {
-		blocks += e.Func.NumBlocks()
-		insts += e.Func.NumInsts()
+		blocks += e.Function().NumBlocks()
+		insts += e.Function().NumInsts()
 	}
 	fmt.Fprintf(c.w, "functions: %d\nbasic blocks: %d\ninstructions: %d\n",
 		db.Len(), blocks, insts)

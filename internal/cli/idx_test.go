@@ -1,0 +1,200 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTestIndex indexes two executables into a gob database and returns
+// its path.
+func buildTestIndex(t *testing.T, dir string, format string) string {
+	t.Helper()
+	exeA := buildExe(t, dir, "a.bin", srcA, 1)
+	exeB := buildExe(t, dir, "b.bin", srcB, 2)
+	dbPath := filepath.Join(dir, "test.db")
+	if _, err := run(t, "index", "-db", dbPath, "-format", format, exeA, exeB); err != nil {
+		t.Fatal(err)
+	}
+	return dbPath
+}
+
+func TestIndexV3Format(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := buildTestIndex(t, dir, "v3")
+	prelude := make([]byte, 9)
+	f, err := os.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Read(prelude)
+	f.Close()
+	if string(prelude[:8]) != "TRACYIDX" || prelude[8] != 3 {
+		t.Fatalf("index -format v3 wrote prelude %q", prelude)
+	}
+	// And it must be searchable directly.
+	out, err := run(t, "search", "-db", dbPath, "-exe", filepath.Join(dir, "a.bin"), "-top", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "alpha") && !strings.Contains(out, "sub_") {
+		t.Errorf("search over v3 index printed no hits:\n%s", out)
+	}
+}
+
+func TestIndexBadFormat(t *testing.T) {
+	if _, err := run(t, "index", "-db", "x.db", "-format", "xml"); err == nil {
+		t.Fatal("index accepted unknown -format")
+	}
+}
+
+func TestConvertGobToV3AndBack(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := buildTestIndex(t, dir, "gob")
+	v3Path := filepath.Join(dir, "test.v3")
+	out, err := run(t, "convert", "-to", "v3", dbPath, v3Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "converted") || !strings.Contains(out, "v3") {
+		t.Errorf("convert output: %s", out)
+	}
+	// Round-trip back to gob.
+	gobPath := filepath.Join(dir, "back.db")
+	if _, err := run(t, "convert", "-to", "gob", v3Path, gobPath); err != nil {
+		t.Fatal(err)
+	}
+	// Both must serve identical stats.
+	statsA, err := run(t, "stats", "-db", dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsB, err := run(t, "stats", "-db", v3Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsC, err := run(t, "stats", "-db", gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsA != statsB || statsA != statsC {
+		t.Errorf("stats diverge across formats:\ngob: %s\nv3:  %s\nback: %s", statsA, statsB, statsC)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	if _, err := run(t, "convert", "only-one-arg"); err == nil {
+		t.Error("convert accepted a single path")
+	}
+	if _, err := run(t, "convert", "-to", "xml", "a", "b"); err == nil {
+		t.Error("convert accepted unknown format")
+	}
+	if _, err := run(t, "convert", "/nonexistent/in.db", "/tmp/out.db"); err == nil {
+		t.Error("convert accepted missing input")
+	}
+}
+
+func TestIdxinfoV3(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := buildTestIndex(t, dir, "v3")
+	out, err := run(t, "idxinfo", "-verify", dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TRACYIDX v3", "functions:", "sections:", "STRB", "FUNC", "FEAT", "checksums: all sections OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("idxinfo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIdxinfoGob(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := buildTestIndex(t, dir, "gob")
+	out, err := run(t, "idxinfo", dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TRACYIDX v2", "functions:", "gob object graph"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("idxinfo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIdxinfoErrors(t *testing.T) {
+	if _, err := run(t, "idxinfo"); err == nil {
+		t.Error("idxinfo accepted zero args")
+	}
+	if _, err := run(t, "idxinfo", "/nonexistent.db"); err == nil {
+		t.Error("idxinfo accepted missing file")
+	}
+	// A corrupted v3 file must fail verification.
+	dir := t.TempDir()
+	dbPath := buildTestIndex(t, dir, "v3")
+	data, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte deep in the payload (structure-preserving corruption).
+	data[len(data)-5] ^= 0x01
+	bad := filepath.Join(dir, "bad.v3")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(t, "idxinfo", "-verify", bad); err == nil {
+		t.Error("idxinfo -verify passed a corrupted file")
+	}
+}
+
+func TestIndexExtendV3InPlace(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := buildTestIndex(t, dir, "v3")
+	exeC := buildExe(t, dir, "c.bin", srcB, 7)
+	out, err := run(t, "index", "-db", dbPath, "-format", "v3", exeC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "indexed") {
+		t.Errorf("extend output: %s", out)
+	}
+	info, err := run(t, "idxinfo", dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "TRACYIDX v3") {
+		t.Errorf("extended db lost v3 format:\n%s", info)
+	}
+}
+
+// Without -format, extending an index preserves the file's existing
+// format (a v3 file must not silently downgrade to gob), and a fresh
+// file defaults to gob.
+func TestIndexDefaultFormatPreserved(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := buildTestIndex(t, dir, "v3")
+	exeC := buildExe(t, dir, "c.bin", srcB, 7)
+	if _, err := run(t, "index", "-db", dbPath, exeC); err != nil {
+		t.Fatal(err)
+	}
+	info, err := run(t, "idxinfo", dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "TRACYIDX v3") {
+		t.Errorf("default-format extend downgraded v3:\n%s", info)
+	}
+
+	fresh := filepath.Join(dir, "fresh.db")
+	if _, err := run(t, "index", "-db", fresh, exeC); err != nil {
+		t.Fatal(err)
+	}
+	info, err = run(t, "idxinfo", fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "TRACYIDX v2") {
+		t.Errorf("fresh index not gob v2:\n%s", info)
+	}
+}

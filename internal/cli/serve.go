@@ -15,9 +15,13 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/faultinject"
+	"repro/internal/idxfile"
+	"repro/internal/index"
+	"repro/internal/prep"
 	"repro/internal/server"
 	"repro/internal/server/client"
 	"repro/internal/telemetry"
+	"repro/internal/tinyc"
 )
 
 // serve runs the query service until SIGINT/SIGTERM (graceful drain) —
@@ -118,8 +122,8 @@ func (c *env) serve(args []string) error {
 				fmt.Fprintf(c.w, "tracy: reload failed: %v\n", err)
 				continue
 			}
-			fmt.Fprintf(c.w, "tracy: reloaded %s: %d functions (generation %d, %.0fms)\n",
-				*dbPath, res.Functions, res.Generation, res.TookMS)
+			fmt.Fprintf(c.w, "tracy: reloaded %s: %d functions, TRACYIDX v%d (mapped=%v, generation %d, %.0fms)\n",
+				*dbPath, res.Functions, res.Format, res.Mapped, res.Generation, res.TookMS)
 			continue
 		}
 		fmt.Fprintf(c.w, "tracy: %v: draining in-flight queries\n", sig)
@@ -198,7 +202,9 @@ func (c *env) query(args []string) error {
 // mkcorpus generates the synthetic evaluation corpus as stripped
 // executables on disk, ready for tracy index / tracy serve — the
 // self-contained way to stand a demo service up (CI's server smoke test
-// uses it).
+// uses it). With -scale N it switches to campaign mode: N functions
+// across cycled optimization levels, compiled in parallel and streamed
+// — optionally straight into a TRACYIDX v3 index — with bounded memory.
 func (c *env) mkcorpus(args []string) error {
 	fs := flag.NewFlagSet("mkcorpus", flag.ExitOnError)
 	dir := fs.String("dir", "corpus", "output directory")
@@ -207,12 +213,40 @@ func (c *env) mkcorpus(args []string) error {
 	versions := fs.Int("versions", 3, "code-change-group executables")
 	noise := fs.Int("noise", 4, "noise executables")
 	funcs := fs.Int("funcs", 6, "filler functions per executable")
+	scale := fs.Int("scale", 0, "campaign mode: total function target (0: classic demo corpus)")
+	funcsPer := fs.Int("funcs-per-exe", 32, "campaign: functions per executable")
+	stmts := fs.Int("stmts", 12, "campaign: statement budget per generated function")
+	optLevels := fs.String("opt-levels", "0,1,2", "campaign: comma-separated optimization levels, cycled per source group")
+	workers := fs.Int("workers", 0, "campaign: parallel compile workers (0: GOMAXPROCS)")
+	indexOut := fs.String("index", "", "also emit a TRACYIDX v3 index at this path, built while streaming")
+	bins := fs.Bool("bins", false, "campaign: write per-executable .bin files even when -index is set")
 	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := tf.activate(c.w, "mkcorpus"); err != nil {
 		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	if *scale > 0 {
+		opts, err := parseOptLevels(*optLevels)
+		if err != nil {
+			return fmt.Errorf("mkcorpus: %w", err)
+		}
+		ccfg := corpus.CampaignConfig{
+			Seed:        *seed,
+			Funcs:       *scale,
+			FuncsPerExe: *funcsPer,
+			Stmts:       *stmts,
+			OptLevels:   opts,
+			Workers:     *workers,
+		}
+		if err := c.mkcorpusCampaign(*dir, ccfg, *indexOut, *bins); err != nil {
+			return err
+		}
+		return tf.finish(c.w)
 	}
 	cfg := corpus.DefaultBuildConfig()
 	cfg.Seed = *seed
@@ -224,9 +258,6 @@ func (c *env) mkcorpus(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		return err
-	}
 	funcsTotal := 0
 	for _, e := range cp.Exes {
 		path := filepath.Join(*dir, e.Name+".bin")
@@ -235,16 +266,170 @@ func (c *env) mkcorpus(args []string) error {
 		}
 		funcsTotal += len(e.Truth)
 	}
+	m := cp.Manifest()
+	if *indexOut != "" {
+		em := newV3Emitter()
+		for _, e := range cp.Exes {
+			if err := em.add(*e); err != nil {
+				return fmt.Errorf("mkcorpus: %w", err)
+			}
+		}
+		mi, err := em.write(*indexOut)
+		if err != nil {
+			return fmt.Errorf("mkcorpus: %w", err)
+		}
+		m.Index = mi
+		fmt.Fprintf(c.w, "wrote index %s (TRACYIDX v%d, %d functions, %d bytes)\n",
+			mi.Path, mi.Format, mi.Functions, mi.Bytes)
+	}
 	// The manifest records the generating configuration — above all the
 	// seed — so the corpus can be regenerated byte-for-byte.
-	mf, err := json.MarshalIndent(cp.Manifest(), "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(*dir, "manifest.json"), append(mf, '\n'), 0o644); err != nil {
+	if err := writeManifest(*dir, m); err != nil {
 		return err
 	}
 	fmt.Fprintf(c.w, "wrote %d executables (%d functions) to %s (seed %d, manifest.json)\n",
 		len(cp.Exes), funcsTotal, *dir, *seed)
 	return tf.finish(c.w)
+}
+
+// mkcorpusCampaign runs the scale campaign: executables stream from the
+// parallel compile pipeline into .bin files and/or a v3 index builder and
+// are then dropped, so peak memory stays far below corpus size.
+func (c *env) mkcorpusCampaign(dir string, ccfg corpus.CampaignConfig, indexOut string, bins bool) error {
+	if indexOut == "" && !bins {
+		bins = true // with no index requested the .bin files are the output
+	}
+	var em *v3Emitter
+	if indexOut != "" {
+		em = newV3Emitter()
+	}
+	m := &corpus.Manifest{Campaign: &ccfg}
+	nExes := ccfg.NumExes()
+	start := time.Now()
+	emitted := 0
+	total, err := corpus.RunCampaign(ccfg, func(e corpus.Executable, opt tinyc.OptLevel) error {
+		if bins {
+			if err := os.WriteFile(filepath.Join(dir, e.Name+".bin"), e.Image, 0o644); err != nil {
+				return err
+			}
+		}
+		if em != nil {
+			if err := em.add(e); err != nil {
+				return err
+			}
+		}
+		m.Exes = append(m.Exes, corpus.ManifestExe{
+			Name: e.Name, Bytes: len(e.Image), Functions: len(e.Truth), Opt: int(opt),
+		})
+		emitted++
+		if emitted%500 == 0 || emitted == nExes {
+			idx := ""
+			if em != nil {
+				idx = fmt.Sprintf(", index %d MB", em.b.Bytes()>>20)
+			}
+			fmt.Fprintf(c.w, "  campaign: %d/%d exes, %d functions%s (%.0fs)\n",
+				emitted, nExes, em.funcsOr(m), idx, time.Since(start).Seconds())
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("mkcorpus: campaign: %w", err)
+	}
+	if em != nil {
+		mi, err := em.write(indexOut)
+		if err != nil {
+			return fmt.Errorf("mkcorpus: %w", err)
+		}
+		m.Index = mi
+		fmt.Fprintf(c.w, "wrote index %s (TRACYIDX v%d, %d functions, %d bytes)\n",
+			mi.Path, mi.Format, mi.Functions, mi.Bytes)
+	}
+	if err := writeManifest(dir, m); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.w, "campaign done: %d executables, %d functions in %.1fs (seed %d, manifest.json)\n",
+		len(m.Exes), total, time.Since(start).Seconds(), ccfg.Seed)
+	return nil
+}
+
+// parseOptLevels parses "0,1,2" into tinyc optimization levels.
+func parseOptLevels(s string) ([]tinyc.OptLevel, error) {
+	var out []tinyc.OptLevel
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "O"))
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 || n > 2 {
+			return nil, fmt.Errorf("bad opt level %q (want 0, 1 or 2)", part)
+		}
+		out = append(out, tinyc.OptLevel(n))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -opt-levels")
+	}
+	return out, nil
+}
+
+// v3Emitter streams lifted executables into a TRACYIDX v3 builder,
+// mirroring index.AddImage's entry shape (Name/Addr from the lifter,
+// truth by address) so a streamed index is interchangeable with one
+// built by tracy index.
+type v3Emitter struct {
+	b *idxfile.Builder
+}
+
+func newV3Emitter() *v3Emitter { return &v3Emitter{b: idxfile.NewBuilder()} }
+
+func (w *v3Emitter) add(e corpus.Executable) error {
+	fns, err := prep.LiftImage(e.Image)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.Name, err)
+	}
+	for _, fn := range fns {
+		w.b.Add(e.Name, fn, e.Truth[fn.Addr], index.FuncFeatures(fn))
+	}
+	return nil
+}
+
+// funcsOr returns the running function count (builder view when
+// indexing, manifest sum otherwise).
+func (w *v3Emitter) funcsOr(m *corpus.Manifest) int {
+	if w != nil {
+		return w.b.NumFuncs()
+	}
+	n := 0
+	for _, e := range m.Exes {
+		n += e.Functions
+	}
+	return n
+}
+
+func (w *v3Emitter) write(path string) (*corpus.ManifestIndex, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	_, err = w.b.WriteTo(f)
+	if err2 := f.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	return &corpus.ManifestIndex{
+		Path: path, Format: idxfile.Version, Functions: w.b.NumFuncs(), Bytes: st.Size(),
+	}, nil
+}
+
+// writeManifest serializes the reproducibility record as manifest.json.
+func writeManifest(dir string, m *corpus.Manifest) error {
+	mf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), append(mf, '\n'), 0o644)
 }

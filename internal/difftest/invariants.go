@@ -344,6 +344,33 @@ func (c *checker) searchParity(built []variant, images [][]byte) {
 		c.fail("parity", "snapshot-ctx", "snapshot SearchCtx vs Search: %s", d)
 	}
 
+	// The v3 columnar loader is a different decoder over a different
+	// on-disk layout; searches over a converted index must be
+	// bit-identical to the in-memory database's, on both the scan and the
+	// lazy snapshot path.
+	c.ran()
+	var v3buf bytes.Buffer
+	if err := db.SaveV3(&v3buf); err != nil {
+		c.fail("parity", "v3", "SaveV3: %v", err)
+	} else if v3db, err := index.Load(bytes.NewReader(v3buf.Bytes())); err != nil {
+		c.fail("parity", "v3", "loading converted index: %v", err)
+	} else {
+		if v3db.Info().Version != 3 {
+			c.fail("parity", "v3", "converted index loaded as v%d", v3db.Info().Version)
+		}
+		if d := diffOfflineHits(offline, index.TopK(v3db.Search(query, opts), limit, 0)); d != "" {
+			c.fail("parity", "v3", "v3 loader vs in-memory: %s", d)
+		}
+		c.ran()
+		v3snap := index.BuildSnapshot(v3db, []int{opts.K}, 2)
+		v3SnapHits, err := v3snap.Search(query, opts)
+		if err != nil {
+			c.fail("parity", "v3-snapshot", "snapshot search over v3: %v", err)
+		} else if d := diffOfflineHits(snapTop, index.TopK(v3SnapHits, limit, 0)); d != "" {
+			c.fail("parity", "v3-snapshot", "lazy v3 snapshot vs offline: %s", d)
+		}
+	}
+
 	c.ran()
 	srv := server.NewFromDB(db, server.Config{Opts: opts})
 	req := &server.SearchRequest{Function: FuncName, K: opts.K, Limit: limit}

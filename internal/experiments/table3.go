@@ -64,7 +64,7 @@ func (env *Env) Table3() []Table3Row {
 		opts := ngram.DefaultOptions()
 		fps := make([]*ngram.Fingerprint, len(env.DB.Entries))
 		for i, e := range env.DB.Entries {
-			fps[i] = ngram.Extract(e.Func, opts)
+			fps[i] = ngram.Extract(e.Function(), opts)
 		}
 		var samples []metrics.Sample
 		for _, q := range env.Queries {
@@ -89,7 +89,7 @@ func (env *Env) Table3() []Table3Row {
 		opts := graphlet.DefaultOptions()
 		fps := make([]*graphlet.Fingerprint, len(env.DB.Entries))
 		for i, e := range env.DB.Entries {
-			fps[i] = graphlet.Extract(e.Func, opts)
+			fps[i] = graphlet.Extract(e.Function(), opts)
 		}
 		var samples []metrics.Sample
 		for _, q := range env.Queries {

@@ -1,0 +1,502 @@
+package idxfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/prep"
+)
+
+// SectionInfo describes one section of a parsed file, for tracy idxinfo
+// and tests.
+type SectionInfo struct {
+	Name    string
+	Offset  uint64
+	Len     uint64
+	CRC     uint32
+	Records int // record count (0 for byte-granular sections)
+}
+
+// File is a parsed v3 index. All accessors are safe for any number of
+// concurrent readers; nothing in a File mutates after Parse. The backing
+// data is either an mmap region (Open) or a heap buffer (Parse over
+// bytes from any reader).
+type File struct {
+	data []byte // whole file
+	path string // "" when parsed from memory
+
+	strtab string   // one copy of STRB; string values slice into it
+	stro   []uint32 // nstrings+1 offsets
+
+	funcs []byte // FUNC payload
+	blcks []byte
+	insts []byte
+	opnds []byte
+	memts []byte
+	succs []byte
+	feats []uint64 // FEAT as native u64s (zero-copy when 8-aligned)
+
+	sections []SectionInfo
+	nfuncs   int
+
+	mapped  []byte // non-nil iff the data is an mmap region owned by this File
+	cleanup func() // unmaps; set by Open
+}
+
+// corruptError is the typed "this is not a valid v3 index" failure; every
+// validation path returns one so callers (and the fuzzer) can tell
+// corruption from I/O errors.
+type corruptError struct{ msg string }
+
+func (e *corruptError) Error() string { return "idxfile: corrupt index: " + e.msg }
+
+func corruptf(format string, args ...any) error {
+	return &corruptError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsCorrupt reports whether err marks a structurally invalid index file.
+func IsCorrupt(err error) bool {
+	_, ok := err.(*corruptError)
+	return ok
+}
+
+// SniffVersion inspects a file prelude (>= 9 bytes) and returns the
+// TRACYIDX format version it announces: 3 for this package's format,
+// 1/2 for the headered gob formats, 0 for a headerless v0 gob payload
+// or anything unrecognized.
+func SniffVersion(prelude []byte) int {
+	if len(prelude) < len(Magic)+1 || string(prelude[:len(Magic)]) != Magic {
+		return 0
+	}
+	return int(prelude[len(Magic)])
+}
+
+// Parse validates data as a complete v3 file and returns a File reading
+// from it. The caller keeps ownership of data and must not mutate it.
+//
+// Validation is complete: the header, the section directory (every
+// offset/length checked against the file size), and every record's
+// cross-section offset/length ranges are verified before Parse returns,
+// so the per-function decoders can index the columns without rechecking
+// untrusted lengths. Section payload checksums are NOT verified here
+// (that would force every page resident, defeating lazy loading); use
+// Verify for an integrity pass.
+func Parse(data []byte) (*File, error) {
+	f := &File{data: data}
+	if err := f.parseHeader(); err != nil {
+		return nil, err
+	}
+	if err := f.validateAll(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *File) parseHeader() error {
+	data := f.data
+	if len(data) < headerSize {
+		return corruptf("file shorter than header (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return corruptf("bad magic")
+	}
+	if v := data[8]; v != Version {
+		return corruptf("format v%d, want v%d", v, Version)
+	}
+	nsec := binary.LittleEndian.Uint32(data[12:])
+	fileSize := binary.LittleEndian.Uint64(data[16:])
+	nfuncs := binary.LittleEndian.Uint64(data[24:])
+	dirCRC := binary.LittleEndian.Uint32(data[32:])
+	if fileSize != uint64(len(data)) {
+		return corruptf("header file size %d, real size %d", fileSize, len(data))
+	}
+	if nsec < uint32(len(requiredSections)) || nsec > 64 {
+		return corruptf("section count %d out of range", nsec)
+	}
+	dirLen := int(nsec) * dirEntrySize
+	if headerSize+dirLen > len(data) {
+		return corruptf("section directory overruns file")
+	}
+	dir := data[headerSize : headerSize+dirLen]
+	if got := crc32.Checksum(dir, crcTable); got != dirCRC {
+		return corruptf("section directory checksum %08x, want %08x", got, dirCRC)
+	}
+	if nfuncs > uint64(len(data)/funcRecSize) {
+		return corruptf("function count %d impossible for %d-byte file", nfuncs, len(data))
+	}
+	f.nfuncs = int(nfuncs)
+
+	payloads := make(map[string][]byte, nsec)
+	for i := 0; i < int(nsec); i++ {
+		e := dir[i*dirEntrySize:]
+		name := sectionName(binary.LittleEndian.Uint32(e))
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		crc := binary.LittleEndian.Uint32(e[24:])
+		if off%8 != 0 {
+			return corruptf("section %s misaligned at offset %d", name, off)
+		}
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			return corruptf("section %s [%d,+%d) overruns %d-byte file", name, off, length, len(data))
+		}
+		if _, dup := payloads[name]; dup {
+			return corruptf("duplicate section %s", name)
+		}
+		payloads[name] = data[off : off+length]
+		f.sections = append(f.sections, SectionInfo{Name: name, Offset: off, Len: length, CRC: crc})
+	}
+	recSizes := map[string]int{
+		SecSTRO: stroRecSize, SecFUNC: funcRecSize, SecBLCK: blckRecSize,
+		SecINST: instRecSize, SecOPND: opndRecSize, SecMEMT: memtRecSize,
+		SecSUCC: succRecSize, SecFEAT: featRecSize,
+	}
+	for _, name := range requiredSections {
+		p, ok := payloads[name]
+		if !ok {
+			return corruptf("missing section %s", name)
+		}
+		if rs := recSizes[name]; rs != 0 && len(p)%rs != 0 {
+			return corruptf("section %s length %d not a multiple of its %d-byte record", name, len(p), rs)
+		}
+	}
+	for i := range f.sections {
+		s := &f.sections[i]
+		if rs := recSizes[s.Name]; rs != 0 {
+			s.Records = int(s.Len) / rs
+		}
+	}
+
+	// The string table: one heap copy of the bytes; every string value is
+	// a slice of it, so decoded functions never alias the mapping.
+	f.strtab = string(payloads[SecSTRB])
+	strob := payloads[SecSTRO]
+	if len(strob) == 0 {
+		return corruptf("empty string offset table")
+	}
+	f.stro = make([]uint32, len(strob)/stroRecSize)
+	prev := uint32(0)
+	for i := range f.stro {
+		v := binary.LittleEndian.Uint32(strob[i*stroRecSize:])
+		if v < prev || v > uint32(len(f.strtab)) {
+			return corruptf("string offset %d at entry %d not monotonic within table", v, i)
+		}
+		f.stro[i] = v
+		prev = v
+	}
+	if f.stro[0] != 0 {
+		return corruptf("string offsets must start at 0")
+	}
+
+	f.funcs = payloads[SecFUNC]
+	f.blcks = payloads[SecBLCK]
+	f.insts = payloads[SecINST]
+	f.opnds = payloads[SecOPND]
+	f.memts = payloads[SecMEMT]
+	f.succs = payloads[SecSUCC]
+	if f.nfuncs != len(f.funcs)/funcRecSize {
+		return corruptf("header says %d functions, FUNC holds %d", f.nfuncs, len(f.funcs)/funcRecSize)
+	}
+
+	featb := payloads[SecFEAT]
+	if len(featb) == 0 {
+		f.feats = nil
+	} else if uintptr(unsafe.Pointer(&featb[0]))%8 == 0 {
+		f.feats = unsafe.Slice((*uint64)(unsafe.Pointer(&featb[0])), len(featb)/featRecSize)
+	} else {
+		// A heap buffer handed to Parse need not be 8-aligned; copy once.
+		f.feats = make([]uint64, len(featb)/featRecSize)
+		for i := range f.feats {
+			f.feats[i] = binary.LittleEndian.Uint64(featb[i*featRecSize:])
+		}
+	}
+	return nil
+}
+
+// validateAll walks every record and checks each offset/length field
+// against the pool it indexes, so decode paths never read out of range
+// no matter what bytes arrived. One sequential pass, pure integer work.
+func (f *File) validateAll() error {
+	nstr := uint32(len(f.stro) - 1)
+	nBlocks := uint32(len(f.blcks) / blckRecSize)
+	nInsts := uint32(len(f.insts) / instRecSize)
+	nOps := uint32(len(f.opnds) / opndRecSize)
+	nMems := uint32(len(f.memts) / memtRecSize)
+	nSuccs := uint32(len(f.succs) / succRecSize)
+	nFeats := uint32(len(f.feats))
+
+	for i := 0; i < f.nfuncs; i++ {
+		r := f.funcs[i*funcRecSize:]
+		exe := binary.LittleEndian.Uint32(r)
+		name := binary.LittleEndian.Uint32(r[4:])
+		truth := binary.LittleEndian.Uint32(r[8:])
+		entry := binary.LittleEndian.Uint32(r[16:])
+		blockOff := binary.LittleEndian.Uint32(r[20:])
+		nblocks := binary.LittleEndian.Uint32(r[24:])
+		featOff := binary.LittleEndian.Uint32(r[28:])
+		nfeats := binary.LittleEndian.Uint32(r[32:])
+		if exe >= nstr || name >= nstr || truth >= nstr {
+			return corruptf("function %d: string id out of table (%d strings)", i, nstr)
+		}
+		if nblocks == 0 || blockOff > nBlocks || nblocks > nBlocks-blockOff {
+			return corruptf("function %d: block range [%d,+%d) of %d", i, blockOff, nblocks, nBlocks)
+		}
+		if entry >= nblocks {
+			return corruptf("function %d: entry block %d of %d", i, entry, nblocks)
+		}
+		if featOff > nFeats || nfeats > nFeats-featOff {
+			return corruptf("function %d: feature range [%d,+%d) of %d", i, featOff, nfeats, nFeats)
+		}
+		for bi := blockOff; bi < blockOff+nblocks; bi++ {
+			br := f.blcks[bi*blckRecSize:]
+			instOff := binary.LittleEndian.Uint32(br[4:])
+			ninsts := binary.LittleEndian.Uint32(br[8:])
+			succOff := binary.LittleEndian.Uint32(br[12:])
+			nsuccs := binary.LittleEndian.Uint32(br[16:])
+			if instOff > nInsts || ninsts > nInsts-instOff {
+				return corruptf("function %d block %d: instruction range [%d,+%d) of %d", i, bi, instOff, ninsts, nInsts)
+			}
+			if succOff > nSuccs || nsuccs > nSuccs-succOff {
+				return corruptf("function %d block %d: successor range [%d,+%d) of %d", i, bi, succOff, nsuccs, nSuccs)
+			}
+			for si := succOff; si < succOff+nsuccs; si++ {
+				s := binary.LittleEndian.Uint32(f.succs[si*succRecSize:])
+				if s >= nblocks {
+					return corruptf("function %d block %d: successor %d of %d blocks", i, bi, s, nblocks)
+				}
+			}
+		}
+	}
+	// Instruction, operand and memory-term records are shared pools;
+	// validate them each once rather than per referencing function.
+	for i := uint32(0); i < nInsts; i++ {
+		r := f.insts[i*instRecSize:]
+		mnem := binary.LittleEndian.Uint32(r)
+		opOff := binary.LittleEndian.Uint32(r[4:])
+		nops := binary.LittleEndian.Uint32(r[8:])
+		if mnem >= nstr {
+			return corruptf("instruction %d: mnemonic id %d of %d strings", i, mnem, nstr)
+		}
+		if opOff > nOps || nops > nOps-opOff {
+			return corruptf("instruction %d: operand range [%d,+%d) of %d", i, opOff, nops, nOps)
+		}
+	}
+	for i := uint32(0); i < nOps; i++ {
+		r := f.opnds[i*opndRecSize:]
+		kind := r[0]
+		sym := binary.LittleEndian.Uint32(r[4:])
+		memOff := binary.LittleEndian.Uint32(r[16:])
+		nmem := binary.LittleEndian.Uint32(r[20:])
+		if kind > byte(asm.KindSym) {
+			return corruptf("operand %d: bad argument kind %d", i, kind)
+		}
+		if sym >= nstr {
+			return corruptf("operand %d: symbol id %d of %d strings", i, sym, nstr)
+		}
+		if memOff > nMems || nmem > nMems-memOff {
+			return corruptf("operand %d: memory-term range [%d,+%d) of %d", i, memOff, nmem, nMems)
+		}
+		if r[3]&opndFlagMem != 0 && nmem == 0 {
+			return corruptf("operand %d: memory operand with no terms", i)
+		}
+	}
+	for i := uint32(0); i < nMems; i++ {
+		r := f.memts[i*memtRecSize:]
+		switch asm.MemOp(r[0]) {
+		case asm.OpAdd, asm.OpSub, asm.OpMul:
+		default:
+			return corruptf("memory term %d: bad operator %q", i, r[0])
+		}
+		if r[1] > byte(asm.KindSym) {
+			return corruptf("memory term %d: bad argument kind %d", i, r[1])
+		}
+		if sym := binary.LittleEndian.Uint32(r[4:]); sym >= nstr {
+			return corruptf("memory term %d: symbol id %d of %d strings", i, sym, nstr)
+		}
+	}
+	return nil
+}
+
+// Verify recomputes every section checksum against the directory — the
+// integrity pass behind tracy idxinfo -verify and tracy convert. It
+// touches every page of the file.
+func (f *File) Verify() error {
+	for _, s := range f.sections {
+		got := crc32.Checksum(f.data[s.Offset:s.Offset+s.Len], crcTable)
+		if got != s.CRC {
+			return corruptf("section %s checksum %08x, want %08x", s.Name, got, s.CRC)
+		}
+	}
+	return nil
+}
+
+// NumFuncs returns the number of indexed functions.
+func (f *File) NumFuncs() int { return f.nfuncs }
+
+// Path returns the file path backing the mapping, or "" when parsed
+// from memory.
+func (f *File) Path() string { return f.path }
+
+// Size returns the total file size in bytes.
+func (f *File) Size() int64 { return int64(len(f.data)) }
+
+// Sections returns the section directory (a copy; safe to retain).
+func (f *File) Sections() []SectionInfo {
+	return append([]SectionInfo(nil), f.sections...)
+}
+
+// Mapped reports whether the file is backed by an mmap region (as
+// opposed to a heap buffer).
+func (f *File) Mapped() bool { return f.mapped != nil }
+
+func (f *File) str(id uint32) string {
+	return f.strtab[f.stro[id]:f.stro[id+1]]
+}
+
+// Meta is the cheap per-function metadata: everything an index entry
+// needs without decoding the function body.
+type Meta struct {
+	Exe   string
+	Name  string
+	Truth string
+	Addr  uint32
+}
+
+// Meta returns the metadata of function i.
+func (f *File) Meta(i int) Meta {
+	r := f.funcs[i*funcRecSize:]
+	return Meta{
+		Exe:   f.str(binary.LittleEndian.Uint32(r)),
+		Name:  f.str(binary.LittleEndian.Uint32(r[4:])),
+		Truth: f.str(binary.LittleEndian.Uint32(r[8:])),
+		Addr:  binary.LittleEndian.Uint32(r[12:]),
+	}
+}
+
+// Features returns function i's prefilter feature slice. The slice
+// aliases the file mapping (zero copy); it stays valid exactly as long
+// as the File is not Closed.
+func (f *File) Features(i int) []uint64 {
+	r := f.funcs[i*funcRecSize:]
+	off := binary.LittleEndian.Uint32(r[28:])
+	n := binary.LittleEndian.Uint32(r[32:])
+	return f.feats[off : off+n : off+n]
+}
+
+// DecodeFunc materializes function i as a lifted prep.Function,
+// identical field for field to the function the gob formats carry. It
+// allocates one instruction array and one successor array for the whole
+// function plus the per-block/operand slices; strings are shared slices
+// of the file's one string-table copy. Safe for concurrent callers.
+func (f *File) DecodeFunc(i int) *prep.Function {
+	r := f.funcs[i*funcRecSize:]
+	name := f.str(binary.LittleEndian.Uint32(r[4:]))
+	addr := binary.LittleEndian.Uint32(r[12:])
+	entry := int(binary.LittleEndian.Uint32(r[16:]))
+	blockOff := int(binary.LittleEndian.Uint32(r[20:]))
+	nblocks := int(binary.LittleEndian.Uint32(r[24:]))
+
+	// One backing array for all instructions of the function.
+	total := 0
+	for bi := 0; bi < nblocks; bi++ {
+		br := f.blcks[(blockOff+bi)*blckRecSize:]
+		total += int(binary.LittleEndian.Uint32(br[8:]))
+	}
+	instBuf := make([]asm.Inst, 0, total)
+
+	g := &cfg.Graph{Name: name, Entry: entry, Blocks: make([]*cfg.Block, nblocks)}
+	for bi := 0; bi < nblocks; bi++ {
+		br := f.blcks[(blockOff+bi)*blckRecSize:]
+		baddr := binary.LittleEndian.Uint32(br)
+		instOff := int(binary.LittleEndian.Uint32(br[4:]))
+		ninsts := int(binary.LittleEndian.Uint32(br[8:]))
+		succOff := int(binary.LittleEndian.Uint32(br[12:]))
+		nsuccs := int(binary.LittleEndian.Uint32(br[16:]))
+
+		start := len(instBuf)
+		for ii := 0; ii < ninsts; ii++ {
+			instBuf = append(instBuf, f.decodeInst(instOff+ii))
+		}
+		var succs []int
+		if nsuccs > 0 {
+			succs = make([]int, nsuccs)
+			for si := 0; si < nsuccs; si++ {
+				succs[si] = int(binary.LittleEndian.Uint32(f.succs[(succOff+si)*succRecSize:]))
+			}
+		}
+		var insts []asm.Inst
+		if ninsts > 0 {
+			insts = instBuf[start:len(instBuf):len(instBuf)]
+		}
+		g.Blocks[bi] = &cfg.Block{Index: bi, Addr: baddr, Insts: insts, Succs: succs}
+	}
+	return &prep.Function{Name: name, Addr: addr, Graph: g}
+}
+
+func (f *File) decodeInst(i int) asm.Inst {
+	r := f.insts[i*instRecSize:]
+	mnem := f.str(binary.LittleEndian.Uint32(r))
+	opOff := int(binary.LittleEndian.Uint32(r[4:]))
+	nops := int(binary.LittleEndian.Uint32(r[8:]))
+	in := asm.Inst{Mnemonic: mnem}
+	if nops > 0 {
+		in.Ops = make([]asm.Operand, nops)
+		for oi := 0; oi < nops; oi++ {
+			in.Ops[oi] = f.decodeOperand(opOff + oi)
+		}
+	}
+	return in
+}
+
+func (f *File) decodeOperand(i int) asm.Operand {
+	r := f.opnds[i*opndRecSize:]
+	flags := r[3]
+	op := asm.Operand{
+		Arg:    f.decodeArg(r[0], r[1], r[2], binary.LittleEndian.Uint32(r[4:]), int64(binary.LittleEndian.Uint64(r[8:]))),
+		Offset: flags&opndFlagOffset != 0,
+	}
+	if flags&opndFlagMem != 0 {
+		memOff := int(binary.LittleEndian.Uint32(r[16:]))
+		nmem := int(binary.LittleEndian.Uint32(r[20:]))
+		op.Mem = make([]asm.MemTerm, nmem)
+		for ti := 0; ti < nmem; ti++ {
+			tr := f.memts[(memOff+ti)*memtRecSize:]
+			op.Mem[ti] = asm.MemTerm{
+				Op:  asm.MemOp(tr[0]),
+				Arg: f.decodeArg(tr[1], tr[2], tr[3], binary.LittleEndian.Uint32(tr[4:]), int64(binary.LittleEndian.Uint64(tr[8:]))),
+			}
+		}
+	}
+	return op
+}
+
+func (f *File) decodeArg(kind, cls, reg byte, sym uint32, imm int64) asm.Arg {
+	a := asm.Arg{Kind: asm.ArgKind(kind)}
+	switch a.Kind {
+	case asm.KindReg:
+		a.Reg = asm.Reg(reg)
+	case asm.KindImm:
+		a.Imm = imm
+	case asm.KindSym:
+		a.Sym = f.str(sym)
+		a.Cls = asm.SymClass(cls)
+	}
+	return a
+}
+
+// Close releases the mapping when the File came from Open; for a File
+// parsed from a caller-owned buffer it is a no-op. After Close every
+// Features slice and raw section view is invalid — callers must prove
+// nothing derived from the mapping is still reachable (the serving layer
+// instead drops its reference and lets the finalizer unmap).
+func (f *File) Close() error {
+	if f.cleanup != nil {
+		c := f.cleanup
+		f.cleanup = nil
+		c()
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package idxfile implements TRACYIDX v3: a flat, section-based,
+// little-endian columnar on-disk index format designed to be served
+// straight out of the page cache.
+//
+// The gob formats (v0-v2, see internal/index) deserialize the whole
+// corpus into heap objects on load — at 10⁵-10⁶ functions that costs
+// seconds of reflection-driven decoding and a resident object graph many
+// times the file size. v3 instead lays every piece of the corpus out as
+// fixed-width column arrays plus one shared string table and one shared
+// feature pool, so a reader can
+//
+//   - mmap the file and touch only the pages a query needs (function
+//     metadata eagerly, instruction columns lazily per candidate),
+//   - share those clean file-backed pages across every serving process
+//     on the host, and
+//   - reconstruct any single function in O(its size) with a handful of
+//     allocations, no reflection.
+//
+// # On-disk layout
+//
+// All integers are little-endian. The file is:
+//
+//	header | section directory | section 0 | section 1 | ...
+//
+// Header (48 bytes):
+//
+//	off  size  field
+//	  0     8  magic "TRACYIDX"
+//	  8     1  format version (3)
+//	  9     3  reserved (zero)
+//	 12     4  section count   (u32)
+//	 16     8  total file size (u64) — must equal the real size
+//	 24     8  function count  (u64)
+//	 32     4  crc32c of the section directory bytes (u32)
+//	 36    12  reserved (zero)
+//
+// Section directory: section-count entries of 32 bytes each:
+//
+//	off  size  field
+//	  0     4  section id (fourcc, u32)
+//	  4     4  reserved (zero)
+//	  8     8  byte offset of the section payload (u64, 8-aligned)
+//	 16     8  payload length in bytes (u64)
+//	 24     4  crc32c of the payload (u32)
+//	 28     4  reserved (zero)
+//
+// Sections (every section payload is 8-byte aligned; every offset/length
+// below is validated against the pool it indexes before a file is
+// accepted):
+//
+//	STRB  string-table bytes, concatenated UTF-8
+//	STRO  u32[nstrings+1] cumulative offsets into STRB; string id i is
+//	      STRB[STRO[i]:STRO[i+1]]; id 0 is always the empty string
+//	FUNC  40-byte function records:
+//	      exe u32 (string id), name u32, truth u32, addr u32,
+//	      entry u32 (entry block, function-local),
+//	      blockOff u32 + nblocks u32 (range in BLCK),
+//	      featOff u32 + nfeats u32 (range in FEAT), reserved u32
+//	BLCK  20-byte basic-block records:
+//	      addr u32, instOff u32 + ninsts u32 (range in INST),
+//	      succOff u32 + nsuccs u32 (range in SUCC)
+//	INST  12-byte instruction records:
+//	      mnemonic u32 (string id), opOff u32 + nops u32 (range in OPND)
+//	OPND  24-byte operand records:
+//	      kind u8 (asm.ArgKind), cls u8 (asm.SymClass), reg u8, flags u8
+//	      (bit0: offset-prefixed, bit1: memory operand), sym u32 (string
+//	      id), imm i64, memOff u32 + nmem u32 (range in MEMT)
+//	MEMT  16-byte memory-term records:
+//	      op u8 ('+', '-', '*'), kind u8, cls u8, reg u8, sym u32 (string
+//	      id), imm i64
+//	SUCC  u32 successor block indices (function-local)
+//	FEAT  u64 prefilter features; per-function slices of the shared pool
+//
+// # Lifetime and unmap safety
+//
+// Open maps the file with a shared read-only mapping. Decoded strings
+// never alias the mapping (the string table is copied once into one Go
+// string at parse time), but the per-function feature slices returned by
+// Features DO alias it, as does every raw section. Close unmaps; the
+// caller owns proving nothing derived from the mapping is still live.
+// The serving layer never calls Close on a hot-swapped file — the old
+// mapping stays valid for in-flight queries and is unmapped by a
+// finalizer once the last snapshot referencing it is collected.
+package idxfile
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Magic and Version are the v3 file prelude, byte-compatible with the
+// gob header sniffing in internal/index (8-byte magic + version byte).
+const (
+	Magic   = "TRACYIDX"
+	Version = 3
+)
+
+// Fixed layout sizes.
+const (
+	headerSize   = 48
+	dirEntrySize = 32
+
+	funcRecSize = 40
+	blckRecSize = 20
+	instRecSize = 12
+	opndRecSize = 24
+	memtRecSize = 16
+	succRecSize = 4
+	featRecSize = 8
+	stroRecSize = 4
+)
+
+// Section ids (fourcc, little-endian u32 on disk).
+const (
+	SecSTRB = "STRB"
+	SecSTRO = "STRO"
+	SecFUNC = "FUNC"
+	SecBLCK = "BLCK"
+	SecINST = "INST"
+	SecOPND = "OPND"
+	SecMEMT = "MEMT"
+	SecSUCC = "SUCC"
+	SecFEAT = "FEAT"
+)
+
+// requiredSections is the canonical section order the writer emits and
+// the parser requires (extra unknown sections are tolerated and skipped,
+// so the format can grow).
+var requiredSections = []string{
+	SecSTRB, SecSTRO, SecFUNC, SecBLCK, SecINST, SecOPND, SecMEMT, SecSUCC, SecFEAT,
+}
+
+// Operand flag bits.
+const (
+	opndFlagOffset = 1 << 0 // "offset name" operand
+	opndFlagMem    = 1 << 1 // memory operand ([...])
+)
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on amd64
+// and arm64), the checksum of every section and of the directory.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func sectionID(name string) uint32 {
+	b := []byte(name)
+	return binary.LittleEndian.Uint32(b)
+}
+
+func sectionName(id uint32) string {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], id)
+	return string(b[:])
+}
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }

@@ -1,0 +1,111 @@
+package idxfile
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzIdxfileLoad throws arbitrary bytes at the v3 parser: Parse must
+// reject garbage with a corruptError, never panic, and never index out
+// of range. Any file Parse accepts must then decode every function and
+// serve every accessor without faulting — the structural validation is
+// the only wall between untrusted bytes and the unchecked decode paths.
+func FuzzIdxfileLoad(f *testing.F) {
+	// A genuine v3 file as the prime seed so the fuzzer mutates real
+	// section structure instead of rediscovering the magic.
+	exes, fns, truths, feats := handFuncs()
+	var saved bytes.Buffer
+	if _, err := Write(&saved, exes, fns, truths, feats); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(saved.Bytes())
+	f.Add(saved.Bytes()[:saved.Len()/2])
+	f.Add(saved.Bytes()[:headerSize])
+	var empty bytes.Buffer
+	if _, err := NewBuilder().WriteTo(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte("TRACYIDX\x03\x00\x00\x00garbage"))
+	f.Add([]byte{})
+	f.Add([]byte("not an index at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		pf, err := Parse(data)
+		if err != nil {
+			if !IsCorrupt(err) {
+				t.Fatalf("Parse returned a non-corruption error for bad bytes: %v", err)
+			}
+			return
+		}
+		// Accepted files must be fully traversable.
+		for i := 0; i < pf.NumFuncs(); i++ {
+			m := pf.Meta(i)
+			_ = m.Exe
+			_ = pf.Features(i)
+			fn := pf.DecodeFunc(i)
+			if fn == nil || fn.Graph == nil || len(fn.Graph.Blocks) == 0 {
+				t.Fatal("Parse accepted a function that decodes to a malformed graph")
+			}
+			if fn.Graph.Entry < 0 || fn.Graph.Entry >= len(fn.Graph.Blocks) {
+				t.Fatalf("decoded entry %d of %d blocks", fn.Graph.Entry, len(fn.Graph.Blocks))
+			}
+			for _, b := range fn.Graph.Blocks {
+				for _, s := range b.Succs {
+					if s < 0 || s >= len(fn.Graph.Blocks) {
+						t.Fatalf("decoded successor %d of %d blocks", s, len(fn.Graph.Blocks))
+					}
+				}
+			}
+		}
+		_ = pf.Verify()
+	})
+}
+
+// TestRegenerateFuzzSeeds rewrites the checked-in seed corpus under
+// testdata/fuzz/FuzzIdxfileLoad when IDXFILE_REGEN_SEEDS=1, so format
+// changes keep the seeds honest. A plain test run only asserts the
+// seeds exist.
+func TestRegenerateFuzzSeeds(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzIdxfileLoad")
+	exes, fns, truths, feats := handFuncs()
+	var valid bytes.Buffer
+	if _, err := Write(&valid, exes, fns, truths, feats); err != nil {
+		t.Fatal(err)
+	}
+	var empty bytes.Buffer
+	if _, err := NewBuilder().WriteTo(&empty); err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[string][]byte{
+		"seed-valid-v3":    valid.Bytes(),
+		"seed-empty-v3":    empty.Bytes(),
+		"seed-truncated":   valid.Bytes()[:valid.Len()/2],
+		"seed-header-only": valid.Bytes()[:headerSize],
+		"seed-bad-version": []byte("TRACYIDX\x09\x00\x00\x00junk"),
+	}
+	if os.Getenv("IDXFILE_REGEN_SEEDS") == "" {
+		for name := range seeds {
+			if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+				t.Errorf("seed corpus missing %s (regenerate with IDXFILE_REGEN_SEEDS=1)", name)
+			}
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

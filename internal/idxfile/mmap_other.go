@@ -1,0 +1,20 @@
+//go:build !unix
+
+package idxfile
+
+import "os"
+
+// Open on platforms without the mmap fast path reads the whole file
+// into the heap and parses it. Same semantics, no page sharing.
+func Open(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	f.path = path
+	return f, nil
+}

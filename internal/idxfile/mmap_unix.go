@@ -1,0 +1,58 @@
+//go:build unix
+
+package idxfile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// Open maps path read-only with a shared mapping and parses it. Pages
+// fault in on demand and are shared with every other process mapping
+// the same file, so N serving processes cost one resident copy of the
+// hot pages.
+//
+// The mapping is released either by an explicit Close (one-shot CLI
+// use, where the caller controls all derived slices) or, if the File is
+// simply dropped, by a finalizer — the pattern the server's hot reload
+// relies on: in-flight queries keep the old File reachable through
+// their snapshot, and the kernel region outlives them all.
+func Open(path string) (*File, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < headerSize {
+		return nil, corruptf("file shorter than header (%d bytes)", size)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("idxfile: %s: file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("idxfile: mmap %s: %w", path, err)
+	}
+	f, err := Parse(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f.path = path
+	f.mapped = data
+	f.cleanup = func() { syscall.Munmap(data) }
+	runtime.SetFinalizer(f, func(ff *File) {
+		if ff.cleanup != nil {
+			ff.cleanup()
+			ff.cleanup = nil
+		}
+	})
+	return f, nil
+}

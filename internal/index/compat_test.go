@@ -1,0 +1,222 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// encodeVersion serializes db in any historical TRACYIDX format.
+func encodeVersion(t *testing.T, db *DB, version int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	switch version {
+	case 0: // headerless gob
+		if err := gob.NewEncoder(&buf).Encode(gobDB{Entries: db.Entries}); err != nil {
+			t.Fatal(err)
+		}
+	case 1: // header + entries-only gob
+		buf.Write(append([]byte(indexMagic), 1))
+		type gobDBv1 struct{ Entries []*Entry }
+		if err := gob.NewEncoder(&buf).Encode(gobDBv1{Entries: db.Entries}); err != nil {
+			t.Fatal(err)
+		}
+	case 2:
+		if err := db.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+	case 3:
+		if err := db.SaveV3(&buf); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("no encoder for v%d", version)
+	}
+	return buf.Bytes()
+}
+
+// hitKey strips the entry pointer out of a Hit so results from different
+// loads of the same corpus compare by value.
+type hitKey struct {
+	Exe, Name, Truth string
+	Addr             uint32
+	Result           core.Result
+}
+
+func hitKeys(hits []Hit) []hitKey {
+	out := make([]hitKey, len(hits))
+	for i, h := range hits {
+		out[i] = hitKey{h.Entry.Exe, h.Entry.Name, h.Entry.Truth, h.Entry.Addr, h.Result}
+	}
+	return out
+}
+
+// TestCrossVersionSearchParity: the same corpus serialized as v0, v1, v2
+// and v3 must load and produce bit-identical Snapshot.Search results —
+// exhaustive and prefiltered — through both the stream loader and the
+// file opener. This is the compatibility contract tracy convert depends
+// on.
+func TestCrossVersionSearchParity(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	opts := core.DefaultOptions()
+
+	baseSnap := BuildSnapshot(db, []int{opts.K}, 4)
+	baseHits, err := baseSnap.Search(query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := hitKeys(baseHits)
+	basePre, err := baseSnap.SearchDecomposedWith(core.Decompose(query, opts.K), opts, PrefilterOptions{Enabled: true, Candidates: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preBase := hitKeys(basePre)
+
+	dir := t.TempDir()
+	for _, version := range []int{0, 1, 2, 3} {
+		data := encodeVersion(t, db, version)
+		path := filepath.Join(dir, "idx")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loaders := map[string]func() (*DB, error){
+			"Load":     func() (*DB, error) { return Load(bytes.NewReader(data)) },
+			"OpenFile": func() (*DB, error) { return OpenFile(path) },
+		}
+		for lname, load := range loaders {
+			db2, err := load()
+			if err != nil {
+				t.Fatalf("v%d %s: %v", version, lname, err)
+			}
+			if db2.Len() != db.Len() {
+				t.Fatalf("v%d %s: %d entries, want %d", version, lname, db2.Len(), db.Len())
+			}
+			if got := db2.Info().Version; got != version {
+				t.Errorf("v%d %s: Info().Version = %d", version, lname, got)
+			}
+			snap := BuildSnapshot(db2, []int{opts.K}, 4)
+			hits, err := snap.Search(query, opts)
+			if err != nil {
+				t.Fatalf("v%d %s search: %v", version, lname, err)
+			}
+			if !reflect.DeepEqual(hitKeys(hits), base) {
+				t.Errorf("v%d %s: Snapshot.Search diverged from in-memory results", version, lname)
+			}
+			pre, err := snap.SearchDecomposedWith(core.Decompose(query, opts.K), opts, PrefilterOptions{Enabled: true, Candidates: 7})
+			if err != nil {
+				t.Fatalf("v%d %s prefiltered search: %v", version, lname, err)
+			}
+			if !reflect.DeepEqual(hitKeys(pre), preBase) {
+				t.Errorf("v%d %s: prefiltered Snapshot.Search diverged", version, lname)
+			}
+			// Offline DB.Search must agree too.
+			off := db2.Search(query, opts)
+			if !reflect.DeepEqual(hitKeys(off), base) {
+				t.Errorf("v%d %s: DB.Search diverged from snapshot results", version, lname)
+			}
+			db2.Close()
+		}
+	}
+}
+
+// TestV3RoundTripEntries: converting to v3 and loading back preserves
+// every entry field-for-field, including lazily decoded function bodies.
+func TestV3RoundTripEntries(t *testing.T) {
+	db, _ := buildTestDB(t)
+	var buf bytes.Buffer
+	if err := db.SaveV3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Store() == nil {
+		t.Fatal("v3 load did not retain the columnar store")
+	}
+	for i, e := range db.Entries {
+		e2 := db2.Entries[i]
+		if e2.Exe != e.Exe || e2.Name != e.Name || e2.Addr != e.Addr || e2.Truth != e.Truth {
+			t.Errorf("entry %d metadata changed: %+v", i, e2)
+		}
+		if e2.Func != nil {
+			t.Fatalf("entry %d eagerly materialized; v3 entries must decode lazily", i)
+		}
+		if !reflect.DeepEqual(e2.Function(), e.Function()) {
+			t.Errorf("entry %d function body changed across v3 round trip", i)
+		}
+	}
+	// Feature sets must be adopted from the file's pool, not recomputed.
+	want := db.features()
+	got := db2.features()
+	if !reflect.DeepEqual(got, want) {
+		t.Error("v3 feature pool diverged from computed features")
+	}
+}
+
+// TestOpenFileMmap: OpenFile maps v3 files and reports provenance.
+func TestOpenFileMmap(t *testing.T) {
+	db, _ := buildTestDB(t)
+	path := filepath.Join(t.TempDir(), "idx.v3")
+	fd, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveV3(fd); err != nil {
+		t.Fatal(err)
+	}
+	fd.Close()
+	db2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	info := db2.Info()
+	if info.Version != 3 || info.Path != path || info.Funcs != db.Len() {
+		t.Errorf("Info = %+v", info)
+	}
+	st, _ := os.Stat(path)
+	if info.Bytes != st.Size() {
+		t.Errorf("Info.Bytes = %d, want %d", info.Bytes, st.Size())
+	}
+	if !info.Mapped {
+		t.Skip("platform without mmap fast path")
+	}
+}
+
+// TestV3ConvertBackToGob: a store-backed database re-saved as gob loads
+// as a self-contained v2 file with identical entries.
+func TestV3ConvertBackToGob(t *testing.T) {
+	db, _ := buildTestDB(t)
+	var v3 bytes.Buffer
+	if err := db.SaveV3(&v3); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gobBuf bytes.Buffer
+	if err := db2.Save(&gobBuf); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Load(bytes.NewReader(gobBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db3.Info().Version != indexVersion {
+		t.Errorf("round-tripped format version %d", db3.Info().Version)
+	}
+	for i, e := range db.Entries {
+		if !reflect.DeepEqual(db3.Entries[i].Function(), e.Function()) {
+			t.Errorf("entry %d changed across v3→gob round trip", i)
+		}
+	}
+}

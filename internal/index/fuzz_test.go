@@ -33,8 +33,15 @@ func FuzzIndexLoad(f *testing.F) {
 	}
 	f.Add(saved.Bytes())
 	f.Add(saved.Bytes()[:saved.Len()/2])
+	var savedV3 bytes.Buffer
+	if err := db.SaveV3(&savedV3); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(savedV3.Bytes())
+	f.Add(savedV3.Bytes()[:savedV3.Len()/2])
 	f.Add([]byte("TRACYIDX"))
 	f.Add([]byte("TRACYIDX\x01\x00\x00\x00garbage"))
+	f.Add([]byte("TRACYIDX\x03\x00\x00\x00garbage"))
 	f.Add([]byte{})
 	f.Add([]byte("not an index at all"))
 
@@ -49,7 +56,7 @@ func FuzzIndexLoad(f *testing.F) {
 			return
 		}
 		for _, e := range loaded.Entries {
-			if e == nil || e.Func == nil {
+			if e == nil || e.Function() == nil {
 				t.Fatal("Load accepted an index with nil entries")
 			}
 		}

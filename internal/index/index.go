@@ -11,20 +11,52 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/idxfile"
 	"repro/internal/prep"
 	"repro/internal/telemetry"
 )
 
-// Entry is one indexed binary function.
+// Entry is one indexed binary function. For gob-backed databases Func
+// holds the lifted function eagerly; for v3 store-backed databases Func
+// is nil and the function is decoded from the columnar file on first
+// use — always go through Function(), never read Func directly.
 type Entry struct {
 	Exe   string // executable name
 	Name  string // recovered name (sub_XXX in stripped binaries)
 	Addr  uint32
 	Truth string // ground-truth source name, if known (evaluation only)
 	Func  *prep.Function
+
+	// v3 lazy backing (unexported: invisible to gob). src/srcIdx locate
+	// the function in the columnar store; lazy memoizes the decode.
+	src    *idxfile.File
+	srcIdx int
+	lazy   atomic.Pointer[prep.Function]
+}
+
+// Function returns the lifted function, decoding it from the columnar
+// store on first use for v3-backed entries. Safe for concurrent callers;
+// concurrent first calls may decode twice but agree on one result.
+func (e *Entry) Function() *prep.Function {
+	if e.Func != nil {
+		return e.Func
+	}
+	if fn := e.lazy.Load(); fn != nil {
+		return fn
+	}
+	if e.src == nil {
+		return nil
+	}
+	fn := e.src.DecodeFunc(e.srcIdx)
+	if e.lazy.CompareAndSwap(nil, fn) {
+		return fn
+	}
+	return e.lazy.Load()
 }
 
 // DB is the searchable function database. Concurrent Search/Decomposed
@@ -42,6 +74,45 @@ type DB struct {
 	decomposed map[int][]*core.Decomposed
 	feats      [][]uint64 // per-entry prefilter features, aligned with Entries
 	fidx       *featureIndex
+
+	store  *idxfile.File // non-nil for v3 store-backed databases
+	info   Info
+	loaded bool // info.Version is authoritative (set by Load/OpenFile)
+}
+
+// Info describes where a database came from, for idxinfo, serve logs
+// and the tracy_index_info metric.
+type Info struct {
+	Version int    // TRACYIDX format version (0-3)
+	Bytes   int64  // on-disk size, 0 when unknown
+	Path    string // source path, "" when loaded from a stream or built in memory
+	Mapped  bool   // true when served from an mmap region
+	Funcs   int
+}
+
+// Info returns the database provenance. For in-memory databases built
+// with AddImage the version is the current gob format version.
+func (db *DB) Info() Info {
+	info := db.info
+	if !db.loaded {
+		info.Version = indexVersion
+	}
+	info.Funcs = len(db.Entries)
+	return info
+}
+
+// Store returns the columnar file backing a v3 database, or nil.
+func (db *DB) Store() *idxfile.File { return db.store }
+
+// Close releases the columnar store mapping of a v3-backed database; it
+// is a no-op for gob-backed databases. After Close the database must not
+// be used. Long-lived servers never Close — they drop the reference and
+// let the finalizer unmap once in-flight queries finish.
+func (db *DB) Close() error {
+	if db.store != nil {
+		return db.store.Close()
+	}
+	return nil
 }
 
 // New returns an empty database.
@@ -89,7 +160,7 @@ func (db *DB) Decomposed(k int) []*core.Decomposed {
 	}
 	d := make([]*core.Decomposed, len(db.Entries))
 	for i, e := range db.Entries {
-		d[i] = core.DecomposeT(e.Func, k, db.Tel)
+		d[i] = core.DecomposeT(e.Function(), k, db.Tel)
 	}
 	db.decomposed[k] = d
 	return d
@@ -103,7 +174,15 @@ func (db *DB) features() [][]uint64 {
 	if db.feats == nil {
 		fs := make([][]uint64, len(db.Entries))
 		for i, e := range db.Entries {
-			fs[i] = FuncFeatures(e.Func)
+			if e.src != nil {
+				// Store-backed entry: its feature set already lives in the
+				// file's shared pool; the slice is a view into the mapping,
+				// so this allocates a slice header only. Entries appended by
+				// AddImage after a v3 load fall through to recomputation.
+				fs[i] = e.src.Features(e.srcIdx)
+			} else {
+				fs[i] = FuncFeatures(e.Function())
+			}
 		}
 		db.feats = fs
 	}
@@ -235,19 +314,29 @@ type gobDB struct {
 }
 
 // The on-disk format is an 8-byte magic plus a one-byte format version in
-// front of the gob payload, so a stale or foreign file fails fast with a
-// versioned error instead of an opaque gob decode failure. Headerless
-// files written before the header existed ("v0") and v1 files (no
-// prefilter features) are still read.
+// front of the payload, so a stale or foreign file fails fast with a
+// versioned error instead of an opaque decode failure. Four formats load:
+// headerless v0 gob, headered v1 gob (no prefilter features), v2 gob
+// (with features), and the v3 columnar format (internal/idxfile). Save
+// writes v2 gob; SaveV3 writes the columnar format.
 const (
-	indexMagic   = "TRACYIDX"
-	indexVersion = 2
+	indexMagic     = "TRACYIDX"
+	indexVersion   = 2 // gob format written by Save
+	indexVersionV3 = idxfile.Version
 )
 
-// Save serializes the database (entries plus prefilter features;
-// decompositions are recomputed on demand), prefixed with the format
-// header.
+// Save serializes the database as v2 gob (entries plus prefilter
+// features; decompositions are recomputed on demand), prefixed with the
+// format header. Store-backed entries are materialized first so the gob
+// payload is self-contained.
 func (db *DB) Save(w io.Writer) error {
+	if db.store != nil {
+		for _, e := range db.Entries {
+			if e.Func == nil {
+				e.Func = e.Function()
+			}
+		}
+	}
 	hdr := append([]byte(indexMagic), indexVersion)
 	if _, err := w.Write(hdr); err != nil {
 		return err
@@ -255,24 +344,67 @@ func (db *DB) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(gobDB{Entries: db.Entries, Feats: db.features()})
 }
 
-// Load restores a database written by Save. It accepts the current
-// headered format, the v1 header (entries only — prefilter features are
-// recomputed on demand), and headerless v0 files; anything else — a
-// future format version or a file that is not a tracy index at all —
-// yields an error naming the expected format version.
+// SaveV3 serializes the database in the v3 columnar format: fixed-width
+// column arrays behind a section directory, loadable via mmap with no
+// whole-file deserialization (see internal/idxfile). Functions stream
+// through an incremental builder, so converting a store-backed database
+// never materializes the whole corpus at once.
+func (db *DB) SaveV3(w io.Writer) error {
+	feats := db.features()
+	b := idxfile.NewBuilder()
+	for i, e := range db.Entries {
+		var fn *prep.Function
+		if e.Func != nil {
+			fn = e.Func
+		} else if e.src != nil {
+			// Decode without populating the entry's lazy cache: a convert
+			// pass must not pin the whole corpus on the heap.
+			fn = e.src.DecodeFunc(e.srcIdx)
+		}
+		if fn == nil {
+			return fmt.Errorf("index: entry %d has no function to serialize", i)
+		}
+		b.Add(e.Exe, fn, e.Truth, feats[i])
+	}
+	_, err := b.WriteTo(w)
+	return err
+}
+
+// Load restores a database written by Save or SaveV3. It accepts all
+// four formats: headerless v0 gob, headered v1 gob (prefilter features
+// recomputed on demand), v2 gob, and the v3 columnar format (read fully
+// into memory — prefer OpenFile for v3 files, which maps them instead).
+// Anything else — a future format version or a file that is not a tracy
+// index at all — yields an error naming the expected formats.
 func Load(r io.Reader) (*DB, error) {
 	br := bufio.NewReader(r)
+	version := 0
 	if peek, err := br.Peek(len(indexMagic) + 1); err == nil && string(peek[:len(indexMagic)]) == indexMagic {
-		if v := int(peek[len(indexMagic)]); v != indexVersion && v != 1 {
-			return nil, fmt.Errorf("index: format v%d expected, file is v%d (rebuild with tracy index)", indexVersion, v)
-		}
-		if _, err := br.Discard(len(indexMagic) + 1); err != nil {
-			return nil, err
+		v := int(peek[len(indexMagic)])
+		switch v {
+		case 1, indexVersion:
+			version = v
+			if _, err := br.Discard(len(indexMagic) + 1); err != nil {
+				return nil, err
+			}
+		case indexVersionV3:
+			// The columnar parser needs the whole prelude, magic included.
+			data, err := io.ReadAll(br)
+			if err != nil {
+				return nil, err
+			}
+			f, err := idxfile.Parse(data)
+			if err != nil {
+				return nil, fmt.Errorf("index: %w", err)
+			}
+			return fromStore(f), nil
+		default:
+			return nil, fmt.Errorf("index: format v%d/v%d expected, file is v%d (rebuild with tracy index)", indexVersion, indexVersionV3, v)
 		}
 	}
 	var g gobDB
 	if err := gob.NewDecoder(br).Decode(&g); err != nil {
-		return nil, fmt.Errorf("index: not a tracy index (format v%d expected): %w", indexVersion, err)
+		return nil, fmt.Errorf("index: not a tracy index (format v%d/v%d expected): %w", indexVersion, indexVersionV3, err)
 	}
 	// Structural validation: gob will happily decode a payload whose
 	// entries are nil, missing their lifted function, or carrying a
@@ -300,12 +432,78 @@ func Load(r io.Reader) (*DB, error) {
 			}
 		}
 	}
-	db := &DB{Entries: g.Entries, decomposed: make(map[int][]*core.Decomposed)}
+	db := &DB{
+		Entries:    g.Entries,
+		decomposed: make(map[int][]*core.Decomposed),
+		info:       Info{Version: version},
+		loaded:     true,
+	}
 	// Adopt serialized prefilter features only when they line up with the
 	// entries — a fuzzed or hand-edited payload must not smuggle in a
 	// misaligned feature table (features() rebuilds from scratch instead).
 	if g.Feats != nil && len(g.Feats) == len(g.Entries) {
 		db.feats = g.Feats
+	}
+	return db, nil
+}
+
+// fromStore wraps a parsed columnar file as a database: entry metadata
+// is materialized eagerly (it is tiny and every search ranks by it), the
+// function bodies stay in the file and decode lazily per entry.
+func fromStore(f *idxfile.File) *DB {
+	n := f.NumFuncs()
+	entries := make([]*Entry, n)
+	for i := 0; i < n; i++ {
+		m := f.Meta(i)
+		entries[i] = &Entry{Exe: m.Exe, Name: m.Name, Addr: m.Addr, Truth: m.Truth, src: f, srcIdx: i}
+	}
+	return &DB{
+		Entries:    entries,
+		decomposed: make(map[int][]*core.Decomposed),
+		store:      f,
+		info: Info{
+			Version: indexVersionV3,
+			Bytes:   f.Size(),
+			Path:    f.Path(),
+			Mapped:  f.Mapped(),
+		},
+		loaded: true,
+	}
+}
+
+// OpenFile loads an index from disk by path, picking the cheapest route
+// for its format: v3 columnar files are mmapped (page-granular lazy
+// access, pages shared across processes, no heap deserialization), gob
+// files fall back to the streaming Load. Callers that serve long-lived
+// snapshots should not Close the returned database while queries run.
+func OpenFile(path string) (*DB, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	prelude := make([]byte, len(indexMagic)+1)
+	n, _ := io.ReadFull(fd, prelude)
+	if n == len(prelude) && idxfile.SniffVersion(prelude) == indexVersionV3 {
+		fd.Close()
+		f, err := idxfile.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("index: %w", err)
+		}
+		return fromStore(f), nil
+	}
+	if _, err := fd.Seek(0, io.SeekStart); err != nil {
+		fd.Close()
+		return nil, err
+	}
+	defer fd.Close()
+	st, _ := fd.Stat()
+	db, err := Load(fd)
+	if err != nil {
+		return nil, err
+	}
+	db.info.Path = path
+	if st != nil {
+		db.info.Bytes = st.Size()
 	}
 	return db, nil
 }

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/prep"
@@ -26,18 +27,42 @@ type Snapshot struct {
 	ks      []int
 	shards  []snapShard
 	byName  map[string]*Entry // exe + "\x00" + name -> entry
-	flat    map[int][]*core.Decomposed
 	fidx    *featureIndex
+	info    Info
+
+	// Exactly one of flat/lazy is non-nil per supported k. flat holds the
+	// eager pre-decompositions of a gob-backed DB; lazy holds memoization
+	// slots for a v3 store-backed DB, where entries decode + decompose on
+	// first touch (so cold start and resident memory scale with the pages
+	// queries actually visit, not the corpus).
+	flat map[int][]*core.Decomposed
+	lazy map[int][]atomic.Pointer[core.Decomposed]
 
 	// Tel is the default collector for Search when opts.Tel is nil.
 	Tel *telemetry.Collector
 }
 
-// snapShard is the contiguous entry range [lo, hi) plus its precomputed
-// decompositions, aligned with entries[lo:hi].
+// snapShard is a contiguous entry range [lo, hi).
 type snapShard struct {
 	lo, hi int
-	dec    map[int][]*core.Decomposed
+}
+
+// dec returns the k-decomposition of entry i, computing and memoizing it
+// on first touch in lazy mode. Concurrent first calls may both compute
+// but agree on one winner via CAS.
+func (s *Snapshot) dec(k, i int) *core.Decomposed {
+	if s.flat != nil {
+		return s.flat[k][i]
+	}
+	slot := &s.lazy[k][i]
+	if d := slot.Load(); d != nil {
+		return d
+	}
+	d := core.DecomposeT(s.entries[i].Function(), k, s.Tel)
+	if slot.CompareAndSwap(nil, d) {
+		return d
+	}
+	return slot.Load()
 }
 
 // BuildSnapshot decomposes every entry of db for each tracelet size in ks
@@ -75,54 +100,64 @@ func BuildSnapshot(db *DB, ks []int, nShards int) *Snapshot {
 		entries: db.Entries,
 		ks:      kept,
 		byName:  make(map[string]*Entry, n),
+		info:    db.Info(),
 		Tel:     db.Tel,
 	}
 	for _, e := range db.Entries {
 		s.byName[entryKey(e.Exe, e.Name)] = e
 	}
 
-	// Decompose all (entry, k) pairs with a worker pool.
-	all := make(map[int][]*core.Decomposed, len(kept))
-	for _, k := range kept {
-		all[k] = make([]*core.Decomposed, n)
-	}
-	type job struct{ k, i int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				all[j.k][j.i] = core.DecomposeT(db.Entries[j.i].Func, j.k, db.Tel)
-			}
-		}()
-	}
-	for _, k := range kept {
-		for i := 0; i < n; i++ {
-			jobs <- job{k, i}
+	if db.store != nil {
+		// Store-backed: allocate memoization slots only. Decode +
+		// decomposition happen per entry on first query touch, which is
+		// what keeps v3 cold start and RSS page-granular.
+		s.lazy = make(map[int][]atomic.Pointer[core.Decomposed], len(kept))
+		for _, k := range kept {
+			s.lazy[k] = make([]atomic.Pointer[core.Decomposed], n)
 		}
+	} else {
+		// Gob-backed: the whole object graph is already on the heap;
+		// decompose all (entry, k) pairs up front with a worker pool so
+		// serving never pays decomposition latency.
+		all := make(map[int][]*core.Decomposed, len(kept))
+		for _, k := range kept {
+			all[k] = make([]*core.Decomposed, n)
+		}
+		type job struct{ k, i int }
+		jobs := make(chan job)
+		var wg sync.WaitGroup
+		for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					all[j.k][j.i] = core.DecomposeT(db.Entries[j.i].Function(), j.k, db.Tel)
+				}
+			}()
+		}
+		for _, k := range kept {
+			for i := 0; i < n; i++ {
+				jobs <- job{k, i}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		s.flat = all
 	}
-	close(jobs)
-	wg.Wait()
 
 	// Slice the corpus into near-equal contiguous shards.
 	for sh := 0; sh < nShards; sh++ {
-		lo := sh * n / nShards
-		hi := (sh + 1) * n / nShards
-		dec := make(map[int][]*core.Decomposed, len(kept))
-		for _, k := range kept {
-			dec[k] = all[k][lo:hi]
-		}
-		s.shards = append(s.shards, snapShard{lo: lo, hi: hi, dec: dec})
+		s.shards = append(s.shards, snapShard{lo: sh * n / nShards, hi: (sh + 1) * n / nShards})
 	}
-	s.flat = all
 	// The feature index is snapshot-resident: built once here (reusing
-	// features deserialized from a v2 index file when present), then read
-	// lock-free by any number of prefiltered queries.
+	// features deserialized from a v2 file, or feature-pool views of a v3
+	// mapping), then read lock-free by any number of prefiltered queries.
 	s.fidx = buildFeatureIndex(db.features())
 	return s
 }
+
+// Info returns the provenance of the index this snapshot serves.
+func (s *Snapshot) Info() Info { return s.info }
 
 func entryKey(exe, name string) string { return exe + "\x00" + name }
 
@@ -253,7 +288,6 @@ func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed
 			return nil, err
 		}
 		tel.Add(telemetry.PrefilterCandidates, uint64(len(ids)))
-		dec := s.flat[ref.K]
 		hits := make([]Hit, len(ids))
 		cmpSpan := sp.Child("compare")
 		cmpSpan.Set("pairs", int64(len(ids)))
@@ -270,7 +304,7 @@ func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed
 				m := core.NewMatcher(opts)
 				for i := range jobs {
 					id := ids[i]
-					res, err := m.CompareCtx(ctx, ref, dec[id])
+					res, err := m.CompareCtx(ctx, ref, s.dec(ref.K, int(id)))
 					if err != nil {
 						setErr(err)
 						continue // keep draining jobs; remaining compares abort instantly
@@ -308,13 +342,13 @@ func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed
 			// fan-out is the query's parallelism, and independent matchers
 			// keep block-alignment caches core-local.
 			m := core.NewMatcher(opts)
-			for j, tgt := range sh.dec[ref.K] {
-				res, err := m.CompareCtx(ctx, ref, tgt)
+			for j := sh.lo; j < sh.hi; j++ {
+				res, err := m.CompareCtx(ctx, ref, s.dec(ref.K, j))
 				if err != nil {
 					setErr(err)
 					return
 				}
-				hits[sh.lo+j] = Hit{Entry: s.entries[sh.lo+j], Result: res}
+				hits[j] = Hit{Entry: s.entries[j], Result: res}
 			}
 		}(sh)
 	}

@@ -202,7 +202,7 @@ func TestLoadFutureVersion(t *testing.T) {
 	if err == nil {
 		t.Fatal("future-version file should fail to load")
 	}
-	if !strings.Contains(err.Error(), "format v2 expected") || !strings.Contains(err.Error(), "v9") {
+	if !strings.Contains(err.Error(), "format v2/v3 expected") || !strings.Contains(err.Error(), "v9") {
 		t.Errorf("unhelpful version error: %v", err)
 	}
 }
@@ -212,7 +212,7 @@ func TestLoadForeignFileError(t *testing.T) {
 	if err == nil {
 		t.Fatal("foreign file should fail to load")
 	}
-	if !strings.Contains(err.Error(), "format v2 expected") {
+	if !strings.Contains(err.Error(), "format v2/v3 expected") {
 		t.Errorf("foreign-file error does not name the expected format: %v", err)
 	}
 }

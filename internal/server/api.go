@@ -125,12 +125,15 @@ type FunctionsResponse struct {
 
 // HealthResponse reports liveness and the loaded snapshot's shape.
 type HealthResponse struct {
-	Status     string    `json:"status"` // "ok", or "empty" before an index is loaded
-	Functions  int       `json:"functions"`
-	Ks         []int     `json:"ks"` // precomputed tracelet sizes
-	Shards     int       `json:"shards"`
-	Generation uint64    `json:"generation"` // bumped on every snapshot swap
-	LoadedAt   time.Time `json:"loaded_at"`
+	Status      string    `json:"status"` // "ok", or "empty" before an index is loaded
+	Functions   int       `json:"functions"`
+	Ks          []int     `json:"ks"` // precomputed tracelet sizes
+	Shards      int       `json:"shards"`
+	Generation  uint64    `json:"generation"` // bumped on every snapshot swap
+	LoadedAt    time.Time `json:"loaded_at"`
+	IndexFormat int       `json:"index_format"` // TRACYIDX on-disk version (0-3)
+	IndexMapped bool      `json:"index_mapped"` // true when served from mmap
+	LoadMS      float64   `json:"load_ms"`      // load + snapshot-build time
 }
 
 // ReloadResponse reports a completed hot reload.
@@ -138,6 +141,8 @@ type ReloadResponse struct {
 	Functions  int     `json:"functions"`
 	Generation uint64  `json:"generation"`
 	TookMS     float64 `json:"took_ms"`
+	Format     int     `json:"format"` // TRACYIDX on-disk version
+	Mapped     bool    `json:"mapped"` // true when served from mmap
 }
 
 // ErrorResponse is the body of every non-2xx reply. TraceID lets a

@@ -26,9 +26,9 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -119,6 +119,8 @@ type snapState struct {
 	snap     *index.Snapshot
 	gen      uint64
 	loadedAt time.Time
+	info     index.Info // provenance of the loaded index (format, mmap)
+	loadMS   float64    // load + snapshot-build time
 }
 
 // Server is the query service. Create with New or NewFromDB.
@@ -160,7 +162,7 @@ func New(cfg Config) (*Server, error) {
 // needed); the snapshot is built immediately.
 func NewFromDB(db *index.DB, cfg Config) *Server {
 	s := newServer(cfg)
-	s.install(db)
+	s.install(db, time.Now())
 	return s
 }
 
@@ -225,16 +227,28 @@ func (s *Server) Tel() *telemetry.Collector { return s.tel }
 // /debug/requests).
 func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
 
-// install builds a snapshot of db and swaps it in.
-func (s *Server) install(db *index.DB) *snapState {
+// install builds a snapshot of db and swaps it in; t0 is when the load
+// began (file open counts toward loadMS). The swapped-in index's
+// provenance is published as the tracy_index_info metric so dashboards
+// can tell which on-disk format (and whether an mmap) is live.
+func (s *Server) install(db *index.DB, t0 time.Time) *snapState {
 	db.Tel = s.tel
 	st := &snapState{
 		snap:     index.BuildSnapshot(db, s.ks, s.cfg.Shards),
 		gen:      s.gen.Add(1),
 		loadedAt: time.Now(),
+		info:     db.Info(),
+		loadMS:   msSince(t0),
 	}
 	s.snap.Store(st)
 	s.cache.purge()
+	s.tel.SetInfo("index_info", map[string]string{
+		"format":     strconv.Itoa(st.info.Version),
+		"mapped":     strconv.FormatBool(st.info.Mapped),
+		"path":       st.info.Path,
+		"functions":  strconv.Itoa(st.info.Funcs),
+		"generation": strconv.FormatUint(st.gen, 10),
+	})
 	return st
 }
 
@@ -257,20 +271,22 @@ func (s *Server) reload() (*ReloadResponse, error) {
 		return nil, err
 	}
 	t0 := time.Now()
-	f, err := os.Open(s.cfg.DBPath)
+	// OpenFile picks the loader by sniffing the prelude: v3 columnar
+	// files are mmapped (lazy, page-granular), gob formats are decoded to
+	// the heap. The previous snapshot's mapping is NOT closed here —
+	// in-flight queries may still be decoding from it; once they drain
+	// and the old state is collected, its finalizer unmaps.
+	db, err := index.OpenFile(s.cfg.DBPath)
 	if err != nil {
 		return nil, err
 	}
-	db, err := index.Load(f)
-	f.Close()
-	if err != nil {
-		return nil, err
-	}
-	st := s.install(db)
+	st := s.install(db, t0)
 	return &ReloadResponse{
 		Functions:  st.snap.Len(),
 		Generation: st.gen,
 		TookMS:     msSince(t0),
+		Format:     st.info.Version,
+		Mapped:     st.info.Mapped,
 	}, nil
 }
 
@@ -544,7 +560,7 @@ func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Functions = append(resp.Functions, FunctionInfo{
 			Exe: e.Exe, Name: e.Name, Addr: e.Addr,
-			Blocks: e.Func.NumBlocks(), Insts: e.Func.NumInsts(),
+			Blocks: e.Function().NumBlocks(), Insts: e.Function().NumInsts(),
 		})
 		if limit > 0 && len(resp.Functions) == limit {
 			break
@@ -562,12 +578,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	ks := append([]int(nil), st.snap.Ks()...)
 	sort.Ints(ks)
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:     "ok",
-		Functions:  st.snap.Len(),
-		Ks:         ks,
-		Shards:     st.snap.NumShards(),
-		Generation: st.gen,
-		LoadedAt:   st.loadedAt,
+		Status:      "ok",
+		Functions:   st.snap.Len(),
+		Ks:          ks,
+		Shards:      st.snap.NumShards(),
+		Generation:  st.gen,
+		LoadedAt:    st.loadedAt,
+		IndexFormat: st.info.Version,
+		IndexMapped: st.info.Mapped,
+		LoadMS:      st.loadMS,
 	})
 }
 
@@ -900,7 +919,7 @@ func (s *Server) resolveQuery(st *snapState, req *SearchRequest) (*prep.Function
 		if e == nil {
 			return nil, errf(http.StatusNotFound, "no indexed function %s/%s", req.Exe, req.Name)
 		}
-		return e.Func, nil
+		return e.Function(), nil
 	case byImage:
 		img, err := req.DecodeImage()
 		if err != nil {

@@ -682,3 +682,72 @@ func TestConcurrentSearchCorrectness(t *testing.T) {
 		t.Error("repeated identical queries produced no cache hits")
 	}
 }
+
+func TestServeV3IndexInfo(t *testing.T) {
+	db, _ := smallDB(t)
+	path := filepath.Join(t.TempDir(), "idx.v3")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveV3(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	wantMapped := func() bool {
+		d, err := index.OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		return d.Info().Mapped
+	}()
+	s, err := New(Config{DBPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	var hr HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.IndexFormat != 3 || hr.IndexMapped != wantMapped || hr.LoadMS < 0 {
+		t.Errorf("healthz index info = format %d mapped %v load %.1fms, want format 3 mapped %v",
+			hr.IndexFormat, hr.IndexMapped, hr.LoadMS, wantMapped)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	metrics := rec.Body.String()
+	if !strings.Contains(metrics, "tracy_index_info{") || !strings.Contains(metrics, `format="3"`) {
+		t.Errorf("/metrics lacks tracy_index_info with format label:\n%.600s", metrics)
+	}
+	if err := telemetry.ValidateExposition(rec.Body.Bytes()); err != nil {
+		t.Errorf("/metrics with info gauge invalid: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload over v3: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var rl ReloadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rl); err != nil {
+		t.Fatal(err)
+	}
+	if rl.Format != 3 || rl.Mapped != wantMapped || rl.Generation != 2 {
+		t.Errorf("reload response %+v, want format 3 mapped %v generation 2", rl, wantMapped)
+	}
+	if got := s.Tel().InfoLabels("index_info"); got["generation"] != "2" || got["format"] != "3" {
+		t.Errorf("index_info labels after reload = %v", got)
+	}
+
+	// Queries still answer from the mmapped snapshot.
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+	if _, resp := postSearch(t, h, SearchRequest{Exe: e.Exe, Name: e.Name, Limit: 3}); resp == nil {
+		t.Fatal("search over served v3 index failed")
+	}
+}

@@ -35,6 +35,33 @@ var promBucketBounds = func() []string {
 	return out
 }()
 
+// formatPromLabels renders a label set as {k="v",...} with exposition
+// escaping, keys sorted; empty input renders as no label braces at all.
+func formatPromLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(esc.Replace(labels[k]))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
 // formatPromFloat renders a float the exposition format accepts,
 // trimming the noise off exact values (0.000128 not 1.28e-04).
 func formatPromFloat(v float64) string {
@@ -57,6 +84,14 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(bw, "# HELP %s_uptime_seconds Time since the collector started or was reset.\n", promNamespace)
 	fmt.Fprintf(bw, "# TYPE %s_uptime_seconds gauge\n", promNamespace)
 	fmt.Fprintf(bw, "%s_uptime_seconds %s\n", promNamespace, formatPromFloat(uptime))
+
+	// Info gauges: identity as labels, value constantly 1.
+	for _, name := range c.infoNames() {
+		full := promNamespace + "_" + name
+		fmt.Fprintf(bw, "# HELP %s Identity of the %s.\n", full, strings.ReplaceAll(strings.TrimSuffix(name, "_info"), "_", " "))
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", full)
+		fmt.Fprintf(bw, "%s%s 1\n", full, formatPromLabels(c.InfoLabels(name)))
+	}
 
 	// Counters, sorted by exposition name.
 	type counterRow struct {

@@ -133,3 +133,39 @@ func TestValidateExpositionRejects(t *testing.T) {
 		t.Errorf("valid exposition rejected: %v", err)
 	}
 }
+
+func TestWritePrometheusInfoGauge(t *testing.T) {
+	c := New()
+	c.Inc(Queries) // at least one counter so the exposition has samples
+	c.SetInfo("index_info", map[string]string{
+		"format": "3",
+		"mapped": "true",
+		"path":   `dir\"x".db`,
+	})
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition with info gauge rejected: %v\n%s", err, out)
+	}
+	want := `tracy_index_info{format="3",mapped="true",path="dir\\\"x\".db"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %s:\n%s", want, out)
+	}
+	if !strings.Contains(out, "# TYPE tracy_index_info gauge") {
+		t.Errorf("info gauge missing TYPE comment:\n%s", out)
+	}
+	// Replacement is wholesale: a second SetInfo drops old labels.
+	c.SetInfo("index_info", map[string]string{"format": "2"})
+	if got := c.InfoLabels("index_info"); len(got) != 1 || got["format"] != "2" {
+		t.Errorf("InfoLabels after replace = %v", got)
+	}
+	// Nil collector: all no-ops.
+	var nc *Collector
+	nc.SetInfo("x", map[string]string{"a": "b"})
+	if nc.InfoLabels("x") != nil {
+		t.Error("nil collector returned info labels")
+	}
+}

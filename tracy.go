@@ -116,7 +116,7 @@ func (d *Database) NumFunctions() int { return d.db.Len() }
 func (d *Database) Functions() []*Function {
 	out := make([]*Function, d.db.Len())
 	for i, e := range d.db.Entries {
-		out[i] = e.Func
+		out[i] = e.Function()
 	}
 	return out
 }
@@ -129,7 +129,7 @@ func (d *Database) Search(query *Function, opts Options) []Match {
 	for i, h := range hits {
 		out[i] = Match{
 			Exe: h.Entry.Exe, Name: h.Entry.Name, Addr: h.Entry.Addr,
-			Truth: h.Entry.Truth, Result: h.Result, Func: h.Entry.Func,
+			Truth: h.Entry.Truth, Result: h.Result, Func: h.Entry.Function(),
 		}
 	}
 	return out
