@@ -41,6 +41,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/experiments"
 	"repro/internal/index"
+	"repro/internal/minhash"
 	"repro/internal/prep"
 	"repro/internal/telemetry"
 	"repro/internal/tracelet"
@@ -125,6 +126,7 @@ func (c *env) index(args []string) error {
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	dbPath := fs.String("db", "tracy.db", "database file to create or extend")
 	format := fs.String("format", "", "output format: gob (v2) or v3 (columnar, mmap-served); default: keep the existing file's format, gob for new files")
+	lsh := fs.Bool("lsh", false, "also persist MinHash signatures for -prefilter-mode lsh (v3 format only)")
 	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,6 +152,9 @@ func (c *env) index(args []string) error {
 			*format = "gob"
 		}
 	}
+	if *lsh && *format != "v3" {
+		return fmt.Errorf("index: -lsh needs the v3 format (got %s)", *format)
+	}
 	db.Tel = tf.tel
 	for _, path := range fs.Args() {
 		img, err := os.ReadFile(path)
@@ -169,9 +174,12 @@ func (c *env) index(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *format == "v3" {
+	switch {
+	case *format == "v3" && *lsh:
+		err = db.SaveV3LSH(out, minhash.Default)
+	case *format == "v3":
 		err = db.SaveV3(out)
-	} else {
+	default:
 		err = db.Save(out)
 	}
 	if err2 := out.Close(); err == nil {
@@ -230,6 +238,7 @@ func (c *env) search(args []string) error {
 	minScore := fs.Float64("min-score", 0, "drop hits scoring below this (0..1)")
 	prefilter := fs.Bool("prefilter", false, "rank candidates by shared features before exact comparison (lossy)")
 	candidates := fs.Int("candidates", 0, "prefilter candidate cap (implies -prefilter; default 50)")
+	pfMode := fs.String("prefilter-mode", "", "candidate generator: scan (default) or lsh (implies -prefilter)")
 	timeout := fs.Duration("timeout", 0, "abort the search after this long (e.g. 500ms, 10s; 0: no limit)")
 	opts := matchFlags(fs)
 	tf := telFlags(fs)
@@ -261,7 +270,14 @@ func (c *env) search(args []string) error {
 	if n <= 0 {
 		n = *top
 	}
-	pf := index.PrefilterOptions{Enabled: *prefilter, Candidates: *candidates}
+	mode, ok := index.ParsePrefilterMode(*pfMode)
+	if !ok {
+		return fmt.Errorf("search: unknown -prefilter-mode %q (want scan or lsh)", *pfMode)
+	}
+	pf := index.PrefilterOptions{Enabled: *prefilter, Candidates: *candidates, Mode: mode}
+	if mode == index.ModeLSH {
+		pf.Enabled = true
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

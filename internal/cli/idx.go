@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/index"
+	"repro/internal/minhash"
 )
 
 // convert migrates an index file between formats: any loadable format
@@ -14,6 +15,7 @@ import (
 func (c *env) convert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	to := fs.String("to", "v3", "output format: v3 (columnar, mmap-served) or gob (v2)")
+	lsh := fs.Bool("lsh", false, "also persist MinHash signatures for -prefilter-mode lsh (v3 output only)")
 	verify := fs.Bool("verify", true, "re-open the output and verify checksums after writing")
 	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -24,6 +26,9 @@ func (c *env) convert(args []string) error {
 	}
 	if *to != "v3" && *to != "gob" {
 		return fmt.Errorf("convert: unknown output format %q (want v3 or gob)", *to)
+	}
+	if *lsh && *to != "v3" {
+		return fmt.Errorf("convert: -lsh needs -to v3")
 	}
 	if err := tf.activate(c.w, "convert"); err != nil {
 		return err
@@ -38,9 +43,12 @@ func (c *env) convert(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *to == "v3" {
+	switch {
+	case *to == "v3" && *lsh:
+		err = db.SaveV3LSH(out, minhash.Default)
+	case *to == "v3":
 		err = db.SaveV3(out)
-	} else {
+	default:
 		err = db.Save(out)
 	}
 	if err2 := out.Close(); err == nil {
@@ -122,6 +130,11 @@ func (c *env) idxinfo(args []string) error {
 		return tf.finish(c.w)
 	}
 	fmt.Fprintf(c.w, "  mapped:    %v\n", st.Mapped())
+	if st.HasLSH() {
+		p := st.LSHParams()
+		fmt.Fprintf(c.w, "  lsh:       %d bands x %d rows (k=%d, seed %#x, threshold %.2f)\n",
+			p.Bands, p.Rows, p.K(), p.Seed, p.Threshold())
+	}
 	fmt.Fprintf(c.w, "  sections:\n")
 	fmt.Fprintf(c.w, "    %-6s %10s %12s %8s  %s\n", "name", "offset", "bytes", "crc32c", "records")
 	for _, s := range st.Sections() {

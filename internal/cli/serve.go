@@ -17,6 +17,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/idxfile"
 	"repro/internal/index"
+	"repro/internal/minhash"
 	"repro/internal/prep"
 	"repro/internal/server"
 	"repro/internal/server/client"
@@ -151,12 +152,16 @@ func (c *env) query(args []string) error {
 	minScore := fs.Float64("min-score", 0, "drop hits scoring below this (0..1)")
 	prefilter := fs.Bool("prefilter", false, "rank candidates by shared features before exact comparison (lossy)")
 	candidates := fs.Int("candidates", 0, "prefilter candidate cap (implies -prefilter; default 50)")
+	pfMode := fs.String("prefilter-mode", "", "candidate generator: scan (default) or lsh (implies -prefilter)")
 	timeout := fs.Duration("timeout", 60*time.Second, "request timeout (also sent to the server as its compute budget)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *exe == "" {
 		return fmt.Errorf("query: -exe is required")
+	}
+	if _, ok := index.ParsePrefilterMode(*pfMode); !ok {
+		return fmt.Errorf("query: unknown -prefilter-mode %q (want scan or lsh)", *pfMode)
 	}
 	img, err := os.ReadFile(*exe)
 	if err != nil {
@@ -170,7 +175,7 @@ func (c *env) query(args []string) error {
 	cl := client.New(*serverURL)
 	resp, err := cl.SearchImage(ctx, img, *fnName, &server.SearchRequest{
 		K: *k, Limit: *limit, MinScore: *minScore,
-		Prefilter: *prefilter, Candidates: *candidates,
+		Prefilter: *prefilter, Candidates: *candidates, PrefilterMode: *pfMode,
 		TimeoutMS: int(timeout.Milliseconds()),
 	})
 	if err != nil {
@@ -219,10 +224,14 @@ func (c *env) mkcorpus(args []string) error {
 	optLevels := fs.String("opt-levels", "0,1,2", "campaign: comma-separated optimization levels, cycled per source group")
 	workers := fs.Int("workers", 0, "campaign: parallel compile workers (0: GOMAXPROCS)")
 	indexOut := fs.String("index", "", "also emit a TRACYIDX v3 index at this path, built while streaming")
+	lsh := fs.Bool("lsh", false, "persist MinHash signatures in the emitted index (needs -index)")
 	bins := fs.Bool("bins", false, "campaign: write per-executable .bin files even when -index is set")
 	tf := telFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *lsh && *indexOut == "" {
+		return fmt.Errorf("mkcorpus: -lsh needs -index")
 	}
 	if err := tf.activate(c.w, "mkcorpus"); err != nil {
 		return err
@@ -243,7 +252,7 @@ func (c *env) mkcorpus(args []string) error {
 			OptLevels:   opts,
 			Workers:     *workers,
 		}
-		if err := c.mkcorpusCampaign(*dir, ccfg, *indexOut, *bins); err != nil {
+		if err := c.mkcorpusCampaign(*dir, ccfg, *indexOut, *bins, *lsh); err != nil {
 			return err
 		}
 		return tf.finish(c.w)
@@ -268,7 +277,7 @@ func (c *env) mkcorpus(args []string) error {
 	}
 	m := cp.Manifest()
 	if *indexOut != "" {
-		em := newV3Emitter()
+		em := newV3Emitter(*lsh)
 		for _, e := range cp.Exes {
 			if err := em.add(*e); err != nil {
 				return fmt.Errorf("mkcorpus: %w", err)
@@ -295,13 +304,13 @@ func (c *env) mkcorpus(args []string) error {
 // mkcorpusCampaign runs the scale campaign: executables stream from the
 // parallel compile pipeline into .bin files and/or a v3 index builder and
 // are then dropped, so peak memory stays far below corpus size.
-func (c *env) mkcorpusCampaign(dir string, ccfg corpus.CampaignConfig, indexOut string, bins bool) error {
+func (c *env) mkcorpusCampaign(dir string, ccfg corpus.CampaignConfig, indexOut string, bins, lsh bool) error {
 	if indexOut == "" && !bins {
 		bins = true // with no index requested the .bin files are the output
 	}
 	var em *v3Emitter
 	if indexOut != "" {
-		em = newV3Emitter()
+		em = newV3Emitter(lsh)
 	}
 	m := &corpus.Manifest{Campaign: &ccfg}
 	nExes := ccfg.NumExes()
@@ -377,7 +386,15 @@ type v3Emitter struct {
 	b *idxfile.Builder
 }
 
-func newV3Emitter() *v3Emitter { return &v3Emitter{b: idxfile.NewBuilder()} }
+// newV3Emitter returns an emitter; with lsh set the builder also signs
+// every function so the index carries an LSHB section.
+func newV3Emitter(lsh bool) *v3Emitter {
+	b := idxfile.NewBuilder()
+	if lsh {
+		b.SetLSH(minhash.Default)
+	}
+	return &v3Emitter{b: b}
+}
 
 func (w *v3Emitter) add(e corpus.Executable) error {
 	fns, err := prep.LiftImage(e.Image)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bin"
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/minhash"
 	"repro/internal/prep"
 	"repro/internal/rewrite"
 	"repro/internal/server"
@@ -320,6 +321,65 @@ func (c *checker) searchParity(built []variant, images [][]byte) {
 			c.fail("parity", "prefilter", "candidate %s/%s result drifted: %+v vs %+v",
 				h.Entry.Exe, h.Entry.Name, h.Result, want)
 			break
+		}
+	}
+
+	// The banded MinHash prefilter is lossy in coverage but bounded the
+	// same way: every candidate it surfaces must carry the exhaustive
+	// scan's Result for that entry, the query's own entry must survive
+	// banding (it collides with itself in every band), and the whole path
+	// must be deterministic — run to run in memory, and byte for byte
+	// through the v3 LSHB section.
+	c.ran()
+	satur := index.PrefilterOptions{Candidates: db.Len() + 1, Mode: index.ModeLSH}
+	lshHits := db.SearchWith(query, opts, satur)
+	if len(lshHits) == 0 {
+		c.fail("lsh/self", "mem", "saturating lsh search returned no candidates")
+	}
+	self := false
+	for _, h := range lshHits {
+		if want, ok := byEntry[h.Entry]; !ok || h.Result != want {
+			c.fail("lsh/parity", "mem", "lsh candidate %s/%s result drifted from exhaustive: %+v vs %+v",
+				h.Entry.Exe, h.Entry.Name, h.Result, want)
+			break
+		}
+		if h.Entry.Name == query.Name && h.Result.IsMatch {
+			self = true
+		}
+	}
+	if len(lshHits) > 0 && !self {
+		c.fail("lsh/self", "mem", "query's own entry %s missing from saturating lsh candidates", query.Name)
+	}
+	c.ran()
+	if d := diffOfflineHits(lshHits, db.SearchWith(query, opts, satur)); d != "" {
+		c.fail("lsh/determinism", "mem", "two identical lsh searches diverged: %s", d)
+	}
+	// A tight cap must stay a subset with unchanged scores.
+	c.ran()
+	for _, h := range db.SearchWith(query, opts, index.PrefilterOptions{Candidates: 5, Mode: index.ModeLSH}) {
+		if want, ok := byEntry[h.Entry]; !ok || h.Result != want {
+			c.fail("lsh/subset", "mem", "capped lsh candidate %s/%s not in exhaustive results or rescored",
+				h.Entry.Exe, h.Entry.Name)
+			break
+		}
+	}
+	c.ran()
+	var lsh1, lsh2 bytes.Buffer
+	if err := db.SaveV3LSH(&lsh1, minhash.Default); err != nil {
+		c.fail("lsh/v3", "v3", "SaveV3LSH: %v", err)
+	} else if err := db.SaveV3LSH(&lsh2, minhash.Default); err != nil {
+		c.fail("lsh/v3", "v3", "SaveV3LSH (second run): %v", err)
+	} else if !bytes.Equal(lsh1.Bytes(), lsh2.Bytes()) {
+		c.fail("lsh/determinism", "v3", "two SaveV3LSH runs of the same index differ byte-for-byte")
+	} else if lshdb, err := index.Load(bytes.NewReader(lsh1.Bytes())); err != nil {
+		c.fail("lsh/v3", "v3", "loading lsh-signed index: %v", err)
+	} else {
+		if !lshdb.Store().HasLSH() {
+			c.fail("lsh/v3", "v3", "SaveV3LSH output carries no LSHB section")
+		}
+		c.ran()
+		if d := diffOfflineHits(lshHits, lshdb.SearchWith(query, opts, satur)); d != "" {
+			c.fail("lsh/determinism", "v3", "persisted signatures rank differently than in-memory ones: %s", d)
 		}
 	}
 

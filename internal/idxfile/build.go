@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/minhash"
 	"repro/internal/prep"
 )
 
@@ -35,6 +36,10 @@ type Builder struct {
 	nfeats  int
 	nfuncs  int
 	err     error
+
+	lsh     *minhash.Params // non-nil: emit an LSHB section
+	lshSigs []byte          // accumulated signature values, LE u32s
+	sigBuf  []uint32        // per-Add scratch
 }
 
 // NewBuilder returns an empty builder. String id 0 is reserved for the
@@ -53,7 +58,28 @@ func (b *Builder) NumFuncs() int { return b.nfuncs }
 // scale campaign reports as it streams executables through.
 func (b *Builder) Bytes() int {
 	return len(b.strb) + len(b.stro)*stroRecSize + len(b.funcs) + len(b.blcks) +
-		len(b.insts) + len(b.opnds) + len(b.memts) + len(b.succs) + len(b.feats)
+		len(b.insts) + len(b.opnds) + len(b.memts) + len(b.succs) + len(b.feats) +
+		len(b.lshSigs)
+}
+
+// SetLSH arms MinHash signature emission: every subsequent Add hashes
+// the function's feature set under p and WriteTo appends an LSHB
+// section. It must be called before the first Add (signatures are
+// computed as functions stream through, never retroactively); calling
+// it late or with invalid parameters is a sticky error.
+func (b *Builder) SetLSH(p minhash.Params) {
+	if b.err != nil {
+		return
+	}
+	if !p.Valid() {
+		b.err = fmt.Errorf("idxfile: invalid LSH parameters (%d bands x %d rows)", p.Bands, p.Rows)
+		return
+	}
+	if b.nfuncs > 0 {
+		b.err = fmt.Errorf("idxfile: SetLSH after %d functions were already added", b.nfuncs)
+		return
+	}
+	b.lsh = &p
 }
 
 func (b *Builder) intern(s string) uint32 {
@@ -145,6 +171,13 @@ func (b *Builder) Add(exe string, fn *prep.Function, truth string, feats []uint6
 	}
 	b.nfeats += len(feats)
 
+	if b.lsh != nil {
+		b.sigBuf = minhash.Signature(b.sigBuf, feats, *b.lsh)
+		for _, v := range b.sigBuf {
+			b.lshSigs = binary.LittleEndian.AppendUint32(b.lshSigs, v)
+		}
+	}
+
 	b.funcs = b.u32(b.funcs, b.intern(exe))
 	b.funcs = b.u32(b.funcs, b.intern(fn.Name))
 	b.funcs = b.u32(b.funcs, b.intern(truth))
@@ -183,6 +216,14 @@ func (b *Builder) WriteTo(w io.Writer) (int64, error) {
 		{SecMEMT, b.memts},
 		{SecSUCC, b.succs},
 		{SecFEAT, b.feats},
+	}
+	if b.lsh != nil {
+		lshb := make([]byte, 0, lshHdrSize+len(b.lshSigs))
+		lshb = binary.LittleEndian.AppendUint32(lshb, uint32(b.lsh.Bands))
+		lshb = binary.LittleEndian.AppendUint32(lshb, uint32(b.lsh.Rows))
+		lshb = binary.LittleEndian.AppendUint64(lshb, b.lsh.Seed)
+		lshb = append(lshb, b.lshSigs...)
+		secs = append(secs, section{SecLSHB, lshb})
 	}
 
 	// Lay sections out 8-aligned after the directory.

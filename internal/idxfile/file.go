@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
+	"repro/internal/minhash"
 	"repro/internal/prep"
 )
 
@@ -39,6 +40,10 @@ type File struct {
 	memts []byte
 	succs []byte
 	feats []uint64 // FEAT as native u64s (zero-copy when 8-aligned)
+
+	lshParams minhash.Params // valid iff hasLSH
+	lshSigs   []uint32       // nfuncs*K() values, function-major (zero-copy when 4-aligned)
+	hasLSH    bool
 
 	sections []SectionInfo
 	nfuncs   int
@@ -213,6 +218,57 @@ func (f *File) parseHeader() error {
 			f.feats[i] = binary.LittleEndian.Uint64(featb[i*featRecSize:])
 		}
 	}
+
+	if lshb, ok := payloads[SecLSHB]; ok {
+		if err := f.parseLSH(lshb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseLSH validates and adopts the optional LSHB section. The length
+// check is exact — header plus nfuncs·k signature values and nothing
+// else — so every LSHSig call is in bounds by construction.
+func (f *File) parseLSH(p []byte) error {
+	if len(p) < lshHdrSize {
+		return corruptf("section LSHB shorter than its %d-byte header (%d bytes)", lshHdrSize, len(p))
+	}
+	params := minhash.Params{
+		Bands: int(binary.LittleEndian.Uint32(p)),
+		Rows:  int(binary.LittleEndian.Uint32(p[4:])),
+		Seed:  binary.LittleEndian.Uint64(p[8:]),
+	}
+	if !params.Valid() {
+		return corruptf("section LSHB has unusable parameters (%d bands x %d rows)", params.Bands, params.Rows)
+	}
+	k := uint64(params.K())
+	want := uint64(lshHdrSize) + uint64(f.nfuncs)*k*lshSigSize
+	if uint64(len(p)) != want {
+		return corruptf("section LSHB length %d, want exactly %d for %d functions x k=%d",
+			len(p), want, f.nfuncs, k)
+	}
+	sigb := p[lshHdrSize:]
+	n := len(sigb) / lshSigSize
+	if n == 0 {
+		f.lshSigs = nil
+	} else if uintptr(unsafe.Pointer(&sigb[0]))%4 == 0 {
+		f.lshSigs = unsafe.Slice((*uint32)(unsafe.Pointer(&sigb[0])), n)
+	} else {
+		// Heap buffers handed to Parse need not be aligned; copy once.
+		f.lshSigs = make([]uint32, n)
+		for i := range f.lshSigs {
+			f.lshSigs[i] = binary.LittleEndian.Uint32(sigb[i*lshSigSize:])
+		}
+	}
+	f.lshParams = params
+	f.hasLSH = true
+	// Surface a per-function record count in idxinfo's section table.
+	for i := range f.sections {
+		if f.sections[i].Name == SecLSHB {
+			f.sections[i].Records = f.nfuncs
+		}
+	}
 	return nil
 }
 
@@ -385,6 +441,35 @@ func (f *File) Features(i int) []uint64 {
 	n := binary.LittleEndian.Uint32(r[32:])
 	return f.feats[off : off+n : off+n]
 }
+
+// HasLSH reports whether the file carries an LSHB MinHash signature
+// section (files written before the lsh prefilter existed do not).
+func (f *File) HasLSH() bool { return f.hasLSH }
+
+// LSHParams returns the banding parameters the signatures were computed
+// under (the zero Params when HasLSH is false).
+func (f *File) LSHParams() minhash.Params {
+	if !f.hasLSH {
+		return minhash.Params{}
+	}
+	return f.lshParams
+}
+
+// LSHSig returns function i's MinHash signature (K values). The slice
+// may alias the file mapping; it stays valid exactly as long as the
+// File is not Closed. It returns nil when HasLSH is false.
+func (f *File) LSHSig(i int) []uint32 {
+	if !f.hasLSH {
+		return nil
+	}
+	k := f.lshParams.K()
+	return f.lshSigs[i*k : (i+1)*k : (i+1)*k]
+}
+
+// LSHSigs returns the whole signature pool, function-major — what a
+// snapshot adopts wholesale to build its band buckets. Nil when HasLSH
+// is false.
+func (f *File) LSHSigs() []uint32 { return f.lshSigs }
 
 // DecodeFunc materializes function i as a lifted prep.Function,
 // identical field for field to the function the gob formats carry. It

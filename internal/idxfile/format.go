@@ -70,6 +70,17 @@
 //	      id), imm i64
 //	SUCC  u32 successor block indices (function-local)
 //	FEAT  u64 prefilter features; per-function slices of the shared pool
+//	LSHB  optional MinHash/LSH signature block (absent in files written
+//	      before the lsh prefilter mode existed; readers treat absence
+//	      as "no lsh index"). Layout: a 16-byte header —
+//	          bands u32, rows u32, seed u64
+//	      — followed by exactly nfuncs·bands·rows u32 signature values,
+//	      function-major (function i's signature is the k = bands·rows
+//	      values starting at 16 + i·k·4). The section length must equal
+//	      16 + nfuncs·k·4 exactly; bands/rows are capped by
+//	      minhash.MaxBands/MaxRows. Signatures are computed by
+//	      minhash.Signature over the function's FEAT slice, so a reader
+//	      can always verify or regenerate them.
 //
 // # Lifetime and unmap safety
 //
@@ -108,6 +119,9 @@ const (
 	succRecSize = 4
 	featRecSize = 8
 	stroRecSize = 4
+
+	lshHdrSize = 16 // LSHB header: bands u32, rows u32, seed u64
+	lshSigSize = 4  // one u32 signature value
 )
 
 // Section ids (fourcc, little-endian u32 on disk).
@@ -121,6 +135,7 @@ const (
 	SecMEMT = "MEMT"
 	SecSUCC = "SUCC"
 	SecFEAT = "FEAT"
+	SecLSHB = "LSHB" // optional; not in requiredSections
 )
 
 // requiredSections is the canonical section order the writer emits and

@@ -2,10 +2,13 @@ package idxfile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/minhash"
 )
 
 // FuzzIdxfileLoad throws arbitrary bytes at the v3 parser: Parse must
@@ -33,6 +36,9 @@ func FuzzIdxfileLoad(f *testing.F) {
 	f.Add([]byte("TRACYIDX\x03\x00\x00\x00garbage"))
 	f.Add([]byte{})
 	f.Add([]byte("not an index at all"))
+	for _, seed := range lshFuzzSeeds(f) {
+		f.Add(seed)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {
@@ -45,11 +51,26 @@ func FuzzIdxfileLoad(f *testing.F) {
 			}
 			return
 		}
-		// Accepted files must be fully traversable.
+		// Accepted files must be fully traversable, LSH included.
+		if pf.HasLSH() {
+			lp := pf.LSHParams()
+			if !lp.Valid() {
+				t.Fatalf("Parse accepted unusable LSH parameters %+v", lp)
+			}
+			if len(pf.LSHSigs()) != pf.NumFuncs()*lp.K() {
+				t.Fatalf("LSH pool holds %d values for %d functions x k=%d",
+					len(pf.LSHSigs()), pf.NumFuncs(), lp.K())
+			}
+		}
 		for i := 0; i < pf.NumFuncs(); i++ {
 			m := pf.Meta(i)
 			_ = m.Exe
 			_ = pf.Features(i)
+			if pf.HasLSH() {
+				if sig := pf.LSHSig(i); len(sig) != pf.LSHParams().K() {
+					t.Fatalf("LSHSig(%d) has %d values, want k=%d", i, len(sig), pf.LSHParams().K())
+				}
+			}
 			fn := pf.DecodeFunc(i)
 			if fn == nil || fn.Graph == nil || len(fn.Graph.Blocks) == 0 {
 				t.Fatal("Parse accepted a function that decodes to a malformed graph")
@@ -69,6 +90,53 @@ func FuzzIdxfileLoad(f *testing.F) {
 	})
 }
 
+// lshFuzzSeeds builds the LSHB-bearing seed set: a valid signed file,
+// one with a truncated LSHB payload, one whose banding header demands a
+// smaller payload than the section carries (oversized), and one with
+// unusable parameters. The mutants let the fuzzer start from each
+// rejection path instead of having to rediscover the section grammar.
+func lshFuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	exes, fns, truths, feats := handFuncs()
+	b := NewBuilder()
+	b.SetLSH(minhash.Default)
+	for i, fn := range fns {
+		b.Add(exes[i], fn, truths[i], feats[i])
+	}
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	var deOff int
+	var secOff, secLen uint64
+	nsec := int(binary.LittleEndian.Uint32(valid[12:]))
+	for i := 0; i < nsec; i++ {
+		off := headerSize + i*dirEntrySize
+		if sectionName(binary.LittleEndian.Uint32(valid[off:])) == SecLSHB {
+			deOff = off
+			secOff = binary.LittleEndian.Uint64(valid[off+8:])
+			secLen = binary.LittleEndian.Uint64(valid[off+16:])
+		}
+	}
+	if secLen == 0 {
+		tb.Fatal("seed file has no LSHB section")
+	}
+
+	truncated := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(truncated[deOff+16:], secLen-lshSigSize)
+	fixDirCRC(truncated)
+
+	oversized := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(oversized[secOff:], uint32(minhash.Default.Bands/2))
+
+	badParams := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badParams[secOff:], 0)
+
+	return [][]byte{valid, truncated, oversized, badParams}
+}
+
 // TestRegenerateFuzzSeeds rewrites the checked-in seed corpus under
 // testdata/fuzz/FuzzIdxfileLoad when IDXFILE_REGEN_SEEDS=1, so format
 // changes keep the seeds honest. A plain test run only asserts the
@@ -84,12 +152,17 @@ func TestRegenerateFuzzSeeds(t *testing.T) {
 	if _, err := NewBuilder().WriteTo(&empty); err != nil {
 		t.Fatal(err)
 	}
+	lsh := lshFuzzSeeds(t)
 	seeds := map[string][]byte{
-		"seed-valid-v3":    valid.Bytes(),
-		"seed-empty-v3":    empty.Bytes(),
-		"seed-truncated":   valid.Bytes()[:valid.Len()/2],
-		"seed-header-only": valid.Bytes()[:headerSize],
-		"seed-bad-version": []byte("TRACYIDX\x09\x00\x00\x00junk"),
+		"seed-valid-v3":       valid.Bytes(),
+		"seed-empty-v3":       empty.Bytes(),
+		"seed-truncated":      valid.Bytes()[:valid.Len()/2],
+		"seed-header-only":    valid.Bytes()[:headerSize],
+		"seed-bad-version":    []byte("TRACYIDX\x09\x00\x00\x00junk"),
+		"seed-lshb-valid":     lsh[0],
+		"seed-lshb-truncated": lsh[1],
+		"seed-lshb-oversized": lsh[2],
+		"seed-lshb-badparams": lsh[3],
 	}
 	if os.Getenv("IDXFILE_REGEN_SEEDS") == "" {
 		for name := range seeds {

@@ -1,0 +1,245 @@
+package idxfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/minhash"
+)
+
+// buildLSHFile encodes the hand corpus with an LSHB section under p.
+func buildLSHFile(t *testing.T, p minhash.Params) []byte {
+	t.Helper()
+	exes, fns, truths, feats := handFuncs()
+	b := NewBuilder()
+	b.SetLSH(p)
+	for i, fn := range fns {
+		b.Add(exes[i], fn, truths[i], feats[i])
+	}
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// lshSection locates the LSHB directory entry of a parsed file.
+func lshSection(t *testing.T, data []byte) SectionInfo {
+	t.Helper()
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Sections() {
+		if s.Name == SecLSHB {
+			return s
+		}
+	}
+	t.Fatal("file has no LSHB section")
+	return SectionInfo{}
+}
+
+// lshDirEntry returns the byte offset of LSHB's directory entry.
+func lshDirEntry(t *testing.T, data []byte) int {
+	t.Helper()
+	nsec := int(binary.LittleEndian.Uint32(data[12:]))
+	for i := 0; i < nsec; i++ {
+		off := headerSize + i*dirEntrySize
+		if sectionName(binary.LittleEndian.Uint32(data[off:])) == SecLSHB {
+			return off
+		}
+	}
+	t.Fatal("no LSHB directory entry")
+	return 0
+}
+
+func TestLSHRoundTrip(t *testing.T) {
+	p := minhash.Default
+	_, _, _, feats := handFuncs()
+	data := buildLSHFile(t, p)
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasLSH() {
+		t.Fatal("HasLSH = false after SetLSH round trip")
+	}
+	if got := f.LSHParams(); got != p {
+		t.Fatalf("LSHParams = %+v, want %+v", got, p)
+	}
+	if got := len(f.LSHSigs()); got != f.NumFuncs()*p.K() {
+		t.Fatalf("signature pool holds %d values, want %d", got, f.NumFuncs()*p.K())
+	}
+	// Persisted signatures must be byte-identical to freshly computed
+	// ones — the determinism contract the lsh prefilter relies on.
+	for i := range feats {
+		want := minhash.Signature(nil, feats[i], p)
+		got := f.LSHSig(i)
+		if len(got) != p.K() {
+			t.Fatalf("func %d: signature length %d, want k=%d", i, len(got), p.K())
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("func %d: signature position %d = %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify on a fresh LSH file: %v", err)
+	}
+	// The section table surfaces LSHB with a per-function record count.
+	sec := lshSection(t, data)
+	if sec.Records != f.NumFuncs() {
+		t.Errorf("LSHB Records = %d, want %d", sec.Records, f.NumFuncs())
+	}
+	if sec.Len != uint64(lshHdrSize+f.NumFuncs()*p.K()*lshSigSize) {
+		t.Errorf("LSHB length = %d", sec.Len)
+	}
+}
+
+func TestLSHAbsent(t *testing.T) {
+	f, err := Parse(buildFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.HasLSH() {
+		t.Fatal("HasLSH = true on a file with no LSHB")
+	}
+	if f.LSHSig(0) != nil || f.LSHSigs() != nil {
+		t.Fatal("LSH accessors returned data on a file with no LSHB")
+	}
+	if got := f.LSHParams(); got != (minhash.Params{}) {
+		t.Fatalf("LSHParams = %+v on a file with no LSHB", got)
+	}
+}
+
+func TestLSHBuilderMisuse(t *testing.T) {
+	exes, fns, truths, feats := handFuncs()
+
+	b := NewBuilder()
+	b.Add(exes[0], fns[0], truths[0], feats[0])
+	b.SetLSH(minhash.Default)
+	if _, err := b.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Error("SetLSH after Add was accepted")
+	}
+
+	b = NewBuilder()
+	b.SetLSH(minhash.Params{Bands: 0, Rows: 2})
+	if _, err := b.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Error("invalid LSH parameters were accepted")
+	}
+}
+
+// TestLSHParseRejectsCorruption: truncated, oversized (header demands
+// fewer values than the payload carries), and parameter-corrupt LSHB
+// sections must all fail Parse with a corruptError.
+func TestLSHParseRejectsCorruption(t *testing.T) {
+	data := buildLSHFile(t, minhash.Default)
+	sec := lshSection(t, data)
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+	}{
+		{"truncated payload", func(b []byte) {
+			de := lshDirEntry(t, b)
+			binary.LittleEndian.PutUint64(b[de+16:], sec.Len-4)
+			fixDirCRC(b)
+		}},
+		{"header-only stub", func(b []byte) {
+			de := lshDirEntry(t, b)
+			binary.LittleEndian.PutUint64(b[de+16:], lshHdrSize)
+			fixDirCRC(b)
+		}},
+		{"shorter than header", func(b []byte) {
+			de := lshDirEntry(t, b)
+			binary.LittleEndian.PutUint64(b[de+16:], 8)
+			fixDirCRC(b)
+		}},
+		{"oversized for params", func(b []byte) {
+			// Halving bands halves the expected payload; the real payload
+			// is now oversized and must be rejected, not silently split.
+			binary.LittleEndian.PutUint32(b[sec.Offset:], uint32(minhash.Default.Bands/2))
+		}},
+		{"zero bands", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[sec.Offset:], 0)
+		}},
+		{"huge rows", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[sec.Offset+4:], 1<<20)
+		}},
+		{"misaligned section", func(b []byte) {
+			de := lshDirEntry(t, b)
+			binary.LittleEndian.PutUint64(b[de+8:], sec.Offset+4)
+			fixDirCRC(b)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := flip(data, tc.mutate)
+			if _, err := Parse(mut); err == nil {
+				t.Fatal("corrupt LSHB accepted")
+			} else if !IsCorrupt(err) {
+				t.Fatalf("want corruptError, got %T: %v", err, err)
+			}
+		})
+	}
+}
+
+// TestLSHMisalignedBuffer: a heap buffer whose LSHB payload lands on an
+// odd address must parse through the copy fallback with identical
+// signature values.
+func TestLSHMisalignedBuffer(t *testing.T) {
+	data := buildLSHFile(t, minhash.Default)
+	aligned, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := make([]byte, len(data)+1)
+	copy(shifted[1:], data)
+	mis, err := Parse(shifted[1 : 1+len(data)])
+	if err != nil {
+		t.Fatalf("misaligned buffer rejected: %v", err)
+	}
+	if !mis.HasLSH() {
+		t.Fatal("misaligned parse dropped the LSHB section")
+	}
+	a, m := aligned.LSHSigs(), mis.LSHSigs()
+	if len(a) != len(m) {
+		t.Fatalf("pool sizes differ: %d vs %d", len(a), len(m))
+	}
+	for i := range a {
+		if a[i] != m[i] {
+			t.Fatalf("signature value %d differs across alignment: %d vs %d", i, a[i], m[i])
+		}
+	}
+}
+
+// TestLSHAccessorBounds: the exact-length validation in parseLSH is the
+// structural proof that LSHSig cannot read out of bounds — exercise
+// every index including the boundaries.
+func TestLSHAccessorBounds(t *testing.T) {
+	p := minhash.Params{Bands: 4, Rows: 3, Seed: 99}
+	data := buildLSHFile(t, p)
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.K()
+	total := 0
+	for i := 0; i < f.NumFuncs(); i++ {
+		sig := f.LSHSig(i)
+		if len(sig) != k {
+			t.Fatalf("func %d: signature length %d, want %d", i, len(sig), k)
+		}
+		total += len(sig)
+	}
+	if total != len(f.LSHSigs()) {
+		t.Fatalf("per-function slices cover %d values, pool holds %d", total, len(f.LSHSigs()))
+	}
+	// The last function's slice must end exactly at the pool's end.
+	last := f.LSHSig(f.NumFuncs() - 1)
+	if cap(last) != k {
+		t.Errorf("last signature slice cap %d leaks past its bounds", cap(last))
+	}
+}

@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"os"
 	"path/filepath"
@@ -10,6 +11,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/minhash"
+	"repro/internal/telemetry"
 )
 
 // encodeVersion serializes db in any historical TRACYIDX format.
@@ -123,6 +126,94 @@ func TestCrossVersionSearchParity(t *testing.T) {
 			}
 			db2.Close()
 		}
+	}
+}
+
+// TestV3WithoutLSHBFallsBack: a v3 file written before the LSHB section
+// existed still loads and serves scan searches bit-identically, and a
+// ModeLSH request against it degrades to the scan prefilter — a counted
+// lsh_fallbacks telemetry event, never an error. A file that does carry
+// LSHB must serve lsh queries without any fallback, and its extra
+// section must not perturb scan results.
+func TestV3WithoutLSHBFallsBack(t *testing.T) {
+	db, _ := buildTestDB(t)
+	query := queryFor(t, db, corpus.LibFuncName)
+	opts := core.DefaultOptions()
+	pfScan := PrefilterOptions{Enabled: true, Candidates: 7}
+	pfLSH := PrefilterOptions{Enabled: true, Candidates: 7, Mode: ModeLSH}
+
+	var plain, signed bytes.Buffer
+	if err := db.SaveV3(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveV3LSH(&signed, minhash.Default); err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(data []byte) (*DB, *Snapshot, *telemetry.Collector) {
+		t.Helper()
+		db2, err := Load(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tel := telemetry.New()
+		db2.Tel = tel
+		return db2, BuildSnapshot(db2, []int{opts.K}, 4), tel
+	}
+
+	dbPlain, snapPlain, telPlain := load(plain.Bytes())
+	dbSigned, snapSigned, telSigned := load(signed.Bytes())
+	if dbPlain.Store().HasLSH() {
+		t.Fatal("SaveV3 output unexpectedly carries LSHB")
+	}
+	if !dbSigned.Store().HasLSH() {
+		t.Fatal("SaveV3LSH output carries no LSHB")
+	}
+
+	ref := core.Decompose(query, opts.K)
+	scanPlain, err := snapPlain.SearchDecomposedWith(ref, opts, pfScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanSigned, err := snapSigned.SearchDecomposedWith(ref, opts, pfScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hitKeys(scanPlain), hitKeys(scanSigned)) {
+		t.Error("LSHB section changed scan-mode results")
+	}
+
+	// ModeLSH against the unsigned file: same answer as scan, no error,
+	// one counted fallback.
+	lshPlain, err := snapPlain.SearchDecomposedWith(ref, opts, pfLSH)
+	if err != nil {
+		t.Fatalf("lsh search against a pre-LSHB file must not error: %v", err)
+	}
+	if !reflect.DeepEqual(hitKeys(lshPlain), hitKeys(scanPlain)) {
+		t.Error("lsh fallback diverged from the scan prefilter")
+	}
+	if got := telPlain.Get(telemetry.LSHFallbacks); got == 0 {
+		t.Error("fallback was not counted in lsh_fallbacks")
+	}
+	if got := telPlain.Get(telemetry.LSHQueries); got != 0 {
+		t.Errorf("fallback counted as a served lsh query (lsh_queries = %d)", got)
+	}
+
+	// ModeLSH against the signed file: served from the persisted
+	// signatures, no fallback.
+	if _, err := snapSigned.SearchDecomposedWith(ref, opts, pfLSH); err != nil {
+		t.Fatal(err)
+	}
+	if got := telSigned.Get(telemetry.LSHFallbacks); got != 0 {
+		t.Errorf("signed file fell back %d times", got)
+	}
+	if got := telSigned.Get(telemetry.LSHQueries); got != 1 {
+		t.Errorf("lsh_queries = %d, want 1", got)
+	}
+
+	// The degraded ranking path falls back the same way.
+	if _, err := snapPlain.PrefilterRankWith(context.Background(), ref, 5, ModeLSH); err != nil {
+		t.Fatalf("PrefilterRankWith on a pre-LSHB file must not error: %v", err)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/idxfile"
+	"repro/internal/minhash"
 	"repro/internal/prep"
 	"repro/internal/telemetry"
 )
@@ -70,10 +71,12 @@ type DB struct {
 	// opts.Tel is nil. It is not serialized by Save.
 	Tel *telemetry.Collector
 
-	mu         sync.Mutex // guards decomposed, feats, fidx
+	mu         sync.Mutex // guards decomposed, feats, fidx, lsh, lshBuilt
 	decomposed map[int][]*core.Decomposed
 	feats      [][]uint64 // per-entry prefilter features, aligned with Entries
 	fidx       *featureIndex
+	lsh        *lshIndex // lazy banded MinHash index; nil can mean "fall back"
+	lshBuilt   bool      // lsh is authoritative (it may legitimately be nil)
 
 	store  *idxfile.File // non-nil for v3 store-backed databases
 	info   Info
@@ -138,6 +141,7 @@ func (db *DB) AddImage(exe string, img []byte, truth map[uint32]string) error {
 	db.mu.Lock()
 	db.decomposed = make(map[int][]*core.Decomposed) // invalidate caches
 	db.feats, db.fidx = nil, nil
+	db.lsh, db.lshBuilt = nil, false
 	db.mu.Unlock()
 	return nil
 }
@@ -201,6 +205,38 @@ func (db *DB) prefilterIndex() *featureIndex {
 	return db.fidx
 }
 
+// lshIdx returns the banded MinHash index, built lazily on the first
+// ModeLSH search: adopted from the v3 file's persisted LSHB signatures
+// when the store still covers every entry, hashed from the feature sets
+// under minhash.Default otherwise (in-memory corpora, or entries
+// appended after a v3 load). A store-backed database whose file
+// predates the LSHB section returns nil — callers fall back to the
+// scan prefilter and count an lsh_fallbacks event.
+func (db *DB) lshIdx() *lshIndex {
+	db.mu.Lock()
+	if db.lshBuilt {
+		x := db.lsh
+		db.mu.Unlock()
+		return x
+	}
+	db.mu.Unlock()
+	// Build outside the lock: lshFromFeatures needs db.features(), which
+	// locks mu itself. Concurrent first calls may both build; one wins.
+	var x *lshIndex
+	if db.store != nil && len(db.Entries) == db.store.NumFuncs() {
+		x = lshFromStore(db.store, db.Tel)
+	} else {
+		x = lshFromFeatures(minhash.Default, db.features(), db.Tel)
+	}
+	db.mu.Lock()
+	if !db.lshBuilt {
+		db.lsh, db.lshBuilt = x, true
+	}
+	x = db.lsh
+	db.mu.Unlock()
+	return x
+}
+
 // Hit is one search result.
 type Hit struct {
 	Entry  *Entry
@@ -261,7 +297,19 @@ func (db *DB) SearchCtx(ctx context.Context, query *prep.Function, opts core.Opt
 	var ids []int32 // set iff the prefilter ran: hit i maps to entry ids[i]
 	if c := pf.cap(); c > 0 {
 		fsp := root.Child("prefilter")
-		ids = db.prefilterIndex().topCandidates(ctx, QueryFeatures(ref), c)
+		if pf.Mode == ModeLSH {
+			if x := db.lshIdx(); x != nil {
+				tel.Inc(telemetry.LSHQueries)
+				ids = x.topCandidates(ctx, QueryFeatures(ref), c, tel)
+				tel.Add(telemetry.LSHCandidates, uint64(len(ids)))
+				fsp.Set("lsh", 1)
+			} else {
+				tel.Inc(telemetry.LSHFallbacks)
+				ids = db.prefilterIndex().topCandidates(ctx, QueryFeatures(ref), c)
+			}
+		} else {
+			ids = db.prefilterIndex().topCandidates(ctx, QueryFeatures(ref), c)
+		}
 		if err := ctx.Err(); err != nil {
 			fsp.End()
 			noteCtxErr(tel, err)
@@ -349,9 +397,20 @@ func (db *DB) Save(w io.Writer) error {
 // whole-file deserialization (see internal/idxfile). Functions stream
 // through an incremental builder, so converting a store-backed database
 // never materializes the whole corpus at once.
-func (db *DB) SaveV3(w io.Writer) error {
+func (db *DB) SaveV3(w io.Writer) error { return db.saveV3(w, nil) }
+
+// SaveV3LSH is SaveV3 with an LSHB section: every function's MinHash
+// signature under p is computed during the streaming build and
+// persisted, so serving nodes adopt the signatures straight from the
+// mapping instead of re-hashing a million feature sets at first query.
+func (db *DB) SaveV3LSH(w io.Writer, p minhash.Params) error { return db.saveV3(w, &p) }
+
+func (db *DB) saveV3(w io.Writer, lsh *minhash.Params) error {
 	feats := db.features()
 	b := idxfile.NewBuilder()
+	if lsh != nil {
+		b.SetLSH(*lsh)
+	}
 	for i, e := range db.Entries {
 		var fn *prep.Function
 		if e.Func != nil {

@@ -29,6 +29,35 @@ const prefilterGram = 3
 // enables the prefilter without choosing one.
 const DefaultPrefilterCandidates = 50
 
+// PrefilterMode selects the candidate-generation algorithm of the lossy
+// first stage.
+type PrefilterMode string
+
+const (
+	// ModeScan ranks the corpus by shared-feature count through the
+	// inverted index — the default, and the recall baseline: it scans
+	// the query's posting lists linearly.
+	ModeScan PrefilterMode = "scan"
+	// ModeLSH takes candidates from MinHash band-bucket collisions
+	// ranked by estimated Jaccard — ~O(1) bucket probes per query
+	// instead of a posting scan. When the corpus has no LSH signatures
+	// (a v3 file without an LSHB section, and no features to hash),
+	// searches fall back to ModeScan and count lsh_fallbacks.
+	ModeLSH PrefilterMode = "lsh"
+)
+
+// ParsePrefilterMode maps the wire/flag spelling of a mode ("", "scan",
+// "lsh") onto its PrefilterMode, reporting ok=false for anything else.
+func ParsePrefilterMode(s string) (PrefilterMode, bool) {
+	switch s {
+	case "", string(ModeScan):
+		return ModeScan, true
+	case string(ModeLSH):
+		return ModeLSH, true
+	}
+	return "", false
+}
+
 // PrefilterOptions selects the lossy candidate-ranking stage of a search.
 // The zero value disables it (exact, exhaustive search).
 type PrefilterOptions struct {
@@ -37,6 +66,10 @@ type PrefilterOptions struct {
 	// Candidates caps how many top-ranked corpus functions proceed to the
 	// exact comparison; <= 0 means DefaultPrefilterCandidates.
 	Candidates int
+	// Mode picks the candidate generator; the empty value means ModeScan.
+	// Mode alone does not enable the prefilter — Enabled (or Candidates)
+	// still governs whether the stage runs at all.
+	Mode PrefilterMode
 }
 
 // cap returns the effective candidate cap, or 0 when disabled.

@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/idxfile"
+	"repro/internal/minhash"
 	"repro/internal/prep"
 	"repro/internal/telemetry"
 )
@@ -29,6 +31,20 @@ type Snapshot struct {
 	byName  map[string]*Entry // exe + "\x00" + name -> entry
 	fidx    *featureIndex
 	info    Info
+
+	// lsh candidate generation: built lazily on the first ModeLSH query
+	// so cold start stays unchanged for scan-only serving. store (the v3
+	// backing file, nil for gob) supplies persisted signatures; feats is
+	// retained only for storeless snapshots, where signatures are hashed
+	// from the feature sets under minhash.Default instead. A store
+	// without an LSHB section yields lsh == nil after the Once — queries
+	// then fall back to the scan prefilter (counted as lsh_fallbacks)
+	// rather than re-deriving signatures from a million mmapped feature
+	// slices.
+	store   *idxfile.File
+	feats   [][]uint64
+	lshOnce sync.Once
+	lsh     *lshIndex
 
 	// Exactly one of flat/lazy is non-nil per supported k. flat holds the
 	// eager pre-decompositions of a gob-backed DB; lazy holds memoization
@@ -152,8 +168,29 @@ func BuildSnapshot(db *DB, ks []int, nShards int) *Snapshot {
 	// The feature index is snapshot-resident: built once here (reusing
 	// features deserialized from a v2 file, or feature-pool views of a v3
 	// mapping), then read lock-free by any number of prefiltered queries.
-	s.fidx = buildFeatureIndex(db.features())
+	feats := db.features()
+	s.fidx = buildFeatureIndex(feats)
+	s.store = db.store
+	if db.store == nil {
+		s.feats = feats
+	}
 	return s
+}
+
+// lshIdx returns the snapshot's banded MinHash index, building it on
+// first use: from the v3 file's persisted LSHB signatures when present,
+// from freshly hashed feature sets for in-memory corpora. It returns
+// nil — callers fall back to scan — for a store-backed snapshot whose
+// file predates the LSHB section.
+func (s *Snapshot) lshIdx() *lshIndex {
+	s.lshOnce.Do(func() {
+		if s.store != nil {
+			s.lsh = lshFromStore(s.store, s.Tel)
+		} else if s.feats != nil {
+			s.lsh = lshFromFeatures(minhash.Default, s.feats, s.Tel)
+		}
+	})
+	return s.lsh
 }
 
 // Info returns the provenance of the index this snapshot serves.
@@ -278,7 +315,22 @@ func (s *Snapshot) SearchDecomposedCtx(ctx context.Context, ref *core.Decomposed
 	if c := pf.cap(); c > 0 {
 		pfSpan := sp.Child("prefilter")
 		pt := tel.StartTimer(telemetry.PrefilterLatency)
-		ids := s.fidx.topCandidates(ctx, QueryFeatures(ref), c)
+		var ids []int32
+		if pf.Mode == ModeLSH {
+			if x := s.lshIdx(); x != nil {
+				tel.Inc(telemetry.LSHQueries)
+				ids = x.topCandidates(ctx, QueryFeatures(ref), c, tel)
+				tel.Add(telemetry.LSHCandidates, uint64(len(ids)))
+				pfSpan.Set("lsh", 1)
+			} else {
+				// No signatures to serve from (pre-LSHB v3 file): degrade
+				// to the scan prefilter rather than fail the search.
+				tel.Inc(telemetry.LSHFallbacks)
+				ids = s.fidx.topCandidates(ctx, QueryFeatures(ref), c)
+			}
+		} else {
+			ids = s.fidx.topCandidates(ctx, QueryFeatures(ref), c)
+		}
 		pt.Stop()
 		pfSpan.Set("candidates", int64(len(ids)))
 		pfSpan.End()
@@ -389,6 +441,15 @@ func spanNotePrune(sp *telemetry.Span, hits []Hit) {
 // than a real search and still honoring ctx. limit <= 0 means
 // DefaultPrefilterCandidates.
 func (s *Snapshot) PrefilterRank(ctx context.Context, ref *core.Decomposed, limit int) ([]Ranked, error) {
+	return s.PrefilterRankWith(ctx, ref, limit, ModeScan)
+}
+
+// PrefilterRankWith is PrefilterRank with an explicit candidate
+// generator. ModeLSH ranks by estimated Jaccard (Shared = matching
+// signature positions out of k) from band-bucket collisions, falling
+// back to the scan ranking — with a counted lsh_fallbacks event — when
+// the snapshot has no signatures to serve from.
+func (s *Snapshot) PrefilterRankWith(ctx context.Context, ref *core.Decomposed, limit int, mode PrefilterMode) ([]Ranked, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -397,7 +458,20 @@ func (s *Snapshot) PrefilterRank(ctx context.Context, ref *core.Decomposed, limi
 	}
 	pfSpan := telemetry.SpanFromContext(ctx).Child("prefilter")
 	pt := s.Tel.StartTimer(telemetry.PrefilterLatency)
-	ranked := s.fidx.ranked(ctx, QueryFeatures(ref), limit)
+	var ranked []Ranked
+	if mode == ModeLSH {
+		if x := s.lshIdx(); x != nil {
+			s.Tel.Inc(telemetry.LSHQueries)
+			ranked = x.ranked(ctx, QueryFeatures(ref), limit, s.Tel)
+			s.Tel.Add(telemetry.LSHCandidates, uint64(len(ranked)))
+			pfSpan.Set("lsh", 1)
+		} else {
+			s.Tel.Inc(telemetry.LSHFallbacks)
+			ranked = s.fidx.ranked(ctx, QueryFeatures(ref), limit)
+		}
+	} else {
+		ranked = s.fidx.ranked(ctx, QueryFeatures(ref), limit)
+	}
 	pt.Stop()
 	pfSpan.Set("candidates", int64(len(ranked)))
 	pfSpan.End()

@@ -38,6 +38,13 @@ type SearchRequest struct {
 	Prefilter  bool `json:"prefilter,omitempty"`
 	Candidates int  `json:"candidates,omitempty"` // candidate cap (cap 1000)
 
+	// PrefilterMode picks the candidate generator: "scan" (default) ranks
+	// by shared features through the inverted index, "lsh" takes MinHash
+	// band-bucket collisions ranked by estimated Jaccard. "lsh" implies
+	// Prefilter. When the loaded index carries no LSH signatures the
+	// server falls back to scan (counted as tracy_lsh_fallbacks).
+	PrefilterMode string `json:"prefilter_mode,omitempty"`
+
 	// TimeoutMS bounds this search's compute time in milliseconds. It can
 	// only tighten the server's own request budget, never extend it; an
 	// exceeded deadline answers 504.
@@ -68,15 +75,20 @@ type Hit struct {
 
 // SearchResponse is the ranked answer to one SearchRequest.
 type SearchResponse struct {
-	Query       string  `json:"query"` // resolved query function name
-	QueryBlocks int     `json:"query_blocks"`
-	QueryInsts  int     `json:"query_insts"`
-	K           int     `json:"k"`
-	Candidates  int     `json:"candidates"`            // corpus functions scanned
-	Prefiltered bool    `json:"prefiltered,omitempty"` // candidate set was feature-prefiltered
-	Hits        []Hit   `json:"hits"`
-	Cached      bool    `json:"cached"` // served from the result cache
-	TookMS      float64 `json:"took_ms"`
+	Query       string `json:"query"` // resolved query function name
+	QueryBlocks int    `json:"query_blocks"`
+	QueryInsts  int    `json:"query_insts"`
+	K           int    `json:"k"`
+	Candidates  int    `json:"candidates"`            // corpus functions scanned
+	Prefiltered bool   `json:"prefiltered,omitempty"` // candidate set was feature-prefiltered
+
+	// PrefilterMode is the candidate generator that actually ran ("scan"
+	// or "lsh", empty when the prefilter was off) — on an LSH fallback it
+	// reads "scan" even though "lsh" was requested.
+	PrefilterMode string  `json:"prefilter_mode,omitempty"`
+	Hits          []Hit   `json:"hits"`
+	Cached        bool    `json:"cached"` // served from the result cache
+	TookMS        float64 `json:"took_ms"`
 
 	// TraceID is the request's trace ID (from the caller's traceparent
 	// header, or minted by the server): the join key across the response,

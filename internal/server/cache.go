@@ -3,6 +3,8 @@ package server
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/index"
 )
 
 // cacheKey identifies one cacheable search: the query content
@@ -16,8 +18,9 @@ type cacheKey struct {
 	k          int
 	limit      int
 	minScore   float64
-	candidates int  // effective prefilter cap; 0 = exhaustive
-	degraded   bool // prefilter-only degraded answer: separate keyspace
+	candidates int                 // effective prefilter cap; 0 = exhaustive
+	mode       index.PrefilterMode // candidate generator: scan and lsh answers never mix
+	degraded   bool                // prefilter-only degraded answer: separate keyspace
 }
 
 // resultCache is a mutex-guarded LRU of search responses. The cached

@@ -294,6 +294,77 @@ func TestChaosSaturationEventuallyAnswered(t *testing.T) {
 	}
 }
 
+// TestChaosLSHFaultFallsBackToScan: with the lsh lookup path
+// fault-armed, an lsh-mode search still answers — served by the scan
+// prefilter under the degraded:true contract, counted in
+// lsh_fallbacks, and never cached (the real lsh answer must not be
+// shadowed once the fault clears). After the fault count is spent, lsh
+// serves normally again.
+func TestChaosLSHFaultFallsBackToScan(t *testing.T) {
+	faults := faultinject.New()
+	faults.Arm(&faultinject.Fault{Point: server.FaultLSH, Mode: faultinject.Error, Count: 2})
+	s, url := startChaos(t, server.Config{Faults: faults, CacheEntries: 64})
+	cl := client.New(url)
+	cl.Retry = nil
+
+	req := chaosQuery(t, chaosDB(t))
+	req.Candidates = 5
+
+	scanReq := req
+	baseline, err := cl.Search(context.Background(), &scanReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req.PrefilterMode = "lsh"
+	for i := 0; i < 2; i++ {
+		resp, err := cl.Search(context.Background(), &req)
+		if err != nil {
+			t.Fatalf("lsh search %d with a faulted lookup path must degrade, not error: %v", i, err)
+		}
+		if !resp.Degraded || resp.DegradedReason == "" {
+			t.Errorf("search %d: degraded = %v (reason %q), want the degraded contract",
+				i, resp.Degraded, resp.DegradedReason)
+		}
+		if resp.PrefilterMode != "scan" {
+			t.Errorf("search %d: effective mode %q, want scan", i, resp.PrefilterMode)
+		}
+		if resp.Cached {
+			t.Errorf("search %d: degraded fallback answer was served from (and will poison) the cache", i)
+		}
+		if len(resp.Hits) != len(baseline.Hits) {
+			t.Fatalf("search %d: %d hits, scan baseline %d", i, len(resp.Hits), len(baseline.Hits))
+		}
+		for j := range resp.Hits {
+			if resp.Hits[j] != baseline.Hits[j] {
+				t.Errorf("search %d hit %d drifted from the scan baseline: %+v vs %+v",
+					i, j, resp.Hits[j], baseline.Hits[j])
+			}
+		}
+	}
+	if got := s.Tel().Get(telemetry.LSHFallbacks); got != 2 {
+		t.Errorf("lsh_fallbacks = %d, want 2", got)
+	}
+	if got := faults.Fired(server.FaultLSH); got != 2 {
+		t.Errorf("lsh fault fired %d times, want exactly 2", got)
+	}
+
+	// Fault spent: the same request now runs the real lsh prefilter.
+	resp, err := cl.Search(context.Background(), &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Error("lsh search after the fault cleared still reports degraded")
+	}
+	if resp.PrefilterMode != "lsh" {
+		t.Errorf("post-fault mode %q, want lsh", resp.PrefilterMode)
+	}
+	if got := s.Tel().Get(telemetry.LSHQueries); got == 0 {
+		t.Error("post-fault search never reached the lsh index (lsh_queries = 0)")
+	}
+}
+
 // TestChaosReloadFault: an injected reload failure surfaces as a typed
 // API error naming the injection, and the next reload (fault spent)
 // succeeds.

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/telemetry"
+)
+
+// TestSearchLSHJSONOptions: the wire spelling of the lsh prefilter — the
+// "candidates implies prefilter" and "lsh implies prefilter" rules as the
+// JSON layer sees them, plus rejection of unknown modes. The index layer
+// tests the same contract on PrefilterOptions directly; the CLI tests it
+// on flags.
+func TestSearchLSHJSONOptions(t *testing.T) {
+	db, _ := smallDB(t)
+	s := NewFromDB(db, Config{})
+	h := s.Handler()
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+
+	cases := []struct {
+		name        string
+		req         SearchRequest
+		wantStatus  int
+		prefiltered bool
+		wantMode    string
+	}{
+		{"zero request is exhaustive",
+			SearchRequest{Exe: e.Exe, Name: e.Name}, http.StatusOK, false, ""},
+		{"candidates imply prefilter",
+			SearchRequest{Exe: e.Exe, Name: e.Name, Candidates: 5}, http.StatusOK, true, "scan"},
+		{"prefilter alone defaults scan",
+			SearchRequest{Exe: e.Exe, Name: e.Name, Prefilter: true}, http.StatusOK, true, "scan"},
+		{"explicit scan mode",
+			SearchRequest{Exe: e.Exe, Name: e.Name, Prefilter: true, PrefilterMode: "scan"}, http.StatusOK, true, "scan"},
+		{"lsh implies prefilter",
+			SearchRequest{Exe: e.Exe, Name: e.Name, PrefilterMode: "lsh"}, http.StatusOK, true, "lsh"},
+		{"lsh with candidates",
+			SearchRequest{Exe: e.Exe, Name: e.Name, PrefilterMode: "lsh", Candidates: 5}, http.StatusOK, true, "lsh"},
+		{"negative candidates rejected",
+			SearchRequest{Exe: e.Exe, Name: e.Name, Candidates: -1, PrefilterMode: "lsh"}, http.StatusBadRequest, false, ""},
+		{"unknown mode rejected",
+			SearchRequest{Exe: e.Exe, Name: e.Name, PrefilterMode: "minhash"}, http.StatusBadRequest, false, ""},
+		{"mode is case-sensitive",
+			SearchRequest{Exe: e.Exe, Name: e.Name, PrefilterMode: "LSH"}, http.StatusBadRequest, false, ""},
+	}
+	for _, tc := range cases {
+		rec, resp := postSearch(t, h, tc.req)
+		if rec.Code != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.wantStatus, rec.Body.String())
+			continue
+		}
+		if tc.wantStatus != http.StatusOK {
+			continue
+		}
+		if resp.Prefiltered != tc.prefiltered {
+			t.Errorf("%s: prefiltered = %v, want %v", tc.name, resp.Prefiltered, tc.prefiltered)
+		}
+		if resp.PrefilterMode != tc.wantMode {
+			t.Errorf("%s: prefilter_mode = %q, want %q", tc.name, resp.PrefilterMode, tc.wantMode)
+		}
+	}
+}
+
+// TestSearchLSHCacheKeySeparation: the same query prefiltered by scan
+// and by lsh occupies distinct cache entries — a mode switch can never
+// serve the other generator's candidates from cache.
+func TestSearchLSHCacheKeySeparation(t *testing.T) {
+	db, _ := smallDB(t)
+	s := NewFromDB(db, Config{CacheEntries: 64})
+	h := s.Handler()
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+
+	scanReq := SearchRequest{Exe: e.Exe, Name: e.Name, Candidates: 5, Limit: 100}
+	lshReq := SearchRequest{Exe: e.Exe, Name: e.Name, Candidates: 5, Limit: 100, PrefilterMode: "lsh"}
+
+	if _, resp := postSearch(t, h, scanReq); resp == nil || resp.Cached {
+		t.Fatal("first scan search should be a cache miss")
+	}
+	if _, resp := postSearch(t, h, lshReq); resp == nil || resp.Cached {
+		t.Fatal("lsh search was served from the scan cache entry")
+	}
+	_, again := postSearch(t, h, lshReq)
+	if again == nil || !again.Cached {
+		t.Error("repeated lsh search missed its own cache entry")
+	}
+	if again.PrefilterMode != "lsh" {
+		t.Errorf("cached lsh response echoes mode %q", again.PrefilterMode)
+	}
+	if got := s.Tel().Get(telemetry.LSHQueries); got == 0 {
+		t.Error("lsh_queries stayed zero across lsh searches")
+	}
+}

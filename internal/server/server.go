@@ -112,6 +112,7 @@ const (
 	FaultCache  = "cache"  // result-cache lookup/store (fault = cache miss)
 	FaultSearch = "search" // snapshot search, after the cache miss
 	FaultReload = "reload" // index reload
+	FaultLSH    = "lsh"    // lsh candidate generation (fault = scan fallback)
 )
 
 // snapState is what one atomic snapshot swap publishes.
@@ -674,7 +675,15 @@ func (s *Server) planSearch(req *SearchRequest) (*searchPlan, error) {
 	if req.TimeoutMS < 0 {
 		return nil, errf(http.StatusBadRequest, "timeout_ms %d must be positive", req.TimeoutMS)
 	}
-	pf := index.PrefilterOptions{Enabled: req.Prefilter, Candidates: req.Candidates}
+	mode, ok := index.ParsePrefilterMode(req.PrefilterMode)
+	if !ok {
+		return nil, errf(http.StatusBadRequest, "prefilter_mode %q unknown (want scan or lsh)", req.PrefilterMode)
+	}
+	pf := index.PrefilterOptions{Enabled: req.Prefilter, Candidates: req.Candidates, Mode: mode}
+	if mode == index.ModeLSH {
+		// Asking for lsh candidates is asking for the prefilter.
+		pf.Enabled = true
+	}
 	if pf.Candidates > 1000 {
 		pf.Candidates = 1000
 	}
@@ -743,7 +752,7 @@ func (s *Server) runSearch(ctx context.Context, req *SearchRequest) (*SearchResp
 	opts.K = p.k
 	opts.Tel = s.tel
 	key := cacheKey{fp: p.ref.Fingerprint(), gen: p.st.gen, k: p.k, limit: p.limit,
-		minScore: req.MinScore, candidates: p.effCand}
+		minScore: req.MinScore, candidates: p.effCand, mode: p.pf.Mode}
 	// A cache fault means the cache is unavailable, not that the search
 	// fails: degrade to a miss (and skip the store below).
 	cacheOK := s.faults.Fire(ctx, FaultCache) == nil
@@ -767,6 +776,15 @@ func (s *Server) runSearch(ctx context.Context, req *SearchRequest) (*SearchResp
 	if err := s.faults.Fire(ctx, FaultSearch); err != nil {
 		return nil, errf(http.StatusInternalServerError, "search: %v", err)
 	}
+	// An injected lsh fault models the candidate generator being
+	// unavailable (not the search failing): degrade to the scan prefilter
+	// and mark the answer, mirroring the organic no-signatures fallback.
+	lshFellBack := false
+	if p.pf.Mode == index.ModeLSH && s.faults.Fire(ctx, FaultLSH) != nil {
+		s.tel.Inc(telemetry.LSHFallbacks)
+		p.pf.Mode = index.ModeScan
+		lshFellBack = true
+	}
 	hits, serr := p.st.snap.SearchDecomposedCtx(ctx, p.ref, opts, p.pf)
 	if serr != nil {
 		if he := ctxHTTPErr(serr); he != nil {
@@ -784,6 +802,15 @@ func (s *Server) runSearch(ctx context.Context, req *SearchRequest) (*SearchResp
 		Prefiltered: p.pf.Enabled,
 		Hits:        make([]Hit, len(top)),
 	}
+	if p.pf.Enabled {
+		resp.PrefilterMode = string(p.pf.Mode)
+	}
+	if lshFellBack {
+		s.tel.Inc(telemetry.ServerDegraded)
+		sp.Set("degraded", 1)
+		resp.Degraded = true
+		resp.DegradedReason = "lsh prefilter unavailable: fell back to scan candidates"
+	}
 	for i, h := range top {
 		if h.Result.Truncated {
 			sp.Set("truncated", 1)
@@ -800,7 +827,9 @@ func (s *Server) runSearch(ctx context.Context, req *SearchRequest) (*SearchResp
 		}
 	}
 	resp.TookMS = msSince(t0)
-	if cacheOK {
+	// A fell-back answer is degraded and must not shadow the real lsh
+	// result once the fault clears: never cache it.
+	if cacheOK && !lshFellBack {
 		s.cache.put(key, resp)
 	}
 	return resp, nil
@@ -825,7 +854,7 @@ func (s *Server) runDegraded(ctx context.Context, req *SearchRequest) (*SearchRe
 	defer cancel()
 
 	exactKey := cacheKey{fp: p.ref.Fingerprint(), gen: p.st.gen, k: p.k, limit: p.limit,
-		minScore: req.MinScore, candidates: p.effCand}
+		minScore: req.MinScore, candidates: p.effCand, mode: p.pf.Mode}
 	cacheOK := s.faults.Fire(ctx, FaultCache) == nil
 	csp := sp.Child("cache")
 	ct := s.tel.StartTimer(telemetry.CacheLookupLatency)
