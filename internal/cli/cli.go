@@ -65,6 +65,8 @@ func Run(w io.Writer, args []string) error {
 		return cmd.query(args[1:])
 	case "convert":
 		return cmd.convert(args[1:])
+	case "shard":
+		return cmd.shard(args[1:])
 	case "idxinfo":
 		return cmd.idxinfo(args[1:])
 	case "mkcorpus":
@@ -97,7 +99,7 @@ type env struct {
 
 func usageError() error {
 	return fmt.Errorf(`usage: tracy <command> [flags]
-commands: index, search, serve, query, convert, idxinfo, mkcorpus, obscheck, compare, disasm, tracelets, emulate, fuzz, stats, experiments`)
+commands: index, search, serve, query, convert, shard, idxinfo, mkcorpus, obscheck, compare, disasm, tracelets, emulate, fuzz, stats, experiments`)
 }
 
 // matchFlags registers the shared matching options.

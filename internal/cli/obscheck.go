@@ -22,11 +22,16 @@ import (
 //   - /debug/requests has recorded requests, each carrying a trace ID
 //     and a span tree;
 //   - a live request's X-Trace-Id response header matches the trace_id
-//     echoed in the response body.
+//     echoed in the response body;
+//   - with -fleet, /v1/healthz reports coordinator mode with one entry
+//     per expected shard, each naming its address, generation, index
+//     format and mmap state.
 func (c *env) obscheck(args []string) error {
 	fs := flag.NewFlagSet("obscheck", flag.ExitOnError)
 	serverURL := fs.String("server", "http://localhost:8077", "tracy server base URL")
 	timeout := fs.Duration("timeout", 30*time.Second, "overall deadline")
+	fleetN := fs.Int("fleet", 0, "expect a coordinator over this many shards and validate its aggregated healthz")
+	fleetLive := fs.Int("fleet-live", -1, "require exactly this many live shards (-1: all of -fleet)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +108,83 @@ func (c *env) obscheck(args []string) error {
 		return fmt.Errorf("obscheck: /v1/functions X-Trace-Id %q is not a trace ID", echoed)
 	}
 	fmt.Fprintf(c.w, "obscheck: trace propagation ok (X-Trace-Id %s)\n", echoed)
+
+	// 4. Fleet health aggregation (coordinator mode only).
+	if *fleetN > 0 {
+		if err := c.obscheckFleet(ctx, base, *fleetN, *fleetLive); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// obscheckFleet validates a coordinator's aggregated /v1/healthz: the
+// server must identify as a coordinator over wantShards shards, each
+// fleet entry must name its worker (address) and, when live, its
+// snapshot identity (generation, index format, mmap state); wantLive
+// pins how many shards must be reachable (-1: all).
+func (c *env) obscheckFleet(ctx context.Context, base string, wantShards, wantLive int) error {
+	body, _, err := obsGet(ctx, base+"/v1/healthz")
+	if err != nil {
+		return fmt.Errorf("obscheck: /v1/healthz: %w", err)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Mode   string `json:"mode"`
+		Shards int    `json:"shards"`
+		Fleet  []struct {
+			Shard       int    `json:"shard"`
+			Addr        string `json:"addr"`
+			Status      string `json:"status"`
+			Functions   int    `json:"functions"`
+			Generation  uint64 `json:"generation"`
+			IndexFormat int    `json:"index_format"`
+			IndexMapped bool   `json:"index_mapped"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		return fmt.Errorf("obscheck: /v1/healthz is not valid JSON: %w", err)
+	}
+	if h.Mode != "coordinator" {
+		return fmt.Errorf("obscheck: healthz mode %q, want coordinator", h.Mode)
+	}
+	if h.Shards != wantShards || len(h.Fleet) != wantShards {
+		return fmt.Errorf("obscheck: healthz reports %d shards (%d fleet entries), want %d",
+			h.Shards, len(h.Fleet), wantShards)
+	}
+	live := 0
+	for i, sh := range h.Fleet {
+		if sh.Shard != i {
+			return fmt.Errorf("obscheck: fleet[%d] has shard number %d", i, sh.Shard)
+		}
+		if sh.Addr == "" {
+			return fmt.Errorf("obscheck: fleet[%d] has no address", i)
+		}
+		if sh.Status == "unreachable" {
+			continue
+		}
+		live++
+		if sh.Functions == 0 || sh.Generation == 0 {
+			return fmt.Errorf("obscheck: live shard %d reports functions=%d generation=%d",
+				i, sh.Functions, sh.Generation)
+		}
+	}
+	if wantLive < 0 {
+		wantLive = wantShards
+	}
+	if live != wantLive {
+		return fmt.Errorf("obscheck: %d live shards, want %d (status %q)", live, wantLive, h.Status)
+	}
+	wantStatus := "ok"
+	if live < wantShards {
+		wantStatus = "degraded"
+	}
+	if h.Status != wantStatus {
+		return fmt.Errorf("obscheck: fleet status %q with %d/%d shards live, want %q",
+			h.Status, live, wantShards, wantStatus)
+	}
+	fmt.Fprintf(c.w, "obscheck: fleet healthz ok (%d/%d shards live, status %s)\n",
+		live, wantShards, h.Status)
 	return nil
 }
 

@@ -34,6 +34,9 @@ func (c *env) serve(args []string) error {
 	ksFlag := fs.String("ks", "", "comma-separated tracelet sizes to precompute (default: -k)")
 	shards := fs.Int("shards", 0, "snapshot shards per query (0: GOMAXPROCS)")
 	maxInFlight := fs.Int("max-inflight", 0, "concurrent searches before shedding 429s (0: 4*GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", -1, "requests queued for an in-flight slot before shedding (-1: auto — 0 standalone, 64 coordinator)")
+	fleet := fs.String("fleet", "", "comma-separated worker base URLs: serve as a scatter-gather coordinator over these corpus shards (ignores -db)")
+	shardTimeout := fs.Duration("shard-timeout", 0, "coordinator: per-shard RPC deadline (0: 10s)")
 	cacheN := fs.Int("cache", 256, "LRU result-cache entries (negative: disable)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
 	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
@@ -76,6 +79,30 @@ func (c *env) serve(args []string) error {
 		SlowQueryThreshold: *slowQuery,
 		FlightSlow:         *flightSlow,
 		FlightErrors:       *flightErrors,
+		ShardTimeout:       *shardTimeout,
+	}
+	if *fleet != "" {
+		if *degraded {
+			return fmt.Errorf("serve: -degraded cannot combine with -fleet (a coordinator degrades by merging the surviving shards)")
+		}
+		for _, a := range strings.Split(*fleet, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Fleet = append(cfg.Fleet, a)
+			}
+		}
+		if len(cfg.Fleet) == 0 {
+			return fmt.Errorf("serve: -fleet lists no worker URLs")
+		}
+		cfg.DBPath = "" // a coordinator serves the fleet, not a local index
+	}
+	// A coordinator defaults to queueing a burst of requests (work
+	// conservation beats bouncing clients into 1s retry backoffs); a
+	// standalone server keeps the legacy shed-immediately behavior.
+	switch {
+	case *queueDepth >= 0:
+		cfg.QueueDepth = *queueDepth
+	case len(cfg.Fleet) > 0:
+		cfg.QueueDepth = 64
 	}
 	if *accessLog != "" {
 		if *accessLog == "-" {
@@ -110,8 +137,12 @@ func (c *env) serve(args []string) error {
 	if err != nil {
 		return err
 	}
+	what := *dbPath
+	if len(cfg.Fleet) > 0 {
+		what = fmt.Sprintf("coordinator over %d shards (%s)", len(cfg.Fleet), strings.Join(cfg.Fleet, ", "))
+	}
 	fmt.Fprintf(c.w, "tracy: serving %s on http://%s (POST /v1/search, /statsz, /metrics, /debug/requests, /debug/pprof)\n",
-		*dbPath, bound)
+		what, bound)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)

@@ -431,6 +431,36 @@ func (c *checker) searchParity(built []variant, images [][]byte) {
 		}
 	}
 
+	// The fleet merge contract: hash-sharding the corpus into disjoint v3
+	// slices, searching each shard independently, and re-ranking the
+	// concatenated partials through the same top-K selection must
+	// reproduce the union search bit for bit. This is the invariant the
+	// serving coordinator's scatter-gather relies on.
+	c.ran()
+	const nShards = 2
+	var merged []index.Hit
+	shardTotal := 0
+	for sh := 0; sh < nShards; sh++ {
+		var buf bytes.Buffer
+		if err := db.SaveV3Shard(&buf, sh, nShards); err != nil {
+			c.fail("parity", "fleet", "SaveV3Shard(%d/%d): %v", sh, nShards, err)
+			return
+		}
+		sdb, err := index.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			c.fail("parity", "fleet", "loading shard %d: %v", sh, err)
+			return
+		}
+		shardTotal += sdb.Len()
+		merged = append(merged, index.TopK(sdb.Search(query, opts), limit, 0)...)
+	}
+	if shardTotal != db.Len() {
+		c.fail("parity", "fleet", "shards hold %d functions, union index %d", shardTotal, db.Len())
+	}
+	if d := diffOfflineHits(offline, index.TopK(merged, limit, 0)); d != "" {
+		c.fail("parity", "fleet", "sharded merge vs union search: %s", d)
+	}
+
 	c.ran()
 	srv := server.NewFromDB(db, server.Config{Opts: opts})
 	req := &server.SearchRequest{Function: FuncName, K: opts.K, Limit: limit}

@@ -468,27 +468,14 @@ func Load(r io.Reader) (*DB, error) {
 	// Structural validation: gob will happily decode a payload whose
 	// entries are nil, missing their lifted function, or carrying a
 	// control-flow graph with out-of-range successor indices — any of
-	// which would panic the first Search or Decomposed call (tracelet
-	// extraction indexes Blocks by successor). Reject such files here,
-	// where the caller still has an error path.
+	// which would panic the first Search or Decomposed call. Reject such
+	// files here, where the caller still has an error path.
 	for i, e := range g.Entries {
-		if e == nil || e.Func == nil || e.Func.Graph == nil {
+		if e == nil {
 			return nil, fmt.Errorf("index: corrupt entry %d (missing lifted function)", i)
 		}
-		gr := e.Func.Graph
-		if gr.Entry < 0 || (len(gr.Blocks) > 0 && gr.Entry >= len(gr.Blocks)) {
-			return nil, fmt.Errorf("index: corrupt entry %d (entry block %d of %d)", i, gr.Entry, len(gr.Blocks))
-		}
-		for bi, b := range gr.Blocks {
-			if b == nil {
-				return nil, fmt.Errorf("index: corrupt entry %d (nil block %d)", i, bi)
-			}
-			for _, s := range b.Succs {
-				if s < 0 || s >= len(gr.Blocks) {
-					return nil, fmt.Errorf("index: corrupt entry %d (block %d successor %d of %d)",
-						i, bi, s, len(gr.Blocks))
-				}
-			}
+		if err := ValidateFunction(e.Func); err != nil {
+			return nil, fmt.Errorf("index: corrupt entry %d (%v)", i, err)
 		}
 	}
 	db := &DB{

@@ -1,0 +1,105 @@
+package index
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/idxfile"
+	"repro/internal/minhash"
+	"repro/internal/prep"
+)
+
+// ShardOf maps an indexed function to its shard in an n-way fleet:
+// FNV-1a over the (exe, name) identity, reduced mod n. The identity —
+// not the address or position — is hashed so that re-indexing,
+// reordering, or appending to the corpus never migrates an existing
+// function between shards, and so the coordinator can route
+// by-reference queries without consulting a placement table. n <= 1
+// collapses to a single shard.
+func ShardOf(exe, name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	io.WriteString(h, exe)
+	h.Write([]byte{0})
+	io.WriteString(h, name)
+	return int(h.Sum64() % uint64(n))
+}
+
+// SaveV3Shard serializes shard (0-based) of an n-way split of the
+// database in the v3 columnar format: exactly the entries with
+// ShardOf(exe, name, nShards) == shard, in corpus order. The union of
+// the n outputs is a disjoint partition of the corpus, so a
+// scatter-gather merge of per-shard search results over all n slices
+// ranks identically to searching the unsharded index.
+func (db *DB) SaveV3Shard(w io.Writer, shard, nShards int) error {
+	return db.saveV3Shard(w, shard, nShards, nil)
+}
+
+// SaveV3ShardLSH is SaveV3Shard with an LSHB section (see SaveV3LSH).
+func (db *DB) SaveV3ShardLSH(w io.Writer, shard, nShards int, p minhash.Params) error {
+	return db.saveV3Shard(w, shard, nShards, &p)
+}
+
+func (db *DB) saveV3Shard(w io.Writer, shard, nShards int, lsh *minhash.Params) error {
+	if nShards < 1 {
+		return fmt.Errorf("index: shard count %d, want >= 1", nShards)
+	}
+	if shard < 0 || shard >= nShards {
+		return fmt.Errorf("index: shard %d of %d out of range", shard, nShards)
+	}
+	feats := db.features()
+	b := idxfile.NewBuilder()
+	if lsh != nil {
+		b.SetLSH(*lsh)
+	}
+	for i, e := range db.Entries {
+		if ShardOf(e.Exe, e.Name, nShards) != shard {
+			continue
+		}
+		var fn *prep.Function
+		if e.Func != nil {
+			fn = e.Func
+		} else if e.src != nil {
+			// Decode without populating the entry's lazy cache: a shard
+			// pass must not pin the whole corpus on the heap.
+			fn = e.src.DecodeFunc(e.srcIdx)
+		}
+		if fn == nil {
+			return fmt.Errorf("index: entry %d has no function to serialize", i)
+		}
+		b.Add(e.Exe, fn, e.Truth, feats[i])
+	}
+	_, err := b.WriteTo(w)
+	return err
+}
+
+// ValidateFunction structurally validates a deserialized lifted
+// function: the control-flow graph must exist, its entry block and
+// every successor index must be in range, and no block may be nil —
+// any of which would panic the first Decompose call (tracelet
+// extraction indexes Blocks by successor). Load applies it to every
+// gob entry; the serving layer applies it to query functions received
+// over untrusted transports before searching with them.
+func ValidateFunction(fn *prep.Function) error {
+	if fn == nil || fn.Graph == nil {
+		return fmt.Errorf("missing lifted function")
+	}
+	gr := fn.Graph
+	if gr.Entry < 0 || (len(gr.Blocks) > 0 && gr.Entry >= len(gr.Blocks)) {
+		return fmt.Errorf("entry block %d of %d", gr.Entry, len(gr.Blocks))
+	}
+	for bi, b := range gr.Blocks {
+		if b == nil {
+			return fmt.Errorf("nil block %d", bi)
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= len(gr.Blocks) {
+				return fmt.Errorf("block %d successor %d of %d", bi, s, len(gr.Blocks))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Admission control: a fixed pool of in-flight slots fronted by a small
+// two-class priority queue. With QueueDepth 0 (the default) it behaves
+// exactly like the legacy non-blocking semaphore: a request either takes
+// a free slot or is shed with 429 immediately. With a positive depth, up
+// to that many requests wait in FIFO order instead of bouncing off the
+// server — and a released slot is handed directly to the
+// highest-priority waiter (interactive queries ahead of batch/scan
+// traffic), so one long batch scan cannot starve point queries of the
+// next free slot. Under sustained overload the queue fills and requests
+// shed again, so the wait — and with it tail latency — stays bounded by
+// depth × service time rather than collapsing into retry storms.
+
+// admClass is a request's admission priority.
+type admClass int
+
+const (
+	classInteractive admClass = iota // single /v1/search queries
+	classBatch                       // /v1/search/batch scans
+	numClasses
+)
+
+// admWaiter is one queued request. ready is closed exactly once, under
+// the admission mutex, when a released slot is handed over; granted
+// distinguishes "slot transferred" from "gave up while queued" in the
+// unavoidable race between the two.
+type admWaiter struct {
+	ready   chan struct{}
+	granted bool
+	class   admClass
+}
+
+// admission is the server's slot pool + priority queue.
+type admission struct {
+	tel *telemetry.Collector
+
+	mu       sync.Mutex
+	capacity int // total in-flight slots
+	inflight int // slots currently held
+	depth    int // max queued waiters across both classes; 0 = never queue
+	queued   int
+	queues   [numClasses][]*admWaiter // FIFO per class, drained in class order
+}
+
+func newAdmission(capacity, depth int, tel *telemetry.Collector) *admission {
+	return &admission{capacity: capacity, depth: depth, tel: tel}
+}
+
+// acquire obtains an in-flight slot: immediately when one is free, after
+// a bounded queue wait when QueueDepth allows, or not at all — a nil
+// release func with a nil error means the request must be shed (or
+// served degraded). A non-nil error is the context's: the caller gave up
+// (or timed out) while queued.
+func (a *admission) acquire(ctx context.Context, class admClass) (func(), error) {
+	a.mu.Lock()
+	if a.inflight < a.capacity {
+		a.inflight++
+		a.mu.Unlock()
+		return a.release, nil
+	}
+	if a.queued >= a.depth {
+		a.mu.Unlock()
+		return nil, nil
+	}
+	w := &admWaiter{ready: make(chan struct{}), class: class}
+	a.queues[class] = append(a.queues[class], w)
+	a.queued++
+	a.mu.Unlock()
+
+	t0 := time.Now()
+	select {
+	case <-w.ready:
+		a.tel.Inc(telemetry.ServerQueued)
+		a.tel.Observe(telemetry.QueueWaitLatency, time.Since(t0))
+		return a.release, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// A release handed us the slot while we were abandoning: pass it
+			// on rather than leaking it.
+			a.mu.Unlock()
+			a.release()
+			return nil, ctx.Err()
+		}
+		a.remove(w)
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// remove drops an abandoned waiter from its queue. Caller holds mu.
+func (a *admission) remove(w *admWaiter) {
+	q := a.queues[w.class]
+	for i, x := range q {
+		if x == w {
+			a.queues[w.class] = append(q[:i], q[i+1:]...)
+			a.queued--
+			return
+		}
+	}
+}
+
+// release frees one slot — or rather hands it to the longest-waiting
+// highest-class waiter without ever letting it go idle while anyone
+// queues (work conservation is what keeps the queue's latency bound
+// tight).
+func (a *admission) release() {
+	a.mu.Lock()
+	for class := admClass(0); class < numClasses; class++ {
+		if q := a.queues[class]; len(q) > 0 {
+			w := q[0]
+			a.queues[class] = q[1:]
+			a.queued--
+			w.granted = true
+			close(w.ready)
+			a.mu.Unlock()
+			return // slot transferred; inflight unchanged
+		}
+	}
+	a.inflight--
+	a.mu.Unlock()
+}
+
+// inFlight returns the number of held slots (tests poll it).
+func (a *admission) inFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// queueLen returns the number of queued waiters (tests poll it).
+func (a *admission) queueLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}

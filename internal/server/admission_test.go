@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/telemetry"
+)
+
+// waitFor polls cond for up to a second.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAdmissionLegacyShed: depth 0 reproduces the old semaphore
+// exactly — a full server sheds instantly, never queues.
+func TestAdmissionLegacyShed(t *testing.T) {
+	a := newAdmission(1, 0, telemetry.New())
+	rel, err := a.acquire(context.Background(), classInteractive)
+	if err != nil || rel == nil {
+		t.Fatalf("first acquire err %v (release nil: %v), want a slot", err, rel == nil)
+	}
+	if rel2, err := a.acquire(context.Background(), classInteractive); err != nil || rel2 != nil {
+		t.Fatalf("saturated depth-0 acquire err %v (release nil: %v), want (nil, nil) shed", err, rel2 == nil)
+	}
+	rel()
+	if rel3, err := a.acquire(context.Background(), classInteractive); err != nil || rel3 == nil {
+		t.Fatalf("post-release acquire err %v (release nil: %v), want a slot", err, rel3 == nil)
+	} else {
+		rel3()
+	}
+}
+
+// TestAdmissionPriorityHandoff: a freed slot goes to the interactive
+// waiter even when a batch waiter queued first.
+func TestAdmissionPriorityHandoff(t *testing.T) {
+	tel := telemetry.New()
+	a := newAdmission(1, 4, tel)
+	rel, err := a.acquire(context.Background(), classInteractive)
+	if err != nil || rel == nil {
+		t.Fatal("could not take the only slot")
+	}
+
+	granted := make(chan admClass, 2)
+	enqueue := func(class admClass) {
+		go func() {
+			r, err := a.acquire(context.Background(), class)
+			if err != nil || r == nil {
+				t.Errorf("queued acquire(class %d) err %v (release nil: %v)", class, err, r == nil)
+				return
+			}
+			granted <- class
+			r()
+		}()
+	}
+	enqueue(classBatch)
+	waitFor(t, "batch waiter to queue", func() bool { return a.queueLen() == 1 })
+	enqueue(classInteractive)
+	waitFor(t, "interactive waiter to queue", func() bool { return a.queueLen() == 2 })
+
+	rel() // hand the slot over: interactive must win despite queueing second
+	if first := <-granted; first != classInteractive {
+		t.Errorf("first granted class = %d, want interactive (%d)", first, classInteractive)
+	}
+	if second := <-granted; second != classBatch {
+		t.Errorf("second granted class = %d, want batch (%d)", second, classBatch)
+	}
+	if got := tel.Get(telemetry.ServerQueued); got != 2 {
+		t.Errorf("server_queued = %d, want 2", got)
+	}
+}
+
+// TestAdmissionQueueBoundsAndCancel: a full queue sheds; a queued
+// caller whose context ends gets its context error and frees its place.
+func TestAdmissionQueueBoundsAndCancel(t *testing.T) {
+	a := newAdmission(1, 1, telemetry.New())
+	rel, _ := a.acquire(context.Background(), classInteractive)
+	if rel == nil {
+		t.Fatal("could not take the only slot")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx, classInteractive)
+		errCh <- err
+	}()
+	waitFor(t, "waiter to queue", func() bool { return a.queueLen() == 1 })
+
+	if r, err := a.acquire(context.Background(), classBatch); err != nil || r != nil {
+		t.Fatalf("acquire with a full queue err %v (release nil: %v), want (nil, nil) shed", err, r == nil)
+	}
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled queued acquire returned %v, want context.Canceled", err)
+	}
+	waitFor(t, "queue to drain", func() bool { return a.queueLen() == 0 })
+	rel()
+	waitFor(t, "slot to free", func() bool { return a.inFlight() == 0 })
+}
+
+// TestQueueDepthAbsorbsBurst: a single-slot server with a queue absorbs
+// a burst that the legacy configuration would shed — every request
+// answers 200, nothing is rejected, and the queue wait is counted.
+func TestQueueDepthAbsorbsBurst(t *testing.T) {
+	db, _ := smallDB(t)
+	s := NewFromDB(db, Config{MaxInFlight: 1, QueueDepth: 8, RequestTimeout: time.Minute})
+	h := s.Handler()
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+	req := SearchRequest{Exe: e.Exe, Name: e.Name}
+
+	hold := make(chan struct{})
+	s.holdForTest = hold
+	const burst = 4
+	codes := make(chan int, burst)
+	for i := 0; i < burst; i++ {
+		go func() {
+			rec, _ := postSearch(t, h, req)
+			codes <- rec.Code
+		}()
+	}
+	waitFor(t, "burst to queue behind the slot", func() bool {
+		return s.adm.inFlight() == 1 && s.adm.queueLen() == burst-1
+	})
+	close(hold)
+	for i := 0; i < burst; i++ {
+		if code := <-codes; code != 200 {
+			t.Errorf("burst request %d: status %d, want 200", i, code)
+		}
+	}
+	if got := s.Tel().Get(telemetry.ServerRejected); got != 0 {
+		t.Errorf("server_rejected = %d, want 0 (the queue should absorb the burst)", got)
+	}
+	if got := s.Tel().Get(telemetry.ServerQueued); got != burst-1 {
+		t.Errorf("server_queued = %d, want %d", got, burst-1)
+	}
+}

@@ -49,6 +49,16 @@ type SearchRequest struct {
 	// only tighten the server's own request budget, never extend it; an
 	// exceeded deadline answers 504.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// QueryGob is the fleet-internal third query form: a base64 gob of
+	// the already-resolved, lifted query function. The coordinator
+	// resolves a query once (lifting an uploaded image itself, or
+	// fetching a by-reference function from the shard that owns it) and
+	// scatters it to every shard in this form, so shards never re-lift
+	// and never need each other's corpora. Mutually exclusive with Image
+	// and Exe/Name; decoded functions are structurally validated before
+	// any search runs.
+	QueryGob string `json:"query_gob,omitempty"`
 }
 
 // SetImage stores img as the request's base64 query image.
@@ -129,15 +139,22 @@ type FunctionInfo struct {
 	Insts  int    `json:"insts"`
 }
 
-// FunctionsResponse lists the indexed corpus.
+// FunctionsResponse lists the indexed corpus. A coordinator merges the
+// shards' listings; when some shards are unreachable it serves the
+// survivors' union and sets Degraded.
 type FunctionsResponse struct {
 	Total     int            `json:"total"` // before exe filter and limit
 	Functions []FunctionInfo `json:"functions"`
+	Degraded  bool           `json:"degraded,omitempty"`
 }
 
-// HealthResponse reports liveness and the loaded snapshot's shape.
+// HealthResponse reports liveness and the loaded snapshot's shape. A
+// coordinator reports the aggregated fleet: Status degrades to
+// "degraded" when some shards are unreachable and "down" when all are,
+// Functions sums the live shards, Generation is the combined fleet
+// generation, and Fleet carries one entry per shard.
 type HealthResponse struct {
-	Status      string    `json:"status"` // "ok", or "empty" before an index is loaded
+	Status      string    `json:"status"` // "ok", "empty", "degraded" or "down"
 	Functions   int       `json:"functions"`
 	Ks          []int     `json:"ks"` // precomputed tracelet sizes
 	Shards      int       `json:"shards"`
@@ -146,6 +163,35 @@ type HealthResponse struct {
 	IndexFormat int       `json:"index_format"` // TRACYIDX on-disk version (0-3)
 	IndexMapped bool      `json:"index_mapped"` // true when served from mmap
 	LoadMS      float64   `json:"load_ms"`      // load + snapshot-build time
+
+	// Mode is "coordinator" when this server scatter-gathers a worker
+	// fleet instead of serving a local snapshot (empty otherwise).
+	Mode string `json:"mode,omitempty"`
+	// Fleet reports per-shard health, coordinator mode only.
+	Fleet []ShardHealth `json:"fleet,omitempty"`
+}
+
+// ShardHealth is one worker's state as seen from the coordinator.
+type ShardHealth struct {
+	Shard       int    `json:"shard"` // 0-based shard number (fleet list order)
+	Addr        string `json:"addr"`  // worker base URL
+	Status      string `json:"status"`
+	Functions   int    `json:"functions"`
+	Generation  uint64 `json:"generation"`
+	IndexFormat int    `json:"index_format"`
+	IndexMapped bool   `json:"index_mapped"`
+	Error       string `json:"error,omitempty"` // probe failure, when Status is "unreachable"
+}
+
+// FleetFunctionResponse answers the fleet-internal
+// GET /v1/fleet/function?exe=&name= lookup: the gob-encoded lifted
+// function behind one indexed (exe, name), base64 over the wire. The
+// coordinator broadcasts the lookup to resolve a by-reference query —
+// only the shard owning the entry answers 200.
+type FleetFunctionResponse struct {
+	Exe         string `json:"exe"`
+	Name        string `json:"name"`
+	FunctionGob string `json:"function_gob"`
 }
 
 // ReloadResponse reports a completed hot reload.

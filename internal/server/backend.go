@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"sort"
+)
+
+// SearchBackend is where answers come from once a request has cleared
+// the front door (decode, admission, deadlines — all of that stays in
+// the handlers). Two implementations exist: localBackend answers from
+// this process's own index snapshot (the classic single-process mode),
+// and fleetBackend scatter-gathers a sharded worker fleet (coordinator
+// mode, Config.Fleet). The handlers are written against this interface
+// only, so the two modes share every byte of HTTP, observability, and
+// admission machinery.
+type SearchBackend interface {
+	// Search answers one exact search.
+	Search(ctx context.Context, req *SearchRequest) (*SearchResponse, error)
+	// Degraded answers one search in reduced-quality mode (DegradedMode
+	// servers under saturation).
+	Degraded(ctx context.Context, req *SearchRequest) (*SearchResponse, error)
+	// Functions lists the indexed corpus (exe filters, limit > 0 caps).
+	Functions(ctx context.Context, exe string, limit int) (*FunctionsResponse, error)
+	// Health reports liveness and the served corpus's shape. It never
+	// fails: trouble is reported inside the response.
+	Health(ctx context.Context) *HealthResponse
+	// Reload swaps in a fresh index (local: re-read DBPath; fleet:
+	// broadcast to every worker).
+	Reload(ctx context.Context) (*ReloadResponse, error)
+}
+
+// localBackend serves from the server's own atomic snapshot.
+type localBackend struct {
+	s *Server
+}
+
+func (b localBackend) Search(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
+	return b.s.runSearch(ctx, req)
+}
+
+func (b localBackend) Degraded(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
+	return b.s.runDegraded(ctx, req)
+}
+
+func (b localBackend) Functions(_ context.Context, exe string, limit int) (*FunctionsResponse, error) {
+	st := b.s.snap.Load()
+	if st == nil {
+		return nil, errf(503, "no index loaded")
+	}
+	resp := &FunctionsResponse{Total: st.snap.Len()}
+	for _, e := range st.snap.Entries() {
+		if exe != "" && e.Exe != exe {
+			continue
+		}
+		resp.Functions = append(resp.Functions, FunctionInfo{
+			Exe: e.Exe, Name: e.Name, Addr: e.Addr,
+			Blocks: e.Function().NumBlocks(), Insts: e.Function().NumInsts(),
+		})
+		if limit > 0 && len(resp.Functions) == limit {
+			break
+		}
+	}
+	return resp, nil
+}
+
+func (b localBackend) Health(context.Context) *HealthResponse {
+	st := b.s.snap.Load()
+	if st == nil {
+		return &HealthResponse{Status: "empty"}
+	}
+	ks := append([]int(nil), st.snap.Ks()...)
+	sort.Ints(ks)
+	return &HealthResponse{
+		Status:      "ok",
+		Functions:   st.snap.Len(),
+		Ks:          ks,
+		Shards:      st.snap.NumShards(),
+		Generation:  st.gen,
+		LoadedAt:    st.loadedAt,
+		IndexFormat: st.info.Version,
+		IndexMapped: st.info.Mapped,
+		LoadMS:      st.loadMS,
+	}
+}
+
+func (b localBackend) Reload(context.Context) (*ReloadResponse, error) {
+	return b.s.Reload()
+}

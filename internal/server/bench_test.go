@@ -61,6 +61,8 @@ func TestServerBenchReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing report; skipped in -short mode")
 	}
+	restore := ensureParallelism(2)
+	defer restore()
 	db := bigDB(t)
 	s := NewFromDB(db, Config{MaxInFlight: 64})
 	ts := httptest.NewServer(s.Handler())

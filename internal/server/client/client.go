@@ -2,80 +2,57 @@
 // (internal/server): typed wrappers over the /v1 HTTP/JSON API with
 // context support, structured errors, and built-in resilience —
 // exponential-backoff retries with jitter (honoring Retry-After), an
-// optional circuit breaker, and opt-in hedging for batch searches.
+// optional circuit breaker, and opt-in hedging for batch searches. The
+// transport and resilience machinery itself lives in
+// internal/server/rpc (shared with the coordinator's intra-fleet RPC);
+// this package binds it to the wire schema and re-exports its types, so
+// existing callers keep working unchanged.
 package client
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
-	"repro/internal/telemetry"
+	"repro/internal/server/rpc"
 )
 
-// ErrSaturated is wrapped by errors returned when the server sheds load
-// with 429; callers back off and retry (the default RetryPolicy already
-// does): errors.Is(err, ErrSaturated).
-var ErrSaturated = errors.New("server saturated")
+// Re-exported transport types: the resilience machinery moved to
+// internal/server/rpc so the server's coordinator can reuse it, but its
+// public home for API consumers stays here.
+type (
+	// APIError is a non-2xx reply decoded from the server's error body.
+	APIError = rpc.APIError
+	// TransportError wraps a failure to reach the server at all.
+	TransportError = rpc.TransportError
+	// RetryPolicy shapes the client's retry loop.
+	RetryPolicy = rpc.RetryPolicy
+	// Breaker is a consecutive-failure circuit breaker.
+	Breaker = rpc.Breaker
+	// AttemptRecord describes one HTTP round trip.
+	AttemptRecord = rpc.AttemptRecord
+	// Stats is a point-in-time copy of the client's resilience counters.
+	Stats = rpc.Stats
+)
 
-// maxErrBody bounds how much of an error response body is read: a
-// misbehaving server cannot make the client buffer an unbounded error.
-const maxErrBody = 1 << 16
+var (
+	// ErrSaturated is wrapped by errors returned when the server sheds
+	// load with 429: errors.Is(err, ErrSaturated).
+	ErrSaturated = rpc.ErrSaturated
+	// ErrCircuitOpen is returned (wrapped) while the breaker is open.
+	ErrCircuitOpen = rpc.ErrCircuitOpen
+)
 
-// APIError is a non-2xx reply decoded from the server's error body.
-type APIError struct {
-	Status     int           // HTTP status code
-	Msg        string        // server-provided message
-	RetryAfter time.Duration // parsed Retry-After header; 0 when absent
-}
+// maxErrBody bounds how much of an error response body is read.
+const maxErrBody = rpc.MaxErrBody
 
-func (e *APIError) Error() string {
-	return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.Status)
-}
-
-// Unwrap lets errors.Is(err, ErrSaturated) match 429 replies.
-func (e *APIError) Unwrap() error {
-	if e.Status == http.StatusTooManyRequests {
-		return ErrSaturated
-	}
-	return nil
-}
-
-// TransportError wraps a failure to reach the server at all (connection
-// refused/reset, DNS failure, broken response stream). Transport errors
-// are always retryable.
-type TransportError struct {
-	Err error
-}
-
-func (e *TransportError) Error() string { return "transport: " + e.Err.Error() }
-func (e *TransportError) Unwrap() error { return e.Err }
-
-// parseRetryAfter reads a Retry-After header value: delta-seconds or an
-// HTTP date. 0 means absent or unparseable.
-func parseRetryAfter(v string) time.Duration {
-	if v == "" {
-		return 0
-	}
-	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second
-	}
-	if t, err := http.ParseTime(v); err == nil {
-		if d := time.Until(t); d > 0 {
-			return d
-		}
-	}
-	return 0
-}
+// DefaultRetryPolicy returns the policy New() arms: 4 attempts, 50ms
+// base delay doubling to a 2s cap, half-width jitter, no overall budget
+// (the caller's context is the budget).
+func DefaultRetryPolicy() *RetryPolicy { return rpc.DefaultRetryPolicy() }
 
 // Client talks to one tracy server. The zero value of every policy
 // field is safe: nil Retry means no retries, nil Breaker means no
@@ -103,7 +80,7 @@ type Client struct {
 	// replica hurts most.
 	HedgeDelay time.Duration
 
-	stats statCounters
+	stats rpc.Counters
 }
 
 // New returns a client for the server at baseURL with the default
@@ -112,10 +89,24 @@ func New(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Retry: DefaultRetryPolicy()}
 }
 
+// conn views the client's current policy fields as an rpc.Conn. Built
+// per call (fields may be reassigned between calls — tests do), sharing
+// the persistent stats accumulator.
+func (c *Client) conn() *rpc.Conn {
+	return &rpc.Conn{
+		BaseURL:    c.BaseURL,
+		HTTPClient: c.HTTPClient,
+		Retry:      c.Retry,
+		Breaker:    c.Breaker,
+		HedgeDelay: c.HedgeDelay,
+		Stats:      &c.stats,
+	}
+}
+
 // Search runs one query.
 func (c *Client) Search(ctx context.Context, req *server.SearchRequest) (*server.SearchResponse, error) {
 	var resp server.SearchResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/search", req, &resp); err != nil {
+	if err := c.conn().Do(ctx, http.MethodPost, "/v1/search", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -138,7 +129,7 @@ func (c *Client) SearchImage(ctx context.Context, img []byte, fn string, extra *
 // is set, a slow batch is raced by a duplicate request.
 func (c *Client) SearchBatch(ctx context.Context, queries []server.SearchRequest) (*server.BatchResponse, error) {
 	var resp server.BatchResponse
-	if err := c.exec(ctx, http.MethodPost, "/v1/search/batch", server.BatchRequest{Queries: queries}, &resp, true); err != nil {
+	if err := c.conn().DoHedged(ctx, http.MethodPost, "/v1/search/batch", server.BatchRequest{Queries: queries}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -157,7 +148,7 @@ func (c *Client) Functions(ctx context.Context, exe string, limit int) (*server.
 		path += fmt.Sprintf("%slimit=%d", sep, limit)
 	}
 	var resp server.FunctionsResponse
-	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+	if err := c.conn().Do(ctx, http.MethodGet, path, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -166,7 +157,7 @@ func (c *Client) Functions(ctx context.Context, exe string, limit int) (*server.
 // Healthz probes liveness and the loaded snapshot's shape.
 func (c *Client) Healthz(ctx context.Context) (*server.HealthResponse, error) {
 	var resp server.HealthResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
+	if err := c.conn().Do(ctx, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -175,142 +166,14 @@ func (c *Client) Healthz(ctx context.Context) (*server.HealthResponse, error) {
 // Reload asks the server to hot-reload its index from disk.
 func (c *Client) Reload(ctx context.Context) (*server.ReloadResponse, error) {
 	var resp server.ReloadResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/reload", nil, &resp); err != nil {
+	if err := c.conn().Do(ctx, http.MethodPost, "/v1/reload", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// do sends one JSON request (with the retry policy) and decodes the
-// reply into out.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	return c.exec(ctx, method, path, in, out, false)
-}
-
-// exec is the shared request pipeline: marshal once, mint the logical
-// request's trace ID, then run attempts through the optional hedging
-// and retry layers. Every HTTP round trip — first try, backoff retry,
-// hedge duplicate — carries the same trace ID in its traceparent header
-// (with a fresh span ID per attempt) plus its attempt number and hedge
-// flag, so the server's access log and flight recorder can tell the
-// attempts of one logical request apart while still joining them.
-func (c *Client) exec(ctx context.Context, method, path string, in, out any, hedge bool) error {
-	var payload []byte
-	if in != nil {
-		b, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		payload = b
-	}
-	traceID := telemetry.NewTraceID()
-	var seq atomic.Int64
-	attempt := func(ctx context.Context, hedged bool) ([]byte, error) {
-		n := int(seq.Add(1)) - 1 // 0-based attempt number within this request
-		return c.attempt(ctx, method, path, payload, in != nil, attemptMeta{
-			trace:   traceID,
-			attempt: n,
-			hedge:   hedged,
-		})
-	}
-	run := func(ctx context.Context) ([]byte, error) { return attempt(ctx, false) }
-	if hedge {
-		run = c.hedged(attempt)
-	}
-	data, err := c.withRetry(ctx, run)
-	if err != nil {
-		return err
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(data, out)
-}
-
-// attemptMeta is one round trip's trace identity.
-type attemptMeta struct {
-	trace   string
-	attempt int
-	hedge   bool
-}
-
-// attempt performs exactly one HTTP round trip and classifies the
-// outcome: raw 200 body, *APIError (with parsed Retry-After), or
-// *TransportError. Context errors come back unwrapped so the retry
-// layer can tell "the caller gave up" from "the network failed".
-// Every outcome lands in the client's attempt-record ring (Stats).
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, meta attemptMeta) ([]byte, error) {
-	c.stats.attempts.Add(1)
-	t0 := time.Now()
-	rec := AttemptRecord{TraceID: meta.trace, Path: path, Attempt: meta.attempt, Hedge: meta.hedge}
-	var body io.Reader
-	if hasBody {
-		body = bytes.NewReader(payload)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
-	if err != nil {
-		return nil, err
-	}
-	if hasBody {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	req.Header.Set(telemetry.TraceparentHeader, telemetry.FormatTraceparent(meta.trace, telemetry.NewSpanID()))
-	req.Header.Set(server.AttemptHeader, strconv.Itoa(meta.attempt))
-	if meta.hedge {
-		req.Header.Set(server.HedgeHeader, "1")
-	}
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Do(req)
-	if err != nil {
-		if cerr := ctx.Err(); cerr != nil {
-			err = cerr
-		} else {
-			err = &TransportError{Err: err}
-		}
-		rec.Err = err.Error()
-		rec.DurMS = msSince(t0)
-		c.stats.record(rec)
-		return nil, err
-	}
-	defer resp.Body.Close()
-	rec.Status = resp.StatusCode
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBody))
-		var apiErr server.ErrorResponse
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			msg = apiErr.Error
-		}
-		aerr := &APIError{
-			Status:     resp.StatusCode,
-			Msg:        msg,
-			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
-		}
-		rec.Err = aerr.Error()
-		rec.DurMS = msSince(t0)
-		c.stats.record(rec)
-		return nil, aerr
-	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		if cerr := ctx.Err(); cerr != nil {
-			err = cerr
-		} else {
-			err = &TransportError{Err: err}
-		}
-		rec.Err = err.Error()
-		rec.DurMS = msSince(t0)
-		c.stats.record(rec)
-		return nil, err
-	}
-	rec.DurMS = msSince(t0)
-	c.stats.record(rec)
-	return data, nil
-}
-
-func msSince(t0 time.Time) float64 {
-	return float64(time.Since(t0).Nanoseconds()) / 1e6
+// Stats returns the client's cumulative resilience counters and the
+// recent attempt records.
+func (c *Client) Stats() Stats {
+	return c.stats.Snapshot()
 }

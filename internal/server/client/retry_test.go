@@ -163,46 +163,6 @@ func TestRetryBudget(t *testing.T) {
 	}
 }
 
-func TestDelayBackoffShape(t *testing.T) {
-	p := &RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond,
-		Jitter: -1} // deterministic
-	for i, want := range []time.Duration{10, 20, 40, 80, 80, 80} {
-		if got := p.delay(i, 0); got != want*time.Millisecond {
-			t.Errorf("delay(%d) = %v, want %v", i, got, want*time.Millisecond)
-		}
-	}
-	// Retry-After floors the backoff.
-	if got := p.delay(0, 500*time.Millisecond); got != 500*time.Millisecond {
-		t.Errorf("delay with Retry-After = %v, want 500ms", got)
-	}
-	// Jitter stays within [1-jitter, 1] of nominal.
-	pj := &RetryPolicy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5,
-		randFloat: func() float64 { return 1.0 }}
-	if got := pj.delay(0, 0); got != 50*time.Millisecond {
-		t.Errorf("full-jitter delay = %v, want 50ms", got)
-	}
-	pj.randFloat = func() float64 { return 0.0 }
-	if got := pj.delay(0, 0); got != 100*time.Millisecond {
-		t.Errorf("zero-jitter delay = %v, want 100ms", got)
-	}
-}
-
-func TestParseRetryAfter(t *testing.T) {
-	if d := parseRetryAfter("3"); d != 3*time.Second {
-		t.Errorf("seconds form = %v", d)
-	}
-	if d := parseRetryAfter(""); d != 0 {
-		t.Errorf("empty = %v", d)
-	}
-	if d := parseRetryAfter("garbage"); d != 0 {
-		t.Errorf("garbage = %v", d)
-	}
-	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
-	if d := parseRetryAfter(future); d < 5*time.Second || d > 10*time.Second {
-		t.Errorf("http-date form = %v", d)
-	}
-}
-
 func TestMalformedAndOversizedErrorBodies(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {

@@ -1,0 +1,644 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/prep"
+	"repro/internal/server/rpc"
+	"repro/internal/telemetry"
+)
+
+// Coordinator mode: the corpus is hash-sharded (index.ShardOf) into N
+// disjoint TRACYIDX slices, each served by an ordinary worker server,
+// and this process scatter-gathers them. A query is resolved to a
+// lifted function exactly once — an uploaded image is lifted here, a
+// by-reference query is fetched from the shard that owns it — then
+// broadcast to every shard as a QueryGob request with a per-shard
+// deadline. Each shard answers its local top-K; because every corpus
+// function lives on exactly one shard, re-ranking the concatenated
+// partials with the same comparator (index.TopK: score desc, exe asc,
+// name asc) reproduces the single-process answer bit for bit. A slow or
+// dead shard costs its hits, not the query: the merge of the survivors
+// is returned with degraded:true and the failure named, and such
+// partial answers are never cached. Intra-fleet RPC rides the same
+// retry/breaker transport (internal/server/rpc) the public client uses.
+
+// defaultShardTimeout bounds one shard RPC when Config.ShardTimeout is
+// zero: long enough for an exhaustive scan of a fair shard slice, short
+// enough that one wedged worker cannot pin a query to the full request
+// deadline.
+const defaultShardTimeout = 10 * time.Second
+
+// fleetProbeTTL is how long one healthz fan-out's view of the fleet
+// (liveness, generations — the fleet cache generation) stays fresh.
+const fleetProbeTTL = time.Second
+
+// fleetProbeTimeout bounds a single healthz probe.
+const fleetProbeTimeout = 2 * time.Second
+
+// shardConn is one worker in the fleet. Each shard gets its own breaker
+// and counters so one flapping worker trips only its own circuit.
+type shardConn struct {
+	id   int
+	addr string
+	conn *rpc.Conn
+}
+
+// fleetBackend implements SearchBackend by scatter-gather over shards.
+type fleetBackend struct {
+	s       *Server
+	shards  []*shardConn
+	timeout time.Duration // per-shard RPC deadline
+
+	mu       sync.Mutex
+	probedAt time.Time
+	gen      uint64   // combined fleet generation (fnv64 of last-known shard gens)
+	lastGen  []uint64 // last known generation per shard (survives a dead probe)
+	health   *HealthResponse
+}
+
+func newFleetBackend(s *Server) *fleetBackend {
+	timeout := s.cfg.ShardTimeout
+	if timeout <= 0 {
+		timeout = defaultShardTimeout
+	}
+	f := &fleetBackend{
+		s:       s,
+		timeout: timeout,
+		lastGen: make([]uint64, len(s.cfg.Fleet)),
+	}
+	for i, addr := range s.cfg.Fleet {
+		addr = strings.TrimRight(addr, "/")
+		f.shards = append(f.shards, &shardConn{
+			id:   i,
+			addr: addr,
+			conn: &rpc.Conn{
+				BaseURL: addr,
+				Retry:   rpc.DefaultRetryPolicy(),
+				Breaker: &rpc.Breaker{Threshold: 5, Cooldown: time.Second},
+				Stats:   &rpc.Counters{},
+			},
+		})
+	}
+	return f
+}
+
+// probe fans one healthz out to every shard and rebuilds the fleet
+// view: the aggregated HealthResponse, the per-shard info gauges, and
+// the combined generation that keys the coordinator's result cache.
+func (f *fleetBackend) probe(ctx context.Context) (*HealthResponse, uint64) {
+	type probeRes struct {
+		h   *HealthResponse
+		err error
+	}
+	results := make([]probeRes, len(f.shards))
+	var wg sync.WaitGroup
+	for i, sc := range f.shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, fleetProbeTimeout)
+			defer cancel()
+			var h HealthResponse
+			err := sc.conn.Do(pctx, http.MethodGet, "/v1/healthz", nil, &h)
+			results[i] = probeRes{h: &h, err: err}
+		}(i, sc)
+	}
+	wg.Wait()
+
+	agg := &HealthResponse{Mode: "coordinator", Shards: len(f.shards)}
+	live := 0
+	f.mu.Lock()
+	for i, sc := range f.shards {
+		sh := ShardHealth{Shard: i, Addr: sc.addr}
+		if err := results[i].err; err != nil {
+			sh.Status = "unreachable"
+			sh.Error = err.Error()
+		} else {
+			h := results[i].h
+			sh.Status = h.Status
+			sh.Functions = h.Functions
+			sh.Generation = h.Generation
+			sh.IndexFormat = h.IndexFormat
+			sh.IndexMapped = h.IndexMapped
+			f.lastGen[i] = h.Generation
+			live++
+			agg.Functions += sh.Functions
+			if len(agg.Ks) == 0 {
+				agg.Ks = h.Ks
+			}
+			if agg.LoadedAt.IsZero() || h.LoadedAt.After(agg.LoadedAt) {
+				agg.LoadedAt = h.LoadedAt
+			}
+			if live == 1 {
+				agg.IndexFormat = h.IndexFormat
+				agg.IndexMapped = h.IndexMapped
+			}
+		}
+		agg.Fleet = append(agg.Fleet, sh)
+		// One info gauge per shard (value constant 1, identity in the
+		// labels) keeps /metrics cardinality bounded: the hot fleet
+		// counters and histograms stay label-free.
+		f.s.tel.SetInfo(fmt.Sprintf("fleet_shard_%d_info", i), map[string]string{
+			"shard":      strconv.Itoa(i),
+			"addr":       sc.addr,
+			"status":     sh.Status,
+			"generation": strconv.FormatUint(f.lastGen[i], 10),
+			"format":     strconv.Itoa(sh.IndexFormat),
+			"mapped":     strconv.FormatBool(sh.IndexMapped),
+		})
+	}
+	// The fleet generation folds every shard's last-known snapshot
+	// generation: any worker reload changes it, flushing stale cache
+	// entries, while a mere outage does not (cached full-fleet answers
+	// are still correct and carry the service through it).
+	hash := fnv.New64a()
+	var buf [8]byte
+	for i, sc := range f.shards {
+		_, _ = hash.Write([]byte(sc.addr))
+		_, _ = hash.Write([]byte{0})
+		binary.LittleEndian.PutUint64(buf[:], f.lastGen[i])
+		_, _ = hash.Write(buf[:])
+	}
+	switch {
+	case live == len(f.shards):
+		agg.Status = "ok"
+	case live > 0:
+		agg.Status = "degraded"
+	default:
+		agg.Status = "down"
+	}
+	agg.Generation = hash.Sum64()
+	f.gen = agg.Generation
+	f.health = agg
+	f.probedAt = time.Now()
+	f.mu.Unlock()
+	return agg, agg.Generation
+}
+
+// generation returns the fleet cache generation, reprobing when the
+// cached fleet view is older than fleetProbeTTL.
+func (f *fleetBackend) generation(ctx context.Context) uint64 {
+	f.mu.Lock()
+	if f.health != nil && time.Since(f.probedAt) < fleetProbeTTL {
+		gen := f.gen
+		f.mu.Unlock()
+		return gen
+	}
+	f.mu.Unlock()
+	_, gen := f.probe(ctx)
+	return gen
+}
+
+func (f *fleetBackend) Health(ctx context.Context) *HealthResponse {
+	h, _ := f.probe(ctx)
+	return h
+}
+
+// encodeQueryGob turns a resolved query function into the fleet wire
+// form (base64 gob).
+func encodeQueryGob(fn *prep.Function) (string, []byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fn); err != nil {
+		return "", nil, err
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes()), buf.Bytes(), nil
+}
+
+// decodeQueryGob is the worker-side inverse; the decoded function is
+// structurally validated before anything runs on it.
+func decodeQueryGob(s string) (*prep.Function, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad base64 query_gob: %v", err)
+	}
+	var fn prep.Function
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&fn); err != nil {
+		return nil, fmt.Errorf("bad query_gob: %v", err)
+	}
+	if err := index.ValidateFunction(&fn); err != nil {
+		return nil, fmt.Errorf("bad query_gob: %v", err)
+	}
+	return &fn, nil
+}
+
+// lookupFunction resolves a by-reference query by broadcasting the
+// fleet function lookup; exactly one shard owns the entry and answers
+// 200, so the first success wins and cancels the rest.
+func (f *fleetBackend) lookupFunction(ctx context.Context, exe, name string) (*prep.Function, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.timeout)
+	defer cancel()
+	path := "/v1/fleet/function?" + url.Values{"exe": {exe}, "name": {name}}.Encode()
+	type res struct {
+		fn  *prep.Function
+		err error
+	}
+	ch := make(chan res, len(f.shards))
+	for _, sc := range f.shards {
+		go func(sc *shardConn) {
+			var fr FleetFunctionResponse
+			if err := sc.conn.Do(ctx, http.MethodGet, path, nil, &fr); err != nil {
+				ch <- res{err: err}
+				return
+			}
+			fn, err := decodeQueryGob(fr.FunctionGob)
+			if err != nil {
+				err = errf(http.StatusBadGateway, "shard %d returned %v", sc.id, err)
+			}
+			ch <- res{fn: fn, err: err}
+		}(sc)
+	}
+	var firstErr error
+	for range f.shards {
+		r := <-ch
+		if r.err == nil {
+			return r.fn, nil
+		}
+		if firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	var apiErr *rpc.APIError
+	if errors.As(firstErr, &apiErr) && apiErr.Status == http.StatusNotFound {
+		return nil, errf(http.StatusNotFound, "no indexed function %s/%s", exe, name)
+	}
+	return nil, errf(http.StatusBadGateway, "fleet: resolving %s/%s: %v", exe, name, firstErr)
+}
+
+// resolveFleet validates the request and resolves its query to a lifted
+// function, returning the function plus the request to scatter (the
+// query re-expressed as QueryGob; every tuning knob forwarded, with the
+// coordinator's resolved limit so shards return exactly the partial the
+// merge needs).
+func (f *fleetBackend) resolveFleet(ctx context.Context, req *SearchRequest) (*prep.Function, *SearchRequest, []byte, error) {
+	if req.MinScore < 0 || req.MinScore > 1 {
+		return nil, nil, nil, errf(http.StatusBadRequest, "min_score %v outside [0,1]", req.MinScore)
+	}
+	if req.Candidates < 0 {
+		return nil, nil, nil, errf(http.StatusBadRequest, "candidates %d must be positive", req.Candidates)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, nil, nil, errf(http.StatusBadRequest, "timeout_ms %d must be positive", req.TimeoutMS)
+	}
+	if _, ok := index.ParsePrefilterMode(req.PrefilterMode); !ok {
+		return nil, nil, nil, errf(http.StatusBadRequest, "prefilter_mode %q unknown (want scan or lsh)", req.PrefilterMode)
+	}
+	limit := req.Limit
+	switch {
+	case limit <= 0:
+		limit = 10
+	case limit > 1000:
+		limit = 1000
+	}
+
+	byGob := req.QueryGob != ""
+	byImage := req.Image != ""
+	byRef := req.Exe != "" || req.Name != ""
+	var fn *prep.Function
+	var err error
+	switch {
+	case byGob && (byImage || byRef), byImage && byRef:
+		return nil, nil, nil, errf(http.StatusBadRequest, "give either image or exe/name, not both")
+	case byGob:
+		if fn, err = decodeQueryGob(req.QueryGob); err != nil {
+			return nil, nil, nil, errf(http.StatusBadRequest, "%v", err)
+		}
+	case byImage:
+		if fn, err = liftQueryImage(req); err != nil {
+			return nil, nil, nil, err
+		}
+	case byRef:
+		if req.Exe == "" || req.Name == "" {
+			return nil, nil, nil, errf(http.StatusBadRequest, "reference queries need both exe and name")
+		}
+		if fn, err = f.lookupFunction(ctx, req.Exe, req.Name); err != nil {
+			return nil, nil, nil, err
+		}
+	default:
+		return nil, nil, nil, errf(http.StatusBadRequest, "empty query: set image or exe/name")
+	}
+
+	qgob, raw, err := encodeQueryGob(fn)
+	if err != nil {
+		return nil, nil, nil, errf(http.StatusInternalServerError, "encoding query: %v", err)
+	}
+	shardReq := &SearchRequest{
+		QueryGob:      qgob,
+		K:             req.K,
+		Limit:         limit,
+		MinScore:      req.MinScore,
+		Prefilter:     req.Prefilter,
+		Candidates:    req.Candidates,
+		PrefilterMode: req.PrefilterMode,
+		TimeoutMS:     req.TimeoutMS,
+	}
+	return fn, shardReq, raw, nil
+}
+
+// shardResult is one gathered partial.
+type shardResult struct {
+	id   int
+	resp *SearchResponse
+	err  error
+}
+
+// searchShard runs the scatter leg against one shard under its own
+// deadline, firing the chaos points FaultShard and "shard<i>" first.
+func (f *fleetBackend) searchShard(ctx context.Context, sc *shardConn, req *SearchRequest) shardResult {
+	if err := f.s.faults.Fire(ctx, FaultShard); err != nil {
+		return shardResult{id: sc.id, err: err}
+	}
+	if err := f.s.faults.Fire(ctx, fmt.Sprintf("%s%d", FaultShard, sc.id)); err != nil {
+		return shardResult{id: sc.id, err: err}
+	}
+	sctx, cancel := context.WithTimeout(ctx, f.timeout)
+	defer cancel()
+	st := f.s.tel.StartTimer(telemetry.FleetShardLatency)
+	defer st.Stop()
+	var resp SearchResponse
+	if err := sc.conn.Do(sctx, http.MethodPost, "/v1/search", req, &resp); err != nil {
+		return shardResult{id: sc.id, err: err}
+	}
+	return shardResult{id: sc.id, resp: &resp}
+}
+
+func (f *fleetBackend) Search(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
+	t0 := time.Now()
+	sp := telemetry.SpanFromContext(ctx)
+	f.s.tel.Inc(telemetry.FleetSearches)
+
+	rsp := sp.Child("resolve")
+	fn, shardReq, raw, err := f.resolveFleet(ctx, req)
+	rsp.End()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := reqCtx(ctx, req)
+	defer cancel()
+
+	k := req.K
+	if k <= 0 {
+		k = f.s.opts.K
+	}
+	mode, _ := index.ParsePrefilterMode(req.PrefilterMode)
+	effCand := 0
+	if req.Prefilter || req.Candidates > 0 || mode == index.ModeLSH {
+		effCand = req.Candidates
+		if effCand <= 0 {
+			effCand = index.DefaultPrefilterCandidates
+		}
+		if effCand > 1000 {
+			effCand = 1000
+		}
+	}
+	// The cache key fingerprints the gob bytes of the resolved query:
+	// same function, same answer. gen is the combined fleet generation,
+	// so any worker reload invalidates coordinator-side entries.
+	hash := fnv.New64a()
+	_, _ = hash.Write(raw)
+	key := cacheKey{fp: hash.Sum64(), gen: f.generation(ctx), k: k, limit: shardReq.Limit,
+		minScore: req.MinScore, candidates: effCand, mode: mode}
+	cacheOK := f.s.faults.Fire(ctx, FaultCache) == nil
+	if cacheOK {
+		csp := sp.Child("cache")
+		ct := f.s.tel.StartTimer(telemetry.CacheLookupLatency)
+		cached, ok := f.s.cache.get(key)
+		ct.Stop()
+		csp.End()
+		if ok {
+			f.s.tel.Inc(telemetry.ServerCacheHits)
+			sp.Set("cached", 1)
+			resp := *cached // shallow copy; shared Hits are read-only
+			resp.Cached = true
+			resp.TookMS = msSince(t0)
+			return &resp, nil
+		}
+		f.s.tel.Inc(telemetry.ServerCacheMisses)
+	}
+
+	// Scatter: every shard races under its own deadline.
+	ssp := sp.Child("scatter")
+	results := make([]shardResult, len(f.shards))
+	var wg sync.WaitGroup
+	for i, sc := range f.shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			results[i] = f.searchShard(ctx, sc, shardReq)
+		}(i, sc)
+	}
+	wg.Wait()
+	ssp.End()
+
+	// Gather: concatenate the partials and re-rank under the canonical
+	// comparator. Disjoint shards make this bit-identical to the
+	// single-snapshot answer when every shard reports in.
+	msp := sp.Child("merge")
+	mt := f.s.tel.StartTimer(telemetry.FleetMergeLatency)
+	var merged []index.Hit
+	var failed []string
+	var firstAPIErr *rpc.APIError
+	resp := &SearchResponse{
+		Query:       fn.Name,
+		QueryBlocks: fn.NumBlocks(),
+		QueryInsts:  fn.NumInsts(),
+		K:           k,
+	}
+	shardDegraded := false
+	for _, r := range results {
+		if r.err != nil {
+			f.s.tel.Inc(telemetry.FleetShardErrors)
+			failed = append(failed, fmt.Sprintf("shard %d: %v", r.id, r.err))
+			var apiErr *rpc.APIError
+			if errors.As(r.err, &apiErr) && firstAPIErr == nil {
+				firstAPIErr = apiErr
+			}
+			continue
+		}
+		resp.K = r.resp.K
+		resp.Candidates += r.resp.Candidates
+		resp.Prefiltered = resp.Prefiltered || r.resp.Prefiltered
+		if r.resp.PrefilterMode != "" {
+			resp.PrefilterMode = r.resp.PrefilterMode
+		}
+		shardDegraded = shardDegraded || r.resp.Degraded
+		for _, h := range r.resp.Hits {
+			merged = append(merged, index.Hit{
+				Entry:  &index.Entry{Exe: h.Exe, Name: h.Name, Addr: h.Addr},
+				Result: coreResult(h),
+			})
+		}
+	}
+	if len(failed) == len(f.shards) {
+		mt.Stop()
+		msp.End()
+		// Nothing answered. When every shard rejected the request itself
+		// (a 4xx — bad k, unknown prefilter mode), relay that verdict;
+		// otherwise the fleet is the problem.
+		if firstAPIErr != nil && firstAPIErr.Status >= 400 && firstAPIErr.Status < 500 &&
+			firstAPIErr.Status != http.StatusTooManyRequests {
+			return nil, errf(firstAPIErr.Status, "%s", firstAPIErr.Msg)
+		}
+		return nil, errf(http.StatusBadGateway, "fleet: all %d shards failed: %s",
+			len(f.shards), strings.Join(failed, "; "))
+	}
+	top := index.TopK(merged, shardReq.Limit, req.MinScore)
+	resp.Hits = make([]Hit, len(top))
+	for i, h := range top {
+		resp.Hits[i] = Hit{
+			Exe:            h.Entry.Exe,
+			Name:           h.Entry.Name,
+			Addr:           h.Entry.Addr,
+			Score:          h.Result.SimilarityScore,
+			IsMatch:        h.Result.IsMatch,
+			Matched:        h.Result.Matched(),
+			RefTracelets:   h.Result.RefTracelets,
+			MatchedRewrite: h.Result.MatchedRewrite,
+		}
+	}
+	mt.Stop()
+	msp.End()
+	if len(failed) > 0 {
+		f.s.tel.Inc(telemetry.FleetPartials)
+		sp.Set("degraded", 1)
+		resp.Degraded = true
+		resp.DegradedReason = fmt.Sprintf("partial fleet answer: %d/%d shards failed (%s)",
+			len(failed), len(f.shards), strings.Join(failed, "; "))
+	} else if shardDegraded {
+		resp.Degraded = true
+		resp.DegradedReason = "one or more shards answered degraded"
+	}
+	resp.TookMS = msSince(t0)
+	// Only a full-fleet, full-quality answer is cacheable.
+	if cacheOK && !resp.Degraded {
+		f.s.cache.put(key, resp)
+	}
+	return resp, nil
+}
+
+func (f *fleetBackend) Degraded(context.Context, *SearchRequest) (*SearchResponse, error) {
+	// The coordinator's graceful-degradation story is the partial merge,
+	// not prefilter-only ranking (it has no corpus to rank against).
+	return nil, errf(http.StatusServiceUnavailable, "coordinator cannot serve degraded answers")
+}
+
+func (f *fleetBackend) Functions(ctx context.Context, exe string, limit int) (*FunctionsResponse, error) {
+	path := "/v1/functions"
+	q := url.Values{}
+	if exe != "" {
+		q.Set("exe", exe)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	results := make([]shardResult, len(f.shards))
+	resps := make([]*FunctionsResponse, len(f.shards))
+	var wg sync.WaitGroup
+	for i, sc := range f.shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, f.timeout)
+			defer cancel()
+			var fr FunctionsResponse
+			results[i] = shardResult{id: sc.id, err: sc.conn.Do(sctx, http.MethodGet, path, nil, &fr)}
+			resps[i] = &fr
+		}(i, sc)
+	}
+	wg.Wait()
+	// Same degradation contract as search: merge the surviving shards
+	// and say so, fail only when nobody answers.
+	out := &FunctionsResponse{}
+	var firstErr error
+	live := 0
+	for i, r := range results {
+		if r.err != nil {
+			f.s.tel.Inc(telemetry.FleetShardErrors)
+			if firstErr == nil {
+				firstErr = errf(http.StatusBadGateway, "fleet: shard %d: %v", r.id, r.err)
+			}
+			out.Degraded = true
+			continue
+		}
+		live++
+		out.Total += resps[i].Total
+		out.Functions = append(out.Functions, resps[i].Functions...)
+	}
+	if live == 0 {
+		return nil, firstErr
+	}
+	sort.Slice(out.Functions, func(i, j int) bool {
+		if out.Functions[i].Exe != out.Functions[j].Exe {
+			return out.Functions[i].Exe < out.Functions[j].Exe
+		}
+		return out.Functions[i].Name < out.Functions[j].Name
+	})
+	if limit > 0 && len(out.Functions) > limit {
+		out.Functions = out.Functions[:limit]
+	}
+	return out, nil
+}
+
+func (f *fleetBackend) Reload(ctx context.Context) (*ReloadResponse, error) {
+	t0 := time.Now()
+	results := make([]shardResult, len(f.shards))
+	resps := make([]*ReloadResponse, len(f.shards))
+	var wg sync.WaitGroup
+	for i, sc := range f.shards {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, f.timeout)
+			defer cancel()
+			var rr ReloadResponse
+			results[i] = shardResult{id: sc.id, err: sc.conn.Do(sctx, http.MethodPost, "/v1/reload", nil, &rr)}
+			resps[i] = &rr
+		}(i, sc)
+	}
+	wg.Wait()
+	out := &ReloadResponse{}
+	for i, r := range results {
+		if r.err != nil {
+			return nil, errf(http.StatusConflict, "fleet reload: shard %d: %v", r.id, r.err)
+		}
+		out.Functions += resps[i].Functions
+		if i == 0 {
+			out.Format = resps[i].Format
+			out.Mapped = resps[i].Mapped
+		}
+	}
+	f.s.tel.Inc(telemetry.ServerReloads)
+	_, out.Generation = f.probe(ctx) // fresh fleet generation after the swap
+	f.s.cache.purge()
+	out.TookMS = msSince(t0)
+	return out, nil
+}
+
+// coreResult reconstructs the wire hit's core.Result for re-ranking.
+func coreResult(h Hit) (r core.Result) {
+	r.SimilarityScore = h.Score
+	r.IsMatch = h.IsMatch
+	r.MatchedRewrite = h.MatchedRewrite
+	r.MatchedDirect = h.Matched - h.MatchedRewrite
+	r.RefTracelets = h.RefTracelets
+	return r
+}

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/faultinject"
+	"repro/internal/index"
+	"repro/internal/telemetry"
+)
+
+// shardDBs splits db into n disjoint shard databases through the real
+// on-disk v3 shard format (write + load round trip, exactly what tracy
+// shard produces).
+func shardDBs(t *testing.T, db *index.DB, n int) []*index.DB {
+	t.Helper()
+	out := make([]*index.DB, n)
+	total := 0
+	for i := range out {
+		var buf bytes.Buffer
+		if err := db.SaveV3Shard(&buf, i, n); err != nil {
+			t.Fatalf("SaveV3Shard(%d/%d): %v", i, n, err)
+		}
+		sdb, err := index.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("loading shard %d: %v", i, err)
+		}
+		out[i] = sdb
+		total += sdb.Len()
+	}
+	if total != db.Len() {
+		t.Fatalf("shards hold %d functions, input has %d", total, db.Len())
+	}
+	return out
+}
+
+// startFleet boots n worker servers over disjoint shards of db plus a
+// coordinator scattering to them, all torn down with the test.
+func startFleet(t *testing.T, db *index.DB, n int, coordCfg Config) (*Server, []*Server) {
+	t.Helper()
+	workers := make([]*Server, n)
+	urls := make([]string, n)
+	for i, sdb := range shardDBs(t, db, n) {
+		w := NewFromDB(sdb, Config{})
+		addr, err := w.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("starting worker %d: %v", i, err)
+		}
+		workers[i] = w
+		urls[i] = "http://" + addr.String()
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, w := range workers {
+			_ = w.Shutdown(ctx)
+		}
+	})
+	coordCfg.Fleet = urls
+	coord, err := New(coordCfg)
+	if err != nil {
+		t.Fatalf("starting coordinator: %v", err)
+	}
+	return coord, workers
+}
+
+// TestFleetSearchParity is the merge-contract property test: for both
+// query forms, an exhaustive coordinator search over disjoint shards is
+// bit-identical to the same search on a single server holding the union
+// corpus — same hits, same order, same scores, same candidate count.
+func TestFleetSearchParity(t *testing.T) {
+	db, c := smallDB(t)
+	single := NewFromDB(db, Config{})
+	sh := single.Handler()
+	coord, _ := startFleet(t, db, 3, Config{})
+	ch := coord.Handler()
+
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+	byRef := SearchRequest{Exe: e.Exe, Name: e.Name, Limit: 1000}
+	byImage := SearchRequest{Limit: 1000}
+	byImage.SetImage(exeImage(t, c, "ctx0"))
+
+	for name, req := range map[string]SearchRequest{"by-ref": byRef, "by-image": byImage} {
+		rec, want := postSearch(t, sh, req)
+		if want == nil {
+			t.Fatalf("%s: single-server search failed: %d %s", name, rec.Code, rec.Body.String())
+		}
+		rec, got := postSearch(t, ch, req)
+		if got == nil {
+			t.Fatalf("%s: fleet search failed: %d %s", name, rec.Code, rec.Body.String())
+		}
+		if got.Degraded {
+			t.Fatalf("%s: full fleet answered degraded: %s", name, got.DegradedReason)
+		}
+		if got.Query != want.Query || got.K != want.K {
+			t.Errorf("%s: resolved (query %q, k %d), single server (query %q, k %d)",
+				name, got.Query, got.K, want.Query, want.K)
+		}
+		if got.Candidates != want.Candidates {
+			t.Errorf("%s: fleet scanned %d candidates, single server %d", name, got.Candidates, want.Candidates)
+		}
+		if len(got.Hits) != len(want.Hits) {
+			t.Fatalf("%s: fleet returned %d hits, single server %d", name, len(got.Hits), len(want.Hits))
+		}
+		for i := range got.Hits {
+			if got.Hits[i] != want.Hits[i] {
+				t.Errorf("%s: hit %d diverged:\n  fleet:  %+v\n  single: %+v", name, i, got.Hits[i], want.Hits[i])
+			}
+		}
+	}
+}
+
+// TestFleetCachesFullAnswers: the coordinator's result cache serves a
+// repeated query without re-scattering.
+func TestFleetCachesFullAnswers(t *testing.T) {
+	db, _ := smallDB(t)
+	coord, _ := startFleet(t, db, 2, Config{CacheEntries: 64})
+	h := coord.Handler()
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+	req := SearchRequest{Exe: e.Exe, Name: e.Name, Limit: 5}
+
+	rec, first := postSearch(t, h, req)
+	if first == nil {
+		t.Fatalf("first search failed: %d %s", rec.Code, rec.Body.String())
+	}
+	if first.Cached {
+		t.Error("first fleet search claims cached")
+	}
+	_, second := postSearch(t, h, req)
+	if second == nil || !second.Cached {
+		t.Fatalf("second identical search not served from cache: %+v", second)
+	}
+	if len(second.Hits) != len(first.Hits) {
+		t.Errorf("cached answer has %d hits, original %d", len(second.Hits), len(first.Hits))
+	}
+}
+
+// TestFleetChaosShardFaultDegrades: with one scatter leg fault-armed,
+// the coordinator answers from the surviving shards — degraded:true
+// with the failure named, the survivors' hits in canonical order,
+// nothing cached — and recovers to full-quality answers when the fault
+// clears.
+func TestFleetChaosShardFaultDegrades(t *testing.T) {
+	const nShards = 3
+	db, _ := smallDB(t)
+	faults := faultinject.New()
+	faults.Arm(&faultinject.Fault{Point: FaultShard + "1", Mode: faultinject.Error, Count: 1})
+	coord, _ := startFleet(t, db, nShards, Config{Faults: faults, CacheEntries: 64})
+	h := coord.Handler()
+
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+	req := SearchRequest{Exe: e.Exe, Name: e.Name, Limit: 1000}
+
+	rec, got := postSearch(t, h, req)
+	if got == nil {
+		t.Fatalf("partial fleet search must answer, got %d %s", rec.Code, rec.Body.String())
+	}
+	if !got.Degraded || !strings.Contains(got.DegradedReason, "shard 1") {
+		t.Fatalf("degraded = %v (reason %q), want a partial answer naming shard 1",
+			got.Degraded, got.DegradedReason)
+	}
+	if len(got.Hits) == 0 {
+		t.Fatal("partial answer has no hits at all")
+	}
+	if coord.Tel().Get(telemetry.FleetShardErrors) == 0 {
+		t.Error("fleet_shard_errors did not move")
+	}
+	if coord.Tel().Get(telemetry.FleetPartials) == 0 {
+		t.Error("fleet_partials did not move")
+	}
+
+	// The survivors' merge must equal the union answer minus shard 1's
+	// functions, in the same canonical order.
+	single := NewFromDB(db, Config{})
+	_, want := postSearch(t, single.Handler(), req)
+	if want == nil {
+		t.Fatal("single-server baseline failed")
+	}
+	var surviving []Hit
+	for _, hh := range want.Hits {
+		if index.ShardOf(hh.Exe, hh.Name, nShards) != 1 {
+			surviving = append(surviving, hh)
+		}
+	}
+	if len(got.Hits) != len(surviving) {
+		t.Fatalf("partial answer has %d hits, survivors of the union answer %d", len(got.Hits), len(surviving))
+	}
+	for i := range got.Hits {
+		if got.Hits[i] != surviving[i] {
+			t.Errorf("partial hit %d diverged:\n  fleet:    %+v\n  expected: %+v", i, got.Hits[i], surviving[i])
+		}
+	}
+
+	// Fault spent: the next identical query is full-quality and was not
+	// shadowed by a cached partial.
+	_, healed := postSearch(t, h, req)
+	if healed == nil || healed.Degraded {
+		t.Fatalf("post-fault search should be full quality: %+v", healed)
+	}
+	if healed.Cached {
+		t.Error("post-fault search served from cache: the partial answer was cached")
+	}
+	if len(healed.Hits) != len(want.Hits) {
+		t.Errorf("post-fault search has %d hits, union answer %d", len(healed.Hits), len(want.Hits))
+	}
+}
+
+// TestFleetAllShardsDownErrors: when no shard answers, the coordinator
+// reports a gateway failure instead of an empty result set.
+func TestFleetAllShardsDownErrors(t *testing.T) {
+	db, _ := smallDB(t)
+	faults := faultinject.New()
+	faults.Arm(&faultinject.Fault{Point: FaultShard, Mode: faultinject.Error}) // every leg
+	coord, _ := startFleet(t, db, 2, Config{Faults: faults})
+	h := coord.Handler()
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+
+	rec, _ := postSearch(t, h, SearchRequest{Exe: e.Exe, Name: e.Name})
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("all-shards-down search: status %d, want 502 (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestFleetHealthzAggregates: the coordinator's healthz names every
+// shard, sums the live corpus, and degrades when a worker dies.
+func TestFleetHealthzAggregates(t *testing.T) {
+	db, _ := smallDB(t)
+	coord, workers := startFleet(t, db, 3, Config{})
+
+	h := coord.backend.Health(context.Background())
+	if h.Mode != "coordinator" || h.Status != "ok" {
+		t.Fatalf("healthy fleet: mode %q status %q, want coordinator/ok", h.Mode, h.Status)
+	}
+	if h.Shards != 3 || len(h.Fleet) != 3 {
+		t.Fatalf("fleet health has %d shards (%d entries), want 3", h.Shards, len(h.Fleet))
+	}
+	if h.Functions != db.Len() {
+		t.Errorf("fleet functions = %d, want the union corpus %d", h.Functions, db.Len())
+	}
+	for i, sh := range h.Fleet {
+		if sh.Shard != i || sh.Addr == "" || sh.Status != "ok" || sh.Generation == 0 {
+			t.Errorf("shard health %d malformed: %+v", i, sh)
+		}
+	}
+
+	// Kill one worker: status degrades, the dead shard is named, the
+	// live sum shrinks.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := workers[2].Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h = coord.backend.Health(context.Background())
+	if h.Status != "degraded" {
+		t.Fatalf("fleet with a dead worker: status %q, want degraded", h.Status)
+	}
+	if h.Fleet[2].Status != "unreachable" || h.Fleet[2].Error == "" {
+		t.Errorf("dead shard entry: %+v, want unreachable with an error", h.Fleet[2])
+	}
+	if h.Functions >= db.Len() {
+		t.Errorf("degraded fleet functions = %d, want < %d", h.Functions, db.Len())
+	}
+}
+
+// TestFleetRejectsAmbiguousQuery: the three query forms are mutually
+// exclusive on both coordinator and worker.
+func TestFleetRejectsAmbiguousQuery(t *testing.T) {
+	db, _ := smallDB(t)
+	coord, _ := startFleet(t, db, 2, Config{})
+	h := coord.Handler()
+	e := entryWithTruth(t, db, corpus.LibFuncName)
+
+	req := SearchRequest{Exe: e.Exe, Name: e.Name, QueryGob: "AAAA"}
+	rec, _ := postSearch(t, h, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("query_gob + exe/name: status %d, want 400", rec.Code)
+	}
+	rec, _ = postSearch(t, h, SearchRequest{})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty query: status %d, want 400", rec.Code)
+	}
+	rec, _ = postSearch(t, h, SearchRequest{QueryGob: "not base64!"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage query_gob: status %d, want 400", rec.Code)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/server/rpc"
 	"repro/internal/telemetry"
 )
 
@@ -19,11 +20,13 @@ import (
 
 // Trace propagation headers. The client stamps every HTTP attempt with
 // traceparent plus its retry/hedge identity; the server echoes the
-// trace ID back so even a body-less reply is joinable.
+// trace ID back so even a body-less reply is joinable. The attempt
+// headers are defined by the shared transport (internal/server/rpc) and
+// re-exported here for API consumers.
 const (
 	TraceIDHeader = "X-Trace-Id"      // response: the request's trace ID
-	AttemptHeader = "X-Tracy-Attempt" // request: 0-based client retry attempt
-	HedgeHeader   = "X-Tracy-Hedge"   // request: "1" on a hedge duplicate
+	AttemptHeader = rpc.AttemptHeader // request: 0-based client retry attempt
+	HedgeHeader   = rpc.HedgeHeader   // request: "1" on a hedge duplicate
 )
 
 // statusRecorder captures the status code a handler chain writes; a

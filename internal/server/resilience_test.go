@@ -25,10 +25,10 @@ func saturate(t *testing.T, s *Server, h http.Handler, req SearchRequest) func()
 		rec, _ := postSearch(t, h, req)
 		done <- rec.Code
 	}()
-	for i := 0; len(s.sem) == 0 && i < 1000; i++ {
+	for i := 0; s.adm.inFlight() == 0 && i < 1000; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	if len(s.sem) != 1 {
+	if s.adm.inFlight() != 1 {
 		t.Fatal("holder request never acquired its in-flight slot")
 	}
 	return func() int {

@@ -1,0 +1,262 @@
+// Package rpc is the resilient JSON-over-HTTP transport shared by every
+// caller of a tracy server: the public Go client (internal/server/client)
+// and the coordinator's intra-fleet shard RPC (internal/server). It owns
+// the un-typed half of the client stack — structured errors,
+// exponential-backoff retries honoring Retry-After, a consecutive-failure
+// circuit breaker, opt-in hedging, and the per-attempt trace/record
+// plumbing — with no dependency on the server's wire schema, so the
+// server package itself can dial peers through it without an import
+// cycle.
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ErrSaturated is wrapped by errors returned when the server sheds load
+// with 429; callers back off and retry (the default RetryPolicy already
+// does): errors.Is(err, ErrSaturated).
+var ErrSaturated = errors.New("server saturated")
+
+// MaxErrBody bounds how much of an error response body is read: a
+// misbehaving server cannot make the caller buffer an unbounded error.
+const MaxErrBody = 1 << 16
+
+// Attempt-identity headers stamped on every round trip, consumed by the
+// server's observe middleware (internal/server re-exports them).
+const (
+	AttemptHeader = "X-Tracy-Attempt" // 0-based attempt number within one logical request
+	HedgeHeader   = "X-Tracy-Hedge"   // "1" on the hedge duplicate
+)
+
+// APIError is a non-2xx reply decoded from the server's error body.
+type APIError struct {
+	Status     int           // HTTP status code
+	Msg        string        // server-provided message
+	RetryAfter time.Duration // parsed Retry-After header; 0 when absent
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// Unwrap lets errors.Is(err, ErrSaturated) match 429 replies.
+func (e *APIError) Unwrap() error {
+	if e.Status == http.StatusTooManyRequests {
+		return ErrSaturated
+	}
+	return nil
+}
+
+// TransportError wraps a failure to reach the server at all (connection
+// refused/reset, DNS failure, broken response stream). Transport errors
+// are always retryable.
+type TransportError struct {
+	Err error
+}
+
+func (e *TransportError) Error() string { return "transport: " + e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// parseRetryAfter reads a Retry-After header value: delta-seconds or an
+// HTTP date. 0 means absent or unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Conn dials one tracy server. The zero value of every policy field is
+// safe: nil Retry means no retries, nil Breaker means no circuit
+// breaking, zero HedgeDelay means no hedging, nil Stats means no attempt
+// accounting. Fields are read per call, so a Conn may be rebuilt around
+// a shared *Counters without losing history.
+type Conn struct {
+	// BaseURL is the server root, e.g. "http://localhost:8077".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+
+	// Retry, when non-nil, retries saturated (429), server-failure (5xx),
+	// and transport errors with exponential backoff and jitter. A context
+	// that ends stops retrying immediately.
+	Retry *RetryPolicy
+
+	// Breaker, when non-nil, fails requests fast with ErrCircuitOpen
+	// after a run of consecutive failures, probing again after a cooldown.
+	Breaker *Breaker
+
+	// HedgeDelay, when positive, arms hedging for DoHedged calls: if the
+	// first attempt has not answered within this delay, a second identical
+	// request races it and the first success wins.
+	HedgeDelay time.Duration
+
+	// Stats, when non-nil, accumulates attempt/retry/hedge counts and the
+	// recent attempt-record ring across calls.
+	Stats *Counters
+}
+
+// Do sends one JSON request (with the retry policy) and decodes the
+// reply into out.
+func (c *Conn) Do(ctx context.Context, method, path string, in, out any) error {
+	return c.exec(ctx, method, path, in, out, false)
+}
+
+// DoHedged is Do with hedging armed: when HedgeDelay is positive, a slow
+// first attempt is raced by a duplicate request.
+func (c *Conn) DoHedged(ctx context.Context, method, path string, in, out any) error {
+	return c.exec(ctx, method, path, in, out, true)
+}
+
+// exec is the shared request pipeline: marshal once, mint the logical
+// request's trace ID, then run attempts through the optional hedging
+// and retry layers. Every HTTP round trip — first try, backoff retry,
+// hedge duplicate — carries the same trace ID in its traceparent header
+// (with a fresh span ID per attempt) plus its attempt number and hedge
+// flag, so the server's access log and flight recorder can tell the
+// attempts of one logical request apart while still joining them.
+func (c *Conn) exec(ctx context.Context, method, path string, in, out any, hedge bool) error {
+	var payload []byte
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		payload = b
+	}
+	traceID := telemetry.NewTraceID()
+	var seq atomic.Int64
+	attempt := func(ctx context.Context, hedged bool) ([]byte, error) {
+		n := int(seq.Add(1)) - 1 // 0-based attempt number within this request
+		return c.attempt(ctx, method, path, payload, in != nil, attemptMeta{
+			trace:   traceID,
+			attempt: n,
+			hedge:   hedged,
+		})
+	}
+	run := func(ctx context.Context) ([]byte, error) { return attempt(ctx, false) }
+	if hedge {
+		run = c.hedged(attempt)
+	}
+	data, err := c.withRetry(ctx, run)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// attemptMeta is one round trip's trace identity.
+type attemptMeta struct {
+	trace   string
+	attempt int
+	hedge   bool
+}
+
+// attempt performs exactly one HTTP round trip and classifies the
+// outcome: raw 200 body, *APIError (with parsed Retry-After), or
+// *TransportError. Context errors come back unwrapped so the retry
+// layer can tell "the caller gave up" from "the network failed".
+// Every outcome lands in the attempt-record ring (Stats).
+func (c *Conn) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, meta attemptMeta) ([]byte, error) {
+	c.Stats.addAttempt()
+	t0 := time.Now()
+	rec := AttemptRecord{TraceID: meta.trace, Path: path, Attempt: meta.attempt, Hedge: meta.hedge}
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if hasBody {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(telemetry.TraceparentHeader, telemetry.FormatTraceparent(meta.trace, telemetry.NewSpanID()))
+	req.Header.Set(AttemptHeader, strconv.Itoa(meta.attempt))
+	if meta.hedge {
+		req.Header.Set(HedgeHeader, "1")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		} else {
+			err = &TransportError{Err: err}
+		}
+		rec.Err = err.Error()
+		rec.DurMS = msSince(t0)
+		c.Stats.record(rec)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	rec.Status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, MaxErrBody))
+		// The server's error bodies are ErrorResponse JSON; fall back to
+		// the raw body for proxies and panics that answer something else.
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		aerr := &APIError{
+			Status:     resp.StatusCode,
+			Msg:        msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+		rec.Err = aerr.Error()
+		rec.DurMS = msSince(t0)
+		c.Stats.record(rec)
+		return nil, aerr
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		} else {
+			err = &TransportError{Err: err}
+		}
+		rec.Err = err.Error()
+		rec.DurMS = msSince(t0)
+		c.Stats.record(rec)
+		return nil, err
+	}
+	rec.DurMS = msSince(t0)
+	c.Stats.record(rec)
+	return data, nil
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Nanoseconds()) / 1e6
+}

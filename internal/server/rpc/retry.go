@@ -1,4 +1,4 @@
-package client
+package rpc
 
 import (
 	"context"
@@ -11,8 +11,8 @@ import (
 	"time"
 )
 
-// RetryPolicy shapes the client's retry loop. Zero-valued fields take
-// the documented defaults, so &RetryPolicy{} is the default policy.
+// RetryPolicy shapes the retry loop. Zero-valued fields take the
+// documented defaults, so &RetryPolicy{} is the default policy.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first
 	// (default 4; values < 1 mean the default).
@@ -35,9 +35,9 @@ type RetryPolicy struct {
 	randFloat func() float64
 }
 
-// DefaultRetryPolicy returns the policy New() arms: 4 attempts, 50ms
-// base delay doubling to a 2s cap, half-width jitter, no overall budget
-// (the caller's context is the budget).
+// DefaultRetryPolicy returns the policy client.New arms: 4 attempts,
+// 50ms base delay doubling to a 2s cap, half-width jitter, no overall
+// budget (the caller's context is the budget).
 func DefaultRetryPolicy() *RetryPolicy {
 	return &RetryPolicy{}
 }
@@ -111,11 +111,11 @@ func retryAfterOf(err error) time.Duration {
 	return 0
 }
 
-// withRetry drives attempts of f under the client's policy: breaker
-// check, attempt, classify, back off (honoring Retry-After), repeat. A
-// done context is never retried past — the in-flight attempt's error
-// (or the context's) returns immediately.
-func (c *Client) withRetry(ctx context.Context, f func(context.Context) ([]byte, error)) ([]byte, error) {
+// withRetry drives attempts of f under the policy: breaker check,
+// attempt, classify, back off (honoring Retry-After), repeat. A done
+// context is never retried past — the in-flight attempt's error (or the
+// context's) returns immediately.
+func (c *Conn) withRetry(ctx context.Context, f func(context.Context) ([]byte, error)) ([]byte, error) {
 	p := c.Retry
 	if p == nil {
 		if err := c.Breaker.Allow(); err != nil {
@@ -156,7 +156,7 @@ func (c *Client) withRetry(ctx context.Context, f func(context.Context) ([]byte,
 		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
 			break // budget spent: sleeping again cannot pay off
 		}
-		c.stats.retries.Add(1)
+		c.Stats.addRetry()
 		t := time.NewTimer(d)
 		select {
 		case <-t.C:
@@ -174,7 +174,7 @@ func (c *Client) withRetry(ctx context.Context, f func(context.Context) ([]byte,
 // primary is pointless, so an error before the hedge timer just returns.
 // f's bool argument marks the hedge duplicate, so its round trip is
 // labeled as such on the wire and in the attempt records.
-func (c *Client) hedged(f func(context.Context, bool) ([]byte, error)) func(context.Context) ([]byte, error) {
+func (c *Conn) hedged(f func(context.Context, bool) ([]byte, error)) func(context.Context) ([]byte, error) {
 	if c.HedgeDelay <= 0 {
 		return func(ctx context.Context) ([]byte, error) { return f(ctx, false) }
 	}
@@ -213,7 +213,7 @@ func (c *Client) hedged(f func(context.Context, bool) ([]byte, error)) func(cont
 			case <-timer.C:
 				if !hedgedNow {
 					hedgedNow = true
-					c.stats.hedges.Add(1)
+					c.Stats.addHedge()
 					launch(true)
 					inFlight++
 				}
@@ -358,8 +358,10 @@ type AttemptRecord struct {
 	DurMS   float64 // round-trip wall time
 }
 
-// statCounters tracks client-side resilience activity.
-type statCounters struct {
+// Counters accumulates resilience activity across the calls of one or
+// more Conns. Every method no-ops on nil, so an untracked Conn pays one
+// branch.
+type Counters struct {
 	attempts atomic.Uint64
 	retries  atomic.Uint64
 	hedges   atomic.Uint64
@@ -370,8 +372,32 @@ type statCounters struct {
 	recFull bool
 }
 
+func (s *Counters) addAttempt() {
+	if s == nil {
+		return
+	}
+	s.attempts.Add(1)
+}
+
+func (s *Counters) addRetry() {
+	if s == nil {
+		return
+	}
+	s.retries.Add(1)
+}
+
+func (s *Counters) addHedge() {
+	if s == nil {
+		return
+	}
+	s.hedges.Add(1)
+}
+
 // record appends one finished round trip to the attempt ring.
-func (s *statCounters) record(rec AttemptRecord) {
+func (s *Counters) record(rec AttemptRecord) {
+	if s == nil {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.recent == nil {
@@ -386,7 +412,10 @@ func (s *statCounters) record(rec AttemptRecord) {
 }
 
 // recentCopy returns the ring's contents oldest-first.
-func (s *statCounters) recentCopy() []AttemptRecord {
+func (s *Counters) recentCopy() []AttemptRecord {
+	if s == nil {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.recFull {
@@ -398,7 +427,7 @@ func (s *statCounters) recentCopy() []AttemptRecord {
 	return out
 }
 
-// Stats is a point-in-time copy of the client's resilience counters.
+// Stats is a point-in-time copy of the resilience counters.
 type Stats struct {
 	Attempts uint64 // HTTP round trips started
 	Retries  uint64 // backoff retries taken
@@ -409,13 +438,16 @@ type Stats struct {
 	Recent []AttemptRecord
 }
 
-// Stats returns the client's cumulative resilience counters and the
-// recent attempt records.
-func (c *Client) Stats() Stats {
+// Snapshot returns the cumulative resilience counters and the recent
+// attempt records.
+func (s *Counters) Snapshot() Stats {
+	if s == nil {
+		return Stats{}
+	}
 	return Stats{
-		Attempts: c.stats.attempts.Load(),
-		Retries:  c.stats.retries.Load(),
-		Hedges:   c.stats.hedges.Load(),
-		Recent:   c.stats.recentCopy(),
+		Attempts: s.attempts.Load(),
+		Retries:  s.retries.Load(),
+		Hedges:   s.hedges.Load(),
+		Recent:   s.recentCopy(),
 	}
 }

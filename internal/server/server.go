@@ -27,7 +27,6 @@ import (
 	"net"
 	"net/http"
 	"runtime"
-	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -60,6 +59,26 @@ type Config struct {
 	// MaxInFlight bounds concurrently processed search requests; excess
 	// requests are rejected with 429 (default 4*GOMAXPROCS).
 	MaxInFlight int
+
+	// QueueDepth bounds requests waiting for an in-flight slot when all
+	// MaxInFlight slots are taken. 0 (the default) keeps the legacy
+	// behavior: shed immediately with 429. With a positive depth the
+	// server queues up to that many requests — interactive searches
+	// ahead of batch scans — and sheds only when the queue is also full,
+	// keeping the fleet work-conserving under bursts instead of bouncing
+	// clients into second-long retry backoffs.
+	QueueDepth int
+
+	// Fleet lists worker base URLs (e.g. "http://10.0.0.1:8077"), one
+	// per corpus shard as written by tracy shard. Non-empty turns this
+	// server into a scatter-gather coordinator: it loads no index itself
+	// and answers every query by fanning out to the fleet and merging
+	// the partial top-K lists. See fleet.go.
+	Fleet []string
+
+	// ShardTimeout bounds each per-shard RPC in coordinator mode
+	// (default 10s).
+	ShardTimeout time.Duration
 
 	// MaxBodyBytes bounds a request body (default 8 MiB).
 	MaxBodyBytes int64
@@ -113,6 +132,7 @@ const (
 	FaultSearch = "search" // snapshot search, after the cache miss
 	FaultReload = "reload" // index reload
 	FaultLSH    = "lsh"    // lsh candidate generation (fault = scan fallback)
+	FaultShard  = "shard"  // coordinator scatter leg; "shard<i>" targets one shard
 )
 
 // snapState is what one atomic snapshot swap publishes.
@@ -126,15 +146,16 @@ type snapState struct {
 
 // Server is the query service. Create with New or NewFromDB.
 type Server struct {
-	cfg    Config
-	opts   core.Options
-	ks     []int
-	tel    *telemetry.Collector
-	snap   atomic.Pointer[snapState]
-	gen    atomic.Uint64
-	sem    chan struct{}
-	cache  *resultCache
-	faults *faultinject.Injector // nil when chaos is off
+	cfg     Config
+	opts    core.Options
+	ks      []int
+	tel     *telemetry.Collector
+	snap    atomic.Pointer[snapState]
+	gen     atomic.Uint64
+	adm     *admission
+	backend SearchBackend
+	cache   *resultCache
+	faults  *faultinject.Injector // nil when chaos is off
 
 	flight     *telemetry.FlightRecorder
 	accessLog  *telemetry.AccessLogger // nil when no AccessLog writer
@@ -207,18 +228,24 @@ func newServer(cfg Config) *Server {
 	if slowT <= 0 {
 		slowT = telemetry.DefaultSlowQuery
 	}
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		opts:       opts,
 		ks:         ks,
 		tel:        tel,
-		sem:        make(chan struct{}, maxInFlight),
+		adm:        newAdmission(maxInFlight, cfg.QueueDepth, tel),
 		cache:      newResultCache(cacheN),
 		faults:     cfg.Faults,
 		flight:     telemetry.NewFlightRecorder(cfg.FlightSlow, cfg.FlightErrors),
 		accessLog:  telemetry.NewAccessLogger(cfg.AccessLog, cfg.AccessLogSample, slowT),
 		slowThresh: slowT,
 	}
+	if len(cfg.Fleet) > 0 {
+		s.backend = newFleetBackend(s)
+	} else {
+		s.backend = localBackend{s}
+	}
+	return s
 }
 
 // Tel returns the server's telemetry collector.
@@ -336,6 +363,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/search", api(s.handleSearch))
 	mux.Handle("POST /v1/search/batch", api(s.handleBatch))
 	mux.Handle("GET /v1/functions", api(s.handleFunctions))
+	mux.Handle("GET /v1/fleet/function", api(s.handleFleetFunction))
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz) // no deadline: must answer under load
 	mux.Handle("POST /v1/reload", api(s.handleReload))
 	th := telemetry.Handler(s.tel)
@@ -402,16 +430,6 @@ func msSince(t0 time.Time) float64 {
 	return float64(time.Since(t0).Nanoseconds()) / 1e6
 }
 
-// acquire takes an in-flight slot without blocking; nil means saturated.
-func (s *Server) acquire() func() {
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }
-	default:
-		return nil
-	}
-}
-
 // shedRetryAfter is the backoff hint attached to every 429: the server
 // is saturated with searches that take O(100ms..s), so "come back in a
 // second" is an honest floor for when a slot may free up.
@@ -421,11 +439,16 @@ const shedRetryAfter = "1"
 func (s *Server) shed(w http.ResponseWriter, r *http.Request) {
 	s.tel.Inc(telemetry.ServerRejected)
 	w.Header().Set("Retry-After", shedRetryAfter)
-	writeErr(w, r, errf(http.StatusTooManyRequests, "server saturated: %d searches in flight", cap(s.sem)))
+	writeErr(w, r, errf(http.StatusTooManyRequests, "server saturated: %d searches in flight", s.adm.capacity))
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	release := s.acquire()
+	release, err := s.adm.acquire(r.Context(), classInteractive)
+	if err != nil {
+		// Gave up (or deadlined) while queued for a slot.
+		writeErr(w, r, queueErr(err))
+		return
+	}
 	if release == nil {
 		if s.cfg.DegradedMode {
 			s.serveDegradedSearch(w, r)
@@ -447,7 +470,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, err)
 		return
 	}
-	resp, err := s.runSearch(r.Context(), &req)
+	resp, err := s.backend.Search(r.Context(), &req)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -470,7 +493,7 @@ func (s *Server) serveDegradedSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, err)
 		return
 	}
-	resp, err := s.runDegraded(r.Context(), &req)
+	resp, err := s.backend.Degraded(r.Context(), &req)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -484,9 +507,15 @@ const maxBatch = 64
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// One batch holds one in-flight slot: its queries run back to back,
-	// and each still fans out across all snapshot shards.
+	// and each still fans out across all snapshot shards. Batches queue
+	// in the lower-priority class so a standing scan workload cannot
+	// starve interactive point queries of freed slots.
 	degraded := false
-	release := s.acquire()
+	release, aerr := s.adm.acquire(r.Context(), classBatch)
+	if aerr != nil {
+		writeErr(w, r, queueErr(aerr))
+		return
+	}
 	if release == nil {
 		if !s.cfg.DegradedMode {
 			s.shed(w, r)
@@ -525,9 +554,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		var resp *SearchResponse
 		var err error
 		if degraded {
-			resp, err = s.runDegraded(qctx, &req.Queries[i])
+			resp, err = s.backend.Degraded(qctx, &req.Queries[i])
 		} else {
-			resp, err = s.runSearch(qctx, &req.Queries[i])
+			resp, err = s.backend.Search(qctx, &req.Queries[i])
 		}
 		qsp.End()
 		if err != nil {
@@ -541,11 +570,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
-	st := s.snap.Load()
-	if st == nil {
-		writeErr(w, r, errf(http.StatusServiceUnavailable, "no index loaded"))
-		return
-	}
 	exe := r.URL.Query().Get("exe")
 	limit := 0
 	if v := r.URL.Query().Get("limit"); v != "" {
@@ -554,45 +578,48 @@ func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp := FunctionsResponse{Total: st.snap.Len()}
-	for _, e := range st.snap.Entries() {
-		if exe != "" && e.Exe != exe {
-			continue
-		}
-		resp.Functions = append(resp.Functions, FunctionInfo{
-			Exe: e.Exe, Name: e.Name, Addr: e.Addr,
-			Blocks: e.Function().NumBlocks(), Insts: e.Function().NumInsts(),
-		})
-		if limit > 0 && len(resp.Functions) == limit {
-			break
-		}
+	resp, err := s.backend.Functions(r.Context(), exe, limit)
+	if err != nil {
+		writeErr(w, r, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.backend.Health(r.Context()))
+}
+
+// handleFleetFunction serves the fleet-internal by-reference query
+// lookup: the gob of one indexed function, so a coordinator can resolve
+// an exe/name query against whichever shard owns it.
+func (s *Server) handleFleetFunction(w http.ResponseWriter, r *http.Request) {
 	st := s.snap.Load()
 	if st == nil {
-		writeJSON(w, http.StatusOK, HealthResponse{Status: "empty"})
+		writeErr(w, r, errf(http.StatusServiceUnavailable, "no index loaded"))
 		return
 	}
-	ks := append([]int(nil), st.snap.Ks()...)
-	sort.Ints(ks)
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:      "ok",
-		Functions:   st.snap.Len(),
-		Ks:          ks,
-		Shards:      st.snap.NumShards(),
-		Generation:  st.gen,
-		LoadedAt:    st.loadedAt,
-		IndexFormat: st.info.Version,
-		IndexMapped: st.info.Mapped,
-		LoadMS:      st.loadMS,
-	})
+	exe := r.URL.Query().Get("exe")
+	name := r.URL.Query().Get("name")
+	if exe == "" || name == "" {
+		writeErr(w, r, errf(http.StatusBadRequest, "fleet function lookup needs exe and name"))
+		return
+	}
+	e := st.snap.Lookup(exe, name)
+	if e == nil {
+		writeErr(w, r, errf(http.StatusNotFound, "no indexed function %s/%s", exe, name))
+		return
+	}
+	qgob, _, err := encodeQueryGob(e.Function())
+	if err != nil {
+		writeErr(w, r, errf(http.StatusInternalServerError, "encoding function: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, FleetFunctionResponse{Exe: exe, Name: name, FunctionGob: qgob})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	resp, err := s.Reload()
+	resp, err := s.backend.Reload(r.Context())
 	if err != nil {
 		var he *httpError
 		if !errors.As(err, &he) {
@@ -731,6 +758,15 @@ func ctxHTTPErr(err error) *httpError {
 		return errf(499, "search cancelled by client")
 	}
 	return nil
+}
+
+// queueErr maps a request abandoned while queued for an in-flight slot
+// to its HTTP error.
+func queueErr(err error) *httpError {
+	if he := ctxHTTPErr(err); he != nil {
+		return he
+	}
+	return errf(http.StatusServiceUnavailable, "queued request aborted: %v", err)
 }
 
 // runSearch executes one search (shared by the single and batch
@@ -932,14 +968,22 @@ func (s *Server) runDegraded(ctx context.Context, req *SearchRequest) (*SearchRe
 	return resp, nil
 }
 
-// resolveQuery produces the query function from either form of
-// SearchRequest.
+// resolveQuery produces the query function from any form of
+// SearchRequest: an uploaded image, a by-reference (exe, name) lookup
+// in the local snapshot, or a fleet-internal pre-resolved QueryGob.
 func (s *Server) resolveQuery(st *snapState, req *SearchRequest) (*prep.Function, error) {
+	byGob := req.QueryGob != ""
 	byImage := req.Image != ""
 	byRef := req.Exe != "" || req.Name != ""
 	switch {
-	case byImage && byRef:
+	case byGob && (byImage || byRef), byImage && byRef:
 		return nil, errf(http.StatusBadRequest, "give either image or exe/name, not both")
+	case byGob:
+		fn, err := decodeQueryGob(req.QueryGob)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		return fn, nil
 	case byRef:
 		if req.Exe == "" || req.Name == "" {
 			return nil, errf(http.StatusBadRequest, "reference queries need both exe and name")
@@ -950,33 +994,41 @@ func (s *Server) resolveQuery(st *snapState, req *SearchRequest) (*prep.Function
 		}
 		return e.Function(), nil
 	case byImage:
-		img, err := req.DecodeImage()
-		if err != nil {
-			return nil, errf(http.StatusBadRequest, "bad base64 image: %v", err)
-		}
-		fns, err := prep.LiftImage(img)
-		if err != nil {
-			return nil, errf(http.StatusBadRequest, "lifting image: %v", err)
-		}
-		if len(fns) == 0 {
-			return nil, errf(http.StatusBadRequest, "image has no functions")
-		}
-		if req.Function != "" {
-			for _, fn := range fns {
-				if fn.Name == req.Function {
-					return fn, nil
-				}
-			}
-			return nil, errf(http.StatusNotFound, "image has no function %q", req.Function)
-		}
-		best := fns[0]
-		for _, fn := range fns[1:] {
-			if fn.NumInsts() > best.NumInsts() {
-				best = fn
-			}
-		}
-		return best, nil
+		return liftQueryImage(req)
 	default:
 		return nil, errf(http.StatusBadRequest, "empty query: set image or exe/name")
 	}
+}
+
+// liftQueryImage decodes and lifts an uploaded query image, picking the
+// requested function (default: the largest). Shared by the local
+// resolver and the coordinator, which lifts images itself so workers
+// only ever see pre-resolved functions.
+func liftQueryImage(req *SearchRequest) (*prep.Function, error) {
+	img, err := req.DecodeImage()
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "bad base64 image: %v", err)
+	}
+	fns, err := prep.LiftImage(img)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "lifting image: %v", err)
+	}
+	if len(fns) == 0 {
+		return nil, errf(http.StatusBadRequest, "image has no functions")
+	}
+	if req.Function != "" {
+		for _, fn := range fns {
+			if fn.Name == req.Function {
+				return fn, nil
+			}
+		}
+		return nil, errf(http.StatusNotFound, "image has no function %q", req.Function)
+	}
+	best := fns[0]
+	for _, fn := range fns[1:] {
+		if fn.NumInsts() > best.NumInsts() {
+			best = fn
+		}
+	}
+	return best, nil
 }

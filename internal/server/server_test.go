@@ -405,10 +405,10 @@ func TestSaturationSheds429(t *testing.T) {
 		firstDone <- rec.Code
 	}()
 	// Wait for the first request to occupy the only slot.
-	for i := 0; len(s.sem) == 0 && i < 1000; i++ {
+	for i := 0; s.adm.inFlight() == 0 && i < 1000; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	if len(s.sem) != 1 {
+	if s.adm.inFlight() != 1 {
 		t.Fatal("first request never acquired its in-flight slot")
 	}
 
@@ -455,10 +455,10 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 		resp.Body.Close()
 		reqDone <- outcome{code: resp.StatusCode}
 	}()
-	for i := 0; len(s.sem) == 0 && i < 1000; i++ {
+	for i := 0; s.adm.inFlight() == 0 && i < 1000; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	if len(s.sem) != 1 {
+	if s.adm.inFlight() != 1 {
 		t.Fatal("request never became in-flight")
 	}
 
