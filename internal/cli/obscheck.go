@@ -119,27 +119,31 @@ func (c *env) obscheck(args []string) error {
 }
 
 // obscheckFleet validates a coordinator's aggregated /v1/healthz: the
-// server must identify as a coordinator over wantShards shards, each
-// fleet entry must name its worker (address) and, when live, its
-// snapshot identity (generation, index format, mmap state); wantLive
-// pins how many shards must be reachable (-1: all).
+// server must identify as a coordinator over wantShards replica groups
+// (contiguous shard numbers), each fleet entry must name its worker
+// (address and replica index) and, when live, its snapshot identity
+// (generation, index format, mmap state); wantLive pins how many shard
+// groups must have at least one reachable replica (-1: all).
 func (c *env) obscheckFleet(ctx context.Context, base string, wantShards, wantLive int) error {
 	body, _, err := obsGet(ctx, base+"/v1/healthz")
 	if err != nil {
 		return fmt.Errorf("obscheck: /v1/healthz: %w", err)
 	}
 	var h struct {
-		Status string `json:"status"`
-		Mode   string `json:"mode"`
-		Shards int    `json:"shards"`
-		Fleet  []struct {
+		Status   string `json:"status"`
+		Mode     string `json:"mode"`
+		Shards   int    `json:"shards"`
+		Replicas int    `json:"replicas"`
+		Fleet    []struct {
 			Shard       int    `json:"shard"`
+			Replica     int    `json:"replica"`
 			Addr        string `json:"addr"`
 			Status      string `json:"status"`
 			Functions   int    `json:"functions"`
 			Generation  uint64 `json:"generation"`
 			IndexFormat int    `json:"index_format"`
 			IndexMapped bool   `json:"index_mapped"`
+			Skewed      bool   `json:"skewed"`
 		} `json:"fleet"`
 	}
 	if err := json.Unmarshal(body, &h); err != nil {
@@ -148,43 +152,72 @@ func (c *env) obscheckFleet(ctx context.Context, base string, wantShards, wantLi
 	if h.Mode != "coordinator" {
 		return fmt.Errorf("obscheck: healthz mode %q, want coordinator", h.Mode)
 	}
-	if h.Shards != wantShards || len(h.Fleet) != wantShards {
-		return fmt.Errorf("obscheck: healthz reports %d shards (%d fleet entries), want %d",
-			h.Shards, len(h.Fleet), wantShards)
+	if h.Shards != wantShards {
+		return fmt.Errorf("obscheck: healthz reports %d shards, want %d", h.Shards, wantShards)
 	}
-	live := 0
+	if h.Replicas != len(h.Fleet) {
+		return fmt.Errorf("obscheck: healthz reports %d replicas but %d fleet entries",
+			h.Replicas, len(h.Fleet))
+	}
+	liveByGroup := make([]int, wantShards)
+	sizeByGroup := make([]int, wantShards)
+	liveReplicas, skewed := 0, 0
 	for i, sh := range h.Fleet {
-		if sh.Shard != i {
-			return fmt.Errorf("obscheck: fleet[%d] has shard number %d", i, sh.Shard)
+		if sh.Shard < 0 || sh.Shard >= wantShards {
+			return fmt.Errorf("obscheck: fleet[%d] has shard number %d, want 0..%d",
+				i, sh.Shard, wantShards-1)
 		}
+		if sh.Replica != sizeByGroup[sh.Shard] {
+			return fmt.Errorf("obscheck: fleet[%d] (shard %d) has replica index %d, want %d",
+				i, sh.Shard, sh.Replica, sizeByGroup[sh.Shard])
+		}
+		sizeByGroup[sh.Shard]++
 		if sh.Addr == "" {
 			return fmt.Errorf("obscheck: fleet[%d] has no address", i)
 		}
 		if sh.Status == "unreachable" {
 			continue
 		}
-		live++
+		liveReplicas++
+		liveByGroup[sh.Shard]++
+		if sh.Skewed {
+			skewed++
+			continue // a straggler may legitimately lag generations
+		}
 		if sh.Functions == 0 || sh.Generation == 0 {
-			return fmt.Errorf("obscheck: live shard %d reports functions=%d generation=%d",
-				i, sh.Functions, sh.Generation)
+			return fmt.Errorf("obscheck: live shard %d replica %d reports functions=%d generation=%d",
+				sh.Shard, sh.Replica, sh.Functions, sh.Generation)
+		}
+	}
+	liveGroups := 0
+	for i, n := range sizeByGroup {
+		if n == 0 {
+			return fmt.Errorf("obscheck: shard %d has no fleet entries", i)
+		}
+		if liveByGroup[i] > 0 {
+			liveGroups++
 		}
 	}
 	if wantLive < 0 {
 		wantLive = wantShards
 	}
-	if live != wantLive {
-		return fmt.Errorf("obscheck: %d live shards, want %d (status %q)", live, wantLive, h.Status)
+	if liveGroups != wantLive {
+		return fmt.Errorf("obscheck: %d live shard groups, want %d (status %q)",
+			liveGroups, wantLive, h.Status)
 	}
 	wantStatus := "ok"
-	if live < wantShards {
+	switch {
+	case liveReplicas == 0:
+		wantStatus = "down"
+	case liveReplicas < len(h.Fleet) || skewed > 0:
 		wantStatus = "degraded"
 	}
 	if h.Status != wantStatus {
-		return fmt.Errorf("obscheck: fleet status %q with %d/%d shards live, want %q",
-			h.Status, live, wantShards, wantStatus)
+		return fmt.Errorf("obscheck: fleet status %q with %d/%d replicas live, want %q",
+			h.Status, liveReplicas, len(h.Fleet), wantStatus)
 	}
-	fmt.Fprintf(c.w, "obscheck: fleet healthz ok (%d/%d shards live, status %s)\n",
-		live, wantShards, h.Status)
+	fmt.Fprintf(c.w, "obscheck: fleet healthz ok (%d/%d shard groups live, %d/%d replicas, status %s)\n",
+		liveGroups, wantShards, liveReplicas, len(h.Fleet), h.Status)
 	return nil
 }
 

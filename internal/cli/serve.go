@@ -35,8 +35,11 @@ func (c *env) serve(args []string) error {
 	shards := fs.Int("shards", 0, "snapshot shards per query (0: GOMAXPROCS)")
 	maxInFlight := fs.Int("max-inflight", 0, "concurrent searches before shedding 429s (0: 4*GOMAXPROCS)")
 	queueDepth := fs.Int("queue-depth", -1, "requests queued for an in-flight slot before shedding (-1: auto — 0 standalone, 64 coordinator)")
-	fleet := fs.String("fleet", "", "comma-separated worker base URLs: serve as a scatter-gather coordinator over these corpus shards (ignores -db)")
+	fleet := fs.String("fleet", "", "comma-separated worker base URLs, one entry per corpus shard; an entry may pipe-join replicas of that shard (\"a1|a2,b1|b2\"): serve as a scatter-gather coordinator with per-shard failover (ignores -db)")
 	shardTimeout := fs.Duration("shard-timeout", 0, "coordinator: per-shard RPC deadline (0: 10s)")
+	shardHedge := fs.Duration("shard-hedge", 0, "coordinator: race a hedged scatter leg against a sibling replica after this delay (0: off)")
+	probeInterval := fs.Duration("probe-interval", 0, "coordinator: replica health-probe interval (0: 1s)")
+	downAfter := fs.Int("replica-down-after", 0, "coordinator: consecutive failures before a replica is marked down (transport errors mark down immediately; 0: 3)")
 	cacheN := fs.Int("cache", 256, "LRU result-cache entries (negative: disable)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
 	maxBody := fs.Int64("max-body", 8<<20, "request body size limit in bytes")
@@ -80,20 +83,37 @@ func (c *env) serve(args []string) error {
 		FlightSlow:         *flightSlow,
 		FlightErrors:       *flightErrors,
 		ShardTimeout:       *shardTimeout,
+		ShardHedge:         *shardHedge,
+		ProbeInterval:      *probeInterval,
+		ReplicaDownAfter:   *downAfter,
 	}
 	if *fleet != "" {
 		if *degraded {
 			return fmt.Errorf("serve: -degraded cannot combine with -fleet (a coordinator degrades by merging the surviving shards)")
 		}
-		for _, a := range strings.Split(*fleet, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				cfg.Fleet = append(cfg.Fleet, a)
+		for _, entry := range strings.Split(*fleet, ",") {
+			if entry = strings.TrimSpace(entry); entry == "" {
+				continue
 			}
+			// Validate each replica group here so a typo fails at startup,
+			// not as a permanently-down replica.
+			n := 0
+			for _, a := range strings.Split(entry, "|") {
+				if strings.TrimSpace(a) != "" {
+					n++
+				}
+			}
+			if n == 0 {
+				return fmt.Errorf("serve: -fleet entry %q lists no replica URLs", entry)
+			}
+			cfg.Fleet = append(cfg.Fleet, entry)
 		}
 		if len(cfg.Fleet) == 0 {
 			return fmt.Errorf("serve: -fleet lists no worker URLs")
 		}
 		cfg.DBPath = "" // a coordinator serves the fleet, not a local index
+	} else if *shardHedge > 0 || *probeInterval > 0 || *downAfter > 0 {
+		return fmt.Errorf("serve: -shard-hedge/-probe-interval/-replica-down-after only apply with -fleet")
 	}
 	// A coordinator defaults to queueing a burst of requests (work
 	// conservation beats bouncing clients into 1s retry backoffs); a
@@ -175,7 +195,7 @@ func (c *env) serve(args []string) error {
 // hits in the same shape as tracy search.
 func (c *env) query(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	serverURL := fs.String("server", "http://localhost:8077", "tracy server base URL")
+	serverURL := fs.String("server", "http://localhost:8077", "tracy server base URL; a comma-separated list fails over between coordinators on connection errors and 5xx")
 	exe := fs.String("exe", "", "executable containing the query function")
 	fnName := fs.String("fn", "", "query function name (default: largest)")
 	k := fs.Int("k", 0, "tracelet size (0: server default)")

@@ -167,20 +167,44 @@ type HealthResponse struct {
 	// Mode is "coordinator" when this server scatter-gathers a worker
 	// fleet instead of serving a local snapshot (empty otherwise).
 	Mode string `json:"mode,omitempty"`
-	// Fleet reports per-shard health, coordinator mode only.
+	// Replicas is the total worker count across all replica groups
+	// (coordinator mode only; equals Shards for single-replica fleets).
+	Replicas int `json:"replicas,omitempty"`
+	// Fleet reports per-replica health, coordinator mode only: one entry
+	// per worker, grouped by Shard.
 	Fleet []ShardHealth `json:"fleet,omitempty"`
 }
 
-// ShardHealth is one worker's state as seen from the coordinator.
+// ShardHealth is one worker replica's state as seen from the
+// coordinator's membership prober.
 type ShardHealth struct {
-	Shard       int    `json:"shard"` // 0-based shard number (fleet list order)
-	Addr        string `json:"addr"`  // worker base URL
+	Shard       int    `json:"shard"`   // 0-based shard number (fleet list order)
+	Replica     int    `json:"replica"` // 0-based replica index within the shard's group
+	Addr        string `json:"addr"`    // worker base URL
 	Status      string `json:"status"`
 	Functions   int    `json:"functions"`
 	Generation  uint64 `json:"generation"`
 	IndexFormat int    `json:"index_format"`
 	IndexMapped bool   `json:"index_mapped"`
 	Error       string `json:"error,omitempty"` // probe failure, when Status is "unreachable"
+	// Skewed marks a live replica serving a different index generation
+	// than its group's majority: it is deprioritized for scatter legs
+	// until it catches up (reload or readmission probe).
+	Skewed bool `json:"skewed,omitempty"`
+	// NextProbeMS is how long until the prober re-checks an unreachable
+	// replica (readmission backoff), milliseconds.
+	NextProbeMS float64 `json:"next_probe_ms,omitempty"`
+}
+
+// ReplicaError is one replica's last failure, attached to a
+// zero-shards-answered 502 so the caller sees exactly which workers
+// failed and why instead of an opaque bad-gateway.
+type ReplicaError struct {
+	Shard       int     `json:"shard"`
+	Replica     int     `json:"replica"`
+	Addr        string  `json:"addr"`
+	Error       string  `json:"error"`
+	NextProbeMS float64 `json:"next_probe_ms,omitempty"` // time until the next readmission probe
 }
 
 // FleetFunctionResponse answers the fleet-internal
@@ -209,4 +233,8 @@ type ReloadResponse struct {
 type ErrorResponse struct {
 	Error   string `json:"error"`
 	TraceID string `json:"trace_id,omitempty"`
+	// Fleet carries per-replica failure detail when a coordinator could
+	// not get any shard to answer (502); the response also sets a
+	// Retry-After header derived from the prober's next-probe schedule.
+	Fleet []ReplicaError `json:"fleet,omitempty"`
 }

@@ -11,9 +11,12 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
@@ -59,7 +62,13 @@ func DefaultRetryPolicy() *RetryPolicy { return rpc.DefaultRetryPolicy() }
 // circuit breaking, zero HedgeDelay means no hedging. New() enables the
 // default retry policy.
 type Client struct {
-	// BaseURL is the server root, e.g. "http://localhost:8077".
+	// BaseURL is the server root, e.g. "http://localhost:8077". It may
+	// list several interchangeable coordinators separated by commas
+	// ("http://c1:8077,http://c2:8077"): each call starts at the last
+	// known-good one and fails over to the next on connection-refused,
+	// 5xx, or an open per-target breaker — so the coordinator itself is
+	// not a single point of failure. 4xx replies (including 429) are the
+	// caller's problem, not the target's, and never fail over.
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
@@ -81,6 +90,15 @@ type Client struct {
 	HedgeDelay time.Duration
 
 	stats rpc.Counters
+
+	// preferred is the index (into targets()) of the last coordinator
+	// that answered, so a healthy fleet pays zero failover probes.
+	preferred atomic.Int32
+	// breakers holds one lazily-built Breaker per extra target, cloned
+	// from Breaker's thresholds: one dead coordinator must not open the
+	// circuit for its siblings.
+	breakersMu sync.Mutex
+	breakers   map[string]*rpc.Breaker
 }
 
 // New returns a client for the server at baseURL with the default
@@ -89,24 +107,109 @@ func New(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Retry: DefaultRetryPolicy()}
 }
 
-// conn views the client's current policy fields as an rpc.Conn. Built
-// per call (fields may be reassigned between calls — tests do), sharing
-// the persistent stats accumulator.
-func (c *Client) conn() *rpc.Conn {
+// targets splits BaseURL into the coordinator list. Computed per call:
+// BaseURL may be reassigned between calls (tests do).
+func (c *Client) targets() []string {
+	var out []string
+	for _, t := range strings.Split(c.BaseURL, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{""}
+	}
+	return out
+}
+
+// breakerFor returns the breaker guarding one target: the client's own
+// Breaker when there is a single target (legacy behavior, callers may
+// inspect it), else a per-target clone of its thresholds.
+func (c *Client) breakerFor(target string, multi bool) *rpc.Breaker {
+	if c.Breaker == nil {
+		return nil
+	}
+	if !multi {
+		return c.Breaker
+	}
+	c.breakersMu.Lock()
+	defer c.breakersMu.Unlock()
+	if c.breakers == nil {
+		c.breakers = make(map[string]*rpc.Breaker)
+	}
+	b, ok := c.breakers[target]
+	if !ok {
+		b = &rpc.Breaker{Threshold: c.Breaker.Threshold, Cooldown: c.Breaker.Cooldown}
+		c.breakers[target] = b
+	}
+	return b
+}
+
+// conn views the client's current policy fields as an rpc.Conn against
+// one target. Built per call (fields may be reassigned between calls),
+// sharing the persistent stats accumulator.
+func (c *Client) conn(target string, multi bool) *rpc.Conn {
 	return &rpc.Conn{
-		BaseURL:    c.BaseURL,
+		BaseURL:    target,
 		HTTPClient: c.HTTPClient,
 		Retry:      c.Retry,
-		Breaker:    c.Breaker,
+		Breaker:    c.breakerFor(target, multi),
 		HedgeDelay: c.HedgeDelay,
 		Stats:      &c.stats,
 	}
 }
 
+// failover reports whether err indicts the coordinator rather than the
+// request: transport failures, 5xx, and an open breaker move on to the
+// next target; 4xx (including 429 saturation, which retries in place
+// via the retry policy) do not.
+func failover(err error) bool {
+	var te *rpc.TransportError
+	if errors.As(err, &te) || errors.Is(err, rpc.ErrCircuitOpen) {
+		return true
+	}
+	var ae *rpc.APIError
+	return errors.As(err, &ae) && ae.Status >= 500
+}
+
+// do runs one API call with coordinator failover: targets are tried in
+// order starting from the last known-good one, and the preference
+// sticks on success.
+func (c *Client) do(ctx context.Context, hedged bool, method, path string, in, out any) error {
+	targets := c.targets()
+	multi := len(targets) > 1
+	start := int(c.preferred.Load())
+	if start >= len(targets) {
+		start = 0
+	}
+	var firstErr error
+	for i := 0; i < len(targets); i++ {
+		ti := (start + i) % len(targets)
+		conn := c.conn(targets[ti], multi)
+		var err error
+		if hedged {
+			err = conn.DoHedged(ctx, method, path, in, out)
+		} else {
+			err = conn.Do(ctx, method, path, in, out)
+		}
+		if err == nil {
+			c.preferred.Store(int32(ti))
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if ctx.Err() != nil || !multi || !failover(err) {
+			return err
+		}
+	}
+	return firstErr
+}
+
 // Search runs one query.
 func (c *Client) Search(ctx context.Context, req *server.SearchRequest) (*server.SearchResponse, error) {
 	var resp server.SearchResponse
-	if err := c.conn().Do(ctx, http.MethodPost, "/v1/search", req, &resp); err != nil {
+	if err := c.do(ctx, false, http.MethodPost, "/v1/search", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -129,7 +232,7 @@ func (c *Client) SearchImage(ctx context.Context, img []byte, fn string, extra *
 // is set, a slow batch is raced by a duplicate request.
 func (c *Client) SearchBatch(ctx context.Context, queries []server.SearchRequest) (*server.BatchResponse, error) {
 	var resp server.BatchResponse
-	if err := c.conn().DoHedged(ctx, http.MethodPost, "/v1/search/batch", server.BatchRequest{Queries: queries}, &resp); err != nil {
+	if err := c.do(ctx, true, http.MethodPost, "/v1/search/batch", server.BatchRequest{Queries: queries}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -148,7 +251,7 @@ func (c *Client) Functions(ctx context.Context, exe string, limit int) (*server.
 		path += fmt.Sprintf("%slimit=%d", sep, limit)
 	}
 	var resp server.FunctionsResponse
-	if err := c.conn().Do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+	if err := c.do(ctx, false, http.MethodGet, path, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -157,7 +260,7 @@ func (c *Client) Functions(ctx context.Context, exe string, limit int) (*server.
 // Healthz probes liveness and the loaded snapshot's shape.
 func (c *Client) Healthz(ctx context.Context) (*server.HealthResponse, error) {
 	var resp server.HealthResponse
-	if err := c.conn().Do(ctx, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
+	if err := c.do(ctx, false, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -166,7 +269,7 @@ func (c *Client) Healthz(ctx context.Context) (*server.HealthResponse, error) {
 // Reload asks the server to hot-reload its index from disk.
 func (c *Client) Reload(ctx context.Context) (*server.ReloadResponse, error) {
 	var resp server.ReloadResponse
-	if err := c.conn().Do(ctx, http.MethodPost, "/v1/reload", nil, &resp); err != nil {
+	if err := c.do(ctx, false, http.MethodPost, "/v1/reload", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

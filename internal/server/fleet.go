@@ -15,9 +15,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/index"
 	"repro/internal/prep"
 	"repro/internal/server/rpc"
@@ -25,19 +27,32 @@ import (
 )
 
 // Coordinator mode: the corpus is hash-sharded (index.ShardOf) into N
-// disjoint TRACYIDX slices, each served by an ordinary worker server,
-// and this process scatter-gathers them. A query is resolved to a
-// lifted function exactly once — an uploaded image is lifted here, a
-// by-reference query is fetched from the shard that owns it — then
-// broadcast to every shard as a QueryGob request with a per-shard
-// deadline. Each shard answers its local top-K; because every corpus
-// function lives on exactly one shard, re-ranking the concatenated
-// partials with the same comparator (index.TopK: score desc, exe asc,
-// name asc) reproduces the single-process answer bit for bit. A slow or
-// dead shard costs its hits, not the query: the merge of the survivors
-// is returned with degraded:true and the failure named, and such
-// partial answers are never cached. Intra-fleet RPC rides the same
-// retry/breaker transport (internal/server/rpc) the public client uses.
+// disjoint TRACYIDX slices, each served by a REPLICA GROUP of ordinary
+// worker servers, and this process scatter-gathers them. A query is
+// resolved to a lifted function exactly once — an uploaded image is
+// lifted here, a by-reference query is fetched from the group that owns
+// it — then broadcast to every shard as a QueryGob request with a
+// per-shard deadline. Within a shard the coordinator talks to ONE
+// healthy replica, failing over to a sibling on error and optionally
+// racing a hedged second leg after Config.ShardHedge, so a dead or slow
+// replica costs latency, not coverage: answers only become partial
+// (degraded:true) when an entire replica group is down. Each shard
+// answers its local top-K; because every corpus function lives on
+// exactly one shard and the replicas of a shard serve identical slices,
+// re-ranking the concatenated partials with the canonical comparator
+// (index.TopK) reproduces the single-process answer bit for bit.
+//
+// Membership is actively health-gated: a background prober loop marks a
+// replica down on its first transport error or a run of consecutive
+// failures, re-probes it with exponential backoff, and readmits it only
+// after a healthz probe proves it reachable AND serving an index
+// (generation > 0). Replicas of one shard are expected to serve the
+// same index generation; the group's serving generation is the majority
+// among live replicas (ties to the newest), and stragglers are flagged
+// skewed in fleet healthz and deprioritized by replica selection.
+// Partial answers are never cached. Intra-fleet RPC rides the same
+// retry/breaker transport (internal/server/rpc) the public client uses,
+// one breaker per replica.
 
 // defaultShardTimeout bounds one shard RPC when Config.ShardTimeout is
 // zero: long enough for an exhaustive scan of a fair shard slice, short
@@ -45,32 +60,94 @@ import (
 // deadline.
 const defaultShardTimeout = 10 * time.Second
 
-// fleetProbeTTL is how long one healthz fan-out's view of the fleet
-// (liveness, generations — the fleet cache generation) stays fresh.
-const fleetProbeTTL = time.Second
-
 // fleetProbeTimeout bounds a single healthz probe.
 const fleetProbeTimeout = 2 * time.Second
 
-// shardConn is one worker in the fleet. Each shard gets its own breaker
-// and counters so one flapping worker trips only its own circuit.
-type shardConn struct {
-	id   int
-	addr string
-	conn *rpc.Conn
+// defaultProbeInterval is how often the background prober refreshes an
+// up replica's health view when Config.ProbeInterval is zero.
+const defaultProbeInterval = time.Second
+
+// probeBackoffBase/Max shape the re-probe schedule of a down replica:
+// the first probe fires immediately (a transport blip should cost
+// milliseconds, not a TTL), then the gap doubles up to the cap.
+const (
+	probeBackoffBase = 250 * time.Millisecond
+	probeBackoffMax  = 10 * time.Second
+)
+
+// defaultDownAfter is how many consecutive non-transport failures mark
+// a replica down when Config.ReplicaDownAfter is zero. Transport errors
+// (connection refused/reset) mark it down on the first: the process is
+// gone, and waiting a threshold only burns shard timeouts.
+const defaultDownAfter = 3
+
+// replica is one worker process: a member of a shard's replica group,
+// with its own connection, breaker, and membership state.
+type replica struct {
+	shard int    // owning shard group (fleet list order)
+	idx   int    // replica index within the group
+	addr  string // worker base URL
+	conn  *rpc.Conn
+	// probeConn is the health-probe path: no retries, no breaker, so a
+	// probe measures the worker itself, not the circuit's mood.
+	probeConn *rpc.Conn
+
+	mu        sync.Mutex
+	up        bool
+	fails     int    // consecutive failures (scatter legs + probes)
+	lastErr   string // last failure, "" while healthy
+	downSince time.Time
+	nextProbe time.Time     // earliest next readmission probe (down only)
+	backoff   time.Duration // current readmission backoff
+	hr        HealthResponse
+	probedAt  time.Time // last successful probe (zero: never)
 }
 
-// fleetBackend implements SearchBackend by scatter-gather over shards.
-type fleetBackend struct {
-	s       *Server
-	shards  []*shardConn
-	timeout time.Duration // per-shard RPC deadline
+// shardGroup is the replica set serving one corpus shard.
+type shardGroup struct {
+	id       int
+	replicas []*replica
+	cursor   atomic.Uint64 // round-robin rotation over healthy replicas
+}
 
-	mu       sync.Mutex
-	probedAt time.Time
-	gen      uint64   // combined fleet generation (fnv64 of last-known shard gens)
-	lastGen  []uint64 // last known generation per shard (survives a dead probe)
-	health   *HealthResponse
+// fleetBackend implements SearchBackend by scatter-gather over shard
+// replica groups.
+type fleetBackend struct {
+	s          *Server
+	groups     []*shardGroup
+	all        []*replica // flattened, fleet order
+	timeout    time.Duration
+	hedge      time.Duration // 0: no hedged scatter legs
+	probeEvery time.Duration
+	downAfter  int
+
+	primed  atomic.Bool // a full sweep has completed at least once
+	sweepMu sync.Mutex  // serializes full sweeps
+
+	stop      chan struct{}
+	nudge     chan struct{} // wakes the prober for an immediate pass
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// parseFleetGroups splits Config.Fleet entries into replica groups: one
+// entry per shard, replicas separated by "|"
+// (e.g. "http://a1|http://a2"). Entries without "|" are single-replica
+// groups, so PR 9 fleet specs keep working unchanged.
+func parseFleetGroups(fleet []string) [][]string {
+	var groups [][]string
+	for _, entry := range fleet {
+		var g []string
+		for _, addr := range strings.Split(entry, "|") {
+			if addr = strings.TrimRight(strings.TrimSpace(addr), "/"); addr != "" {
+				g = append(g, addr)
+			}
+		}
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	return groups
 }
 
 func newFleetBackend(s *Server) *fleetBackend {
@@ -78,138 +155,564 @@ func newFleetBackend(s *Server) *fleetBackend {
 	if timeout <= 0 {
 		timeout = defaultShardTimeout
 	}
+	probeEvery := s.cfg.ProbeInterval
+	if probeEvery <= 0 {
+		probeEvery = defaultProbeInterval
+	}
+	downAfter := s.cfg.ReplicaDownAfter
+	if downAfter <= 0 {
+		downAfter = defaultDownAfter
+	}
 	f := &fleetBackend{
-		s:       s,
-		timeout: timeout,
-		lastGen: make([]uint64, len(s.cfg.Fleet)),
+		s:          s,
+		timeout:    timeout,
+		hedge:      s.cfg.ShardHedge,
+		probeEvery: probeEvery,
+		downAfter:  downAfter,
+		stop:       make(chan struct{}),
+		nudge:      make(chan struct{}, 1),
+		done:       make(chan struct{}),
 	}
-	for i, addr := range s.cfg.Fleet {
-		addr = strings.TrimRight(addr, "/")
-		f.shards = append(f.shards, &shardConn{
-			id:   i,
-			addr: addr,
-			conn: &rpc.Conn{
-				BaseURL: addr,
-				Retry:   rpc.DefaultRetryPolicy(),
-				Breaker: &rpc.Breaker{Threshold: 5, Cooldown: time.Second},
-				Stats:   &rpc.Counters{},
-			},
-		})
+	for gi, addrs := range parseFleetGroups(s.cfg.Fleet) {
+		g := &shardGroup{id: gi}
+		for ri, addr := range addrs {
+			r := &replica{
+				shard: gi,
+				idx:   ri,
+				addr:  addr,
+				up:    true, // optimistic until the first probe says otherwise
+				conn: &rpc.Conn{
+					BaseURL: addr,
+					Retry:   rpc.DefaultRetryPolicy(),
+					Breaker: &rpc.Breaker{Threshold: 5, Cooldown: time.Second},
+					Stats:   &rpc.Counters{},
+				},
+				probeConn: &rpc.Conn{BaseURL: addr},
+			}
+			g.replicas = append(g.replicas, r)
+			f.all = append(f.all, r)
+		}
+		f.groups = append(f.groups, g)
 	}
+	go f.proberLoop()
 	return f
 }
 
-// probe fans one healthz out to every shard and rebuilds the fleet
-// view: the aggregated HealthResponse, the per-shard info gauges, and
-// the combined generation that keys the coordinator's result cache.
-func (f *fleetBackend) probe(ctx context.Context) (*HealthResponse, uint64) {
-	type probeRes struct {
-		h   *HealthResponse
-		err error
-	}
-	results := make([]probeRes, len(f.shards))
-	var wg sync.WaitGroup
-	for i, sc := range f.shards {
-		wg.Add(1)
-		go func(i int, sc *shardConn) {
-			defer wg.Done()
-			pctx, cancel := context.WithTimeout(ctx, fleetProbeTimeout)
-			defer cancel()
-			var h HealthResponse
-			err := sc.conn.Do(pctx, http.MethodGet, "/v1/healthz", nil, &h)
-			results[i] = probeRes{h: &h, err: err}
-		}(i, sc)
-	}
-	wg.Wait()
-
-	agg := &HealthResponse{Mode: "coordinator", Shards: len(f.shards)}
-	live := 0
-	f.mu.Lock()
-	for i, sc := range f.shards {
-		sh := ShardHealth{Shard: i, Addr: sc.addr}
-		if err := results[i].err; err != nil {
-			sh.Status = "unreachable"
-			sh.Error = err.Error()
-		} else {
-			h := results[i].h
-			sh.Status = h.Status
-			sh.Functions = h.Functions
-			sh.Generation = h.Generation
-			sh.IndexFormat = h.IndexFormat
-			sh.IndexMapped = h.IndexMapped
-			f.lastGen[i] = h.Generation
-			live++
-			agg.Functions += sh.Functions
-			if len(agg.Ks) == 0 {
-				agg.Ks = h.Ks
-			}
-			if agg.LoadedAt.IsZero() || h.LoadedAt.After(agg.LoadedAt) {
-				agg.LoadedAt = h.LoadedAt
-			}
-			if live == 1 {
-				agg.IndexFormat = h.IndexFormat
-				agg.IndexMapped = h.IndexMapped
-			}
-		}
-		agg.Fleet = append(agg.Fleet, sh)
-		// One info gauge per shard (value constant 1, identity in the
-		// labels) keeps /metrics cardinality bounded: the hot fleet
-		// counters and histograms stay label-free.
-		f.s.tel.SetInfo(fmt.Sprintf("fleet_shard_%d_info", i), map[string]string{
-			"shard":      strconv.Itoa(i),
-			"addr":       sc.addr,
-			"status":     sh.Status,
-			"generation": strconv.FormatUint(f.lastGen[i], 10),
-			"format":     strconv.Itoa(sh.IndexFormat),
-			"mapped":     strconv.FormatBool(sh.IndexMapped),
-		})
-	}
-	// The fleet generation folds every shard's last-known snapshot
-	// generation: any worker reload changes it, flushing stale cache
-	// entries, while a mere outage does not (cached full-fleet answers
-	// are still correct and carry the service through it).
-	hash := fnv.New64a()
-	var buf [8]byte
-	for i, sc := range f.shards {
-		_, _ = hash.Write([]byte(sc.addr))
-		_, _ = hash.Write([]byte{0})
-		binary.LittleEndian.PutUint64(buf[:], f.lastGen[i])
-		_, _ = hash.Write(buf[:])
-	}
-	switch {
-	case live == len(f.shards):
-		agg.Status = "ok"
-	case live > 0:
-		agg.Status = "degraded"
-	default:
-		agg.Status = "down"
-	}
-	agg.Generation = hash.Sum64()
-	f.gen = agg.Generation
-	f.health = agg
-	f.probedAt = time.Now()
-	f.mu.Unlock()
-	return agg, agg.Generation
+// Close stops the background prober. Idempotent.
+func (f *fleetBackend) Close() error {
+	f.closeOnce.Do(func() { close(f.stop) })
+	<-f.done
+	return nil
 }
 
-// generation returns the fleet cache generation, reprobing when the
-// cached fleet view is older than fleetProbeTTL.
-func (f *fleetBackend) generation(ctx context.Context) uint64 {
-	f.mu.Lock()
-	if f.health != nil && time.Since(f.probedAt) < fleetProbeTTL {
-		gen := f.gen
-		f.mu.Unlock()
-		return gen
+// ---- membership -----------------------------------------------------
+
+// membershipFailure reports whether err is evidence against the
+// replica's health. Saturation (429) means alive-and-shedding, 4xx
+// means the request was wrong, chaos-injected errors are the
+// coordinator's own test harness, and a context end means the caller
+// gave up — none of those should move the membership state machine.
+func membershipFailure(err error) bool {
+	if err == nil || errors.Is(err, rpc.ErrSaturated) ||
+		errors.Is(err, faultinject.ErrInjected) ||
+		errors.Is(err, context.Canceled) {
+		return false
 	}
-	f.mu.Unlock()
-	_, gen := f.probe(ctx)
+	var ae *rpc.APIError
+	if errors.As(err, &ae) && ae.Status < 500 && ae.Status != http.StatusTooManyRequests {
+		return false
+	}
+	return true
+}
+
+// noteFailure feeds one failed replica interaction into the membership
+// state machine: consecutive failures accumulate, and the replica goes
+// down immediately on a transport error (the process is unreachable —
+// waiting out a threshold just wastes shard timeouts on every query) or
+// after downAfter consecutive failures of any kind. A down-mark
+// schedules an immediate readmission probe.
+func (f *fleetBackend) noteFailure(r *replica, err error) {
+	now := time.Now()
+	var te *rpc.TransportError
+	transport := errors.As(err, &te)
+	r.mu.Lock()
+	r.fails++
+	r.lastErr = err.Error()
+	wentDown := false
+	if r.up && (transport || r.fails >= f.downAfter) {
+		r.up = false
+		r.downSince = now
+		r.backoff = probeBackoffBase
+		r.nextProbe = now // first readmission probe fires immediately
+		wentDown = true
+	}
+	r.mu.Unlock()
+	if wentDown {
+		f.s.tel.Inc(telemetry.FleetReplicaDown)
+		f.nudgeProber()
+	}
+}
+
+// noteSuccess records a healthy interaction. A down replica that
+// somehow answered a real request is NOT readmitted here — readmission
+// is gated on a healthz + generation probe — but its probe is pulled
+// forward so the gate opens within milliseconds.
+func (f *fleetBackend) noteSuccess(r *replica) {
+	r.mu.Lock()
+	r.fails = 0
+	r.lastErr = ""
+	wasDown := !r.up
+	if wasDown {
+		r.nextProbe = time.Now()
+	}
+	r.mu.Unlock()
+	if wasDown {
+		f.nudgeProber()
+	}
+}
+
+// observe routes one replica interaction's outcome into the membership
+// state machine, ignoring outcomes that say nothing about the worker.
+func (f *fleetBackend) observe(ctx context.Context, r *replica, err error) {
+	if err == nil {
+		f.noteSuccess(r)
+		return
+	}
+	if ctx.Err() != nil || !membershipFailure(err) {
+		return
+	}
+	f.noteFailure(r, err)
+}
+
+func (f *fleetBackend) nudgeProber() {
+	select {
+	case f.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// proberLoop is the active membership prober: an initial full sweep
+// primes the fleet view, then up replicas are refreshed every
+// probeEvery and down replicas are re-probed on their backoff schedule.
+// A nudge (scatter failure, recovered replica) triggers an immediate
+// pass, so a worker that dies right after a probe is marked down by its
+// first failed query, not discovered a TTL later.
+func (f *fleetBackend) proberLoop() {
+	defer close(f.done)
+	f.sweep(context.Background())
+	tick := f.probeEvery / 4
+	if tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	if tick > 500*time.Millisecond {
+		tick = 500 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			f.probePass(false)
+		case <-f.nudge:
+			f.probePass(false)
+		}
+	}
+}
+
+// probePass probes every replica that is due: up replicas older than
+// probeEvery, down replicas past their backoff. forced probes everyone.
+func (f *fleetBackend) probePass(forced bool) {
+	now := time.Now()
+	var due []*replica
+	for _, r := range f.all {
+		r.mu.Lock()
+		switch {
+		case forced:
+			due = append(due, r)
+		case r.up && now.Sub(r.probedAt) >= f.probeEvery:
+			due = append(due, r)
+		case !r.up && !now.Before(r.nextProbe):
+			due = append(due, r)
+		}
+		r.mu.Unlock()
+	}
+	if len(due) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, r := range due {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			f.probeOne(r)
+		}(r)
+	}
+	wg.Wait()
+	f.publishInfo()
+}
+
+// probeOne runs one healthz probe and applies its verdict: failure
+// feeds the down-marking machinery; success refreshes the health view
+// and readmits a down replica — but only when the worker is actually
+// serving an index (generation > 0), so a half-booted process cannot
+// rejoin and answer empty.
+func (f *fleetBackend) probeOne(r *replica) {
+	pctx, cancel := context.WithTimeout(context.Background(), fleetProbeTimeout)
+	defer cancel()
+	var h HealthResponse
+	err := r.probeConn.Do(pctx, http.MethodGet, "/v1/healthz", nil, &h)
+	now := time.Now()
+	if err != nil {
+		r.mu.Lock()
+		wasDown := !r.up
+		r.mu.Unlock()
+		f.noteFailure(r, err)
+		if wasDown {
+			r.mu.Lock()
+			r.backoff *= 2
+			if r.backoff > probeBackoffMax {
+				r.backoff = probeBackoffMax
+			}
+			if r.backoff <= 0 {
+				r.backoff = probeBackoffBase
+			}
+			r.nextProbe = now.Add(r.backoff)
+			r.mu.Unlock()
+		}
+		return
+	}
+	readmitted := false
+	r.mu.Lock()
+	r.probedAt = now
+	r.hr = h
+	if r.up {
+		r.fails = 0
+		r.lastErr = ""
+	} else if h.Generation > 0 {
+		r.up = true
+		r.fails = 0
+		r.lastErr = ""
+		r.downSince = time.Time{}
+		readmitted = true
+	} else {
+		// Reachable but serving nothing: stay gated, keep probing.
+		r.lastErr = "reachable but no index loaded (generation 0)"
+		r.backoff = probeBackoffBase
+		r.nextProbe = now.Add(r.backoff)
+	}
+	r.mu.Unlock()
+	if readmitted {
+		f.s.tel.Inc(telemetry.FleetReadmits)
+		// The probe proved the worker healthy; reset its query breaker
+		// so the first real request is not eaten by a stale open circuit.
+		r.conn.Breaker.Record(nil)
+	}
+}
+
+// sweep forces a probe of every replica (healthz fan-out semantics:
+// the aggregated health view must reflect the fleet as of now).
+func (f *fleetBackend) sweep(ctx context.Context) {
+	f.sweepMu.Lock()
+	defer f.sweepMu.Unlock()
+	f.probePass(true)
+	f.primed.Store(true)
+}
+
+// ---- fleet view -----------------------------------------------------
+
+// replicaState is a locked snapshot of one replica's membership state.
+type replicaState struct {
+	up        bool
+	lastErr   string
+	gen       uint64
+	hr        HealthResponse
+	nextProbe time.Time
+	downSince time.Time
+}
+
+func (r *replica) state() replicaState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return replicaState{
+		up:        r.up,
+		lastErr:   r.lastErr,
+		gen:       r.hr.Generation,
+		hr:        r.hr,
+		nextProbe: r.nextProbe,
+		downSince: r.downSince,
+	}
+}
+
+// servingGen picks the group's serving generation: the majority
+// generation among up replicas (ties to the newest — a reload moves
+// forward). With no replica up, the last-known generations vote, so an
+// outage never shifts the fleet cache generation.
+func servingGen(states []replicaState) uint64 {
+	votes := map[uint64]int{}
+	for _, st := range states {
+		if st.up {
+			votes[st.gen]++
+		}
+	}
+	if len(votes) == 0 {
+		for _, st := range states {
+			votes[st.gen]++
+		}
+	}
+	var gen uint64
+	best := -1
+	for g, n := range votes {
+		if n > best || (n == best && g > gen) {
+			best, gen = n, g
+		}
+	}
 	return gen
 }
 
-func (f *fleetBackend) Health(ctx context.Context) *HealthResponse {
-	h, _ := f.probe(ctx)
-	return h
+// view assembles the aggregated fleet HealthResponse from the current
+// membership state: one Fleet entry per replica, per-group serving
+// generations, skew flags, and the combined status.
+func (f *fleetBackend) view() *HealthResponse {
+	agg := &HealthResponse{Mode: "coordinator", Shards: len(f.groups), Replicas: len(f.all)}
+	liveReplicas, liveGroups, impaired := 0, 0, false
+	hash := fnv.New64a()
+	var buf [8]byte
+	for _, g := range f.groups {
+		states := make([]replicaState, len(g.replicas))
+		for i, r := range g.replicas {
+			states[i] = r.state()
+		}
+		gen := servingGen(states)
+		groupLive := 0
+		var serving *replicaState
+		for i := range states {
+			st := &states[i]
+			r := g.replicas[i]
+			sh := ShardHealth{Shard: g.id, Replica: r.idx, Addr: r.addr, Generation: st.gen}
+			if st.up {
+				groupLive++
+				liveReplicas++
+				sh.Status = st.hr.Status
+				sh.Functions = st.hr.Functions
+				sh.IndexFormat = st.hr.IndexFormat
+				sh.IndexMapped = st.hr.IndexMapped
+				if st.gen != gen {
+					sh.Skewed = true
+					impaired = true
+				} else if serving == nil {
+					serving = st
+				}
+			} else {
+				sh.Status = "unreachable"
+				sh.Error = st.lastErr
+				if d := time.Until(st.nextProbe); d > 0 {
+					sh.NextProbeMS = float64(d.Nanoseconds()) / 1e6
+				}
+				impaired = true
+			}
+			agg.Fleet = append(agg.Fleet, sh)
+		}
+		if groupLive > 0 {
+			liveGroups++
+		}
+		if serving != nil {
+			agg.Functions += serving.hr.Functions
+			if len(agg.Ks) == 0 {
+				agg.Ks = serving.hr.Ks
+			}
+			if agg.LoadedAt.IsZero() || serving.hr.LoadedAt.After(agg.LoadedAt) {
+				agg.LoadedAt = serving.hr.LoadedAt
+			}
+			if liveGroups == 1 {
+				agg.IndexFormat = serving.hr.IndexFormat
+				agg.IndexMapped = serving.hr.IndexMapped
+			}
+		}
+		// The fleet generation folds every group's serving generation
+		// (and membership shape): any worker reload changes it, flushing
+		// stale cache entries; a mere outage does not.
+		for _, r := range g.replicas {
+			_, _ = hash.Write([]byte(r.addr))
+			_, _ = hash.Write([]byte{0})
+		}
+		binary.LittleEndian.PutUint64(buf[:], gen)
+		_, _ = hash.Write(buf[:])
+	}
+	switch {
+	case liveReplicas == 0:
+		agg.Status = "down"
+	case impaired:
+		agg.Status = "degraded"
+	default:
+		agg.Status = "ok"
+	}
+	agg.Generation = hash.Sum64()
+	return agg
 }
+
+// publishInfo exports the per-group and per-replica info gauges (value
+// constant 1, identity in the labels): /metrics cardinality stays
+// bounded by fleet size while the hot fleet counters stay label-free.
+func (f *fleetBackend) publishInfo() {
+	for _, g := range f.groups {
+		states := make([]replicaState, len(g.replicas))
+		for i, r := range g.replicas {
+			states[i] = r.state()
+		}
+		gen := servingGen(states)
+		live := 0
+		for i, st := range states {
+			r := g.replicas[i]
+			status := "unreachable"
+			if st.up {
+				live++
+				status = st.hr.Status
+				if st.gen != gen {
+					status = "skewed"
+				}
+			}
+			f.s.tel.SetInfo(fmt.Sprintf("fleet_replica_%d_%d_info", g.id, r.idx), map[string]string{
+				"shard":      strconv.Itoa(g.id),
+				"replica":    strconv.Itoa(r.idx),
+				"addr":       r.addr,
+				"status":     status,
+				"generation": strconv.FormatUint(st.gen, 10),
+				"format":     strconv.Itoa(st.hr.IndexFormat),
+				"mapped":     strconv.FormatBool(st.hr.IndexMapped),
+			})
+		}
+		gstatus := "down"
+		switch {
+		case live == len(g.replicas):
+			gstatus = "ok"
+		case live > 0:
+			gstatus = "degraded"
+		}
+		f.s.tel.SetInfo(fmt.Sprintf("fleet_shard_%d_info", g.id), map[string]string{
+			"shard":      strconv.Itoa(g.id),
+			"status":     gstatus,
+			"generation": strconv.FormatUint(gen, 10),
+			"replicas":   strconv.Itoa(len(g.replicas)),
+			"live":       strconv.Itoa(live),
+		})
+	}
+}
+
+// generation returns the fleet cache generation from the membership
+// view, forcing one synchronous sweep before the first query so cache
+// keys never see the unprimed zero state.
+func (f *fleetBackend) generation(ctx context.Context) uint64 {
+	if !f.primed.Load() {
+		f.sweep(ctx)
+	}
+	return f.view().Generation
+}
+
+func (f *fleetBackend) Health(ctx context.Context) *HealthResponse {
+	f.sweep(ctx)
+	return f.view()
+}
+
+// ---- replica selection and group calls ------------------------------
+
+// groupOrder is the failover order for one scatter leg: up replicas at
+// the serving generation first (rotated round-robin so load spreads),
+// then up-but-skewed stragglers, and — only when nothing is up — the
+// single most-probable down replica as a last-resort best effort
+// (its breaker fast-fails if it is truly gone).
+func (f *fleetBackend) groupOrder(g *shardGroup) []*replica {
+	states := make([]replicaState, len(g.replicas))
+	for i, r := range g.replicas {
+		states[i] = r.state()
+	}
+	gen := servingGen(states)
+	var primary, skewed []*replica
+	var down []*replica
+	for i, st := range states {
+		switch {
+		case st.up && st.gen == gen:
+			primary = append(primary, g.replicas[i])
+		case st.up:
+			skewed = append(skewed, g.replicas[i])
+		default:
+			down = append(down, g.replicas[i])
+		}
+	}
+	if n := len(primary); n > 1 {
+		rot := int((g.cursor.Add(1) - 1) % uint64(n))
+		primary = append(primary[rot:], primary[:rot]...)
+	}
+	order := append(primary, skewed...)
+	if len(order) == 0 && len(down) > 0 {
+		best := down[0]
+		for _, r := range down[1:] {
+			if r.state().nextProbe.Before(best.state().nextProbe) {
+				best = r
+			}
+		}
+		order = append(order, best)
+	}
+	return order
+}
+
+// groupCall runs call against one shard group under the failover/hedge
+// race: the preferred replica first, siblings on failure, an optional
+// hedged leg after hedge. Membership feedback is applied to every leg's
+// outcome. Returns the winning value, the leg order, and the race
+// outcome (per-leg errors for reporting).
+func groupCall[T any](f *fleetBackend, ctx context.Context, g *shardGroup, hedge time.Duration,
+	call func(context.Context, *replica) (T, error)) (T, []*replica, rpc.RaceOutcome) {
+	order := f.groupOrder(g)
+	if len(order) == 0 {
+		var zero T
+		return zero, nil, rpc.RaceOutcome{Winner: -1, Errs: []error{errors.New("no replica configured")}}
+	}
+	legs := make([]func(context.Context) (T, error), len(order))
+	for i, r := range order {
+		i, r := i, r
+		_ = i
+		legs[i] = func(lctx context.Context) (T, error) {
+			v, err := call(lctx, r)
+			f.observe(lctx, r, err)
+			return v, err
+		}
+	}
+	onHedge := func() { f.s.tel.Inc(telemetry.FleetHedges) }
+	v, out := rpc.FailoverRace(ctx, hedge, onHedge, legs...)
+	if out.Winner >= 0 {
+		if out.Failovers > 0 {
+			f.s.tel.Inc(telemetry.FleetFailovers)
+		}
+		if out.HedgeWon {
+			f.s.tel.Inc(telemetry.FleetHedgesWon)
+		}
+	}
+	return v, order, out
+}
+
+// groupErr renders a failed group's per-replica errors for degraded
+// reasons and the structured 502 body.
+func groupErr(order []*replica, out rpc.RaceOutcome) string {
+	var parts []string
+	for i, err := range out.Errs {
+		if err == nil {
+			continue
+		}
+		if i < len(order) {
+			parts = append(parts, fmt.Sprintf("replica %d (%s): %v", order[i].idx, order[i].addr, err))
+		} else {
+			parts = append(parts, err.Error())
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "no replica answered")
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ---- wire helpers ---------------------------------------------------
 
 // encodeQueryGob turns a resolved query function into the fleet wire
 // form (base64 gob).
@@ -239,8 +742,10 @@ func decodeQueryGob(s string) (*prep.Function, error) {
 }
 
 // lookupFunction resolves a by-reference query by broadcasting the
-// fleet function lookup; exactly one shard owns the entry and answers
-// 200, so the first success wins and cancels the rest.
+// fleet function lookup to every replica; exactly one group owns the
+// entry, so the first success wins and cancels the rest (replicas of
+// the owning group answer identically — redundancy is free coverage
+// here, not wasted work).
 func (f *fleetBackend) lookupFunction(ctx context.Context, exe, name string) (*prep.Function, error) {
 	ctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
@@ -249,23 +754,25 @@ func (f *fleetBackend) lookupFunction(ctx context.Context, exe, name string) (*p
 		fn  *prep.Function
 		err error
 	}
-	ch := make(chan res, len(f.shards))
-	for _, sc := range f.shards {
-		go func(sc *shardConn) {
+	ch := make(chan res, len(f.all))
+	for _, r := range f.all {
+		go func(r *replica) {
 			var fr FleetFunctionResponse
-			if err := sc.conn.Do(ctx, http.MethodGet, path, nil, &fr); err != nil {
+			err := r.conn.Do(ctx, http.MethodGet, path, nil, &fr)
+			f.observe(ctx, r, err)
+			if err != nil {
 				ch <- res{err: err}
 				return
 			}
 			fn, err := decodeQueryGob(fr.FunctionGob)
 			if err != nil {
-				err = errf(http.StatusBadGateway, "shard %d returned %v", sc.id, err)
+				err = errf(http.StatusBadGateway, "shard %d replica %d returned %v", r.shard, r.idx, err)
 			}
 			ch <- res{fn: fn, err: err}
-		}(sc)
+		}(r)
 	}
-	var firstErr error
-	for range f.shards {
+	var firstErr, non404 error
+	for range f.all {
 		r := <-ch
 		if r.err == nil {
 			return r.fn, nil
@@ -273,12 +780,18 @@ func (f *fleetBackend) lookupFunction(ctx context.Context, exe, name string) (*p
 		if firstErr == nil {
 			firstErr = r.err
 		}
+		var apiErr *rpc.APIError
+		if !(errors.As(r.err, &apiErr) && apiErr.Status == http.StatusNotFound) && non404 == nil {
+			non404 = r.err
+		}
 	}
-	var apiErr *rpc.APIError
-	if errors.As(firstErr, &apiErr) && apiErr.Status == http.StatusNotFound {
+	// 404 is only trustworthy when every replica could actually answer:
+	// with part of the fleet unreachable the entry may live on a dead
+	// worker, and "not indexed" would be a lie.
+	if non404 == nil {
 		return nil, errf(http.StatusNotFound, "no indexed function %s/%s", exe, name)
 	}
-	return nil, errf(http.StatusBadGateway, "fleet: resolving %s/%s: %v", exe, name, firstErr)
+	return nil, errf(http.StatusBadGateway, "fleet: resolving %s/%s: %v", exe, name, non404)
 }
 
 // resolveFleet validates the request and resolves its query to a lifted
@@ -351,31 +864,101 @@ func (f *fleetBackend) resolveFleet(ctx context.Context, req *SearchRequest) (*p
 	return fn, shardReq, raw, nil
 }
 
-// shardResult is one gathered partial.
+// shardResult is one gathered per-group partial.
 type shardResult struct {
-	id   int
-	resp *SearchResponse
-	err  error
+	id    int
+	resp  *SearchResponse
+	order []*replica
+	out   rpc.RaceOutcome
+	err   error
 }
 
-// searchShard runs the scatter leg against one shard under its own
-// deadline, firing the chaos points FaultShard and "shard<i>" first.
-func (f *fleetBackend) searchShard(ctx context.Context, sc *shardConn, req *SearchRequest) shardResult {
+// searchReplica runs one scatter leg against one replica under its own
+// deadline, firing the chaos points FaultShard, "shard<i>" and
+// "shard<i>r<j>" first.
+func (f *fleetBackend) searchReplica(ctx context.Context, r *replica, req *SearchRequest) (*SearchResponse, error) {
 	if err := f.s.faults.Fire(ctx, FaultShard); err != nil {
-		return shardResult{id: sc.id, err: err}
+		return nil, err
 	}
-	if err := f.s.faults.Fire(ctx, fmt.Sprintf("%s%d", FaultShard, sc.id)); err != nil {
-		return shardResult{id: sc.id, err: err}
+	if err := f.s.faults.Fire(ctx, fmt.Sprintf("%s%d", FaultShard, r.shard)); err != nil {
+		return nil, err
+	}
+	if err := f.s.faults.Fire(ctx, fmt.Sprintf("%s%dr%d", FaultShard, r.shard, r.idx)); err != nil {
+		return nil, err
 	}
 	sctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
 	st := f.s.tel.StartTimer(telemetry.FleetShardLatency)
 	defer st.Stop()
 	var resp SearchResponse
-	if err := sc.conn.Do(sctx, http.MethodPost, "/v1/search", req, &resp); err != nil {
-		return shardResult{id: sc.id, err: err}
+	if err := r.conn.Do(sctx, http.MethodPost, "/v1/search", req, &resp); err != nil {
+		return nil, err
 	}
-	return shardResult{id: sc.id, resp: &resp}
+	return &resp, nil
+}
+
+// searchGroup answers one shard's scatter leg through the replica
+// failover/hedge race.
+func (f *fleetBackend) searchGroup(ctx context.Context, g *shardGroup, req *SearchRequest) shardResult {
+	resp, order, out := groupCall(f, ctx, g, f.hedge, func(lctx context.Context, r *replica) (*SearchResponse, error) {
+		return f.searchReplica(lctx, r, req)
+	})
+	res := shardResult{id: g.id, order: order, out: out}
+	if out.Winner < 0 {
+		res.err = errors.New(groupErr(order, out))
+		return res
+	}
+	res.resp = resp
+	return res
+}
+
+// fleetReplicaErrors assembles the structured per-replica error detail
+// for the all-shards-failed 502, plus a Retry-After derived from the
+// prober's next readmission probe (the earliest moment the fleet's
+// answer could change).
+func (f *fleetBackend) fleetReplicaErrors(results []shardResult) ([]ReplicaError, time.Duration) {
+	now := time.Now()
+	var out []ReplicaError
+	retryAfter := time.Duration(0)
+	haveProbe := false
+	for _, res := range results {
+		seen := map[*replica]bool{}
+		for i, err := range res.out.Errs {
+			if err == nil || i >= len(res.order) {
+				continue
+			}
+			r := res.order[i]
+			seen[r] = true
+			out = append(out, ReplicaError{Shard: r.shard, Replica: r.idx, Addr: r.addr, Error: err.Error()})
+		}
+		// Replicas the race never reached (down-gated siblings) still
+		// explain the failure: report their last known error.
+		for _, r := range f.groups[res.id].replicas {
+			if seen[r] {
+				continue
+			}
+			st := r.state()
+			if st.up && st.lastErr == "" {
+				continue
+			}
+			re := ReplicaError{Shard: r.shard, Replica: r.idx, Addr: r.addr, Error: st.lastErr}
+			if !st.up {
+				if d := st.nextProbe.Sub(now); d > 0 {
+					re.NextProbeMS = float64(d.Nanoseconds()) / 1e6
+					if !haveProbe || d < retryAfter {
+						retryAfter, haveProbe = d, true
+					}
+				} else {
+					haveProbe = true // probe imminent: retry soon
+				}
+			}
+			out = append(out, re)
+		}
+	}
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	return out, retryAfter
 }
 
 func (f *fleetBackend) Search(ctx context.Context, req *SearchRequest) (*SearchResponse, error) {
@@ -408,8 +991,9 @@ func (f *fleetBackend) Search(ctx context.Context, req *SearchRequest) (*SearchR
 		}
 	}
 	// The cache key fingerprints the gob bytes of the resolved query:
-	// same function, same answer. gen is the combined fleet generation,
-	// so any worker reload invalidates coordinator-side entries.
+	// same function, same answer. gen folds every group's serving
+	// generation, so any worker reload invalidates coordinator-side
+	// entries while a mere replica outage does not.
 	hash := fnv.New64a()
 	_, _ = hash.Write(raw)
 	key := cacheKey{fp: hash.Sum64(), gen: f.generation(ctx), k: k, limit: shardReq.Limit,
@@ -432,23 +1016,24 @@ func (f *fleetBackend) Search(ctx context.Context, req *SearchRequest) (*SearchR
 		f.s.tel.Inc(telemetry.ServerCacheMisses)
 	}
 
-	// Scatter: every shard races under its own deadline.
+	// Scatter: every shard group races under its own deadline, each leg
+	// picking a healthy replica with failover/hedging inside the group.
 	ssp := sp.Child("scatter")
-	results := make([]shardResult, len(f.shards))
+	results := make([]shardResult, len(f.groups))
 	var wg sync.WaitGroup
-	for i, sc := range f.shards {
+	for i, g := range f.groups {
 		wg.Add(1)
-		go func(i int, sc *shardConn) {
+		go func(i int, g *shardGroup) {
 			defer wg.Done()
-			results[i] = f.searchShard(ctx, sc, shardReq)
-		}(i, sc)
+			results[i] = f.searchGroup(ctx, g, shardReq)
+		}(i, g)
 	}
 	wg.Wait()
 	ssp.End()
 
 	// Gather: concatenate the partials and re-rank under the canonical
 	// comparator. Disjoint shards make this bit-identical to the
-	// single-snapshot answer when every shard reports in.
+	// single-snapshot answer when every shard group reports in.
 	msp := sp.Child("merge")
 	mt := f.s.tel.StartTimer(telemetry.FleetMergeLatency)
 	var merged []index.Hit
@@ -465,9 +1050,11 @@ func (f *fleetBackend) Search(ctx context.Context, req *SearchRequest) (*SearchR
 		if r.err != nil {
 			f.s.tel.Inc(telemetry.FleetShardErrors)
 			failed = append(failed, fmt.Sprintf("shard %d: %v", r.id, r.err))
-			var apiErr *rpc.APIError
-			if errors.As(r.err, &apiErr) && firstAPIErr == nil {
-				firstAPIErr = apiErr
+			for _, legErr := range r.out.Errs {
+				var apiErr *rpc.APIError
+				if errors.As(legErr, &apiErr) && firstAPIErr == nil {
+					firstAPIErr = apiErr
+				}
 			}
 			continue
 		}
@@ -485,18 +1072,22 @@ func (f *fleetBackend) Search(ctx context.Context, req *SearchRequest) (*SearchR
 			})
 		}
 	}
-	if len(failed) == len(f.shards) {
+	if len(failed) == len(f.groups) {
 		mt.Stop()
 		msp.End()
 		// Nothing answered. When every shard rejected the request itself
 		// (a 4xx — bad k, unknown prefilter mode), relay that verdict;
-		// otherwise the fleet is the problem.
+		// otherwise the fleet is the problem: answer 502 with the
+		// per-replica failure detail and a Retry-After derived from the
+		// prober's next readmission probe.
 		if firstAPIErr != nil && firstAPIErr.Status >= 400 && firstAPIErr.Status < 500 &&
 			firstAPIErr.Status != http.StatusTooManyRequests {
 			return nil, errf(firstAPIErr.Status, "%s", firstAPIErr.Msg)
 		}
-		return nil, errf(http.StatusBadGateway, "fleet: all %d shards failed: %s",
-			len(f.shards), strings.Join(failed, "; "))
+		he := errf(http.StatusBadGateway, "fleet: all %d shards failed: %s",
+			len(f.groups), strings.Join(failed, "; "))
+		he.fleet, he.retryAfter = f.fleetReplicaErrors(results)
+		return nil, he
 	}
 	top := index.TopK(merged, shardReq.Limit, req.MinScore)
 	resp.Hits = make([]Hit, len(top))
@@ -519,7 +1110,7 @@ func (f *fleetBackend) Search(ctx context.Context, req *SearchRequest) (*SearchR
 		sp.Set("degraded", 1)
 		resp.Degraded = true
 		resp.DegradedReason = fmt.Sprintf("partial fleet answer: %d/%d shards failed (%s)",
-			len(failed), len(f.shards), strings.Join(failed, "; "))
+			len(failed), len(f.groups), strings.Join(failed, "; "))
 	} else if shardDegraded {
 		resp.Degraded = true
 		resp.DegradedReason = "one or more shards answered degraded"
@@ -550,23 +1141,35 @@ func (f *fleetBackend) Functions(ctx context.Context, exe string, limit int) (*F
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
-	results := make([]shardResult, len(f.shards))
-	resps := make([]*FunctionsResponse, len(f.shards))
+	type fnRes struct {
+		resp *FunctionsResponse
+		err  error
+	}
+	results := make([]fnRes, len(f.groups))
 	var wg sync.WaitGroup
-	for i, sc := range f.shards {
+	for i, g := range f.groups {
 		wg.Add(1)
-		go func(i int, sc *shardConn) {
+		go func(i int, g *shardGroup) {
 			defer wg.Done()
-			sctx, cancel := context.WithTimeout(ctx, f.timeout)
-			defer cancel()
-			var fr FunctionsResponse
-			results[i] = shardResult{id: sc.id, err: sc.conn.Do(sctx, http.MethodGet, path, nil, &fr)}
-			resps[i] = &fr
-		}(i, sc)
+			resp, order, out := groupCall(f, ctx, g, 0, func(lctx context.Context, r *replica) (*FunctionsResponse, error) {
+				sctx, cancel := context.WithTimeout(lctx, f.timeout)
+				defer cancel()
+				var fr FunctionsResponse
+				if err := r.conn.Do(sctx, http.MethodGet, path, nil, &fr); err != nil {
+					return nil, err
+				}
+				return &fr, nil
+			})
+			if out.Winner < 0 {
+				results[i] = fnRes{err: errors.New(groupErr(order, out))}
+				return
+			}
+			results[i] = fnRes{resp: resp}
+		}(i, g)
 	}
 	wg.Wait()
-	// Same degradation contract as search: merge the surviving shards
-	// and say so, fail only when nobody answers.
+	// Same degradation contract as search: merge the surviving shard
+	// groups and say so, fail only when nobody answers.
 	out := &FunctionsResponse{}
 	var firstErr error
 	live := 0
@@ -574,14 +1177,14 @@ func (f *fleetBackend) Functions(ctx context.Context, exe string, limit int) (*F
 		if r.err != nil {
 			f.s.tel.Inc(telemetry.FleetShardErrors)
 			if firstErr == nil {
-				firstErr = errf(http.StatusBadGateway, "fleet: shard %d: %v", r.id, r.err)
+				firstErr = errf(http.StatusBadGateway, "fleet: shard %d: %v", i, r.err)
 			}
 			out.Degraded = true
 			continue
 		}
 		live++
-		out.Total += resps[i].Total
-		out.Functions = append(out.Functions, resps[i].Functions...)
+		out.Total += r.resp.Total
+		out.Functions = append(out.Functions, r.resp.Functions...)
 	}
 	if live == 0 {
 		return nil, firstErr
@@ -600,34 +1203,47 @@ func (f *fleetBackend) Functions(ctx context.Context, exe string, limit int) (*F
 
 func (f *fleetBackend) Reload(ctx context.Context) (*ReloadResponse, error) {
 	t0 := time.Now()
-	results := make([]shardResult, len(f.shards))
-	resps := make([]*ReloadResponse, len(f.shards))
+	// Reload stays strict across the whole fleet — every replica of
+	// every group must swap, or generations skew by our own hand.
+	type relRes struct {
+		r    *replica
+		resp *ReloadResponse
+		err  error
+	}
+	results := make([]relRes, len(f.all))
 	var wg sync.WaitGroup
-	for i, sc := range f.shards {
+	for i, r := range f.all {
 		wg.Add(1)
-		go func(i int, sc *shardConn) {
+		go func(i int, r *replica) {
 			defer wg.Done()
 			sctx, cancel := context.WithTimeout(ctx, f.timeout)
 			defer cancel()
 			var rr ReloadResponse
-			results[i] = shardResult{id: sc.id, err: sc.conn.Do(sctx, http.MethodPost, "/v1/reload", nil, &rr)}
-			resps[i] = &rr
-		}(i, sc)
+			err := r.conn.Do(sctx, http.MethodPost, "/v1/reload", nil, &rr)
+			f.observe(ctx, r, err)
+			results[i] = relRes{r: r, resp: &rr, err: err}
+		}(i, r)
 	}
 	wg.Wait()
 	out := &ReloadResponse{}
-	for i, r := range results {
-		if r.err != nil {
-			return nil, errf(http.StatusConflict, "fleet reload: shard %d: %v", r.id, r.err)
+	seenGroup := map[int]bool{}
+	for _, res := range results {
+		if res.err != nil {
+			return nil, errf(http.StatusConflict, "fleet reload: shard %d replica %d: %v",
+				res.r.shard, res.r.idx, res.err)
 		}
-		out.Functions += resps[i].Functions
-		if i == 0 {
-			out.Format = resps[i].Format
-			out.Mapped = resps[i].Mapped
+		if !seenGroup[res.r.shard] {
+			seenGroup[res.r.shard] = true
+			out.Functions += res.resp.Functions
+			if res.r.shard == 0 {
+				out.Format = res.resp.Format
+				out.Mapped = res.resp.Mapped
+			}
 		}
 	}
 	f.s.tel.Inc(telemetry.ServerReloads)
-	_, out.Generation = f.probe(ctx) // fresh fleet generation after the swap
+	f.sweep(ctx) // fresh membership + generations after the swap
+	out.Generation = f.view().Generation
 	f.s.cache.purge()
 	out.TookMS = msSince(t0)
 	return out, nil

@@ -66,6 +66,11 @@ func startFleet(t *testing.T, db *index.DB, n int, coordCfg Config) (*Server, []
 	if err != nil {
 		t.Fatalf("starting coordinator: %v", err)
 	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = coord.Shutdown(ctx) // stops the membership prober
+	})
 	return coord, workers
 }
 

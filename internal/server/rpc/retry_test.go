@@ -1,7 +1,10 @@
 package rpc
 
 import (
+	"errors"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -56,5 +59,91 @@ func TestNilCountersSafe(t *testing.T) {
 	s.record(AttemptRecord{})
 	if got := s.Snapshot(); got.Attempts != 0 || got.Recent != nil {
 		t.Errorf("nil Counters snapshot = %+v, want zero", got)
+	}
+}
+
+// TestBreakerHalfOpenConcurrentProbe pins the half-open contract under
+// concurrency: when the cooldown lapses, exactly ONE caller wins the
+// probe slot per round — the losers fast-fail with ErrCircuitOpen
+// ("probe in flight") instead of stampeding the recovering server.
+func TestBreakerHalfOpenConcurrentProbe(t *testing.T) {
+	b := &Breaker{Threshold: 1, Cooldown: 10 * time.Millisecond}
+	b.Record(errors.New("boom")) // trip it open
+	if b.State() != "open" {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	time.Sleep(15 * time.Millisecond) // cooldown lapsed: half-open
+
+	const callers = 32
+	var admitted, fastFailed atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			err := b.Allow()
+			switch {
+			case err == nil:
+				admitted.Add(1)
+			case errors.Is(err, ErrCircuitOpen):
+				fastFailed.Add(1)
+			default:
+				t.Errorf("unexpected Allow error: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d concurrent callers admitted through the half-open breaker, want exactly 1", got)
+	}
+	if got := fastFailed.Load(); got != callers-1 {
+		t.Fatalf("%d callers fast-failed, want %d", got, callers-1)
+	}
+
+	// A failed probe re-opens: the next wave (post-cooldown) again admits
+	// exactly one.
+	b.Record(errors.New("still down"))
+	if b.State() != "open" {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	time.Sleep(15 * time.Millisecond)
+	admitted.Store(0)
+	var wg2 sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			if b.Allow() == nil {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg2.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("after failed probe: %d admitted, want exactly 1", got)
+	}
+
+	// A successful probe closes the breaker for everyone.
+	b.Record(nil)
+	if b.State() != "closed" {
+		t.Fatal("breaker not closed after a successful probe")
+	}
+	var denied atomic.Int32
+	var wg3 sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg3.Add(1)
+		go func() {
+			defer wg3.Done()
+			if b.Allow() != nil {
+				denied.Add(1)
+			}
+		}()
+	}
+	wg3.Wait()
+	if got := denied.Load(); got != 0 {
+		t.Fatalf("closed breaker denied %d callers", got)
 	}
 }

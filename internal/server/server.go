@@ -69,16 +69,35 @@ type Config struct {
 	// clients into second-long retry backoffs.
 	QueueDepth int
 
-	// Fleet lists worker base URLs (e.g. "http://10.0.0.1:8077"), one
-	// per corpus shard as written by tracy shard. Non-empty turns this
-	// server into a scatter-gather coordinator: it loads no index itself
-	// and answers every query by fanning out to the fleet and merging
-	// the partial top-K lists. See fleet.go.
+	// Fleet lists worker base URLs, one entry per corpus shard as
+	// written by tracy shard. An entry may name several replicas of the
+	// same shard separated by "|" (e.g. "http://a1|http://a2"); the
+	// coordinator scatters each query to one healthy replica per shard
+	// and fails over to siblings. Non-empty turns this server into a
+	// scatter-gather coordinator: it loads no index itself and answers
+	// every query by fanning out to the fleet and merging the partial
+	// top-K lists. See fleet.go.
 	Fleet []string
 
 	// ShardTimeout bounds each per-shard RPC in coordinator mode
 	// (default 10s).
 	ShardTimeout time.Duration
+
+	// ShardHedge, when positive, arms hedged scatter legs: if a shard's
+	// chosen replica has not answered within this delay and a sibling
+	// replica is available, the coordinator races a second request
+	// against it and takes the first answer. 0 disables hedging.
+	ShardHedge time.Duration
+
+	// ProbeInterval is how often the coordinator's background prober
+	// refreshes each live replica's health (default 1s). Down replicas
+	// are re-probed on an exponential backoff starting at 250ms.
+	ProbeInterval time.Duration
+
+	// ReplicaDownAfter is how many consecutive non-transport failures
+	// mark a replica down (default 3). Transport errors (connection
+	// refused/reset) mark it down immediately.
+	ReplicaDownAfter int
 
 	// MaxBodyBytes bounds a request body (default 8 MiB).
 	MaxBodyBytes int64
@@ -386,19 +405,28 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Shutdown stops accepting new connections and drains in-flight
-// requests, waiting up to ctx's deadline.
+// Shutdown stops accepting new connections, drains in-flight requests
+// (up to ctx's deadline), and stops backend background work (the
+// coordinator's membership prober).
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.httpSrv == nil {
-		return nil
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
 	}
-	return s.httpSrv.Shutdown(ctx)
+	if c, ok := s.backend.(io.Closer); ok {
+		_ = c.Close()
+	}
+	return err
 }
 
-// httpError carries a status code through the request pipeline.
+// httpError carries a status code through the request pipeline, plus
+// optional fleet failure detail (coordinator 502s: per-replica errors
+// and a Retry-After derived from the membership prober's schedule).
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration // >0: emit a Retry-After header
+	fleet      []ReplicaError
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -420,9 +448,17 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	he := &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 	errors.As(err, &he)
 	obsFromContext(r.Context()).setErr(he.msg)
+	if he.retryAfter > 0 {
+		secs := int64((he.retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, he.status, ErrorResponse{
 		Error:   he.msg,
 		TraceID: telemetry.SpanFromContext(r.Context()).TraceID(),
+		Fleet:   he.fleet,
 	})
 }
 

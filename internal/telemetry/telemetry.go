@@ -71,6 +71,11 @@ const (
 	FleetSearches                       // coordinator scatter-gather searches executed
 	FleetShardErrors                    // per-shard RPCs that failed after the client's retries
 	FleetPartials                       // fleet answers merged from fewer than all shards (degraded)
+	FleetFailovers                      // scatter legs answered by a sibling replica after the preferred one failed
+	FleetHedges                         // hedged second scatter legs launched against a sibling replica
+	FleetHedgesWon                      // hedged legs that answered before the primary
+	FleetReplicaDown                    // replica transitions into the down membership state
+	FleetReadmits                       // down replicas readmitted after a healthz + generation probe
 	FaultsInjected                      // fault-injection points fired (testing only)
 	DiffPrograms                        // random programs generated by the differential engine
 	DiffBuilds                          // program variants compiled (opt level × context knobs)
@@ -120,6 +125,11 @@ var counterNames = [numCounters]string{
 	FleetSearches:        "fleet_searches",
 	FleetShardErrors:     "fleet_shard_errors",
 	FleetPartials:        "fleet_partials",
+	FleetFailovers:       "fleet_failovers",
+	FleetHedges:          "fleet_hedges",
+	FleetHedgesWon:       "fleet_hedges_won",
+	FleetReplicaDown:     "fleet_replica_down",
+	FleetReadmits:        "fleet_readmits",
 	FaultsInjected:       "faults_injected",
 	DiffPrograms:         "diff_programs",
 	DiffBuilds:           "diff_builds",
